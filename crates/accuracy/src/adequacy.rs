@@ -1,0 +1,116 @@
+//! Sample-size adequacy checks.
+//!
+//! A "guaranteed level of accuracy" (§2, Q2) is impossible from an
+//! underpowered sample; worse, fairness audits silently degrade when a
+//! protected subgroup is tiny (the paper's "minorities may be
+//! underrepresented"). These checks run *before* analysis and emit warnings
+//! that `fact-core` attaches to every report.
+
+use fact_data::{Dataset, FactError, Result};
+use fact_stats::power::{power_two_means, sample_size_two_proportions};
+
+/// An adequacy warning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdequacyWarning {
+    /// What is underpowered.
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Check whether per-group sizes can detect a difference between proportions
+/// `p1` and `p2` at `alpha`/`power`. Returns warnings for each undersized
+/// group (empty = adequate).
+pub fn check_two_proportion_adequacy(
+    n1: usize,
+    n2: usize,
+    p1: f64,
+    p2: f64,
+    alpha: f64,
+    power: f64,
+) -> Result<Vec<AdequacyWarning>> {
+    let required = sample_size_two_proportions(p1, p2, alpha, power)?;
+    let mut warnings = Vec::new();
+    for (name, n) in [("group 1", n1), ("group 2", n2)] {
+        if n < required {
+            warnings.push(AdequacyWarning {
+                subject: name.to_string(),
+                message: format!(
+                    "{name} has n={n} but detecting {p1:.2} vs {p2:.2} at power {power} needs n≥{required}"
+                ),
+            });
+        }
+    }
+    Ok(warnings)
+}
+
+/// Achieved power for comparing two groups of sizes `n1`, `n2` on a
+/// standardized effect `d` (uses the harmonic-mean group size).
+pub fn achieved_power(n1: usize, n2: usize, d: f64, alpha: f64) -> Result<f64> {
+    if n1 == 0 || n2 == 0 {
+        return Err(FactError::EmptyData("power with an empty group".into()));
+    }
+    let harmonic = 2.0 / (1.0 / n1 as f64 + 1.0 / n2 as f64);
+    power_two_means(harmonic.round() as usize, d, alpha)
+}
+
+/// Audit a dataset's group sizes: warn about any group of `group_col` whose
+/// size is below `min_n` (a floor for any trustworthy per-group statistic).
+pub fn check_group_sizes(ds: &Dataset, group_col: &str, min_n: usize) -> Result<Vec<AdequacyWarning>> {
+    let groups = ds.group_by(group_col)?;
+    let mut warnings = Vec::new();
+    for (key, n) in groups.counts() {
+        if n < min_n {
+            warnings.push(AdequacyWarning {
+                subject: format!("{group_col}={key}"),
+                message: format!(
+                    "group '{key}' has only {n} rows (< {min_n}); per-group estimates will be unreliable"
+                ),
+            });
+        }
+    }
+    Ok(warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_groups_warn_large_groups_pass() {
+        let w = check_two_proportion_adequacy(50, 1000, 0.5, 0.6, 0.05, 0.8).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].subject, "group 1");
+        let ok = check_two_proportion_adequacy(500, 500, 0.5, 0.6, 0.05, 0.8).unwrap();
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn achieved_power_behaves() {
+        let low = achieved_power(20, 20, 0.3, 0.05).unwrap();
+        let high = achieved_power(500, 500, 0.3, 0.05).unwrap();
+        assert!(low < 0.5);
+        assert!(high > 0.95);
+        assert!(achieved_power(0, 10, 0.3, 0.05).is_err());
+    }
+
+    #[test]
+    fn unbalanced_groups_use_harmonic_mean() {
+        // (10, 10000) is barely better than (10, 10): harmonic mean ≈ 20
+        let unbalanced = achieved_power(10, 10_000, 0.5, 0.05).unwrap();
+        let tiny = achieved_power(10, 10, 0.5, 0.05).unwrap();
+        assert!(unbalanced - tiny < 0.2);
+    }
+
+    #[test]
+    fn dataset_group_size_audit() {
+        let labels: Vec<&str> = (0..100)
+            .map(|i| if i < 95 { "majority" } else { "minority" })
+            .collect();
+        let ds = Dataset::builder().cat("g", &labels).build().unwrap();
+        let w = check_group_sizes(&ds, "g", 30).unwrap();
+        assert_eq!(w.len(), 1);
+        assert!(w[0].subject.contains("minority"));
+        assert!(check_group_sizes(&ds, "g", 2).unwrap().is_empty());
+    }
+}

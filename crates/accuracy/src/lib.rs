@@ -1,0 +1,23 @@
+//! # fact-accuracy — the Accuracy pillar (Q2)
+//!
+//! "Data science without guesswork — how to answer questions with a
+//! guaranteed level of accuracy?" (van der Aalst et al. 2017, §2). The paper
+//! names three failure modes and this crate counters each:
+//!
+//! | Paper warning | Counter |
+//! |---|---|
+//! | "If enough hypotheses are tested, one will eventually be true" (the terrorist/eye-color example) | [`registry`] — a hypothesis ledger that *forces* every p-value through multiple-testing correction before anything may be called significant |
+//! | "Simpson's paradox … a trend appears in different groups but disappears or reverses when these groups are combined" | [`simpson`] — an auditor that scans candidate stratifying variables for trend reversals |
+//! | Results without "meta-information on the accuracy of the output" | [`uncertainty`] — bootstrap prediction intervals for any classifier; [`adequacy`] — statistical-power warnings before an analysis is trusted |
+//! | analyst degrees of freedom ("false claims" from forking paths) | [`specification`] — specification-curve analysis over every defensible control set |
+
+#![warn(missing_docs)]
+
+pub mod adequacy;
+pub mod registry;
+pub mod simpson;
+pub mod specification;
+pub mod uncertainty;
+
+pub use registry::{CorrectionMethod, HypothesisRegistry, RegistryReport};
+pub use simpson::{audit_simpson, SimpsonReport};

@@ -1,0 +1,249 @@
+//! The hypothesis registry: multiple testing made impossible to ignore.
+//!
+//! Every test an analysis runs is *registered*; raw p-values are recorded but
+//! never surfaced as verdicts. Only [`HypothesisRegistry::report`] produces
+//! significance calls, and it always applies a family-wise or FDR correction
+//! over everything registered. This is the paper's accuracy pillar turned
+//! into an API invariant: you cannot ask "is it significant?" without also
+//! answering "out of how many attempts?".
+
+use fact_data::{FactError, Result};
+use fact_stats::multiple::{
+    benjamini_hochberg, benjamini_yekutieli, bonferroni, holm, sidak,
+};
+
+/// Correction procedure for the registered family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrectionMethod {
+    /// Bonferroni (FWER).
+    Bonferroni,
+    /// Holm step-down (FWER).
+    Holm,
+    /// Šidák (FWER, independence).
+    Sidak,
+    /// Benjamini–Hochberg (FDR).
+    BenjaminiHochberg,
+    /// Benjamini–Yekutieli (FDR, arbitrary dependence).
+    BenjaminiYekutieli,
+}
+
+/// A registered hypothesis.
+#[derive(Debug, Clone)]
+pub struct Hypothesis {
+    /// Human-readable description.
+    pub label: String,
+    /// Raw (uncorrected) p-value.
+    pub p_value: f64,
+}
+
+/// The corrected outcome for one hypothesis.
+#[derive(Debug, Clone)]
+pub struct HypothesisOutcome {
+    /// Description.
+    pub label: String,
+    /// Raw p-value.
+    pub raw_p: f64,
+    /// Corrected p-value.
+    pub adjusted_p: f64,
+    /// Whether the corrected p-value clears `alpha`.
+    pub significant: bool,
+}
+
+/// Family-level report.
+#[derive(Debug, Clone)]
+pub struct RegistryReport {
+    /// Outcomes in registration order.
+    pub outcomes: Vec<HypothesisOutcome>,
+    /// The significance level used.
+    pub alpha: f64,
+    /// The correction applied.
+    pub method: CorrectionMethod,
+    /// How many raw p-values were below alpha (what a naive analyst would
+    /// have claimed).
+    pub naive_discoveries: usize,
+    /// How many survive correction.
+    pub corrected_discoveries: usize,
+}
+
+/// A ledger of every hypothesis tested in an analysis.
+///
+/// ```
+/// use fact_accuracy::registry::{CorrectionMethod, HypothesisRegistry};
+/// let mut reg = HypothesisRegistry::new();
+/// reg.register("real effect", 1e-7).unwrap();
+/// for i in 0..99 {
+///     reg.register(format!("noise {i}"), 0.04 + 0.009 * i as f64).unwrap();
+/// }
+/// let report = reg.report(0.05, CorrectionMethod::Holm).unwrap();
+/// assert!(report.naive_discoveries > 1);       // fishing "works"...
+/// assert_eq!(report.corrected_discoveries, 1); // ...until corrected
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HypothesisRegistry {
+    hypotheses: Vec<Hypothesis>,
+}
+
+impl HypothesisRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register one test result.
+    pub fn register(&mut self, label: impl Into<String>, p_value: f64) -> Result<()> {
+        if !(0.0..=1.0).contains(&p_value) || p_value.is_nan() {
+            return Err(FactError::InvalidArgument(format!(
+                "p-value must be in [0, 1], got {p_value}"
+            )));
+        }
+        self.hypotheses.push(Hypothesis {
+            label: label.into(),
+            p_value,
+        });
+        Ok(())
+    }
+
+    /// Number of registered hypotheses.
+    pub fn len(&self) -> usize {
+        self.hypotheses.len()
+    }
+
+    /// Whether nothing has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.hypotheses.is_empty()
+    }
+
+    /// Produce the corrected family report.
+    pub fn report(&self, alpha: f64, method: CorrectionMethod) -> Result<RegistryReport> {
+        if !(0.0 < alpha && alpha < 1.0) {
+            return Err(FactError::InvalidArgument(format!(
+                "alpha must be in (0, 1), got {alpha}"
+            )));
+        }
+        let raw: Vec<f64> = self.hypotheses.iter().map(|h| h.p_value).collect();
+        let adjusted = match method {
+            CorrectionMethod::Bonferroni => bonferroni(&raw)?,
+            CorrectionMethod::Holm => holm(&raw)?,
+            CorrectionMethod::Sidak => sidak(&raw)?,
+            CorrectionMethod::BenjaminiHochberg => benjamini_hochberg(&raw)?,
+            CorrectionMethod::BenjaminiYekutieli => benjamini_yekutieli(&raw)?,
+        };
+        let outcomes: Vec<HypothesisOutcome> = self
+            .hypotheses
+            .iter()
+            .zip(&adjusted)
+            .map(|(h, &ap)| HypothesisOutcome {
+                label: h.label.clone(),
+                raw_p: h.p_value,
+                adjusted_p: ap,
+                significant: ap <= alpha,
+            })
+            .collect();
+        Ok(RegistryReport {
+            naive_discoveries: raw.iter().filter(|&&p| p <= alpha).count(),
+            corrected_discoveries: outcomes.iter().filter(|o| o.significant).count(),
+            outcomes,
+            alpha,
+            method,
+        })
+    }
+}
+
+impl RegistryReport {
+    /// Labels of the hypotheses that survive correction.
+    pub fn significant_labels(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.significant)
+            .map(|o| o.label.as_str())
+            .collect()
+    }
+
+    /// How many naive discoveries the correction withdrew.
+    pub fn discoveries_withdrawn(&self) -> usize {
+        self.naive_discoveries.saturating_sub(self.corrected_discoveries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_corrects_a_fishing_expedition() {
+        // 100 true-null p-values drawn as a uniform grid: naive analysis
+        // "discovers" the 5 below .05; every correction withdraws them.
+        let mut reg = HypothesisRegistry::new();
+        for i in 1..=100 {
+            reg.register(format!("predictor_{i}"), i as f64 / 101.0)
+                .unwrap();
+        }
+        let rep = reg.report(0.05, CorrectionMethod::Holm).unwrap();
+        assert_eq!(rep.naive_discoveries, 5);
+        assert_eq!(rep.corrected_discoveries, 0);
+        assert_eq!(rep.discoveries_withdrawn(), 5);
+    }
+
+    #[test]
+    fn strong_signal_survives_correction() {
+        let mut reg = HypothesisRegistry::new();
+        reg.register("real effect", 1e-8).unwrap();
+        for i in 0..49 {
+            reg.register(format!("noise_{i}"), 0.3 + 0.01 * i as f64)
+                .unwrap();
+        }
+        let rep = reg.report(0.05, CorrectionMethod::Bonferroni).unwrap();
+        assert_eq!(rep.significant_labels(), vec!["real effect"]);
+    }
+
+    #[test]
+    fn fdr_less_conservative_than_fwer() {
+        let mut reg = HypothesisRegistry::new();
+        // ten small p-values: individually strong but only a few clear the
+        // Bonferroni bar at m=100, while BH keeps them all
+        for i in 0..10 {
+            reg.register(format!("h{i}"), 0.0001 + 0.0004 * i as f64)
+                .unwrap();
+        }
+        for i in 0..90 {
+            reg.register(format!("null{i}"), 0.2 + 0.008 * i as f64)
+                .unwrap();
+        }
+        let bh = reg
+            .report(0.05, CorrectionMethod::BenjaminiHochberg)
+            .unwrap();
+        let bonf = reg.report(0.05, CorrectionMethod::Bonferroni).unwrap();
+        assert!(bh.corrected_discoveries >= bonf.corrected_discoveries);
+        assert!(bh.corrected_discoveries > 0);
+    }
+
+    #[test]
+    fn outcomes_preserve_registration_order() {
+        let mut reg = HypothesisRegistry::new();
+        reg.register("first", 0.9).unwrap();
+        reg.register("second", 0.001).unwrap();
+        let rep = reg.report(0.05, CorrectionMethod::Holm).unwrap();
+        assert_eq!(rep.outcomes[0].label, "first");
+        assert_eq!(rep.outcomes[1].label, "second");
+        assert!(!rep.outcomes[0].significant);
+        assert!(rep.outcomes[1].significant);
+    }
+
+    #[test]
+    fn validation() {
+        let mut reg = HypothesisRegistry::new();
+        assert!(reg.register("bad", 1.5).is_err());
+        assert!(reg.register("nan", f64::NAN).is_err());
+        assert!(reg.is_empty());
+        reg.register("ok", 0.5).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert!(reg.report(0.0, CorrectionMethod::Holm).is_err());
+        assert!(reg.report(1.0, CorrectionMethod::Holm).is_err());
+    }
+
+    #[test]
+    fn empty_registry_reports_error() {
+        let reg = HypothesisRegistry::new();
+        assert!(reg.report(0.05, CorrectionMethod::Holm).is_err());
+    }
+}

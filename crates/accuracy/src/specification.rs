@@ -1,0 +1,224 @@
+//! Specification-curve analysis ("garden of forking paths").
+//!
+//! The paper's deepest accuracy worry is not a single bad test but *analyst
+//! degrees of freedom*: with many defensible ways to run an analysis, a
+//! motivated analyst will find one that "works", and "the likelihood of
+//! young and ambitious 'data scientists' making false claims is high" (§2).
+//! A specification curve runs **every** defensible specification — all
+//! subsets of control variables, here — and reports the full distribution of
+//! effect estimates. A robust effect keeps its sign across the curve; a
+//! forked-path artifact flips.
+
+use fact_data::{Dataset, FactError, Matrix, Result};
+use fact_ml::linear::LinearRegression;
+
+/// One analysis specification and its estimate.
+#[derive(Debug, Clone)]
+pub struct SpecResult {
+    /// Control variables included.
+    pub controls: Vec<String>,
+    /// Estimated coefficient of the focal predictor on the outcome.
+    pub effect: f64,
+}
+
+/// The full curve.
+#[derive(Debug, Clone)]
+pub struct SpecCurve {
+    /// One result per specification, sorted by effect size.
+    pub results: Vec<SpecResult>,
+    /// Median effect across specifications.
+    pub median_effect: f64,
+    /// Fraction of specifications whose effect shares the median's sign.
+    pub sign_stability: f64,
+}
+
+impl SpecCurve {
+    /// A heuristic robustness verdict: ≥ 95% of specifications agree in sign
+    /// and the median is not ~zero.
+    pub fn is_robust(&self) -> bool {
+        self.sign_stability >= 0.95 && self.median_effect.abs() > 1e-9
+    }
+}
+
+/// Run a specification curve: regress `outcome` on `focal` with every subset
+/// of `controls` (2^k linear-probability/OLS regressions with a small ridge
+/// for stability) and collect the focal coefficient from each.
+///
+/// `controls` is capped at 12 (4096 specifications) to bound cost.
+///
+/// ```
+/// use fact_accuracy::specification::specification_curve;
+/// use fact_data::Dataset;
+/// let x: Vec<f64> = (0..100).map(|i| i as f64 / 50.0 - 1.0).collect();
+/// let c: Vec<f64> = x.iter().map(|v| v * 0.5).collect();
+/// let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 0.1).collect();
+/// let ds = Dataset::builder().f64("x", x).f64("c", c).f64("y", y).build().unwrap();
+/// let curve = specification_curve(&ds, "y", "x", &["c"]).unwrap();
+/// assert_eq!(curve.results.len(), 2); // with and without the control
+/// assert!(curve.sign_stability >= 0.95);
+/// ```
+pub fn specification_curve(
+    ds: &Dataset,
+    outcome: &str,
+    focal: &str,
+    controls: &[&str],
+) -> Result<SpecCurve> {
+    if controls.len() > 12 {
+        return Err(FactError::InvalidArgument(
+            "at most 12 control variables (4096 specifications)".into(),
+        ));
+    }
+    let y = ds.f64_column(outcome).or_else(|_| {
+        ds.bool_column(outcome)
+            .map(|b| b.iter().map(|&v| if v { 1.0 } else { 0.0 }).collect())
+    })?;
+    let focal_vals = ds.f64_column(focal)?;
+    let control_vals: Vec<Vec<f64>> = controls
+        .iter()
+        .map(|&c| ds.f64_column(c))
+        .collect::<Result<_>>()?;
+
+    let n_specs = 1usize << controls.len();
+    let mut results = Vec::with_capacity(n_specs);
+    for mask in 0..n_specs {
+        let mut cols: Vec<Vec<f64>> = vec![focal_vals.clone()];
+        let mut names = Vec::new();
+        for (i, cv) in control_vals.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                cols.push(cv.clone());
+                names.push(controls[i].to_string());
+            }
+        }
+        let x = Matrix::from_columns(&cols, y.len())?;
+        let model = LinearRegression::fit(&x, &y, 1e-6, None)?;
+        results.push(SpecResult {
+            controls: names,
+            effect: model.coefficients()[1], // [intercept, focal, ...]
+        });
+    }
+    results.sort_by(|a, b| a.effect.partial_cmp(&b.effect).unwrap_or(std::cmp::Ordering::Equal));
+    let median_effect = results[results.len() / 2].effect;
+    let sign = median_effect.signum();
+    let agree = results
+        .iter()
+        .filter(|r| r.effect.signum() == sign)
+        .count();
+    Ok(SpecCurve {
+        sign_stability: agree as f64 / results.len() as f64,
+        median_effect,
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_data::Dataset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A world with a real effect of `x` on `y`, plus correlated controls.
+    fn real_effect_world(n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x = Vec::new();
+        let mut c1 = Vec::new();
+        let mut c2 = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let xv: f64 = rng.gen_range(-1.0..1.0);
+            let c1v: f64 = 0.5 * xv + rng.gen_range(-1.0..1.0);
+            let c2v: f64 = rng.gen_range(-1.0..1.0);
+            y.push(2.0 * xv + 0.5 * c1v + rng.gen_range(-0.5..0.5));
+            x.push(xv);
+            c1.push(c1v);
+            c2.push(c2v);
+        }
+        Dataset::builder()
+            .f64("x", x)
+            .f64("c1", c1)
+            .f64("c2", c2)
+            .f64("y", y)
+            .build()
+            .unwrap()
+    }
+
+    /// A world where x has NO effect; a confounder drives both.
+    fn spurious_world(n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut x = Vec::new();
+        let mut conf = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            x.push(u + rng.gen_range(-0.2..0.2));
+            conf.push(u);
+            y.push(-u + rng.gen_range(-0.2..0.2)); // y anti-tracks u
+        }
+        Dataset::builder()
+            .f64("x", x)
+            .f64("conf", conf)
+            .f64("y", y)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn real_effect_is_sign_stable_across_specs() {
+        let ds = real_effect_world(3_000);
+        let curve = specification_curve(&ds, "y", "x", &["c1", "c2"]).unwrap();
+        assert_eq!(curve.results.len(), 4);
+        assert!(curve.is_robust(), "median {}", curve.median_effect);
+        assert!((curve.median_effect - 2.0).abs() < 0.4);
+        assert_eq!(curve.sign_stability, 1.0);
+    }
+
+    #[test]
+    fn confounded_effect_flips_when_the_confounder_enters() {
+        let ds = spurious_world(3_000);
+        let curve = specification_curve(&ds, "y", "x", &["conf"]).unwrap();
+        // without the confounder, x looks strongly negative; with it, the
+        // coefficient changes drastically (the confounder absorbs the signal)
+        let naive = curve
+            .results
+            .iter()
+            .find(|r| r.controls.is_empty())
+            .unwrap()
+            .effect;
+        let adjusted = curve
+            .results
+            .iter()
+            .find(|r| !r.controls.is_empty())
+            .unwrap()
+            .effect;
+        assert!(naive < -0.5, "naive spec sees a big effect: {naive}");
+        assert!(
+            (adjusted - naive).abs() > 0.5,
+            "controlling the confounder moves the estimate: {naive} → {adjusted}"
+        );
+    }
+
+    #[test]
+    fn boolean_outcomes_work_as_linear_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 2_000;
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<bool> = x.iter().map(|&v| v + rng.gen_range(-0.5..0.5) > 0.0).collect();
+        let ds = Dataset::builder()
+            .f64("x", x)
+            .boolean("y", y)
+            .build()
+            .unwrap();
+        let curve = specification_curve(&ds, "y", "x", &[]).unwrap();
+        assert_eq!(curve.results.len(), 1);
+        assert!(curve.median_effect > 0.3);
+    }
+
+    #[test]
+    fn validation() {
+        let ds = real_effect_world(100);
+        let many: Vec<&str> = vec!["c1"; 13];
+        assert!(specification_curve(&ds, "y", "x", &many).is_err());
+        assert!(specification_curve(&ds, "ghost", "x", &[]).is_err());
+        assert!(specification_curve(&ds, "y", "ghost", &[]).is_err());
+    }
+}

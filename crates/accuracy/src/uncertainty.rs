@@ -1,0 +1,216 @@
+//! Bootstrap prediction uncertainty.
+//!
+//! "Data science approaches should not just present results or make
+//! predictions, but also explicitly provide meta-information on the accuracy
+//! of the output" (§2). [`BootstrapEnsemble`] wraps *any* classifier trainer:
+//! it fits `B` replicas on bootstrap resamples and reports, per prediction,
+//! the ensemble mean plus a percentile interval — turning a bare score into
+//! a score with error bars.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fact_data::{FactError, Matrix, Result};
+use fact_ml::Classifier;
+use fact_stats::descriptive::quantile;
+
+/// A prediction annotated with uncertainty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainPrediction {
+    /// Ensemble-mean probability.
+    pub mean: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+    /// Ensemble standard deviation.
+    pub std: f64,
+}
+
+impl UncertainPrediction {
+    /// Interval width — the honest "how sure are we" number.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether the decision at 0.5 is stable across the whole interval.
+    pub fn decision_is_stable(&self) -> bool {
+        self.lower >= 0.5 || self.upper < 0.5
+    }
+}
+
+/// An ensemble of classifiers fit on bootstrap resamples.
+pub struct BootstrapEnsemble {
+    members: Vec<Box<dyn Classifier>>,
+    level: f64,
+}
+
+impl BootstrapEnsemble {
+    /// Fit `n_members` replicas. `trainer` receives a bootstrap-resampled
+    /// `(x, y)` and a per-member seed.
+    pub fn fit<F>(
+        x: &Matrix,
+        y: &[bool],
+        n_members: usize,
+        level: f64,
+        seed: u64,
+        trainer: F,
+    ) -> Result<Self>
+    where
+        F: Fn(&Matrix, &[bool], u64) -> Result<Box<dyn Classifier>>,
+    {
+        if x.rows() != y.len() {
+            return Err(FactError::LengthMismatch {
+                expected: x.rows(),
+                actual: y.len(),
+            });
+        }
+        if n_members < 2 {
+            return Err(FactError::InvalidArgument(
+                "ensemble needs at least 2 members".into(),
+            ));
+        }
+        if !(0.0 < level && level < 1.0) {
+            return Err(FactError::InvalidArgument(format!(
+                "level must be in (0, 1), got {level}"
+            )));
+        }
+        let n = x.rows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut members = Vec::with_capacity(n_members);
+        for m in 0..n_members {
+            let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            let mut xb = Matrix::zeros(n, x.cols());
+            let mut yb = Vec::with_capacity(n);
+            for (r, &i) in idx.iter().enumerate() {
+                for j in 0..x.cols() {
+                    xb.set(r, j, x.get(i, j));
+                }
+                yb.push(y[i]);
+            }
+            members.push(trainer(&xb, &yb, seed.wrapping_add(m as u64 + 1))?);
+        }
+        Ok(BootstrapEnsemble { members, level })
+    }
+
+    /// Number of ensemble members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble is empty (never true after a successful fit).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Predict with uncertainty for each row of `x`.
+    pub fn predict_with_uncertainty(&self, x: &Matrix) -> Result<Vec<UncertainPrediction>> {
+        let mut all: Vec<Vec<f64>> = Vec::with_capacity(self.members.len());
+        for m in &self.members {
+            all.push(m.predict_proba(x)?);
+        }
+        let alpha = (1.0 - self.level) / 2.0;
+        let b = self.members.len() as f64;
+        let mut out = Vec::with_capacity(x.rows());
+        let mut column = vec![0.0; self.members.len()];
+        for i in 0..x.rows() {
+            for (k, preds) in all.iter().enumerate() {
+                column[k] = preds[i];
+            }
+            let mean = column.iter().sum::<f64>() / b;
+            let var = column.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / (b - 1.0);
+            out.push(UncertainPrediction {
+                mean,
+                lower: quantile(&column, alpha)?,
+                upper: quantile(&column, 1.0 - alpha)?,
+                std: var.sqrt(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_ml::logistic::{LogisticConfig, LogisticRegression};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn world(n: usize, seed: u64) -> (Matrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(-2.0..2.0);
+            let b: f64 = rng.gen_range(-2.0..2.0);
+            rows.push(vec![a, b]);
+            // noisy boundary
+            y.push(a + b + rng.gen_range(-0.8..0.8) > 0.0);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    fn trainer(x: &Matrix, y: &[bool], seed: u64) -> Result<Box<dyn Classifier>> {
+        let cfg = LogisticConfig {
+            seed,
+            epochs: 25,
+            ..LogisticConfig::default()
+        };
+        Ok(Box::new(LogisticRegression::fit(x, y, None, &cfg)?))
+    }
+
+    #[test]
+    fn intervals_contain_the_mean() {
+        let (x, y) = world(600, 1);
+        let ens = BootstrapEnsemble::fit(&x, &y, 15, 0.9, 7, trainer).unwrap();
+        assert_eq!(ens.len(), 15);
+        for p in ens.predict_with_uncertainty(&x.clone()).unwrap() {
+            assert!(p.lower <= p.mean + 1e-9 && p.mean <= p.upper + 1e-9);
+            assert!(p.width() >= 0.0);
+            assert!((0.0..=1.0).contains(&p.mean));
+        }
+    }
+
+    #[test]
+    fn uncertainty_larger_near_the_boundary() {
+        let (x, y) = world(800, 2);
+        let ens = BootstrapEnsemble::fit(&x, &y, 20, 0.9, 3, trainer).unwrap();
+        // boundary point vs deep-in-class point
+        let probe = Matrix::from_rows(&[vec![0.0, 0.0], vec![2.0, 2.0]]).unwrap();
+        let preds = ens.predict_with_uncertainty(&probe).unwrap();
+        assert!(
+            preds[0].std > preds[1].std,
+            "boundary std {} > interior std {}",
+            preds[0].std,
+            preds[1].std
+        );
+        assert!(preds[1].decision_is_stable());
+    }
+
+    #[test]
+    fn more_data_tightens_intervals() {
+        let (x_small, y_small) = world(100, 4);
+        let (x_big, y_big) = world(5000, 4);
+        let probe = Matrix::from_rows(&[vec![0.5, 0.5]]).unwrap();
+        let w_small = BootstrapEnsemble::fit(&x_small, &y_small, 20, 0.9, 5, trainer)
+            .unwrap()
+            .predict_with_uncertainty(&probe)
+            .unwrap()[0]
+            .width();
+        let w_big = BootstrapEnsemble::fit(&x_big, &y_big, 20, 0.9, 5, trainer)
+            .unwrap()
+            .predict_with_uncertainty(&probe)
+            .unwrap()[0]
+            .width();
+        assert!(w_big < w_small, "big-data width {w_big} < small-data width {w_small}");
+    }
+
+    #[test]
+    fn validation() {
+        let (x, y) = world(50, 6);
+        assert!(BootstrapEnsemble::fit(&x, &y, 1, 0.9, 0, trainer).is_err());
+        assert!(BootstrapEnsemble::fit(&x, &y, 5, 1.0, 0, trainer).is_err());
+        assert!(BootstrapEnsemble::fit(&x, &y[..10], 5, 0.9, 0, trainer).is_err());
+    }
+}

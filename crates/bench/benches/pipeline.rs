@@ -1,0 +1,60 @@
+//! Criterion benchmark for the end-to-end guarded pipeline (E10 kernel):
+//! the full cost of being responsible — load + guards + train + audits +
+//! DP release + certification — on a 4k-row world.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fact_core::{FactPolicy, GuardedPipeline};
+use fact_data::synth::loans::{generate_loans, LoanConfig, LEGIT_FEATURES};
+use fact_data::{Dataset, Matrix, Result};
+use fact_ml::logistic::{LogisticConfig, LogisticRegression};
+use fact_ml::Classifier;
+
+fn trainer(x: &Matrix, y: &[bool], _d: &Dataset, seed: u64) -> Result<Box<dyn Classifier>> {
+    let cfg = LogisticConfig {
+        seed,
+        epochs: 20,
+        ..LogisticConfig::default()
+    };
+    Ok(Box::new(LogisticRegression::fit(x, y, None, &cfg)?))
+}
+
+fn policy() -> FactPolicy {
+    let mut p = FactPolicy::strict("group", "B");
+    if let Some(a) = p.accuracy.as_mut() {
+        a.min_accuracy = 0.6;
+    }
+    p
+}
+
+fn full_run(world: &Dataset) -> bool {
+    let mut p = GuardedPipeline::new(policy()).unwrap();
+    p.load_data("loans", "bench", world.clone()).unwrap();
+    p.train("m", "bench", &LEGIT_FEATURES, "approved", 1, trainer)
+        .unwrap();
+    p.audit_fairness().unwrap();
+    if let Some(c) = p.model_card_mut() {
+        c.intended_use = "bench".into();
+    }
+    p.audit_transparency().unwrap();
+    p.release_mean("income", 0.0, 250.0, 0.2, 1).unwrap();
+    p.certify().is_green()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let world = generate_loans(&LoanConfig {
+        n: 4_000,
+        seed: 11,
+        ..LoanConfig::default()
+    });
+    let mut g = c.benchmark_group("e10_pipeline");
+    g.sample_size(10);
+    g.bench_function("guarded_pipeline_4k_end_to_end", |b| {
+        b.iter(|| black_box(full_run(&world)))
+    });
+    g.finish();
+}
+
+criterion_group!(pipeline, bench_pipeline);
+criterion_main!(pipeline);

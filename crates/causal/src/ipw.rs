@@ -1,0 +1,114 @@
+//! Inverse-probability weighting (Horvitz–Thompson / Hájek).
+//!
+//! Reweights each unit by the inverse of its probability of receiving the
+//! arm it actually received, creating a pseudo-population in which treatment
+//! is independent of the measured covariates. Propensities are trimmed away
+//! from 0 and 1 to control variance (standard practice; the trim level is a
+//! parameter so experiment E8 can show its effect).
+
+use fact_data::{FactError, Matrix, Result};
+
+use crate::propensity::estimate_propensity;
+use crate::{check_inputs, outcome_f64};
+
+/// Hájek (self-normalized) IPW estimate of the ATE. Propensities are clamped
+/// to `[trim, 1 − trim]`.
+pub fn ipw_ate(
+    x: &Matrix,
+    treated: &[bool],
+    outcome: &[bool],
+    trim: f64,
+    seed: u64,
+) -> Result<f64> {
+    check_inputs(x.rows(), treated, outcome)?;
+    if !(0.0..0.5).contains(&trim) {
+        return Err(FactError::InvalidArgument(format!(
+            "trim must be in [0, 0.5), got {trim}"
+        )));
+    }
+    let ps = estimate_propensity(x, treated, seed)?;
+    let y = outcome_f64(outcome);
+    let mut num = [0.0f64; 2];
+    let mut den = [0.0f64; 2];
+    for ((&t, &e), &yy) in treated.iter().zip(&ps).zip(&y) {
+        let e = e.clamp(trim.max(1e-6), 1.0 - trim.max(1e-6));
+        let g = usize::from(t);
+        let w = if t { 1.0 / e } else { 1.0 / (1.0 - e) };
+        num[g] += w * yy;
+        den[g] += w;
+    }
+    if den[0] <= 0.0 || den[1] <= 0.0 {
+        return Err(FactError::Numeric("degenerate IPW weights".into()));
+    }
+    Ok(num[1] / den[1] - num[0] / den[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_data::synth::clinical::{
+        generate_clinical, ClinicalConfig, CLINICAL_COVARIATES,
+    };
+
+    fn world(confounding: f64, unobserved: f64, seed: u64) -> (Matrix, Vec<bool>, Vec<bool>, f64) {
+        let w = generate_clinical(&ClinicalConfig {
+            n: 20_000,
+            seed,
+            confounding,
+            unobserved_confounding: unobserved,
+            ..ClinicalConfig::default()
+        });
+        (
+            w.data.to_matrix(&CLINICAL_COVARIATES).unwrap(),
+            w.data.bool_column("treated").unwrap().to_vec(),
+            w.data.bool_column("recovered").unwrap().to_vec(),
+            w.true_ate,
+        )
+    }
+
+    #[test]
+    fn ipw_corrects_observed_confounding() {
+        let (x, t, y, true_ate) = world(1.5, 0.0, 1);
+        let naive = crate::naive::naive_difference(&t, &y).unwrap();
+        let ipw = ipw_ate(&x, &t, &y, 0.01, 0).unwrap();
+        assert!((ipw - true_ate).abs() < (naive - true_ate).abs());
+        assert!((ipw - true_ate).abs() < 0.06, "IPW {ipw:.3} vs {true_ate:.3}");
+    }
+
+    #[test]
+    fn ipw_matches_naive_in_an_rct() {
+        let (x, t, y, _) = world(0.0, 0.0, 2);
+        let naive = crate::naive::naive_difference(&t, &y).unwrap();
+        let ipw = ipw_ate(&x, &t, &y, 0.01, 0).unwrap();
+        assert!((ipw - naive).abs() < 0.02);
+    }
+
+    #[test]
+    fn unobserved_confounding_defeats_ipw() {
+        let (x, t, y, true_ate) = world(0.6, 1.5, 3);
+        let ipw = ipw_ate(&x, &t, &y, 0.01, 0).unwrap();
+        assert!(
+            (ipw - true_ate).abs() > 0.05,
+            "hidden confounder leaves IPW biased: {ipw:.3} vs {true_ate:.3}"
+        );
+    }
+
+    #[test]
+    fn heavy_trim_biases_toward_naive() {
+        let (x, t, y, true_ate) = world(1.8, 0.0, 4);
+        let light = ipw_ate(&x, &t, &y, 0.01, 0).unwrap();
+        let heavy = ipw_ate(&x, &t, &y, 0.45, 0).unwrap();
+        // trimming to nearly 0.5 wipes the weights back toward naive
+        let naive = crate::naive::naive_difference(&t, &y).unwrap();
+        assert!((heavy - naive).abs() < (light - naive).abs() + 0.02);
+        assert!((light - true_ate).abs() <= (heavy - true_ate).abs() + 0.02);
+    }
+
+    #[test]
+    fn validation() {
+        let (x, t, y, _) = world(1.0, 0.0, 5);
+        assert!(ipw_ate(&x, &t, &y, 0.5, 0).is_err());
+        assert!(ipw_ate(&x, &t, &y, -0.1, 0).is_err());
+        assert!(ipw_ate(&x, &vec![false; t.len()], &y, 0.01, 0).is_err());
+    }
+}

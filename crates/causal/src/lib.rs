@@ -1,0 +1,65 @@
+//! # fact-causal — causal-inference substrate
+//!
+//! The paper (§2): "In most situations, causal inference is the goal of data
+//! analysis in business, but often enough correlation is confused with
+//! causality. … Propensity score matching or inverse probability-weighted
+//! regression adjustment are just two approaches developed to combat the
+//! selection bias in observational data. While these techniques address the
+//! selection bias, their outcomes might still be far away from the results
+//! one would obtain with a randomized controlled trial, as was recently
+//! illustrated by Gordon et al. (2016)."
+//!
+//! This crate implements the estimators that sentence names, so experiment
+//! E8 can reproduce the phenomenon quantitatively against the
+//! known-ground-truth world of `fact_data::synth::clinical`:
+//!
+//! * [`naive`] — raw difference in means (the "correlation" answer; unbiased
+//!   only in an RCT);
+//! * [`propensity`] — propensity-score estimation, nearest-neighbour
+//!   matching, and stratification;
+//! * [`ipw`] — inverse-probability weighting (Hájek-normalized, trimmed);
+//! * [`regression`] — outcome-regression adjustment and the doubly-robust
+//!   AIPW combination;
+//! * [`sensitivity`] — bootstrap ATE intervals and E-value sensitivity to
+//!   unmeasured confounding.
+//!
+//! All estimators return an ATE estimate on the recovery-probability scale.
+
+#![warn(missing_docs)]
+
+pub mod ipw;
+pub mod naive;
+pub mod propensity;
+pub mod regression;
+pub mod sensitivity;
+
+use fact_data::{FactError, Result};
+
+pub(crate) fn check_inputs(n: usize, treated: &[bool], outcome: &[bool]) -> Result<()> {
+    if treated.len() != n {
+        return Err(FactError::LengthMismatch {
+            expected: n,
+            actual: treated.len(),
+        });
+    }
+    if outcome.len() != n {
+        return Err(FactError::LengthMismatch {
+            expected: n,
+            actual: outcome.len(),
+        });
+    }
+    if n == 0 {
+        return Err(FactError::EmptyData("causal estimate on empty data".into()));
+    }
+    let n_t = treated.iter().filter(|&&t| t).count();
+    if n_t == 0 || n_t == n {
+        return Err(FactError::InvalidArgument(
+            "both treated and control units are required".into(),
+        ));
+    }
+    Ok(())
+}
+
+pub(crate) fn outcome_f64(outcome: &[bool]) -> Vec<f64> {
+    outcome.iter().map(|&o| if o { 1.0 } else { 0.0 }).collect()
+}

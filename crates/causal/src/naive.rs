@@ -1,0 +1,81 @@
+//! The naive estimator: difference in observed means.
+//!
+//! This is "correlation confused with causality" (§2) made explicit: it is
+//! the gold standard *only* when treatment was randomized, and arbitrarily
+//! biased otherwise. Experiment E8 uses it both ways — as the RCT reference
+//! and as the cautionary baseline.
+
+use fact_data::Result;
+
+use crate::check_inputs;
+
+/// `mean(outcome | treated) − mean(outcome | control)`.
+pub fn naive_difference(treated: &[bool], outcome: &[bool]) -> Result<f64> {
+    check_inputs(treated.len(), treated, outcome)?;
+    let mut sum = [0.0f64; 2];
+    let mut n = [0usize; 2];
+    for (&t, &y) in treated.iter().zip(outcome) {
+        let g = usize::from(t);
+        n[g] += 1;
+        if y {
+            sum[g] += 1.0;
+        }
+    }
+    Ok(sum[1] / n[1] as f64 - sum[0] / n[0] as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_data::synth::clinical::{generate_clinical, ClinicalConfig};
+
+    #[test]
+    fn exact_on_a_toy_table() {
+        let treated = [true, true, false, false];
+        let outcome = [true, false, false, false];
+        assert!((naive_difference(&treated, &outcome).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbiased_under_randomization() {
+        let w = generate_clinical(&ClinicalConfig {
+            n: 60_000,
+            seed: 1,
+            confounding: 0.0,
+            ..ClinicalConfig::default()
+        });
+        let est = naive_difference(
+            w.data.bool_column("treated").unwrap(),
+            w.data.bool_column("recovered").unwrap(),
+        )
+        .unwrap();
+        assert!((est - w.true_ate).abs() < 0.02, "RCT: {est} vs {}", w.true_ate);
+    }
+
+    #[test]
+    fn biased_under_confounding() {
+        let w = generate_clinical(&ClinicalConfig {
+            n: 60_000,
+            seed: 2,
+            confounding: 1.5,
+            ..ClinicalConfig::default()
+        });
+        let est = naive_difference(
+            w.data.bool_column("treated").unwrap(),
+            w.data.bool_column("recovered").unwrap(),
+        )
+        .unwrap();
+        assert!(
+            (est - w.true_ate).abs() > 0.08,
+            "confounded naive must be far off: {est} vs {}",
+            w.true_ate
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(naive_difference(&[true, true], &[true, false]).is_err());
+        assert!(naive_difference(&[], &[]).is_err());
+        assert!(naive_difference(&[true], &[true, false]).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Propensity scores: estimation, matching, and stratification.
+//!
+//! The propensity score `e(x) = P(treated | x)` is estimated with the
+//! from-scratch logistic regression in `fact-ml`. Matching pairs each unit
+//! with its nearest propensity neighbour in the opposite arm (within an
+//! optional caliper); stratification averages arm differences within
+//! propensity quantile bins.
+
+use fact_data::{FactError, Matrix, Result};
+use fact_ml::logistic::{LogisticConfig, LogisticRegression};
+use fact_ml::Classifier;
+
+use crate::{check_inputs, outcome_f64};
+
+/// Estimate propensity scores by logistic regression of treatment on
+/// covariates.
+pub fn estimate_propensity(x: &Matrix, treated: &[bool], seed: u64) -> Result<Vec<f64>> {
+    if x.rows() != treated.len() {
+        return Err(FactError::LengthMismatch {
+            expected: x.rows(),
+            actual: treated.len(),
+        });
+    }
+    let cfg = LogisticConfig {
+        seed,
+        ..LogisticConfig::default()
+    };
+    let model = LogisticRegression::fit(x, treated, None, &cfg)?;
+    model.predict_proba(x)
+}
+
+/// ATE by bidirectional 1-nearest-neighbour propensity matching.
+///
+/// Every unit is matched to the nearest opposite-arm unit on the propensity
+/// score; `caliper` (if finite) drops matches farther than that distance.
+/// The estimate is the mean of `y(treated side) − y(control side)` over all
+/// retained matches.
+pub fn psm_ate(
+    x: &Matrix,
+    treated: &[bool],
+    outcome: &[bool],
+    caliper: f64,
+    seed: u64,
+) -> Result<f64> {
+    check_inputs(x.rows(), treated, outcome)?;
+    if caliper <= 0.0 {
+        return Err(FactError::InvalidArgument(
+            "caliper must be positive (use f64::INFINITY for none)".into(),
+        ));
+    }
+    let ps = estimate_propensity(x, treated, seed)?;
+    let y = outcome_f64(outcome);
+
+    // index propensities per arm, sorted for binary-search matching
+    let mut arm: [Vec<(f64, usize)>; 2] = [Vec::new(), Vec::new()];
+    for (i, &t) in treated.iter().enumerate() {
+        arm[usize::from(t)].push((ps[i], i));
+    }
+    for a in arm.iter_mut() {
+        a.sort_by(|p, q| p.0.partial_cmp(&q.0).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    let nearest = |pool: &[(f64, usize)], p: f64| -> (f64, usize) {
+        let pos = pool.partition_point(|&(v, _)| v < p);
+        let mut best = (f64::INFINITY, 0usize);
+        for cand in [pos.wrapping_sub(1), pos] {
+            if let Some(&(v, idx)) = pool.get(cand) {
+                let d = (v - p).abs();
+                if d < best.0 {
+                    best = (d, idx);
+                }
+            }
+        }
+        best
+    };
+
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (i, &t) in treated.iter().enumerate() {
+        let opposite = &arm[usize::from(!t)];
+        let (dist, j) = nearest(opposite, ps[i]);
+        if dist <= caliper {
+            let diff = if t { y[i] - y[j] } else { y[j] - y[i] };
+            total += diff;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return Err(FactError::Numeric(
+            "no matches within the caliper; widen it".into(),
+        ));
+    }
+    Ok(total / count as f64)
+}
+
+/// ATE by propensity stratification into `n_strata` quantile bins: the
+/// within-stratum arm differences are averaged with stratum-size weights.
+/// Strata missing one arm are skipped (their weight is dropped).
+pub fn stratified_ate(
+    x: &Matrix,
+    treated: &[bool],
+    outcome: &[bool],
+    n_strata: usize,
+    seed: u64,
+) -> Result<f64> {
+    check_inputs(x.rows(), treated, outcome)?;
+    if n_strata < 2 {
+        return Err(FactError::InvalidArgument(
+            "stratification needs at least 2 strata".into(),
+        ));
+    }
+    let ps = estimate_propensity(x, treated, seed)?;
+    let y = outcome_f64(outcome);
+    // quantile edges
+    let mut sorted = ps.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let stratum_of = |p: f64| -> usize {
+        let rank = sorted.partition_point(|&v| v < p);
+        (rank * n_strata / sorted.len().max(1)).min(n_strata - 1)
+    };
+    let mut sums = vec![[0.0f64; 2]; n_strata];
+    let mut counts = vec![[0usize; 2]; n_strata];
+    for (i, &t) in treated.iter().enumerate() {
+        let s = stratum_of(ps[i]);
+        let g = usize::from(t);
+        sums[s][g] += y[i];
+        counts[s][g] += 1;
+    }
+    let mut weighted = 0.0;
+    let mut weight = 0.0;
+    for s in 0..n_strata {
+        if counts[s][0] > 0 && counts[s][1] > 0 {
+            let diff =
+                sums[s][1] / counts[s][1] as f64 - sums[s][0] / counts[s][0] as f64;
+            let w = (counts[s][0] + counts[s][1]) as f64;
+            weighted += diff * w;
+            weight += w;
+        }
+    }
+    if weight == 0.0 {
+        return Err(FactError::Numeric(
+            "no stratum contains both arms; reduce n_strata".into(),
+        ));
+    }
+    Ok(weighted / weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_data::synth::clinical::{
+        generate_clinical, ClinicalConfig, CLINICAL_COVARIATES,
+    };
+
+    fn world(confounding: f64, unobserved: f64, seed: u64) -> (Matrix, Vec<bool>, Vec<bool>, f64) {
+        let w = generate_clinical(&ClinicalConfig {
+            n: 20_000,
+            seed,
+            confounding,
+            unobserved_confounding: unobserved,
+            ..ClinicalConfig::default()
+        });
+        let x = w.data.to_matrix(&CLINICAL_COVARIATES).unwrap();
+        let t = w.data.bool_column("treated").unwrap().to_vec();
+        let y = w.data.bool_column("recovered").unwrap().to_vec();
+        (x, t, y, w.true_ate)
+    }
+
+    #[test]
+    fn propensity_scores_track_assignment() {
+        let (x, t, _, _) = world(1.5, 0.0, 1);
+        let ps = estimate_propensity(&x, &t, 0).unwrap();
+        assert!(ps.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let mean = |want: bool| {
+            let v: Vec<f64> = ps
+                .iter()
+                .zip(&t)
+                .filter(|(_, &tt)| tt == want)
+                .map(|(&p, _)| p)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(true) > mean(false) + 0.1, "treated have higher e(x)");
+    }
+
+    #[test]
+    fn psm_corrects_observed_confounding() {
+        let (x, t, y, true_ate) = world(1.5, 0.0, 2);
+        let naive = crate::naive::naive_difference(&t, &y).unwrap();
+        let psm = psm_ate(&x, &t, &y, f64::INFINITY, 0).unwrap();
+        assert!(
+            (psm - true_ate).abs() < (naive - true_ate).abs(),
+            "PSM {psm:.3} closer to truth {true_ate:.3} than naive {naive:.3}"
+        );
+        assert!((psm - true_ate).abs() < 0.06, "PSM {psm:.3} vs {true_ate:.3}");
+    }
+
+    #[test]
+    fn stratification_corrects_observed_confounding() {
+        let (x, t, y, true_ate) = world(1.5, 0.0, 3);
+        let strat = stratified_ate(&x, &t, &y, 5, 0).unwrap();
+        assert!(
+            (strat - true_ate).abs() < 0.06,
+            "stratified {strat:.3} vs {true_ate:.3}"
+        );
+    }
+
+    #[test]
+    fn unobserved_confounding_defeats_psm() {
+        // the Gordon et al. (2016) phenomenon the paper cites
+        let (x, t, y, true_ate) = world(0.6, 1.5, 4);
+        let psm = psm_ate(&x, &t, &y, f64::INFINITY, 0).unwrap();
+        assert!(
+            (psm - true_ate).abs() > 0.05,
+            "hidden confounder leaves PSM biased: {psm:.3} vs {true_ate:.3}"
+        );
+    }
+
+    #[test]
+    fn tight_caliper_can_exclude_everything() {
+        let (x, t, y, _) = world(1.0, 0.0, 5);
+        assert!(matches!(
+            psm_ate(&x, &t, &y, 1e-15, 0),
+            Err(FactError::Numeric(_)) | Ok(_)
+        ));
+        assert!(psm_ate(&x, &t, &y, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        let (x, t, y, _) = world(1.0, 0.0, 6);
+        assert!(stratified_ate(&x, &t, &y, 1, 0).is_err());
+        assert!(estimate_propensity(&x, &t[..10], 0).is_err());
+        assert!(psm_ate(&x, &vec![true; t.len()], &y, 1.0, 0).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Outcome-regression adjustment and doubly-robust AIPW.
+//!
+//! *Regression adjustment* fits an outcome model `P(y | x, t)` (logistic on
+//! covariates + treatment indicator) and averages the model's predicted
+//! treated-vs-control contrast over the sample — the "regression adjustment"
+//! the paper pairs with inverse probability weighting (§2).
+//!
+//! *AIPW* (augmented IPW) combines the outcome model with propensity
+//! weights; it is consistent when **either** model is right ("doubly
+//! robust"), which experiment E8 demonstrates.
+
+use fact_data::{FactError, Matrix, Result};
+use fact_ml::logistic::{LogisticConfig, LogisticRegression};
+use fact_ml::Classifier;
+
+use crate::propensity::estimate_propensity;
+use crate::{check_inputs, outcome_f64};
+
+#[allow(clippy::needless_range_loop)]
+fn with_treatment(x: &Matrix, value: f64) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), x.cols() + 1);
+    for i in 0..x.rows() {
+        for j in 0..x.cols() {
+            out.set(i, j, x.get(i, j));
+        }
+        out.set(i, x.cols(), value);
+    }
+    out
+}
+
+#[allow(clippy::needless_range_loop)]
+fn fit_outcome_model(
+    x: &Matrix,
+    treated: &[bool],
+    outcome: &[bool],
+    seed: u64,
+) -> Result<(Vec<f64>, Vec<f64>)> {
+    // design matrix [x | t]
+    let mut design = Matrix::zeros(x.rows(), x.cols() + 1);
+    for i in 0..x.rows() {
+        for j in 0..x.cols() {
+            design.set(i, j, x.get(i, j));
+        }
+        design.set(i, x.cols(), if treated[i] { 1.0 } else { 0.0 });
+    }
+    let cfg = LogisticConfig {
+        seed,
+        ..LogisticConfig::default()
+    };
+    let model = LogisticRegression::fit(&design, outcome, None, &cfg)?;
+    let mu1 = model.predict_proba(&with_treatment(x, 1.0))?;
+    let mu0 = model.predict_proba(&with_treatment(x, 0.0))?;
+    Ok((mu0, mu1))
+}
+
+/// ATE by outcome-regression adjustment (g-computation with a logistic
+/// outcome model).
+pub fn regression_ate(x: &Matrix, treated: &[bool], outcome: &[bool], seed: u64) -> Result<f64> {
+    check_inputs(x.rows(), treated, outcome)?;
+    let (mu0, mu1) = fit_outcome_model(x, treated, outcome, seed)?;
+    let n = x.rows() as f64;
+    Ok(mu1
+        .iter()
+        .zip(&mu0)
+        .map(|(a, b)| a - b)
+        .sum::<f64>()
+        / n)
+}
+
+/// Doubly-robust AIPW estimate of the ATE. Propensities clamped to
+/// `[trim, 1 − trim]`.
+pub fn aipw_ate(
+    x: &Matrix,
+    treated: &[bool],
+    outcome: &[bool],
+    trim: f64,
+    seed: u64,
+) -> Result<f64> {
+    check_inputs(x.rows(), treated, outcome)?;
+    if !(0.0..0.5).contains(&trim) {
+        return Err(FactError::InvalidArgument(format!(
+            "trim must be in [0, 0.5), got {trim}"
+        )));
+    }
+    let (mu0, mu1) = fit_outcome_model(x, treated, outcome, seed)?;
+    let ps = estimate_propensity(x, treated, seed.wrapping_add(1))?;
+    let y = outcome_f64(outcome);
+    let n = x.rows() as f64;
+    let mut total = 0.0;
+    for i in 0..x.rows() {
+        let e = ps[i].clamp(trim.max(1e-6), 1.0 - trim.max(1e-6));
+        let t = if treated[i] { 1.0 } else { 0.0 };
+        let part1 = mu1[i] + t * (y[i] - mu1[i]) / e;
+        let part0 = mu0[i] + (1.0 - t) * (y[i] - mu0[i]) / (1.0 - e);
+        total += part1 - part0;
+    }
+    Ok(total / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_data::synth::clinical::{
+        generate_clinical, ClinicalConfig, CLINICAL_COVARIATES,
+    };
+
+    fn world(confounding: f64, unobserved: f64, seed: u64) -> (Matrix, Vec<bool>, Vec<bool>, f64) {
+        let w = generate_clinical(&ClinicalConfig {
+            n: 20_000,
+            seed,
+            confounding,
+            unobserved_confounding: unobserved,
+            ..ClinicalConfig::default()
+        });
+        (
+            w.data.to_matrix(&CLINICAL_COVARIATES).unwrap(),
+            w.data.bool_column("treated").unwrap().to_vec(),
+            w.data.bool_column("recovered").unwrap().to_vec(),
+            w.true_ate,
+        )
+    }
+
+    #[test]
+    fn regression_adjustment_corrects_confounding() {
+        let (x, t, y, true_ate) = world(1.5, 0.0, 1);
+        let naive = crate::naive::naive_difference(&t, &y).unwrap();
+        let reg = regression_ate(&x, &t, &y, 0).unwrap();
+        assert!((reg - true_ate).abs() < (naive - true_ate).abs());
+        assert!((reg - true_ate).abs() < 0.05, "reg {reg:.3} vs {true_ate:.3}");
+    }
+
+    #[test]
+    fn aipw_corrects_confounding() {
+        let (x, t, y, true_ate) = world(1.5, 0.0, 2);
+        let aipw = aipw_ate(&x, &t, &y, 0.01, 0).unwrap();
+        assert!(
+            (aipw - true_ate).abs() < 0.05,
+            "AIPW {aipw:.3} vs {true_ate:.3}"
+        );
+    }
+
+    #[test]
+    fn all_observational_estimators_fail_with_hidden_confounder() {
+        let (x, t, y, true_ate) = world(0.6, 1.5, 3);
+        for est in [
+            regression_ate(&x, &t, &y, 0).unwrap(),
+            aipw_ate(&x, &t, &y, 0.01, 0).unwrap(),
+        ] {
+            assert!(
+                (est - true_ate).abs() > 0.04,
+                "hidden confounder: {est:.3} vs {true_ate:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimators_agree_in_an_rct() {
+        let (x, t, y, true_ate) = world(0.0, 0.0, 4);
+        let reg = regression_ate(&x, &t, &y, 0).unwrap();
+        let aipw = aipw_ate(&x, &t, &y, 0.01, 0).unwrap();
+        assert!((reg - true_ate).abs() < 0.03);
+        assert!((aipw - true_ate).abs() < 0.03);
+    }
+
+    #[test]
+    fn validation() {
+        let (x, t, y, _) = world(1.0, 0.0, 5);
+        assert!(aipw_ate(&x, &t, &y, 0.6, 0).is_err());
+        assert!(regression_ate(&x, &t[..5], &y, 0).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Uncertainty and sensitivity for causal estimates.
+//!
+//! The paper's accuracy pillar applies to causal numbers too: an ATE without
+//! an interval is guesswork, and (per E8) an observational ATE without a
+//! *sensitivity* statement is worse — it may be an artifact of an unobserved
+//! confounder. This module provides:
+//!
+//! * [`bootstrap_ate_ci`] — a percentile bootstrap CI around any ATE
+//!   estimator;
+//! * [`e_value`] — VanderWeele & Ding's E-value: the minimum strength of
+//!   unmeasured confounding (on the risk-ratio scale) that could fully
+//!   explain away an observed risk ratio.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fact_data::{FactError, Matrix, Result};
+use fact_stats::descriptive::quantile;
+
+/// Percentile bootstrap confidence interval for an ATE estimator.
+///
+/// `estimator` receives resampled `(x, treated, outcome)` and returns an ATE
+/// estimate; resamples where the estimator fails (e.g. a degenerate arm) are
+/// skipped, and an error is returned if fewer than half succeed.
+pub fn bootstrap_ate_ci<F>(
+    x: &Matrix,
+    treated: &[bool],
+    outcome: &[bool],
+    n_boot: usize,
+    level: f64,
+    seed: u64,
+    estimator: F,
+) -> Result<(f64, f64, f64)>
+where
+    F: Fn(&Matrix, &[bool], &[bool]) -> Result<f64>,
+{
+    if !(0.0 < level && level < 1.0) {
+        return Err(FactError::InvalidArgument(format!(
+            "level must be in (0, 1), got {level}"
+        )));
+    }
+    if n_boot < 20 {
+        return Err(FactError::InvalidArgument(
+            "bootstrap needs at least 20 replicates".into(),
+        ));
+    }
+    let point = estimator(x, treated, outcome)?;
+    let n = x.rows();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reps = Vec::with_capacity(n_boot);
+    for _ in 0..n_boot {
+        let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        let mut xb = Matrix::zeros(n, x.cols());
+        let mut tb = Vec::with_capacity(n);
+        let mut yb = Vec::with_capacity(n);
+        for (r, &i) in idx.iter().enumerate() {
+            for j in 0..x.cols() {
+                xb.set(r, j, x.get(i, j));
+            }
+            tb.push(treated[i]);
+            yb.push(outcome[i]);
+        }
+        if let Ok(est) = estimator(&xb, &tb, &yb) {
+            reps.push(est);
+        }
+    }
+    if reps.len() < n_boot / 2 {
+        return Err(FactError::Numeric(format!(
+            "estimator failed on {} of {n_boot} bootstrap resamples",
+            n_boot - reps.len()
+        )));
+    }
+    let alpha = (1.0 - level) / 2.0;
+    Ok((
+        point,
+        quantile(&reps, alpha)?,
+        quantile(&reps, 1.0 - alpha)?,
+    ))
+}
+
+/// The E-value for an observed risk ratio (VanderWeele & Ding 2017):
+/// `RR + sqrt(RR · (RR − 1))` for `RR ≥ 1` (the reciprocal is used for
+/// protective ratios). An unmeasured confounder would need association at
+/// least this strong with *both* treatment and outcome to nullify the
+/// estimate.
+pub fn e_value(risk_ratio: f64) -> Result<f64> {
+    if risk_ratio <= 0.0 || !risk_ratio.is_finite() {
+        return Err(FactError::InvalidArgument(format!(
+            "risk ratio must be positive and finite, got {risk_ratio}"
+        )));
+    }
+    let rr = if risk_ratio >= 1.0 {
+        risk_ratio
+    } else {
+        1.0 / risk_ratio
+    };
+    Ok(rr + (rr * (rr - 1.0)).sqrt())
+}
+
+/// Risk ratio of outcome between treated and control arms (for feeding
+/// [`e_value`]).
+pub fn observed_risk_ratio(treated: &[bool], outcome: &[bool]) -> Result<f64> {
+    crate::check_inputs(treated.len(), treated, outcome)?;
+    let mut pos = [0usize; 2];
+    let mut n = [0usize; 2];
+    for (&t, &y) in treated.iter().zip(outcome) {
+        let g = usize::from(t);
+        n[g] += 1;
+        if y {
+            pos[g] += 1;
+        }
+    }
+    let r0 = pos[0] as f64 / n[0] as f64;
+    let r1 = pos[1] as f64 / n[1] as f64;
+    if r0 == 0.0 {
+        return Err(FactError::Numeric(
+            "control risk is zero; risk ratio undefined".into(),
+        ));
+    }
+    Ok(r1 / r0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipw::ipw_ate;
+    use crate::naive::naive_difference;
+    use fact_data::synth::clinical::{
+        generate_clinical, ClinicalConfig, CLINICAL_COVARIATES,
+    };
+
+    fn world(n: usize, confounding: f64) -> (Matrix, Vec<bool>, Vec<bool>, f64) {
+        let w = generate_clinical(&ClinicalConfig {
+            n,
+            seed: 5,
+            confounding,
+            ..ClinicalConfig::default()
+        });
+        (
+            w.data.to_matrix(&CLINICAL_COVARIATES).unwrap(),
+            w.data.bool_column("treated").unwrap().to_vec(),
+            w.data.bool_column("recovered").unwrap().to_vec(),
+            w.true_ate,
+        )
+    }
+
+    #[test]
+    fn bootstrap_ci_covers_truth_in_rct() {
+        let (x, t, y, true_ate) = world(6_000, 0.0);
+        let (point, lo, hi) = bootstrap_ate_ci(&x, &t, &y, 60, 0.95, 1, |_, tb, yb| {
+            naive_difference(tb, yb)
+        })
+        .unwrap();
+        assert!(lo <= point && point <= hi);
+        assert!(
+            lo <= true_ate && true_ate <= hi,
+            "CI [{lo:.3}, {hi:.3}] should cover {true_ate:.3}"
+        );
+        assert!(hi - lo < 0.1, "width {:.3}", hi - lo);
+    }
+
+    #[test]
+    fn bootstrap_works_for_ipw() {
+        let (x, t, y, true_ate) = world(4_000, 1.2);
+        let (point, lo, hi) = bootstrap_ate_ci(&x, &t, &y, 40, 0.9, 2, |xb, tb, yb| {
+            ipw_ate(xb, tb, yb, 0.01, 0)
+        })
+        .unwrap();
+        assert!((point - true_ate).abs() < 0.08);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn bootstrap_validation() {
+        let (x, t, y, _) = world(500, 0.0);
+        assert!(
+            bootstrap_ate_ci(&x, &t, &y, 10, 0.9, 0, |_, tb, yb| naive_difference(tb, yb))
+                .is_err()
+        );
+        assert!(
+            bootstrap_ate_ci(&x, &t, &y, 50, 1.5, 0, |_, tb, yb| naive_difference(tb, yb))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn e_value_known_points() {
+        // RR = 1 needs no confounding
+        assert!((e_value(1.0).unwrap() - 1.0).abs() < 1e-12);
+        // RR = 2 → E = 2 + sqrt(2) ≈ 3.414
+        assert!((e_value(2.0).unwrap() - (2.0 + 2.0f64.sqrt())).abs() < 1e-12);
+        // protective RR = 0.5 is symmetric with 2.0
+        assert!((e_value(0.5).unwrap() - e_value(2.0).unwrap()).abs() < 1e-12);
+        assert!(e_value(0.0).is_err());
+        assert!(e_value(-1.0).is_err());
+    }
+
+    #[test]
+    fn e_value_monotone_in_effect_size() {
+        assert!(e_value(3.0).unwrap() > e_value(1.5).unwrap());
+    }
+
+    #[test]
+    fn observed_rr_pipeline() {
+        let (_, t, y, _) = world(10_000, 0.0);
+        let rr = observed_risk_ratio(&t, &y).unwrap();
+        assert!(rr > 1.1, "treatment helps: RR = {rr:.2}");
+        let e = e_value(rr).unwrap();
+        assert!(e > rr, "E-value exceeds the RR itself");
+    }
+}

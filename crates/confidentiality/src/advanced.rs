@@ -1,0 +1,250 @@
+//! Advanced DP primitives: the generic exponential mechanism and the Sparse
+//! Vector Technique (AboveThreshold).
+//!
+//! Both stretch a "strict privacy budget" (§2) further than independent
+//! noisy releases:
+//!
+//! * the **exponential mechanism** selects the (approximately) best item
+//!   from a candidate set at a fixed ε regardless of how many candidates
+//!   there are;
+//! * **AboveThreshold / SVT** answers a *stream* of threshold queries while
+//!   paying ε only for the (few) queries that cross the threshold — the
+//!   canonical trick for monitoring without budget hemorrhage.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fact_data::{FactError, Result};
+
+use crate::mechanisms::laplace_noise;
+
+/// Select one index from `utilities` with probability
+/// ∝ exp(ε·u / (2·sensitivity)) — the exponential mechanism (McSherry &
+/// Talwar 2007). Returns the chosen index.
+pub fn exponential_mechanism(
+    utilities: &[f64],
+    sensitivity: f64,
+    epsilon: f64,
+    seed: u64,
+) -> Result<usize> {
+    if utilities.is_empty() {
+        return Err(FactError::EmptyData("no candidates to select from".into()));
+    }
+    if epsilon <= 0.0 || sensitivity <= 0.0 {
+        return Err(FactError::InvalidArgument(
+            "epsilon and sensitivity must be positive".into(),
+        ));
+    }
+    if utilities.iter().any(|u| !u.is_finite()) {
+        return Err(FactError::InvalidArgument(
+            "utilities must be finite".into(),
+        ));
+    }
+    // Gumbel-max trick on the log-weights (numerically stable)
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best = f64::NEG_INFINITY;
+    let mut pick = 0usize;
+    for (i, &u) in utilities.iter().enumerate() {
+        let lw = epsilon * u / (2.0 * sensitivity);
+        let g: f64 = {
+            let v: f64 = rng.gen_range(f64::EPSILON..1.0);
+            -(-v.ln()).ln()
+        };
+        if lw + g > best {
+            best = lw + g;
+            pick = i;
+        }
+    }
+    Ok(pick)
+}
+
+/// The AboveThreshold (Sparse Vector) mechanism.
+///
+/// Initialized with a threshold and a total ε; each call to
+/// [`SparseVector::query`] tests one query value (sensitivity 1) against the
+/// noisy threshold. The mechanism answers up to `max_positives` `true`
+/// results and then refuses further queries; `false` answers are free
+/// (that's the point of SVT).
+#[derive(Debug)]
+pub struct SparseVector {
+    noisy_threshold: f64,
+    eps_query: f64,
+    positives_left: usize,
+    rng: StdRng,
+    exhausted: bool,
+}
+
+impl SparseVector {
+    /// Create with `threshold`, total budget `epsilon`, and a cap on the
+    /// number of above-threshold answers.
+    pub fn new(threshold: f64, epsilon: f64, max_positives: usize, seed: u64) -> Result<Self> {
+        if epsilon <= 0.0 || !epsilon.is_finite() {
+            return Err(FactError::InvalidArgument(
+                "epsilon must be positive and finite".into(),
+            ));
+        }
+        if max_positives == 0 {
+            return Err(FactError::InvalidArgument(
+                "max_positives must be at least 1".into(),
+            ));
+        }
+        let eps_threshold = epsilon / 2.0;
+        let eps_queries = epsilon / 2.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noisy_threshold = threshold + laplace_noise(1.0 / eps_threshold, &mut rng);
+        Ok(SparseVector {
+            noisy_threshold,
+            eps_query: eps_queries / max_positives as f64,
+            positives_left: max_positives,
+            rng,
+            exhausted: false,
+        })
+    }
+
+    /// Test one query value (sensitivity 1). Errors once the positive budget
+    /// is exhausted.
+    pub fn query(&mut self, value: f64) -> Result<bool> {
+        if self.exhausted {
+            return Err(FactError::BudgetExhausted {
+                requested: self.eps_query,
+                remaining: 0.0,
+            });
+        }
+        let noisy = value + laplace_noise(2.0 / self.eps_query, &mut self.rng);
+        if noisy >= self.noisy_threshold {
+            self.positives_left -= 1;
+            if self.positives_left == 0 {
+                self.exhausted = true;
+            }
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Above-threshold answers still available.
+    pub fn positives_left(&self) -> usize {
+        self.positives_left
+    }
+}
+
+/// DP variance of values clamped to `[lo, hi]`: composes a DP mean and a DP
+/// mean-of-squares, each at `epsilon / 2`.
+pub fn dp_variance(values: &[f64], lo: f64, hi: f64, epsilon: f64, seed: u64) -> Result<f64> {
+    if values.len() < 2 {
+        return Err(FactError::EmptyData(
+            "DP variance needs at least 2 values".into(),
+        ));
+    }
+    let mean = crate::mechanisms::dp_mean(values, lo, hi, epsilon / 2.0, seed)?;
+    let squares: Vec<f64> = values
+        .iter()
+        .map(|v| {
+            let c = v.clamp(lo, hi);
+            c * c
+        })
+        .collect();
+    let bound = lo.abs().max(hi.abs()).powi(2);
+    let mean_sq =
+        crate::mechanisms::dp_mean(&squares, 0.0, bound, epsilon / 2.0, seed.wrapping_add(1))?;
+    Ok((mean_sq - mean * mean).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mechanism_prefers_high_utility() {
+        let utilities = [1.0, 5.0, 30.0, 2.0];
+        let mut wins = [0usize; 4];
+        for seed in 0..500 {
+            wins[exponential_mechanism(&utilities, 1.0, 2.0, seed).unwrap()] += 1;
+        }
+        assert!(
+            wins[2] > 450,
+            "utility 30 should dominate at ε=2: {wins:?}"
+        );
+    }
+
+    #[test]
+    fn exponential_mechanism_randomizes_at_low_epsilon() {
+        let utilities = [1.0, 5.0, 30.0, 2.0];
+        let mut wins = [0usize; 4];
+        for seed in 0..2000 {
+            wins[exponential_mechanism(&utilities, 1.0, 0.01, seed).unwrap()] += 1;
+        }
+        // near-uniform at ε→0
+        for w in wins {
+            assert!((300..700).contains(&w), "low ε ⇒ near uniform: {wins:?}");
+        }
+    }
+
+    #[test]
+    fn exponential_mechanism_validation() {
+        assert!(exponential_mechanism(&[], 1.0, 1.0, 0).is_err());
+        assert!(exponential_mechanism(&[1.0], 0.0, 1.0, 0).is_err());
+        assert!(exponential_mechanism(&[f64::NAN], 1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn svt_answers_negatives_freely_and_caps_positives() {
+        let mut svt = SparseVector::new(100.0, 2.0, 2, 7).unwrap();
+        let mut negatives = 0;
+        // many clearly-below queries: all false, budget untouched
+        for _ in 0..500 {
+            if !svt.query(0.0).unwrap() {
+                negatives += 1;
+            }
+        }
+        assert!(negatives >= 498, "far-below queries answer false: {negatives}");
+        assert_eq!(svt.positives_left(), 2);
+        // clearly-above queries consume the positive budget
+        assert!(svt.query(10_000.0).unwrap());
+        assert!(svt.query(10_000.0).unwrap());
+        assert!(matches!(
+            svt.query(10_000.0),
+            Err(FactError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn svt_threshold_discriminates() {
+        // values far above vs far below the threshold answer correctly
+        let mut above = 0;
+        let mut below = 0;
+        for seed in 0..200 {
+            let mut svt = SparseVector::new(50.0, 4.0, 1, seed).unwrap();
+            if svt.query(500.0).unwrap() {
+                above += 1;
+            }
+            let mut svt = SparseVector::new(50.0, 4.0, 1, seed + 1000).unwrap();
+            if svt.query(-400.0).unwrap() {
+                below += 1;
+            }
+        }
+        assert!(above > 190, "far-above detected: {above}/200");
+        assert!(below < 10, "far-below rejected: {below}/200");
+    }
+
+    #[test]
+    fn svt_validation() {
+        assert!(SparseVector::new(1.0, 0.0, 1, 0).is_err());
+        assert!(SparseVector::new(1.0, 1.0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn dp_variance_approximates_truth() {
+        let vals: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64).collect();
+        let true_var = {
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - m).powi(2)).sum::<f64>() / vals.len() as f64
+        };
+        let noisy = dp_variance(&vals, 0.0, 100.0, 2.0, 3).unwrap();
+        assert!(
+            (noisy - true_var).abs() / true_var < 0.1,
+            "DP var {noisy:.1} ≈ true {true_var:.1}"
+        );
+        assert!(dp_variance(&[1.0], 0.0, 1.0, 1.0, 0).is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! k-anonymity by Mondrian multidimensional partitioning (LeFevre et al.
+//! 2006), plus l-diversity and t-closeness checks on the result.
+//!
+//! Quasi-identifier columns are generalized per equivalence class: numeric
+//! QIs become range labels (`"[18-33]"`), categorical QIs become the single
+//! shared label or a `|`-joined set. The released dataset is safe to join
+//! against external data only up to class resolution — which is the point.
+
+use fact_data::{Column, Dataset, FactError, Result};
+
+/// Result of anonymization: the generalized dataset plus class bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Anonymized {
+    /// Generalized dataset (QI columns replaced by categorical range labels).
+    pub data: Dataset,
+    /// Equivalence-class index of each row.
+    pub class_of: Vec<usize>,
+    /// Number of equivalence classes.
+    pub n_classes: usize,
+    /// The k that was enforced.
+    pub k: usize,
+    /// Average normalized certainty penalty in `[0, 1]` (0 = no
+    /// generalization, 1 = fully suppressed).
+    pub information_loss: f64,
+}
+
+impl Anonymized {
+    /// Average equivalence-class size.
+    pub fn mean_class_size(&self) -> f64 {
+        self.class_of.len() as f64 / self.n_classes as f64
+    }
+
+    /// Size of the smallest equivalence class.
+    pub fn min_class_size(&self) -> usize {
+        let mut sizes = vec![0usize; self.n_classes];
+        for &c in &self.class_of {
+            sizes[c] += 1;
+        }
+        sizes.into_iter().min().unwrap_or(0)
+    }
+}
+
+/// Mondrian k-anonymization of `ds` over the quasi-identifiers `qis`.
+///
+/// Numeric and categorical QI columns are both supported (categoricals are
+/// partitioned by dictionary code). Errors when `k` is 0 or exceeds the row
+/// count, or when any QI column is missing.
+///
+/// ```
+/// use fact_confidentiality::kanon::{is_k_anonymous, mondrian_k_anonymize};
+/// use fact_data::synth::census::{generate_census, CensusConfig};
+/// let ds = generate_census(&CensusConfig { n: 500, seed: 1, ..CensusConfig::default() });
+/// let anon = mondrian_k_anonymize(&ds, &["age", "sex", "zipcode"], 5).unwrap();
+/// assert!(anon.min_class_size() >= 5);
+/// assert!(is_k_anonymous(&anon.data, &["age", "sex", "zipcode"], 5).unwrap());
+/// ```
+pub fn mondrian_k_anonymize(ds: &Dataset, qis: &[&str], k: usize) -> Result<Anonymized> {
+    if k == 0 {
+        return Err(FactError::InvalidArgument("k must be at least 1".into()));
+    }
+    if ds.n_rows() == 0 {
+        return Err(FactError::EmptyData("anonymizing empty dataset".into()));
+    }
+    if k > ds.n_rows() {
+        return Err(FactError::InvalidArgument(format!(
+            "k={k} exceeds the number of rows ({})",
+            ds.n_rows()
+        )));
+    }
+    if qis.is_empty() {
+        return Err(FactError::InvalidArgument(
+            "at least one quasi-identifier is required".into(),
+        ));
+    }
+
+    // numeric view of each QI (cat → code), plus metadata for rendering
+    struct Qi {
+        name: String,
+        numeric: Vec<f64>,
+        is_cat: bool,
+        dict: Vec<String>,
+        global_range: f64,
+        global_card: usize,
+    }
+    let mut qi_cols = Vec::with_capacity(qis.len());
+    for &name in qis {
+        let col = ds.column(name)?;
+        let (numeric, is_cat, dict) = match col.as_cat() {
+            Ok(cat) => (
+                cat.codes.iter().map(|&c| c as f64).collect::<Vec<f64>>(),
+                true,
+                cat.dict.clone(),
+            ),
+            Err(_) => (ds.f64_column(name)?, false, Vec::new()),
+        };
+        let lo = numeric.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = numeric.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let distinct = {
+            let mut v = numeric.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            v.dedup();
+            v.len()
+        };
+        qi_cols.push(Qi {
+            name: name.to_string(),
+            numeric,
+            is_cat,
+            dict,
+            global_range: (hi - lo).max(1e-300),
+            global_card: distinct,
+        });
+    }
+
+    // recursive median partitioning
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    let mut stack: Vec<Vec<usize>> = vec![(0..ds.n_rows()).collect()];
+    while let Some(part) = stack.pop() {
+        if part.len() < 2 * k {
+            classes.push(part);
+            continue;
+        }
+        // order dims by normalized range within the partition, widest first
+        let mut dims: Vec<(f64, usize)> = qi_cols
+            .iter()
+            .enumerate()
+            .map(|(d, q)| {
+                let lo = part.iter().map(|&i| q.numeric[i]).fold(f64::INFINITY, f64::min);
+                let hi = part
+                    .iter()
+                    .map(|&i| q.numeric[i])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                ((hi - lo) / q.global_range, d)
+            })
+            .collect();
+        dims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut split_done = false;
+        for &(range, d) in &dims {
+            if range <= 0.0 {
+                break; // all dims constant in this partition
+            }
+            let q = &qi_cols[d];
+            let mut vals: Vec<f64> = part.iter().map(|&i| q.numeric[i]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let median = vals[vals.len() / 2];
+            // strict split: ≤ median-but-not-max goes left. Use the largest
+            // value strictly below the max as fallback pivot when the median
+            // equals the max (to guarantee a non-trivial split).
+            let pivot = if median >= vals[vals.len() - 1] {
+                // find largest value < max
+                match vals.iter().rev().find(|&&v| v < vals[vals.len() - 1]) {
+                    Some(&p) => p,
+                    None => continue,
+                }
+            } else {
+                median
+            };
+            let (left, right): (Vec<usize>, Vec<usize>) =
+                part.iter().partition(|&&i| q.numeric[i] <= pivot);
+            if left.len() >= k && right.len() >= k {
+                stack.push(left);
+                stack.push(right);
+                split_done = true;
+                break;
+            }
+        }
+        if !split_done {
+            classes.push(part);
+        }
+    }
+
+    // build generalized columns + bookkeeping
+    let n = ds.n_rows();
+    let mut class_of = vec![0usize; n];
+    for (ci, class) in classes.iter().enumerate() {
+        for &i in class {
+            class_of[i] = ci;
+        }
+    }
+    let mut total_ncp = 0.0;
+    let mut out = ds.clone();
+    for q in &qi_cols {
+        let mut labels = vec![String::new(); n];
+        for class in &classes {
+            let lo = class.iter().map(|&i| q.numeric[i]).fold(f64::INFINITY, f64::min);
+            let hi = class
+                .iter()
+                .map(|&i| q.numeric[i])
+                .fold(f64::NEG_INFINITY, f64::max);
+            let label = if q.is_cat {
+                let mut codes: Vec<usize> =
+                    class.iter().map(|&i| q.numeric[i] as usize).collect();
+                codes.sort_unstable();
+                codes.dedup();
+                if codes.len() == 1 {
+                    q.dict[codes[0]].clone()
+                } else if codes.len() == q.dict.len() {
+                    "*".to_string()
+                } else {
+                    codes
+                        .iter()
+                        .map(|&c| q.dict[c].as_str())
+                        .collect::<Vec<_>>()
+                        .join("|")
+                }
+            } else if (hi - lo).abs() < 1e-12 {
+                format_number(lo)
+            } else {
+                format!("[{}-{}]", format_number(lo), format_number(hi))
+            };
+            // NCP contribution
+            let ncp = if q.is_cat {
+                let mut codes: Vec<usize> =
+                    class.iter().map(|&i| q.numeric[i] as usize).collect();
+                codes.sort_unstable();
+                codes.dedup();
+                if q.global_card > 1 {
+                    (codes.len() - 1) as f64 / (q.global_card - 1) as f64
+                } else {
+                    0.0
+                }
+            } else {
+                (hi - lo) / q.global_range
+            };
+            total_ncp += ncp * class.len() as f64;
+            for &i in class {
+                labels[i] = label.clone();
+            }
+        }
+        out.replace_column(&q.name, Column::from_labels(&labels))?;
+        // preserve the quasi-identifier annotation
+        if let Some(f) = out.schema_mut().field_mut(&q.name) {
+            f.quasi_identifier = true;
+        }
+    }
+    let information_loss = total_ncp / (n as f64 * qi_cols.len() as f64);
+
+    Ok(Anonymized {
+        data: out,
+        class_of,
+        n_classes: classes.len(),
+        k,
+        information_loss,
+    })
+}
+
+fn format_number(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Verify k-anonymity directly on a released dataset: every combination of
+/// the given QI columns must occur at least `k` times.
+pub fn is_k_anonymous(ds: &Dataset, qis: &[&str], k: usize) -> Result<bool> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<Vec<String>, usize> = HashMap::new();
+    let mut cols = Vec::with_capacity(qis.len());
+    for &q in qis {
+        cols.push(ds.column(q)?);
+    }
+    for i in 0..ds.n_rows() {
+        let key: Vec<String> = cols.iter().map(|c| c.get(i).to_string()).collect();
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    Ok(counts.values().all(|&c| c >= k))
+}
+
+/// Distinct l-diversity: every equivalence class must contain at least `l`
+/// distinct values of the sensitive column. Returns the minimum diversity
+/// observed (compare with your target `l`).
+pub fn min_l_diversity(anon: &Anonymized, sensitive: &str) -> Result<usize> {
+    use std::collections::HashSet;
+    let labels = anon.data.labels(sensitive)?;
+    let mut per_class: Vec<HashSet<&str>> = vec![HashSet::new(); anon.n_classes];
+    for (i, &c) in anon.class_of.iter().enumerate() {
+        per_class[c].insert(labels[i].as_str());
+    }
+    per_class
+        .iter()
+        .map(|s| s.len())
+        .min()
+        .ok_or_else(|| FactError::EmptyData("no equivalence classes".into()))
+}
+
+/// t-closeness via total variation distance: the maximum, over equivalence
+/// classes, of the TV distance between the class's sensitive-value
+/// distribution and the global one. Small values mean classes reveal little
+/// beyond the global distribution.
+pub fn max_t_distance(anon: &Anonymized, sensitive: &str) -> Result<f64> {
+    use std::collections::HashMap;
+    let labels = anon.data.labels(sensitive)?;
+    let n = labels.len() as f64;
+    let mut global: HashMap<&str, f64> = HashMap::new();
+    for l in &labels {
+        *global.entry(l.as_str()).or_insert(0.0) += 1.0 / n;
+    }
+    let mut class_counts: Vec<HashMap<&str, f64>> = vec![HashMap::new(); anon.n_classes];
+    let mut class_sizes = vec![0usize; anon.n_classes];
+    for (i, &c) in anon.class_of.iter().enumerate() {
+        *class_counts[c].entry(labels[i].as_str()).or_insert(0.0) += 1.0;
+        class_sizes[c] += 1;
+    }
+    let mut worst: f64 = 0.0;
+    for (c, counts) in class_counts.iter().enumerate() {
+        let size = class_sizes[c] as f64;
+        let mut tv = 0.0;
+        for (value, &gp) in &global {
+            let cp = counts.get(value).copied().unwrap_or(0.0) / size;
+            tv += (cp - gp).abs();
+        }
+        worst = worst.max(tv / 2.0);
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_data::synth::census::{generate_census, CensusConfig};
+
+    fn census(n: usize) -> Dataset {
+        generate_census(&CensusConfig {
+            n,
+            seed: 1,
+            ..CensusConfig::default()
+        })
+    }
+
+    const QIS: [&str; 3] = ["age", "sex", "zipcode"];
+
+    #[test]
+    fn output_is_k_anonymous() {
+        let ds = census(2000);
+        for k in [2, 5, 25] {
+            let anon = mondrian_k_anonymize(&ds, &QIS, k).unwrap();
+            assert!(anon.min_class_size() >= k, "k={k}");
+            assert!(is_k_anonymous(&anon.data, &QIS, k).unwrap());
+        }
+    }
+
+    #[test]
+    fn higher_k_means_more_information_loss() {
+        let ds = census(3000);
+        let loss = |k| mondrian_k_anonymize(&ds, &QIS, k).unwrap().information_loss;
+        let l2 = loss(2);
+        let l20 = loss(20);
+        let l200 = loss(200);
+        assert!(l2 < l20 && l20 < l200, "{l2:.3} < {l20:.3} < {l200:.3}");
+        assert!((0.0..=1.0).contains(&l2));
+        assert!((0.0..=1.0).contains(&l200));
+    }
+
+    #[test]
+    fn k_equals_one_changes_nothing_much() {
+        let ds = census(500);
+        let anon = mondrian_k_anonymize(&ds, &QIS, 1).unwrap();
+        // k=1 permits singleton classes: loss is near zero
+        assert!(anon.information_loss < 0.05, "loss {}", anon.information_loss);
+    }
+
+    #[test]
+    fn class_bookkeeping_consistent() {
+        let ds = census(1000);
+        let anon = mondrian_k_anonymize(&ds, &QIS, 10).unwrap();
+        assert_eq!(anon.class_of.len(), 1000);
+        assert!(anon.class_of.iter().all(|&c| c < anon.n_classes));
+        assert!((anon.mean_class_size() - 1000.0 / anon.n_classes as f64).abs() < 1e-9);
+        assert_eq!(anon.k, 10);
+    }
+
+    #[test]
+    fn non_qi_columns_untouched() {
+        let ds = census(800);
+        let anon = mondrian_k_anonymize(&ds, &QIS, 5).unwrap();
+        assert_eq!(
+            anon.data.f64_column("salary").unwrap(),
+            ds.f64_column("salary").unwrap()
+        );
+        assert_eq!(
+            anon.data.labels("diagnosis").unwrap(),
+            ds.labels("diagnosis").unwrap()
+        );
+    }
+
+    #[test]
+    fn generalized_labels_look_like_ranges() {
+        let ds = census(400);
+        let anon = mondrian_k_anonymize(&ds, &QIS, 20).unwrap();
+        let ages = anon.data.labels("age").unwrap();
+        assert!(
+            ages.iter().any(|a| a.starts_with('[') && a.contains('-')),
+            "expected range labels, got e.g. {:?}",
+            &ages[..3]
+        );
+    }
+
+    #[test]
+    fn l_diversity_and_t_closeness_improve_with_k() {
+        let ds = census(3000);
+        let small = mondrian_k_anonymize(&ds, &QIS, 2).unwrap();
+        let large = mondrian_k_anonymize(&ds, &QIS, 100).unwrap();
+        let ld_small = min_l_diversity(&small, "diagnosis").unwrap();
+        let ld_large = min_l_diversity(&large, "diagnosis").unwrap();
+        assert!(ld_large >= ld_small);
+        assert!(ld_large >= 3, "big classes carry diverse diagnoses");
+        let t_small = max_t_distance(&small, "diagnosis").unwrap();
+        let t_large = max_t_distance(&large, "diagnosis").unwrap();
+        assert!(t_large <= t_small);
+        assert!((0.0..=1.0).contains(&t_small));
+    }
+
+    #[test]
+    fn validation() {
+        let ds = census(100);
+        assert!(mondrian_k_anonymize(&ds, &QIS, 0).is_err());
+        assert!(mondrian_k_anonymize(&ds, &QIS, 101).is_err());
+        assert!(mondrian_k_anonymize(&ds, &[], 5).is_err());
+        assert!(mondrian_k_anonymize(&ds, &["ghost"], 5).is_err());
+    }
+
+    #[test]
+    fn raw_data_is_not_k_anonymous() {
+        let ds = census(2000);
+        assert!(!is_k_anonymous(&ds, &QIS, 5).unwrap());
+    }
+}

@@ -1,0 +1,31 @@
+//! # fact-confidentiality — the Confidentiality pillar (Q3)
+//!
+//! "Data science that ensures confidentiality — how to answer questions
+//! without revealing secrets?" (van der Aalst et al. 2017, §2). The paper is
+//! explicit that the goal is *not* to stop sharing data but to "exploit data
+//! in a safe and controlled manner", naming pseudonymization and
+//! "confidentiality-preserving analysis techniques (e.g., techniques that
+//! work under a strict privacy budget)" — i.e., differential privacy (it
+//! cites Dwork 2011).
+//!
+//! * [`mechanisms`] — Laplace, Gaussian, exponential, and randomized-response
+//!   mechanisms, plus DP count/sum/mean/histogram/quantile queries;
+//! * [`accountant`] — the strict privacy **budget**: ε/δ ledger with basic
+//!   and advanced composition (experiment E5);
+//! * [`advanced`] — the exponential mechanism, the Sparse Vector Technique
+//!   (AboveThreshold), and DP variance;
+//! * [`kanon`] — Mondrian k-anonymity, l-diversity, and t-closeness checks
+//!   (experiment E6);
+//! * [`risk`] — quasi-identifier re-identification risk estimation;
+//! * [`pseudo`] — keyed pseudonymization of identifiers.
+
+#![warn(missing_docs)]
+
+pub mod accountant;
+pub mod advanced;
+pub mod kanon;
+pub mod mechanisms;
+pub mod pseudo;
+pub mod risk;
+
+pub use accountant::PrivacyAccountant;

@@ -1,0 +1,325 @@
+//! Differential-privacy mechanisms and query primitives.
+//!
+//! Every releasing function takes an explicit `epsilon` (and `delta` where
+//! applicable) plus a seed, and returns the noised value. Budget enforcement
+//! lives in [`crate::accountant`]; composing the two is the job of
+//! `fact-core`'s confidentiality guard. Numeric queries require explicit
+//! value bounds `(lo, hi)` — sensitivity is derived from them, never from
+//! the data (deriving it from data would itself leak).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fact_data::{FactError, Result};
+
+fn check_eps(epsilon: f64) -> Result<()> {
+    if epsilon <= 0.0 || !epsilon.is_finite() {
+        return Err(FactError::InvalidArgument(format!(
+            "epsilon must be positive and finite, got {epsilon}"
+        )));
+    }
+    Ok(())
+}
+
+fn check_bounds(lo: f64, hi: f64) -> Result<()> {
+    if lo >= hi || !lo.is_finite() || !hi.is_finite() {
+        return Err(FactError::InvalidArgument(format!(
+            "bounds must satisfy lo < hi and be finite, got [{lo}, {hi}]"
+        )));
+    }
+    Ok(())
+}
+
+/// A sample from Laplace(0, scale) via inverse-CDF.
+pub fn laplace_noise(scale: f64, rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(-0.5..0.5);
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// A sample from N(0, sigma²) via Box–Muller.
+pub fn gaussian_noise(sigma: f64, rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The Laplace mechanism: release `value + Lap(sensitivity/ε)`.
+/// Pure ε-DP.
+pub fn laplace_mechanism(value: f64, sensitivity: f64, epsilon: f64, seed: u64) -> Result<f64> {
+    check_eps(epsilon)?;
+    if sensitivity <= 0.0 || !sensitivity.is_finite() {
+        return Err(FactError::InvalidArgument(format!(
+            "sensitivity must be positive and finite, got {sensitivity}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ok(value + laplace_noise(sensitivity / epsilon, &mut rng))
+}
+
+/// The (classic) Gaussian mechanism for (ε, δ)-DP with ε < 1:
+/// `σ = sensitivity · sqrt(2 ln(1.25/δ)) / ε`.
+pub fn gaussian_mechanism(
+    value: f64,
+    sensitivity: f64,
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+) -> Result<f64> {
+    check_eps(epsilon)?;
+    if !(0.0 < delta && delta < 1.0) {
+        return Err(FactError::InvalidArgument(format!(
+            "delta must be in (0, 1), got {delta}"
+        )));
+    }
+    if sensitivity <= 0.0 || !sensitivity.is_finite() {
+        return Err(FactError::InvalidArgument(format!(
+            "sensitivity must be positive and finite, got {sensitivity}"
+        )));
+    }
+    let sigma = sensitivity * (2.0 * (1.25 / delta).ln()).sqrt() / epsilon;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ok(value + gaussian_noise(sigma, &mut rng))
+}
+
+/// DP count of `n` records (sensitivity 1, Laplace).
+pub fn dp_count(n: usize, epsilon: f64, seed: u64) -> Result<f64> {
+    laplace_mechanism(n as f64, 1.0, epsilon, seed)
+}
+
+/// DP sum of values clamped to `[lo, hi]` (sensitivity `max(|lo|, |hi|)`).
+pub fn dp_sum(values: &[f64], lo: f64, hi: f64, epsilon: f64, seed: u64) -> Result<f64> {
+    check_bounds(lo, hi)?;
+    let clamped: f64 = values.iter().map(|v| v.clamp(lo, hi)).sum();
+    laplace_mechanism(clamped, lo.abs().max(hi.abs()), epsilon, seed)
+}
+
+/// DP mean of values clamped to `[lo, hi]` (sensitivity `(hi−lo)/n`).
+pub fn dp_mean(values: &[f64], lo: f64, hi: f64, epsilon: f64, seed: u64) -> Result<f64> {
+    check_bounds(lo, hi)?;
+    if values.is_empty() {
+        return Err(FactError::EmptyData("DP mean of empty data".into()));
+    }
+    let mean = values.iter().map(|v| v.clamp(lo, hi)).sum::<f64>() / values.len() as f64;
+    laplace_mechanism(mean, (hi - lo) / values.len() as f64, epsilon, seed)
+}
+
+/// DP histogram over pre-defined labels: adds Lap(2/ε) to each bucket count
+/// (a single record changes at most two buckets when swapped). Negative
+/// counts are clipped to zero after noising.
+pub fn dp_histogram(counts: &[u64], epsilon: f64, seed: u64) -> Result<Vec<f64>> {
+    check_eps(epsilon)?;
+    if counts.is_empty() {
+        return Err(FactError::EmptyData("DP histogram with no buckets".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ok(counts
+        .iter()
+        .map(|&c| (c as f64 + laplace_noise(2.0 / epsilon, &mut rng)).max(0.0))
+        .collect())
+}
+
+/// DP quantile by the exponential mechanism over value gaps (Smith 2011):
+/// selects an output interval with probability ∝ exp(−ε·|rank error|/2) and
+/// returns a uniform draw within it.
+pub fn dp_quantile(
+    values: &[f64],
+    q: f64,
+    lo: f64,
+    hi: f64,
+    epsilon: f64,
+    seed: u64,
+) -> Result<f64> {
+    check_eps(epsilon)?;
+    check_bounds(lo, hi)?;
+    if values.is_empty() {
+        return Err(FactError::EmptyData("DP quantile of empty data".into()));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(FactError::InvalidArgument(format!(
+            "quantile must be in [0, 1], got {q}"
+        )));
+    }
+    let mut sorted: Vec<f64> = values.iter().map(|v| v.clamp(lo, hi)).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    let target = q * n as f64;
+    // intervals: [lo, s0], [s0, s1], …, [s_{n-1}, hi]; interval i holds ranks i
+    let mut log_weights = Vec::with_capacity(n + 1);
+    let mut edges = Vec::with_capacity(n + 2);
+    edges.push(lo);
+    edges.extend(sorted.iter().copied());
+    edges.push(hi);
+    for i in 0..=n {
+        let width = (edges[i + 1] - edges[i]).max(0.0);
+        let rank_err = (i as f64 - target).abs();
+        let lw = if width > 0.0 {
+            width.ln() - epsilon * rank_err / 2.0
+        } else {
+            f64::NEG_INFINITY
+        };
+        log_weights.push(lw);
+    }
+    // Gumbel-max sampling of the interval
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best = f64::NEG_INFINITY;
+    let mut pick = 0usize;
+    for (i, &lw) in log_weights.iter().enumerate() {
+        if lw == f64::NEG_INFINITY {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let g = lw - (-u.ln()).ln();
+        if g > best {
+            best = g;
+            pick = i;
+        }
+    }
+    Ok(rng.gen_range(edges[pick]..=edges[pick + 1]))
+}
+
+/// Randomized response for a sensitive yes/no question: tell the truth with
+/// probability `e^ε/(e^ε+1)`, lie otherwise. Returns the randomized answers;
+/// use [`randomized_response_estimate`] to de-bias the aggregate.
+pub fn randomized_response(answers: &[bool], epsilon: f64, seed: u64) -> Result<Vec<bool>> {
+    check_eps(epsilon)?;
+    let p_truth = epsilon.exp() / (epsilon.exp() + 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ok(answers
+        .iter()
+        .map(|&a| if rng.gen::<f64>() < p_truth { a } else { !a })
+        .collect())
+}
+
+/// Unbiased estimate of the true "yes" proportion from randomized responses.
+pub fn randomized_response_estimate(responses: &[bool], epsilon: f64) -> Result<f64> {
+    check_eps(epsilon)?;
+    if responses.is_empty() {
+        return Err(FactError::EmptyData("no randomized responses".into()));
+    }
+    let p_truth = epsilon.exp() / (epsilon.exp() + 1.0);
+    let observed = responses.iter().filter(|&&r| r).count() as f64 / responses.len() as f64;
+    // observed = p·true + (1−p)·(1−true) ⇒ true = (observed + p − 1)/(2p − 1)
+    Ok((observed + p_truth - 1.0) / (2.0 * p_truth - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplace_noise_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scale = 2.0;
+        let xs: Vec<f64> = (0..100_000).map(|_| laplace_noise(scale, &mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        // Var(Laplace) = 2·scale²
+        assert!((var - 8.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn laplace_mechanism_error_scales_inversely_with_epsilon() {
+        let err_at = |eps: f64| {
+            let mut total = 0.0;
+            for seed in 0..200 {
+                total += (laplace_mechanism(100.0, 1.0, eps, seed).unwrap() - 100.0).abs();
+            }
+            total / 200.0
+        };
+        let e_tight = err_at(10.0);
+        let e_loose = err_at(0.1);
+        assert!(
+            e_loose > 20.0 * e_tight,
+            "ε=0.1 error {e_loose} should dwarf ε=10 error {e_tight}"
+        );
+    }
+
+    #[test]
+    fn gaussian_mechanism_uses_delta() {
+        // smaller delta → more noise on average
+        let spread = |delta: f64| {
+            let mut total = 0.0;
+            for seed in 0..300 {
+                total += (gaussian_mechanism(0.0, 1.0, 0.5, delta, seed).unwrap()).abs();
+            }
+            total / 300.0
+        };
+        assert!(spread(1e-8) > spread(1e-2));
+    }
+
+    #[test]
+    fn dp_count_approximates_truth() {
+        let noisy = dp_count(1000, 1.0, 7).unwrap();
+        assert!((noisy - 1000.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn dp_mean_respects_bounds_clamping() {
+        // an outlier cannot drag the DP mean beyond the clamp
+        let mut vals = vec![50.0; 999];
+        vals.push(1e9);
+        let m = dp_mean(&vals, 0.0, 100.0, 5.0, 3).unwrap();
+        assert!(m < 60.0, "clamped mean stays near 50, got {m}");
+    }
+
+    #[test]
+    fn dp_histogram_shape() {
+        let noisy = dp_histogram(&[100, 200, 0], 2.0, 5).unwrap();
+        assert_eq!(noisy.len(), 3);
+        assert!(noisy.iter().all(|&v| v >= 0.0));
+        assert!((noisy[1] - 200.0).abs() < 15.0);
+    }
+
+    #[test]
+    fn dp_quantile_close_to_true_median_at_high_epsilon() {
+        let vals: Vec<f64> = (0..1001).map(|i| i as f64).collect();
+        let med = dp_quantile(&vals, 0.5, 0.0, 1000.0, 5.0, 11).unwrap();
+        assert!(
+            (med - 500.0).abs() < 50.0,
+            "DP median ≈ 500, got {med}"
+        );
+    }
+
+    #[test]
+    fn dp_quantile_within_bounds() {
+        let vals = vec![5.0, 6.0, 7.0];
+        for seed in 0..50 {
+            let v = dp_quantile(&vals, 0.9, 0.0, 10.0, 0.5, seed).unwrap();
+            assert!((0.0..=10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn randomized_response_debiases() {
+        let truth: Vec<bool> = (0..20_000).map(|i| i % 4 == 0).collect(); // 25% yes
+        let eps = 1.0;
+        let responses = randomized_response(&truth, eps, 9).unwrap();
+        // raw responses are biased toward 50%
+        let raw = responses.iter().filter(|&&r| r).count() as f64 / responses.len() as f64;
+        assert!(raw > 0.30, "raw proportion pulled toward 1/2: {raw}");
+        let est = randomized_response_estimate(&responses, eps).unwrap();
+        assert!((est - 0.25).abs() < 0.02, "de-biased estimate {est}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(laplace_mechanism(0.0, 1.0, 0.0, 0).is_err());
+        assert!(laplace_mechanism(0.0, 0.0, 1.0, 0).is_err());
+        assert!(gaussian_mechanism(0.0, 1.0, 0.5, 0.0, 0).is_err());
+        assert!(gaussian_mechanism(0.0, 1.0, 0.5, 1.0, 0).is_err());
+        assert!(dp_sum(&[1.0], 5.0, 5.0, 1.0, 0).is_err());
+        assert!(dp_mean(&[], 0.0, 1.0, 1.0, 0).is_err());
+        assert!(dp_histogram(&[], 1.0, 0).is_err());
+        assert!(dp_quantile(&[1.0], 1.5, 0.0, 1.0, 1.0, 0).is_err());
+        assert!(randomized_response(&[true], -1.0, 0).is_err());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = laplace_mechanism(10.0, 1.0, 1.0, 42).unwrap();
+        let b = laplace_mechanism(10.0, 1.0, 1.0, 42).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, laplace_mechanism(10.0, 1.0, 1.0, 43).unwrap());
+    }
+}

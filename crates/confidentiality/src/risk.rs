@@ -1,0 +1,133 @@
+//! Re-identification risk estimation.
+//!
+//! Quantifies how exposed a dataset is to linkage attacks through its
+//! quasi-identifiers: the fraction of records that are *unique* on the QI
+//! combination (a unique record is re-identified by anyone who knows those
+//! attributes), plus prosecutor-model risk (expected success probability of
+//! an attacker targeting a random record: `mean(1/class size)`).
+
+use std::collections::HashMap;
+
+use fact_data::{Dataset, FactError, Result};
+
+/// Risk summary for a dataset under a set of quasi-identifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskReport {
+    /// Fraction of records unique on the QI combination.
+    pub unique_fraction: f64,
+    /// Expected attacker success against a random record (`mean 1/|class|`).
+    pub prosecutor_risk: f64,
+    /// Size of the smallest QI equivalence class.
+    pub min_class_size: usize,
+    /// Number of distinct QI combinations.
+    pub n_classes: usize,
+}
+
+/// Estimate re-identification risk over the given quasi-identifier columns.
+pub fn reidentification_risk(ds: &Dataset, qis: &[&str]) -> Result<RiskReport> {
+    if qis.is_empty() {
+        return Err(FactError::InvalidArgument(
+            "at least one quasi-identifier required".into(),
+        ));
+    }
+    if ds.n_rows() == 0 {
+        return Err(FactError::EmptyData("risk of empty dataset".into()));
+    }
+    let mut cols = Vec::with_capacity(qis.len());
+    for &q in qis {
+        cols.push(ds.column(q)?);
+    }
+    let mut counts: HashMap<Vec<String>, usize> = HashMap::new();
+    let mut keys = Vec::with_capacity(ds.n_rows());
+    for i in 0..ds.n_rows() {
+        let key: Vec<String> = cols.iter().map(|c| c.get(i).to_string()).collect();
+        *counts.entry(key.clone()).or_insert(0) += 1;
+        keys.push(key);
+    }
+    let n = ds.n_rows() as f64;
+    let unique = counts.values().filter(|&&c| c == 1).count() as f64;
+    let prosecutor: f64 = keys
+        .iter()
+        .map(|k| 1.0 / counts[k] as f64)
+        .sum::<f64>()
+        / n;
+    Ok(RiskReport {
+        unique_fraction: unique / n,
+        prosecutor_risk: prosecutor,
+        min_class_size: counts.values().copied().min().unwrap_or(0),
+        n_classes: counts.len(),
+    })
+}
+
+/// Risk using the dataset's schema-declared quasi-identifiers.
+pub fn schema_risk(ds: &Dataset) -> Result<RiskReport> {
+    let qis: Vec<&str> = ds.schema().quasi_identifiers();
+    reidentification_risk(ds, &qis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kanon::mondrian_k_anonymize;
+    use fact_data::synth::census::{generate_census, CensusConfig};
+
+    #[test]
+    fn raw_census_is_risky() {
+        let ds = generate_census(&CensusConfig {
+            n: 2000,
+            seed: 1,
+            ..CensusConfig::default()
+        });
+        let r = schema_risk(&ds).unwrap();
+        assert!(r.unique_fraction > 0.3, "many unique (age,sex,zip) combos: {}", r.unique_fraction);
+        assert!(r.prosecutor_risk > 0.3);
+        assert!(r.min_class_size >= 1);
+    }
+
+    #[test]
+    fn anonymization_reduces_risk() {
+        let ds = generate_census(&CensusConfig {
+            n: 2000,
+            seed: 2,
+            ..CensusConfig::default()
+        });
+        let before = schema_risk(&ds).unwrap();
+        let anon = mondrian_k_anonymize(&ds, &["age", "sex", "zipcode"], 10).unwrap();
+        let after = reidentification_risk(&anon.data, &["age", "sex", "zipcode"]).unwrap();
+        assert_eq!(after.unique_fraction, 0.0);
+        assert!(after.prosecutor_risk <= 0.1 + 1e-9, "≤ 1/k: {}", after.prosecutor_risk);
+        assert!(after.prosecutor_risk < before.prosecutor_risk);
+        assert!(after.min_class_size >= 10);
+    }
+
+    #[test]
+    fn fully_identifying_key_is_maximal_risk() {
+        let ds = Dataset::builder()
+            .cat("id", &["a", "b", "c"])
+            .build()
+            .unwrap();
+        let r = reidentification_risk(&ds, &["id"]).unwrap();
+        assert_eq!(r.unique_fraction, 1.0);
+        assert_eq!(r.prosecutor_risk, 1.0);
+        assert_eq!(r.n_classes, 3);
+    }
+
+    #[test]
+    fn constant_column_is_minimal_risk() {
+        let ds = Dataset::builder()
+            .cat("c", &["x", "x", "x", "x"])
+            .build()
+            .unwrap();
+        let r = reidentification_risk(&ds, &["c"]).unwrap();
+        assert_eq!(r.unique_fraction, 0.0);
+        assert_eq!(r.prosecutor_risk, 0.25);
+        assert_eq!(r.min_class_size, 4);
+    }
+
+    #[test]
+    fn validation() {
+        let ds = Dataset::builder().cat("c", &["x"]).build().unwrap();
+        assert!(reidentification_risk(&ds, &[]).is_err());
+        assert!(reidentification_risk(&ds, &["ghost"]).is_err());
+    }
+}

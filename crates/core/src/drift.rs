@@ -1,0 +1,226 @@
+//! Streaming distribution-drift detection (population stability index).
+//!
+//! A model certified green on yesterday's data can silently rot as the
+//! population shifts — an accuracy-pillar failure mode in production. The
+//! monitor bins a reference sample once, then maintains a sliding window of
+//! live values; when the PSI between window and reference exceeds the
+//! threshold (0.2 is the conventional "significant shift" line), it alerts.
+
+use std::collections::VecDeque;
+
+use fact_data::{FactError, Result};
+
+/// A drift alert with the measured PSI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftAlert {
+    /// Population stability index of the current window vs the reference.
+    pub psi: f64,
+    /// The configured threshold that was exceeded.
+    pub threshold: f64,
+}
+
+/// Sliding-window PSI drift monitor for one numeric feature.
+#[derive(Debug)]
+pub struct DriftMonitor {
+    edges: Vec<f64>,
+    reference: Vec<f64>, // per-bin reference proportions (smoothed)
+    window: VecDeque<f64>,
+    window_size: usize,
+    counts: Vec<usize>,
+    threshold: f64,
+    cooldown: usize,
+    since_alert: usize,
+}
+
+const SMOOTH: f64 = 1e-4;
+
+impl DriftMonitor {
+    /// Build from a reference sample, `n_bins` equal-width bins over the
+    /// reference range, a window size, and a PSI alert threshold.
+    pub fn new(
+        reference: &[f64],
+        n_bins: usize,
+        window_size: usize,
+        threshold: f64,
+    ) -> Result<Self> {
+        if reference.len() < 2 * n_bins {
+            return Err(FactError::EmptyData(
+                "reference sample too small for the requested bins".into(),
+            ));
+        }
+        if n_bins < 2 || window_size < 10 || threshold <= 0.0 {
+            return Err(FactError::InvalidArgument(
+                "need n_bins ≥ 2, window ≥ 10, threshold > 0".into(),
+            ));
+        }
+        let lo = reference.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = reference.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if lo >= hi {
+            return Err(FactError::Numeric("constant reference sample".into()));
+        }
+        let edges: Vec<f64> = (0..=n_bins)
+            .map(|i| lo + (hi - lo) * i as f64 / n_bins as f64)
+            .collect();
+        let mut ref_counts = vec![0usize; n_bins];
+        for &v in reference {
+            ref_counts[bin_of(&edges, v)] += 1;
+        }
+        let n = reference.len() as f64;
+        let reference_props = ref_counts
+            .iter()
+            .map(|&c| (c as f64 / n).max(SMOOTH))
+            .collect();
+        Ok(DriftMonitor {
+            edges,
+            reference: reference_props,
+            window: VecDeque::with_capacity(window_size),
+            window_size,
+            counts: vec![0; n_bins],
+            threshold,
+            cooldown: window_size / 2,
+            since_alert: usize::MAX / 2,
+        })
+    }
+
+    /// Current PSI of the window vs the reference (`None` until the window
+    /// is full).
+    pub fn psi(&self) -> Option<f64> {
+        if self.window.len() < self.window_size {
+            return None;
+        }
+        let n = self.window.len() as f64;
+        let mut psi = 0.0;
+        for (c, &r) in self.counts.iter().zip(&self.reference) {
+            let p = (*c as f64 / n).max(SMOOTH);
+            psi += (p - r) * (p / r).ln();
+        }
+        Some(psi)
+    }
+
+    /// Observe one value; returns an alert when PSI crosses the threshold
+    /// (debounced to one alert per half-window).
+    pub fn observe(&mut self, value: f64) -> Option<DriftAlert> {
+        if self.window.len() == self.window_size {
+            if let Some(old) = self.window.pop_front() {
+                self.counts[bin_of(&self.edges, old)] -= 1;
+            }
+        }
+        self.window.push_back(value);
+        self.counts[bin_of(&self.edges, value)] += 1;
+        self.since_alert = self.since_alert.saturating_add(1);
+        match self.psi() {
+            Some(psi) if psi > self.threshold && self.since_alert >= self.cooldown => {
+                self.since_alert = 0;
+                Some(DriftAlert {
+                    psi,
+                    threshold: self.threshold,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+fn bin_of(edges: &[f64], v: f64) -> usize {
+    let n_bins = edges.len() - 1;
+    if v <= edges[0] {
+        return 0;
+    }
+    if v >= edges[n_bins] {
+        return n_bins - 1;
+    }
+    let span = edges[n_bins] - edges[0];
+    (((v - edges[0]) / span) * n_bins as f64).floor().min(n_bins as f64 - 1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    }
+
+    #[test]
+    fn stable_stream_stays_quiet() {
+        let reference = uniform(5_000, 0.0, 1.0, 1);
+        let mut m = DriftMonitor::new(&reference, 10, 500, 0.2).unwrap();
+        let mut alerts = 0;
+        for v in uniform(5_000, 0.0, 1.0, 2) {
+            if m.observe(v).is_some() {
+                alerts += 1;
+            }
+        }
+        assert_eq!(alerts, 0, "same distribution must not alert");
+        assert!(m.psi().unwrap() < 0.05);
+    }
+
+    #[test]
+    fn shifted_stream_alerts() {
+        let reference = uniform(5_000, 0.0, 1.0, 3);
+        let mut m = DriftMonitor::new(&reference, 10, 500, 0.2).unwrap();
+        // warm-up with in-distribution data, then shift hard
+        for v in uniform(600, 0.0, 1.0, 4) {
+            m.observe(v);
+        }
+        let mut alerts = 0;
+        for v in uniform(2_000, 0.6, 1.4, 5) {
+            if m.observe(v).is_some() {
+                alerts += 1;
+            }
+        }
+        assert!(alerts >= 1, "hard shift must alert");
+        assert!(m.psi().unwrap() > 0.2);
+    }
+
+    #[test]
+    fn alerts_are_debounced() {
+        let reference = uniform(2_000, 0.0, 1.0, 6);
+        let mut m = DriftMonitor::new(&reference, 10, 100, 0.1).unwrap();
+        let mut alerts = 0;
+        for v in uniform(2_000, 2.0, 3.0, 7) {
+            if m.observe(v).is_some() {
+                alerts += 1;
+            }
+        }
+        // 2000 shifted events / cooldown 50 → at most ~40 alerts
+        assert!(alerts > 0 && alerts <= 41, "debounced: {alerts}");
+    }
+
+    #[test]
+    fn psi_none_until_window_full() {
+        let reference = uniform(1_000, 0.0, 1.0, 8);
+        let mut m = DriftMonitor::new(&reference, 5, 100, 0.2).unwrap();
+        for v in uniform(99, 0.0, 1.0, 9) {
+            m.observe(v);
+            assert!(m.psi().is_none());
+        }
+        m.observe(0.5);
+        assert!(m.psi().is_some());
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_edge_bins() {
+        let reference = uniform(1_000, 0.0, 1.0, 10);
+        let mut m = DriftMonitor::new(&reference, 5, 10, 5.0).unwrap();
+        for _ in 0..20 {
+            m.observe(-100.0);
+            m.observe(100.0);
+        }
+        // no panic; window full; PSI computable
+        assert!(m.psi().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DriftMonitor::new(&[1.0; 5], 10, 100, 0.2).is_err());
+        let r = uniform(1_000, 0.0, 1.0, 11);
+        assert!(DriftMonitor::new(&r, 1, 100, 0.2).is_err());
+        assert!(DriftMonitor::new(&r, 10, 5, 0.2).is_err());
+        assert!(DriftMonitor::new(&r, 10, 100, 0.0).is_err());
+        assert!(DriftMonitor::new(&vec![0.5; 100], 5, 20, 0.2).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # fact-core — FACT-based information systems by design
+//!
+//! The paper's constructive demand (§3–4): information systems should embed
+//! Fairness, Accuracy, Confidentiality, and Transparency "already during the
+//! design and requirements phases", so that data science becomes **green** —
+//! valuable without the "pollution" of discrimination, guesswork, leaks, and
+//! black boxes.
+//!
+//! This crate is that embedding:
+//!
+//! * [`policy`] — FACT requirements as typed, machine-checkable objects (the
+//!   "FACT elements in our requirements" of §4);
+//! * [`pipeline`] — [`pipeline::GuardedPipeline`], a data-science pipeline
+//!   whose stages *cannot skip* the guards: loading runs adequacy and risk
+//!   checks, training records provenance, releases spend privacy budget,
+//!   decisions carry explanations;
+//! * [`report`] — the compliance scorecard and **green certification**;
+//! * [`runtime`] — streaming guards for production traffic at Internet-
+//!   Minute scale (experiment E9);
+//! * [`drift`] — population-stability (PSI) drift monitoring, because a
+//!   certification is only as fresh as the distribution it was measured on.
+
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod pipeline;
+pub mod policy;
+pub mod report;
+pub mod runtime;
+
+pub use pipeline::GuardedPipeline;
+pub use policy::FactPolicy;
+pub use report::{FactReport, GuardCheck, Pillar};

@@ -1,0 +1,222 @@
+//! FACT requirements as typed policy objects.
+//!
+//! §4 of the paper asks: "should we add FACT elements to our modeling
+//! languages? How can FACT elements be embedded in our requirements?" A
+//! [`FactPolicy`] is that embedding: each pillar's requirements are explicit
+//! data, checked mechanically by the pipeline guards, rather than prose in a
+//! compliance document.
+
+use fact_data::{FactError, Result};
+use fact_fairness::FairnessThresholds;
+use serde::{Deserialize, Serialize};
+
+/// Fairness requirements (pillar Q1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FairnessPolicy {
+    /// Column holding the protected attribute.
+    pub protected_column: String,
+    /// The protected group's label within that column.
+    pub protected_label: String,
+    /// Metric thresholds (four-fifths rule etc.).
+    pub thresholds: FairnessThresholds,
+    /// Refuse to train on features flagged as proxies above this normalized
+    /// mutual information.
+    pub max_proxy_nmi: f64,
+}
+
+impl FairnessPolicy {
+    /// A policy with default thresholds.
+    pub fn new(column: impl Into<String>, label: impl Into<String>) -> Self {
+        FairnessPolicy {
+            protected_column: column.into(),
+            protected_label: label.into(),
+            thresholds: FairnessThresholds::default(),
+            max_proxy_nmi: 0.5,
+        }
+    }
+}
+
+/// Accuracy requirements (pillar Q2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccuracyPolicy {
+    /// Minimum held-out accuracy the model must achieve.
+    pub min_accuracy: f64,
+    /// Significance level for any registered hypotheses.
+    pub alpha: f64,
+    /// Minimum rows per protected group for estimates to be trusted.
+    pub min_group_n: usize,
+    /// Fraction of data reserved for honest evaluation.
+    pub test_frac: f64,
+}
+
+impl Default for AccuracyPolicy {
+    fn default() -> Self {
+        AccuracyPolicy {
+            min_accuracy: 0.7,
+            alpha: 0.05,
+            min_group_n: 30,
+            test_frac: 0.25,
+        }
+    }
+}
+
+/// Confidentiality requirements (pillar Q3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfidentialityPolicy {
+    /// Total ε budget for the pipeline's lifetime.
+    pub epsilon_budget: f64,
+    /// Total δ budget.
+    pub delta_budget: f64,
+    /// Maximum acceptable prosecutor re-identification risk of the loaded
+    /// data (1.0 disables the check).
+    pub max_reidentification_risk: f64,
+}
+
+impl Default for ConfidentialityPolicy {
+    fn default() -> Self {
+        ConfidentialityPolicy {
+            epsilon_budget: 1.0,
+            delta_budget: 1e-6,
+            max_reidentification_risk: 1.0,
+        }
+    }
+}
+
+/// Transparency requirements (pillar Q4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransparencyPolicy {
+    /// Minimum surrogate fidelity for the model to count as explainable.
+    pub min_surrogate_fidelity: f64,
+    /// Surrogate tree depth allowed (deeper = more faithful, less readable).
+    pub surrogate_depth: usize,
+    /// Require a complete model card before certification.
+    pub require_model_card: bool,
+}
+
+impl Default for TransparencyPolicy {
+    fn default() -> Self {
+        TransparencyPolicy {
+            min_surrogate_fidelity: 0.85,
+            surrogate_depth: 4,
+            require_model_card: true,
+        }
+    }
+}
+
+/// The complete FACT requirement set. Pillars are optional so a pipeline can
+/// adopt them incrementally, but [`FactPolicy::strict`] — all four — is what
+/// "green" certification requires.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FactPolicy {
+    /// Fairness requirements (Q1).
+    pub fairness: Option<FairnessPolicy>,
+    /// Accuracy requirements (Q2).
+    pub accuracy: Option<AccuracyPolicy>,
+    /// Confidentiality requirements (Q3).
+    pub confidentiality: Option<ConfidentialityPolicy>,
+    /// Transparency requirements (Q4).
+    pub transparency: Option<TransparencyPolicy>,
+}
+
+impl FactPolicy {
+    /// All four pillars at their defaults, with the given protected
+    /// attribute.
+    pub fn strict(protected_column: impl Into<String>, protected_label: impl Into<String>) -> Self {
+        FactPolicy {
+            fairness: Some(FairnessPolicy::new(protected_column, protected_label)),
+            accuracy: Some(AccuracyPolicy::default()),
+            confidentiality: Some(ConfidentialityPolicy::default()),
+            transparency: Some(TransparencyPolicy::default()),
+        }
+    }
+
+    /// Serialize the policy to JSON — "FACT elements in the requirements"
+    /// as a reviewable, versionable artifact.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| FactError::InvalidArgument(format!("policy serialization: {e}")))
+    }
+
+    /// Load a policy from JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| FactError::Parse {
+            line: 0,
+            message: format!("policy: {e}"),
+        })
+    }
+
+    /// Number of pillars enabled.
+    pub fn pillars_enabled(&self) -> usize {
+        usize::from(self.fairness.is_some())
+            + usize::from(self.accuracy.is_some())
+            + usize::from(self.confidentiality.is_some())
+            + usize::from(self.transparency.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_enables_all_pillars() {
+        let p = FactPolicy::strict("group", "B");
+        assert_eq!(p.pillars_enabled(), 4);
+        assert_eq!(p.fairness.as_ref().unwrap().protected_label, "B");
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert_eq!(FactPolicy::default().pillars_enabled(), 0);
+    }
+
+    #[test]
+    fn policy_round_trips_through_json() {
+        let p = FactPolicy::strict("group", "B");
+        let json = p.to_json().unwrap();
+        assert!(json.contains("protected_column"));
+        let back = FactPolicy::from_json(&json).unwrap();
+        assert_eq!(back.pillars_enabled(), 4);
+        assert_eq!(
+            back.fairness.as_ref().unwrap().protected_label,
+            "B"
+        );
+        assert!(FactPolicy::from_json("{oops").is_err());
+    }
+
+    #[test]
+    fn partial_policy_from_config_text() {
+        // an ops team writes only the pillars they enforce
+        let json = r#"{
+            "fairness": {
+                "protected_column": "ethnicity",
+                "protected_label": "minority",
+                "thresholds": {
+                    "min_disparate_impact": 0.9,
+                    "max_parity_difference": 0.05,
+                    "max_equalized_odds": 0.05
+                },
+                "max_proxy_nmi": 0.3
+            },
+            "accuracy": null,
+            "confidentiality": null,
+            "transparency": null
+        }"#;
+        let p = FactPolicy::from_json(json).unwrap();
+        assert_eq!(p.pillars_enabled(), 1);
+        assert_eq!(
+            p.fairness.as_ref().unwrap().thresholds.min_disparate_impact,
+            0.9
+        );
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = AccuracyPolicy::default();
+        assert!(a.min_accuracy > 0.5 && a.test_frac > 0.0);
+        let c = ConfidentialityPolicy::default();
+        assert!(c.epsilon_budget > 0.0);
+        let t = TransparencyPolicy::default();
+        assert!(t.min_surrogate_fidelity > 0.5);
+    }
+}

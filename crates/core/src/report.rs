@@ -1,0 +1,220 @@
+//! The FACT compliance scorecard and "green" certification.
+//!
+//! §3 coins *green data science*: benefitting from data "while ensuring
+//! Fairness, Accuracy, Confidentiality, and Transparency". A [`FactReport`]
+//! is the mechanical rendering of that promise — every guard the pipeline
+//! ran, each attributed to a pillar with a pass/fail verdict, rolled up into
+//! a certification that is green only when **every enabled pillar passes**.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// The four FACT pillars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Pillar {
+    /// Q1 — data science without prejudice.
+    Fairness,
+    /// Q2 — data science without guesswork.
+    Accuracy,
+    /// Q3 — answering without revealing secrets.
+    Confidentiality,
+    /// Q4 — answers that are clarified, not black-boxed.
+    Transparency,
+}
+
+impl Pillar {
+    /// All pillars, FACT order.
+    pub const ALL: [Pillar; 4] = [
+        Pillar::Fairness,
+        Pillar::Accuracy,
+        Pillar::Confidentiality,
+        Pillar::Transparency,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pillar::Fairness => "Fairness",
+            Pillar::Accuracy => "Accuracy",
+            Pillar::Confidentiality => "Confidentiality",
+            Pillar::Transparency => "Transparency",
+        }
+    }
+}
+
+/// One executed guard.
+#[derive(Debug, Clone, Serialize)]
+pub struct GuardCheck {
+    /// Pillar the guard belongs to.
+    pub pillar: Pillar,
+    /// Guard name, e.g. `"disparate impact"`.
+    pub name: String,
+    /// Whether the guard passed.
+    pub passed: bool,
+    /// Human-readable measurement/explanation.
+    pub detail: String,
+}
+
+/// The certification scorecard.
+#[derive(Debug, Clone, Serialize)]
+pub struct FactReport {
+    /// Every guard executed, in order.
+    pub checks: Vec<GuardCheck>,
+    /// Pillars that had at least one guard executed.
+    pub pillars_evaluated: Vec<Pillar>,
+    /// Whether the audit log's hash chain verified.
+    pub audit_chain_intact: bool,
+    /// ε spent / ε budget, when a confidentiality budget exists.
+    pub privacy_spent: Option<(f64, f64)>,
+}
+
+impl FactReport {
+    /// Checks belonging to one pillar.
+    pub fn checks_for(&self, pillar: Pillar) -> Vec<&GuardCheck> {
+        self.checks.iter().filter(|c| c.pillar == pillar).collect()
+    }
+
+    /// A pillar passes when it was evaluated and none of its guards failed.
+    pub fn pillar_passes(&self, pillar: Pillar) -> bool {
+        let checks = self.checks_for(pillar);
+        !checks.is_empty() && checks.iter().all(|c| c.passed)
+    }
+
+    /// Green certification: every evaluated pillar passes, at least one
+    /// pillar was evaluated, and the audit chain is intact.
+    pub fn is_green(&self) -> bool {
+        self.audit_chain_intact
+            && !self.pillars_evaluated.is_empty()
+            && self
+                .pillars_evaluated
+                .iter()
+                .all(|&p| self.pillar_passes(p))
+    }
+
+    /// Failed checks, for remediation.
+    pub fn failures(&self) -> Vec<&GuardCheck> {
+        self.checks.iter().filter(|c| !c.passed).collect()
+    }
+
+    /// Serialize the scorecard to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is serializable")
+    }
+}
+
+impl fmt::Display for FactReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== FACT compliance report ===")?;
+        for pillar in Pillar::ALL {
+            let checks = self.checks_for(pillar);
+            if checks.is_empty() {
+                writeln!(f, "[{:>15}]  (not evaluated)", pillar.name())?;
+                continue;
+            }
+            let verdict = if self.pillar_passes(pillar) { "PASS" } else { "FAIL" };
+            writeln!(f, "[{:>15}]  {verdict}", pillar.name())?;
+            for c in checks {
+                writeln!(
+                    f,
+                    "    {} {:<28} {}",
+                    if c.passed { "✓" } else { "✗" },
+                    c.name,
+                    c.detail
+                )?;
+            }
+        }
+        if let Some((spent, budget)) = self.privacy_spent {
+            writeln!(f, "privacy budget: ε {spent:.3} of {budget:.3} spent")?;
+        }
+        writeln!(
+            f,
+            "audit chain: {}",
+            if self.audit_chain_intact { "intact" } else { "BROKEN" }
+        )?;
+        write!(
+            f,
+            "certification: {}",
+            if self.is_green() { "GREEN ✓" } else { "NOT GREEN ✗" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pillar: Pillar, passed: bool) -> GuardCheck {
+        GuardCheck {
+            pillar,
+            name: "t".into(),
+            passed,
+            detail: "d".into(),
+        }
+    }
+
+    #[test]
+    fn green_requires_all_evaluated_pillars_passing() {
+        let rep = FactReport {
+            checks: vec![check(Pillar::Fairness, true), check(Pillar::Accuracy, true)],
+            pillars_evaluated: vec![Pillar::Fairness, Pillar::Accuracy],
+            audit_chain_intact: true,
+            privacy_spent: None,
+        };
+        assert!(rep.is_green());
+        assert!(rep.pillar_passes(Pillar::Fairness));
+        assert!(!rep.pillar_passes(Pillar::Transparency), "not evaluated ≠ pass");
+    }
+
+    #[test]
+    fn one_failure_blocks_certification() {
+        let rep = FactReport {
+            checks: vec![
+                check(Pillar::Fairness, true),
+                check(Pillar::Fairness, false),
+            ],
+            pillars_evaluated: vec![Pillar::Fairness],
+            audit_chain_intact: true,
+            privacy_spent: None,
+        };
+        assert!(!rep.is_green());
+        assert_eq!(rep.failures().len(), 1);
+    }
+
+    #[test]
+    fn broken_audit_chain_blocks_certification() {
+        let rep = FactReport {
+            checks: vec![check(Pillar::Fairness, true)],
+            pillars_evaluated: vec![Pillar::Fairness],
+            audit_chain_intact: false,
+            privacy_spent: None,
+        };
+        assert!(!rep.is_green());
+    }
+
+    #[test]
+    fn nothing_evaluated_is_not_green() {
+        let rep = FactReport {
+            checks: vec![],
+            pillars_evaluated: vec![],
+            audit_chain_intact: true,
+            privacy_spent: None,
+        };
+        assert!(!rep.is_green());
+    }
+
+    #[test]
+    fn display_renders_matrix() {
+        let rep = FactReport {
+            checks: vec![check(Pillar::Confidentiality, true)],
+            pillars_evaluated: vec![Pillar::Confidentiality],
+            audit_chain_intact: true,
+            privacy_spent: Some((0.5, 1.0)),
+        };
+        let s = rep.to_string();
+        assert!(s.contains("Confidentiality"));
+        assert!(s.contains("GREEN"));
+        assert!(s.contains("privacy budget"));
+        assert!(rep.to_json().contains("Confidentiality"));
+    }
+}

@@ -1,0 +1,381 @@
+//! Streaming FACT guards for production traffic.
+//!
+//! §3 motivates scale with the "Internet Minute" — millions of automated
+//! decisions per minute. Responsibility cannot mean re-running batch audits:
+//! these guards process one event at a time in O(1):
+//!
+//! * [`StreamingFairnessMonitor`] — sliding-window selection rates per
+//!   group; raises an alert when the window's disparate impact drops below
+//!   threshold;
+//! * [`StreamingDpCounter`] — periodic differentially-private counts of
+//!   events, spending from a shared budget;
+//! * [`GuardedStream`] — composes the guards plus audit sampling, and counts
+//!   work done so experiment E9 can price the overhead of responsibility.
+
+use std::collections::VecDeque;
+
+use fact_data::stream::Event;
+use fact_data::{FactError, Result};
+
+use crate::drift::{DriftAlert, DriftMonitor};
+
+use fact_confidentiality::mechanisms::laplace_noise;
+use fact_confidentiality::PrivacyAccountant;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An alert raised by a streaming guard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Alert {
+    /// Windowed disparate impact fell below the threshold.
+    FairnessViolation {
+        /// Windowed favorable rate for group B.
+        rate_protected: f64,
+        /// Windowed favorable rate for group A.
+        rate_unprotected: f64,
+        /// The DI ratio that tripped the alert.
+        disparate_impact: f64,
+    },
+    /// A DP count was released.
+    DpRelease {
+        /// Events counted in the interval (noised).
+        noisy_count: f64,
+        /// ε spent on this release.
+        epsilon: f64,
+    },
+    /// The DP budget ran out; releases have stopped.
+    BudgetExhausted,
+    /// The payload-value distribution drifted from the reference (PSI).
+    Drift(DriftAlert),
+}
+
+/// O(1)-per-event sliding-window fairness monitor.
+#[derive(Debug)]
+pub struct StreamingFairnessMonitor {
+    window: usize,
+    min_di: f64,
+    min_samples_per_group: usize,
+    events: VecDeque<(bool, bool)>, // (group_b, favorable)
+    counts: [[usize; 2]; 2],        // [group][favorable]
+}
+
+impl StreamingFairnessMonitor {
+    /// Monitor the last `window` events; alert when windowed DI < `min_di`
+    /// (once both groups have `min_samples_per_group` events in the window).
+    pub fn new(window: usize, min_di: f64, min_samples_per_group: usize) -> Result<Self> {
+        if window == 0 || !(0.0..=1.0).contains(&min_di) {
+            return Err(FactError::InvalidArgument(
+                "window must be positive and min_di in [0, 1]".into(),
+            ));
+        }
+        Ok(StreamingFairnessMonitor {
+            window,
+            min_di,
+            min_samples_per_group,
+            events: VecDeque::with_capacity(window),
+            counts: [[0; 2]; 2],
+        })
+    }
+
+    /// Ingest one event; returns an alert when the window shows disparity.
+    pub fn observe(&mut self, group_b: bool, favorable: bool) -> Option<Alert> {
+        if self.events.len() == self.window {
+            if let Some((g, f)) = self.events.pop_front() {
+                self.counts[usize::from(g)][usize::from(f)] -= 1;
+            }
+        }
+        self.events.push_back((group_b, favorable));
+        self.counts[usize::from(group_b)][usize::from(favorable)] += 1;
+
+        let n_a = self.counts[0][0] + self.counts[0][1];
+        let n_b = self.counts[1][0] + self.counts[1][1];
+        if n_a < self.min_samples_per_group || n_b < self.min_samples_per_group {
+            return None;
+        }
+        let rate_a = self.counts[0][1] as f64 / n_a as f64;
+        let rate_b = self.counts[1][1] as f64 / n_b as f64;
+        if rate_a <= 0.0 {
+            return None;
+        }
+        let di = rate_b / rate_a;
+        if di < self.min_di {
+            Some(Alert::FairnessViolation {
+                rate_protected: rate_b,
+                rate_unprotected: rate_a,
+                disparate_impact: di,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Periodic DP release of event counts under a shared budget.
+#[derive(Debug)]
+pub struct StreamingDpCounter {
+    interval: usize,
+    epsilon_per_release: f64,
+    pending: usize,
+    rng: StdRng,
+    exhausted_reported: bool,
+}
+
+impl StreamingDpCounter {
+    /// Release a noisy count every `interval` events, spending
+    /// `epsilon_per_release` each time.
+    pub fn new(interval: usize, epsilon_per_release: f64, seed: u64) -> Result<Self> {
+        if interval == 0 || epsilon_per_release <= 0.0 {
+            return Err(FactError::InvalidArgument(
+                "interval and epsilon must be positive".into(),
+            ));
+        }
+        Ok(StreamingDpCounter {
+            interval,
+            epsilon_per_release,
+            pending: 0,
+            rng: StdRng::seed_from_u64(seed),
+            exhausted_reported: false,
+        })
+    }
+
+    /// Ingest one event; may emit a [`Alert::DpRelease`] (or a one-time
+    /// [`Alert::BudgetExhausted`]).
+    pub fn observe(&mut self, accountant: &mut PrivacyAccountant) -> Option<Alert> {
+        self.pending += 1;
+        if self.pending < self.interval {
+            return None;
+        }
+        let count = self.pending;
+        self.pending = 0;
+        match accountant.spend(self.epsilon_per_release, 0.0, "stream dp count") {
+            Ok(()) => {
+                let noisy =
+                    count as f64 + laplace_noise(1.0 / self.epsilon_per_release, &mut self.rng);
+                Some(Alert::DpRelease {
+                    noisy_count: noisy.max(0.0),
+                    epsilon: self.epsilon_per_release,
+                })
+            }
+            Err(_) => {
+                if self.exhausted_reported {
+                    None
+                } else {
+                    self.exhausted_reported = true;
+                    Some(Alert::BudgetExhausted)
+                }
+            }
+        }
+    }
+}
+
+/// The composed guarded stream processor for experiment E9.
+pub struct GuardedStream {
+    fairness: Option<StreamingFairnessMonitor>,
+    /// Minimum events between recorded fairness alerts (debounce): a
+    /// sustained violation produces one alert per cooldown period, not one
+    /// per event.
+    fairness_cooldown: u64,
+    last_fairness_alert: Option<u64>,
+    dp: Option<(StreamingDpCounter, PrivacyAccountant)>,
+    drift: Option<DriftMonitor>,
+    audit_every: usize,
+    /// Count of processed events.
+    pub processed: u64,
+    /// Count of audit-log entries that would be written (sampled).
+    pub audit_entries: u64,
+    /// Alerts raised.
+    pub alerts: Vec<Alert>,
+    // baseline work: aggregate of payload values (what an unguarded pipeline
+    // would compute anyway)
+    value_sum: f64,
+}
+
+impl GuardedStream {
+    /// A processor with no guards — the baseline for overhead measurements.
+    pub fn unguarded() -> Self {
+        GuardedStream {
+            fairness: None,
+            fairness_cooldown: 0,
+            last_fairness_alert: None,
+            dp: None,
+            drift: None,
+            audit_every: 0,
+            processed: 0,
+            audit_entries: 0,
+            alerts: Vec::new(),
+            value_sum: 0.0,
+        }
+    }
+
+    /// A processor with the full FACT guard set.
+    pub fn guarded(
+        fairness_window: usize,
+        min_di: f64,
+        dp_interval: usize,
+        epsilon_budget: f64,
+        audit_every: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        Ok(GuardedStream {
+            fairness: Some(StreamingFairnessMonitor::new(fairness_window, min_di, 50)?),
+            fairness_cooldown: (fairness_window as u64 / 2).max(1),
+            last_fairness_alert: None,
+            drift: None,
+            dp: Some((
+                StreamingDpCounter::new(dp_interval, 0.01, seed)?,
+                PrivacyAccountant::pure(epsilon_budget)?,
+            )),
+            audit_every: audit_every.max(1),
+            processed: 0,
+            audit_entries: 0,
+            alerts: Vec::new(),
+            value_sum: 0.0,
+        })
+    }
+
+    /// Attach a PSI drift monitor over the event payload values.
+    pub fn with_drift_monitor(mut self, monitor: DriftMonitor) -> Self {
+        self.drift = Some(monitor);
+        self
+    }
+
+    /// Process one event through baseline work plus all enabled guards.
+    pub fn process(&mut self, event: &Event) {
+        self.processed += 1;
+        self.value_sum += event.value;
+        if let Some(f) = &mut self.fairness {
+            if let Some(alert) = f.observe(event.group_b, event.decision_favorable) {
+                let due = match self.last_fairness_alert {
+                    None => true,
+                    Some(at) => self.processed - at >= self.fairness_cooldown,
+                };
+                if due {
+                    self.last_fairness_alert = Some(self.processed);
+                    self.alerts.push(alert);
+                }
+            }
+        }
+        if let Some((dp, acc)) = &mut self.dp {
+            if let Some(alert) = dp.observe(acc) {
+                self.alerts.push(alert);
+            }
+        }
+        if let Some(d) = &mut self.drift {
+            if let Some(alert) = d.observe(event.value) {
+                self.alerts.push(Alert::Drift(alert));
+            }
+        }
+        if self.audit_every > 0 && self.processed.is_multiple_of(self.audit_every as u64) {
+            self.audit_entries += 1;
+        }
+    }
+
+    /// The baseline aggregate (kept so the compiler cannot elide the work).
+    pub fn value_sum(&self) -> f64 {
+        self.value_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_data::stream::InternetMinute;
+
+    #[test]
+    fn fairness_monitor_stays_quiet_on_fair_traffic() {
+        let mut m = StreamingFairnessMonitor::new(2000, 0.8, 100).unwrap();
+        let mut alerts = 0;
+        for ev in InternetMinute::new(1).take(20_000) {
+            if m.observe(ev.group_b, ev.decision_favorable).is_some() {
+                alerts += 1;
+            }
+        }
+        assert_eq!(alerts, 0, "equal rates should not trip the monitor");
+    }
+
+    #[test]
+    fn fairness_monitor_fires_on_disparity() {
+        let mut m = StreamingFairnessMonitor::new(2000, 0.8, 100).unwrap();
+        let mut alerts = 0;
+        for ev in InternetMinute::new(2).with_disparity(0.9, 0.4).take(20_000) {
+            if let Some(Alert::FairnessViolation {
+                disparate_impact, ..
+            }) = m.observe(ev.group_b, ev.decision_favorable)
+            {
+                alerts += 1;
+                assert!(disparate_impact < 0.8);
+            }
+        }
+        assert!(alerts > 100, "sustained disparity must keep alerting: {alerts}");
+    }
+
+    #[test]
+    fn monitor_window_slides() {
+        // disparity early, fairness later: alerts must stop
+        let mut m = StreamingFairnessMonitor::new(500, 0.8, 50).unwrap();
+        let mut early = 0;
+        for ev in InternetMinute::new(3).with_disparity(0.9, 0.2).take(3_000) {
+            if m.observe(ev.group_b, ev.decision_favorable).is_some() {
+                early += 1;
+            }
+        }
+        assert!(early > 0);
+        let mut late = 0;
+        for ev in InternetMinute::new(4).take(3_000) {
+            if m.observe(ev.group_b, ev.decision_favorable).is_some() {
+                late += 1;
+            }
+        }
+        // after the window refills with fair traffic, alerts stop
+        assert!(late < early, "sliding window must recover: {late} < {early}");
+    }
+
+    #[test]
+    fn dp_counter_releases_until_budget_gone() {
+        let mut acc = PrivacyAccountant::pure(0.05).unwrap(); // 5 releases at 0.01
+        let mut dp = StreamingDpCounter::new(100, 0.01, 7).unwrap();
+        let mut releases = 0;
+        let mut exhausted = 0;
+        for _ in 0..2_000 {
+            match dp.observe(&mut acc) {
+                Some(Alert::DpRelease { noisy_count, .. }) => {
+                    releases += 1;
+                    assert!(noisy_count >= 0.0);
+                    assert!((noisy_count - 100.0).abs() < 10_000.0);
+                }
+                Some(Alert::BudgetExhausted) => exhausted += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(releases, 5);
+        assert_eq!(exhausted, 1, "exhaustion reported exactly once");
+    }
+
+    #[test]
+    fn guarded_stream_counts_work() {
+        let mut guarded = GuardedStream::guarded(1000, 0.8, 500, 1.0, 100, 9).unwrap();
+        let mut unguarded = GuardedStream::unguarded();
+        for ev in InternetMinute::new(5).take(10_000) {
+            guarded.process(&ev);
+            unguarded.process(&ev);
+        }
+        assert_eq!(guarded.processed, 10_000);
+        assert_eq!(unguarded.processed, 10_000);
+        assert_eq!(guarded.audit_entries, 100);
+        assert_eq!(unguarded.audit_entries, 0);
+        assert!((guarded.value_sum() - unguarded.value_sum()).abs() < 1e-6);
+        // DP releases happened
+        assert!(guarded
+            .alerts
+            .iter()
+            .any(|a| matches!(a, Alert::DpRelease { .. })));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(StreamingFairnessMonitor::new(0, 0.8, 10).is_err());
+        assert!(StreamingFairnessMonitor::new(10, 1.5, 10).is_err());
+        assert!(StreamingDpCounter::new(0, 0.1, 0).is_err());
+        assert!(StreamingDpCounter::new(10, 0.0, 0).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Multi-column group-by aggregation.
+//!
+//! A thin analytic layer over [`Dataset::group_by`]: one pass produces a new
+//! dataset with one row per group and one column per requested aggregate —
+//! the workhorse shape of every audit table in the FACT reports.
+
+use crate::column::Column;
+use crate::error::{FactError, Result};
+use crate::frame::Dataset;
+
+/// An aggregate function over a numeric/bool column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Row count of the group (column still required for naming symmetry).
+    Count,
+    /// Sum of values.
+    Sum,
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl AggFn {
+    fn name(self) -> &'static str {
+        match self {
+            AggFn::Count => "count",
+            AggFn::Sum => "sum",
+            AggFn::Mean => "mean",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+        }
+    }
+}
+
+/// One aggregation request: `(column, function)`.
+pub type AggSpec<'a> = (&'a str, AggFn);
+
+/// Group `ds` by `key` and compute each aggregate. Output columns are named
+/// `{column}_{fn}` plus the leading key column; groups appear in
+/// first-appearance order.
+pub fn aggregate(ds: &Dataset, key: &str, specs: &[AggSpec<'_>]) -> Result<Dataset> {
+    if specs.is_empty() {
+        return Err(FactError::InvalidArgument(
+            "at least one aggregate is required".into(),
+        ));
+    }
+    let groups = ds.group_by(key)?;
+    let keys: Vec<String> = groups.keys().iter().map(|k| k.to_string()).collect();
+    let mut out = Dataset::builder().cat(key, &keys).build()?;
+
+    for &(col_name, f) in specs {
+        let col = ds.column(col_name)?;
+        let mut vals = Vec::with_capacity(keys.len());
+        for k in &keys {
+            let idx = groups.indices(k).expect("key from groups");
+            let sub = col.take(idx);
+            let v = match f {
+                AggFn::Count => idx.len() as f64,
+                AggFn::Sum => {
+                    let mut s = 0.0;
+                    sub.for_each_valid_f64(|x| s += x)?;
+                    s
+                }
+                AggFn::Mean => sub.mean()?,
+                AggFn::Min => sub.min()?,
+                AggFn::Max => sub.max()?,
+            };
+            vals.push(v);
+        }
+        out.add_column(format!("{col_name}_{}", f.name()), Column::from_f64(vals))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales() -> Dataset {
+        Dataset::builder()
+            .cat("region", &["n", "s", "n", "s", "n"])
+            .f64("amount", vec![10.0, 20.0, 30.0, 40.0, 50.0])
+            .boolean("won", vec![true, false, true, true, false])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_aggregates() {
+        let out = aggregate(
+            &sales(),
+            "region",
+            &[
+                ("amount", AggFn::Sum),
+                ("amount", AggFn::Mean),
+                ("amount", AggFn::Min),
+                ("amount", AggFn::Max),
+                ("amount", AggFn::Count),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.labels("region").unwrap(), vec!["n", "s"]);
+        assert_eq!(out.f64_column("amount_sum").unwrap(), vec![90.0, 60.0]);
+        assert_eq!(out.f64_column("amount_mean").unwrap(), vec![30.0, 30.0]);
+        assert_eq!(out.f64_column("amount_min").unwrap(), vec![10.0, 20.0]);
+        assert_eq!(out.f64_column("amount_max").unwrap(), vec![50.0, 40.0]);
+        assert_eq!(out.f64_column("amount_count").unwrap(), vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn bool_columns_aggregate_as_rates() {
+        let out = aggregate(&sales(), "region", &[("won", AggFn::Mean)]).unwrap();
+        let rates = out.f64_column("won_mean").unwrap();
+        assert!((rates[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rates[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(aggregate(&sales(), "region", &[]).is_err());
+        assert!(aggregate(&sales(), "amount", &[("amount", AggFn::Sum)]).is_err());
+        assert!(aggregate(&sales(), "region", &[("ghost", AggFn::Sum)]).is_err());
+        // categorical column cannot be summed
+        assert!(aggregate(&sales(), "region", &[("region", AggFn::Sum)]).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Controlled bias injectors.
+//!
+//! The paper's fairness pillar (§2, Q1) warns that "the training data may be
+//! biased or minorities may be underrepresented or individually
+//! discriminated". These functions *create* those conditions on demand, with
+//! a known ground truth, so detection and mitigation can be validated
+//! quantitatively:
+//!
+//! * [`flip_labels_against_group`] — historical *label bias*: flip favorable
+//!   outcomes to unfavorable for members of a protected group.
+//! * [`undersample_group`] — *representation bias*: drop members of a group.
+//! * [`inject_proxy`] — *redundant encoding*: add a feature correlated with
+//!   the protected attribute, so group membership leaks even after the
+//!   sensitive column is removed (the paper's "even if sensitive attributes
+//!   are omitted" failure mode).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::column::Column;
+use crate::error::{FactError, Result};
+use crate::frame::Dataset;
+
+/// Flip `rate` of the `true` labels to `false` for rows whose `group_col`
+/// equals `group`. Models historical discrimination in recorded outcomes.
+///
+/// Returns the biased dataset and the number of labels flipped.
+pub fn flip_labels_against_group(
+    ds: &Dataset,
+    label_col: &str,
+    group_col: &str,
+    group: &str,
+    rate: f64,
+    seed: u64,
+) -> Result<(Dataset, usize)> {
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(FactError::InvalidArgument(format!(
+            "flip rate must be in [0, 1], got {rate}"
+        )));
+    }
+    let labels = ds.bool_column(label_col)?.to_vec();
+    let groups = ds.labels(group_col)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flipped = 0usize;
+    let new_labels: Vec<bool> = labels
+        .iter()
+        .zip(&groups)
+        .map(|(&y, g)| {
+            if y && g == group && rng.gen::<f64>() < rate {
+                flipped += 1;
+                false
+            } else {
+                y
+            }
+        })
+        .collect();
+    let mut out = ds.clone();
+    out.replace_column(label_col, Column::from_bool(new_labels))?;
+    Ok((out, flipped))
+}
+
+/// Keep only `keep_frac` of the rows belonging to `group` (all other rows are
+/// retained). Models under-representation of a minority in collected data.
+pub fn undersample_group(
+    ds: &Dataset,
+    group_col: &str,
+    group: &str,
+    keep_frac: f64,
+    seed: u64,
+) -> Result<Dataset> {
+    if !(0.0..=1.0).contains(&keep_frac) {
+        return Err(FactError::InvalidArgument(format!(
+            "keep_frac must be in [0, 1], got {keep_frac}"
+        )));
+    }
+    let groups = ds.labels(group_col)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask: Vec<bool> = groups
+        .iter()
+        .map(|g| g != group || rng.gen::<f64>() < keep_frac)
+        .collect();
+    ds.filter(&mask)
+}
+
+/// Add a numeric column `proxy_name` that encodes group membership with
+/// strength `strength ∈ [0, 1]`: the proxy is
+/// `strength · 1[group] + (1 − strength) · noise`, so at `strength = 1` it is
+/// a perfect surrogate for the protected attribute and at `strength = 0` it
+/// is pure noise.
+pub fn inject_proxy(
+    ds: &Dataset,
+    group_col: &str,
+    group: &str,
+    proxy_name: &str,
+    strength: f64,
+    seed: u64,
+) -> Result<Dataset> {
+    if !(0.0..=1.0).contains(&strength) {
+        return Err(FactError::InvalidArgument(format!(
+            "proxy strength must be in [0, 1], got {strength}"
+        )));
+    }
+    let groups = ds.labels(group_col)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let proxy: Vec<f64> = groups
+        .iter()
+        .map(|g| {
+            let indicator = if g == group { 1.0 } else { 0.0 };
+            let noise: f64 = rng.gen::<f64>();
+            strength * indicator + (1.0 - strength) * noise
+        })
+        .collect();
+    let mut out = ds.clone();
+    out.add_column(proxy_name, Column::from_f64(proxy))?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(n: usize) -> Dataset {
+        let groups: Vec<String> = (0..n)
+            .map(|i| if i % 2 == 0 { "A" } else { "B" }.to_string())
+            .collect();
+        Dataset::builder()
+            .boolean("y", vec![true; n])
+            .cat("g", &groups)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn flip_only_targets_group_and_true_labels() {
+        let ds = base(1000);
+        let (biased, flipped) = flip_labels_against_group(&ds, "y", "g", "B", 0.5, 1).unwrap();
+        let y = biased.bool_column("y").unwrap();
+        let g = biased.labels("g").unwrap();
+        // group A untouched
+        assert!(y.iter().zip(&g).filter(|(_, gg)| *gg == "A").all(|(&v, _)| v));
+        let b_false = y
+            .iter()
+            .zip(&g)
+            .filter(|(&v, gg)| *gg == "B" && !v)
+            .count();
+        assert_eq!(b_false, flipped);
+        assert!((150..350).contains(&flipped), "≈50% of 500, got {flipped}");
+    }
+
+    #[test]
+    fn flip_rate_zero_and_one() {
+        let ds = base(100);
+        let (same, f0) = flip_labels_against_group(&ds, "y", "g", "B", 0.0, 1).unwrap();
+        assert_eq!(f0, 0);
+        assert_eq!(same.bool_column("y").unwrap(), ds.bool_column("y").unwrap());
+        let (all, f1) = flip_labels_against_group(&ds, "y", "g", "B", 1.0, 1).unwrap();
+        assert_eq!(f1, 50);
+        assert!(all
+            .bool_column("y")
+            .unwrap()
+            .iter()
+            .zip(all.labels("g").unwrap())
+            .filter(|(_, g)| g == "B")
+            .all(|(&v, _)| !v));
+    }
+
+    #[test]
+    fn flip_validates_rate() {
+        let ds = base(10);
+        assert!(flip_labels_against_group(&ds, "y", "g", "B", 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn undersample_shrinks_only_target_group() {
+        let ds = base(2000);
+        let out = undersample_group(&ds, "g", "B", 0.2, 3).unwrap();
+        let g = out.labels("g").unwrap();
+        let a = g.iter().filter(|s| *s == "A").count();
+        let b = g.iter().filter(|s| *s == "B").count();
+        assert_eq!(a, 1000);
+        assert!((120..300).contains(&b), "≈20% of 1000, got {b}");
+    }
+
+    #[test]
+    fn proxy_strength_extremes() {
+        let ds = base(500);
+        let perfect = inject_proxy(&ds, "g", "B", "zip_risk", 1.0, 1).unwrap();
+        let p = perfect.f64_column("zip_risk").unwrap();
+        let g = perfect.labels("g").unwrap();
+        for (v, gg) in p.iter().zip(&g) {
+            assert_eq!(*v, if gg == "B" { 1.0 } else { 0.0 });
+        }
+        let noise = inject_proxy(&ds, "g", "B", "zip_risk", 0.0, 1).unwrap();
+        let p = noise.f64_column("zip_risk").unwrap();
+        // pure noise: group means close
+        let mean = |f: &dyn Fn(&str) -> bool| {
+            let vals: Vec<f64> = p
+                .iter()
+                .zip(&g)
+                .filter(|(_, gg)| f(gg))
+                .map(|(&v, _)| v)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let diff = (mean(&|s: &str| s == "A") - mean(&|s: &str| s == "B")).abs();
+        assert!(diff < 0.1, "pure-noise proxy should not separate groups: {diff}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Fluent construction of [`Dataset`]s.
+
+use crate::column::Column;
+use crate::error::{FactError, Result};
+use crate::frame::Dataset;
+use crate::schema::{Field, Schema};
+
+/// Builds a [`Dataset`] column by column, validating lengths and name
+/// uniqueness at [`DatasetBuilder::build`] time.
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    pairs: Vec<(String, Column, bool, bool)>, // name, column, sensitive, quasi
+}
+
+impl DatasetBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        DatasetBuilder { pairs: Vec::new() }
+    }
+
+    /// Add a float column.
+    pub fn f64(self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        self.column(name, Column::from_f64(values))
+    }
+
+    /// Add a float column with possible nulls.
+    pub fn f64_opt(self, name: impl Into<String>, values: Vec<Option<f64>>) -> Self {
+        self.column(name, Column::from_f64_opt(values))
+    }
+
+    /// Add an integer column.
+    pub fn i64(self, name: impl Into<String>, values: Vec<i64>) -> Self {
+        self.column(name, Column::from_i64(values))
+    }
+
+    /// Add a boolean column.
+    pub fn boolean(self, name: impl Into<String>, values: Vec<bool>) -> Self {
+        self.column(name, Column::from_bool(values))
+    }
+
+    /// Add a categorical column from labels.
+    pub fn cat<S: AsRef<str>>(self, name: impl Into<String>, labels: &[S]) -> Self {
+        self.column(name, Column::from_labels(labels))
+    }
+
+    /// Add an arbitrary prebuilt column.
+    pub fn column(mut self, name: impl Into<String>, col: Column) -> Self {
+        self.pairs.push((name.into(), col, false, false));
+        self
+    }
+
+    /// Mark the most recently added column as a sensitive/protected attribute.
+    pub fn sensitive(mut self) -> Self {
+        if let Some(last) = self.pairs.last_mut() {
+            last.2 = true;
+        }
+        self
+    }
+
+    /// Mark the most recently added column as a quasi-identifier.
+    pub fn quasi_identifier(mut self) -> Self {
+        if let Some(last) = self.pairs.last_mut() {
+            last.3 = true;
+        }
+        self
+    }
+
+    /// Validate and produce the dataset.
+    ///
+    /// Errors when no columns were added, when lengths differ, or when a
+    /// column name repeats.
+    pub fn build(self) -> Result<Dataset> {
+        if self.pairs.is_empty() {
+            return Err(FactError::EmptyData("dataset with no columns".into()));
+        }
+        let n_rows = self.pairs[0].1.len();
+        let mut schema = Schema::new();
+        let mut columns = Vec::with_capacity(self.pairs.len());
+        for (name, col, sensitive, quasi) in self.pairs {
+            if schema.index_of(&name).is_some() {
+                return Err(FactError::InvalidArgument(format!(
+                    "duplicate column name '{name}'"
+                )));
+            }
+            if col.len() != n_rows {
+                return Err(FactError::LengthMismatch {
+                    expected: n_rows,
+                    actual: col.len(),
+                });
+            }
+            let mut field = Field::new(name, col.dtype());
+            field.sensitive = sensitive;
+            field.quasi_identifier = quasi;
+            schema.push(field);
+            columns.push(col);
+        }
+        Ok(Dataset::from_parts(schema, columns, n_rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    #[test]
+    fn builds_typed_columns_with_annotations() {
+        let ds = Dataset::builder()
+            .f64("x", vec![1.0, 2.0])
+            .cat("gender", &["m", "f"])
+            .sensitive()
+            .cat("zip", &["11", "22"])
+            .quasi_identifier()
+            .build()
+            .unwrap();
+        assert_eq!(ds.n_rows(), 2);
+        assert_eq!(ds.schema().sensitive_fields(), vec!["gender"]);
+        assert_eq!(ds.schema().quasi_identifiers(), vec!["zip"]);
+        assert_eq!(ds.schema().field("x").unwrap().dtype, DataType::Float);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            Dataset::builder().build(),
+            Err(FactError::EmptyData(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let res = Dataset::builder()
+            .f64("a", vec![1.0])
+            .f64("b", vec![1.0, 2.0])
+            .build();
+        assert!(matches!(res, Err(FactError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let res = Dataset::builder()
+            .f64("a", vec![1.0])
+            .i64("a", vec![1])
+            .build();
+        assert!(matches!(res, Err(FactError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn nullable_floats() {
+        let ds = Dataset::builder()
+            .f64_opt("a", vec![Some(1.0), None])
+            .build()
+            .unwrap();
+        assert_eq!(ds.null_count(), 1);
+    }
+}

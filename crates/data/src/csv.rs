@@ -1,0 +1,332 @@
+//! CSV ingestion and export with type inference.
+//!
+//! The reader handles RFC-4180-style quoting (quoted fields, embedded commas,
+//! doubled quotes) and infers each column's type from its values:
+//! `int → float → bool → categorical`, with empty fields treated as nulls.
+//! Only int and float columns may contain nulls after inference; a bool or
+//! categorical column with empties falls back to categorical with an explicit
+//! `""` label — this keeps inference total.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::column::Column;
+use crate::error::{FactError, Result};
+use crate::frame::Dataset;
+use crate::value::Value;
+
+/// Options controlling CSV reading.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first record is a header (default `true`).
+    pub has_header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+        }
+    }
+}
+
+/// Read a dataset from a CSV file on disk with default options.
+pub fn read_csv_path(path: impl AsRef<Path>) -> Result<Dataset> {
+    let f = std::fs::File::open(path)?;
+    read_csv(f, &CsvOptions::default())
+}
+
+/// Read a dataset from any reader.
+pub fn read_csv<R: Read>(reader: R, opts: &CsvOptions) -> Result<Dataset> {
+    let lines = BufReader::new(reader).lines();
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut header: Option<Vec<String>> = None;
+    let mut lineno = 0usize;
+    for line in lines {
+        lineno += 1;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_record(&line, opts.delimiter, lineno)?;
+        if opts.has_header && header.is_none() {
+            header = Some(fields);
+        } else {
+            records.push(fields);
+        }
+    }
+    let n_cols = match (&header, records.first()) {
+        (Some(h), _) => h.len(),
+        (None, Some(r)) => r.len(),
+        _ => return Err(FactError::EmptyData("CSV with no records".into())),
+    };
+    if records.is_empty() {
+        return Err(FactError::EmptyData("CSV with a header but no rows".into()));
+    }
+    for (i, r) in records.iter().enumerate() {
+        if r.len() != n_cols {
+            return Err(FactError::Parse {
+                line: i + 1 + usize::from(opts.has_header),
+                message: format!("expected {n_cols} fields, found {}", r.len()),
+            });
+        }
+    }
+    let names: Vec<String> = match header {
+        Some(h) => h,
+        None => (0..n_cols).map(|i| format!("col{i}")).collect(),
+    };
+    let mut pairs = Vec::with_capacity(n_cols);
+    for (j, name) in names.into_iter().enumerate() {
+        let raw: Vec<&str> = records.iter().map(|r| r[j].as_str()).collect();
+        pairs.push((name, infer_column(&raw)));
+    }
+    Dataset::from_columns(pairs)
+}
+
+/// Write a dataset as CSV to any writer (header included).
+pub fn write_csv<W: Write>(ds: &Dataset, mut writer: W) -> Result<()> {
+    let names = ds.names();
+    writeln!(
+        writer,
+        "{}",
+        names
+            .iter()
+            .map(|n| quote_field(n))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
+    for i in 0..ds.n_rows() {
+        let fields: Vec<String> = ds
+            .row(i)
+            .into_iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                Value::Cat(s) => quote_field(&s),
+                other => other.to_string(),
+            })
+            .collect();
+        writeln!(writer, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+/// Write a dataset as CSV to a file path.
+pub fn write_csv_path(ds: &Dataset, path: impl AsRef<Path>) -> Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_csv(ds, f)
+}
+
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn parse_record(line: &str, delim: char, lineno: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' {
+            if cur.is_empty() {
+                in_quotes = true;
+            } else {
+                return Err(FactError::Parse {
+                    line: lineno,
+                    message: "unexpected quote inside unquoted field".into(),
+                });
+            }
+        } else if c == delim {
+            fields.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    if in_quotes {
+        return Err(FactError::Parse {
+            line: lineno,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn infer_column(raw: &[&str]) -> Column {
+    let non_empty: Vec<&str> = raw.iter().copied().filter(|s| !s.is_empty()).collect();
+    let has_nulls = non_empty.len() != raw.len();
+
+    if !non_empty.is_empty() && non_empty.iter().all(|s| s.parse::<i64>().is_ok()) {
+        if has_nulls {
+            // represent nullable ints as nullable floats to keep one mask type
+            return Column::from_f64_opt(
+                raw.iter()
+                    .map(|s| {
+                        if s.is_empty() {
+                            None
+                        } else {
+                            Some(s.parse::<i64>().expect("checked") as f64)
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        return Column::from_i64(
+            raw.iter()
+                .map(|s| s.parse::<i64>().expect("checked"))
+                .collect(),
+        );
+    }
+    if !non_empty.is_empty() && non_empty.iter().all(|s| s.parse::<f64>().is_ok()) {
+        if has_nulls {
+            return Column::from_f64_opt(
+                raw.iter()
+                    .map(|s| {
+                        if s.is_empty() {
+                            None
+                        } else {
+                            Some(s.parse::<f64>().expect("checked"))
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        return Column::from_f64(
+            raw.iter()
+                .map(|s| s.parse::<f64>().expect("checked"))
+                .collect(),
+        );
+    }
+    if !has_nulls
+        && !non_empty.is_empty()
+        && non_empty.iter().all(|s| *s == "true" || *s == "false")
+    {
+        return Column::from_bool(raw.iter().map(|s| *s == "true").collect());
+    }
+    Column::from_labels(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn parse(text: &str) -> Dataset {
+        read_csv(text.as_bytes(), &CsvOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn infers_types() {
+        let ds = parse("a,b,c,d\n1,1.5,true,x\n2,2.5,false,y\n");
+        assert_eq!(ds.column("a").unwrap().dtype(), DataType::Int);
+        assert_eq!(ds.column("b").unwrap().dtype(), DataType::Float);
+        assert_eq!(ds.column("c").unwrap().dtype(), DataType::Bool);
+        assert_eq!(ds.column("d").unwrap().dtype(), DataType::Cat);
+    }
+
+    #[test]
+    fn empty_fields_become_nulls_for_numeric() {
+        let ds = parse("a,b\n1,2.0\n,\n3,4.0\n");
+        assert_eq!(ds.column("a").unwrap().null_count(), 1);
+        assert_eq!(ds.column("b").unwrap().null_count(), 1);
+        // nullable int widened to float
+        assert_eq!(ds.column("a").unwrap().dtype(), DataType::Float);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let ds = parse("name,v\n\"Doe, Jane\",1\n\"say \"\"hi\"\"\",2\n");
+        let labels = ds.labels("name").unwrap();
+        assert_eq!(labels[0], "Doe, Jane");
+        assert_eq!(labels[1], "say \"hi\"");
+    }
+
+    #[test]
+    fn headerless_mode_names_columns() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let ds = read_csv("1,2\n3,4\n".as_bytes(), &opts).unwrap();
+        assert_eq!(ds.names(), vec!["col0", "col1"]);
+        assert_eq!(ds.n_rows(), 2);
+    }
+
+    #[test]
+    fn ragged_record_is_an_error() {
+        let res = read_csv("a,b\n1,2\n3\n".as_bytes(), &CsvOptions::default());
+        assert!(matches!(res, Err(FactError::Parse { .. })));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let res = read_csv("a\n\"oops\n".as_bytes(), &CsvOptions::default());
+        assert!(matches!(res, Err(FactError::Parse { .. })));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(read_csv("".as_bytes(), &CsvOptions::default()).is_err());
+        assert!(read_csv("a,b\n".as_bytes(), &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let ds = Dataset::builder()
+            .f64("x", vec![1.5, 2.5])
+            .i64("n", vec![10, 20])
+            .boolean("flag", vec![true, false])
+            .cat("label", &["a,b", "plain"])
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice(), &CsvOptions::default()).unwrap();
+        assert_eq!(back.f64_column("x").unwrap(), vec![1.5, 2.5]);
+        assert_eq!(back.column("n").unwrap().as_i64_slice().unwrap(), &[10, 20]);
+        assert_eq!(back.bool_column("flag").unwrap(), &[true, false]);
+        assert_eq!(back.labels("label").unwrap(), vec!["a,b", "plain"]);
+    }
+
+    #[test]
+    fn round_trip_preserves_nulls() {
+        let ds = Dataset::builder()
+            .f64_opt("x", vec![Some(1.0), None])
+            .cat("g", &["u", "v"])
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice(), &CsvOptions::default()).unwrap();
+        assert_eq!(back.column("x").unwrap().null_count(), 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fact_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rt.csv");
+        let ds = Dataset::builder().f64("x", vec![1.0, 2.0]).build().unwrap();
+        write_csv_path(&ds, &path).unwrap();
+        let back = read_csv_path(&path).unwrap();
+        assert_eq!(back.f64_column("x").unwrap(), vec![1.0, 2.0]);
+        std::fs::remove_file(path).ok();
+    }
+}

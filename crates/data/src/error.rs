@@ -1,0 +1,174 @@
+//! The shared error type for the whole FACT workspace.
+//!
+//! Every FACT crate returns [`FactError`] from fallible operations so that
+//! errors compose across the pipeline without conversion boilerplate. The
+//! variants cover the four FACT pillars: data-shape errors (all pillars),
+//! privacy-budget exhaustion (confidentiality), and policy violations
+//! (governance in `fact-core`).
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Result alias used throughout the FACT workspace.
+pub type Result<T> = std::result::Result<T, FactError>;
+
+/// Unified error type for the FACT toolkit.
+#[derive(Debug)]
+pub enum FactError {
+    /// A referenced column does not exist in the dataset.
+    ColumnNotFound(String),
+    /// A column exists but has the wrong type for the requested operation.
+    TypeMismatch {
+        /// Column whose type was wrong.
+        column: String,
+        /// Type the operation required.
+        expected: DataType,
+        /// Type actually found.
+        actual: DataType,
+    },
+    /// Two collections that must be equal-length are not.
+    LengthMismatch {
+        /// Expected length (e.g. the dataset row count).
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+    /// An operation that needs rows was given an empty dataset.
+    EmptyData(String),
+    /// A parameter was outside its valid domain.
+    InvalidArgument(String),
+    /// Null values were encountered by an operation that cannot handle them.
+    NullNotAllowed {
+        /// Column containing the nulls.
+        column: String,
+        /// Number of null entries found.
+        count: usize,
+    },
+    /// Underlying I/O failure (CSV read/write, artifact export).
+    Io(std::io::Error),
+    /// A value could not be parsed (CSV ingestion).
+    Parse {
+        /// 1-based line number of the offending record, if known.
+        line: usize,
+        /// Description of what failed to parse.
+        message: String,
+    },
+    /// A differential-privacy budget request exceeded the remaining budget.
+    BudgetExhausted {
+        /// Epsilon requested by the query.
+        requested: f64,
+        /// Epsilon still available in the accountant.
+        remaining: f64,
+    },
+    /// A FACT governance policy was violated (raised by `fact-core` guards).
+    PolicyViolation(String),
+    /// A numeric routine failed to converge or produced a singular system.
+    Numeric(String),
+    /// A model was used before being fitted.
+    NotFitted(String),
+}
+
+impl fmt::Display for FactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactError::ColumnNotFound(name) => write!(f, "column not found: '{name}'"),
+            FactError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch on column '{column}': expected {expected}, found {actual}"
+            ),
+            FactError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            FactError::EmptyData(what) => write!(f, "empty data: {what}"),
+            FactError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            FactError::NullNotAllowed { column, count } => {
+                write!(f, "column '{column}' contains {count} null(s), which this operation does not accept; call Dataset::drop_nulls first")
+            }
+            FactError::Io(e) => write!(f, "I/O error: {e}"),
+            FactError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            FactError::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
+            ),
+            FactError::PolicyViolation(msg) => write!(f, "FACT policy violation: {msg}"),
+            FactError::Numeric(msg) => write!(f, "numeric error: {msg}"),
+            FactError::NotFitted(what) => write!(f, "model not fitted: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FactError {
+    fn from(e: std::io::Error) -> Self {
+        FactError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = FactError::ColumnNotFound("income".into());
+        assert_eq!(e.to_string(), "column not found: 'income'");
+    }
+
+    #[test]
+    fn display_type_mismatch_names_both_types() {
+        let e = FactError::TypeMismatch {
+            column: "age".into(),
+            expected: DataType::Float,
+            actual: DataType::Cat,
+        };
+        let s = e.to_string();
+        assert!(s.contains("age"));
+        assert!(s.contains("float"));
+        assert!(s.contains("categorical"));
+    }
+
+    #[test]
+    fn display_budget_exhausted_carries_numbers() {
+        let e = FactError::BudgetExhausted {
+            requested: 0.5,
+            remaining: 0.25,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0.5"));
+        assert!(s.contains("0.25"));
+    }
+
+    #[test]
+    fn io_error_converts_and_exposes_source() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: FactError = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        use std::error::Error;
+        let e = FactError::EmptyData("dataset".into());
+        assert!(e.source().is_none());
+    }
+}

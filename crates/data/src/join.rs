@@ -1,0 +1,208 @@
+//! Hash joins between datasets.
+//!
+//! The paper's pipelines span "multiple steps and actors" — in practice that
+//! means combining tables (applications with credit-bureau data, events with
+//! user profiles). Inner and left hash joins on a categorical/int/bool key
+//! column; right-hand columns are suffixed on name collisions.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::{FactError, Result};
+use crate::frame::Dataset;
+use crate::value::{DataType, Value};
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only rows whose key appears on both sides.
+    Inner,
+    /// Keep every left row; unmatched right columns become nulls (numeric
+    /// right columns) or a `""` label (categorical).
+    Left,
+}
+
+fn key_strings(ds: &Dataset, key: &str) -> Result<Vec<String>> {
+    let col = ds.column(key)?;
+    match col.dtype() {
+        DataType::Cat | DataType::Int | DataType::Bool => {
+            Ok((0..ds.n_rows()).map(|i| col.get(i).to_string()).collect())
+        }
+        other => Err(FactError::TypeMismatch {
+            column: key.to_string(),
+            expected: DataType::Cat,
+            actual: other,
+        }),
+    }
+}
+
+/// Join `left` with `right` on equality of `key` (same column name on both
+/// sides). Right-side duplicates produce one output row per match. Columns
+/// of `right` (other than the key) that collide with a left column name get
+/// a `_right` suffix.
+pub fn join(left: &Dataset, right: &Dataset, key: &str, kind: JoinKind) -> Result<Dataset> {
+    let lk = key_strings(left, key)?;
+    let rk = key_strings(right, key)?;
+    // index right rows by key
+    let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, k) in rk.iter().enumerate() {
+        index.entry(k.as_str()).or_default().push(i);
+    }
+    // build row pairs
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<Option<usize>> = Vec::new();
+    for (li, k) in lk.iter().enumerate() {
+        match index.get(k.as_str()) {
+            Some(matches) => {
+                for &ri in matches {
+                    left_rows.push(li);
+                    right_rows.push(Some(ri));
+                }
+            }
+            None => {
+                if kind == JoinKind::Left {
+                    left_rows.push(li);
+                    right_rows.push(None);
+                }
+            }
+        }
+    }
+
+    let mut out = left.take(&left_rows);
+    let left_names: Vec<String> = left.names().iter().map(|s| s.to_string()).collect();
+    for field in right.schema().fields() {
+        if field.name == key {
+            continue;
+        }
+        let name = if left_names.contains(&field.name) {
+            format!("{}_right", field.name)
+        } else {
+            field.name.clone()
+        };
+        let col = right.column(&field.name)?;
+        let gathered = gather_with_nulls(col, &right_rows);
+        out.add_column(name.clone(), gathered)?;
+        // carry FACT annotations across the join
+        if let Some(f) = out.schema_mut().field_mut(&name) {
+            f.sensitive = field.sensitive;
+            f.quasi_identifier = field.quasi_identifier;
+        }
+    }
+    Ok(out)
+}
+
+fn gather_with_nulls(col: &Column, rows: &[Option<usize>]) -> Column {
+    match col.dtype() {
+        DataType::Cat => {
+            let labels: Vec<String> = rows
+                .iter()
+                .map(|r| match r {
+                    Some(i) => match col.get(*i) {
+                        Value::Cat(s) => s,
+                        other => other.to_string(),
+                    },
+                    None => String::new(),
+                })
+                .collect();
+            Column::from_labels(&labels)
+        }
+        _ => {
+            let vals: Vec<Option<f64>> = rows
+                .iter()
+                .map(|r| r.and_then(|i| col.get(i).as_f64()))
+                .collect();
+            Column::from_f64_opt(vals)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Dataset {
+        Dataset::builder()
+            .cat("user", &["u1", "u2", "u3", "u4"])
+            .f64("score", vec![1.0, 2.0, 3.0, 4.0])
+            .build()
+            .unwrap()
+    }
+
+    fn profiles() -> Dataset {
+        Dataset::builder()
+            .cat("user", &["u1", "u3", "u3", "u9"])
+            .cat("region", &["north", "south", "west", "east"])
+            .f64("age", vec![30.0, 40.0, 41.0, 50.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let j = join(&people(), &profiles(), "user", JoinKind::Inner).unwrap();
+        // u1 matches once, u3 matches twice, u2/u4 drop
+        assert_eq!(j.n_rows(), 3);
+        assert_eq!(j.labels("user").unwrap(), vec!["u1", "u3", "u3"]);
+        assert_eq!(j.f64_column("score").unwrap(), vec![1.0, 3.0, 3.0]);
+        assert_eq!(j.labels("region").unwrap(), vec!["north", "south", "west"]);
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_with_nulls() {
+        let j = join(&people(), &profiles(), "user", JoinKind::Left).unwrap();
+        assert_eq!(j.n_rows(), 5); // u1, u2(null), u3×2, u4(null)
+        let age = j.column("age").unwrap();
+        assert_eq!(age.null_count(), 2);
+        let users = j.labels("user").unwrap();
+        assert_eq!(users, vec!["u1", "u2", "u3", "u3", "u4"]);
+        let region = j.labels("region").unwrap();
+        assert_eq!(region[1], "");
+    }
+
+    #[test]
+    fn name_collisions_get_suffixed() {
+        let right = Dataset::builder()
+            .cat("user", &["u1"])
+            .f64("score", vec![99.0])
+            .build()
+            .unwrap();
+        let j = join(&people(), &right, "user", JoinKind::Inner).unwrap();
+        assert!(j.column("score").is_ok());
+        assert_eq!(j.f64_column("score_right").unwrap(), vec![99.0]);
+    }
+
+    #[test]
+    fn annotations_travel_across_joins() {
+        let right = Dataset::builder()
+            .cat("user", &["u1", "u2"])
+            .cat("ethnicity", &["a", "b"])
+            .sensitive()
+            .build()
+            .unwrap();
+        let j = join(&people(), &right, "user", JoinKind::Inner).unwrap();
+        assert!(j.schema().field("ethnicity").unwrap().sensitive);
+    }
+
+    #[test]
+    fn float_keys_rejected() {
+        assert!(join(&people(), &profiles(), "score", JoinKind::Inner).is_err());
+        assert!(join(&people(), &profiles(), "ghost", JoinKind::Inner).is_err());
+    }
+
+    #[test]
+    fn int_keys_work() {
+        let a = Dataset::builder()
+            .i64("id", vec![1, 2, 3])
+            .f64("x", vec![0.1, 0.2, 0.3])
+            .build()
+            .unwrap();
+        let b = Dataset::builder()
+            .i64("id", vec![2, 3])
+            .f64("y", vec![20.0, 30.0])
+            .build()
+            .unwrap();
+        let j = join(&a, &b, "id", JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 2);
+        assert_eq!(j.f64_column("y").unwrap(), vec![20.0, 30.0]);
+    }
+}

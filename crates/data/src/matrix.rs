@@ -1,0 +1,504 @@
+//! A small dense row-major matrix kernel.
+//!
+//! This is deliberately minimal: just what the ML (`fact-ml`) and causal
+//! (`fact-causal`) crates need — construction, views, products, normal
+//! equations, and a partial-pivot Gaussian solver. Row-major storage keeps
+//! per-row feature access (the hot path in SGD and tree building) contiguous.
+
+use crate::error::{FactError, Result};
+
+/// Dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from a flat row-major buffer.
+    pub fn from_flat(data: Vec<f64>, rows: usize, cols: usize) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(FactError::LengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+
+    /// Build from row slices (all must be equal length).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(FactError::EmptyData("matrix with no rows".into()));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(FactError::LengthMismatch {
+                    expected: cols,
+                    actual: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            data,
+            rows: rows.len(),
+            cols,
+        })
+    }
+
+    /// Build from column vectors (all must be length `n_rows`).
+    #[allow(clippy::needless_range_loop)] // parallel-array indexing is clearer here
+    pub fn from_columns(cols: &[Vec<f64>], n_rows: usize) -> Result<Self> {
+        let n_cols = cols.len();
+        for c in cols {
+            if c.len() != n_rows {
+                return Err(FactError::LengthMismatch {
+                    expected: n_rows,
+                    actual: c.len(),
+                });
+            }
+        }
+        let mut data = vec![0.0; n_rows * n_cols];
+        for (j, c) in cols.iter().enumerate() {
+            for (i, &v) in c.iter().enumerate() {
+                data[i * n_cols + j] = v;
+            }
+        }
+        Ok(Matrix {
+            data,
+            rows: n_rows,
+            cols: n_cols,
+        })
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Set element at `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Materialize column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Flat row-major view.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// `self · v` (length must equal `cols`).
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(FactError::LengthMismatch {
+                expected: self.cols,
+                actual: v.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v) {
+                acc += a * b;
+            }
+            out.push(acc);
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ · v` (length must equal `rows`).
+    #[allow(clippy::needless_range_loop)]
+    pub fn t_matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.rows {
+            return Err(FactError::LengthMismatch {
+                expected: self.rows,
+                actual: v.len(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let w = v[i];
+            for (j, &x) in row.iter().enumerate() {
+                out[j] += w * x;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self · other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(FactError::LengthMismatch {
+                expected: self.cols,
+                actual: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + a * other.get(k, j));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// `Xᵀ X` — the Gram matrix used by normal equations, optionally with
+    /// per-row weights (`XᵀWX`).
+    #[allow(clippy::needless_range_loop)]
+    pub fn xtx(&self, weights: Option<&[f64]>) -> Result<Matrix> {
+        if let Some(w) = weights {
+            if w.len() != self.rows {
+                return Err(FactError::LengthMismatch {
+                    expected: self.rows,
+                    actual: w.len(),
+                });
+            }
+        }
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let w = weights.map(|w| w[i]).unwrap_or(1.0);
+            for a in 0..self.cols {
+                let ra = row[a] * w;
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..self.cols {
+                    let cur = out.get(a, b);
+                    out.set(a, b, cur + ra * row[b]);
+                }
+            }
+        }
+        // mirror upper triangle
+        for a in 0..self.cols {
+            for b in (a + 1)..self.cols {
+                let v = out.get(a, b);
+                out.set(b, a, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `Xᵀ y`, optionally weighted (`XᵀWy`).
+    pub fn xty(&self, y: &[f64], weights: Option<&[f64]>) -> Result<Vec<f64>> {
+        if y.len() != self.rows {
+            return Err(FactError::LengthMismatch {
+                expected: self.rows,
+                actual: y.len(),
+            });
+        }
+        match weights {
+            None => self.t_matvec(y),
+            Some(w) => {
+                if w.len() != self.rows {
+                    return Err(FactError::LengthMismatch {
+                        expected: self.rows,
+                        actual: w.len(),
+                    });
+                }
+                let wy: Vec<f64> = y.iter().zip(w).map(|(a, b)| a * b).collect();
+                self.t_matvec(&wy)
+            }
+        }
+    }
+
+    /// Solve the square system `A x = b` by Gaussian elimination with partial
+    /// pivoting. Errors on singular (or near-singular) systems.
+    #[allow(clippy::needless_range_loop)] // pivoting indexes several rows at once
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(FactError::InvalidArgument(format!(
+                "solve requires a square matrix, got {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        if b.len() != self.rows {
+            return Err(FactError::LengthMismatch {
+                expected: self.rows,
+                actual: b.len(),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // pivot
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-12 {
+                return Err(FactError::Numeric(
+                    "singular matrix in linear solve".into(),
+                ));
+            }
+            if pivot != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot * n + j);
+                }
+                x.swap(col, pivot);
+            }
+            // eliminate
+            let diag = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= factor * a[col * n + j];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // back-substitute
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in (col + 1)..n {
+                acc -= a[col * n + j] * x[j];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// New matrix with a leading column of ones (intercept term).
+    pub fn with_intercept(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            out.set(i, 0, 1.0);
+            for j in 0..self.cols {
+                out.set(i, j + 1, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Z-score each column in place; returns per-column `(mean, std)`.
+    /// Columns with zero variance are left centered but unscaled.
+    pub fn standardize(&mut self) -> Vec<(f64, f64)> {
+        let mut stats = Vec::with_capacity(self.cols);
+        for j in 0..self.cols {
+            let mut mean = 0.0;
+            for i in 0..self.rows {
+                mean += self.get(i, j);
+            }
+            mean /= self.rows.max(1) as f64;
+            let mut var = 0.0;
+            for i in 0..self.rows {
+                let d = self.get(i, j) - mean;
+                var += d * d;
+            }
+            let std = if self.rows > 1 {
+                (var / (self.rows - 1) as f64).sqrt()
+            } else {
+                0.0
+            };
+            let scale = if std > 1e-12 { std } else { 1.0 };
+            for i in 0..self.rows {
+                let v = (self.get(i, j) - mean) / scale;
+                self.set(i, j, v);
+            }
+            stats.push((mean, std));
+        }
+        stats
+    }
+
+    /// Apply previously computed `(mean, std)` stats (e.g. from a training
+    /// split) to this matrix.
+    #[allow(clippy::needless_range_loop)]
+    pub fn apply_standardization(&mut self, stats: &[(f64, f64)]) -> Result<()> {
+        if stats.len() != self.cols {
+            return Err(FactError::LengthMismatch {
+                expected: self.cols,
+                actual: stats.len(),
+            });
+        }
+        for j in 0..self.cols {
+            let (mean, std) = stats[j];
+            let scale = if std > 1e-12 { std } else { 1.0 };
+            for i in 0..self.rows {
+                let v = (self.get(i, j) - mean) / scale;
+                self.set(i, j, v);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn from_columns_matches_from_rows() {
+        let a = Matrix::from_columns(&[vec![1.0, 3.0], vec![2.0, 4.0]], 2).unwrap();
+        let b = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_flat(vec![1.0; 5], 2, 3).is_err());
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert_eq!(m.t_matvec(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
+        assert_eq!(m.transpose().row(0), &[1.0, 3.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+    }
+
+    #[test]
+    fn gram_matrix_weighted() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let g = m.xtx(None).unwrap();
+        assert_eq!(g.get(0, 0), 10.0); // 1+9
+        assert_eq!(g.get(0, 1), 14.0); // 2+12
+        assert_eq!(g.get(1, 0), 14.0);
+        assert_eq!(g.get(1, 1), 20.0); // 4+16
+        let gw = m.xtx(Some(&[2.0, 0.0])).unwrap();
+        assert_eq!(gw.get(0, 0), 2.0);
+        assert_eq!(gw.get(1, 1), 8.0);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x_true = [1.5, -2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        assert!((x[0] - x_true[0]).abs() < 1e-10);
+        assert!((x[1] - x_true[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(a.solve(&[1.0, 2.0]), Err(FactError::Numeric(_))));
+    }
+
+    #[test]
+    fn solve_with_pivoting() {
+        // zero on the diagonal forces a row swap
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = a.solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intercept_column() {
+        let m = Matrix::from_rows(&[vec![2.0], vec![3.0]]).unwrap();
+        let mi = m.with_intercept();
+        assert_eq!(mi.cols(), 2);
+        assert_eq!(mi.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn standardize_and_apply() {
+        let mut m = Matrix::from_columns(&[vec![1.0, 2.0, 3.0]], 3).unwrap();
+        let stats = m.standardize();
+        assert!((stats[0].0 - 2.0).abs() < 1e-12);
+        assert!((m.col(0).iter().sum::<f64>()).abs() < 1e-12);
+        let mut test = Matrix::from_columns(&[vec![2.0]], 1).unwrap();
+        test.apply_standardization(&stats).unwrap();
+        assert!((test.get(0, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_zero_variance_column_is_centered() {
+        let mut m = Matrix::from_columns(&[vec![5.0, 5.0, 5.0]], 3).unwrap();
+        m.standardize();
+        assert_eq!(m.col(0), vec![0.0, 0.0, 0.0]);
+    }
+}

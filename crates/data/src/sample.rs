@@ -1,0 +1,180 @@
+//! Deterministic sampling utilities.
+//!
+//! Everything here takes an explicit seed, so experiment pipelines are
+//! replayable bit-for-bit — a prerequisite for the paper's *accuracy* and
+//! *transparency* pillars (a result you cannot regenerate is neither).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{FactError, Result};
+use crate::frame::Dataset;
+
+/// A uniformly shuffled permutation of `0..n`.
+pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rng);
+    idx
+}
+
+/// Sample `k` distinct indices from `0..n` without replacement.
+pub fn sample_without_replacement(n: usize, k: usize, seed: u64) -> Result<Vec<usize>> {
+    if k > n {
+        return Err(FactError::InvalidArgument(format!(
+            "cannot sample {k} items from {n} without replacement"
+        )));
+    }
+    let mut idx = permutation(n, seed);
+    idx.truncate(k);
+    Ok(idx)
+}
+
+/// Sample `k` indices from `0..n` with replacement (bootstrap resampling).
+pub fn sample_with_replacement(n: usize, k: usize, seed: u64) -> Result<Vec<usize>> {
+    if n == 0 {
+        return Err(FactError::EmptyData("sampling from empty range".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ok((0..k).map(|_| rng.gen_range(0..n)).collect())
+}
+
+/// Weighted sampling with replacement: probability of index `i` is
+/// `weights[i] / Σ weights`. Weights must be non-negative with positive sum.
+pub fn weighted_sample(weights: &[f64], k: usize, seed: u64) -> Result<Vec<usize>> {
+    if weights.is_empty() {
+        return Err(FactError::EmptyData("weighted sample with no weights".into()));
+    }
+    if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+        return Err(FactError::InvalidArgument(
+            "weights must be finite and non-negative".into(),
+        ));
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Err(FactError::InvalidArgument(
+            "weights must have a positive sum".into(),
+        ));
+    }
+    // cumulative distribution + binary search
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += w;
+        cdf.push(acc);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let u: f64 = rng.gen_range(0.0..total);
+        let pos = cdf.partition_point(|&c| c <= u);
+        out.push(pos.min(weights.len() - 1));
+    }
+    Ok(out)
+}
+
+/// A bootstrap resample of the dataset (same row count, drawn with
+/// replacement).
+pub fn bootstrap(ds: &Dataset, seed: u64) -> Result<Dataset> {
+    let idx = sample_with_replacement(ds.n_rows(), ds.n_rows(), seed)?;
+    Ok(ds.take(&idx))
+}
+
+/// Subsample `frac` of the dataset's rows without replacement.
+pub fn subsample(ds: &Dataset, frac: f64, seed: u64) -> Result<Dataset> {
+    if !(0.0..=1.0).contains(&frac) {
+        return Err(FactError::InvalidArgument(format!(
+            "fraction must be in [0, 1], got {frac}"
+        )));
+    }
+    let k = ((ds.n_rows() as f64) * frac).round() as usize;
+    let idx = sample_without_replacement(ds.n_rows(), k, seed)?;
+    Ok(ds.take(&idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = permutation(100, 1);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(p, (0..100).collect::<Vec<_>>(), "shuffle should move rows");
+    }
+
+    #[test]
+    fn permutation_is_seed_deterministic() {
+        assert_eq!(permutation(50, 42), permutation(50, 42));
+        assert_ne!(permutation(50, 42), permutation(50, 43));
+    }
+
+    #[test]
+    fn without_replacement_distinct_and_bounded() {
+        let s = sample_without_replacement(20, 10, 7).unwrap();
+        assert_eq!(s.len(), 10);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 10);
+        assert!(s.iter().all(|&i| i < 20));
+        assert!(sample_without_replacement(5, 6, 0).is_err());
+    }
+
+    #[test]
+    fn with_replacement_bounds() {
+        let s = sample_with_replacement(5, 100, 3).unwrap();
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|&i| i < 5));
+        assert!(sample_with_replacement(0, 1, 0).is_err());
+    }
+
+    #[test]
+    fn weighted_sample_respects_zero_weights() {
+        let s = weighted_sample(&[0.0, 1.0, 0.0], 200, 11).unwrap();
+        assert!(s.iter().all(|&i| i == 1));
+    }
+
+    #[test]
+    fn weighted_sample_is_roughly_proportional() {
+        let s = weighted_sample(&[1.0, 3.0], 10_000, 5).unwrap();
+        let ones = s.iter().filter(|&&i| i == 1).count() as f64 / 10_000.0;
+        assert!((ones - 0.75).abs() < 0.03, "got {ones}");
+    }
+
+    #[test]
+    fn weighted_sample_rejects_bad_weights() {
+        assert!(weighted_sample(&[], 1, 0).is_err());
+        assert!(weighted_sample(&[-1.0, 2.0], 1, 0).is_err());
+        assert!(weighted_sample(&[0.0, 0.0], 1, 0).is_err());
+        assert!(weighted_sample(&[f64::NAN], 1, 0).is_err());
+    }
+
+    #[test]
+    fn bootstrap_keeps_row_count() {
+        let ds = Dataset::builder()
+            .f64("x", (0..50).map(|i| i as f64).collect())
+            .build()
+            .unwrap();
+        let b = bootstrap(&ds, 9).unwrap();
+        assert_eq!(b.n_rows(), 50);
+        // with replacement: expect at least one duplicate in 50 draws
+        let mut vals = b.f64_column("x").unwrap();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.dedup();
+        assert!(vals.len() < 50);
+    }
+
+    #[test]
+    fn subsample_fraction() {
+        let ds = Dataset::builder()
+            .f64("x", (0..100).map(|i| i as f64).collect())
+            .build()
+            .unwrap();
+        assert_eq!(subsample(&ds, 0.3, 1).unwrap().n_rows(), 30);
+        assert!(subsample(&ds, 1.5, 1).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Dataset schemas: named, typed fields with FACT-relevant annotations.
+//!
+//! Beyond name and type, a [`Field`] can be flagged as **sensitive** (a
+//! protected attribute for fairness analysis, e.g. gender or ethnicity) or as
+//! a **quasi-identifier** (an attribute that contributes to re-identification
+//! risk, e.g. zip code or birth date). These flags are how "FACT elements are
+//! embedded in requirements" (paper §4): downstream guards read them instead
+//! of relying on out-of-band convention.
+
+use crate::value::DataType;
+
+/// A named, typed column descriptor with FACT annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Logical type.
+    pub dtype: DataType,
+    /// Protected attribute for fairness purposes (paper §2, Q1).
+    pub sensitive: bool,
+    /// Contributes to re-identification risk (paper §2, Q3).
+    pub quasi_identifier: bool,
+}
+
+impl Field {
+    /// A plain field with no FACT annotations.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+            sensitive: false,
+            quasi_identifier: false,
+        }
+    }
+
+    /// Mark the field as a protected/sensitive attribute.
+    pub fn sensitive(mut self) -> Self {
+        self.sensitive = true;
+        self
+    }
+
+    /// Mark the field as a quasi-identifier.
+    pub fn quasi_identifier(mut self) -> Self {
+        self.quasi_identifier = true;
+        self
+    }
+}
+
+/// An ordered collection of [`Field`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    /// Build from fields.
+    pub fn from_fields(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Append a field.
+    pub fn push(&mut self, field: Field) {
+        self.fields.push(field);
+    }
+
+    /// All fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Mutable lookup by name.
+    pub fn field_mut(&mut self, name: &str) -> Option<&mut Field> {
+        self.fields.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Positional index of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Names of all fields flagged sensitive.
+    pub fn sensitive_fields(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.sensitive)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Names of all fields flagged as quasi-identifiers.
+    pub fn quasi_identifiers(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.quasi_identifier)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_builder_flags() {
+        let f = Field::new("gender", DataType::Cat).sensitive();
+        assert!(f.sensitive);
+        assert!(!f.quasi_identifier);
+        let q = Field::new("zip", DataType::Cat).quasi_identifier();
+        assert!(q.quasi_identifier);
+    }
+
+    #[test]
+    fn schema_lookup_and_annotation_queries() {
+        let schema = Schema::from_fields(vec![
+            Field::new("income", DataType::Float),
+            Field::new("gender", DataType::Cat).sensitive(),
+            Field::new("zip", DataType::Cat).quasi_identifier(),
+            Field::new("age", DataType::Int).quasi_identifier(),
+        ]);
+        assert_eq!(schema.len(), 4);
+        assert_eq!(schema.index_of("zip"), Some(2));
+        assert_eq!(schema.field("gender").unwrap().dtype, DataType::Cat);
+        assert_eq!(schema.sensitive_fields(), vec!["gender"]);
+        assert_eq!(schema.quasi_identifiers(), vec!["zip", "age"]);
+        assert!(schema.field("missing").is_none());
+    }
+
+    #[test]
+    fn field_mut_allows_retroactive_annotation() {
+        let mut schema = Schema::from_fields(vec![Field::new("eth", DataType::Cat)]);
+        schema.field_mut("eth").unwrap().sensitive = true;
+        assert_eq!(schema.sensitive_fields(), vec!["eth"]);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new();
+        assert!(s.is_empty());
+        assert_eq!(s.fields().len(), 0);
+    }
+}

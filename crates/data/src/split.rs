@@ -1,0 +1,191 @@
+//! Train/test splitting and cross-validation folds.
+
+use crate::error::{FactError, Result};
+use crate::frame::Dataset;
+use crate::sample::permutation;
+
+/// Split a dataset into `(train, test)` with `test_frac` of rows in the test
+/// set, after a seeded shuffle.
+pub fn train_test_split(ds: &Dataset, test_frac: f64, seed: u64) -> Result<(Dataset, Dataset)> {
+    if !(0.0..1.0).contains(&test_frac) {
+        return Err(FactError::InvalidArgument(format!(
+            "test_frac must be in [0, 1), got {test_frac}"
+        )));
+    }
+    let n = ds.n_rows();
+    if n < 2 {
+        return Err(FactError::EmptyData(
+            "train_test_split needs at least 2 rows".into(),
+        ));
+    }
+    let perm = permutation(n, seed);
+    let n_test = ((n as f64) * test_frac).round() as usize;
+    let n_test = n_test.clamp(usize::from(test_frac > 0.0), n - 1);
+    let (test_idx, train_idx) = perm.split_at(n_test);
+    Ok((ds.take(train_idx), ds.take(test_idx)))
+}
+
+/// Stratified train/test split: preserves the proportion of each class of
+/// `strat_col` (categorical or bool) in both halves.
+pub fn stratified_split(
+    ds: &Dataset,
+    strat_col: &str,
+    test_frac: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset)> {
+    if !(0.0..1.0).contains(&test_frac) {
+        return Err(FactError::InvalidArgument(format!(
+            "test_frac must be in [0, 1), got {test_frac}"
+        )));
+    }
+    let groups = ds.group_by(strat_col)?;
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for (g, (_key, _)) in groups.counts().iter().enumerate() {
+        let key = groups.keys()[g].to_string();
+        let idx = groups.indices(&key).expect("key from keys()").to_vec();
+        let perm = permutation(idx.len(), seed.wrapping_add(g as u64));
+        let n_test = ((idx.len() as f64) * test_frac).round() as usize;
+        for (pos, &p) in perm.iter().enumerate() {
+            if pos < n_test {
+                test_idx.push(idx[p]);
+            } else {
+                train_idx.push(idx[p]);
+            }
+        }
+    }
+    if train_idx.is_empty() || test_idx.is_empty() {
+        return Err(FactError::InvalidArgument(
+            "stratified split produced an empty half; adjust test_frac".into(),
+        ));
+    }
+    train_idx.sort_unstable();
+    test_idx.sort_unstable();
+    Ok((ds.take(&train_idx), ds.take(&test_idx)))
+}
+
+/// K-fold cross-validation index sets: returns `k` pairs of
+/// `(train_indices, validation_indices)` covering all rows.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Result<Vec<(Vec<usize>, Vec<usize>)>> {
+    if k < 2 {
+        return Err(FactError::InvalidArgument(format!(
+            "k-fold requires k >= 2, got {k}"
+        )));
+    }
+    if n < k {
+        return Err(FactError::InvalidArgument(format!(
+            "k-fold requires at least k rows (n={n}, k={k})"
+        )));
+    }
+    let perm = permutation(n, seed);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::with_capacity(n / k + 1); k];
+    for (pos, &i) in perm.iter().enumerate() {
+        folds[pos % k].push(i);
+    }
+    let mut out = Vec::with_capacity(k);
+    for f in 0..k {
+        let valid = folds[f].clone();
+        let mut train = Vec::with_capacity(n - valid.len());
+        for (g, fold) in folds.iter().enumerate() {
+            if g != f {
+                train.extend_from_slice(fold);
+            }
+        }
+        out.push((train, valid));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Dataset {
+        let labels: Vec<String> = (0..n)
+            .map(|i| if i % 4 == 0 { "B" } else { "A" }.to_string())
+            .collect();
+        Dataset::builder()
+            .f64("x", (0..n).map(|i| i as f64).collect())
+            .cat("g", &labels)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let ds = data(100);
+        let (train, test) = train_test_split(&ds, 0.25, 3).unwrap();
+        assert_eq!(train.n_rows(), 75);
+        assert_eq!(test.n_rows(), 25);
+        let mut all: Vec<f64> = train
+            .f64_column("x")
+            .unwrap()
+            .into_iter()
+            .chain(test.f64_column("x").unwrap())
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = data(50);
+        let (a1, _) = train_test_split(&ds, 0.2, 7).unwrap();
+        let (a2, _) = train_test_split(&ds, 0.2, 7).unwrap();
+        assert_eq!(a1.f64_column("x").unwrap(), a2.f64_column("x").unwrap());
+    }
+
+    #[test]
+    fn split_validates_inputs() {
+        let ds = data(10);
+        assert!(train_test_split(&ds, 1.0, 0).is_err());
+        assert!(train_test_split(&ds, -0.1, 0).is_err());
+        let tiny = data(4).head(1);
+        assert!(train_test_split(&tiny, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn zero_test_frac_yields_empty_test() {
+        let ds = data(10);
+        let (train, test) = train_test_split(&ds, 0.0, 0).unwrap();
+        assert_eq!(train.n_rows(), 10);
+        assert_eq!(test.n_rows(), 0);
+    }
+
+    #[test]
+    fn stratified_preserves_class_ratio() {
+        let ds = data(200); // 25% B
+        let (train, test) = stratified_split(&ds, "g", 0.2, 5).unwrap();
+        let frac_b = |d: &Dataset| {
+            let l = d.labels("g").unwrap();
+            l.iter().filter(|s| *s == "B").count() as f64 / l.len() as f64
+        };
+        assert!((frac_b(&train) - 0.25).abs() < 0.02);
+        assert!((frac_b(&test) - 0.25).abs() < 0.02);
+        assert_eq!(train.n_rows() + test.n_rows(), 200);
+    }
+
+    #[test]
+    fn kfold_covers_all_rows_disjointly() {
+        let folds = kfold_indices(103, 5, 9).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; 103];
+        for (train, valid) in &folds {
+            assert_eq!(train.len() + valid.len(), 103);
+            for &i in valid {
+                seen[i] += 1;
+            }
+            // no overlap inside a fold
+            for &i in valid {
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each row validates exactly once");
+    }
+
+    #[test]
+    fn kfold_validates_inputs() {
+        assert!(kfold_indices(10, 1, 0).is_err());
+        assert!(kfold_indices(3, 5, 0).is_err());
+    }
+}

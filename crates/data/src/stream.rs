@@ -1,0 +1,252 @@
+//! The "Internet Minute" event stream.
+//!
+//! §3 of the paper motivates scale with an Internet Minute (citing James
+//! 2016): ≈1,000,000 Tinder swipes, 3,500,000 Google searches, 100,000 Siri
+//! answers, 850,000 Dropbox uploads, 900,000 Facebook logins, 450,000 tweets,
+//! and 7,000,000 Snaps — per minute. This module generates a synthetic stream
+//! with exactly those service proportions so the `fact-core` runtime can
+//! measure the throughput cost of responsible (guarded) processing at
+//! realistic event mixes (experiment E9).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The services named in the paper's Internet-Minute list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Service {
+    /// Tinder swipes (1.0M/min).
+    TinderSwipe,
+    /// Google searches (3.5M/min).
+    GoogleSearch,
+    /// Siri answers (0.1M/min).
+    SiriAnswer,
+    /// Dropbox uploads (0.85M/min).
+    DropboxUpload,
+    /// Facebook logins (0.9M/min).
+    FacebookLogin,
+    /// Tweets sent (0.45M/min).
+    TweetSent,
+    /// Snaps received (7.0M/min).
+    SnapReceived,
+}
+
+impl Service {
+    /// All services, in the order the paper lists them.
+    pub const ALL: [Service; 7] = [
+        Service::TinderSwipe,
+        Service::GoogleSearch,
+        Service::SiriAnswer,
+        Service::DropboxUpload,
+        Service::FacebookLogin,
+        Service::TweetSent,
+        Service::SnapReceived,
+    ];
+
+    /// Events per minute as cited in the paper (§3).
+    pub fn per_minute(self) -> u64 {
+        match self {
+            Service::TinderSwipe => 1_000_000,
+            Service::GoogleSearch => 3_500_000,
+            Service::SiriAnswer => 100_000,
+            Service::DropboxUpload => 850_000,
+            Service::FacebookLogin => 900_000,
+            Service::TweetSent => 450_000,
+            Service::SnapReceived => 7_000_000,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Service::TinderSwipe => "tinder_swipe",
+            Service::GoogleSearch => "google_search",
+            Service::SiriAnswer => "siri_answer",
+            Service::DropboxUpload => "dropbox_upload",
+            Service::FacebookLogin => "facebook_login",
+            Service::TweetSent => "tweet_sent",
+            Service::SnapReceived => "snap_received",
+        }
+    }
+
+    /// Total events per minute across all services (≈13.8M).
+    pub fn total_per_minute() -> u64 {
+        Service::ALL.iter().map(|s| s.per_minute()).sum()
+    }
+}
+
+/// One event in the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since stream start; monotonically non-decreasing.
+    pub timestamp_us: u64,
+    /// Originating service.
+    pub service: Service,
+    /// Pseudonymous user identifier.
+    pub user_id: u64,
+    /// Demographic group of the user ("A" or "B"), for fairness monitoring.
+    pub group_b: bool,
+    /// A scalar payload (e.g. engagement score) for aggregate queries.
+    pub value: f64,
+    /// Whether an automated decision on this event was favorable — the
+    /// quantity fairness monitors track.
+    pub decision_favorable: bool,
+}
+
+/// Deterministic generator of Internet-Minute-mix events.
+///
+/// Implements `Iterator` and never ends; take as many events as needed:
+///
+/// ```
+/// use fact_data::stream::InternetMinute;
+/// let events: Vec<_> = InternetMinute::new(42).take(1000).collect();
+/// assert_eq!(events.len(), 1000);
+/// ```
+#[derive(Debug)]
+pub struct InternetMinute {
+    rng: StdRng,
+    cdf: Vec<(u64, Service)>,
+    total: u64,
+    clock_us: u64,
+    us_per_event: f64,
+    /// Probability that a decision on a group-B event is favorable; group A
+    /// uses `favorable_a`. Defaults are equal (no disparity).
+    favorable_a: f64,
+    favorable_b: f64,
+}
+
+impl InternetMinute {
+    /// A stream with the paper's service mix, no decision disparity, and the
+    /// given seed.
+    pub fn new(seed: u64) -> Self {
+        let mut acc = 0u64;
+        let cdf = Service::ALL
+            .iter()
+            .map(|&s| {
+                acc += s.per_minute();
+                (acc, s)
+            })
+            .collect();
+        let total = Service::total_per_minute();
+        InternetMinute {
+            rng: StdRng::seed_from_u64(seed),
+            cdf,
+            total,
+            clock_us: 0,
+            us_per_event: 60_000_000.0 / total as f64,
+            favorable_a: 0.8,
+            favorable_b: 0.8,
+        }
+    }
+
+    /// Introduce a decision disparity: group A favorable at `pa`, group B at
+    /// `pb`. Used to verify the streaming fairness monitor fires.
+    pub fn with_disparity(mut self, pa: f64, pb: f64) -> Self {
+        self.favorable_a = pa.clamp(0.0, 1.0);
+        self.favorable_b = pb.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl Iterator for InternetMinute {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        let draw = self.rng.gen_range(0..self.total);
+        let service = self
+            .cdf
+            .iter()
+            .find(|(cum, _)| draw < *cum)
+            .map(|(_, s)| *s)
+            .expect("draw < total by construction");
+        let group_b = self.rng.gen_bool(0.3);
+        let p = if group_b {
+            self.favorable_b
+        } else {
+            self.favorable_a
+        };
+        let ev = Event {
+            timestamp_us: self.clock_us,
+            service,
+            user_id: self.rng.gen::<u64>() >> 16,
+            group_b,
+            value: self.rng.gen::<f64>() * 100.0,
+            decision_favorable: self.rng.gen_bool(p),
+        };
+        // advance a jittered clock so inter-arrival times look bursty
+        let jitter: f64 = self.rng.gen::<f64>() * 2.0;
+        self.clock_us += (self.us_per_event * jitter).ceil() as u64;
+        Some(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn paper_rates_are_cited_exactly() {
+        assert_eq!(Service::TinderSwipe.per_minute(), 1_000_000);
+        assert_eq!(Service::GoogleSearch.per_minute(), 3_500_000);
+        assert_eq!(Service::SiriAnswer.per_minute(), 100_000);
+        assert_eq!(Service::DropboxUpload.per_minute(), 850_000);
+        assert_eq!(Service::FacebookLogin.per_minute(), 900_000);
+        assert_eq!(Service::TweetSent.per_minute(), 450_000);
+        assert_eq!(Service::SnapReceived.per_minute(), 7_000_000);
+        assert_eq!(Service::total_per_minute(), 13_800_000);
+    }
+
+    #[test]
+    fn mix_matches_paper_proportions() {
+        let n = 100_000;
+        let mut counts: HashMap<Service, usize> = HashMap::new();
+        for ev in InternetMinute::new(1).take(n) {
+            *counts.entry(ev.service).or_insert(0) += 1;
+        }
+        let total = Service::total_per_minute() as f64;
+        for s in Service::ALL {
+            let expect = s.per_minute() as f64 / total;
+            let got = *counts.get(&s).unwrap_or(&0) as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "{}: expected {expect:.3}, got {got:.3}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let evs: Vec<Event> = InternetMinute::new(2).take(1000).collect();
+        for w in evs.windows(2) {
+            assert!(w[0].timestamp_us <= w[1].timestamp_us);
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a: Vec<Event> = InternetMinute::new(9).take(100).collect();
+        let b: Vec<Event> = InternetMinute::new(9).take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disparity_shows_up_in_decisions() {
+        let evs: Vec<Event> = InternetMinute::new(3)
+            .with_disparity(0.9, 0.5)
+            .take(50_000)
+            .collect();
+        let rate = |want_b: bool| {
+            let g: Vec<&Event> = evs.iter().filter(|e| e.group_b == want_b).collect();
+            g.iter().filter(|e| e.decision_favorable).count() as f64 / g.len() as f64
+        };
+        assert!((rate(false) - 0.9).abs() < 0.02);
+        assert!((rate(true) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn service_names_are_stable() {
+        assert_eq!(Service::SnapReceived.name(), "snap_received");
+        assert_eq!(Service::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,178 @@
+//! Berkeley-style admissions data exhibiting Simpson's paradox.
+//!
+//! The paper (§2) calls Simpson's paradox "another nice example to show how
+//! easy it is to give false advice even in the presence of 'big' data: a
+//! trend appears in different groups of data but disappears or reverses when
+//! these groups are combined."
+//!
+//! This generator reproduces the canonical UC Berkeley 1973 admissions
+//! structure (Bickel, Hammel & O'Connell 1975): in aggregate, men are
+//! admitted at a visibly higher rate than women, yet in (almost) every
+//! department women's admission rate matches or exceeds men's. The reversal
+//! is driven entirely by *which departments* each gender applies to.
+//!
+//! Counts are allocated **deterministically** from the historical proportions
+//! (rounded expected counts), so the paradox is guaranteed at any `n ≥ ~500`;
+//! the seed only shuffles row order.
+
+use crate::frame::Dataset;
+use crate::sample::permutation;
+
+/// Department labels, most to least selective for men.
+pub const DEPARTMENTS: [&str; 6] = ["A", "B", "C", "D", "E", "F"];
+
+/// Historical per-department admission rates for men (Bickel et al. 1975).
+pub const MALE_RATES: [f64; 6] = [0.62, 0.63, 0.37, 0.33, 0.28, 0.06];
+/// Historical per-department admission rates for women.
+pub const FEMALE_RATES: [f64; 6] = [0.82, 0.68, 0.34, 0.35, 0.24, 0.07];
+/// Historical application shares for men across departments.
+pub const MALE_APP_SHARE: [f64; 6] = [0.3066, 0.2081, 0.1208, 0.1550, 0.0710, 0.1386];
+/// Historical application shares for women across departments.
+pub const FEMALE_APP_SHARE: [f64; 6] = [0.0589, 0.0136, 0.3232, 0.2044, 0.2142, 0.1858];
+
+/// Configuration for the admissions world.
+#[derive(Debug, Clone)]
+pub struct AdmissionsConfig {
+    /// Total applicants (split ≈59.5% men / 40.5% women as in 1973).
+    pub n: usize,
+    /// Seed controlling only the row shuffle.
+    pub seed: u64,
+}
+
+impl Default for AdmissionsConfig {
+    fn default() -> Self {
+        AdmissionsConfig { n: 12_000, seed: 0 }
+    }
+}
+
+/// Generate the admissions dataset.
+///
+/// Columns: `gender` (cat "male"/"female", sensitive), `department`
+/// (cat A–F), `admitted` (bool).
+pub fn generate_admissions(cfg: &AdmissionsConfig) -> Dataset {
+    let n_male = (cfg.n as f64 * 0.595).round() as usize;
+    let n_female = cfg.n - n_male;
+
+    let mut gender: Vec<&str> = Vec::with_capacity(cfg.n);
+    let mut dept: Vec<&str> = Vec::with_capacity(cfg.n);
+    let mut admitted: Vec<bool> = Vec::with_capacity(cfg.n);
+
+    let mut fill = |n_total: usize, shares: &[f64; 6], rates: &[f64; 6], g: &'static str| {
+        let mut assigned = 0usize;
+        for d in 0..6 {
+            let cell = if d == 5 {
+                n_total - assigned
+            } else {
+                (n_total as f64 * shares[d]).round() as usize
+            };
+            assigned += cell;
+            let admits = (cell as f64 * rates[d]).round() as usize;
+            for i in 0..cell {
+                gender.push(g);
+                dept.push(DEPARTMENTS[d]);
+                admitted.push(i < admits);
+            }
+        }
+    };
+    fill(n_male, &MALE_APP_SHARE, &MALE_RATES, "male");
+    fill(n_female, &FEMALE_APP_SHARE, &FEMALE_RATES, "female");
+
+    // shuffle rows so the data does not arrive grouped
+    let perm = permutation(cfg.n, cfg.seed);
+    let gender: Vec<&str> = perm.iter().map(|&i| gender[i]).collect();
+    let dept: Vec<&str> = perm.iter().map(|&i| dept[i]).collect();
+    let admitted: Vec<bool> = perm.iter().map(|&i| admitted[i]).collect();
+
+    Dataset::builder()
+        .cat("gender", &gender)
+        .sensitive()
+        .cat("department", &dept)
+        .boolean("admitted", admitted)
+        .build()
+        .expect("equal-length columns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates(ds: &Dataset) -> (f64, f64) {
+        let g = ds.labels("gender").unwrap();
+        let y = ds.bool_column("admitted").unwrap();
+        let rate = |want: &str| {
+            let rows: Vec<bool> = g
+                .iter()
+                .zip(y)
+                .filter(|(gg, _)| gg.as_str() == want)
+                .map(|(_, &a)| a)
+                .collect();
+            rows.iter().filter(|&&a| a).count() as f64 / rows.len() as f64
+        };
+        (rate("male"), rate("female"))
+    }
+
+    #[test]
+    fn aggregate_trend_favors_men() {
+        let ds = generate_admissions(&AdmissionsConfig::default());
+        let (m, f) = rates(&ds);
+        assert!(
+            m - f > 0.08,
+            "aggregate male rate should exceed female by a wide margin: {m:.3} vs {f:.3}"
+        );
+    }
+
+    #[test]
+    fn per_department_trend_does_not_favor_men_overall() {
+        let ds = generate_admissions(&AdmissionsConfig::default());
+        let by_dept = ds.group_by("department").unwrap();
+        let mut female_wins = 0;
+        let mut male_wins = 0;
+        for (_key, sub) in by_dept.iter_datasets() {
+            let (m, f) = rates(&sub);
+            if f > m + 0.005 {
+                female_wins += 1;
+            } else if m > f + 0.005 {
+                male_wins += 1;
+            }
+        }
+        assert!(
+            female_wins >= 3,
+            "women should lead in most departments (got {female_wins} vs {male_wins})"
+        );
+        assert!(male_wins <= 3);
+    }
+
+    #[test]
+    fn department_rates_match_history() {
+        let ds = generate_admissions(&AdmissionsConfig {
+            n: 24_000,
+            seed: 1,
+        });
+        let by_dept = ds.group_by("department").unwrap();
+        // department F is brutally selective for everyone
+        let f_ds = by_dept.dataset("F").unwrap();
+        let (m, f) = rates(&f_ds);
+        assert!(m < 0.10 && f < 0.10);
+    }
+
+    #[test]
+    fn deterministic_content_regardless_of_seed() {
+        // seed shuffles order only: admitted counts must match
+        let a = generate_admissions(&AdmissionsConfig { n: 5000, seed: 1 });
+        let b = generate_admissions(&AdmissionsConfig { n: 5000, seed: 2 });
+        let count = |ds: &Dataset| {
+            ds.bool_column("admitted")
+                .unwrap()
+                .iter()
+                .filter(|&&x| x)
+                .count()
+        };
+        assert_eq!(count(&a), count(&b));
+    }
+
+    #[test]
+    fn row_count_exact() {
+        let ds = generate_admissions(&AdmissionsConfig { n: 1234, seed: 0 });
+        assert_eq!(ds.n_rows(), 1234);
+    }
+}

@@ -1,0 +1,240 @@
+//! Potential-outcomes clinical world with known causal ground truth.
+//!
+//! The paper (§2) warns that "often enough correlation is confused with
+//! causality" and that even selection-bias corrections (propensity-score
+//! matching, inverse-probability weighting) "might still be far away from the
+//! results one would obtain with a randomized controlled trial", citing
+//! Gordon et al. (2016). Testing that claim requires a world where the true
+//! average treatment effect (ATE) is *known*: this generator materializes
+//! both potential outcomes `y0`/`y1` for every patient, assigns treatment
+//! with controllable confounding on observed covariates (and optionally an
+//! unobserved one), and reports the exact sample ATE.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::frame::Dataset;
+use crate::synth::{normal, sigmoid};
+
+/// Parameters of the clinical world.
+#[derive(Debug, Clone)]
+pub struct ClinicalConfig {
+    /// Number of patients.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Strength of confounding of treatment assignment on *observed*
+    /// covariates (severity, age). 0 = randomized controlled trial.
+    pub confounding: f64,
+    /// Strength of confounding via an *unobserved* frailty variable that
+    /// also affects the outcome. Breaks PSM/IPW, reproducing the Gordon
+    /// et al. finding.
+    pub unobserved_confounding: f64,
+    /// Treatment effect on the outcome logit (positive = beneficial).
+    pub effect: f64,
+}
+
+impl Default for ClinicalConfig {
+    fn default() -> Self {
+        ClinicalConfig {
+            n: 10_000,
+            seed: 0,
+            confounding: 1.0,
+            unobserved_confounding: 0.0,
+            effect: 0.8,
+        }
+    }
+}
+
+/// A generated world: observed data plus the (normally unobservable) truth.
+#[derive(Debug, Clone)]
+pub struct ClinicalWorld {
+    /// Observed dataset. Columns: `age` (f64, standardized-ish), `severity`
+    /// (f64), `comorbidity` (bool), `treated` (bool), `recovered` (bool).
+    pub data: Dataset,
+    /// Potential outcome under control, per patient.
+    pub y0: Vec<bool>,
+    /// Potential outcome under treatment, per patient.
+    pub y1: Vec<bool>,
+    /// True sample ATE: `mean(y1) − mean(y0)`.
+    pub true_ate: f64,
+    /// True propensity scores used for assignment.
+    pub propensity: Vec<f64>,
+}
+
+/// Generate the clinical world.
+pub fn generate_clinical(cfg: &ClinicalConfig) -> ClinicalWorld {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n;
+    let mut age = Vec::with_capacity(n);
+    let mut severity = Vec::with_capacity(n);
+    let mut comorb = Vec::with_capacity(n);
+    let mut treated = Vec::with_capacity(n);
+    let mut recovered = Vec::with_capacity(n);
+    let mut y0v = Vec::with_capacity(n);
+    let mut y1v = Vec::with_capacity(n);
+    let mut prop = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let a = normal(&mut rng, 0.0, 1.0);
+        let s = normal(&mut rng, 0.0, 1.0);
+        let c = rng.gen::<f64>() < 0.3;
+        let u = normal(&mut rng, 0.0, 1.0); // unobserved frailty
+
+        // sicker and older patients are more likely to receive treatment
+        let p_treat = sigmoid(
+            cfg.confounding * (0.9 * s + 0.4 * a) + cfg.unobserved_confounding * u,
+        );
+        let t = rng.gen::<f64>() < p_treat;
+
+        // outcome model: recovery less likely when severe/old/frail,
+        // improved by treatment by `effect` on the logit
+        let base = 0.6 - 1.0 * s - 0.35 * a - if c { 0.4 } else { 0.0 }
+            - cfg.unobserved_confounding * 0.9 * u;
+        let p0 = sigmoid(base);
+        let p1 = sigmoid(base + cfg.effect);
+        let draw: f64 = rng.gen();
+        // common random number for both potential outcomes: monotone coupling
+        let o0 = draw < p0;
+        let o1 = draw < p1;
+
+        age.push(a);
+        severity.push(s);
+        comorb.push(c);
+        treated.push(t);
+        recovered.push(if t { o1 } else { o0 });
+        y0v.push(o0);
+        y1v.push(o1);
+        prop.push(p_treat);
+    }
+
+    let true_ate = y1v.iter().filter(|&&v| v).count() as f64 / n as f64
+        - y0v.iter().filter(|&&v| v).count() as f64 / n as f64;
+
+    let data = Dataset::builder()
+        .f64("age", age)
+        .f64("severity", severity)
+        .boolean("comorbidity", comorb)
+        .boolean("treated", treated)
+        .boolean("recovered", recovered)
+        .build()
+        .expect("equal-length columns");
+
+    ClinicalWorld {
+        data,
+        y0: y0v,
+        y1: y1v,
+        true_ate,
+        propensity: prop,
+    }
+}
+
+/// Observed covariate columns usable by causal estimators.
+pub const CLINICAL_COVARIATES: [&str; 3] = ["age", "severity", "comorbidity"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_shapes_agree() {
+        let w = generate_clinical(&ClinicalConfig {
+            n: 1000,
+            ..ClinicalConfig::default()
+        });
+        assert_eq!(w.data.n_rows(), 1000);
+        assert_eq!(w.y0.len(), 1000);
+        assert_eq!(w.y1.len(), 1000);
+        assert_eq!(w.propensity.len(), 1000);
+    }
+
+    #[test]
+    fn positive_effect_gives_positive_ate() {
+        let w = generate_clinical(&ClinicalConfig {
+            n: 30_000,
+            seed: 1,
+            ..ClinicalConfig::default()
+        });
+        assert!(w.true_ate > 0.05, "ATE should be positive: {}", w.true_ate);
+    }
+
+    #[test]
+    fn monotone_coupling_y1_dominates_y0() {
+        let w = generate_clinical(&ClinicalConfig {
+            n: 5_000,
+            seed: 2,
+            ..ClinicalConfig::default()
+        });
+        for (a, b) in w.y0.iter().zip(&w.y1) {
+            assert!(!a | b, "y0 ⇒ y1 with a positive effect");
+        }
+    }
+
+    #[test]
+    fn confounding_biases_naive_comparison() {
+        let w = generate_clinical(&ClinicalConfig {
+            n: 50_000,
+            seed: 3,
+            confounding: 1.5,
+            ..ClinicalConfig::default()
+        });
+        let t = w.data.bool_column("treated").unwrap();
+        let y = w.data.bool_column("recovered").unwrap();
+        let rate = |want: bool| {
+            let rows: Vec<bool> = t
+                .iter()
+                .zip(y)
+                .filter(|(&tt, _)| tt == want)
+                .map(|(_, &r)| r)
+                .collect();
+            rows.iter().filter(|&&r| r).count() as f64 / rows.len() as f64
+        };
+        let naive = rate(true) - rate(false);
+        // treated are sicker → naive estimate far below the true ATE
+        assert!(
+            naive < w.true_ate - 0.05,
+            "naive {naive} should underestimate true {}",
+            w.true_ate
+        );
+    }
+
+    #[test]
+    fn rct_mode_makes_naive_unbiased() {
+        let w = generate_clinical(&ClinicalConfig {
+            n: 80_000,
+            seed: 4,
+            confounding: 0.0,
+            ..ClinicalConfig::default()
+        });
+        let t = w.data.bool_column("treated").unwrap();
+        let y = w.data.bool_column("recovered").unwrap();
+        let rate = |want: bool| {
+            let rows: Vec<bool> = t
+                .iter()
+                .zip(y)
+                .filter(|(&tt, _)| tt == want)
+                .map(|(_, &r)| r)
+                .collect();
+            rows.iter().filter(|&&r| r).count() as f64 / rows.len() as f64
+        };
+        let naive = rate(true) - rate(false);
+        assert!(
+            (naive - w.true_ate).abs() < 0.02,
+            "RCT naive {naive} ≈ true {}",
+            w.true_ate
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = ClinicalConfig {
+            n: 200,
+            seed: 11,
+            ..ClinicalConfig::default()
+        };
+        let a = generate_clinical(&c);
+        let b = generate_clinical(&c);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.true_ate, b.true_ate);
+    }
+}

@@ -1,0 +1,204 @@
+//! Hiring world with a deliberately nonlinear decision surface.
+//!
+//! Used by the transparency experiments (E7): the hiring rule involves an
+//! interaction term and a threshold-gated bonus, so a linear model is
+//! mediocre, a small MLP is accurate-but-opaque — exactly the paper's deep-
+//! learning dilemma ("a black box that apparently makes good decisions, but
+//! cannot rationalize them", §2) — and a shallow surrogate tree must trade
+//! fidelity for readability.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::frame::Dataset;
+use crate::synth::{normal, sigmoid};
+
+/// Education levels in increasing order.
+pub const EDUCATION_LEVELS: [&str; 4] = ["highschool", "bachelor", "master", "phd"];
+
+/// Configuration for the hiring world.
+#[derive(Debug, Clone)]
+pub struct HiringConfig {
+    /// Number of candidates.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of label flips applied against the "female" group
+    /// (for combined fairness+transparency scenarios; 0 = fair).
+    pub bias_strength: f64,
+}
+
+impl Default for HiringConfig {
+    fn default() -> Self {
+        HiringConfig {
+            n: 8_000,
+            seed: 0,
+            bias_strength: 0.0,
+        }
+    }
+}
+
+/// Generate the hiring dataset.
+///
+/// Columns: `experience` (f64 years), `education` (cat), `skills_test`
+/// (f64, 0–100), `referral` (bool), `gender` (cat "male"/"female",
+/// sensitive), `hired` (bool).
+pub fn generate_hiring(cfg: &HiringConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n;
+    let mut experience = Vec::with_capacity(n);
+    let mut education = Vec::with_capacity(n);
+    let mut skills = Vec::with_capacity(n);
+    let mut referral = Vec::with_capacity(n);
+    let mut gender = Vec::with_capacity(n);
+    let mut hired = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let exp = normal(&mut rng, 7.0, 4.0).clamp(0.0, 35.0);
+        let edu_idx = rng.gen_range(0..4usize);
+        let test = normal(&mut rng, 60.0, 15.0).clamp(0.0, 100.0);
+        let has_ref = rng.gen::<f64>() < 0.25;
+        let female = rng.gen::<f64>() < 0.45;
+
+        // nonlinear ground truth:
+        //  - skills×experience interaction,
+        //  - a step bonus for test >= 75,
+        //  - referral helps only below 5 years of experience.
+        let interaction = (test / 100.0) * (exp / 10.0);
+        let step = if test >= 75.0 { 1.2 } else { 0.0 };
+        let ref_bonus = if has_ref && exp < 5.0 { 1.0 } else { 0.0 };
+        let z = 2.8 * interaction + step + ref_bonus + 0.25 * edu_idx as f64 - 2.4
+            + normal(&mut rng, 0.0, 0.35);
+        let mut label = rng.gen::<f64>() < sigmoid(2.0 * z);
+
+        if label && female && rng.gen::<f64>() < cfg.bias_strength {
+            label = false;
+        }
+
+        experience.push(exp);
+        education.push(EDUCATION_LEVELS[edu_idx]);
+        skills.push(test);
+        referral.push(has_ref);
+        gender.push(if female { "female" } else { "male" });
+        hired.push(label);
+    }
+
+    Dataset::builder()
+        .f64("experience", experience)
+        .cat("education", &education)
+        .f64("skills_test", skills)
+        .boolean("referral", referral)
+        .cat("gender", &gender)
+        .sensitive()
+        .boolean("hired", hired)
+        .build()
+        .expect("equal-length columns")
+}
+
+/// Feature columns for model training (excludes the sensitive attribute).
+pub const HIRING_FEATURES: [&str; 4] = ["experience", "education", "skills_test", "referral"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_shape() {
+        let ds = generate_hiring(&HiringConfig {
+            n: 500,
+            ..HiringConfig::default()
+        });
+        assert_eq!(ds.n_rows(), 500);
+        assert_eq!(ds.schema().sensitive_fields(), vec!["gender"]);
+        assert_eq!(ds.names().len(), 6);
+    }
+
+    #[test]
+    fn base_rate_is_reasonable() {
+        let ds = generate_hiring(&HiringConfig {
+            n: 20_000,
+            seed: 5,
+            ..HiringConfig::default()
+        });
+        let y = ds.bool_column("hired").unwrap();
+        let rate = y.iter().filter(|&&v| v).count() as f64 / y.len() as f64;
+        assert!(
+            (0.2..0.8).contains(&rate),
+            "hire rate should be balanced-ish, got {rate}"
+        );
+    }
+
+    #[test]
+    fn step_feature_matters() {
+        let ds = generate_hiring(&HiringConfig {
+            n: 30_000,
+            seed: 6,
+            ..HiringConfig::default()
+        });
+        let test = ds.f64_column("skills_test").unwrap();
+        let y = ds.bool_column("hired").unwrap();
+        // hire rate just above the 75 threshold should jump vs just below
+        let rate_in = |lo: f64, hi: f64| {
+            let rows: Vec<bool> = test
+                .iter()
+                .zip(y)
+                .filter(|(&t, _)| t >= lo && t < hi)
+                .map(|(_, &h)| h)
+                .collect();
+            rows.iter().filter(|&&h| h).count() as f64 / rows.len().max(1) as f64
+        };
+        assert!(rate_in(75.0, 85.0) > rate_in(65.0, 75.0) + 0.1);
+    }
+
+    #[test]
+    fn fair_by_default() {
+        let ds = generate_hiring(&HiringConfig {
+            n: 30_000,
+            seed: 7,
+            ..HiringConfig::default()
+        });
+        let g = ds.labels("gender").unwrap();
+        let y = ds.bool_column("hired").unwrap();
+        let rate = |want: &str| {
+            let rows: Vec<bool> = g
+                .iter()
+                .zip(y)
+                .filter(|(gg, _)| gg.as_str() == want)
+                .map(|(_, &h)| h)
+                .collect();
+            rows.iter().filter(|&&h| h).count() as f64 / rows.len() as f64
+        };
+        assert!((rate("male") - rate("female")).abs() < 0.02);
+    }
+
+    #[test]
+    fn bias_knob_works() {
+        let ds = generate_hiring(&HiringConfig {
+            n: 30_000,
+            seed: 7,
+            bias_strength: 0.5,
+        });
+        let g = ds.labels("gender").unwrap();
+        let y = ds.bool_column("hired").unwrap();
+        let rate = |want: &str| {
+            let rows: Vec<bool> = g
+                .iter()
+                .zip(y)
+                .filter(|(gg, _)| gg.as_str() == want)
+                .map(|(_, &h)| h)
+                .collect();
+            rows.iter().filter(|&&h| h).count() as f64 / rows.len() as f64
+        };
+        assert!(rate("male") - rate("female") > 0.1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = HiringConfig {
+            n: 300,
+            seed: 42,
+            ..HiringConfig::default()
+        };
+        assert_eq!(generate_hiring(&c), generate_hiring(&c));
+    }
+}

@@ -1,0 +1,251 @@
+//! Consumer-credit world with controllable discrimination.
+//!
+//! Ground truth: an applicant's *creditworthiness* is a noisy linear function
+//! of four legitimate features (income, credit score, debt ratio, employment
+//! years). The recorded `approved` label starts from that merit signal, then:
+//!
+//! * **label bias** (`bias_strength`) flips approvals to rejections for group
+//!   B, modeling historically discriminatory decisions in the training data;
+//! * a **proxy** column `zip_risk` encodes group membership with strength
+//!   `proxy_strength`, so removing the `group` column does *not* remove the
+//!   information ("even if sensitive attributes are omitted, members of
+//!   certain groups may still be systematically rejected" — paper §2);
+//! * an optional **feature gap** shifts group B's income distribution,
+//!   modeling structural disadvantage that is *not* label bias.
+//!
+//! With all three knobs at zero the world is exactly fair by construction,
+//! which is what lets experiments attribute measured unfairness to a cause.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::frame::Dataset;
+use crate::synth::{normal, sigmoid};
+
+/// Parameters of the loan world.
+#[derive(Debug, Clone)]
+pub struct LoanConfig {
+    /// Number of applicants.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of group-B *approvals* flipped to rejections (label bias).
+    pub bias_strength: f64,
+    /// Correlation strength of the `zip_risk` proxy with group B (0 = none,
+    /// 1 = perfect surrogate).
+    pub proxy_strength: f64,
+    /// Fraction of applicants in protected group B.
+    pub group_b_frac: f64,
+    /// Income shift (in $1000s, subtracted for group B) modeling structural
+    /// disadvantage.
+    pub feature_gap: f64,
+}
+
+impl Default for LoanConfig {
+    fn default() -> Self {
+        LoanConfig {
+            n: 10_000,
+            seed: 0,
+            bias_strength: 0.0,
+            proxy_strength: 0.0,
+            group_b_frac: 0.3,
+            feature_gap: 0.0,
+        }
+    }
+}
+
+/// Generate the loan dataset.
+///
+/// Columns: `income` (f64, $1000s), `credit_score` (f64, 300–850),
+/// `debt_ratio` (f64, 0–1), `years_employed` (f64), `zip_risk` (f64 proxy),
+/// `group` (cat "A"/"B", flagged sensitive), `approved` (bool label).
+pub fn generate_loans(cfg: &LoanConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n;
+    let mut income = Vec::with_capacity(n);
+    let mut credit = Vec::with_capacity(n);
+    let mut debt = Vec::with_capacity(n);
+    let mut years = Vec::with_capacity(n);
+    let mut zip = Vec::with_capacity(n);
+    let mut group = Vec::with_capacity(n);
+    let mut approved = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let is_b = rng.gen::<f64>() < cfg.group_b_frac;
+        let base_income = normal(&mut rng, 60.0, 18.0).max(8.0);
+        let inc = if is_b {
+            (base_income - cfg.feature_gap).max(8.0)
+        } else {
+            base_income
+        };
+        let cs = normal(&mut rng, 650.0, 80.0).clamp(300.0, 850.0);
+        let dr = rng.gen::<f64>().powf(1.5); // right-skewed in [0,1]
+        let yr = (normal(&mut rng, 8.0, 5.0)).clamp(0.0, 45.0);
+
+        // merit: standardized linear score through a sigmoid
+        let z = 0.03 * (inc - 60.0) + 0.012 * (cs - 650.0) - 2.2 * (dr - 0.45)
+            + 0.06 * (yr - 8.0)
+            + normal(&mut rng, 0.0, 0.6);
+        let merit_approved = rng.gen::<f64>() < sigmoid(z);
+
+        // historical label bias against group B
+        let label = if merit_approved && is_b && rng.gen::<f64>() < cfg.bias_strength {
+            false
+        } else {
+            merit_approved
+        };
+
+        // proxy: zip-level "risk" score leaking group membership
+        let indicator = if is_b { 1.0 } else { 0.0 };
+        let noise: f64 = rng.gen();
+        let zr = cfg.proxy_strength * indicator + (1.0 - cfg.proxy_strength) * noise;
+
+        income.push(inc);
+        credit.push(cs);
+        debt.push(dr);
+        years.push(yr);
+        zip.push(zr);
+        group.push(if is_b { "B" } else { "A" }.to_string());
+        approved.push(label);
+    }
+
+    Dataset::builder()
+        .f64("income", income)
+        .f64("credit_score", credit)
+        .f64("debt_ratio", debt)
+        .f64("years_employed", years)
+        .f64("zip_risk", zip)
+        .cat("group", &group)
+        .sensitive()
+        .boolean("approved", approved)
+        .build()
+        .expect("columns constructed with equal length")
+}
+
+/// Names of the legitimate (non-proxy, non-sensitive) feature columns.
+pub const LEGIT_FEATURES: [&str; 4] = ["income", "credit_score", "debt_ratio", "years_employed"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approval_rate(ds: &Dataset, grp: &str) -> f64 {
+        let y = ds.bool_column("approved").unwrap();
+        let g = ds.labels("group").unwrap();
+        let rows: Vec<bool> = y
+            .iter()
+            .zip(&g)
+            .filter(|(_, gg)| gg.as_str() == grp)
+            .map(|(&v, _)| v)
+            .collect();
+        rows.iter().filter(|&&v| v).count() as f64 / rows.len() as f64
+    }
+
+    #[test]
+    fn schema_and_annotations() {
+        let ds = generate_loans(&LoanConfig {
+            n: 100,
+            ..LoanConfig::default()
+        });
+        assert_eq!(ds.n_rows(), 100);
+        assert_eq!(ds.schema().sensitive_fields(), vec!["group"]);
+        for f in LEGIT_FEATURES {
+            assert!(ds.column(f).is_ok());
+        }
+    }
+
+    #[test]
+    fn unbiased_world_has_equal_rates() {
+        let ds = generate_loans(&LoanConfig {
+            n: 40_000,
+            seed: 3,
+            ..LoanConfig::default()
+        });
+        let gap = (approval_rate(&ds, "A") - approval_rate(&ds, "B")).abs();
+        assert!(gap < 0.02, "fair world gap should be ≈0, got {gap}");
+    }
+
+    #[test]
+    fn label_bias_depresses_group_b() {
+        let ds = generate_loans(&LoanConfig {
+            n: 40_000,
+            seed: 3,
+            bias_strength: 0.4,
+            ..LoanConfig::default()
+        });
+        let gap = approval_rate(&ds, "A") - approval_rate(&ds, "B");
+        assert!(gap > 0.12, "bias 0.4 should open a large gap, got {gap}");
+    }
+
+    #[test]
+    fn group_fraction_respected() {
+        let ds = generate_loans(&LoanConfig {
+            n: 20_000,
+            seed: 1,
+            group_b_frac: 0.5,
+            ..LoanConfig::default()
+        });
+        let g = ds.labels("group").unwrap();
+        let b = g.iter().filter(|s| *s == "B").count() as f64 / g.len() as f64;
+        assert!((b - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn proxy_correlates_with_group() {
+        let ds = generate_loans(&LoanConfig {
+            n: 10_000,
+            seed: 2,
+            proxy_strength: 0.8,
+            ..LoanConfig::default()
+        });
+        let z = ds.f64_column("zip_risk").unwrap();
+        let g = ds.labels("group").unwrap();
+        let mean = |grp: &str| {
+            let v: Vec<f64> = z
+                .iter()
+                .zip(&g)
+                .filter(|(_, gg)| gg.as_str() == grp)
+                .map(|(&x, _)| x)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(mean("B") - mean("A") > 0.5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = LoanConfig {
+            n: 500,
+            seed: 77,
+            ..LoanConfig::default()
+        };
+        assert_eq!(generate_loans(&c), generate_loans(&c));
+    }
+
+    #[test]
+    fn merit_signal_is_learnable() {
+        // higher income should associate with approval
+        let ds = generate_loans(&LoanConfig {
+            n: 20_000,
+            seed: 4,
+            ..LoanConfig::default()
+        });
+        let inc = ds.f64_column("income").unwrap();
+        let y = ds.bool_column("approved").unwrap();
+        let m_app: f64 = inc
+            .iter()
+            .zip(y)
+            .filter(|(_, &a)| a)
+            .map(|(&v, _)| v)
+            .sum::<f64>()
+            / y.iter().filter(|&&a| a).count() as f64;
+        let m_rej: f64 = inc
+            .iter()
+            .zip(y)
+            .filter(|(_, &a)| !a)
+            .map(|(&v, _)| v)
+            .sum::<f64>()
+            / y.iter().filter(|&&a| !a).count() as f64;
+        assert!(m_app > m_rej + 3.0);
+    }
+}

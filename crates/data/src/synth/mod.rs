@@ -1,0 +1,65 @@
+//! Synthetic workload generators.
+//!
+//! The paper's claims concern *mechanisms* (bias propagates into models,
+//! aggregation reverses trends, observational estimates mislead). Real
+//! production data from CRM/ERP/HIS systems is both unavailable and
+//! uncontrolled; these generators substitute **parametric worlds with known
+//! ground truth**, so every experiment can verify detection and mitigation
+//! against the truth rather than eyeballing plausibility. See DESIGN.md,
+//! "Substitutions".
+//!
+//! | Module | World | Used by experiments |
+//! |---|---|---|
+//! | [`loans`] | consumer credit decisions with injectable label bias and a zip-code proxy | E1, E2, E10 |
+//! | [`hiring`] | nonlinear hiring decisions (black-box territory) | E7 |
+//! | [`admissions`] | Berkeley-style admissions exhibiting Simpson's paradox | E4 |
+//! | [`clinical`] | potential-outcomes treatment world with known ATE | E8 |
+//! | [`census`] | census microdata with quasi-identifiers | E5, E6 |
+
+pub mod admissions;
+pub mod census;
+pub mod clinical;
+pub mod hiring;
+pub mod loans;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Sample a standard normal via Box–Muller (avoids a rand_distr dependency in
+/// hot generator loops and keeps the sequence stable across rand_distr
+/// versions).
+pub(crate) fn normal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std * z
+}
+
+/// Logistic sigmoid.
+pub(crate) fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..50_000).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! Scalar values and data types for dataset columns.
+
+use std::fmt;
+
+/// The logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit floating point.
+    Float,
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Dictionary-encoded categorical (string labels, `u32` codes).
+    Cat,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Float => "float",
+            DataType::Int => "int",
+            DataType::Bool => "bool",
+            DataType::Cat => "categorical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value drawn from a column.
+///
+/// `Cat` carries the *label* (resolved through the column dictionary) so that
+/// values are self-describing when they cross API boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Floating-point value.
+    Float(f64),
+    /// Integer value.
+    Int(i64),
+    /// Boolean value.
+    Bool(bool),
+    /// Categorical label.
+    Cat(String),
+    /// Missing value.
+    Null,
+}
+
+impl Value {
+    /// The [`DataType`] this value belongs to, or `None` for `Null`.
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Float(_) => Some(DataType::Float),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Cat(_) => Some(DataType::Cat),
+            Value::Null => None,
+        }
+    }
+
+    /// True when the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Best-effort numeric view: floats as-is, ints widened, bools as 0/1.
+    /// Categorical and null values return `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Cat(_) | Value::Null => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Cat(s) => f.write_str(s),
+            Value::Null => f.write_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_of_values() {
+        assert_eq!(Value::Float(1.0).dtype(), Some(DataType::Float));
+        assert_eq!(Value::Int(1).dtype(), Some(DataType::Int));
+        assert_eq!(Value::Bool(true).dtype(), Some(DataType::Bool));
+        assert_eq!(Value::Cat("a".into()).dtype(), Some(DataType::Cat));
+        assert_eq!(Value::Null.dtype(), None);
+    }
+
+    #[test]
+    fn as_f64_widens_numerics_and_bools() {
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Int(-3).as_f64(), Some(-3.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Bool(false).as_f64(), Some(0.0));
+        assert_eq!(Value::Cat("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn display_round_trips_labels() {
+        assert_eq!(Value::Cat("group B".into()).to_string(), "group B");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(DataType::Cat.to_string(), "categorical");
+    }
+}

@@ -1,0 +1,94 @@
+//! Individual fairness: similar individuals should receive similar scores.
+//!
+//! Complements the group metrics — a model can satisfy statistical parity
+//! while treating near-identical applicants very differently. The
+//! consistency score (Zemel et al. 2013) is
+//! `1 − mean_i |ŷ_i − mean_{j ∈ kNN(i)} ŷ_j|`, computed on standardized
+//! features; 1.0 means perfectly locally-consistent scoring.
+
+use fact_data::{FactError, Matrix, Result};
+
+/// Consistency of scores over the k nearest neighbours of each row.
+pub fn consistency_score(x: &Matrix, scores: &[f64], k: usize) -> Result<f64> {
+    if x.rows() != scores.len() {
+        return Err(FactError::LengthMismatch {
+            expected: x.rows(),
+            actual: scores.len(),
+        });
+    }
+    if k == 0 || k >= x.rows() {
+        return Err(FactError::InvalidArgument(format!(
+            "k must be in 1..{}, got {k}",
+            x.rows()
+        )));
+    }
+    let mut xs = x.clone();
+    xs.standardize();
+    let n = xs.rows();
+    let mut total_dev = 0.0;
+    let mut dists: Vec<(f64, usize)> = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        dists.clear();
+        let qi = xs.row(i);
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let rj = xs.row(j);
+            let mut d = 0.0;
+            for (a, b) in qi.iter().zip(rj) {
+                let diff = a - b;
+                d += diff * diff;
+            }
+            dists.push((d, j));
+        }
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let neigh_mean: f64 =
+            dists[..k].iter().map(|&(_, j)| scores[j]).sum::<f64>() / k as f64;
+        total_dev += (scores[i] - neigh_mean).abs();
+    }
+    Ok(1.0 - total_dev / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cloud(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn constant_scores_are_perfectly_consistent() {
+        let x = cloud(100, 1);
+        let s = vec![0.7; 100];
+        assert!((consistency_score(&x, &s, 5).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smooth_scores_beat_random_scores() {
+        let x = cloud(200, 2);
+        let smooth: Vec<f64> = (0..200).map(|i| (x.get(i, 0) + 1.0) / 2.0).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let random: Vec<f64> = (0..200).map(|_| rng.gen()).collect();
+        let cs = consistency_score(&x, &smooth, 5).unwrap();
+        let cr = consistency_score(&x, &random, 5).unwrap();
+        assert!(cs > cr + 0.1, "smooth {cs} vs random {cr}");
+    }
+
+    #[test]
+    fn validation() {
+        let x = cloud(10, 4);
+        assert!(consistency_score(&x, &[0.0; 9], 3).is_err());
+        assert!(consistency_score(&x, &[0.0; 10], 0).is_err());
+        assert!(consistency_score(&x, &[0.0; 10], 10).is_err());
+    }
+}

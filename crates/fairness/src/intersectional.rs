@@ -1,0 +1,211 @@
+//! Intersectional (subgroup) fairness.
+//!
+//! The paper warns that "profiling may lead to further stigmatization of
+//! certain groups" (§2) — and single-attribute audits miss exactly the
+//! groups profiling creates: a model can pass parity on gender and on
+//! ethnicity while devastating one *intersection* of both. This module
+//! audits every combination of one or more categorical attributes against a
+//! reference rate, with small-cell flagging (tiny subgroups get warnings,
+//! not unstable verdicts).
+
+use fact_data::{Dataset, FactError, Result};
+
+/// One subgroup's audit row.
+#[derive(Debug, Clone)]
+pub struct SubgroupOutcome {
+    /// Attribute values defining the subgroup, in attribute order.
+    pub labels: Vec<String>,
+    /// Rows in the subgroup.
+    pub n: usize,
+    /// Positive-outcome rate within the subgroup.
+    pub selection_rate: f64,
+    /// Ratio of the subgroup rate to the overall rate.
+    pub impact_ratio: f64,
+    /// True when `n` is below the small-cell threshold: the ratio is
+    /// reported but should not be used as a verdict.
+    pub small_cell: bool,
+}
+
+/// A full intersectional audit.
+#[derive(Debug, Clone)]
+pub struct IntersectionalReport {
+    /// Attributes the subgroups were formed from.
+    pub attributes: Vec<String>,
+    /// Overall positive-outcome rate.
+    pub overall_rate: f64,
+    /// Every non-empty subgroup, worst impact ratio first.
+    pub subgroups: Vec<SubgroupOutcome>,
+    /// Small-cell threshold used.
+    pub min_cell: usize,
+}
+
+impl IntersectionalReport {
+    /// Subgroups (with adequate n) whose impact ratio falls below
+    /// `threshold` (e.g. 0.8 for the four-fifths rule).
+    pub fn violations(&self, threshold: f64) -> Vec<&SubgroupOutcome> {
+        self.subgroups
+            .iter()
+            .filter(|s| !s.small_cell && s.impact_ratio < threshold)
+            .collect()
+    }
+
+    /// The worst adequately-sized subgroup, if any.
+    pub fn worst(&self) -> Option<&SubgroupOutcome> {
+        self.subgroups.iter().find(|s| !s.small_cell)
+    }
+}
+
+/// Audit predictions across every combination of the given categorical
+/// attributes. `min_cell` marks subgroups too small for stable rates.
+pub fn intersectional_audit(
+    ds: &Dataset,
+    pred: &[bool],
+    attributes: &[&str],
+    min_cell: usize,
+) -> Result<IntersectionalReport> {
+    if attributes.is_empty() {
+        return Err(FactError::InvalidArgument(
+            "at least one attribute required".into(),
+        ));
+    }
+    if pred.len() != ds.n_rows() {
+        return Err(FactError::LengthMismatch {
+            expected: ds.n_rows(),
+            actual: pred.len(),
+        });
+    }
+    if pred.is_empty() {
+        return Err(FactError::EmptyData("intersectional audit on empty data".into()));
+    }
+    let mut label_cols = Vec::with_capacity(attributes.len());
+    for &a in attributes {
+        label_cols.push(ds.labels(a)?);
+    }
+    let overall = pred.iter().filter(|&&p| p).count() as f64 / pred.len() as f64;
+    if overall <= 0.0 {
+        return Err(FactError::Numeric(
+            "overall selection rate is zero; impact ratios undefined".into(),
+        ));
+    }
+    use std::collections::HashMap;
+    let mut cells: HashMap<Vec<String>, (usize, usize)> = HashMap::new();
+    for i in 0..pred.len() {
+        let key: Vec<String> = label_cols.iter().map(|c| c[i].clone()).collect();
+        let entry = cells.entry(key).or_insert((0, 0));
+        entry.0 += 1;
+        if pred[i] {
+            entry.1 += 1;
+        }
+    }
+    let mut subgroups: Vec<SubgroupOutcome> = cells
+        .into_iter()
+        .map(|(labels, (n, pos))| {
+            let rate = pos as f64 / n as f64;
+            SubgroupOutcome {
+                labels,
+                n,
+                selection_rate: rate,
+                impact_ratio: rate / overall,
+                small_cell: n < min_cell,
+            }
+        })
+        .collect();
+    subgroups.sort_by(|a, b| {
+        a.impact_ratio
+            .partial_cmp(&b.impact_ratio)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.labels.cmp(&b.labels))
+    });
+    Ok(IntersectionalReport {
+        attributes: attributes.iter().map(|s| s.to_string()).collect(),
+        overall_rate: overall,
+        subgroups,
+        min_cell,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world fair on gender and on region marginally, but brutal to the
+    /// (female, south) intersection.
+    fn intersection_trap(n: usize) -> (Dataset, Vec<bool>) {
+        let mut gender = Vec::with_capacity(n);
+        let mut region = Vec::with_capacity(n);
+        let mut pred = Vec::with_capacity(n);
+        for i in 0..n {
+            let female = i % 2 == 0;
+            let south = (i / 2) % 2 == 0;
+            gender.push(if female { "female" } else { "male" });
+            region.push(if south { "south" } else { "north" });
+            // marginal rates equal-ish: female-south punished, male-south boosted
+            let p = match (female, south) {
+                (true, true) => i % 10 < 2,   // 20%
+                (false, true) => i % 10 < 8,  // 80%
+                (true, false) => i % 10 < 8,  // 80%
+                (false, false) => i % 10 < 2, // 20%
+            };
+            pred.push(p);
+        }
+        let ds = Dataset::builder()
+            .cat("gender", &gender)
+            .cat("region", &region)
+            .build()
+            .unwrap();
+        (ds, pred)
+    }
+
+    #[test]
+    fn marginal_audits_miss_what_the_intersection_shows() {
+        let (ds, pred) = intersection_trap(4000);
+        // marginal: both genders ≈ 50%
+        let by_gender = intersectional_audit(&ds, &pred, &["gender"], 30).unwrap();
+        for g in &by_gender.subgroups {
+            assert!(
+                (g.impact_ratio - 1.0).abs() < 0.05,
+                "marginals look fair: {:?} {}",
+                g.labels,
+                g.impact_ratio
+            );
+        }
+        // intersection: (female, south) at 0.2/0.5 = 0.4 impact ratio
+        let both = intersectional_audit(&ds, &pred, &["gender", "region"], 30).unwrap();
+        let worst = both.worst().unwrap();
+        assert_eq!(worst.labels, vec!["female", "south"]);
+        assert!(worst.impact_ratio < 0.5);
+        assert_eq!(both.violations(0.8).len(), 2); // female-south & male-north
+    }
+
+    #[test]
+    fn small_cells_flagged_not_judged() {
+        let gender = vec!["f", "f", "f", "m"];
+        let ds = Dataset::builder().cat("g", &gender).build().unwrap();
+        let pred = vec![true, true, false, false];
+        let rep = intersectional_audit(&ds, &pred, &["g"], 10).unwrap();
+        assert!(rep.subgroups.iter().all(|s| s.small_cell));
+        assert!(rep.violations(0.8).is_empty(), "small cells never violate");
+        assert!(rep.worst().is_none());
+    }
+
+    #[test]
+    fn sorted_worst_first() {
+        let (ds, pred) = intersection_trap(2000);
+        let rep = intersectional_audit(&ds, &pred, &["gender", "region"], 30).unwrap();
+        for w in rep.subgroups.windows(2) {
+            assert!(w[0].impact_ratio <= w[1].impact_ratio + 1e-12);
+        }
+        assert_eq!(rep.attributes, vec!["gender", "region"]);
+        assert!((rep.overall_rate - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn validation() {
+        let (ds, pred) = intersection_trap(100);
+        assert!(intersectional_audit(&ds, &pred, &[], 10).is_err());
+        assert!(intersectional_audit(&ds, &pred[..50], &["gender"], 10).is_err());
+        assert!(intersectional_audit(&ds, &pred, &["ghost"], 10).is_err());
+        let none = vec![false; 100];
+        assert!(intersectional_audit(&ds, &none, &["gender"], 10).is_err());
+    }
+}

@@ -1,0 +1,271 @@
+//! Group fairness metrics.
+//!
+//! Conventions: `mask[i] == true` marks the *protected* group; all
+//! difference metrics are `unprotected − protected`, so a **positive** value
+//! means the protected group is disadvantaged. Ratio metrics (disparate
+//! impact) are `protected / unprotected`, so values **below 1** mean
+//! disadvantage and the legal four-fifths rule is `DI ≥ 0.8`.
+
+use fact_data::{FactError, Result};
+use fact_ml::metrics::ConfusionMatrix;
+
+fn split_by_group<'a, T: Copy>(vals: &'a [T], mask: &'a [bool]) -> (Vec<T>, Vec<T>) {
+    let mut prot = Vec::new();
+    let mut unprot = Vec::new();
+    for (&v, &m) in vals.iter().zip(mask) {
+        if m {
+            prot.push(v);
+        } else {
+            unprot.push(v);
+        }
+    }
+    (prot, unprot)
+}
+
+fn validate(len_a: usize, len_b: usize, mask: &[bool]) -> Result<()> {
+    if len_a != len_b {
+        return Err(FactError::LengthMismatch {
+            expected: len_a,
+            actual: len_b,
+        });
+    }
+    if len_a != mask.len() {
+        return Err(FactError::LengthMismatch {
+            expected: len_a,
+            actual: mask.len(),
+        });
+    }
+    if len_a == 0 {
+        return Err(FactError::EmptyData("fairness metric on empty data".into()));
+    }
+    if !mask.iter().any(|&m| m) || mask.iter().all(|&m| m) {
+        return Err(FactError::InvalidArgument(
+            "both protected and unprotected rows are required".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn positive_rate(pred: &[bool]) -> f64 {
+    pred.iter().filter(|&&p| p).count() as f64 / pred.len() as f64
+}
+
+/// Positive-outcome rates `(protected, unprotected)`.
+pub fn selection_rates(pred: &[bool], mask: &[bool]) -> Result<(f64, f64)> {
+    validate(pred.len(), pred.len(), mask)?;
+    let (p, u) = split_by_group(pred, mask);
+    Ok((positive_rate(&p), positive_rate(&u)))
+}
+
+/// Statistical (demographic) parity difference:
+/// `P(ŷ=1 | unprotected) − P(ŷ=1 | protected)`.
+pub fn statistical_parity_difference(pred: &[bool], mask: &[bool]) -> Result<f64> {
+    let (prot, unprot) = selection_rates(pred, mask)?;
+    Ok(unprot - prot)
+}
+
+/// Disparate impact ratio: `P(ŷ=1 | protected) / P(ŷ=1 | unprotected)`.
+/// Errors when the unprotected rate is zero.
+pub fn disparate_impact(pred: &[bool], mask: &[bool]) -> Result<f64> {
+    let (prot, unprot) = selection_rates(pred, mask)?;
+    if unprot == 0.0 {
+        return Err(FactError::Numeric(
+            "disparate impact undefined: unprotected selection rate is zero".into(),
+        ));
+    }
+    Ok(prot / unprot)
+}
+
+/// Equal opportunity difference: `TPR(unprotected) − TPR(protected)`.
+/// Requires positive examples in both groups.
+pub fn equal_opportunity_difference(
+    truth: &[bool],
+    pred: &[bool],
+    mask: &[bool],
+) -> Result<f64> {
+    validate(truth.len(), pred.len(), mask)?;
+    let (tpr_p, tpr_u) = group_rates(truth, pred, mask, |cm| cm.tpr())?;
+    Ok(tpr_u - tpr_p)
+}
+
+/// Equalized odds distance: `max(|ΔTPR|, |ΔFPR|)` between groups.
+pub fn equalized_odds_difference(truth: &[bool], pred: &[bool], mask: &[bool]) -> Result<f64> {
+    validate(truth.len(), pred.len(), mask)?;
+    let (tpr_p, tpr_u) = group_rates(truth, pred, mask, |cm| cm.tpr())?;
+    let (fpr_p, fpr_u) = group_rates(truth, pred, mask, |cm| cm.fpr())?;
+    Ok((tpr_u - tpr_p).abs().max((fpr_u - fpr_p).abs()))
+}
+
+/// Predictive parity difference: `precision(unprotected) − precision(protected)`.
+pub fn predictive_parity_difference(
+    truth: &[bool],
+    pred: &[bool],
+    mask: &[bool],
+) -> Result<f64> {
+    validate(truth.len(), pred.len(), mask)?;
+    let (p, u) = group_rates(truth, pred, mask, |cm| cm.precision())?;
+    Ok(u - p)
+}
+
+/// Per-group accuracy `(protected, unprotected)`.
+pub fn group_accuracy(truth: &[bool], pred: &[bool], mask: &[bool]) -> Result<(f64, f64)> {
+    validate(truth.len(), pred.len(), mask)?;
+    let mut correct = [0usize; 2];
+    let mut total = [0usize; 2];
+    for ((&t, &p), &m) in truth.iter().zip(pred).zip(mask) {
+        let g = usize::from(!m); // 0 = protected, 1 = unprotected
+        total[g] += 1;
+        if t == p {
+            correct[g] += 1;
+        }
+    }
+    Ok((
+        correct[0] as f64 / total[0] as f64,
+        correct[1] as f64 / total[1] as f64,
+    ))
+}
+
+/// Mean-calibration gap between groups: `|mean(p)−mean(y)|` per group,
+/// returned as `(protected, unprotected)`. A well-calibrated model has both
+/// near zero.
+pub fn calibration_gap(truth: &[bool], probs: &[f64], mask: &[bool]) -> Result<(f64, f64)> {
+    validate(truth.len(), probs.len(), mask)?;
+    let gap = |want: bool| {
+        let mut psum = 0.0;
+        let mut ysum = 0.0;
+        let mut n = 0usize;
+        for ((&t, &p), &m) in truth.iter().zip(probs).zip(mask) {
+            if m == want {
+                psum += p;
+                ysum += if t { 1.0 } else { 0.0 };
+                n += 1;
+            }
+        }
+        (psum / n as f64 - ysum / n as f64).abs()
+    };
+    Ok((gap(true), gap(false)))
+}
+
+fn group_rates(
+    truth: &[bool],
+    pred: &[bool],
+    mask: &[bool],
+    rate: fn(&ConfusionMatrix) -> Option<f64>,
+) -> Result<(f64, f64)> {
+    let mut out = [0.0; 2];
+    for (g, want) in [(0usize, true), (1usize, false)] {
+        let t: Vec<bool> = truth
+            .iter()
+            .zip(mask)
+            .filter(|(_, &m)| m == want)
+            .map(|(&v, _)| v)
+            .collect();
+        let p: Vec<bool> = pred
+            .iter()
+            .zip(mask)
+            .filter(|(_, &m)| m == want)
+            .map(|(&v, _)| v)
+            .collect();
+        let cm = ConfusionMatrix::from_predictions(&t, &p)?;
+        out[g] = rate(&cm).ok_or_else(|| {
+            FactError::Numeric(format!(
+                "group rate undefined for the {} group (degenerate class mix)",
+                if want { "protected" } else { "unprotected" }
+            ))
+        })?;
+    }
+    Ok((out[0], out[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // protected group: indices 0..4; unprotected: 4..8
+    const MASK: [bool; 8] = [true, true, true, true, false, false, false, false];
+
+    #[test]
+    fn parity_difference_and_di() {
+        // protected selected 1/4, unprotected 3/4
+        let pred = [true, false, false, false, true, true, true, false];
+        let spd = statistical_parity_difference(&pred, &MASK).unwrap();
+        assert!((spd - 0.5).abs() < 1e-12);
+        let di = disparate_impact(&pred, &MASK).unwrap();
+        assert!((di - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parity_zero_when_equal() {
+        let pred = [true, true, false, false, true, true, false, false];
+        assert_eq!(statistical_parity_difference(&pred, &MASK).unwrap(), 0.0);
+        assert_eq!(disparate_impact(&pred, &MASK).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn di_undefined_when_unprotected_rate_zero() {
+        let pred = [true, true, false, false, false, false, false, false];
+        assert!(disparate_impact(&pred, &MASK).is_err());
+    }
+
+    #[test]
+    fn equal_opportunity_measures_tpr_gap() {
+        // truth: two positives per group.
+        let truth = [true, true, false, false, true, true, false, false];
+        // protected TPR = 1/2, unprotected TPR = 2/2
+        let pred = [true, false, false, false, true, true, false, false];
+        let eod = equal_opportunity_difference(&truth, &pred, &MASK).unwrap();
+        assert!((eod - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equalized_odds_takes_worst_gap() {
+        let truth = [true, true, false, false, true, true, false, false];
+        // TPR equal (1.0 both); FPR: protected 1/2, unprotected 0
+        let pred = [true, true, true, false, true, true, false, false];
+        let eo = equalized_odds_difference(&truth, &pred, &MASK).unwrap();
+        assert!((eo - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictive_parity_gap() {
+        let truth = [true, false, false, false, true, true, false, false];
+        // protected precision 1/2; unprotected 2/2
+        let pred = [true, true, false, false, true, true, false, false];
+        let ppd = predictive_parity_difference(&truth, &pred, &MASK).unwrap();
+        assert!((ppd - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_accuracy_split() {
+        let truth = [true, true, true, true, false, false, false, false];
+        let pred = [true, true, false, false, false, false, false, false];
+        let (a_p, a_u) = group_accuracy(&truth, &pred, &MASK).unwrap();
+        assert_eq!(a_p, 0.5);
+        assert_eq!(a_u, 1.0);
+    }
+
+    #[test]
+    fn calibration_gap_zero_for_matched_probs() {
+        let truth = [true, false, true, false, true, false, true, false];
+        let probs = [0.5; 8];
+        let (g_p, g_u) = calibration_gap(&truth, &probs, &MASK).unwrap();
+        assert!(g_p < 1e-12);
+        assert!(g_u < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let pred = [true; 8];
+        assert!(statistical_parity_difference(&pred, &[true; 8]).is_err());
+        assert!(statistical_parity_difference(&pred, &[false; 8]).is_err());
+        assert!(statistical_parity_difference(&pred[..4], &MASK).is_err());
+        assert!(statistical_parity_difference(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn eod_requires_positives_in_both_groups() {
+        let truth = [false, false, false, false, true, true, false, false];
+        let pred = [false; 8];
+        assert!(equal_opportunity_difference(&truth, &pred, &MASK).is_err());
+    }
+}

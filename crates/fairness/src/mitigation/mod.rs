@@ -1,0 +1,18 @@
+//! Bias mitigation — the "ways to ensure fairness" the paper calls for (§2).
+//!
+//! Three intervention points, mirroring the standard taxonomy
+//! (and the AIF360 tool family the paper's agenda anticipated):
+//!
+//! | Stage | Module | Technique |
+//! |---|---|---|
+//! | pre-processing | [`reweighing`] | Kamiran–Calders instance weights |
+//! | pre-processing | [`repair`] | disparate-impact remover (per-group quantile alignment) |
+//! | in-processing | [`prejudice`] | prejudice-remover regularized logistic regression |
+//! | post-processing | [`threshold`] | per-group decision-threshold optimization |
+//!
+//! Experiment E2 compares all four on the same biased world.
+
+pub mod prejudice;
+pub mod repair;
+pub mod reweighing;
+pub mod threshold;

@@ -1,0 +1,275 @@
+//! Prejudice-remover regularizer (Kamishima et al. 2012, simplified):
+//! in-processing logistic regression whose loss adds a penalty
+//! `η · (mean score of protected − mean score of unprotected)²`,
+//! pushing the model toward group-independent scores *during* training.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use fact_data::{FactError, Matrix, Result};
+use fact_ml::Classifier;
+
+/// Hyper-parameters for the prejudice-remover trainer.
+#[derive(Debug, Clone)]
+pub struct PrejudiceConfig {
+    /// Fairness penalty strength η (0 = plain logistic regression).
+    pub eta: f64,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// L2 penalty.
+    pub l2: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for PrejudiceConfig {
+    fn default() -> Self {
+        PrejudiceConfig {
+            eta: 1.0,
+            learning_rate: 0.1,
+            epochs: 60,
+            batch_size: 64,
+            l2: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted prejudice-remover classifier.
+#[derive(Debug, Clone)]
+pub struct PrejudiceRemover {
+    weights: Vec<f64>, // [bias, w..] in standardized space
+    stats: Vec<(f64, f64)>,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl PrejudiceRemover {
+    /// Fit with fairness penalty. The protected mask is used only during
+    /// training (the fitted model never sees group membership at predict
+    /// time).
+    pub fn fit(x: &Matrix, y: &[bool], mask: &[bool], cfg: &PrejudiceConfig) -> Result<Self> {
+        if x.rows() != y.len() || x.rows() != mask.len() {
+            return Err(FactError::LengthMismatch {
+                expected: x.rows(),
+                actual: y.len().min(mask.len()),
+            });
+        }
+        if x.rows() == 0 {
+            return Err(FactError::EmptyData("empty training data".into()));
+        }
+        if cfg.eta < 0.0 {
+            return Err(FactError::InvalidArgument("eta must be non-negative".into()));
+        }
+        let n_prot = mask.iter().filter(|&&m| m).count();
+        if n_prot == 0 || n_prot == mask.len() {
+            return Err(FactError::InvalidArgument(
+                "both groups must be present for prejudice removal".into(),
+            ));
+        }
+
+        let mut xs = x.clone();
+        let stats = xs.standardize();
+        let n = xs.rows();
+        let d = xs.cols();
+        let mut w = vec![0.0; d + 1];
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let n_unprot = n - n_prot;
+
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let lr = cfg.learning_rate / (1.0 + 0.1 * epoch as f64);
+            for chunk in order.chunks(cfg.batch_size) {
+                // forward pass over the batch
+                let mut probs = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let row = xs.row(i);
+                    let mut z = w[0];
+                    for (j, &v) in row.iter().enumerate() {
+                        z += w[j + 1] * v;
+                    }
+                    probs.push(sigmoid(z));
+                }
+                // parity gap over the batch (falls back to 0 when a batch
+                // happens to contain one group only)
+                let (mut sp, mut su, mut np, mut nu) = (0.0, 0.0, 0usize, 0usize);
+                for (&i, &p) in chunk.iter().zip(&probs) {
+                    if mask[i] {
+                        sp += p;
+                        np += 1;
+                    } else {
+                        su += p;
+                        nu += 1;
+                    }
+                }
+                let gap = if np > 0 && nu > 0 {
+                    sp / np as f64 - su / nu as f64
+                } else {
+                    0.0
+                };
+                // gradient
+                let mut grad = vec![0.0; d + 1];
+                for (k, &i) in chunk.iter().enumerate() {
+                    let p = probs[k];
+                    let target = if y[i] { 1.0 } else { 0.0 };
+                    // BCE term
+                    let mut err = p - target;
+                    // fairness term: d/dz [η gap²] = 2η·gap·(±1/n_g)·p(1−p)
+                    if np > 0 && nu > 0 {
+                        let sign = if mask[i] {
+                            1.0 / np as f64
+                        } else {
+                            -1.0 / nu as f64
+                        };
+                        err += 2.0 * cfg.eta * gap * sign * p * (1.0 - p) * chunk.len() as f64;
+                    }
+                    let row = xs.row(i);
+                    grad[0] += err;
+                    for (j, &v) in row.iter().enumerate() {
+                        grad[j + 1] += err * v;
+                    }
+                }
+                let scale = lr / chunk.len() as f64;
+                w[0] -= scale * grad[0];
+                for j in 1..=d {
+                    w[j] -= scale * (grad[j] + cfg.l2 * w[j]);
+                }
+            }
+        }
+        let _ = (n_prot, n_unprot);
+        Ok(PrejudiceRemover { weights: w, stats })
+    }
+}
+
+impl Classifier for PrejudiceRemover {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if x.cols() + 1 != self.weights.len() {
+            return Err(FactError::LengthMismatch {
+                expected: self.weights.len() - 1,
+                actual: x.cols(),
+            });
+        }
+        let mut xs = x.clone();
+        xs.apply_standardization(&self.stats)?;
+        let mut out = Vec::with_capacity(xs.rows());
+        for i in 0..xs.rows() {
+            let row = xs.row(i);
+            let mut z = self.weights[0];
+            for (j, &v) in row.iter().enumerate() {
+                z += self.weights[j + 1] * v;
+            }
+            out.push(sigmoid(z));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_data::synth::loans::{generate_loans, LoanConfig};
+    use fact_ml::metrics::accuracy;
+
+    use crate::metrics::statistical_parity_difference;
+    use crate::protected_mask;
+
+    fn biased_world() -> (Matrix, Vec<bool>, Vec<bool>) {
+        let ds = generate_loans(&LoanConfig {
+            n: 8_000,
+            seed: 11,
+            bias_strength: 0.45,
+            proxy_strength: 0.7,
+            ..LoanConfig::default()
+        });
+        let mask = protected_mask(&ds, "group", "B").unwrap();
+        let y = ds.bool_column("approved").unwrap().to_vec();
+        // include the proxy so the plain model discriminates via it
+        let x = ds
+            .to_matrix(&[
+                "income",
+                "credit_score",
+                "debt_ratio",
+                "years_employed",
+                "zip_risk",
+            ])
+            .unwrap();
+        (x, y, mask)
+    }
+
+    #[test]
+    fn eta_zero_behaves_like_plain_logistic() {
+        let (x, y, mask) = biased_world();
+        let m = PrejudiceRemover::fit(
+            &x,
+            &y,
+            &mask,
+            &PrejudiceConfig {
+                eta: 0.0,
+                ..PrejudiceConfig::default()
+            },
+        )
+        .unwrap();
+        let acc = accuracy(&y, &m.predict(&x).unwrap()).unwrap();
+        // labels are noisy (bias flips 45% of protected approvals), so the
+        // Bayes rate here is well below the clean-world one
+        assert!(acc > 0.65, "plain-mode accuracy {acc}");
+    }
+
+    #[test]
+    fn larger_eta_shrinks_parity_gap() {
+        let (x, y, mask) = biased_world();
+        let gap_at = |eta: f64| {
+            let m = PrejudiceRemover::fit(
+                &x,
+                &y,
+                &mask,
+                &PrejudiceConfig {
+                    eta,
+                    ..PrejudiceConfig::default()
+                },
+            )
+            .unwrap();
+            statistical_parity_difference(&m.predict(&x).unwrap(), &mask)
+                .unwrap()
+                .abs()
+        };
+        let g0 = gap_at(0.0);
+        let g2 = gap_at(2.0);
+        assert!(g2 < g0, "eta=2 gap {g2:.3} should be below eta=0 gap {g0:.3}");
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let (x, y, mask) = biased_world();
+        let m = PrejudiceRemover::fit(&x, &y, &mask, &PrejudiceConfig::default()).unwrap();
+        for p in m.predict_proba(&x).unwrap() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let (x, y, mask) = biased_world();
+        assert!(PrejudiceRemover::fit(&x, &y[..10], &mask, &PrejudiceConfig::default()).is_err());
+        assert!(PrejudiceRemover::fit(
+            &x,
+            &y,
+            &vec![true; y.len()],
+            &PrejudiceConfig::default()
+        )
+        .is_err());
+        let bad = PrejudiceConfig {
+            eta: -1.0,
+            ..PrejudiceConfig::default()
+        };
+        assert!(PrejudiceRemover::fit(&x, &y, &mask, &bad).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Disparate-impact remover (Feldman et al. 2015): per-group quantile
+//! alignment of feature distributions.
+//!
+//! For each numeric feature, a row's value is mapped from its within-group
+//! quantile to the corresponding quantile of the *combined* distribution.
+//! `amount = 1` makes group feature distributions identical (removing all
+//! group information the feature carried); `amount = 0` is the identity. The
+//! label is untouched — this is purely a feature-space repair, trading
+//! predictive signal for fairness (the frontier experiment E2 measures that
+//! trade).
+
+use fact_data::{Column, Dataset, FactError, Result};
+
+/// Repair the named numeric columns of `ds` with strength `amount ∈ [0, 1]`.
+pub fn repair_disparate_impact(
+    ds: &Dataset,
+    columns: &[&str],
+    mask: &[bool],
+    amount: f64,
+) -> Result<Dataset> {
+    if !(0.0..=1.0).contains(&amount) {
+        return Err(FactError::InvalidArgument(format!(
+            "repair amount must be in [0, 1], got {amount}"
+        )));
+    }
+    if ds.n_rows() != mask.len() {
+        return Err(FactError::LengthMismatch {
+            expected: ds.n_rows(),
+            actual: mask.len(),
+        });
+    }
+    if !mask.iter().any(|&m| m) || mask.iter().all(|&m| m) {
+        return Err(FactError::InvalidArgument(
+            "both groups must be present for repair".into(),
+        ));
+    }
+    let mut out = ds.clone();
+    for &name in columns {
+        let vals = ds.f64_column(name)?;
+        let repaired = repair_column(&vals, mask, amount);
+        out.replace_column(name, Column::from_f64(repaired))?;
+    }
+    Ok(out)
+}
+
+fn repair_column(vals: &[f64], mask: &[bool], amount: f64) -> Vec<f64> {
+    // combined sorted values define the target quantile function
+    let mut combined = vals.to_vec();
+    combined.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+    // per-group sorted copies for rank lookup
+    let mut groups: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for (&v, &m) in vals.iter().zip(mask) {
+        groups[usize::from(m)].push(v);
+    }
+    for g in groups.iter_mut() {
+        g.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    vals.iter()
+        .zip(mask)
+        .map(|(&v, &m)| {
+            let g = &groups[usize::from(m)];
+            // mid-rank of v within its group → quantile in [0, 1]
+            let lo = g.partition_point(|&x| x < v);
+            let hi = g.partition_point(|&x| x <= v);
+            let q = if g.len() > 1 {
+                ((lo + hi) as f64 / 2.0) / g.len() as f64
+            } else {
+                0.5
+            };
+            // combined quantile at q (linear interpolation)
+            let pos = q * (combined.len() - 1) as f64;
+            let i = pos.floor() as usize;
+            let frac = pos - i as f64;
+            let target = if i + 1 < combined.len() {
+                combined[i] * (1.0 - frac) + combined[i + 1] * frac
+            } else {
+                combined[i]
+            };
+            (1.0 - amount) * v + amount * target
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_data::synth::loans::{generate_loans, LoanConfig};
+    use fact_stats::descriptive::mean;
+
+    use crate::protected_mask;
+
+    fn group_means(vals: &[f64], mask: &[bool]) -> (f64, f64) {
+        let p: Vec<f64> = vals
+            .iter()
+            .zip(mask)
+            .filter(|(_, &m)| m)
+            .map(|(&v, _)| v)
+            .collect();
+        let u: Vec<f64> = vals
+            .iter()
+            .zip(mask)
+            .filter(|(_, &m)| !m)
+            .map(|(&v, _)| v)
+            .collect();
+        (mean(&p).unwrap(), mean(&u).unwrap())
+    }
+
+    #[test]
+    fn amount_zero_is_identity() {
+        let ds = generate_loans(&LoanConfig {
+            n: 1_000,
+            seed: 1,
+            feature_gap: 15.0,
+            ..LoanConfig::default()
+        });
+        let mask = protected_mask(&ds, "group", "B").unwrap();
+        let repaired = repair_disparate_impact(&ds, &["income"], &mask, 0.0).unwrap();
+        assert_eq!(
+            repaired.f64_column("income").unwrap(),
+            ds.f64_column("income").unwrap()
+        );
+    }
+
+    #[test]
+    fn full_repair_aligns_group_distributions() {
+        let ds = generate_loans(&LoanConfig {
+            n: 8_000,
+            seed: 2,
+            feature_gap: 20.0,
+            ..LoanConfig::default()
+        });
+        let mask = protected_mask(&ds, "group", "B").unwrap();
+        let before = ds.f64_column("income").unwrap();
+        let (mp0, mu0) = group_means(&before, &mask);
+        assert!(mu0 - mp0 > 10.0, "gap exists before repair");
+
+        let repaired = repair_disparate_impact(&ds, &["income"], &mask, 1.0).unwrap();
+        let after = repaired.f64_column("income").unwrap();
+        let (mp1, mu1) = group_means(&after, &mask);
+        assert!(
+            (mu1 - mp1).abs() < 1.0,
+            "full repair closes the mean gap: {mp1:.2} vs {mu1:.2}"
+        );
+    }
+
+    #[test]
+    fn partial_repair_interpolates() {
+        let ds = generate_loans(&LoanConfig {
+            n: 6_000,
+            seed: 3,
+            feature_gap: 20.0,
+            ..LoanConfig::default()
+        });
+        let mask = protected_mask(&ds, "group", "B").unwrap();
+        let gap_at = |amount: f64| {
+            let r = repair_disparate_impact(&ds, &["income"], &mask, amount).unwrap();
+            let vals = r.f64_column("income").unwrap();
+            let (p, u) = group_means(&vals, &mask);
+            (u - p).abs()
+        };
+        let g0 = gap_at(0.0);
+        let g5 = gap_at(0.5);
+        let g1 = gap_at(1.0);
+        assert!(g0 > g5 && g5 > g1, "monotone gap closure: {g0:.2} > {g5:.2} > {g1:.2}");
+    }
+
+    #[test]
+    fn repair_preserves_within_group_order() {
+        let ds = generate_loans(&LoanConfig {
+            n: 500,
+            seed: 4,
+            feature_gap: 10.0,
+            ..LoanConfig::default()
+        });
+        let mask = protected_mask(&ds, "group", "B").unwrap();
+        let before = ds.f64_column("income").unwrap();
+        let repaired = repair_disparate_impact(&ds, &["income"], &mask, 1.0).unwrap();
+        let after = repaired.f64_column("income").unwrap();
+        // rank order within the protected group must be preserved
+        let prot: Vec<(f64, f64)> = before
+            .iter()
+            .zip(&after)
+            .zip(&mask)
+            .filter(|(_, &m)| m)
+            .map(|((&b, &a), _)| (b, a))
+            .collect();
+        for i in 0..prot.len() {
+            for j in 0..prot.len() {
+                if prot[i].0 < prot[j].0 {
+                    assert!(
+                        prot[i].1 <= prot[j].1 + 1e-9,
+                        "quantile alignment is monotone"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let ds = generate_loans(&LoanConfig {
+            n: 100,
+            seed: 5,
+            ..LoanConfig::default()
+        });
+        let mask = protected_mask(&ds, "group", "B").unwrap();
+        assert!(repair_disparate_impact(&ds, &["income"], &mask, 1.5).is_err());
+        assert!(repair_disparate_impact(&ds, &["income"], &[true; 100], 0.5).is_err());
+        assert!(repair_disparate_impact(&ds, &["group"], &mask, 0.5).is_err());
+        assert!(repair_disparate_impact(&ds, &["income"], &mask[..50], 0.5).is_err());
+    }
+}

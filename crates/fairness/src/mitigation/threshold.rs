@@ -1,0 +1,229 @@
+//! Post-processing threshold optimization.
+//!
+//! Leaves the model untouched and instead chooses *per-group decision
+//! thresholds* on its scores. Two targets:
+//!
+//! * [`equalize_selection_rates`] — demographic parity: pick the protected-
+//!   group threshold so both groups are selected at (as close as possible to)
+//!   the same rate;
+//! * [`equalize_opportunity`] — equal opportunity: match true-positive rates
+//!   (requires labels, e.g. on a validation split).
+//!
+//! Returns a [`GroupThresholds`] decision rule that can be applied to new
+//! scores.
+
+use fact_data::{FactError, Result};
+
+/// Per-group decision thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupThresholds {
+    /// Threshold applied to protected-group scores.
+    pub protected: f64,
+    /// Threshold applied to unprotected-group scores.
+    pub unprotected: f64,
+}
+
+impl GroupThresholds {
+    /// Apply the rule: `score >= threshold(group)`.
+    pub fn apply(&self, scores: &[f64], mask: &[bool]) -> Result<Vec<bool>> {
+        if scores.len() != mask.len() {
+            return Err(FactError::LengthMismatch {
+                expected: scores.len(),
+                actual: mask.len(),
+            });
+        }
+        Ok(scores
+            .iter()
+            .zip(mask)
+            .map(|(&s, &m)| s >= if m { self.protected } else { self.unprotected })
+            .collect())
+    }
+}
+
+fn validate(scores: &[f64], mask: &[bool]) -> Result<()> {
+    if scores.len() != mask.len() {
+        return Err(FactError::LengthMismatch {
+            expected: scores.len(),
+            actual: mask.len(),
+        });
+    }
+    if scores.is_empty() {
+        return Err(FactError::EmptyData("threshold search on empty scores".into()));
+    }
+    if !mask.iter().any(|&m| m) || mask.iter().all(|&m| m) {
+        return Err(FactError::InvalidArgument(
+            "both groups required for threshold optimization".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn group_scores(scores: &[f64], mask: &[bool], want: bool) -> Vec<f64> {
+    scores
+        .iter()
+        .zip(mask)
+        .filter(|(_, &m)| m == want)
+        .map(|(&s, _)| s)
+        .collect()
+}
+
+/// Threshold on `sorted`-able scores achieving a selection rate closest to
+/// `target_rate`.
+fn threshold_for_rate(scores: &[f64], target_rate: f64) -> f64 {
+    let mut sorted = scores.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)); // descending
+    let k = (target_rate * sorted.len() as f64).round() as usize;
+    if k == 0 {
+        return sorted[0] + 1.0; // select nobody
+    }
+    if k >= sorted.len() {
+        return sorted[sorted.len() - 1]; // select everybody
+    }
+    // midpoint between the k-th selected and the first rejected score
+    (sorted[k - 1] + sorted[k]) / 2.0
+}
+
+/// Demographic-parity post-processing: keep the unprotected threshold at
+/// `base_threshold`, and choose the protected threshold so the protected
+/// selection rate matches the unprotected one.
+pub fn equalize_selection_rates(
+    scores: &[f64],
+    mask: &[bool],
+    base_threshold: f64,
+) -> Result<GroupThresholds> {
+    validate(scores, mask)?;
+    let unprot = group_scores(scores, mask, false);
+    let prot = group_scores(scores, mask, true);
+    let target_rate =
+        unprot.iter().filter(|&&s| s >= base_threshold).count() as f64 / unprot.len() as f64;
+    Ok(GroupThresholds {
+        protected: threshold_for_rate(&prot, target_rate),
+        unprotected: base_threshold,
+    })
+}
+
+/// Equal-opportunity post-processing: choose the protected threshold so the
+/// protected TPR matches the unprotected TPR at `base_threshold`. Requires
+/// labels with positives in both groups.
+pub fn equalize_opportunity(
+    scores: &[f64],
+    truth: &[bool],
+    mask: &[bool],
+    base_threshold: f64,
+) -> Result<GroupThresholds> {
+    validate(scores, mask)?;
+    if truth.len() != scores.len() {
+        return Err(FactError::LengthMismatch {
+            expected: scores.len(),
+            actual: truth.len(),
+        });
+    }
+    // positive-class scores per group
+    let pos_scores = |want: bool| -> Vec<f64> {
+        scores
+            .iter()
+            .zip(truth)
+            .zip(mask)
+            .filter(|((_, &t), &m)| t && m == want)
+            .map(|((&s, _), _)| s)
+            .collect()
+    };
+    let unprot_pos = pos_scores(false);
+    let prot_pos = pos_scores(true);
+    if unprot_pos.is_empty() || prot_pos.is_empty() {
+        return Err(FactError::InvalidArgument(
+            "equal opportunity needs positive examples in both groups".into(),
+        ));
+    }
+    let target_tpr = unprot_pos.iter().filter(|&&s| s >= base_threshold).count() as f64
+        / unprot_pos.len() as f64;
+    Ok(GroupThresholds {
+        protected: threshold_for_rate(&prot_pos, target_tpr),
+        unprotected: base_threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{equal_opportunity_difference, statistical_parity_difference};
+
+    /// Scores where the protected group scores systematically lower.
+    fn shifted_scores(n: usize) -> (Vec<f64>, Vec<bool>) {
+        let mut scores = Vec::with_capacity(n);
+        let mut mask = Vec::with_capacity(n);
+        for i in 0..n {
+            let prot = i % 2 == 0;
+            let base = (i % 50) as f64 / 50.0;
+            scores.push(if prot { base * 0.6 } else { base });
+            mask.push(prot);
+        }
+        (scores, mask)
+    }
+
+    #[test]
+    fn parity_thresholds_close_the_gap() {
+        let (scores, mask) = shifted_scores(1000);
+        let naive: Vec<bool> = scores.iter().map(|&s| s >= 0.5).collect();
+        let gap_naive = statistical_parity_difference(&naive, &mask).unwrap();
+        assert!(gap_naive > 0.15, "shifted scores create a gap: {gap_naive}");
+
+        let th = equalize_selection_rates(&scores, &mask, 0.5).unwrap();
+        assert!(th.protected < th.unprotected, "protected threshold lowered");
+        let fixed = th.apply(&scores, &mask).unwrap();
+        let gap_fixed = statistical_parity_difference(&fixed, &mask).unwrap();
+        assert!(
+            gap_fixed.abs() < 0.03,
+            "parity gap closed: {gap_naive:.3} → {gap_fixed:.3}"
+        );
+    }
+
+    #[test]
+    fn opportunity_thresholds_match_tpr() {
+        let (scores, mask) = shifted_scores(1000);
+        // ground truth: top half of the underlying merit is positive
+        let truth: Vec<bool> = (0..1000).map(|i| (i % 50) >= 25).collect();
+        let naive: Vec<bool> = scores.iter().map(|&s| s >= 0.5).collect();
+        let eod_naive = equal_opportunity_difference(&truth, &naive, &mask).unwrap();
+        assert!(eod_naive > 0.2);
+
+        let th = equalize_opportunity(&scores, &truth, &mask, 0.5).unwrap();
+        let fixed = th.apply(&scores, &mask).unwrap();
+        let eod_fixed = equal_opportunity_difference(&truth, &fixed, &mask).unwrap();
+        assert!(
+            eod_fixed.abs() < 0.05,
+            "TPR gap closed: {eod_naive:.3} → {eod_fixed:.3}"
+        );
+    }
+
+    #[test]
+    fn extreme_targets() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let mask = [true, true, false, false];
+        // base threshold above every unprotected score → select nobody
+        let th = equalize_selection_rates(&scores, &mask, 0.95).unwrap();
+        let sel = th.apply(&scores, &mask).unwrap();
+        assert!(sel.iter().all(|&s| !s));
+        // base threshold below every unprotected score → select everybody
+        let th = equalize_selection_rates(&scores, &mask, 0.0).unwrap();
+        let sel = th.apply(&scores, &mask).unwrap();
+        assert!(sel.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn validation() {
+        let scores = [0.5, 0.6];
+        assert!(equalize_selection_rates(&scores, &[true, true], 0.5).is_err());
+        assert!(equalize_selection_rates(&scores, &[true], 0.5).is_err());
+        assert!(equalize_opportunity(&scores, &[true], &[true, false], 0.5).is_err());
+        // no positives in one group
+        assert!(
+            equalize_opportunity(&[0.5, 0.6], &[false, true], &[true, false], 0.5).is_err()
+        );
+        let th = GroupThresholds {
+            protected: 0.3,
+            unprotected: 0.5,
+        };
+        assert!(th.apply(&scores, &[true]).is_err());
+    }
+}

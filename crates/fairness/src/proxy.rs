@@ -1,0 +1,237 @@
+//! Proxy (redundant-encoding) detection.
+//!
+//! The paper's sharpest fairness warning: omitting the sensitive attribute is
+//! not enough, because other features can encode it. This module scans every
+//! feature for association with the protected mask using two complementary
+//! measures — point-biserial correlation (linear leakage) and discretized
+//! mutual information (arbitrary leakage) — and ranks candidates.
+
+use fact_data::value::DataType;
+use fact_data::{Dataset, FactError, Result};
+use fact_stats::descriptive::pearson;
+
+/// Association of one feature with the protected attribute.
+#[derive(Debug, Clone)]
+pub struct ProxyScore {
+    /// Feature name.
+    pub feature: String,
+    /// |point-biserial correlation| with the protected mask (numeric
+    /// features; `None` for categoricals).
+    pub abs_correlation: Option<f64>,
+    /// Mutual information (nats) with the protected mask, after equal-width
+    /// discretization of numeric features into 10 bins.
+    pub mutual_information: f64,
+    /// Normalized MI in `[0, 1]` (divided by the protected-mask entropy).
+    pub normalized_mi: f64,
+}
+
+/// Scan all columns except `exclude` for association with the protected
+/// mask; results are sorted by normalized MI, strongest first.
+pub fn scan_proxies(ds: &Dataset, mask: &[bool], exclude: &[&str]) -> Result<Vec<ProxyScore>> {
+    if ds.n_rows() != mask.len() {
+        return Err(FactError::LengthMismatch {
+            expected: ds.n_rows(),
+            actual: mask.len(),
+        });
+    }
+    let h_mask = binary_entropy(mask);
+    if h_mask <= 0.0 {
+        return Err(FactError::InvalidArgument(
+            "protected mask is constant; proxies are undefined".into(),
+        ));
+    }
+    let mask_f: Vec<f64> = mask.iter().map(|&m| if m { 1.0 } else { 0.0 }).collect();
+    let mut out = Vec::new();
+    for field in ds.schema().fields() {
+        if exclude.contains(&field.name.as_str()) {
+            continue;
+        }
+        let col = ds.column(&field.name)?;
+        let (bins, abs_corr) = match field.dtype {
+            DataType::Cat => {
+                let cat = col.as_cat()?;
+                (cat.codes.iter().map(|&c| c as usize).collect::<Vec<_>>(), None)
+            }
+            _ => {
+                let vals = ds.f64_column(&field.name)?;
+                let corr = pearson(&vals, &mask_f).ok().map(|c| c.abs());
+                (discretize(&vals, 10), corr)
+            }
+        };
+        let mi = mutual_information(&bins, mask);
+        out.push(ProxyScore {
+            feature: field.name.clone(),
+            abs_correlation: abs_corr,
+            mutual_information: mi,
+            normalized_mi: (mi / h_mask).clamp(0.0, 1.0),
+        });
+    }
+    out.sort_by(|a, b| {
+        b.normalized_mi
+            .partial_cmp(&a.normalized_mi)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(out)
+}
+
+/// Features whose normalized MI exceeds `threshold` (suggested: 0.1).
+pub fn flag_proxies(scores: &[ProxyScore], threshold: f64) -> Vec<&ProxyScore> {
+    scores
+        .iter()
+        .filter(|s| s.normalized_mi >= threshold)
+        .collect()
+}
+
+fn discretize(vals: &[f64], n_bins: usize) -> Vec<usize> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in vals {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let width = (hi - lo).max(1e-300);
+    vals.iter()
+        .map(|&v| (((v - lo) / width) * n_bins as f64).floor().min(n_bins as f64 - 1.0) as usize)
+        .collect()
+}
+
+fn binary_entropy(mask: &[bool]) -> f64 {
+    let p = mask.iter().filter(|&&m| m).count() as f64 / mask.len() as f64;
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -(p * p.ln() + (1.0 - p) * (1.0 - p).ln())
+}
+
+fn mutual_information(bins: &[usize], mask: &[bool]) -> f64 {
+    use std::collections::HashMap;
+    let n = bins.len() as f64;
+    let mut joint: HashMap<(usize, bool), f64> = HashMap::new();
+    let mut marg_x: HashMap<usize, f64> = HashMap::new();
+    let p_true = mask.iter().filter(|&&m| m).count() as f64 / n;
+    for (&b, &m) in bins.iter().zip(mask) {
+        *joint.entry((b, m)).or_insert(0.0) += 1.0;
+        *marg_x.entry(b).or_insert(0.0) += 1.0;
+    }
+    let mut mi = 0.0;
+    for ((b, m), count) in &joint {
+        let pxy = count / n;
+        let px = marg_x[b] / n;
+        let py = if *m { p_true } else { 1.0 - p_true };
+        if pxy > 0.0 && px > 0.0 && py > 0.0 {
+            mi += pxy * (pxy / (px * py)).ln();
+        }
+    }
+    mi.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_data::bias::inject_proxy;
+    use fact_data::synth::loans::{generate_loans, LoanConfig};
+    use crate::protected_mask;
+
+    #[test]
+    fn perfect_proxy_tops_the_ranking() {
+        let ds = generate_loans(&LoanConfig {
+            n: 5_000,
+            seed: 1,
+            proxy_strength: 1.0,
+            ..LoanConfig::default()
+        });
+        let mask = protected_mask(&ds, "group", "B").unwrap();
+        let scores = scan_proxies(&ds, &mask, &["group", "approved"]).unwrap();
+        assert_eq!(scores[0].feature, "zip_risk");
+        assert!(scores[0].normalized_mi > 0.9, "nmi={}", scores[0].normalized_mi);
+        assert!(scores[0].abs_correlation.unwrap() > 0.95);
+    }
+
+    #[test]
+    fn no_proxy_when_strength_zero() {
+        let ds = generate_loans(&LoanConfig {
+            n: 5_000,
+            seed: 2,
+            proxy_strength: 0.0,
+            ..LoanConfig::default()
+        });
+        let mask = protected_mask(&ds, "group", "B").unwrap();
+        let scores = scan_proxies(&ds, &mask, &["group", "approved"]).unwrap();
+        for s in &scores {
+            assert!(s.normalized_mi < 0.05, "{}: {}", s.feature, s.normalized_mi);
+        }
+        assert!(flag_proxies(&scores, 0.1).is_empty());
+    }
+
+    #[test]
+    fn partial_proxy_scales_with_strength() {
+        let weak = generate_loans(&LoanConfig {
+            n: 5_000,
+            seed: 3,
+            proxy_strength: 0.3,
+            ..LoanConfig::default()
+        });
+        let strong = generate_loans(&LoanConfig {
+            n: 5_000,
+            seed: 3,
+            proxy_strength: 0.9,
+            ..LoanConfig::default()
+        });
+        let score_of = |ds: &Dataset| {
+            let mask = protected_mask(ds, "group", "B").unwrap();
+            scan_proxies(ds, &mask, &["group", "approved"])
+                .unwrap()
+                .into_iter()
+                .find(|s| s.feature == "zip_risk")
+                .unwrap()
+                .normalized_mi
+        };
+        assert!(score_of(&strong) > score_of(&weak) + 0.2);
+    }
+
+    #[test]
+    fn categorical_proxy_detected() {
+        // injected extra categorical column identical to group
+        let ds = generate_loans(&LoanConfig {
+            n: 2_000,
+            seed: 4,
+            ..LoanConfig::default()
+        });
+        let labels = ds.labels("group").unwrap();
+        let mut ds2 = ds.clone();
+        ds2.add_column(
+            "neighborhood",
+            fact_data::Column::from_labels(&labels),
+        )
+        .unwrap();
+        let mask = protected_mask(&ds2, "group", "B").unwrap();
+        let scores = scan_proxies(&ds2, &mask, &["group", "approved"]).unwrap();
+        assert_eq!(scores[0].feature, "neighborhood");
+        assert!(scores[0].normalized_mi > 0.99);
+        assert!(scores[0].abs_correlation.is_none());
+    }
+
+    #[test]
+    fn constant_mask_rejected() {
+        let ds = generate_loans(&LoanConfig {
+            n: 100,
+            seed: 5,
+            ..LoanConfig::default()
+        });
+        assert!(scan_proxies(&ds, &[true; 100], &[]).is_err());
+        assert!(scan_proxies(&ds, &[false; 50], &[]).is_err());
+    }
+
+    #[test]
+    fn proxy_injector_agrees_with_scanner() {
+        let ds = generate_loans(&LoanConfig {
+            n: 3_000,
+            seed: 6,
+            ..LoanConfig::default()
+        });
+        let ds = inject_proxy(&ds, "group", "B", "planted", 0.95, 7).unwrap();
+        let mask = protected_mask(&ds, "group", "B").unwrap();
+        let scores = scan_proxies(&ds, &mask, &["group", "approved"]).unwrap();
+        assert_eq!(scores[0].feature, "planted");
+    }
+}

@@ -1,0 +1,241 @@
+//! One-call fairness audit with verdicts.
+//!
+//! The paper asks for "approaches … to detect unfair decisions (e.g.,
+//! unintended discrimination)" (§2). [`FairnessReport::audit`] computes every
+//! group metric at once and grades them against configurable thresholds
+//! (defaulting to the EEOC four-fifths rule for disparate impact).
+
+use std::fmt;
+
+use fact_data::Result;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{
+    disparate_impact, equal_opportunity_difference, equalized_odds_difference, group_accuracy,
+    predictive_parity_difference, selection_rates, statistical_parity_difference,
+};
+
+/// Pass/fail thresholds for the audit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FairnessThresholds {
+    /// Minimum acceptable disparate-impact ratio (default `0.8`, the
+    /// four-fifths rule; symmetric: ratios above `1/0.8` also fail).
+    pub min_disparate_impact: f64,
+    /// Maximum acceptable |statistical parity difference| (default `0.1`).
+    pub max_parity_difference: f64,
+    /// Maximum acceptable equalized-odds distance (default `0.1`).
+    pub max_equalized_odds: f64,
+}
+
+impl Default for FairnessThresholds {
+    fn default() -> Self {
+        FairnessThresholds {
+            min_disparate_impact: 0.8,
+            max_parity_difference: 0.1,
+            max_equalized_odds: 0.1,
+        }
+    }
+}
+
+/// The complete audit result.
+///
+/// ```
+/// use fact_fairness::{FairnessReport, FairnessThresholds};
+/// // protected group (first 4) selected at half the rate of the rest
+/// let pred = [true, false, false, false, true, true, false, false];
+/// let mask = [true, true, true, true, false, false, false, false];
+/// let report = FairnessReport::audit(None, &pred, &mask, FairnessThresholds::default()).unwrap();
+/// assert!(report.disparate_impact < 0.8);
+/// assert!(!report.is_fair());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FairnessReport {
+    /// Protected-group selection rate.
+    pub selection_rate_protected: f64,
+    /// Unprotected-group selection rate.
+    pub selection_rate_unprotected: f64,
+    /// `unprotected − protected` selection-rate gap.
+    pub statistical_parity_difference: f64,
+    /// `protected / unprotected` selection-rate ratio.
+    pub disparate_impact: f64,
+    /// TPR gap (requires ground truth); `None` when truth was not supplied
+    /// or a group had no positives.
+    pub equal_opportunity_difference: Option<f64>,
+    /// Equalized-odds distance (requires ground truth).
+    pub equalized_odds_difference: Option<f64>,
+    /// Precision gap (requires ground truth).
+    pub predictive_parity_difference: Option<f64>,
+    /// Per-group accuracy `(protected, unprotected)` (requires ground truth).
+    pub group_accuracy: Option<(f64, f64)>,
+    /// Protected-group size.
+    pub n_protected: usize,
+    /// Unprotected-group size.
+    pub n_unprotected: usize,
+    /// Thresholds the verdict was graded against.
+    pub thresholds: FairnessThresholds,
+}
+
+impl FairnessReport {
+    /// Audit predictions. `truth` unlocks the error-rate metrics; without it
+    /// only selection-based metrics are reported (all that is available for
+    /// unlabeled production traffic).
+    pub fn audit(
+        truth: Option<&[bool]>,
+        pred: &[bool],
+        mask: &[bool],
+        thresholds: FairnessThresholds,
+    ) -> Result<Self> {
+        let (sr_p, sr_u) = selection_rates(pred, mask)?;
+        let spd = statistical_parity_difference(pred, mask)?;
+        let di = disparate_impact(pred, mask)?;
+        let (eod, eqo, ppd, gacc) = match truth {
+            Some(t) => (
+                equal_opportunity_difference(t, pred, mask).ok(),
+                equalized_odds_difference(t, pred, mask).ok(),
+                predictive_parity_difference(t, pred, mask).ok(),
+                group_accuracy(t, pred, mask).ok(),
+            ),
+            None => (None, None, None, None),
+        };
+        Ok(FairnessReport {
+            selection_rate_protected: sr_p,
+            selection_rate_unprotected: sr_u,
+            statistical_parity_difference: spd,
+            disparate_impact: di,
+            equal_opportunity_difference: eod,
+            equalized_odds_difference: eqo,
+            predictive_parity_difference: ppd,
+            group_accuracy: gacc,
+            n_protected: mask.iter().filter(|&&m| m).count(),
+            n_unprotected: mask.iter().filter(|&&m| !m).count(),
+            thresholds,
+        })
+    }
+
+    /// Whether disparate impact passes the (symmetric) four-fifths-style rule.
+    pub fn passes_disparate_impact(&self) -> bool {
+        let t = self.thresholds.min_disparate_impact;
+        self.disparate_impact >= t && self.disparate_impact <= 1.0 / t
+    }
+
+    /// Whether |SPD| is within threshold.
+    pub fn passes_parity(&self) -> bool {
+        self.statistical_parity_difference.abs() <= self.thresholds.max_parity_difference
+    }
+
+    /// Whether equalized odds is within threshold (vacuously true when the
+    /// metric is unavailable).
+    pub fn passes_equalized_odds(&self) -> bool {
+        self.equalized_odds_difference
+            .map(|v| v <= self.thresholds.max_equalized_odds)
+            .unwrap_or(true)
+    }
+
+    /// Overall verdict: every available criterion passes.
+    pub fn is_fair(&self) -> bool {
+        self.passes_disparate_impact() && self.passes_parity() && self.passes_equalized_odds()
+    }
+}
+
+impl fmt::Display for FairnessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fairness audit (protected n={}, unprotected n={})", self.n_protected, self.n_unprotected)?;
+        writeln!(
+            f,
+            "  selection rate       protected {:.3}  unprotected {:.3}",
+            self.selection_rate_protected, self.selection_rate_unprotected
+        )?;
+        writeln!(
+            f,
+            "  parity difference    {:+.3}  [{}]",
+            self.statistical_parity_difference,
+            if self.passes_parity() { "pass" } else { "FAIL" }
+        )?;
+        writeln!(
+            f,
+            "  disparate impact     {:.3}  [{}]",
+            self.disparate_impact,
+            if self.passes_disparate_impact() { "pass" } else { "FAIL" }
+        )?;
+        if let Some(v) = self.equal_opportunity_difference {
+            writeln!(f, "  equal opportunity Δ  {v:+.3}")?;
+        }
+        if let Some(v) = self.equalized_odds_difference {
+            writeln!(
+                f,
+                "  equalized odds       {:.3}  [{}]",
+                v,
+                if self.passes_equalized_odds() { "pass" } else { "FAIL" }
+            )?;
+        }
+        if let Some(v) = self.predictive_parity_difference {
+            writeln!(f, "  predictive parity Δ  {v:+.3}")?;
+        }
+        if let Some((p, u)) = self.group_accuracy {
+            writeln!(f, "  accuracy             protected {p:.3}  unprotected {u:.3}")?;
+        }
+        write!(
+            f,
+            "  verdict              {}",
+            if self.is_fair() { "FAIR" } else { "UNFAIR" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MASK: [bool; 8] = [true, true, true, true, false, false, false, false];
+
+    #[test]
+    fn fair_predictions_pass() {
+        let truth = [true, true, false, false, true, true, false, false];
+        let pred = [true, true, false, false, true, true, false, false];
+        let r = FairnessReport::audit(Some(&truth), &pred, &MASK, FairnessThresholds::default())
+            .unwrap();
+        assert!(r.is_fair());
+        assert_eq!(r.disparate_impact, 1.0);
+        assert_eq!(r.equalized_odds_difference, Some(0.0));
+        assert_eq!(r.n_protected, 4);
+    }
+
+    #[test]
+    fn biased_predictions_fail() {
+        let pred = [false, false, false, true, true, true, true, false];
+        let r = FairnessReport::audit(None, &pred, &MASK, FairnessThresholds::default()).unwrap();
+        assert!(!r.is_fair());
+        assert!(!r.passes_disparate_impact());
+        assert!(r.equalized_odds_difference.is_none());
+    }
+
+    #[test]
+    fn symmetric_di_rule_catches_reverse_disparity() {
+        // protected heavily favored: DI = 2.0 > 1/0.8 → fail
+        let pred = [true, true, true, true, true, true, false, false];
+        let r = FairnessReport::audit(None, &pred, &MASK, FairnessThresholds::default()).unwrap();
+        assert!(!r.passes_disparate_impact());
+    }
+
+    #[test]
+    fn display_renders_verdict() {
+        let pred = [true, false, false, false, true, true, true, false];
+        let r = FairnessReport::audit(None, &pred, &MASK, FairnessThresholds::default()).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("disparate impact"));
+        assert!(s.contains("UNFAIR"));
+    }
+
+    #[test]
+    fn custom_thresholds() {
+        let pred = [true, false, false, false, true, true, false, false];
+        // SPD = 0.25
+        let lax = FairnessThresholds {
+            max_parity_difference: 0.3,
+            min_disparate_impact: 0.4,
+            ..FairnessThresholds::default()
+        };
+        let r = FairnessReport::audit(None, &pred, &MASK, lax).unwrap();
+        assert!(r.is_fair());
+    }
+}

@@ -1,0 +1,225 @@
+//! Probability calibration.
+//!
+//! A model whose "0.8" means 60% is lying about its own uncertainty — an
+//! accuracy-pillar failure (Q2 demands trustworthy meta-information). Platt
+//! scaling refits scores through a 1-D logistic map `σ(a·s + b)` learned on
+//! held-out data; [`expected_calibration_error`] quantifies the lie before
+//! and after.
+
+use fact_data::{FactError, Matrix, Result};
+
+use crate::metrics::calibration_curve;
+use crate::{sigmoid, Classifier};
+
+/// A Platt-scaling recalibration layer over any classifier's probability
+/// outputs. Inputs are logit-transformed internally, so the layer learns
+/// `σ(a·logit(p) + b)` — the identity at `(a, b) = (1, 0)`, and an exact fix
+/// for models that are systematically over- or under-confident in log-odds
+/// space.
+#[derive(Debug, Clone)]
+pub struct PlattScaler {
+    a: f64,
+    b: f64,
+}
+
+fn logit(p: f64) -> f64 {
+    let p = p.clamp(1e-9, 1.0 - 1e-9);
+    (p / (1.0 - p)).ln()
+}
+
+impl PlattScaler {
+    /// Fit `σ(a·s + b)` on `(scores, labels)` from a *calibration split*
+    /// (never the training data) via Newton-damped gradient descent.
+    pub fn fit(scores: &[f64], labels: &[bool]) -> Result<Self> {
+        if scores.len() != labels.len() {
+            return Err(FactError::LengthMismatch {
+                expected: scores.len(),
+                actual: labels.len(),
+            });
+        }
+        if scores.len() < 10 {
+            return Err(FactError::EmptyData(
+                "Platt scaling needs at least 10 calibration points".into(),
+            ));
+        }
+        let pos = labels.iter().filter(|&&l| l).count();
+        if pos == 0 || pos == labels.len() {
+            return Err(FactError::InvalidArgument(
+                "calibration data must contain both classes".into(),
+            ));
+        }
+        // Platt's target smoothing avoids overconfident endpoints
+        let n_pos = pos as f64;
+        let n_neg = (labels.len() - pos) as f64;
+        let t_pos = (n_pos + 1.0) / (n_pos + 2.0);
+        let t_neg = 1.0 / (n_neg + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l { t_pos } else { t_neg })
+            .collect();
+
+        // 2-parameter Newton–Raphson on the cross-entropy
+        let mut a = 1.0f64;
+        let mut b = 0.0f64;
+        for _ in 0..50 {
+            let mut ga = 0.0;
+            let mut gb = 0.0;
+            let (mut h_aa, mut h_ab, mut h_bb) = (1e-9, 0.0, 1e-9);
+            for (&raw, &t) in scores.iter().zip(&targets) {
+                let s = logit(raw);
+                let p = sigmoid(a * s + b);
+                let err = p - t;
+                ga += err * s;
+                gb += err;
+                let w = (p * (1.0 - p)).max(1e-12);
+                h_aa += w * s * s;
+                h_ab += w * s;
+                h_bb += w;
+            }
+            // solve H · δ = g for the 2×2 Hessian
+            let det = h_aa * h_bb - h_ab * h_ab;
+            if det.abs() < 1e-300 {
+                break;
+            }
+            let da = (h_bb * ga - h_ab * gb) / det;
+            let db = (h_aa * gb - h_ab * ga) / det;
+            a -= da;
+            b -= db;
+            if da.abs() < 1e-10 && db.abs() < 1e-10 {
+                break;
+            }
+        }
+        Ok(PlattScaler { a, b })
+    }
+
+    /// Recalibrate one probability.
+    pub fn transform_one(&self, score: f64) -> f64 {
+        sigmoid(self.a * logit(score) + self.b)
+    }
+
+    /// Recalibrate a batch of scores.
+    pub fn transform(&self, scores: &[f64]) -> Vec<f64> {
+        scores.iter().map(|&s| self.transform_one(s)).collect()
+    }
+
+    /// The fitted `(a, b)` coefficients.
+    pub fn coefficients(&self) -> (f64, f64) {
+        (self.a, self.b)
+    }
+}
+
+/// A classifier wrapped with a calibration layer.
+pub struct CalibratedClassifier<C: Classifier> {
+    inner: C,
+    scaler: PlattScaler,
+}
+
+impl<C: Classifier> CalibratedClassifier<C> {
+    /// Wrap `inner`, fitting the scaler on `(x_calib, y_calib)`.
+    pub fn fit(inner: C, x_calib: &Matrix, y_calib: &[bool]) -> Result<Self> {
+        let scores = inner.predict_proba(x_calib)?;
+        let scaler = PlattScaler::fit(&scores, y_calib)?;
+        Ok(CalibratedClassifier { inner, scaler })
+    }
+}
+
+impl<C: Classifier> Classifier for CalibratedClassifier<C> {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        Ok(self.scaler.transform(&self.inner.predict_proba(x)?))
+    }
+}
+
+/// Expected calibration error: Σ (bin weight) · |mean predicted − observed|
+/// over `n_bins` equal-width bins.
+pub fn expected_calibration_error(
+    truth: &[bool],
+    probs: &[f64],
+    n_bins: usize,
+) -> Result<f64> {
+    let curve = calibration_curve(truth, probs, n_bins)?;
+    let n: usize = curve.iter().map(|&(_, _, c)| c).sum();
+    Ok(curve
+        .iter()
+        .map(|&(mean_p, frac, c)| (c as f64 / n as f64) * (mean_p - frac).abs())
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A model that is overconfident by a factor of 2 in log-odds space:
+    /// it reports σ(2z) when the true probability is σ(z).
+    fn overconfident_world(n: usize, seed: u64) -> (Vec<f64>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let z: f64 = rng.gen_range(-2.5..2.5); // true log-odds
+            labels.push(rng.gen::<f64>() < sigmoid(z));
+            scores.push(sigmoid(2.0 * z)); // overconfident report
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn platt_reduces_calibration_error() {
+        let (scores, labels) = overconfident_world(8_000, 1);
+        let (s_fit, s_eval) = scores.split_at(4_000);
+        let (l_fit, l_eval) = labels.split_at(4_000);
+        let before = expected_calibration_error(l_eval, s_eval, 10).unwrap();
+        let scaler = PlattScaler::fit(s_fit, l_fit).unwrap();
+        let fixed = scaler.transform(s_eval);
+        let after = expected_calibration_error(l_eval, &fixed, 10).unwrap();
+        assert!(
+            after < before * 0.5,
+            "Platt should halve ECE: {before:.4} → {after:.4}"
+        );
+        // the fitted slope must compress: a ≈ 0.5 undoes the ×2 distortion
+        let (a, _) = scaler.coefficients();
+        assert!((a - 0.5).abs() < 0.1, "a = {a}");
+    }
+
+    #[test]
+    fn transform_is_monotone_and_bounded() {
+        let (scores, labels) = overconfident_world(2_000, 2);
+        let scaler = PlattScaler::fit(&scores, &labels).unwrap();
+        let a = scaler.transform_one(0.2);
+        let b = scaler.transform_one(0.8);
+        assert!(a < b, "order preserved");
+        for s in [0.0, 0.3, 1.0] {
+            let p = scaler.transform_one(s);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn calibrated_classifier_wraps_transparently() {
+        use crate::logistic::{LogisticConfig, LogisticRegression};
+        use crate::testutil::linear_world;
+        let (x, y) = linear_world(2_000, 3);
+        let (xc, yc) = linear_world(500, 4);
+        let m = LogisticRegression::fit(&x, &y, None, &LogisticConfig::default()).unwrap();
+        let cal = CalibratedClassifier::fit(m, &xc, &yc).unwrap();
+        let probs = cal.predict_proba(&x).unwrap();
+        assert_eq!(probs.len(), 2_000);
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn ece_zero_for_perfect_calibration() {
+        // predictions equal to the empirical rate in every bin
+        let truth = vec![true, false, true, false];
+        let probs = vec![0.5; 4];
+        assert!(expected_calibration_error(&truth, &probs, 5).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PlattScaler::fit(&[0.5; 5], &[true; 5]).is_err());
+        assert!(PlattScaler::fit(&[0.5; 20], &[true; 20]).is_err());
+        assert!(PlattScaler::fit(&[0.5; 20], &[true; 19]).is_err());
+    }
+}

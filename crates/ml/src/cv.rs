@@ -1,0 +1,111 @@
+//! K-fold cross-validation.
+//!
+//! Honest accuracy accounting is the operational core of the paper's Q2:
+//! a score computed on the training data is "guesswork". This module owns
+//! the split-fit-score loop so callers cannot accidentally leak.
+
+use fact_data::split::kfold_indices;
+use fact_data::{Matrix, Result};
+
+/// Cross-validated scores for a fit-and-score procedure.
+///
+/// `fit_score` receives `(x_train, y_train, x_valid, y_valid)` and returns
+/// the validation score for that fold.
+pub fn cross_validate<F>(
+    x: &Matrix,
+    y: &[bool],
+    k: usize,
+    seed: u64,
+    mut fit_score: F,
+) -> Result<Vec<f64>>
+where
+    F: FnMut(&Matrix, &[bool], &Matrix, &[bool]) -> Result<f64>,
+{
+    if x.rows() != y.len() {
+        return Err(fact_data::FactError::LengthMismatch {
+            expected: x.rows(),
+            actual: y.len(),
+        });
+    }
+    let folds = kfold_indices(x.rows(), k, seed)?;
+    let mut scores = Vec::with_capacity(k);
+    for (train_idx, valid_idx) in folds {
+        let (xt, yt) = gather(x, y, &train_idx);
+        let (xv, yv) = gather(x, y, &valid_idx);
+        scores.push(fit_score(&xt, &yt, &xv, &yv)?);
+    }
+    Ok(scores)
+}
+
+/// Mean and sample standard deviation of fold scores.
+pub fn summarize(scores: &[f64]) -> (f64, f64) {
+    let n = scores.len() as f64;
+    let mean = scores.iter().sum::<f64>() / n;
+    let std = if scores.len() > 1 {
+        (scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+    } else {
+        0.0
+    };
+    (mean, std)
+}
+
+fn gather(x: &Matrix, y: &[bool], idx: &[usize]) -> (Matrix, Vec<bool>) {
+    let mut m = Matrix::zeros(idx.len(), x.cols());
+    let mut labels = Vec::with_capacity(idx.len());
+    for (r, &i) in idx.iter().enumerate() {
+        for j in 0..x.cols() {
+            m.set(r, j, x.get(i, j));
+        }
+        labels.push(y[i]);
+    }
+    (m, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::{LogisticConfig, LogisticRegression};
+    use crate::metrics::accuracy;
+    use crate::testutil::linear_world;
+    use crate::Classifier;
+
+    #[test]
+    fn cv_scores_are_honest() {
+        let (x, y) = linear_world(600, 1);
+        let scores = cross_validate(&x, &y, 5, 42, |xt, yt, xv, yv| {
+            let m = LogisticRegression::fit(xt, yt, None, &LogisticConfig::default())?;
+            accuracy(yv, &m.predict(xv)?)
+        })
+        .unwrap();
+        assert_eq!(scores.len(), 5);
+        let (mean, std) = summarize(&scores);
+        assert!(mean > 0.9, "mean {mean}");
+        assert!(std < 0.1);
+    }
+
+    #[test]
+    fn cv_validates_shapes() {
+        let (x, y) = linear_world(100, 2);
+        assert!(cross_validate(&x, &y[..50], 5, 0, |_, _, _, _| Ok(0.0)).is_err());
+        assert!(cross_validate(&x, &y, 1, 0, |_, _, _, _| Ok(0.0)).is_err());
+    }
+
+    #[test]
+    fn folds_see_disjoint_validation_data() {
+        let (x, y) = linear_world(50, 3);
+        let mut total_valid = 0usize;
+        cross_validate(&x, &y, 5, 0, |_, _, xv, _| {
+            total_valid += xv.rows();
+            Ok(0.0)
+        })
+        .unwrap();
+        assert_eq!(total_valid, 50);
+    }
+
+    #[test]
+    fn summarize_single_fold() {
+        let (mean, std) = summarize(&[0.8]);
+        assert_eq!(mean, 0.8);
+        assert_eq!(std, 0.0);
+    }
+}

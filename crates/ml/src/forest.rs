@@ -1,0 +1,193 @@
+//! Random forests: bagged CART trees with per-tree feature subsampling.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use fact_data::{FactError, Matrix, Result};
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::{check_xy, Classifier};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth limits.
+    pub tree: TreeConfig,
+    /// Features sampled per tree (`None` = √d).
+    pub max_features: Option<usize>,
+    /// Seed for bootstrap/feature sampling.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 30,
+            tree: TreeConfig::default(),
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<(DecisionTree, Vec<usize>)>, // tree + the feature subset it saw
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fit `n_trees` trees, each on a bootstrap resample and a random feature
+    /// subset.
+    #[allow(clippy::needless_range_loop)]
+    pub fn fit(x: &Matrix, y: &[bool], cfg: &ForestConfig) -> Result<Self> {
+        check_xy(x, y.len())?;
+        if cfg.n_trees == 0 {
+            return Err(FactError::InvalidArgument(
+                "forest needs at least one tree".into(),
+            ));
+        }
+        let d = x.cols();
+        let mtry = cfg
+            .max_features
+            .unwrap_or_else(|| ((d as f64).sqrt().ceil() as usize).max(1))
+            .min(d)
+            .max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = x.rows();
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        let mut all_features: Vec<usize> = (0..d).collect();
+        for _ in 0..cfg.n_trees {
+            // bootstrap rows
+            let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            // feature subset
+            all_features.shuffle(&mut rng);
+            let mut feats = all_features[..mtry].to_vec();
+            feats.sort_unstable();
+            // project
+            let mut sub = Matrix::zeros(n, feats.len());
+            let mut suby = Vec::with_capacity(n);
+            for (ri, &i) in rows.iter().enumerate() {
+                for (cj, &f) in feats.iter().enumerate() {
+                    sub.set(ri, cj, x.get(i, f));
+                }
+                suby.push(y[i]);
+            }
+            let tree = DecisionTree::fit(&sub, &suby, &cfg.tree)?;
+            trees.push((tree, feats));
+        }
+        Ok(RandomForest {
+            trees,
+            n_features: d,
+        })
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    #[allow(clippy::needless_range_loop)]
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if x.cols() != self.n_features {
+            return Err(FactError::LengthMismatch {
+                expected: self.n_features,
+                actual: x.cols(),
+            });
+        }
+        let mut acc = vec![0.0; x.rows()];
+        let mut row_buf = Vec::new();
+        for (tree, feats) in &self.trees {
+            for i in 0..x.rows() {
+                row_buf.clear();
+                let row = x.row(i);
+                for &f in feats {
+                    row_buf.push(row[f]);
+                }
+                acc[i] += tree.predict_row(&row_buf)?;
+            }
+        }
+        let k = self.trees.len() as f64;
+        Ok(acc.into_iter().map(|v| v / k).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::testutil::xor_world;
+
+    #[test]
+    fn forest_fits_xor() {
+        let (x, y) = xor_world(1500, 1);
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                n_trees: 20,
+                ..ForestConfig::default()
+            },
+        )
+        .unwrap();
+        let acc = accuracy(&y, &f.predict(&x).unwrap()).unwrap();
+        assert!(acc > 0.9, "got {acc}");
+        assert_eq!(f.n_trees(), 20);
+    }
+
+    #[test]
+    fn probabilities_are_tree_averages() {
+        let (x, y) = xor_world(400, 2);
+        let f = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
+        for p in f.predict_proba(&x).unwrap() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = xor_world(300, 3);
+        let cfg = ForestConfig {
+            n_trees: 5,
+            seed: 9,
+            ..ForestConfig::default()
+        };
+        let a = RandomForest::fit(&x, &y, &cfg).unwrap();
+        let b = RandomForest::fit(&x, &y, &cfg).unwrap();
+        assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+    }
+
+    #[test]
+    fn validation() {
+        let (x, y) = xor_world(100, 4);
+        let cfg = ForestConfig {
+            n_trees: 0,
+            ..ForestConfig::default()
+        };
+        assert!(RandomForest::fit(&x, &y, &cfg).is_err());
+        let f = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
+        assert!(f.predict_proba(&Matrix::zeros(2, 7)).is_err());
+    }
+
+    #[test]
+    fn max_features_capped_at_dimension() {
+        let (x, y) = xor_world(200, 5);
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                n_trees: 3,
+                max_features: Some(100),
+                ..ForestConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(f.predict_proba(&x).is_ok());
+    }
+}

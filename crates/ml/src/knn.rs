@@ -1,0 +1,121 @@
+//! k-nearest-neighbour classification (brute force, standardized features).
+
+use fact_data::{FactError, Matrix, Result};
+
+use crate::{check_xy, Classifier};
+
+/// A fitted (memorized) k-NN classifier.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    train: Matrix,
+    labels: Vec<bool>,
+    stats: Vec<(f64, f64)>,
+    k: usize,
+}
+
+impl KnnClassifier {
+    /// Store the training data; `k` must be in `1..=n`.
+    pub fn fit(x: &Matrix, y: &[bool], k: usize) -> Result<Self> {
+        check_xy(x, y.len())?;
+        if k == 0 || k > x.rows() {
+            return Err(FactError::InvalidArgument(format!(
+                "k must be in 1..={}, got {k}",
+                x.rows()
+            )));
+        }
+        let mut train = x.clone();
+        let stats = train.standardize();
+        Ok(KnnClassifier {
+            train,
+            labels: y.to_vec(),
+            stats,
+            k,
+        })
+    }
+
+    /// The configured k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if x.cols() != self.train.cols() {
+            return Err(FactError::LengthMismatch {
+                expected: self.train.cols(),
+                actual: x.cols(),
+            });
+        }
+        let mut xs = x.clone();
+        xs.apply_standardization(&self.stats)?;
+        let n_train = self.train.rows();
+        let mut out = Vec::with_capacity(xs.rows());
+        let mut dists: Vec<(f64, usize)> = Vec::with_capacity(n_train);
+        for i in 0..xs.rows() {
+            let q = xs.row(i);
+            dists.clear();
+            for t in 0..n_train {
+                let row = self.train.row(t);
+                let mut d = 0.0;
+                for (a, b) in q.iter().zip(row) {
+                    let diff = a - b;
+                    d += diff * diff;
+                }
+                dists.push((d, t));
+            }
+            dists.select_nth_unstable_by(self.k - 1, |a, b| {
+                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let pos = dists[..self.k]
+                .iter()
+                .filter(|&&(_, t)| self.labels[t])
+                .count();
+            out.push(pos as f64 / self.k as f64);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::testutil::{linear_world, xor_world};
+
+    #[test]
+    fn knn_fits_xor() {
+        let (x, y) = xor_world(1000, 1);
+        let m = KnnClassifier::fit(&x, &y, 7).unwrap();
+        let acc = accuracy(&y, &m.predict(&x).unwrap()).unwrap();
+        assert!(acc > 0.9, "got {acc}");
+    }
+
+    #[test]
+    fn k1_memorizes_training_data() {
+        let (x, y) = linear_world(300, 2);
+        let m = KnnClassifier::fit(&x, &y, 1).unwrap();
+        let acc = accuracy(&y, &m.predict(&x).unwrap()).unwrap();
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn probabilities_are_neighbour_fractions() {
+        let (x, y) = linear_world(100, 3);
+        let m = KnnClassifier::fit(&x, &y, 4).unwrap();
+        for p in m.predict_proba(&x).unwrap() {
+            let scaled = p * 4.0;
+            assert!((scaled - scaled.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let (x, y) = linear_world(50, 4);
+        assert!(KnnClassifier::fit(&x, &y, 0).is_err());
+        assert!(KnnClassifier::fit(&x, &y, 51).is_err());
+        let m = KnnClassifier::fit(&x, &y, 3).unwrap();
+        assert!(m.predict_proba(&Matrix::zeros(1, 9)).is_err());
+        assert_eq!(m.k(), 3);
+    }
+}

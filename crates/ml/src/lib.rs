@@ -1,0 +1,133 @@
+//! # fact-ml — the machine-learning substrate
+//!
+//! The paper's "data science pipeline" turns raw data into automated
+//! decisions; this crate supplies the learners those pipelines use, built
+//! from scratch on [`fact_data::Matrix`]:
+//!
+//! * [`logistic`] — L2-regularized logistic regression (mini-batch SGD) with
+//!   optional per-sample weights (the hook `fact-fairness` reweighing uses);
+//! * [`linear`] — ordinary least squares / ridge regression;
+//! * [`naive_bayes`] — Gaussian naive Bayes;
+//! * [`boosting`] — gradient-boosted shallow trees (logistic loss);
+//! * [`calibration`] — Platt scaling and expected calibration error;
+//! * [`tree`] — CART decision trees with an inspectable structure (the
+//!   *interpretable* model of the transparency pillar);
+//! * [`forest`] — bagged random forests;
+//! * [`knn`] — k-nearest-neighbour classification;
+//! * [`mlp`] — a small multi-layer perceptron: the paper's "deep learning"
+//!   **black box** that "apparently makes good decisions, but cannot
+//!   rationalize them" (§2);
+//! * [`metrics`] — accuracy, precision/recall/F1, ROC-AUC, log-loss, Brier,
+//!   calibration;
+//! * [`cv`] — k-fold cross-validation.
+//!
+//! All models implement [`Classifier`] (probability of the positive class
+//! per row), which is what the fairness, accuracy, and transparency audits
+//! consume — they never need to know which model they are auditing.
+
+#![warn(missing_docs)]
+
+pub mod boosting;
+pub mod calibration;
+pub mod cv;
+pub mod forest;
+pub mod knn;
+pub mod linear;
+pub mod logistic;
+pub mod metrics;
+pub mod mlp;
+pub mod naive_bayes;
+pub mod tree;
+
+use fact_data::{Matrix, Result};
+
+/// A fitted binary classifier.
+pub trait Classifier {
+    /// Probability of the positive class for each row of `x`.
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>>;
+
+    /// Hard predictions at threshold 0.5.
+    fn predict(&self, x: &Matrix) -> Result<Vec<bool>> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| p >= 0.5)
+            .collect())
+    }
+
+    /// Hard predictions at an arbitrary threshold.
+    fn predict_with_threshold(&self, x: &Matrix, threshold: f64) -> Result<Vec<bool>> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| p >= threshold)
+            .collect())
+    }
+}
+
+/// A fitted regressor.
+pub trait Regressor {
+    /// Predicted value for each row of `x`.
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>>;
+}
+
+pub(crate) fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+pub(crate) fn check_xy(x: &Matrix, y_len: usize) -> Result<()> {
+    if x.rows() == 0 {
+        return Err(fact_data::FactError::EmptyData(
+            "training data with no rows".into(),
+        ));
+    }
+    if x.rows() != y_len {
+        return Err(fact_data::FactError::LengthMismatch {
+            expected: x.rows(),
+            actual: y_len,
+        });
+    }
+    Ok(())
+}
+
+/// Convert boolean labels to 0/1 floats.
+pub fn labels_to_f64(y: &[bool]) -> Vec<f64> {
+    y.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures: a linearly separable world and an XOR-ish world.
+    use fact_data::Matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Linearly separable 2-D data: positive iff `x0 + x1 > 0` (with margin).
+    pub fn linear_world(n: usize, seed: u64) -> (Matrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(-2.0..2.0);
+            let b: f64 = rng.gen_range(-2.0..2.0);
+            rows.push(vec![a, b]);
+            y.push(a + b > 0.0);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    /// XOR world: positive iff exactly one coordinate is positive. Not
+    /// linearly separable; trees/MLP should fit it, logistic should not.
+    pub fn xor_world(n: usize, seed: u64) -> (Matrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            rows.push(vec![a, b]);
+            y.push((a > 0.0) ^ (b > 0.0));
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+}

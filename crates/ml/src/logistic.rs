@@ -1,0 +1,261 @@
+//! L2-regularized logistic regression trained by mini-batch SGD.
+//!
+//! Supports per-sample weights, which is the integration point for the
+//! fairness *reweighing* mitigation (Kamiran & Calders 2012): `fact-fairness`
+//! computes weights that equalize group×label mass and passes them here
+//! unchanged.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use fact_data::{FactError, Matrix, Result};
+
+use crate::{check_xy, sigmoid, Classifier};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct LogisticConfig {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Full passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// L2 penalty strength.
+    pub l2: f64,
+    /// Shuffle/initialization seed.
+    pub seed: u64,
+    /// Standardize features internally (recommended).
+    pub standardize: bool,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            learning_rate: 0.1,
+            epochs: 60,
+            batch_size: 64,
+            l2: 1e-4,
+            seed: 0,
+            standardize: true,
+        }
+    }
+}
+
+/// A fitted logistic-regression model.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>, // [bias, w_1..w_d] in standardized space
+    stats: Option<Vec<(f64, f64)>>,
+}
+
+impl LogisticRegression {
+    /// Fit on features `x` and boolean labels `y`, optionally with
+    /// per-sample weights (must be non-negative).
+    pub fn fit(
+        x: &Matrix,
+        y: &[bool],
+        sample_weights: Option<&[f64]>,
+        cfg: &LogisticConfig,
+    ) -> Result<Self> {
+        check_xy(x, y.len())?;
+        if cfg.learning_rate <= 0.0 || cfg.epochs == 0 || cfg.batch_size == 0 {
+            return Err(FactError::InvalidArgument(
+                "learning_rate, epochs, and batch_size must be positive".into(),
+            ));
+        }
+        if let Some(w) = sample_weights {
+            if w.len() != y.len() {
+                return Err(FactError::LengthMismatch {
+                    expected: y.len(),
+                    actual: w.len(),
+                });
+            }
+            if w.iter().any(|&v| v < 0.0 || !v.is_finite()) {
+                return Err(FactError::InvalidArgument(
+                    "sample weights must be finite and non-negative".into(),
+                ));
+            }
+        }
+
+        let mut xs = x.clone();
+        let stats = if cfg.standardize {
+            Some(xs.standardize())
+        } else {
+            None
+        };
+
+        let n = xs.rows();
+        let d = xs.cols();
+        let mut w = vec![0.0; d + 1]; // w[0] = bias
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        // mean sample weight normalization keeps the effective lr stable
+        let mean_sw = sample_weights
+            .map(|sw| sw.iter().sum::<f64>() / n as f64)
+            .unwrap_or(1.0);
+        if mean_sw <= 0.0 {
+            return Err(FactError::InvalidArgument(
+                "sample weights must have a positive sum".into(),
+            ));
+        }
+
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            // simple 1/sqrt decay
+            let lr = cfg.learning_rate / (1.0 + 0.1 * epoch as f64);
+            for chunk in order.chunks(cfg.batch_size) {
+                let mut grad = vec![0.0; d + 1];
+                for &i in chunk {
+                    let row = xs.row(i);
+                    let mut z = w[0];
+                    for (j, &v) in row.iter().enumerate() {
+                        z += w[j + 1] * v;
+                    }
+                    let p = sigmoid(z);
+                    let target = if y[i] { 1.0 } else { 0.0 };
+                    let sw = sample_weights.map(|sw| sw[i]).unwrap_or(1.0) / mean_sw;
+                    let err = (p - target) * sw;
+                    grad[0] += err;
+                    for (j, &v) in row.iter().enumerate() {
+                        grad[j + 1] += err * v;
+                    }
+                }
+                let scale = lr / chunk.len() as f64;
+                w[0] -= scale * grad[0];
+                for j in 1..=d {
+                    w[j] -= scale * (grad[j] + cfg.l2 * w[j]);
+                }
+            }
+        }
+        Ok(LogisticRegression { weights: w, stats })
+    }
+
+    /// Coefficients in the (possibly standardized) training space:
+    /// `[bias, w_1, …, w_d]`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Decision scores (log-odds) for each row.
+    pub fn decision_function(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if x.cols() + 1 != self.weights.len() {
+            return Err(FactError::LengthMismatch {
+                expected: self.weights.len() - 1,
+                actual: x.cols(),
+            });
+        }
+        let mut xs = x.clone();
+        if let Some(stats) = &self.stats {
+            xs.apply_standardization(stats)?;
+        }
+        let mut out = Vec::with_capacity(xs.rows());
+        for i in 0..xs.rows() {
+            let row = xs.row(i);
+            let mut z = self.weights[0];
+            for (j, &v) in row.iter().enumerate() {
+                z += self.weights[j + 1] * v;
+            }
+            out.push(z);
+        }
+        Ok(out)
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        Ok(self
+            .decision_function(x)?
+            .into_iter()
+            .map(sigmoid)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::testutil::{linear_world, xor_world};
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let (x, y) = linear_world(2000, 1);
+        let m = LogisticRegression::fit(&x, &y, None, &LogisticConfig::default()).unwrap();
+        let pred = m.predict(&x).unwrap();
+        assert!(accuracy(&y, &pred).unwrap() > 0.95);
+    }
+
+    #[test]
+    fn fails_on_xor_as_expected() {
+        let (x, y) = xor_world(2000, 2);
+        let m = LogisticRegression::fit(&x, &y, None, &LogisticConfig::default()).unwrap();
+        let pred = m.predict(&x).unwrap();
+        let acc = accuracy(&y, &pred).unwrap();
+        assert!(acc < 0.65, "linear model cannot fit XOR, got {acc}");
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (x, y) = linear_world(500, 3);
+        let m = LogisticRegression::fit(&x, &y, None, &LogisticConfig::default()).unwrap();
+        for p in m.predict_proba(&x).unwrap() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn sample_weights_shift_decisions() {
+        // weight positive examples 10x: predicted base rate should rise
+        let (x, y) = linear_world(1500, 4);
+        let w: Vec<f64> = y.iter().map(|&b| if b { 10.0 } else { 1.0 }).collect();
+        let plain = LogisticRegression::fit(&x, &y, None, &LogisticConfig::default()).unwrap();
+        let weighted =
+            LogisticRegression::fit(&x, &y, Some(&w), &LogisticConfig::default()).unwrap();
+        let rate = |m: &LogisticRegression| {
+            m.predict(&x)
+                .unwrap()
+                .iter()
+                .filter(|&&p| p)
+                .count() as f64
+                / x.rows() as f64
+        };
+        assert!(rate(&weighted) >= rate(&plain));
+    }
+
+    #[test]
+    fn weight_validation() {
+        let (x, y) = linear_world(100, 5);
+        assert!(LogisticRegression::fit(&x, &y, Some(&[1.0; 99]), &LogisticConfig::default())
+            .is_err());
+        let neg = vec![-1.0; 100];
+        assert!(LogisticRegression::fit(&x, &y, Some(&neg), &LogisticConfig::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = linear_world(300, 6);
+        let a = LogisticRegression::fit(&x, &y, None, &LogisticConfig::default()).unwrap();
+        let b = LogisticRegression::fit(&x, &y, None, &LogisticConfig::default()).unwrap();
+        assert_eq!(a.coefficients(), b.coefficients());
+    }
+
+    #[test]
+    fn dimension_mismatch_on_predict() {
+        let (x, y) = linear_world(100, 7);
+        let m = LogisticRegression::fit(&x, &y, None, &LogisticConfig::default()).unwrap();
+        let bad = Matrix::zeros(3, 5);
+        assert!(m.predict_proba(&bad).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let (x, y) = linear_world(50, 8);
+        let bad = LogisticConfig {
+            epochs: 0,
+            ..LogisticConfig::default()
+        };
+        assert!(LogisticRegression::fit(&x, &y, None, &bad).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! Classification and probability metrics.
+
+use fact_data::{FactError, Result};
+
+/// 2×2 confusion matrix for binary classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tabulate from truths and predictions.
+    pub fn from_predictions(truth: &[bool], pred: &[bool]) -> Result<Self> {
+        check_pair(truth, pred)?;
+        let mut cm = ConfusionMatrix {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        };
+        for (&t, &p) in truth.iter().zip(pred) {
+            match (t, p) {
+                (true, true) => cm.tp += 1,
+                (false, true) => cm.fp += 1,
+                (false, false) => cm.tn += 1,
+                (true, false) => cm.fn_ += 1,
+            }
+        }
+        Ok(cm)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// True-positive rate (recall / sensitivity); `None` with no positives.
+    pub fn tpr(&self) -> Option<f64> {
+        let denom = self.tp + self.fn_;
+        (denom > 0).then(|| self.tp as f64 / denom as f64)
+    }
+
+    /// False-positive rate; `None` with no negatives.
+    pub fn fpr(&self) -> Option<f64> {
+        let denom = self.fp + self.tn;
+        (denom > 0).then(|| self.fp as f64 / denom as f64)
+    }
+
+    /// Precision (positive predictive value); `None` with no predicted
+    /// positives.
+    pub fn precision(&self) -> Option<f64> {
+        let denom = self.tp + self.fp;
+        (denom > 0).then(|| self.tp as f64 / denom as f64)
+    }
+}
+
+fn check_pair<T, U>(a: &[T], b: &[U]) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(FactError::LengthMismatch {
+            expected: a.len(),
+            actual: b.len(),
+        });
+    }
+    if a.is_empty() {
+        return Err(FactError::EmptyData("metric of empty predictions".into()));
+    }
+    Ok(())
+}
+
+/// Fraction of correct predictions.
+pub fn accuracy(truth: &[bool], pred: &[bool]) -> Result<f64> {
+    check_pair(truth, pred)?;
+    Ok(truth
+        .iter()
+        .zip(pred)
+        .filter(|(t, p)| t == p)
+        .count() as f64
+        / truth.len() as f64)
+}
+
+/// Precision; errors when nothing was predicted positive.
+pub fn precision(truth: &[bool], pred: &[bool]) -> Result<f64> {
+    ConfusionMatrix::from_predictions(truth, pred)?
+        .precision()
+        .ok_or_else(|| FactError::Numeric("precision undefined: no predicted positives".into()))
+}
+
+/// Recall; errors when there are no true positives in the data.
+pub fn recall(truth: &[bool], pred: &[bool]) -> Result<f64> {
+    ConfusionMatrix::from_predictions(truth, pred)?
+        .tpr()
+        .ok_or_else(|| FactError::Numeric("recall undefined: no positive truths".into()))
+}
+
+/// F1 score (harmonic mean of precision and recall).
+pub fn f1_score(truth: &[bool], pred: &[bool]) -> Result<f64> {
+    let p = precision(truth, pred)?;
+    let r = recall(truth, pred)?;
+    if p + r == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(2.0 * p * r / (p + r))
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formulation,
+/// with tie handling. Errors unless both classes are present.
+pub fn roc_auc(truth: &[bool], scores: &[f64]) -> Result<f64> {
+    check_pair(truth, scores)?;
+    let n_pos = truth.iter().filter(|&&t| t).count();
+    let n_neg = truth.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(FactError::Numeric(
+            "AUC undefined with a single class".into(),
+        ));
+    }
+    // average ranks of scores
+    let n = scores.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = truth
+        .iter()
+        .zip(&ranks)
+        .filter(|(&t, _)| t)
+        .map(|(_, &r)| r)
+        .sum();
+    let auc = (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0)
+        / (n_pos as f64 * n_neg as f64);
+    Ok(auc)
+}
+
+/// Binary cross-entropy of predicted probabilities (clipped at 1e-12).
+pub fn log_loss(truth: &[bool], probs: &[f64]) -> Result<f64> {
+    check_pair(truth, probs)?;
+    let mut total = 0.0;
+    for (&t, &p) in truth.iter().zip(probs) {
+        let p = p.clamp(1e-12, 1.0 - 1e-12);
+        total += if t { -p.ln() } else { -(1.0 - p).ln() };
+    }
+    Ok(total / truth.len() as f64)
+}
+
+/// Brier score (mean squared probability error).
+pub fn brier_score(truth: &[bool], probs: &[f64]) -> Result<f64> {
+    check_pair(truth, probs)?;
+    Ok(truth
+        .iter()
+        .zip(probs)
+        .map(|(&t, &p)| {
+            let target = if t { 1.0 } else { 0.0 };
+            (p - target) * (p - target)
+        })
+        .sum::<f64>()
+        / truth.len() as f64)
+}
+
+/// Calibration curve over `n_bins` equal-width probability bins: returns
+/// `(mean predicted, observed positive fraction, count)` for each non-empty
+/// bin in order.
+pub fn calibration_curve(
+    truth: &[bool],
+    probs: &[f64],
+    n_bins: usize,
+) -> Result<Vec<(f64, f64, usize)>> {
+    check_pair(truth, probs)?;
+    if n_bins == 0 {
+        return Err(FactError::InvalidArgument("n_bins must be positive".into()));
+    }
+    let mut sums = vec![(0.0f64, 0usize, 0usize); n_bins]; // (p sum, pos, count)
+    for (&t, &p) in truth.iter().zip(probs) {
+        let b = ((p * n_bins as f64) as usize).min(n_bins - 1);
+        sums[b].0 += p;
+        if t {
+            sums[b].1 += 1;
+        }
+        sums[b].2 += 1;
+    }
+    Ok(sums
+        .into_iter()
+        .filter(|&(_, _, c)| c > 0)
+        .map(|(ps, pos, c)| (ps / c as f64, pos as f64 / c as f64, c))
+        .collect())
+}
+
+/// Mean squared error for regression.
+pub fn mse(truth: &[f64], pred: &[f64]) -> Result<f64> {
+    check_pair(truth, pred)?;
+    Ok(truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / truth.len() as f64)
+}
+
+/// Mean absolute error for regression.
+pub fn mae(truth: &[f64], pred: &[f64]) -> Result<f64> {
+    check_pair(truth, pred)?;
+    Ok(truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: [bool; 6] = [true, true, true, false, false, false];
+    const P: [bool; 6] = [true, true, false, true, false, false];
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let cm = ConfusionMatrix::from_predictions(&T, &P).unwrap();
+        assert_eq!(cm.tp, 2);
+        assert_eq!(cm.fn_, 1);
+        assert_eq!(cm.fp, 1);
+        assert_eq!(cm.tn, 2);
+        assert_eq!(cm.total(), 6);
+        assert!((cm.tpr().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.fpr().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basic_metrics() {
+        assert!((accuracy(&T, &P).unwrap() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((precision(&T, &P).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall(&T, &P).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f1_score(&T, &P).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_edge_cases() {
+        assert!(accuracy(&[], &[]).is_err());
+        assert!(accuracy(&[true], &[true, false]).is_err());
+        // no predicted positives
+        assert!(precision(&[true, false], &[false, false]).is_err());
+        // no true positives in data
+        assert!(recall(&[false, false], &[true, false]).is_err());
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let truth = [false, false, true, true];
+        assert_eq!(roc_auc(&truth, &[0.1, 0.2, 0.8, 0.9]).unwrap(), 1.0);
+        assert_eq!(roc_auc(&truth, &[0.9, 0.8, 0.2, 0.1]).unwrap(), 0.0);
+        assert_eq!(roc_auc(&truth, &[0.5, 0.5, 0.5, 0.5]).unwrap(), 0.5);
+        assert!(roc_auc(&[true, true], &[0.1, 0.2]).is_err());
+    }
+
+    #[test]
+    fn auc_with_ties_known_value() {
+        // scores: pos {0.8, 0.5}, neg {0.5, 0.2}:
+        // pairs: (0.8>0.5)=1, (0.8>0.2)=1, (0.5=0.5)=0.5, (0.5>0.2)=1 → 3.5/4
+        let auc = roc_auc(&[true, true, false, false], &[0.8, 0.5, 0.5, 0.2]).unwrap();
+        assert!((auc - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_and_brier() {
+        let truth = [true, false];
+        let good = [0.9, 0.1];
+        let bad = [0.1, 0.9];
+        assert!(log_loss(&truth, &good).unwrap() < log_loss(&truth, &bad).unwrap());
+        assert!((brier_score(&truth, &good).unwrap() - 0.01).abs() < 1e-12);
+        // clipping protects against p = 0/1
+        assert!(log_loss(&[true], &[0.0]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn calibration_of_perfect_probs() {
+        // predictions equal to empirical frequencies: curve on the diagonal
+        let truth = [true, false, true, false, true, true, false, false];
+        let probs = [0.9, 0.1, 0.9, 0.1, 0.9, 0.9, 0.1, 0.1];
+        let curve = calibration_curve(&truth, &probs, 5).unwrap();
+        assert_eq!(curve.len(), 2);
+        for (mean_p, frac, _) in curve {
+            assert!((mean_p - frac).abs() < 0.2);
+        }
+        assert!(calibration_curve(&truth, &probs, 0).is_err());
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [1.0, 2.5, 2.0];
+        assert!((mse(&t, &p).unwrap() - (0.25 + 1.0) / 3.0).abs() < 1e-12);
+        assert!((mae(&t, &p).unwrap() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,313 @@
+//! A small multi-layer perceptron — the toolkit's stand-in for the paper's
+//! "deep learning" black box (§2: networks that "cannot be understood by
+//! humans … a black box that apparently makes good decisions, but cannot
+//! rationalize them").
+//!
+//! Architecture: fully connected layers with tanh activations and a sigmoid
+//! output, trained with mini-batch SGD + momentum on binary cross-entropy.
+//! Deliberately *no* introspection API beyond weight counts: explanations
+//! must come from `fact-transparency` surrogates, as they would for a real
+//! opaque model.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use fact_data::{FactError, Matrix, Result};
+
+use crate::{check_xy, sigmoid, Classifier};
+
+/// MLP hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Hidden layer widths, e.g. `vec![16, 8]`.
+    pub hidden: Vec<usize>,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// L2 penalty.
+    pub l2: f64,
+    /// Init/shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: vec![16, 8],
+            learning_rate: 0.05,
+            momentum: 0.9,
+            epochs: 80,
+            batch_size: 32,
+            l2: 1e-5,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Layer {
+    // weights[out][in], biases[out]
+    w: Vec<Vec<f64>>,
+    b: Vec<f64>,
+}
+
+/// A fitted MLP classifier.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    stats: Vec<(f64, f64)>,
+    n_features: usize,
+}
+
+impl Mlp {
+    /// Fit the network.
+    pub fn fit(x: &Matrix, y: &[bool], cfg: &MlpConfig) -> Result<Self> {
+        check_xy(x, y.len())?;
+        if cfg.hidden.is_empty() || cfg.hidden.contains(&0) {
+            return Err(FactError::InvalidArgument(
+                "hidden layers must be non-empty and positive-width".into(),
+            ));
+        }
+        if cfg.epochs == 0 || cfg.batch_size == 0 || cfg.learning_rate <= 0.0 {
+            return Err(FactError::InvalidArgument(
+                "epochs, batch_size, learning_rate must be positive".into(),
+            ));
+        }
+        let mut xs = x.clone();
+        let stats = xs.standardize();
+        let d = xs.cols();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // layer sizes: d -> hidden... -> 1
+        let mut sizes = vec![d];
+        sizes.extend(&cfg.hidden);
+        sizes.push(1);
+        let mut layers: Vec<Layer> = Vec::with_capacity(sizes.len() - 1);
+        for li in 0..sizes.len() - 1 {
+            let fan_in = sizes[li];
+            let fan_out = sizes[li + 1];
+            let scale = (6.0 / (fan_in + fan_out) as f64).sqrt();
+            let w = (0..fan_out)
+                .map(|_| (0..fan_in).map(|_| rng.gen_range(-scale..scale)).collect())
+                .collect();
+            layers.push(Layer {
+                w,
+                b: vec![0.0; fan_out],
+            });
+        }
+        let mut velocity: Vec<Layer> = layers
+            .iter()
+            .map(|l| Layer {
+                w: l.w.iter().map(|r| vec![0.0; r.len()]).collect(),
+                b: vec![0.0; l.b.len()],
+            })
+            .collect();
+
+        let n = xs.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(cfg.batch_size) {
+                // accumulate gradients over the batch
+                let mut grads: Vec<Layer> = layers
+                    .iter()
+                    .map(|l| Layer {
+                        w: l.w.iter().map(|r| vec![0.0; r.len()]).collect(),
+                        b: vec![0.0; l.b.len()],
+                    })
+                    .collect();
+                for &i in chunk {
+                    let row = xs.row(i);
+                    // forward with stored activations
+                    let mut acts: Vec<Vec<f64>> = vec![row.to_vec()];
+                    for (li, layer) in layers.iter().enumerate() {
+                        let input = &acts[li];
+                        let mut out = Vec::with_capacity(layer.b.len());
+                        for (wrow, &bias) in layer.w.iter().zip(&layer.b) {
+                            let mut z = bias;
+                            for (wv, iv) in wrow.iter().zip(input) {
+                                z += wv * iv;
+                            }
+                            let is_output = li == layers.len() - 1;
+                            out.push(if is_output { sigmoid(z) } else { z.tanh() });
+                        }
+                        acts.push(out);
+                    }
+                    // backward
+                    let target = if y[i] { 1.0 } else { 0.0 };
+                    // output delta for sigmoid+BCE: (p - t)
+                    let mut delta: Vec<f64> = vec![acts.last().expect("nonempty")[0] - target];
+                    for li in (0..layers.len()).rev() {
+                        let input = &acts[li];
+                        // grad for this layer
+                        for (o, &dv) in delta.iter().enumerate() {
+                            grads[li].b[o] += dv;
+                            for (j, &iv) in input.iter().enumerate() {
+                                grads[li].w[o][j] += dv * iv;
+                            }
+                        }
+                        if li > 0 {
+                            // propagate: delta_prev[j] = sum_o delta[o]*w[o][j] * tanh'(act)
+                            let mut prev = vec![0.0; input.len()];
+                            for (o, &dv) in delta.iter().enumerate() {
+                                for (j, wv) in layers[li].w[o].iter().enumerate() {
+                                    prev[j] += dv * wv;
+                                }
+                            }
+                            for (j, p) in prev.iter_mut().enumerate() {
+                                let a = acts[li][j]; // tanh output
+                                *p *= 1.0 - a * a;
+                            }
+                            delta = prev;
+                        }
+                    }
+                }
+                // SGD + momentum update
+                let scale = cfg.learning_rate / chunk.len() as f64;
+                for (li, layer) in layers.iter_mut().enumerate() {
+                    for (o, wrow) in layer.w.iter_mut().enumerate() {
+                        for (j, wv) in wrow.iter_mut().enumerate() {
+                            let g = grads[li].w[o][j] * scale + cfg.l2 * *wv;
+                            velocity[li].w[o][j] =
+                                cfg.momentum * velocity[li].w[o][j] - g;
+                            *wv += velocity[li].w[o][j];
+                        }
+                        let g = grads[li].b[o] * scale;
+                        velocity[li].b[o] = cfg.momentum * velocity[li].b[o] - g;
+                        layer.b[o] += velocity[li].b[o];
+                    }
+                }
+            }
+        }
+        Ok(Mlp {
+            layers,
+            stats,
+            n_features: d,
+        })
+    }
+
+    /// Total number of trainable parameters (the only introspection a black
+    /// box offers).
+    pub fn n_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.b.len() + l.w.iter().map(|r| r.len()).sum::<usize>())
+            .sum()
+    }
+
+    fn forward(&self, row: &[f64]) -> f64 {
+        let mut act: Vec<f64> = row.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut out = Vec::with_capacity(layer.b.len());
+            let is_output = li == self.layers.len() - 1;
+            for (wrow, &bias) in layer.w.iter().zip(&layer.b) {
+                let mut z = bias;
+                for (wv, iv) in wrow.iter().zip(&act) {
+                    z += wv * iv;
+                }
+                out.push(if is_output { sigmoid(z) } else { z.tanh() });
+            }
+            act = out;
+        }
+        act[0]
+    }
+}
+
+impl Classifier for Mlp {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if x.cols() != self.n_features {
+            return Err(FactError::LengthMismatch {
+                expected: self.n_features,
+                actual: x.cols(),
+            });
+        }
+        let mut xs = x.clone();
+        xs.apply_standardization(&self.stats)?;
+        Ok((0..xs.rows()).map(|i| self.forward(xs.row(i))).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::testutil::{linear_world, xor_world};
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_world(1200, 1);
+        let m = Mlp::fit(
+            &x,
+            &y,
+            &MlpConfig {
+                epochs: 150,
+                ..MlpConfig::default()
+            },
+        )
+        .unwrap();
+        let acc = accuracy(&y, &m.predict(&x).unwrap()).unwrap();
+        assert!(acc > 0.9, "MLP must crack XOR, got {acc}");
+    }
+
+    #[test]
+    fn learns_linear_too() {
+        let (x, y) = linear_world(1000, 2);
+        let m = Mlp::fit(&x, &y, &MlpConfig::default()).unwrap();
+        let acc = accuracy(&y, &m.predict(&x).unwrap()).unwrap();
+        assert!(acc > 0.93, "got {acc}");
+    }
+
+    #[test]
+    fn probabilities_valid_and_deterministic() {
+        let (x, y) = xor_world(300, 3);
+        let cfg = MlpConfig {
+            epochs: 20,
+            ..MlpConfig::default()
+        };
+        let a = Mlp::fit(&x, &y, &cfg).unwrap();
+        let b = Mlp::fit(&x, &y, &cfg).unwrap();
+        let pa = a.predict_proba(&x).unwrap();
+        assert_eq!(pa, b.predict_proba(&x).unwrap());
+        assert!(pa.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn parameter_count() {
+        let (x, y) = linear_world(100, 4);
+        let m = Mlp::fit(
+            &x,
+            &y,
+            &MlpConfig {
+                hidden: vec![4],
+                epochs: 1,
+                ..MlpConfig::default()
+            },
+        )
+        .unwrap();
+        // 2→4: 8w+4b; 4→1: 4w+1b → 17
+        assert_eq!(m.n_parameters(), 17);
+    }
+
+    #[test]
+    fn validation() {
+        let (x, y) = linear_world(50, 5);
+        let bad = MlpConfig {
+            hidden: vec![],
+            ..MlpConfig::default()
+        };
+        assert!(Mlp::fit(&x, &y, &bad).is_err());
+        let bad = MlpConfig {
+            hidden: vec![0],
+            ..MlpConfig::default()
+        };
+        assert!(Mlp::fit(&x, &y, &bad).is_err());
+        let m = Mlp::fit(&x, &y, &MlpConfig::default()).unwrap();
+        assert!(m.predict_proba(&Matrix::zeros(1, 9)).is_err());
+    }
+}

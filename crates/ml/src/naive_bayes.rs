@@ -1,0 +1,151 @@
+//! Gaussian naive Bayes.
+
+use fact_data::{FactError, Matrix, Result};
+
+use crate::{check_xy, Classifier};
+
+/// A fitted Gaussian naive Bayes classifier.
+#[derive(Debug, Clone)]
+pub struct GaussianNb {
+    prior_pos: f64,
+    // per-feature (mean, var) for each class
+    pos: Vec<(f64, f64)>,
+    neg: Vec<(f64, f64)>,
+}
+
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNb {
+    /// Fit on features `x` and labels `y`. Both classes must be present.
+    #[allow(clippy::needless_range_loop)] // per-class parallel accumulators
+    pub fn fit(x: &Matrix, y: &[bool]) -> Result<Self> {
+        check_xy(x, y.len())?;
+        let n_pos = y.iter().filter(|&&b| b).count();
+        let n_neg = y.len() - n_pos;
+        if n_pos == 0 || n_neg == 0 {
+            return Err(FactError::InvalidArgument(
+                "naive Bayes requires both classes in training data".into(),
+            ));
+        }
+        let d = x.cols();
+        let mut pos = vec![(0.0, 0.0); d];
+        let mut neg = vec![(0.0, 0.0); d];
+        // means
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            let acc = if y[i] { &mut pos } else { &mut neg };
+            for (j, &v) in row.iter().enumerate() {
+                acc[j].0 += v;
+            }
+        }
+        for j in 0..d {
+            pos[j].0 /= n_pos as f64;
+            neg[j].0 /= n_neg as f64;
+        }
+        // variances
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            let acc = if y[i] { &mut pos } else { &mut neg };
+            for (j, &v) in row.iter().enumerate() {
+                let d = v - acc[j].0;
+                acc[j].1 += d * d;
+            }
+        }
+        for j in 0..d {
+            pos[j].1 = (pos[j].1 / n_pos as f64).max(VAR_FLOOR);
+            neg[j].1 = (neg[j].1 / n_neg as f64).max(VAR_FLOOR);
+        }
+        Ok(GaussianNb {
+            prior_pos: n_pos as f64 / y.len() as f64,
+            pos,
+            neg,
+        })
+    }
+
+    fn log_likelihood(row: &[f64], params: &[(f64, f64)]) -> f64 {
+        let mut ll = 0.0;
+        for (&v, &(m, var)) in row.iter().zip(params) {
+            ll += -0.5 * ((v - m) * (v - m) / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if x.cols() != self.pos.len() {
+            return Err(FactError::LengthMismatch {
+                expected: self.pos.len(),
+                actual: x.cols(),
+            });
+        }
+        let mut out = Vec::with_capacity(x.rows());
+        let log_prior_pos = self.prior_pos.ln();
+        let log_prior_neg = (1.0 - self.prior_pos).ln();
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            let lp = log_prior_pos + Self::log_likelihood(row, &self.pos);
+            let ln = log_prior_neg + Self::log_likelihood(row, &self.neg);
+            // stable softmax over two classes
+            let m = lp.max(ln);
+            let p = (lp - m).exp() / ((lp - m).exp() + (ln - m).exp());
+            out.push(p);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::testutil::linear_world;
+
+    #[test]
+    fn separates_shifted_gaussians() {
+        let (x, y) = linear_world(2000, 1);
+        let m = GaussianNb::fit(&x, &y).unwrap();
+        let pred = m.predict(&x).unwrap();
+        assert!(accuracy(&y, &pred).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let (x, y) = linear_world(300, 2);
+        let m = GaussianNb::fit(&x, &y).unwrap();
+        for p in m.predict_proba(&x).unwrap() {
+            assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(GaussianNb::fit(&x, &[true, true]).is_err());
+    }
+
+    #[test]
+    fn constant_feature_does_not_explode() {
+        let x = Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0], vec![4.0, 5.0]])
+            .unwrap();
+        let m = GaussianNb::fit(&x, &[false, false, true, true]).unwrap();
+        let p = m.predict_proba(&x).unwrap();
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn prior_shows_in_uninformative_features() {
+        // identical feature distributions: probability ≈ prior
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0], vec![0.0]]).unwrap();
+        let m = GaussianNb::fit(&x, &[true, true, true, false]).unwrap();
+        let p = m.predict_proba(&x).unwrap();
+        assert!((p[0] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let (x, y) = linear_world(100, 3);
+        let m = GaussianNb::fit(&x, &y).unwrap();
+        assert!(m.predict_proba(&Matrix::zeros(2, 9)).is_err());
+    }
+}

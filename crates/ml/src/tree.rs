@@ -1,0 +1,470 @@
+//! CART decision trees with a fully inspectable structure.
+//!
+//! The tree is the *interpretable* counterpart to the MLP black box: its
+//! [`Node`] structure is public, every prediction can produce its decision
+//! path ([`DecisionTree::decision_path`]), and the whole model can be dumped
+//! as human-readable rules ([`DecisionTree::rules`]) — the properties the
+//! paper's transparency pillar demands of models used for "life-changing
+//! decisions" (§2–3).
+
+use fact_data::{FactError, Matrix, Result};
+
+use crate::{check_xy, Classifier};
+
+/// Tree growth limits.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child for a split to be accepted.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 10,
+            min_samples_leaf: 3,
+        }
+    }
+}
+
+/// A node of the fitted tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Terminal node carrying the positive-class fraction of its training
+    /// rows.
+    Leaf {
+        /// Positive-class probability.
+        prob: f64,
+        /// Training rows that reached this leaf.
+        n: usize,
+    },
+    /// Internal split: rows with `feature <= threshold` go left.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Left (≤) child.
+        left: Box<Node>,
+        /// Right (>) child.
+        right: Box<Node>,
+        /// Training rows that reached this node.
+        n: usize,
+    },
+}
+
+/// One condition along a decision path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// Feature index.
+    pub feature: usize,
+    /// True for `<=`, false for `>`.
+    pub is_le: bool,
+    /// Threshold compared against.
+    pub threshold: f64,
+}
+
+impl Condition {
+    /// Render with feature names (falls back to `x{i}` when out of range).
+    pub fn render(&self, names: &[String]) -> String {
+        let name = names
+            .get(self.feature)
+            .cloned()
+            .unwrap_or_else(|| format!("x{}", self.feature));
+        format!(
+            "{name} {} {:.4}",
+            if self.is_le { "<=" } else { ">" },
+            self.threshold
+        )
+    }
+}
+
+/// A fitted CART classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    n_features: usize,
+}
+
+fn gini(pos: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    impurity: f64,
+}
+
+/// Find the best (feature, threshold) over `feature_ids` for the given rows.
+/// Shared with the random forest (which restricts `feature_ids` per split).
+pub(crate) fn best_split(
+    x: &Matrix,
+    y: &[bool],
+    rows: &[usize],
+    feature_ids: &[usize],
+    min_leaf: usize,
+) -> Option<(usize, f64, f64)> {
+    let total = rows.len() as f64;
+    let total_pos = rows.iter().filter(|&&i| y[i]).count() as f64;
+    let parent = gini(total_pos, total);
+    let mut best: Option<BestSplit> = None;
+
+    let mut vals: Vec<(f64, bool)> = Vec::with_capacity(rows.len());
+    for &f in feature_ids {
+        vals.clear();
+        for &i in rows {
+            vals.push((x.get(i, f), y[i]));
+        }
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut left_n = 0.0;
+        let mut left_pos = 0.0;
+        for k in 0..vals.len() - 1 {
+            left_n += 1.0;
+            if vals[k].1 {
+                left_pos += 1.0;
+            }
+            // candidate boundary between distinct values only
+            if vals[k].0 == vals[k + 1].0 {
+                continue;
+            }
+            let right_n = total - left_n;
+            if (left_n as usize) < min_leaf || (right_n as usize) < min_leaf {
+                continue;
+            }
+            let right_pos = total_pos - left_pos;
+            let impurity =
+                (left_n / total) * gini(left_pos, left_n) + (right_n / total) * gini(right_pos, right_n);
+            if impurity + 1e-12 < best.as_ref().map(|b| b.impurity).unwrap_or(parent) {
+                best = Some(BestSplit {
+                    feature: f,
+                    threshold: (vals[k].0 + vals[k + 1].0) / 2.0,
+                    impurity,
+                });
+            }
+        }
+    }
+    best.map(|b| (b.feature, b.threshold, b.impurity))
+}
+
+fn build(
+    x: &Matrix,
+    y: &[bool],
+    rows: &[usize],
+    depth: usize,
+    cfg: &TreeConfig,
+) -> Node {
+    let n = rows.len();
+    let pos = rows.iter().filter(|&&i| y[i]).count();
+    let prob = pos as f64 / n as f64;
+    if depth >= cfg.max_depth || n < cfg.min_samples_split || pos == 0 || pos == n {
+        return Node::Leaf { prob, n };
+    }
+    let all_features: Vec<usize> = (0..x.cols()).collect();
+    match best_split(x, y, rows, &all_features, cfg.min_samples_leaf) {
+        None => Node::Leaf { prob, n },
+        Some((feature, threshold, _)) => {
+            let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                rows.iter().partition(|&&i| x.get(i, feature) <= threshold);
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build(x, y, &left_rows, depth + 1, cfg)),
+                right: Box::new(build(x, y, &right_rows, depth + 1, cfg)),
+                n,
+            }
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Fit a tree on features `x` and labels `y`.
+    pub fn fit(x: &Matrix, y: &[bool], cfg: &TreeConfig) -> Result<Self> {
+        check_xy(x, y.len())?;
+        if cfg.min_samples_leaf == 0 {
+            return Err(FactError::InvalidArgument(
+                "min_samples_leaf must be at least 1".into(),
+            ));
+        }
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        Ok(DecisionTree {
+            root: build(x, y, &rows, 0, cfg),
+            n_features: x.cols(),
+        })
+    }
+
+    /// Fit to match another model's *predictions* (used to build surrogate
+    /// trees in `fact-transparency`).
+    pub fn fit_to_predictions(x: &Matrix, predictions: &[bool], cfg: &TreeConfig) -> Result<Self> {
+        Self::fit(x, predictions, cfg)
+    }
+
+    /// The root node (public for inspection/rendering).
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Maximum depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        fn d(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        fn c(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => c(left) + c(right),
+            }
+        }
+        c(&self.root)
+    }
+
+    /// Probability for one feature row.
+    pub fn predict_row(&self, row: &[f64]) -> Result<f64> {
+        if row.len() != self.n_features {
+            return Err(FactError::LengthMismatch {
+                expected: self.n_features,
+                actual: row.len(),
+            });
+        }
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { prob, .. } => return Ok(*prob),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if row[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// The sequence of conditions a row satisfies on its way to a leaf,
+    /// plus the leaf probability. This is the per-decision explanation.
+    pub fn decision_path(&self, row: &[f64]) -> Result<(Vec<Condition>, f64)> {
+        if row.len() != self.n_features {
+            return Err(FactError::LengthMismatch {
+                expected: self.n_features,
+                actual: row.len(),
+            });
+        }
+        let mut node = &self.root;
+        let mut path = Vec::new();
+        loop {
+            match node {
+                Node::Leaf { prob, .. } => return Ok((path, *prob)),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    let goes_left = row[*feature] <= *threshold;
+                    path.push(Condition {
+                        feature: *feature,
+                        is_le: goes_left,
+                        threshold: *threshold,
+                    });
+                    node = if goes_left { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Every root-to-leaf rule as `(conditions, leaf probability, support)`.
+    pub fn rules(&self) -> Vec<(Vec<Condition>, f64, usize)> {
+        let mut out = Vec::new();
+        fn walk(node: &Node, prefix: &mut Vec<Condition>, out: &mut Vec<(Vec<Condition>, f64, usize)>) {
+            match node {
+                Node::Leaf { prob, n } => out.push((prefix.clone(), *prob, *n)),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    prefix.push(Condition {
+                        feature: *feature,
+                        is_le: true,
+                        threshold: *threshold,
+                    });
+                    walk(left, prefix, out);
+                    prefix.pop();
+                    prefix.push(Condition {
+                        feature: *feature,
+                        is_le: false,
+                        threshold: *threshold,
+                    });
+                    walk(right, prefix, out);
+                    prefix.pop();
+                }
+            }
+        }
+        let mut prefix = Vec::new();
+        walk(&self.root, &mut prefix, &mut out);
+        out
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(x.rows());
+        for i in 0..x.rows() {
+            out.push(self.predict_row(x.row(i))?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::testutil::{linear_world, xor_world};
+
+    #[test]
+    fn fits_xor_unlike_linear_models() {
+        let (x, y) = xor_world(2000, 1);
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default()).unwrap();
+        let acc = accuracy(&y, &t.predict(&x).unwrap()).unwrap();
+        assert!(acc > 0.93, "tree should carve XOR, got {acc}");
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (x, y) = linear_world(1000, 2);
+        for depth in [1, 2, 3] {
+            let t = DecisionTree::fit(
+                &x,
+                &y,
+                &TreeConfig {
+                    max_depth: depth,
+                    ..TreeConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(t.depth() <= depth);
+            assert!(t.n_leaves() <= 1 << depth);
+        }
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = vec![true, true, true, true];
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeConfig {
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(t.predict_row(&[5.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let (x, y) = linear_world(200, 3);
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeConfig {
+                min_samples_leaf: 30,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        fn check(node: &Node, min: usize) {
+            match node {
+                Node::Leaf { n, .. } => assert!(*n >= min),
+                Node::Split { left, right, .. } => {
+                    check(left, min);
+                    check(right, min);
+                }
+            }
+        }
+        check(t.root(), 30);
+    }
+
+    #[test]
+    fn decision_path_consistent_with_prediction() {
+        let (x, y) = xor_world(800, 4);
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default()).unwrap();
+        let row = x.row(17);
+        let (path, prob) = t.decision_path(row).unwrap();
+        assert!(!path.is_empty());
+        assert_eq!(prob, t.predict_row(row).unwrap());
+        // each condition actually holds for the row
+        for c in &path {
+            if c.is_le {
+                assert!(row[c.feature] <= c.threshold);
+            } else {
+                assert!(row[c.feature] > c.threshold);
+            }
+        }
+    }
+
+    #[test]
+    fn rules_cover_all_training_rows() {
+        let (x, y) = linear_world(500, 5);
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default()).unwrap();
+        let rules = t.rules();
+        assert_eq!(rules.len(), t.n_leaves());
+        let support: usize = rules.iter().map(|(_, _, n)| n).sum();
+        assert_eq!(support, 500);
+    }
+
+    #[test]
+    fn condition_rendering() {
+        let c = Condition {
+            feature: 1,
+            is_le: false,
+            threshold: 3.25,
+        };
+        assert_eq!(
+            c.render(&["income".into(), "debt".into()]),
+            "debt > 3.2500"
+        );
+        assert_eq!(c.render(&[]), "x1 > 3.2500");
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (x, y) = linear_world(100, 6);
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default()).unwrap();
+        assert!(t.predict_row(&[1.0]).is_err());
+        assert!(DecisionTree::fit(&x, &y[..50], &TreeConfig::default()).is_err());
+        let bad = TreeConfig {
+            min_samples_leaf: 0,
+            ..TreeConfig::default()
+        };
+        assert!(DecisionTree::fit(&x, &y, &bad).is_err());
+    }
+}

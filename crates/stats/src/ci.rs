@@ -1,0 +1,229 @@
+//! Confidence intervals — the "meta-information on the accuracy of the
+//! output" (paper §2) that responsible analyses must attach to every number.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fact_data::{FactError, Result};
+
+use crate::descriptive::{mean, quantile, std_dev};
+use crate::dist::norm_ppf;
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// True when the interval contains `value`.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lower..=self.upper).contains(&value)
+    }
+}
+
+fn check_level(level: f64) -> Result<()> {
+    if !(0.0 < level && level < 1.0) {
+        return Err(FactError::InvalidArgument(format!(
+            "confidence level must be in (0, 1), got {level}"
+        )));
+    }
+    Ok(())
+}
+
+/// Normal-approximation CI for a mean (uses the sample standard deviation).
+pub fn mean_ci(xs: &[f64], level: f64) -> Result<ConfidenceInterval> {
+    check_level(level)?;
+    if xs.len() < 2 {
+        return Err(FactError::EmptyData("mean CI requires at least 2 values".into()));
+    }
+    let m = mean(xs)?;
+    let se = std_dev(xs)? / (xs.len() as f64).sqrt();
+    let z = norm_ppf(0.5 + level / 2.0)?;
+    Ok(ConfidenceInterval {
+        estimate: m,
+        lower: m - z * se,
+        upper: m + z * se,
+        level,
+    })
+}
+
+/// Wilson score interval for a binomial proportion — well-behaved even at
+/// extreme proportions and small n, unlike the Wald interval.
+pub fn wilson_ci(successes: u64, trials: u64, level: f64) -> Result<ConfidenceInterval> {
+    check_level(level)?;
+    if trials == 0 {
+        return Err(FactError::EmptyData("proportion CI with zero trials".into()));
+    }
+    if successes > trials {
+        return Err(FactError::InvalidArgument(
+            "successes cannot exceed trials".into(),
+        ));
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = norm_ppf(0.5 + level / 2.0)?;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    Ok(ConfidenceInterval {
+        estimate: p,
+        lower: (center - half).max(0.0),
+        upper: (center + half).min(1.0),
+        level,
+    })
+}
+
+/// Percentile bootstrap CI for an arbitrary statistic of one sample.
+///
+/// `statistic` is evaluated on `n_boot` seeded resamples; the interval is the
+/// empirical `(1±level)/2` quantile range of those replicates.
+pub fn bootstrap_ci<F>(
+    xs: &[f64],
+    statistic: F,
+    n_boot: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    check_level(level)?;
+    if xs.is_empty() {
+        return Err(FactError::EmptyData("bootstrap of empty sample".into()));
+    }
+    if n_boot < 10 {
+        return Err(FactError::InvalidArgument(
+            "bootstrap needs at least 10 replicates".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut replicates = Vec::with_capacity(n_boot);
+    let mut resample = vec![0.0; xs.len()];
+    for _ in 0..n_boot {
+        for slot in resample.iter_mut() {
+            *slot = xs[rng.gen_range(0..xs.len())];
+        }
+        replicates.push(statistic(&resample));
+    }
+    let alpha = (1.0 - level) / 2.0;
+    Ok(ConfidenceInterval {
+        estimate: statistic(xs),
+        lower: quantile(&replicates, alpha)?,
+        upper: quantile(&replicates, 1.0 - alpha)?,
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_covers_truth_mostly() {
+        // 100 repeated draws from a known world; ~95% coverage
+        let mut covered = 0;
+        for seed in 0..100u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let xs: Vec<f64> = (0..200)
+                .map(|_| {
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen();
+                    5.0 + (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+                })
+                .collect();
+            if mean_ci(&xs, 0.95).unwrap().contains(5.0) {
+                covered += 1;
+            }
+        }
+        assert!((88..=100).contains(&covered), "coverage {covered}/100");
+    }
+
+    #[test]
+    fn mean_ci_shrinks_with_n() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let big: Vec<f64> = (0..10_000).map(|i| (i % 10) as f64).collect();
+        assert!(mean_ci(&big, 0.95).unwrap().width() < mean_ci(&xs, 0.95).unwrap().width());
+    }
+
+    #[test]
+    fn wilson_known_value() {
+        // 8/10 at 95%: Wilson interval ≈ (0.4902, 0.9433)
+        let ci = wilson_ci(8, 10, 0.95).unwrap();
+        assert!((ci.lower - 0.4901625).abs() < 1e-4, "lower {}", ci.lower);
+        assert!((ci.upper - 0.9433178).abs() < 1e-4, "upper {}", ci.upper);
+        assert_eq!(ci.estimate, 0.8);
+    }
+
+    #[test]
+    fn wilson_extremes_stay_in_unit_interval() {
+        let ci0 = wilson_ci(0, 20, 0.95).unwrap();
+        assert_eq!(ci0.lower, 0.0);
+        assert!(ci0.upper > 0.0 && ci0.upper < 0.3);
+        let ci1 = wilson_ci(20, 20, 0.95).unwrap();
+        assert_eq!(ci1.upper, 1.0);
+        assert!(ci1.lower > 0.7);
+    }
+
+    #[test]
+    fn wilson_validates() {
+        assert!(wilson_ci(1, 0, 0.95).is_err());
+        assert!(wilson_ci(5, 3, 0.95).is_err());
+        assert!(wilson_ci(1, 2, 1.5).is_err());
+    }
+
+    #[test]
+    fn bootstrap_mean_ci_contains_sample_mean() {
+        let xs: Vec<f64> = (0..500).map(|i| (i % 13) as f64).collect();
+        let ci = bootstrap_ci(&xs, |s| s.iter().sum::<f64>() / s.len() as f64, 500, 0.95, 3)
+            .unwrap();
+        assert!(ci.contains(ci.estimate));
+        assert!(ci.width() > 0.0 && ci.width() < 2.0);
+    }
+
+    #[test]
+    fn bootstrap_works_for_median() {
+        let xs: Vec<f64> = (0..301).map(|i| i as f64).collect();
+        let ci = bootstrap_ci(
+            &xs,
+            |s| crate::descriptive::median(s).unwrap(),
+            300,
+            0.9,
+            5,
+        )
+        .unwrap();
+        assert!(ci.contains(150.0));
+    }
+
+    #[test]
+    fn bootstrap_validates() {
+        assert!(bootstrap_ci(&[], |_| 0.0, 100, 0.95, 0).is_err());
+        assert!(bootstrap_ci(&[1.0], |_| 0.0, 5, 0.95, 0).is_err());
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let ci = ConfidenceInterval {
+            estimate: 0.5,
+            lower: 0.2,
+            upper: 0.9,
+            level: 0.95,
+        };
+        assert!((ci.width() - 0.7).abs() < 1e-12);
+        assert!(ci.contains(0.2));
+        assert!(!ci.contains(0.95));
+    }
+}

@@ -1,0 +1,233 @@
+//! Descriptive statistics on `f64` slices.
+
+use fact_data::{FactError, Result};
+
+/// Arithmetic mean. Errors on empty input.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(FactError::EmptyData("mean of empty slice".into()));
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (n−1 denominator). Errors with fewer than 2 values.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(FactError::EmptyData(
+            "variance requires at least 2 values".into(),
+        ));
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Median (average of middle two for even lengths).
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolated quantile, `q ∈ [0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(FactError::EmptyData("quantile of empty slice".into()));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(FactError::InvalidArgument(format!(
+            "quantile level must be in [0, 1], got {q}"
+        )));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Sample covariance (n−1 denominator).
+pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(FactError::LengthMismatch {
+            expected: xs.len(),
+            actual: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(FactError::EmptyData(
+            "covariance requires at least 2 pairs".into(),
+        ));
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    Ok(xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (xs.len() - 1) as f64)
+}
+
+/// Pearson product-moment correlation. Errors when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    let cov = covariance(xs, ys)?;
+    let sx = std_dev(xs)?;
+    let sy = std_dev(ys)?;
+    if sx < 1e-300 || sy < 1e-300 {
+        return Err(FactError::Numeric(
+            "correlation undefined for a constant variable".into(),
+        ));
+    }
+    Ok((cov / (sx * sy)).clamp(-1.0, 1.0))
+}
+
+/// Spearman rank correlation (average ranks for ties).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(FactError::LengthMismatch {
+            expected: xs.len(),
+            actual: ys.len(),
+        });
+    }
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Fractional ranks (1-based; ties share their average rank).
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            out[idx[k]] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Fisher–Pearson sample skewness (adjusted).
+pub fn skewness(xs: &[f64]) -> Result<f64> {
+    let n = xs.len();
+    if n < 3 {
+        return Err(FactError::EmptyData(
+            "skewness requires at least 3 values".into(),
+        ));
+    }
+    let m = mean(xs)?;
+    let s = std_dev(xs)?;
+    if s < 1e-300 {
+        return Err(FactError::Numeric("skewness of constant data".into()));
+    }
+    let nf = n as f64;
+    let m3 = xs.iter().map(|x| ((x - m) / s).powi(3)).sum::<f64>();
+    Ok(nf / ((nf - 1.0) * (nf - 2.0)) * m3)
+}
+
+/// Proportion of `true` values.
+pub fn proportion(bs: &[bool]) -> Result<f64> {
+    if bs.is_empty() {
+        return Err(FactError::EmptyData("proportion of empty slice".into()));
+    }
+    Ok(bs.iter().filter(|&&b| b).count() as f64 / bs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(median(&xs).unwrap(), 2.5);
+        assert_eq!(quantile(&xs, 0.25).unwrap(), 1.75);
+        assert!(quantile(&xs, 1.5).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn median_odd_length() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_constant_errors() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let xs = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect(); // monotone
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        // pearson would be < 1 for this
+        assert!(pearson(&xs, &ys).unwrap() < 0.95);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn skewness_signs() {
+        let right = [1.0, 1.0, 1.0, 2.0, 10.0];
+        assert!(skewness(&right).unwrap() > 0.5);
+        let left: Vec<f64> = right.iter().map(|x| -x).collect();
+        assert!(skewness(&left).unwrap() < -0.5);
+        assert!(skewness(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn covariance_matches_manual() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((covariance(&xs, &ys).unwrap() - 2.0).abs() < 1e-12);
+        assert!(covariance(&xs, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn proportion_counts() {
+        assert_eq!(proportion(&[true, false, true, true]).unwrap(), 0.75);
+        assert!(proportion(&[]).is_err());
+    }
+}

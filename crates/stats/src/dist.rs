@@ -1,0 +1,155 @@
+//! Probability distributions: PDF, CDF, and quantiles.
+
+use fact_data::{FactError, Result};
+
+use crate::special::{beta_inc, erfc, gamma_p, norm_quantile};
+
+/// Standard normal PDF.
+pub fn norm_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal quantile (inverse CDF), `p ∈ (0, 1)`.
+pub fn norm_ppf(p: f64) -> Result<f64> {
+    norm_quantile(p)
+}
+
+/// Student-t CDF with `df` degrees of freedom.
+pub fn t_cdf(t: f64, df: f64) -> Result<f64> {
+    if df <= 0.0 {
+        return Err(FactError::InvalidArgument(format!(
+            "t distribution requires df > 0, got {df}"
+        )));
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * beta_inc(df / 2.0, 0.5, x);
+    Ok(if t > 0.0 { 1.0 - p } else { p })
+}
+
+/// Two-sided p-value for a t statistic.
+pub fn t_sf_two_sided(t: f64, df: f64) -> Result<f64> {
+    let cdf = t_cdf(t.abs(), df)?;
+    Ok((2.0 * (1.0 - cdf)).clamp(0.0, 1.0))
+}
+
+/// χ² CDF with `df` degrees of freedom.
+pub fn chi2_cdf(x: f64, df: f64) -> Result<f64> {
+    if df <= 0.0 {
+        return Err(FactError::InvalidArgument(format!(
+            "chi-square requires df > 0, got {df}"
+        )));
+    }
+    if x < 0.0 {
+        return Ok(0.0);
+    }
+    Ok(gamma_p(df / 2.0, x / 2.0))
+}
+
+/// Upper-tail p-value for a χ² statistic.
+pub fn chi2_sf(x: f64, df: f64) -> Result<f64> {
+    Ok((1.0 - chi2_cdf(x, df)?).clamp(0.0, 1.0))
+}
+
+/// Laplace(μ, b) CDF — the distribution of the paper's "strict privacy
+/// budget" noise mechanism.
+pub fn laplace_cdf(x: f64, mu: f64, b: f64) -> Result<f64> {
+    if b <= 0.0 {
+        return Err(FactError::InvalidArgument(format!(
+            "Laplace scale must be positive, got {b}"
+        )));
+    }
+    let z = (x - mu) / b;
+    Ok(if z < 0.0 {
+        0.5 * z.exp()
+    } else {
+        1.0 - 0.5 * (-z).exp()
+    })
+}
+
+/// Laplace(μ, b) quantile, `p ∈ (0, 1)`.
+pub fn laplace_ppf(p: f64, mu: f64, b: f64) -> Result<f64> {
+    if b <= 0.0 {
+        return Err(FactError::InvalidArgument(format!(
+            "Laplace scale must be positive, got {b}"
+        )));
+    }
+    if !(0.0 < p && p < 1.0) {
+        return Err(FactError::InvalidArgument(format!(
+            "quantile requires p in (0, 1), got {p}"
+        )));
+    }
+    Ok(if p < 0.5 {
+        mu + b * (2.0 * p).ln()
+    } else {
+        mu - b * (2.0 * (1.0 - p)).ln()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_cdf_known_values() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((norm_cdf(1.959963984540054) - 0.975).abs() < 1e-9);
+        assert!((norm_cdf(-1.6448536269514722) - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_pdf_peak() {
+        assert!((norm_pdf(0.0) - 0.3989422804014327).abs() < 1e-12);
+        assert!(norm_pdf(3.0) < norm_pdf(0.0));
+    }
+
+    #[test]
+    fn norm_ppf_inverts_cdf() {
+        for &p in &[0.01, 0.3, 0.5, 0.7, 0.99] {
+            assert!((norm_cdf(norm_ppf(p).unwrap()) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn t_cdf_known_values() {
+        // t(df→∞) → normal; at df=1 it's Cauchy: CDF(1) = 0.75
+        assert!((t_cdf(1.0, 1.0).unwrap() - 0.75).abs() < 1e-9);
+        assert!((t_cdf(0.0, 7.0).unwrap() - 0.5).abs() < 1e-12);
+        // R: pt(2.0, 10) = 0.9633060
+        assert!((t_cdf(2.0, 10.0).unwrap() - 0.96330598).abs() < 1e-6);
+        assert!(t_cdf(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn t_two_sided_pvalue() {
+        // R: 2*pt(-2.228, 10) ≈ 0.05
+        let p = t_sf_two_sided(2.228138851986273, 10.0).unwrap();
+        assert!((p - 0.05).abs() < 1e-6);
+        assert_eq!(t_sf_two_sided(0.0, 5.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn chi2_known_values() {
+        // R: pchisq(3.841459, 1) = 0.95
+        assert!((chi2_cdf(3.841458820694124, 1.0).unwrap() - 0.95).abs() < 1e-8);
+        // R: qchisq(0.95, 5) = 11.0705
+        assert!((chi2_sf(11.070497693516351, 5.0).unwrap() - 0.05).abs() < 1e-8);
+        assert_eq!(chi2_cdf(-1.0, 3.0).unwrap(), 0.0);
+        assert!(chi2_cdf(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn laplace_round_trip() {
+        for &p in &[0.05, 0.25, 0.5, 0.75, 0.95] {
+            let x = laplace_ppf(p, 2.0, 1.5).unwrap();
+            assert!((laplace_cdf(x, 2.0, 1.5).unwrap() - p).abs() < 1e-12);
+        }
+        assert_eq!(laplace_cdf(2.0, 2.0, 1.0).unwrap(), 0.5);
+        assert!(laplace_ppf(0.5, 0.0, 0.0).is_err());
+        assert!(laplace_ppf(1.0, 0.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Effect sizes — the magnitude half of "meta-information on accuracy".
+//!
+//! A p-value without an effect size invites exactly the over-claiming the
+//! paper warns about; reports in `fact-accuracy` pair both.
+
+use fact_data::{FactError, Result};
+
+use crate::descriptive::{mean, variance};
+
+/// Cohen's d with the pooled standard deviation.
+pub fn cohens_d(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() < 2 || ys.len() < 2 {
+        return Err(FactError::EmptyData(
+            "Cohen's d requires at least 2 values per group".into(),
+        ));
+    }
+    let nx = xs.len() as f64;
+    let ny = ys.len() as f64;
+    let pooled = (((nx - 1.0) * variance(xs)? + (ny - 1.0) * variance(ys)?)
+        / (nx + ny - 2.0))
+        .sqrt();
+    if pooled < 1e-300 {
+        return Err(FactError::Numeric("Cohen's d of constant data".into()));
+    }
+    Ok((mean(xs)? - mean(ys)?) / pooled)
+}
+
+/// Risk ratio between two binomial groups: `(x1/n1) / (x2/n2)`.
+pub fn risk_ratio(x1: u64, n1: u64, x2: u64, n2: u64) -> Result<f64> {
+    if n1 == 0 || n2 == 0 {
+        return Err(FactError::EmptyData("risk ratio with empty group".into()));
+    }
+    if x1 > n1 || x2 > n2 {
+        return Err(FactError::InvalidArgument(
+            "successes cannot exceed trials".into(),
+        ));
+    }
+    let p2 = x2 as f64 / n2 as f64;
+    if p2 == 0.0 {
+        return Err(FactError::Numeric(
+            "risk ratio undefined: reference risk is zero".into(),
+        ));
+    }
+    Ok((x1 as f64 / n1 as f64) / p2)
+}
+
+/// Odds ratio between two binomial groups, with the Haldane–Anscombe 0.5
+/// correction when any cell is zero.
+pub fn odds_ratio(x1: u64, n1: u64, x2: u64, n2: u64) -> Result<f64> {
+    if n1 == 0 || n2 == 0 {
+        return Err(FactError::EmptyData("odds ratio with empty group".into()));
+    }
+    if x1 > n1 || x2 > n2 {
+        return Err(FactError::InvalidArgument(
+            "successes cannot exceed trials".into(),
+        ));
+    }
+    let (mut a, mut b) = (x1 as f64, (n1 - x1) as f64);
+    let (mut c, mut d) = (x2 as f64, (n2 - x2) as f64);
+    if a == 0.0 || b == 0.0 || c == 0.0 || d == 0.0 {
+        a += 0.5;
+        b += 0.5;
+        c += 0.5;
+        d += 0.5;
+    }
+    Ok((a / b) / (c / d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohens_d_unit_shift() {
+        // two groups with sd 1, means 1 apart → d ≈ 1
+        let xs: Vec<f64> = vec![0.0, 1.0, 2.0, 0.0, 1.0, 2.0, 1.0, 1.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x + 1.0).collect();
+        let d = cohens_d(&ys, &xs).unwrap();
+        assert!((d - 1.0 / variance(&xs).unwrap().sqrt()).abs() < 1e-9);
+        assert!(d > 0.0);
+        assert!(cohens_d(&xs, &xs).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn cohens_d_validates() {
+        assert!(cohens_d(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(cohens_d(&[1.0, 1.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn risk_ratio_basics() {
+        assert_eq!(risk_ratio(20, 100, 10, 100).unwrap(), 2.0);
+        assert_eq!(risk_ratio(10, 100, 10, 100).unwrap(), 1.0);
+        assert!(risk_ratio(1, 10, 0, 10).is_err());
+        assert!(risk_ratio(1, 0, 1, 10).is_err());
+    }
+
+    #[test]
+    fn odds_ratio_known_value() {
+        // a=30,b=70,c=10,d=90 → OR = (30/70)/(10/90) = 27/7
+        let or = odds_ratio(30, 100, 10, 100).unwrap();
+        assert!((or - 27.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odds_ratio_zero_cell_correction() {
+        let or = odds_ratio(0, 10, 5, 10).unwrap();
+        assert!(or.is_finite());
+        assert!(or < 1.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # fact-stats — the statistical inference engine
+//!
+//! Implements the statistical machinery the paper's **accuracy** pillar (Q2)
+//! depends on: "data science approaches should not just present results or
+//! make predictions, but also explicitly provide meta-information on the
+//! accuracy of the output" (van der Aalst et al. 2017, §2).
+//!
+//! * [`descriptive`] — means, variances, quantiles, correlation;
+//! * [`special`] — erf, incomplete gamma/beta (the kernels under every CDF);
+//! * [`dist`] — Normal, Student-t, χ², Laplace distributions;
+//! * [`tests`] — z, t (Welch), χ² independence, two-proportion, permutation;
+//! * [`ci`] — normal, Wilson, and bootstrap confidence intervals;
+//! * [`multiple`] — Bonferroni/Holm/Šidák FWER and Benjamini–Hochberg/
+//!   Benjamini–Yekutieli FDR corrections (experiment E3);
+//! * [`nonparametric`] — Mann–Whitney U, two-sample Kolmogorov–Smirnov,
+//!   one-way ANOVA, correlation significance;
+//! * [`power`] — sample-size and power calculations;
+//! * [`effect`] — effect sizes (Cohen's d, odds/risk ratios).
+
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod descriptive;
+pub mod dist;
+pub mod effect;
+pub mod multiple;
+pub mod nonparametric;
+pub mod power;
+pub mod special;
+pub mod tests;
+
+pub use ci::ConfidenceInterval;
+pub use tests::TestResult;

@@ -1,0 +1,199 @@
+//! Multiple-testing corrections.
+//!
+//! The paper (§2): "If enough hypotheses are tested, one will eventually be
+//! true for the sample data used. … Multiple testing problems are well-known
+//! in statistical inference, but often underestimated." These procedures are
+//! the standard defenses; experiment E3 demonstrates the uncorrected false-
+//! discovery explosion and how each procedure contains it.
+//!
+//! All functions take raw p-values and return **adjusted** p-values in the
+//! original order; reject `H0_i` when `adjusted[i] <= alpha`.
+
+use fact_data::{FactError, Result};
+
+fn validate(p_values: &[f64]) -> Result<()> {
+    if p_values.is_empty() {
+        return Err(FactError::EmptyData("no p-values to adjust".into()));
+    }
+    if p_values.iter().any(|&p| !(0.0..=1.0).contains(&p) || p.is_nan()) {
+        return Err(FactError::InvalidArgument(
+            "p-values must lie in [0, 1]".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Bonferroni correction: `p̃ = min(1, m·p)`. Controls FWER, very conservative.
+pub fn bonferroni(p_values: &[f64]) -> Result<Vec<f64>> {
+    validate(p_values)?;
+    let m = p_values.len() as f64;
+    Ok(p_values.iter().map(|&p| (p * m).min(1.0)).collect())
+}
+
+/// Šidák correction: `p̃ = 1 − (1 − p)^m`. Slightly less conservative than
+/// Bonferroni under independence.
+pub fn sidak(p_values: &[f64]) -> Result<Vec<f64>> {
+    validate(p_values)?;
+    let m = p_values.len() as f64;
+    Ok(p_values
+        .iter()
+        .map(|&p| (1.0 - (1.0 - p).powf(m)).min(1.0))
+        .collect())
+}
+
+/// Holm step-down procedure. Controls FWER uniformly, dominates Bonferroni.
+pub fn holm(p_values: &[f64]) -> Result<Vec<f64>> {
+    validate(p_values)?;
+    let m = p_values.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("validated"));
+    let mut adjusted = vec![0.0; m];
+    let mut running_max = 0.0f64;
+    for (rank, &i) in order.iter().enumerate() {
+        let factor = (m - rank) as f64;
+        let adj = (p_values[i] * factor).min(1.0);
+        running_max = running_max.max(adj);
+        adjusted[i] = running_max;
+    }
+    Ok(adjusted)
+}
+
+/// Benjamini–Hochberg step-up procedure. Controls the false discovery rate
+/// under independence (and positive dependence).
+pub fn benjamini_hochberg(p_values: &[f64]) -> Result<Vec<f64>> {
+    validate(p_values)?;
+    bh_with_factor(p_values, 1.0)
+}
+
+/// Benjamini–Yekutieli: BH with the harmonic-sum factor, valid under
+/// arbitrary dependence.
+pub fn benjamini_yekutieli(p_values: &[f64]) -> Result<Vec<f64>> {
+    validate(p_values)?;
+    let m = p_values.len();
+    let c: f64 = (1..=m).map(|i| 1.0 / i as f64).sum();
+    bh_with_factor(p_values, c)
+}
+
+fn bh_with_factor(p_values: &[f64], c: f64) -> Result<Vec<f64>> {
+    let m = p_values.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("validated"));
+    let mut adjusted = vec![0.0; m];
+    let mut running_min = 1.0f64;
+    for rank in (0..m).rev() {
+        let i = order[rank];
+        let adj = (p_values[i] * c * m as f64 / (rank + 1) as f64).min(1.0);
+        running_min = running_min.min(adj);
+        adjusted[i] = running_min;
+    }
+    Ok(adjusted)
+}
+
+/// Indices rejected at level `alpha` given adjusted p-values.
+pub fn rejections(adjusted: &[f64], alpha: f64) -> Vec<usize> {
+    adjusted
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| (p <= alpha).then_some(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: [f64; 5] = [0.01, 0.04, 0.03, 0.005, 0.2];
+
+    #[test]
+    fn bonferroni_multiplies_and_caps() {
+        let adj = bonferroni(&PS).unwrap();
+        assert_eq!(adj[0], 0.05);
+        assert_eq!(adj[3], 0.025);
+        assert_eq!(adj[4], 1.0);
+    }
+
+    #[test]
+    fn sidak_less_conservative_than_bonferroni() {
+        let b = bonferroni(&PS).unwrap();
+        let s = sidak(&PS).unwrap();
+        for (bi, si) in b.iter().zip(&s) {
+            assert!(si <= bi, "Šidák must not exceed Bonferroni");
+        }
+    }
+
+    #[test]
+    fn holm_matches_r() {
+        // R: p.adjust(c(0.01,0.04,0.03,0.005,0.2), method="holm")
+        //    = 0.04 0.09 0.09 0.025 0.2
+        let adj = holm(&PS).unwrap();
+        let expect = [0.04, 0.09, 0.09, 0.025, 0.2];
+        for (a, e) in adj.iter().zip(&expect) {
+            assert!((a - e).abs() < 1e-12, "{adj:?}");
+        }
+    }
+
+    #[test]
+    fn bh_matches_r() {
+        // R: p.adjust(c(0.01,0.04,0.03,0.005,0.2), method="BH")
+        //    = 0.025 0.05 0.05 0.025 0.2
+        let adj = benjamini_hochberg(&PS).unwrap();
+        let expect = [0.025, 0.05, 0.05, 0.025, 0.2];
+        for (a, e) in adj.iter().zip(&expect) {
+            assert!((a - e).abs() < 1e-12, "{adj:?}");
+        }
+    }
+
+    #[test]
+    fn by_is_more_conservative_than_bh() {
+        let bh = benjamini_hochberg(&PS).unwrap();
+        let by = benjamini_yekutieli(&PS).unwrap();
+        for (b, y) in bh.iter().zip(&by) {
+            assert!(y >= b);
+        }
+    }
+
+    #[test]
+    fn monotonicity_of_adjusted_values() {
+        // adjusted p-values must preserve the order of raw p-values
+        for f in [bonferroni, sidak, holm, benjamini_hochberg, benjamini_yekutieli] {
+            let adj = f(&PS).unwrap();
+            let mut pairs: Vec<(f64, f64)> = PS.iter().copied().zip(adj).collect();
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in pairs.windows(2) {
+                assert!(w[0].1 <= w[1].1 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn single_hypothesis_unchanged() {
+        for f in [bonferroni, sidak, holm, benjamini_hochberg] {
+            let adj = f(&[0.03]).unwrap();
+            assert!((adj[0] - 0.03).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(bonferroni(&[]).is_err());
+        assert!(holm(&[0.5, 1.2]).is_err());
+        assert!(benjamini_hochberg(&[-0.1]).is_err());
+        assert!(sidak(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn rejections_selects_at_alpha() {
+        let adj = benjamini_hochberg(&PS).unwrap();
+        let rej = rejections(&adj, 0.05);
+        assert_eq!(rej, vec![0, 1, 2, 3]);
+        assert_eq!(rejections(&adj, 0.01), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn null_uniform_ps_mostly_survive() {
+        // uniform p-values (true nulls): FWER methods should reject ~none
+        let ps: Vec<f64> = (1..=100).map(|i| i as f64 / 101.0).collect();
+        let adj = holm(&ps).unwrap();
+        assert!(rejections(&adj, 0.05).is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Nonparametric tests — distribution-free inference for when "letting the
+//! data speak" must not assume normality.
+
+use fact_data::{FactError, Result};
+
+use crate::descriptive::ranks;
+use crate::dist::norm_cdf;
+use crate::tests::TestResult;
+
+/// Mann–Whitney U test (two-sided, normal approximation with tie
+/// correction). Suitable for n ≥ ~8 per group.
+pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
+    if xs.len() < 2 || ys.len() < 2 {
+        return Err(FactError::EmptyData(
+            "Mann–Whitney requires at least 2 values per group".into(),
+        ));
+    }
+    let nx = xs.len() as f64;
+    let ny = ys.len() as f64;
+    let combined: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+    let r = ranks(&combined);
+    let rank_sum_x: f64 = r[..xs.len()].iter().sum();
+    let u_x = rank_sum_x - nx * (nx + 1.0) / 2.0;
+    // tie correction for the variance
+    let n = combined.len() as f64;
+    let mut sorted = combined.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let mean_u = nx * ny / 2.0;
+    let var_u = nx * ny / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if var_u <= 0.0 {
+        return Err(FactError::Numeric(
+            "Mann–Whitney variance is zero (all values tied)".into(),
+        ));
+    }
+    // continuity correction
+    let z = (u_x - mean_u - 0.5 * (u_x - mean_u).signum()) / var_u.sqrt();
+    Ok(TestResult {
+        statistic: u_x,
+        p_value: (2.0 * (1.0 - norm_cdf(z.abs()))).clamp(0.0, 1.0),
+        df: None,
+    })
+}
+
+/// Two-sample Kolmogorov–Smirnov test (asymptotic p-value via the KS
+/// distribution series).
+pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(FactError::EmptyData("KS test with an empty sample".into()));
+    }
+    let mut a = xs.to_vec();
+    let mut b = ys.to_vec();
+    a.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
+    b.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
+    let (na, nb) = (a.len(), b.len());
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d: f64 = 0.0;
+    while i < na && j < nb {
+        let va = a[i];
+        let vb = b[j];
+        let v = va.min(vb);
+        while i < na && a[i] <= v {
+            i += 1;
+        }
+        while j < nb && b[j] <= v {
+            j += 1;
+        }
+        let fa = i as f64 / na as f64;
+        let fb = j as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let ne = (na as f64 * nb as f64) / (na as f64 + nb as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    // Q_KS(0) = 1; the series below does not converge at λ ≈ 0
+    if lambda < 1e-3 {
+        return Ok(TestResult {
+            statistic: d,
+            p_value: 1.0,
+            df: None,
+        });
+    }
+    // Q_KS(λ) = 2 Σ (−1)^{k−1} e^{−2 k² λ²}
+    let mut p = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        p += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    Ok(TestResult {
+        statistic: d,
+        p_value: (2.0 * p).clamp(0.0, 1.0),
+        df: None,
+    })
+}
+
+/// One-way ANOVA across `groups` (F statistic with p-value via the F
+/// relation to the incomplete beta).
+pub fn anova_oneway(groups: &[&[f64]]) -> Result<TestResult> {
+    if groups.len() < 2 {
+        return Err(FactError::InvalidArgument(
+            "ANOVA needs at least 2 groups".into(),
+        ));
+    }
+    if groups.iter().any(|g| g.len() < 2) {
+        return Err(FactError::EmptyData(
+            "every ANOVA group needs at least 2 values".into(),
+        ));
+    }
+    let k = groups.len() as f64;
+    let n: f64 = groups.iter().map(|g| g.len() as f64).sum();
+    let grand_mean: f64 =
+        groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n;
+    let ss_between: f64 = groups
+        .iter()
+        .map(|g| {
+            let m = g.iter().sum::<f64>() / g.len() as f64;
+            g.len() as f64 * (m - grand_mean).powi(2)
+        })
+        .sum();
+    let ss_within: f64 = groups
+        .iter()
+        .map(|g| {
+            let m = g.iter().sum::<f64>() / g.len() as f64;
+            g.iter().map(|x| (x - m).powi(2)).sum::<f64>()
+        })
+        .sum();
+    let df1 = k - 1.0;
+    let df2 = n - k;
+    if ss_within <= 0.0 {
+        return Err(FactError::Numeric(
+            "ANOVA within-group variance is zero".into(),
+        ));
+    }
+    let f = (ss_between / df1) / (ss_within / df2);
+    // P(F > f) = I_{df2/(df2+df1 f)}(df2/2, df1/2)
+    let x = df2 / (df2 + df1 * f);
+    let p = crate::special::beta_inc(df2 / 2.0, df1 / 2.0, x);
+    Ok(TestResult {
+        statistic: f,
+        p_value: p.clamp(0.0, 1.0),
+        df: Some(df1),
+    })
+}
+
+/// Significance test for a Pearson correlation coefficient
+/// (t = r √((n−2)/(1−r²)), two-sided).
+pub fn pearson_test(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
+    let r = crate::descriptive::pearson(xs, ys)?;
+    let n = xs.len() as f64;
+    if n < 3.0 {
+        return Err(FactError::EmptyData(
+            "correlation test requires at least 3 pairs".into(),
+        ));
+    }
+    let denom = (1.0 - r * r).max(1e-15);
+    let t = r * ((n - 2.0) / denom).sqrt();
+    Ok(TestResult {
+        statistic: r,
+        p_value: crate::dist::t_sf_two_sided(t, n - 2.0)?,
+        df: Some(n - 2.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mwu_detects_shift() {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x + 3.0).collect();
+        let r = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(r.p_value < 1e-6, "clear shift: p={}", r.p_value);
+        let null = mann_whitney_u(&xs, &xs).unwrap();
+        assert!(null.p_value > 0.5);
+    }
+
+    #[test]
+    fn mwu_known_value() {
+        // scipy.stats.mannwhitneyu([1,2,3,4,5],[6,7,8,9,10]) → U=0 (for x)
+        let r = mann_whitney_u(
+            &[1.0, 2.0, 3.0, 4.0, 5.0],
+            &[6.0, 7.0, 8.0, 9.0, 10.0],
+        )
+        .unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.p_value < 0.02);
+    }
+
+    #[test]
+    fn mwu_is_robust_to_outliers_where_t_is_not() {
+        // one colossal outlier: t-test p-value degrades, MWU barely moves
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.1).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| x + 1.5).collect();
+        ys[0] = 1e6;
+        let mwu = mann_whitney_u(&xs, &ys).unwrap();
+        let t = crate::tests::welch_t_test(&xs, &ys).unwrap();
+        assert!(mwu.p_value < 0.01);
+        assert!(t.p_value > 0.05, "t-test destroyed by the outlier: {}", t.p_value);
+    }
+
+    #[test]
+    fn mwu_all_tied_errors() {
+        assert!(mann_whitney_u(&[1.0; 10], &[1.0; 10]).is_err());
+    }
+
+    #[test]
+    fn ks_separates_different_distributions() {
+        let uniform: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let squashed: Vec<f64> = uniform.iter().map(|x| x * x).collect();
+        let r = ks_two_sample(&uniform, &squashed).unwrap();
+        assert!(r.statistic > 0.2);
+        assert!(r.p_value < 0.001);
+        let same = ks_two_sample(&uniform, &uniform).unwrap();
+        assert!(same.statistic < 1e-12);
+        assert!(same.p_value > 0.99);
+    }
+
+    #[test]
+    fn ks_statistic_is_max_cdf_gap() {
+        // x in {0..1}, y in {1..2}: D = 1 at the boundary
+        let xs = [0.1, 0.2, 0.3];
+        let ys = [1.1, 1.2, 1.3];
+        let r = ks_two_sample(&xs, &ys).unwrap();
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anova_matches_r() {
+        // R: g1=c(1,2,3), g2=c(2,3,4), g3=c(5,6,7)
+        // summary(aov(...)): F = 13, p = 0.00662
+        let r = anova_oneway(&[&[1.0, 2.0, 3.0], &[2.0, 3.0, 4.0], &[5.0, 6.0, 7.0]]).unwrap();
+        assert!((r.statistic - 13.0).abs() < 1e-9, "F={}", r.statistic);
+        assert!((r.p_value - 0.00662).abs() < 2e-4, "p={}", r.p_value);
+        assert_eq!(r.df, Some(2.0));
+    }
+
+    #[test]
+    fn anova_null_case() {
+        let g = [1.0, 2.0, 3.0, 4.0];
+        let r = anova_oneway(&[&g, &g, &g]).unwrap();
+        assert!(r.statistic.abs() < 1e-12);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn anova_validation() {
+        assert!(anova_oneway(&[&[1.0, 2.0]]).is_err());
+        assert!(anova_oneway(&[&[1.0, 2.0], &[1.0]]).is_err());
+        assert!(anova_oneway(&[&[1.0, 1.0], &[1.0, 1.0]]).is_err());
+    }
+
+    #[test]
+    fn pearson_test_detects_real_correlation() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + (x % 7.0)).collect();
+        let r = pearson_test(&xs, &ys).unwrap();
+        assert!(r.statistic > 0.99);
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn pearson_test_null() {
+        // alternate up/down around 0, no trend vs index
+        let xs: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r = pearson_test(&xs, &ys).unwrap();
+        assert!(r.p_value > 0.2, "p={}", r.p_value);
+    }
+}

@@ -1,0 +1,139 @@
+//! Power analysis and sample-size adequacy.
+//!
+//! "How to answer questions with a guaranteed level of accuracy?" (paper §2,
+//! Q2). One necessary condition is that the sample is large enough to detect
+//! the effect of interest; these helpers quantify that before any test runs,
+//! and `fact-accuracy` uses them to warn when an analysis is underpowered.
+
+use fact_data::{FactError, Result};
+
+use crate::dist::{norm_cdf, norm_ppf};
+
+/// Required per-group sample size for a two-sample test of means to detect a
+/// standardized effect `d` at significance `alpha` with power `power`
+/// (two-sided, normal approximation).
+pub fn sample_size_two_means(d: f64, alpha: f64, power: f64) -> Result<usize> {
+    if d == 0.0 || !d.is_finite() {
+        return Err(FactError::InvalidArgument(
+            "effect size must be non-zero and finite".into(),
+        ));
+    }
+    check_probs(alpha, power)?;
+    let z_a = norm_ppf(1.0 - alpha / 2.0)?;
+    let z_b = norm_ppf(power)?;
+    let n = 2.0 * ((z_a + z_b) / d).powi(2);
+    Ok(n.ceil() as usize)
+}
+
+/// Required per-group sample size to detect the difference between
+/// proportions `p1` and `p2` (two-sided, normal approximation).
+pub fn sample_size_two_proportions(p1: f64, p2: f64, alpha: f64, power: f64) -> Result<usize> {
+    for p in [p1, p2] {
+        if !(0.0 < p && p < 1.0) {
+            return Err(FactError::InvalidArgument(format!(
+                "proportions must be in (0, 1), got {p}"
+            )));
+        }
+    }
+    if (p1 - p2).abs() < 1e-12 {
+        return Err(FactError::InvalidArgument(
+            "proportions must differ to compute a sample size".into(),
+        ));
+    }
+    check_probs(alpha, power)?;
+    let z_a = norm_ppf(1.0 - alpha / 2.0)?;
+    let z_b = norm_ppf(power)?;
+    let pbar = (p1 + p2) / 2.0;
+    let num = z_a * (2.0 * pbar * (1.0 - pbar)).sqrt()
+        + z_b * (p1 * (1.0 - p1) + p2 * (1.0 - p2)).sqrt();
+    Ok((num / (p1 - p2)).powi(2).ceil() as usize)
+}
+
+/// Achieved power of a two-sample mean test with per-group size `n`,
+/// standardized effect `d`, significance `alpha` (two-sided, normal
+/// approximation).
+pub fn power_two_means(n: usize, d: f64, alpha: f64) -> Result<f64> {
+    if n == 0 {
+        return Err(FactError::EmptyData("power with n = 0".into()));
+    }
+    if !d.is_finite() {
+        return Err(FactError::InvalidArgument("effect size must be finite".into()));
+    }
+    if !(0.0 < alpha && alpha < 1.0) {
+        return Err(FactError::InvalidArgument(format!(
+            "alpha must be in (0, 1), got {alpha}"
+        )));
+    }
+    let z_a = norm_ppf(1.0 - alpha / 2.0)?;
+    let ncp = d.abs() * (n as f64 / 2.0).sqrt();
+    Ok((norm_cdf(ncp - z_a) + norm_cdf(-ncp - z_a)).clamp(0.0, 1.0))
+}
+
+fn check_probs(alpha: f64, power: f64) -> Result<()> {
+    if !(0.0 < alpha && alpha < 1.0) {
+        return Err(FactError::InvalidArgument(format!(
+            "alpha must be in (0, 1), got {alpha}"
+        )));
+    }
+    if !(0.0 < power && power < 1.0) {
+        return Err(FactError::InvalidArgument(format!(
+            "power must be in (0, 1), got {power}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_sample_size_for_medium_effect() {
+        // d=0.5, alpha=.05, power=.8 → n ≈ 63 per group (normal approx)
+        let n = sample_size_two_means(0.5, 0.05, 0.8).unwrap();
+        assert!((62..=64).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn smaller_effects_need_more_samples() {
+        let n_small = sample_size_two_means(0.2, 0.05, 0.8).unwrap();
+        let n_large = sample_size_two_means(0.8, 0.05, 0.8).unwrap();
+        assert!(n_small > 4 * n_large);
+    }
+
+    #[test]
+    fn proportions_sample_size_reasonable() {
+        // 0.5 vs 0.6, alpha=.05, power=.8 → ≈ 387-397 per group
+        let n = sample_size_two_proportions(0.5, 0.6, 0.05, 0.8).unwrap();
+        assert!((380..=400).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn power_round_trips_sample_size() {
+        let n = sample_size_two_means(0.5, 0.05, 0.8).unwrap();
+        let p = power_two_means(n, 0.5, 0.05).unwrap();
+        assert!((0.8..0.85).contains(&p), "power {p}");
+    }
+
+    #[test]
+    fn power_grows_with_n() {
+        let p10 = power_two_means(10, 0.5, 0.05).unwrap();
+        let p100 = power_two_means(100, 0.5, 0.05).unwrap();
+        assert!(p100 > p10);
+    }
+
+    #[test]
+    fn zero_effect_power_equals_alpha() {
+        let p = power_two_means(100, 0.0, 0.05).unwrap();
+        assert!((p - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(sample_size_two_means(0.0, 0.05, 0.8).is_err());
+        assert!(sample_size_two_means(0.5, 1.5, 0.8).is_err());
+        assert!(sample_size_two_proportions(0.5, 0.5, 0.05, 0.8).is_err());
+        assert!(sample_size_two_proportions(0.0, 0.5, 0.05, 0.8).is_err());
+        assert!(power_two_means(0, 0.5, 0.05).is_err());
+    }
+}

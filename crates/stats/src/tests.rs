@@ -1,0 +1,302 @@
+//! Hypothesis tests.
+//!
+//! Every test returns a [`TestResult`] with the statistic, degrees of
+//! freedom where applicable, and the p-value — never a bare "significant"
+//! boolean, because thresholding belongs to the caller (and, per the paper's
+//! accuracy pillar, should pass through the multiple-testing registry in
+//! `fact-accuracy` rather than be eyeballed).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use fact_data::{FactError, Result};
+
+use crate::descriptive::{mean, variance};
+use crate::dist::{chi2_sf, norm_cdf, t_sf_two_sided};
+
+/// Outcome of a hypothesis test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestResult {
+    /// The test statistic.
+    pub statistic: f64,
+    /// Two-sided p-value (except where documented otherwise).
+    pub p_value: f64,
+    /// Degrees of freedom, when the test has them.
+    pub df: Option<f64>,
+}
+
+/// One-sample z-test of `mean(xs) = mu0` with known population `sigma`.
+pub fn z_test(xs: &[f64], mu0: f64, sigma: f64) -> Result<TestResult> {
+    if sigma <= 0.0 {
+        return Err(FactError::InvalidArgument(format!(
+            "sigma must be positive, got {sigma}"
+        )));
+    }
+    let m = mean(xs)?;
+    let z = (m - mu0) / (sigma / (xs.len() as f64).sqrt());
+    let p = 2.0 * (1.0 - norm_cdf(z.abs()));
+    Ok(TestResult {
+        statistic: z,
+        p_value: p.clamp(0.0, 1.0),
+        df: None,
+    })
+}
+
+/// One-sample t-test of `mean(xs) = mu0`.
+pub fn t_test_one_sample(xs: &[f64], mu0: f64) -> Result<TestResult> {
+    let n = xs.len();
+    if n < 2 {
+        return Err(FactError::EmptyData("t-test requires at least 2 values".into()));
+    }
+    let m = mean(xs)?;
+    let s = variance(xs)?.sqrt();
+    if s < 1e-300 {
+        return Err(FactError::Numeric("t-test on constant data".into()));
+    }
+    let t = (m - mu0) / (s / (n as f64).sqrt());
+    let df = (n - 1) as f64;
+    Ok(TestResult {
+        statistic: t,
+        p_value: t_sf_two_sided(t, df)?,
+        df: Some(df),
+    })
+}
+
+/// Welch's two-sample t-test (unequal variances).
+pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
+    if xs.len() < 2 || ys.len() < 2 {
+        return Err(FactError::EmptyData(
+            "Welch test requires at least 2 values per group".into(),
+        ));
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let vx = variance(xs)?;
+    let vy = variance(ys)?;
+    let nx = xs.len() as f64;
+    let ny = ys.len() as f64;
+    let se2 = vx / nx + vy / ny;
+    if se2 < 1e-300 {
+        return Err(FactError::Numeric("Welch test on constant data".into()));
+    }
+    let t = (mx - my) / se2.sqrt();
+    let df = se2 * se2 / ((vx / nx).powi(2) / (nx - 1.0) + (vy / ny).powi(2) / (ny - 1.0));
+    Ok(TestResult {
+        statistic: t,
+        p_value: t_sf_two_sided(t, df)?,
+        df: Some(df),
+    })
+}
+
+/// χ² test of independence on an r×c contingency table of counts.
+pub fn chi2_independence(table: &[Vec<f64>]) -> Result<TestResult> {
+    let r = table.len();
+    if r < 2 {
+        return Err(FactError::InvalidArgument(
+            "contingency table needs at least 2 rows".into(),
+        ));
+    }
+    let c = table[0].len();
+    if c < 2 || table.iter().any(|row| row.len() != c) {
+        return Err(FactError::InvalidArgument(
+            "contingency table needs at least 2 equal-length columns".into(),
+        ));
+    }
+    if table.iter().flatten().any(|&v| v < 0.0 || !v.is_finite()) {
+        return Err(FactError::InvalidArgument(
+            "contingency counts must be finite and non-negative".into(),
+        ));
+    }
+    let row_sums: Vec<f64> = table.iter().map(|row| row.iter().sum()).collect();
+    let col_sums: Vec<f64> = (0..c).map(|j| table.iter().map(|row| row[j]).sum()).collect();
+    let total: f64 = row_sums.iter().sum();
+    if total <= 0.0 {
+        return Err(FactError::EmptyData("contingency table of zeros".into()));
+    }
+    let mut stat = 0.0;
+    for i in 0..r {
+        for j in 0..c {
+            let expected = row_sums[i] * col_sums[j] / total;
+            if expected > 0.0 {
+                let d = table[i][j] - expected;
+                stat += d * d / expected;
+            }
+        }
+    }
+    let df = ((r - 1) * (c - 1)) as f64;
+    Ok(TestResult {
+        statistic: stat,
+        p_value: chi2_sf(stat, df)?,
+        df: Some(df),
+    })
+}
+
+/// Two-proportion z-test: success counts `x1`/`n1` vs `x2`/`n2` (pooled SE).
+pub fn two_proportion_z_test(x1: u64, n1: u64, x2: u64, n2: u64) -> Result<TestResult> {
+    if n1 == 0 || n2 == 0 {
+        return Err(FactError::EmptyData("proportion test with empty group".into()));
+    }
+    if x1 > n1 || x2 > n2 {
+        return Err(FactError::InvalidArgument(
+            "successes cannot exceed trials".into(),
+        ));
+    }
+    let p1 = x1 as f64 / n1 as f64;
+    let p2 = x2 as f64 / n2 as f64;
+    let p = (x1 + x2) as f64 / (n1 + n2) as f64;
+    let se = (p * (1.0 - p) * (1.0 / n1 as f64 + 1.0 / n2 as f64)).sqrt();
+    if se < 1e-300 {
+        // all successes or all failures in both groups: no evidence of difference
+        return Ok(TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+            df: None,
+        });
+    }
+    let z = (p1 - p2) / se;
+    Ok(TestResult {
+        statistic: z,
+        p_value: (2.0 * (1.0 - norm_cdf(z.abs()))).clamp(0.0, 1.0),
+        df: None,
+    })
+}
+
+/// Permutation test for a difference in means between two samples.
+///
+/// The p-value is the fraction of `n_perm` label shuffles whose |mean
+/// difference| is at least the observed one (with the +1 small-sample
+/// correction). Exact in distribution as `n_perm → ∞`; makes no normality
+/// assumption.
+pub fn permutation_test(
+    xs: &[f64],
+    ys: &[f64],
+    n_perm: usize,
+    seed: u64,
+) -> Result<TestResult> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(FactError::EmptyData("permutation test with empty group".into()));
+    }
+    if n_perm == 0 {
+        return Err(FactError::InvalidArgument(
+            "permutation test needs at least 1 permutation".into(),
+        ));
+    }
+    let observed = mean(xs)? - mean(ys)?;
+    let mut pool: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+    let nx = xs.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut extreme = 0usize;
+    for _ in 0..n_perm {
+        pool.shuffle(&mut rng);
+        let mx: f64 = pool[..nx].iter().sum::<f64>() / nx as f64;
+        let my: f64 = pool[nx..].iter().sum::<f64>() / (pool.len() - nx) as f64;
+        if (mx - my).abs() >= observed.abs() - 1e-12 {
+            extreme += 1;
+        }
+    }
+    Ok(TestResult {
+        statistic: observed,
+        p_value: (extreme + 1) as f64 / (n_perm + 1) as f64,
+        df: None,
+    })
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn z_test_detects_shift() {
+        let xs: Vec<f64> = (0..100).map(|i| 1.0 + (i % 7) as f64 * 0.01).collect();
+        let r = z_test(&xs, 0.0, 1.0).unwrap();
+        assert!(r.p_value < 1e-6);
+        let r0 = z_test(&xs, xs.iter().sum::<f64>() / 100.0, 1.0).unwrap();
+        assert!(r0.p_value > 0.9);
+        assert!(z_test(&xs, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn one_sample_t_matches_r() {
+        // R: t.test(c(1,2,3,4,5), mu=2.5): t = 0.7071, p = 0.5185
+        let r = t_test_one_sample(&[1.0, 2.0, 3.0, 4.0, 5.0], 2.5).unwrap();
+        assert!((r.statistic - 0.7071067811865476).abs() < 1e-10);
+        assert!((r.p_value - 0.51851852).abs() < 1e-5);
+        assert_eq!(r.df, Some(4.0));
+    }
+
+    #[test]
+    fn welch_matches_r() {
+        // R: t.test(x, y): x=c(1,2,3,4), y=c(6,7,8,9,10)
+        // t = -5.7446, df = 6.9808, p = 0.0007161
+        let r = welch_t_test(&[1.0, 2.0, 3.0, 4.0], &[6.0, 7.0, 8.0, 9.0, 10.0]).unwrap();
+        assert!((r.statistic + 5.744562646538029).abs() < 1e-9);
+        assert!((r.df.unwrap() - 6.98076923).abs() < 1e-6);
+        assert!((r.p_value - 0.00070930707603747).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_null_case() {
+        let xs: Vec<f64> = (0..50).map(|i| (i % 10) as f64).collect();
+        let r = welch_t_test(&xs, &xs).unwrap();
+        assert!(r.statistic.abs() < 1e-12);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn chi2_matches_r() {
+        // R: chisq.test(matrix(c(20,30,30,20),2,2), correct=FALSE)
+        // X-squared = 4, df = 1, p = 0.0455
+        let r = chi2_independence(&[vec![20.0, 30.0], vec![30.0, 20.0]]).unwrap();
+        assert!((r.statistic - 4.0).abs() < 1e-10);
+        assert_eq!(r.df, Some(1.0));
+        assert!((r.p_value - 0.04550026).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chi2_independent_table_high_p() {
+        let r = chi2_independence(&[vec![25.0, 25.0], vec![50.0, 50.0]]).unwrap();
+        assert!(r.statistic.abs() < 1e-10);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn chi2_validates_input() {
+        assert!(chi2_independence(&[vec![1.0, 2.0]]).is_err());
+        assert!(chi2_independence(&[vec![1.0], vec![2.0]]).is_err());
+        assert!(chi2_independence(&[vec![1.0, -2.0], vec![3.0, 4.0]]).is_err());
+        assert!(chi2_independence(&[vec![0.0, 0.0], vec![0.0, 0.0]]).is_err());
+    }
+
+    #[test]
+    fn two_proportion_known_value() {
+        // p1=0.6 (60/100), p2=0.4 (40/100): z ≈ 2.8284, p ≈ 0.00468
+        let r = two_proportion_z_test(60, 100, 40, 100).unwrap();
+        assert!((r.statistic - 2.8284271247461903).abs() < 1e-10);
+        assert!((r.p_value - 0.004677735).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_proportion_degenerate() {
+        let r = two_proportion_z_test(10, 10, 10, 10).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        assert!(two_proportion_z_test(0, 0, 1, 2).is_err());
+        assert!(two_proportion_z_test(3, 2, 1, 2).is_err());
+    }
+
+    #[test]
+    fn permutation_test_agrees_with_welch_roughly() {
+        let xs: Vec<f64> = (0..30).map(|i| (i % 5) as f64).collect();
+        let ys: Vec<f64> = (0..30).map(|i| (i % 5) as f64 + 2.0).collect();
+        let p = permutation_test(&xs, &ys, 2000, 7).unwrap();
+        assert!(p.p_value < 0.01, "clear shift: {}", p.p_value);
+        let null = permutation_test(&xs, &xs, 2000, 7).unwrap();
+        assert!(null.p_value > 0.5, "no shift: {}", null.p_value);
+    }
+
+    #[test]
+    fn permutation_p_never_zero() {
+        let p = permutation_test(&[100.0, 101.0], &[0.0, 1.0], 50, 1).unwrap();
+        assert!(p.p_value >= 1.0 / 51.0);
+    }
+}

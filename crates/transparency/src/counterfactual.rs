@@ -1,0 +1,296 @@
+//! Counterfactual explanations: "what would have had to be different?"
+//!
+//! A decision subject doesn't only deserve to know *why* (contributions) but
+//! *what would change the outcome* — the actionable form of transparency
+//! GDPR-era recourse demands. [`find_counterfactual`] searches for a minimal
+//! single- or two-feature change that flips the model's decision, using
+//! per-feature plausibility ranges from background data (so "increase your
+//! income to $10M" is never proposed).
+
+use fact_data::{FactError, Matrix, Result};
+use fact_ml::Classifier;
+
+/// One proposed feature change.
+#[derive(Debug, Clone)]
+pub struct FeatureChange {
+    /// Feature index.
+    pub feature: usize,
+    /// Feature name.
+    pub name: String,
+    /// Current value.
+    pub from: f64,
+    /// Proposed value.
+    pub to: f64,
+}
+
+/// A counterfactual: the changes and the resulting probability.
+#[derive(Debug, Clone)]
+pub struct Counterfactual {
+    /// Proposed changes (1 or 2 features).
+    pub changes: Vec<FeatureChange>,
+    /// Model probability after the changes.
+    pub new_probability: f64,
+    /// Total normalized distance of the change (search objective).
+    pub distance: f64,
+}
+
+impl Counterfactual {
+    /// Plain-language rendering for the decision subject.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        for c in &self.changes {
+            parts.push(format!(
+                "change {} from {:.2} to {:.2}",
+                c.name, c.from, c.to
+            ));
+        }
+        format!(
+            "To flip the decision: {} (new score {:.2})",
+            parts.join(" and "),
+            self.new_probability
+        )
+    }
+}
+
+/// Search for a minimal counterfactual that flips `row`'s decision across
+/// the 0.5 threshold. `immutable` lists feature indices that must not change
+/// (e.g. age, protected attributes). Returns `None` when no single- or
+/// two-feature change within the background's [5th, 95th]-percentile ranges
+/// flips the decision.
+pub fn find_counterfactual(
+    model: &dyn Classifier,
+    background: &Matrix,
+    row: &[f64],
+    feature_names: &[&str],
+    immutable: &[usize],
+) -> Result<Option<Counterfactual>> {
+    let d = background.cols();
+    if row.len() != d || feature_names.len() != d {
+        return Err(FactError::LengthMismatch {
+            expected: d,
+            actual: row.len().min(feature_names.len()),
+        });
+    }
+    if background.rows() < 20 {
+        return Err(FactError::EmptyData(
+            "counterfactual search needs at least 20 background rows".into(),
+        ));
+    }
+    let base = Matrix::from_rows(&[row.to_vec()])?;
+    let p0 = model.predict_proba(&base)?[0];
+    let target_positive = p0 < 0.5; // flip direction
+
+    // plausibility ranges per feature: 5th..95th percentile of background
+    let mut ranges = Vec::with_capacity(d);
+    for j in 0..d {
+        let mut col: Vec<f64> = (0..background.rows()).map(|i| background.get(i, j)).collect();
+        col.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let lo = col[(col.len() as f64 * 0.05) as usize];
+        let hi = col[((col.len() as f64 * 0.95) as usize).min(col.len() - 1)];
+        let span = (hi - lo).max(1e-12);
+        ranges.push((lo, hi, span));
+    }
+
+    let grid = 9usize;
+    let candidate_values = |j: usize| -> Vec<f64> {
+        let (lo, hi, _) = ranges[j];
+        (0..=grid)
+            .map(|g| lo + (hi - lo) * g as f64 / grid as f64)
+            .collect()
+    };
+    let mutable: Vec<usize> = (0..d).filter(|j| !immutable.contains(j)).collect();
+
+    let flips = |p: f64| -> bool {
+        if target_positive {
+            p >= 0.5
+        } else {
+            p < 0.5
+        }
+    };
+    let mut best: Option<Counterfactual> = None;
+    fn consider(
+        model: &dyn Classifier,
+        ranges: &[(f64, f64, f64)],
+        flips: &dyn Fn(f64) -> bool,
+        best: &mut Option<Counterfactual>,
+        changes: Vec<FeatureChange>,
+        probe: Vec<f64>,
+    ) -> Result<()> {
+        let m = Matrix::from_rows(&[probe])?;
+        let p = model.predict_proba(&m)?[0];
+        if flips(p) {
+            let distance: f64 = changes
+                .iter()
+                .map(|c| ((c.to - c.from) / ranges[c.feature].2).abs())
+                .sum();
+            if best.as_ref().map(|b| distance < b.distance).unwrap_or(true) {
+                *best = Some(Counterfactual {
+                    changes,
+                    new_probability: p,
+                    distance,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // single-feature search
+    for &j in &mutable {
+        for v in candidate_values(j) {
+            if (v - row[j]).abs() < 1e-12 {
+                continue;
+            }
+            let mut probe = row.to_vec();
+            probe[j] = v;
+            consider(
+                model,
+                &ranges,
+                &flips,
+                &mut best,
+                vec![FeatureChange {
+                    feature: j,
+                    name: feature_names[j].to_string(),
+                    from: row[j],
+                    to: v,
+                }],
+                probe,
+            )?;
+        }
+    }
+    if best.is_some() {
+        return Ok(best);
+    }
+    // two-feature search (coarser grid to bound cost)
+    let coarse = |j: usize| -> Vec<f64> {
+        let (lo, hi, _) = ranges[j];
+        (0..=4).map(|g| lo + (hi - lo) * g as f64 / 4.0).collect()
+    };
+    for (a_pos, &ja) in mutable.iter().enumerate() {
+        for &jb in mutable.iter().skip(a_pos + 1) {
+            for va in coarse(ja) {
+                for vb in coarse(jb) {
+                    let mut probe = row.to_vec();
+                    probe[ja] = va;
+                    probe[jb] = vb;
+                    consider(
+                        model,
+                        &ranges,
+                        &flips,
+                        &mut best,
+                        vec![
+                            FeatureChange {
+                                feature: ja,
+                                name: feature_names[ja].to_string(),
+                                from: row[ja],
+                                to: va,
+                            },
+                            FeatureChange {
+                                feature: jb,
+                                name: feature_names[jb].to_string(),
+                                from: row[jb],
+                                to: vb,
+                            },
+                        ],
+                        probe,
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_ml::logistic::{LogisticConfig, LogisticRegression};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn world() -> (LogisticRegression, Matrix) {
+        // approve iff income − debt > 0 (scaled)
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..2000 {
+            let income: f64 = rng.gen_range(0.0..100.0);
+            let debt: f64 = rng.gen_range(0.0..100.0);
+            rows.push(vec![income, debt]);
+            y.push(income - debt > 0.0);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let m = LogisticRegression::fit(&x, &y, None, &LogisticConfig::default()).unwrap();
+        (m, x)
+    }
+
+    #[test]
+    fn finds_single_feature_flip() {
+        let (m, x) = world();
+        // rejected subject: low income, high debt
+        let cf = find_counterfactual(&m, &x, &[20.0, 70.0], &["income", "debt"], &[])
+            .unwrap()
+            .expect("flip exists");
+        assert_eq!(cf.changes.len(), 1);
+        assert!(cf.new_probability >= 0.5);
+        // the proposal must move in the sensible direction
+        let c = &cf.changes[0];
+        if c.name == "income" {
+            assert!(c.to > c.from);
+        } else {
+            assert!(c.to < c.from);
+        }
+        assert!(cf.render().contains("To flip the decision"));
+    }
+
+    #[test]
+    fn respects_immutable_features() {
+        let (m, x) = world();
+        // forbid touching income: must flip via debt
+        let cf = find_counterfactual(&m, &x, &[20.0, 70.0], &["income", "debt"], &[0])
+            .unwrap()
+            .expect("debt-only flip exists");
+        assert!(cf.changes.iter().all(|c| c.name == "debt"));
+    }
+
+    #[test]
+    fn flips_in_both_directions() {
+        let (m, x) = world();
+        // an approved subject: counterfactual should find a rejection
+        let cf = find_counterfactual(&m, &x, &[90.0, 10.0], &["income", "debt"], &[])
+            .unwrap()
+            .expect("reverse flip exists");
+        assert!(cf.new_probability < 0.5);
+    }
+
+    #[test]
+    fn proposals_stay_plausible() {
+        let (m, x) = world();
+        let cf = find_counterfactual(&m, &x, &[1.0, 99.0], &["income", "debt"], &[])
+            .unwrap()
+            .expect("flip exists");
+        for c in &cf.changes {
+            assert!(
+                (0.0..=100.0).contains(&c.to),
+                "{} proposed outside data range: {}",
+                c.name,
+                c.to
+            );
+        }
+    }
+
+    #[test]
+    fn returns_none_when_everything_is_immutable() {
+        let (m, x) = world();
+        let cf =
+            find_counterfactual(&m, &x, &[20.0, 70.0], &["income", "debt"], &[0, 1]).unwrap();
+        assert!(cf.is_none());
+    }
+
+    #[test]
+    fn validation() {
+        let (m, x) = world();
+        assert!(find_counterfactual(&m, &x, &[1.0], &["income", "debt"], &[]).is_err());
+        let tiny = Matrix::zeros(5, 2);
+        assert!(find_counterfactual(&m, &tiny, &[1.0, 2.0], &["a", "b"], &[]).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-decision explanations by ablation-to-baseline.
+//!
+//! For one decision, each feature's **contribution** is how much the model's
+//! probability changes when that feature is replaced by its dataset-baseline
+//! (mean) value. A decision subject gets "these three factors, in this
+//! direction, drove your outcome" — the comprehensibility half of Q4 at the
+//! level where GDPR-style explanation rights operate.
+
+use fact_data::{FactError, Matrix, Result};
+use fact_ml::Classifier;
+
+/// One feature's contribution to one decision.
+#[derive(Debug, Clone)]
+pub struct Contribution {
+    /// Feature name.
+    pub name: String,
+    /// Probability change when the feature is ablated to baseline
+    /// (positive = this feature pushed the decision up).
+    pub delta: f64,
+    /// The subject's value.
+    pub value: f64,
+    /// The baseline it was compared against.
+    pub baseline: f64,
+}
+
+/// A complete decision explanation.
+#[derive(Debug, Clone)]
+pub struct DecisionExplanation {
+    /// The model's probability for this subject.
+    pub probability: f64,
+    /// The hard decision at 0.5.
+    pub decision: bool,
+    /// Contributions, sorted by |delta| descending.
+    pub contributions: Vec<Contribution>,
+}
+
+impl DecisionExplanation {
+    /// The top-k contributions.
+    pub fn top(&self, k: usize) -> &[Contribution] {
+        &self.contributions[..k.min(self.contributions.len())]
+    }
+
+    /// A plain-language rendering for the decision subject.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Decision: {} (score {:.2})\n",
+            if self.decision { "POSITIVE" } else { "NEGATIVE" },
+            self.probability
+        );
+        for c in self.top(3) {
+            out.push_str(&format!(
+                "  {} = {:.2} ({} the outcome by {:.3}; typical value {:.2})\n",
+                c.name,
+                c.value,
+                if c.delta >= 0.0 { "raised" } else { "lowered" },
+                c.delta.abs(),
+                c.baseline,
+            ));
+        }
+        out
+    }
+}
+
+/// Explain `model`'s decision on `row` against baselines computed from
+/// `background` (typically the training data).
+pub fn explain_decision(
+    model: &dyn Classifier,
+    background: &Matrix,
+    row: &[f64],
+    feature_names: &[&str],
+) -> Result<DecisionExplanation> {
+    let d = background.cols();
+    if row.len() != d || feature_names.len() != d {
+        return Err(FactError::LengthMismatch {
+            expected: d,
+            actual: row.len().min(feature_names.len()),
+        });
+    }
+    if background.rows() == 0 {
+        return Err(FactError::EmptyData("empty background data".into()));
+    }
+    // baselines: column means of the background
+    let mut baselines = vec![0.0; d];
+    for i in 0..background.rows() {
+        for (j, b) in baselines.iter_mut().enumerate() {
+            *b += background.get(i, j);
+        }
+    }
+    for b in baselines.iter_mut() {
+        *b /= background.rows() as f64;
+    }
+
+    let base_row = Matrix::from_rows(&[row.to_vec()])?;
+    let probability = model.predict_proba(&base_row)?[0];
+
+    let mut contributions = Vec::with_capacity(d);
+    for j in 0..d {
+        let mut ablated = row.to_vec();
+        ablated[j] = baselines[j];
+        let m = Matrix::from_rows(&[ablated])?;
+        let p_ablated = model.predict_proba(&m)?[0];
+        contributions.push(Contribution {
+            name: feature_names[j].to_string(),
+            delta: probability - p_ablated,
+            value: row[j],
+            baseline: baselines[j],
+        });
+    }
+    contributions.sort_by(|a, b| {
+        b.delta
+            .abs()
+            .partial_cmp(&a.delta.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(DecisionExplanation {
+        probability,
+        decision: probability >= 0.5,
+        contributions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_ml::logistic::{LogisticConfig, LogisticRegression};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn model_and_data() -> (LogisticRegression, Matrix) {
+        // y driven by x0 strongly (positive), x1 negatively, x2 irrelevant
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..2000 {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            let c: f64 = rng.gen_range(-1.0..1.0);
+            rows.push(vec![a, b, c]);
+            y.push(2.5 * a - 1.5 * b > 0.0);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let m = LogisticRegression::fit(&x, &y, None, &LogisticConfig::default()).unwrap();
+        (m, x)
+    }
+
+    #[test]
+    fn contribution_signs_match_the_mechanism() {
+        let (m, x) = model_and_data();
+        // subject with high x0 (helps) and high x1 (hurts)
+        let exp = explain_decision(&m, &x, &[0.9, 0.9, 0.0], &["a", "b", "c"]).unwrap();
+        let get = |name: &str| exp.contributions.iter().find(|c| c.name == name).unwrap();
+        assert!(get("a").delta > 0.05, "a raised the score");
+        assert!(get("b").delta < -0.05, "b lowered the score");
+        assert!(get("c").delta.abs() < 0.02, "c irrelevant");
+    }
+
+    #[test]
+    fn contributions_sorted_by_magnitude() {
+        let (m, x) = model_and_data();
+        let exp = explain_decision(&m, &x, &[0.8, -0.4, 0.9], &["a", "b", "c"]).unwrap();
+        for w in exp.contributions.windows(2) {
+            assert!(w[0].delta.abs() >= w[1].delta.abs());
+        }
+        assert_eq!(exp.top(2).len(), 2);
+        assert_eq!(exp.top(99).len(), 3);
+    }
+
+    #[test]
+    fn render_is_subject_readable() {
+        let (m, x) = model_and_data();
+        let exp = explain_decision(&m, &x, &[0.9, -0.9, 0.0], &["income", "debt", "age"]).unwrap();
+        let text = exp.render();
+        assert!(text.contains("Decision: POSITIVE"));
+        assert!(text.contains("income"));
+        assert!(text.contains("raised") || text.contains("lowered"));
+    }
+
+    #[test]
+    fn validation() {
+        let (m, x) = model_and_data();
+        assert!(explain_decision(&m, &x, &[0.0, 0.0], &["a", "b", "c"]).is_err());
+        assert!(explain_decision(&m, &x, &[0.0; 3], &["a", "b"]).is_err());
+        let empty = Matrix::zeros(0, 3);
+        assert!(explain_decision(&m, &empty, &[0.0; 3], &["a", "b", "c"]).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # fact-transparency — the Transparency pillar (Q4)
+//!
+//! "Data science that provides transparency — how to clarify answers so that
+//! they become indisputable?" (van der Aalst et al. 2017, §2). The paper
+//! decomposes this into two demands:
+//!
+//! 1. **Accountability of the pipeline** — "the journey from raw data to
+//!    meaningful inferences involves multiple steps and actors":
+//!    * [`provenance`] — a DAG recording every artifact, operation, and actor
+//!      from raw data to decision, with lineage queries;
+//!    * [`audit`] — a tamper-evident (hash-chained) audit log of actions.
+//! 2. **Comprehensibility of the model** — deep nets are "a black box that
+//!    apparently makes good decisions, but cannot rationalize them":
+//!    * [`surrogate`] — global surrogate decision trees with measured
+//!      fidelity to the black box (experiment E7);
+//!    * [`importance`] — permutation feature importance;
+//!    * [`explanation`] — per-decision contribution breakdowns;
+//!    * [`counterfactual`] — minimal actionable changes that flip a decision;
+//!    * [`modelcard`] — machine-readable model cards and dataset datasheets.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod counterfactual;
+pub mod explanation;
+pub mod importance;
+pub mod modelcard;
+pub mod provenance;
+pub mod surrogate;
+
+pub use audit::AuditLog;
+pub use provenance::ProvenanceGraph;
+pub use surrogate::SurrogateExplainer;

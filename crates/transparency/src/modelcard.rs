@@ -1,0 +1,220 @@
+//! Model cards and dataset datasheets — machine-readable accountability
+//! artifacts.
+//!
+//! §4 of the paper asks how "FACT elements \[can\] be embedded in our
+//! requirements". A model card is that embedding at the artifact level: a
+//! structured record of what a model is for, what it was trained on, how
+//! accurate and how fair it measured, and what it must not be used for. Both
+//! structures serialize to JSON for registries and audits.
+
+use serde::{Deserialize, Serialize};
+
+use fact_data::{Dataset, FactError, Result};
+
+/// A metric entry on a card.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CardMetric {
+    /// Metric name, e.g. `"accuracy"` or `"disparate_impact"`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Slice it was measured on, e.g. `"test"` or `"group=B"`.
+    pub slice: String,
+}
+
+/// A model card (Mitchell et al. 2019, adapted to FACT).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ModelCard {
+    /// Model name.
+    pub name: String,
+    /// Version string.
+    pub version: String,
+    /// What the model is intended to do.
+    pub intended_use: String,
+    /// Uses the model must not be put to.
+    pub out_of_scope_uses: Vec<String>,
+    /// Description of the training data.
+    pub training_data: String,
+    /// Quality and fairness measurements.
+    pub metrics: Vec<CardMetric>,
+    /// Known caveats, risks, and failure modes.
+    pub caveats: Vec<String>,
+    /// Sensitive attributes considered in the fairness evaluation.
+    pub sensitive_attributes: Vec<String>,
+}
+
+impl ModelCard {
+    /// Start a card.
+    pub fn new(name: impl Into<String>, version: impl Into<String>) -> Self {
+        ModelCard {
+            name: name.into(),
+            version: version.into(),
+            ..ModelCard::default()
+        }
+    }
+
+    /// Add one metric measurement.
+    pub fn with_metric(
+        mut self,
+        name: impl Into<String>,
+        value: f64,
+        slice: impl Into<String>,
+    ) -> Self {
+        self.metrics.push(CardMetric {
+            name: name.into(),
+            value,
+            slice: slice.into(),
+        });
+        self
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| FactError::InvalidArgument(format!("model card serialization: {e}")))
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| FactError::Parse {
+                line: 0,
+                message: format!("model card: {e}"),
+            })
+    }
+
+    /// A card is *complete* when the fields an auditor needs are non-empty.
+    pub fn completeness_issues(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        if self.intended_use.is_empty() {
+            issues.push("intended_use is empty".into());
+        }
+        if self.training_data.is_empty() {
+            issues.push("training_data is undocumented".into());
+        }
+        if self.metrics.is_empty() {
+            issues.push("no metrics recorded".into());
+        }
+        if self.sensitive_attributes.is_empty() {
+            issues.push("sensitive attributes not declared".into());
+        }
+        issues
+    }
+}
+
+/// A datasheet for a dataset (Gebru et al. 2018, abbreviated).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Datasheet {
+    /// Dataset name.
+    pub name: String,
+    /// Why and by whom it was collected.
+    pub motivation: String,
+    /// Row count.
+    pub n_rows: usize,
+    /// Per-column name/type/annotation summary.
+    pub columns: Vec<DatasheetColumn>,
+    /// Known collection biases or gaps.
+    pub known_biases: Vec<String>,
+}
+
+/// One column's entry in a datasheet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasheetColumn {
+    /// Column name.
+    pub name: String,
+    /// Logical type.
+    pub dtype: String,
+    /// Flagged sensitive in the schema.
+    pub sensitive: bool,
+    /// Flagged quasi-identifier in the schema.
+    pub quasi_identifier: bool,
+    /// Null count.
+    pub nulls: usize,
+}
+
+impl Datasheet {
+    /// Generate a datasheet skeleton directly from a dataset's schema —
+    /// annotations travel with the data automatically.
+    pub fn from_dataset(name: impl Into<String>, ds: &Dataset) -> Self {
+        let columns = ds
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| DatasheetColumn {
+                name: f.name.clone(),
+                dtype: f.dtype.to_string(),
+                sensitive: f.sensitive,
+                quasi_identifier: f.quasi_identifier,
+                nulls: ds.column(&f.name).map(|c| c.null_count()).unwrap_or(0),
+            })
+            .collect();
+        Datasheet {
+            name: name.into(),
+            motivation: String::new(),
+            n_rows: ds.n_rows(),
+            columns,
+            known_biases: Vec::new(),
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| FactError::InvalidArgument(format!("datasheet serialization: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn card_round_trips_through_json() {
+        let card = ModelCard::new("loan-approver", "1.2.0")
+            .with_metric("accuracy", 0.87, "test")
+            .with_metric("disparate_impact", 0.83, "group=B vs A");
+        let json = card.to_json().unwrap();
+        let back = ModelCard::from_json(&json).unwrap();
+        assert_eq!(card, back);
+        assert!(json.contains("disparate_impact"));
+    }
+
+    #[test]
+    fn completeness_audit() {
+        let empty = ModelCard::new("m", "0.1");
+        let issues = empty.completeness_issues();
+        assert_eq!(issues.len(), 4);
+        let mut full = ModelCard::new("m", "0.1").with_metric("acc", 0.9, "test");
+        full.intended_use = "demo".into();
+        full.training_data = "synthetic loans".into();
+        full.sensitive_attributes = vec!["group".into()];
+        assert!(full.completeness_issues().is_empty());
+    }
+
+    #[test]
+    fn bad_json_is_a_parse_error() {
+        assert!(matches!(
+            ModelCard::from_json("{nope"),
+            Err(FactError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn datasheet_reflects_schema_annotations() {
+        let ds = Dataset::builder()
+            .f64_opt("income", vec![Some(1.0), None])
+            .cat("gender", &["m", "f"])
+            .sensitive()
+            .cat("zip", &["a", "b"])
+            .quasi_identifier()
+            .build()
+            .unwrap();
+        let sheet = Datasheet::from_dataset("people", &ds);
+        assert_eq!(sheet.n_rows, 2);
+        assert_eq!(sheet.columns.len(), 3);
+        assert!(sheet.columns[1].sensitive);
+        assert!(sheet.columns[2].quasi_identifier);
+        assert_eq!(sheet.columns[0].nulls, 1);
+        assert!(sheet.to_json().unwrap().contains("quasi_identifier"));
+    }
+}

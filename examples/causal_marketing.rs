@@ -1,0 +1,73 @@
+//! Correlation is not causation: reproducing the paper's Gordon et al.
+//! (2016) discussion. Observational estimators (PSM, IPW, regression
+//! adjustment, AIPW) recover the truth when confounding is *observed*, and
+//! all drift away from the RCT answer when it is not.
+//!
+//! Run with: `cargo run --release --example causal_marketing`
+
+use fact_causal::ipw::ipw_ate;
+use fact_causal::naive::naive_difference;
+use fact_causal::propensity::{psm_ate, stratified_ate};
+use fact_causal::regression::{aipw_ate, regression_ate};
+use fact_data::synth::clinical::{generate_clinical, ClinicalConfig, CLINICAL_COVARIATES};
+use fact_data::Result;
+
+fn run_world(title: &str, cfg: &ClinicalConfig) -> Result<()> {
+    let w = generate_clinical(cfg);
+    let x = w.data.to_matrix(&CLINICAL_COVARIATES)?;
+    let t = w.data.bool_column("treated")?.to_vec();
+    let y = w.data.bool_column("recovered")?.to_vec();
+
+    println!("\n== {title} (true ATE = {:+.3}) ==", w.true_ate);
+    println!("{:<28} {:>10} {:>10}", "estimator", "estimate", "bias");
+    let show = |name: &str, est: f64| {
+        println!("{name:<28} {est:>+10.3} {:>+10.3}", est - w.true_ate);
+    };
+    show("naive (correlation)", naive_difference(&t, &y)?);
+    show("propensity matching", psm_ate(&x, &t, &y, f64::INFINITY, 0)?);
+    show("propensity strata (5)", stratified_ate(&x, &t, &y, 5, 0)?);
+    show("IPW (trim 0.01)", ipw_ate(&x, &t, &y, 0.01, 0)?);
+    show("regression adjustment", regression_ate(&x, &t, &y, 0)?);
+    show("doubly robust (AIPW)", aipw_ate(&x, &t, &y, 0.01, 0)?);
+    Ok(())
+}
+
+fn main() -> Result<()> {
+    let base = ClinicalConfig {
+        n: 30_000,
+        seed: 2026,
+        ..ClinicalConfig::default()
+    };
+
+    run_world(
+        "Randomized controlled trial (gold standard)",
+        &ClinicalConfig {
+            confounding: 0.0,
+            ..base.clone()
+        },
+    )?;
+
+    run_world(
+        "Observational, confounding on MEASURED covariates",
+        &ClinicalConfig {
+            confounding: 1.5,
+            ..base.clone()
+        },
+    )?;
+
+    run_world(
+        "Observational, UNOBSERVED confounder (the Gordon et al. case)",
+        &ClinicalConfig {
+            confounding: 0.6,
+            unobserved_confounding: 1.5,
+            ..base
+        },
+    )?;
+
+    println!(
+        "\nTakeaway: with a hidden confounder, every observational estimator stays \
+         biased — 'their outcomes might still be far away from the results one \
+         would obtain with a randomized controlled trial' (van der Aalst et al. 2017, §2)."
+    );
+    Ok(())
+}

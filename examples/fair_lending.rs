@@ -1,0 +1,119 @@
+//! Fair lending: detect proxy discrimination, then compare all four
+//! mitigation families on the same biased world.
+//!
+//! Demonstrates the paper's Q1 claims end-to-end: omitting the sensitive
+//! attribute does NOT produce fairness when a proxy leaks it, and different
+//! interventions buy fairness at different accuracy prices.
+//!
+//! Run with: `cargo run --release --example fair_lending`
+
+use responsible_data_science::prelude::*;
+
+use fact_data::split::train_test_split;
+use fact_data::synth::loans::generate_loans;
+use fact_fairness::metrics::{disparate_impact, statistical_parity_difference};
+use fact_fairness::mitigation::prejudice::{PrejudiceConfig, PrejudiceRemover};
+use fact_fairness::mitigation::repair::repair_disparate_impact;
+use fact_fairness::mitigation::reweighing::reweighing_weights;
+use fact_fairness::mitigation::threshold::equalize_selection_rates;
+use fact_fairness::proxy::scan_proxies;
+use fact_ml::metrics::accuracy;
+
+const FEATURES: [&str; 5] = [
+    "income",
+    "credit_score",
+    "debt_ratio",
+    "years_employed",
+    "zip_risk",
+];
+
+fn main() -> Result<()> {
+    let world = generate_loans(&LoanConfig {
+        n: 20_000,
+        seed: 3,
+        bias_strength: 0.45,
+        proxy_strength: 0.85,
+        feature_gap: 5.0,
+        ..LoanConfig::default()
+    });
+    let (train, test) = train_test_split(&world, 0.3, 11)?;
+
+    // --- 1. proxy detection -------------------------------------------------
+    println!("== Proxy scan (association with protected group) ==");
+    let mask_train = protected_mask(&train, "group", "B")?;
+    for s in scan_proxies(&train, &mask_train, &["group", "approved"])? {
+        println!(
+            "  {:<16} normalized MI {:.3}   |corr| {}",
+            s.feature,
+            s.normalized_mi,
+            s.abs_correlation
+                .map(|c| format!("{c:.3}"))
+                .unwrap_or_else(|| "n/a".into())
+        );
+    }
+
+    // shared pieces
+    let x_train = train.to_matrix(&FEATURES)?;
+    let y_train = train.bool_column("approved")?.to_vec();
+    let x_test = test.to_matrix(&FEATURES)?;
+    let y_test = test.bool_column("approved")?.to_vec();
+    let mask_test = protected_mask(&test, "group", "B")?;
+    let cfg = LogisticConfig::default();
+
+    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    let mut record = |name: &str, pred: &[bool]| -> Result<()> {
+        rows.push((
+            name.to_string(),
+            accuracy(&y_test, pred)?,
+            disparate_impact(pred, &mask_test)?,
+            statistical_parity_difference(pred, &mask_test)?,
+        ));
+        Ok(())
+    };
+
+    // --- 2. baseline (no mitigation) ---------------------------------------
+    let base = LogisticRegression::fit(&x_train, &y_train, None, &cfg)?;
+    record("unmitigated", &base.predict(&x_test)?)?;
+
+    // --- 3. pre-processing: reweighing --------------------------------------
+    let w = reweighing_weights(&y_train, &mask_train)?;
+    let rw = LogisticRegression::fit(&x_train, &y_train, Some(&w), &cfg)?;
+    record("reweighing (pre)", &rw.predict(&x_test)?)?;
+
+    // --- 4. pre-processing: disparate-impact repair -------------------------
+    let repaired_train = repair_disparate_impact(&train, &FEATURES, &mask_train, 1.0)?;
+    let repaired_test = repair_disparate_impact(&test, &FEATURES, &mask_test, 1.0)?;
+    let xr_train = repaired_train.to_matrix(&FEATURES)?;
+    let xr_test = repaired_test.to_matrix(&FEATURES)?;
+    let rep = LogisticRegression::fit(&xr_train, &y_train, None, &cfg)?;
+    record("DI repair λ=1 (pre)", &rep.predict(&xr_test)?)?;
+
+    // --- 5. in-processing: prejudice remover --------------------------------
+    let pr = PrejudiceRemover::fit(
+        &x_train,
+        &y_train,
+        &mask_train,
+        &PrejudiceConfig {
+            eta: 2.0,
+            ..PrejudiceConfig::default()
+        },
+    )?;
+    record("prejudice remover η=2 (in)", &pr.predict(&x_test)?)?;
+
+    // --- 6. post-processing: per-group thresholds ---------------------------
+    let scores = base.predict_proba(&x_test)?;
+    let th = equalize_selection_rates(&scores, &mask_test, 0.5)?;
+    record("threshold opt (post)", &th.apply(&scores, &mask_test)?)?;
+
+    // --- table ---------------------------------------------------------------
+    println!("\n== Mitigation comparison (test split, protected = group B) ==");
+    println!(
+        "{:<28} {:>9} {:>18} {:>9}",
+        "method", "accuracy", "disparate impact", "SPD"
+    );
+    for (name, acc, di, spd) in &rows {
+        let verdict = if *di >= 0.8 && *di <= 1.25 { "fair" } else { "UNFAIR" };
+        println!("{name:<28} {acc:>9.3} {di:>14.3} [{verdict}] {spd:>+8.3}");
+    }
+    Ok(())
+}

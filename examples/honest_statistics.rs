@@ -1,0 +1,95 @@
+//! Honest statistics: the paper's accuracy pillar in action — a fishing
+//! expedition over random predictors "discovers" effects that the hypothesis
+//! registry withdraws, and the Simpson auditor catches an aggregate trend
+//! that reverses within departments.
+//!
+//! Run with: `cargo run --release --example honest_statistics`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fact_accuracy::registry::{CorrectionMethod, HypothesisRegistry};
+use fact_accuracy::simpson::audit_simpson;
+use fact_data::synth::admissions::{generate_admissions, AdmissionsConfig};
+use fact_data::Result;
+use fact_stats::tests::welch_t_test;
+
+fn main() -> Result<()> {
+    // --- 1. the terrorist/eye-color example (§2), simulated -------------------
+    // One response variable, many random predictors: "it is likely that just
+    // by accident a combination of predictor variables explains the response".
+    println!("== Fishing expedition: 400 random predictors, pure noise ==");
+    let mut rng = StdRng::seed_from_u64(12);
+    let n = 200;
+    let response: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let mut registry = HypothesisRegistry::new();
+    for p in 0..400 {
+        let predictor: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let yes: Vec<f64> = predictor
+            .iter()
+            .zip(&response)
+            .filter(|(_, &r)| r)
+            .map(|(&v, _)| v)
+            .collect();
+        let no: Vec<f64> = predictor
+            .iter()
+            .zip(&response)
+            .filter(|(_, &r)| !r)
+            .map(|(&v, _)| v)
+            .collect();
+        let t = welch_t_test(&yes, &no)?;
+        registry.register(format!("predictor_{p}"), t.p_value)?;
+    }
+    for method in [
+        CorrectionMethod::Bonferroni,
+        CorrectionMethod::Holm,
+        CorrectionMethod::BenjaminiHochberg,
+    ] {
+        let report = registry.report(0.05, method)?;
+        println!(
+            "  {:?}: naive would claim {} discoveries → correction keeps {}",
+            method, report.naive_discoveries, report.corrected_discoveries
+        );
+    }
+
+    // --- 2. Simpson's paradox --------------------------------------------------
+    println!("\n== Simpson's paradox: Berkeley-style admissions ==");
+    let admissions = generate_admissions(&AdmissionsConfig::default());
+    let report = audit_simpson(
+        &admissions,
+        "admitted",
+        "gender",
+        "male",
+        "female",
+        "department",
+    )?;
+    println!(
+        "  aggregate admission-rate gap (male − female): {:+.3}",
+        report.aggregate_difference
+    );
+    println!("  per-department gaps:");
+    for s in &report.strata {
+        println!(
+            "    dept {}: male {:.3} vs female {:.3}  (gap {:+.3}, n={})",
+            s.stratum,
+            s.rate_group1,
+            s.rate_group2,
+            s.difference(),
+            s.n
+        );
+    }
+    println!(
+        "  department-adjusted gap: {:+.3}   reversal detected: {}",
+        report.adjusted_difference, report.reversal
+    );
+    println!(
+        "\n  The aggregate 'men are favored' trend {} once department choice is\n  \
+         accounted for — exactly the paradox the paper warns about (§2).",
+        if report.adjusted_difference <= 0.0 {
+            "reverses"
+        } else {
+            "vanishes"
+        }
+    );
+    Ok(())
+}

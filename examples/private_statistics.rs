@@ -1,0 +1,115 @@
+//! Private statistics: answering questions about census microdata "without
+//! revealing secrets" (paper Q3) — differential privacy under a strict
+//! budget, k-anonymity for microdata release, and pseudonymization.
+//!
+//! Run with: `cargo run --release --example private_statistics`
+
+use fact_confidentiality::accountant::{
+    advanced_composition_epsilon, queries_affordable_advanced,
+};
+use fact_confidentiality::kanon::{max_t_distance, min_l_diversity, mondrian_k_anonymize};
+use fact_confidentiality::mechanisms::{dp_count, dp_histogram, dp_mean, dp_quantile};
+use fact_confidentiality::pseudo::Pseudonymizer;
+use fact_confidentiality::risk::schema_risk;
+use fact_confidentiality::PrivacyAccountant;
+use fact_data::synth::census::{generate_census, CensusConfig, DIAGNOSES};
+use fact_data::Result;
+use fact_stats::descriptive::mean;
+
+fn main() -> Result<()> {
+    let census = generate_census(&CensusConfig {
+        n: 10_000,
+        seed: 5,
+        ..CensusConfig::default()
+    });
+    let salaries = census.f64_column("salary")?;
+    let true_mean = mean(&salaries)?;
+
+    // --- 1. the raw data is dangerous ---------------------------------------
+    let risk = schema_risk(&census)?;
+    println!("== Raw microdata risk (quasi-identifiers: age, sex, zipcode) ==");
+    println!(
+        "  unique records: {:.1}%   prosecutor re-identification risk: {:.3}",
+        100.0 * risk.unique_fraction,
+        risk.prosecutor_risk
+    );
+
+    // --- 2. DP aggregate queries under a strict budget ----------------------
+    println!("\n== DP query session (total budget ε = 1.0) ==");
+    let mut acc = PrivacyAccountant::pure(1.0)?;
+    acc.spend(0.2, 0.0, "population count")?;
+    let count = dp_count(census.n_rows(), 0.2, 101)?;
+    println!("  population count      ≈ {count:.0}   (true {})", census.n_rows());
+
+    acc.spend(0.3, 0.0, "mean salary")?;
+    let m = dp_mean(&salaries, 0.0, 250.0, 0.3, 102)?;
+    println!("  mean salary           ≈ ${m:.1}k (true ${true_mean:.1}k)");
+
+    acc.spend(0.3, 0.0, "median salary")?;
+    let med = dp_quantile(&salaries, 0.5, 0.0, 250.0, 0.3, 103)?;
+    println!("  median salary         ≈ ${med:.1}k");
+
+    acc.spend(0.2, 0.0, "diagnosis histogram")?;
+    let diag = census.labels("diagnosis")?;
+    let counts: Vec<u64> = DIAGNOSES
+        .iter()
+        .map(|d| diag.iter().filter(|x| x == d).count() as u64)
+        .collect();
+    let noisy = dp_histogram(&counts, 0.2, 104)?;
+    println!("  diagnosis histogram   (noised):");
+    for (d, (n, t)) in DIAGNOSES.iter().zip(noisy.iter().zip(&counts)) {
+        println!("      {d:<10} ≈ {n:>7.0}  (true {t})");
+    }
+
+    println!("  budget remaining: ε = {:.3}", acc.remaining_epsilon());
+    match acc.spend(0.2, 0.0, "one query too many") {
+        Err(e) => println!("  next query DENIED: {e}"),
+        Ok(()) => println!("  unexpected: budget allowed another query"),
+    }
+    println!("  ledger:");
+    for entry in acc.ledger() {
+        println!("      ε {:>4.2}  {}", entry.epsilon, entry.label);
+    }
+
+    // --- 3. composition accounting -------------------------------------------
+    println!("\n== How many ε=0.01 queries fit in ε_total = 1.0? ==");
+    println!("  basic composition:    {}", (1.0f64 / 0.01) as usize);
+    let k_adv = queries_affordable_advanced(1.0, 0.01, 1e-5)?;
+    println!("  advanced composition: {k_adv}  (δ' = 1e-5)");
+    println!(
+        "  (100 queries cost ε = {:.3} under advanced composition)",
+        advanced_composition_epsilon(100, 0.01, 1e-5)?
+    );
+
+    // --- 4. k-anonymity for microdata release --------------------------------
+    println!("\n== Mondrian k-anonymization of the microdata ==");
+    println!(
+        "{:>5} {:>14} {:>12} {:>12} {:>13} {:>12}",
+        "k", "classes", "min class", "info loss", "l-diversity", "t-distance"
+    );
+    for k in [2, 5, 10, 25, 50] {
+        let anon = mondrian_k_anonymize(&census, &["age", "sex", "zipcode"], k)?;
+        println!(
+            "{k:>5} {:>14} {:>12} {:>12.3} {:>13} {:>12.3}",
+            anon.n_classes,
+            anon.min_class_size(),
+            anon.information_loss,
+            min_l_diversity(&anon, "diagnosis")?,
+            max_t_distance(&anon, "diagnosis")?,
+        );
+    }
+
+    // --- 5. pseudonymization --------------------------------------------------
+    println!("\n== Polymorphic pseudonymization ==");
+    let research = Pseudonymizer::new(0xAAAA_BBBB);
+    let billing = Pseudonymizer::new(0xCCCC_DDDD);
+    for id in ["patient-0017", "patient-0018"] {
+        println!(
+            "  {id}  → research domain {}  billing domain {}",
+            research.token(id),
+            billing.token(id)
+        );
+    }
+    println!("  (same key → joinable; different key → unlinkable)");
+    Ok(())
+}

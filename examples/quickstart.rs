@@ -1,0 +1,133 @@
+//! Quickstart: a careless lending pipeline fails FACT certification; a
+//! remediated one passes.
+//!
+//! The world has *historical label bias*: 45% of deserving group-B approvals
+//! were recorded as rejections, and a `zip_risk` column proxies group
+//! membership. The careless pipeline learns the discrimination from the
+//! proxy; the remediated one drops the proxy and reweighs training
+//! instances (Kamiran–Calders) to undo the label-mass distortion.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use responsible_data_science::prelude::*;
+
+use fact_data::synth::loans::generate_loans;
+use fact_data::Dataset;
+use fact_fairness::mitigation::reweighing::reweighing_weights;
+
+fn policy() -> FactPolicy {
+    let mut policy = FactPolicy::strict("group", "B");
+    if let Some(f) = policy.fairness.as_mut() {
+        // The recorded labels are themselves the product of discrimination,
+        // so error rates measured against them (equalized odds) are not
+        // meaningful here; we certify on selection-based metrics (DI/SPD).
+        f.thresholds.max_equalized_odds = 1.0;
+    }
+    if let Some(a) = policy.accuracy.as_mut() {
+        // 45% label corruption in the protected group caps achievable
+        // agreement with the recorded labels.
+        a.min_accuracy = 0.65;
+    }
+    policy
+}
+
+fn plain_trainer(
+    x: &Matrix,
+    y: &[bool],
+    _train: &Dataset,
+    seed: u64,
+) -> Result<Box<dyn Classifier>> {
+    let cfg = LogisticConfig {
+        seed,
+        ..LogisticConfig::default()
+    };
+    Ok(Box::new(LogisticRegression::fit(x, y, None, &cfg)?))
+}
+
+fn reweighing_trainer(
+    x: &Matrix,
+    y: &[bool],
+    train: &Dataset,
+    seed: u64,
+) -> Result<Box<dyn Classifier>> {
+    let mask = protected_mask(train, "group", "B")?;
+    let weights = reweighing_weights(y, &mask)?;
+    let cfg = LogisticConfig {
+        seed,
+        ..LogisticConfig::default()
+    };
+    Ok(Box::new(LogisticRegression::fit(x, y, Some(&weights), &cfg)?))
+}
+
+fn main() -> Result<()> {
+    let world = generate_loans(&LoanConfig {
+        n: 12_000,
+        seed: 7,
+        bias_strength: 0.45,
+        proxy_strength: 0.9,
+        ..LoanConfig::default()
+    });
+
+    println!("=== Attempt 1: careless pipeline (trains on the zip_risk proxy) ===\n");
+    let mut careless = GuardedPipeline::new(policy())?;
+    careless.load_data("loan_applications", "quickstart", world.clone())?;
+    let proxy_features = [
+        "income",
+        "credit_score",
+        "debt_ratio",
+        "years_employed",
+        "zip_risk",
+    ];
+    careless.train(
+        "loan-model-v1",
+        "quickstart",
+        &proxy_features,
+        "approved",
+        42,
+        plain_trainer,
+    )?;
+    let audit = careless.audit_fairness()?;
+    println!("{audit}\n");
+    if let Some(card) = careless.model_card_mut() {
+        card.intended_use = "consumer loan approval".into();
+    }
+    careless.audit_transparency()?;
+    let mean_income = careless.release_mean("income", 0.0, 250.0, 0.4, 1)?;
+    println!("DP-released mean income: ${mean_income:.1}k (ε=0.4)\n");
+    let report1 = careless.certify();
+    println!("{report1}\n");
+    assert!(!report1.is_green());
+
+    println!("\n=== Attempt 2: remediated pipeline (legit features + reweighing) ===\n");
+    let mut responsible = GuardedPipeline::new(policy())?;
+    responsible.load_data("loan_applications", "quickstart", world)?;
+    responsible.train(
+        "loan-model-v2",
+        "quickstart",
+        &LEGIT_FEATURES,
+        "approved",
+        42,
+        reweighing_trainer,
+    )?;
+    let audit2 = responsible.audit_fairness()?;
+    println!("{audit2}\n");
+    if let Some(card) = responsible.model_card_mut() {
+        card.intended_use = "consumer loan approval (remediated)".into();
+    }
+    responsible.audit_transparency()?;
+    responsible.release_mean("income", 0.0, 250.0, 0.4, 2)?;
+    let report2 = responsible.certify();
+    println!("{report2}\n");
+
+    println!("model lineage: {:?}", responsible.model_lineage()?);
+    println!(
+        "audit log: {} entries, chain {}",
+        responsible.audit_log().len(),
+        if responsible.audit_log().verify().is_none() {
+            "intact"
+        } else {
+            "BROKEN"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! The `fact` command-line tool: responsible data science audits on CSV
+//! files. See `fact help` or [`responsible_data_science::cli::USAGE`].
+
+use responsible_data_science::cli::{run, CliArgs, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match CliArgs::parse(args).and_then(|a| run(&a)) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(1);
+        }
+    }
+}

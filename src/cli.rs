@@ -1,0 +1,346 @@
+//! Implementation of the `fact` command-line tool.
+//!
+//! Logic lives here (library-testable); `src/bin/fact.rs` is a thin wrapper.
+//! Subcommands map to the four pillars on plain CSV files:
+//!
+//! ```text
+//! fact describe  --csv data.csv
+//! fact audit     --csv data.csv --outcome approved --protected group=B
+//! fact anonymize --csv data.csv --out anon.csv --k 10 --quasi age,sex,zipcode
+//! fact dp-mean   --csv data.csv --column salary --lo 0 --hi 250 --epsilon 0.5
+//! fact risk      --csv data.csv --quasi age,sex,zipcode
+//! ```
+
+use std::collections::HashMap;
+
+use fact_confidentiality::kanon::mondrian_k_anonymize;
+use fact_confidentiality::mechanisms::dp_mean;
+use fact_confidentiality::risk::reidentification_risk;
+use fact_data::csv::{read_csv_path, write_csv_path};
+use fact_data::{Dataset, FactError, Result};
+use fact_fairness::report::{FairnessReport, FairnessThresholds};
+use fact_fairness::{protected_mask, proxy::scan_proxies};
+
+/// Parsed command-line arguments: positional subcommand plus `--key value`
+/// options.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+}
+
+impl CliArgs {
+    /// Parse from an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self> {
+        let mut iter = args.into_iter();
+        let command = iter
+            .next()
+            .ok_or_else(|| FactError::InvalidArgument(USAGE.trim().to_string()))?;
+        let mut options = HashMap::new();
+        while let Some(key) = iter.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| {
+                    FactError::InvalidArgument(format!("expected --option, got '{key}'"))
+                })?
+                .to_string();
+            let value = iter.next().ok_or_else(|| {
+                FactError::InvalidArgument(format!("--{key} requires a value"))
+            })?;
+            options.insert(key, value);
+        }
+        Ok(CliArgs { command, options })
+    }
+
+    fn require(&self, key: &str) -> Result<&str> {
+        self.options
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| FactError::InvalidArgument(format!("missing required option --{key}")))
+    }
+
+    fn require_f64(&self, key: &str) -> Result<f64> {
+        self.require(key)?.parse::<f64>().map_err(|_| {
+            FactError::InvalidArgument(format!("--{key} must be a number"))
+        })
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+fact — responsible data science audits on CSV files
+
+USAGE:
+  fact describe  --csv FILE
+  fact audit     --csv FILE --outcome COL --protected COL=LABEL
+  fact anonymize --csv FILE --out FILE --k N --quasi COL,COL,...
+  fact dp-mean   --csv FILE --column COL --lo N --hi N --epsilon E [--seed N]
+  fact risk      --csv FILE --quasi COL,COL,...
+";
+
+/// Run a parsed command; returns the text to print.
+pub fn run(args: &CliArgs) -> Result<String> {
+    match args.command.as_str() {
+        "describe" => describe(args),
+        "audit" => audit(args),
+        "anonymize" => anonymize(args),
+        "dp-mean" => dp_mean_cmd(args),
+        "risk" => risk_cmd(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(FactError::InvalidArgument(format!(
+            "unknown command '{other}'\n{USAGE}"
+        ))),
+    }
+}
+
+fn load(args: &CliArgs) -> Result<Dataset> {
+    read_csv_path(args.require("csv")?)
+}
+
+fn describe(args: &CliArgs) -> Result<String> {
+    let ds = load(args)?;
+    let mut out = format!("{} rows × {} columns\n\n", ds.n_rows(), ds.n_cols());
+    out.push_str(&format!(
+        "{:<20} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9}\n",
+        "column", "type", "nulls", "mean", "std", "min", "max", "distinct"
+    ));
+    for row in ds.summary() {
+        let fmt = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "{:<20} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9}\n",
+            row.name,
+            row.dtype.to_string(),
+            row.nulls,
+            fmt(row.mean),
+            fmt(row.std),
+            fmt(row.min),
+            fmt(row.max),
+            row.distinct
+        ));
+    }
+    Ok(out)
+}
+
+fn audit(args: &CliArgs) -> Result<String> {
+    let ds = load(args)?;
+    let outcome_col = args.require("outcome")?;
+    let protected = args.require("protected")?;
+    let (col, label) = protected.split_once('=').ok_or_else(|| {
+        FactError::InvalidArgument("--protected must be COLUMN=LABEL".into())
+    })?;
+    let outcomes = ds.bool_column(outcome_col)?.to_vec();
+    let mask = protected_mask(&ds, col, label)?;
+    let report = FairnessReport::audit(None, &outcomes, &mask, FairnessThresholds::default())?;
+    let mut out = format!("{report}\n\nProxy scan (association with {col}={label}):\n");
+    for s in scan_proxies(&ds, &mask, &[col, outcome_col])? {
+        out.push_str(&format!(
+            "  {:<20} normalized MI {:.3}\n",
+            s.feature, s.normalized_mi
+        ));
+    }
+    Ok(out)
+}
+
+fn anonymize(args: &CliArgs) -> Result<String> {
+    let ds = load(args)?;
+    let k = args.require("k")?.parse::<usize>().map_err(|_| {
+        FactError::InvalidArgument("--k must be a positive integer".into())
+    })?;
+    let quasi: Vec<&str> = args.require("quasi")?.split(',').collect();
+    let before = reidentification_risk(&ds, &quasi)?;
+    let anon = mondrian_k_anonymize(&ds, &quasi, k)?;
+    let after = reidentification_risk(&anon.data, &quasi)?;
+    write_csv_path(&anon.data, args.require("out")?)?;
+    Ok(format!(
+        "anonymized {} rows at k={k}: {} classes, information loss {:.3}\n\
+         prosecutor risk {:.3} → {:.3}, unique records {:.1}% → {:.1}%\n\
+         written to {}",
+        ds.n_rows(),
+        anon.n_classes,
+        anon.information_loss,
+        before.prosecutor_risk,
+        after.prosecutor_risk,
+        100.0 * before.unique_fraction,
+        100.0 * after.unique_fraction,
+        args.require("out")?
+    ))
+}
+
+fn dp_mean_cmd(args: &CliArgs) -> Result<String> {
+    let ds = load(args)?;
+    let column = args.require("column")?;
+    let lo = args.require_f64("lo")?;
+    let hi = args.require_f64("hi")?;
+    let epsilon = args.require_f64("epsilon")?;
+    let seed = args
+        .options
+        .get("seed")
+        .map(|s| s.parse::<u64>().unwrap_or(0))
+        .unwrap_or(0);
+    let values = ds.f64_column(column)?;
+    let released = dp_mean(&values, lo, hi, epsilon, seed)?;
+    Ok(format!(
+        "dp_mean({column}) = {released:.4}   (ε = {epsilon}, bounds [{lo}, {hi}], n = {})",
+        values.len()
+    ))
+}
+
+fn risk_cmd(args: &CliArgs) -> Result<String> {
+    let ds = load(args)?;
+    let quasi: Vec<&str> = args.require("quasi")?.split(',').collect();
+    let r = reidentification_risk(&ds, &quasi)?;
+    Ok(format!(
+        "re-identification risk over {:?}:\n  unique records: {:.1}%\n  prosecutor risk: {:.3}\n  QI classes: {} (min size {})",
+        quasi,
+        100.0 * r.unique_fraction,
+        r.prosecutor_risk,
+        r.n_classes,
+        r.min_class_size
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_data::synth::census::{generate_census, CensusConfig};
+    use fact_data::synth::loans::{generate_loans, LoanConfig};
+
+    fn argv(parts: &[&str]) -> CliArgs {
+        CliArgs::parse(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("fact_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parse_subcommand_and_options() {
+        let a = argv(&["audit", "--csv", "f.csv", "--outcome", "y"]);
+        assert_eq!(a.command, "audit");
+        assert_eq!(a.require("csv").unwrap(), "f.csv");
+        assert!(a.require("missing").is_err());
+        assert!(CliArgs::parse(std::iter::empty()).is_err());
+        assert!(CliArgs::parse(["x".to_string(), "nodash".to_string()]).is_err());
+        assert!(CliArgs::parse(["x".to_string(), "--dangling".to_string()]).is_err());
+    }
+
+    #[test]
+    fn describe_prints_summary() {
+        let path = tmp("describe.csv");
+        let ds = generate_loans(&LoanConfig {
+            n: 200,
+            seed: 1,
+            ..LoanConfig::default()
+        });
+        fact_data::csv::write_csv_path(&ds, &path).unwrap();
+        let out = run(&argv(&["describe", "--csv", &path])).unwrap();
+        assert!(out.contains("200 rows"));
+        assert!(out.contains("income"));
+        assert!(out.contains("categorical"));
+    }
+
+    #[test]
+    fn audit_detects_bias_in_csv() {
+        let path = tmp("audit.csv");
+        let ds = generate_loans(&LoanConfig {
+            n: 5_000,
+            seed: 2,
+            bias_strength: 0.5,
+            proxy_strength: 0.9,
+            ..LoanConfig::default()
+        });
+        fact_data::csv::write_csv_path(&ds, &path).unwrap();
+        let out = run(&argv(&[
+            "audit",
+            "--csv",
+            &path,
+            "--outcome",
+            "approved",
+            "--protected",
+            "group=B",
+        ]))
+        .unwrap();
+        assert!(out.contains("UNFAIR"), "{out}");
+        assert!(out.contains("zip_risk"));
+    }
+
+    #[test]
+    fn anonymize_round_trip_via_files() {
+        let input = tmp("anon_in.csv");
+        let output = tmp("anon_out.csv");
+        let ds = generate_census(&CensusConfig {
+            n: 800,
+            seed: 3,
+            ..CensusConfig::default()
+        });
+        fact_data::csv::write_csv_path(&ds, &input).unwrap();
+        let out = run(&argv(&[
+            "anonymize",
+            "--csv",
+            &input,
+            "--out",
+            &output,
+            "--k",
+            "10",
+            "--quasi",
+            "age,sex,zipcode",
+        ]))
+        .unwrap();
+        assert!(out.contains("k=10"));
+        let released = fact_data::csv::read_csv_path(&output).unwrap();
+        assert!(fact_confidentiality::kanon::is_k_anonymous(
+            &released,
+            &["age", "sex", "zipcode"],
+            10
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn dp_mean_command() {
+        let path = tmp("dp.csv");
+        let ds = generate_census(&CensusConfig {
+            n: 2_000,
+            seed: 4,
+            ..CensusConfig::default()
+        });
+        fact_data::csv::write_csv_path(&ds, &path).unwrap();
+        let out = run(&argv(&[
+            "dp-mean", "--csv", &path, "--column", "salary", "--lo", "0", "--hi", "250",
+            "--epsilon", "1.0",
+        ]))
+        .unwrap();
+        assert!(out.contains("dp_mean(salary)"));
+        // the released value should be near the true mean
+        let truth: f64 = ds.f64_column("salary").unwrap().iter().sum::<f64>() / 2_000.0;
+        let released: f64 = out
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((released - truth).abs() < 2.0);
+    }
+
+    #[test]
+    fn risk_command_and_errors() {
+        let path = tmp("risk.csv");
+        let ds = generate_census(&CensusConfig {
+            n: 500,
+            seed: 5,
+            ..CensusConfig::default()
+        });
+        fact_data::csv::write_csv_path(&ds, &path).unwrap();
+        let out = run(&argv(&["risk", "--csv", &path, "--quasi", "age,sex,zipcode"])).unwrap();
+        assert!(out.contains("prosecutor risk"));
+        assert!(run(&argv(&["unknown-cmd"])).is_err());
+        assert!(run(&argv(&["help"])).unwrap().contains("USAGE"));
+    }
+}

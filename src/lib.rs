@@ -1,0 +1,74 @@
+//! # Responsible Data Science — the FACT toolkit
+//!
+//! A Rust implementation of the research agenda set out in *Responsible Data
+//! Science* (van der Aalst, Bichler & Heinzl, Business & Information Systems
+//! Engineering 59(5), 2017): information systems that ensure **F**airness,
+//! **A**ccuracy, **C**onfidentiality, and **T**ransparency *by design* —
+//! "green data science".
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | Module | Crate | Pillar |
+//! |---|---|---|
+//! | [`data`] | `fact-data` | substrate: columnar datasets, synthetic worlds, event streams |
+//! | [`stats`] | `fact-stats` | substrate: inference engine |
+//! | [`ml`] | `fact-ml` | substrate: learners and metrics |
+//! | [`fairness`] | `fact-fairness` | Q1 — fairness metrics & mitigation |
+//! | [`accuracy`] | `fact-accuracy` | Q2 — multiple testing, Simpson, uncertainty |
+//! | [`confidentiality`] | `fact-confidentiality` | Q3 — differential privacy, k-anonymity |
+//! | [`transparency`] | `fact-transparency` | Q4 — provenance, audit, explanations |
+//! | [`causal`] | `fact-causal` | substrate: causal estimators (§2's PSM/IPW discussion) |
+//! | [`core`] | `fact-core` | §3–4 — the FACT-guarded pipeline and green certification |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use responsible_data_science::prelude::*;
+//!
+//! // A synthetic lending world with historical bias against group B.
+//! let ds = generate_loans(&LoanConfig {
+//!     n: 4_000,
+//!     seed: 7,
+//!     bias_strength: 0.4,
+//!     ..LoanConfig::default()
+//! });
+//!
+//! // A pipeline governed by all four FACT pillars.
+//! let mut pipeline = GuardedPipeline::new(FactPolicy::strict("group", "B")).unwrap();
+//! pipeline.load_data("loans", "quickstart", ds).unwrap();
+//! pipeline
+//!     .train("loan-model", "quickstart", &LEGIT_FEATURES, "approved", 42, |x, y, _train, seed| {
+//!         let cfg = LogisticConfig { seed, ..LogisticConfig::default() };
+//!         Ok(Box::new(LogisticRegression::fit(x, y, None, &cfg)?))
+//!     })
+//!     .unwrap();
+//! let fairness = pipeline.audit_fairness().unwrap();
+//! let report = pipeline.certify();
+//! // the biased world fails certification
+//! assert!(!fairness.is_fair());
+//! assert!(!report.is_green());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use fact_accuracy as accuracy;
+pub use fact_causal as causal;
+pub use fact_confidentiality as confidentiality;
+pub use fact_core as core;
+pub use fact_data as data;
+pub use fact_fairness as fairness;
+pub use fact_ml as ml;
+pub use fact_stats as stats;
+pub use fact_transparency as transparency;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use fact_core::{FactPolicy, FactReport, GuardedPipeline, Pillar};
+    pub use fact_data::synth::loans::{generate_loans, LoanConfig, LEGIT_FEATURES};
+    pub use fact_data::{Dataset, DatasetBuilder, FactError, Matrix, Result};
+    pub use fact_fairness::{protected_mask, FairnessReport, FairnessThresholds};
+    pub use fact_ml::logistic::{LogisticConfig, LogisticRegression};
+    pub use fact_ml::Classifier;
+}

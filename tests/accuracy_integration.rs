@@ -1,0 +1,133 @@
+//! Cross-crate accuracy integration: the multiple-testing trap, Simpson
+//! detection on generated admissions, and bootstrap uncertainty around a
+//! real model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fact_accuracy::registry::{CorrectionMethod, HypothesisRegistry};
+use fact_accuracy::simpson::{audit_simpson, scan_stratifiers};
+use fact_accuracy::uncertainty::BootstrapEnsemble;
+use fact_data::synth::admissions::{generate_admissions, AdmissionsConfig};
+use fact_data::{Matrix, Result};
+use fact_ml::logistic::{LogisticConfig, LogisticRegression};
+use fact_ml::Classifier;
+use fact_stats::tests::welch_t_test;
+
+/// The paper's "terrorist attack / eye color" parable, across seeds: a pure
+/// noise world almost always yields naive "discoveries" at m=500, and FWER
+/// corrections withdraw essentially all of them.
+#[test]
+fn fishing_expeditions_produce_false_discoveries_and_corrections_stop_them() {
+    let mut total_naive = 0usize;
+    let mut total_corrected = 0usize;
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 150;
+        let response: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let mut reg = HypothesisRegistry::new();
+        for p in 0..500 {
+            let x: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+            let yes: Vec<f64> = x
+                .iter()
+                .zip(&response)
+                .filter(|(_, &r)| r)
+                .map(|(&v, _)| v)
+                .collect();
+            let no: Vec<f64> = x
+                .iter()
+                .zip(&response)
+                .filter(|(_, &r)| !r)
+                .map(|(&v, _)| v)
+                .collect();
+            let t = welch_t_test(&yes, &no).unwrap();
+            reg.register(format!("p{p}"), t.p_value).unwrap();
+        }
+        let rep = reg.report(0.05, CorrectionMethod::Holm).unwrap();
+        total_naive += rep.naive_discoveries;
+        total_corrected += rep.corrected_discoveries;
+    }
+    // ~5% of 2500 null tests ≈ 125 naive discoveries expected
+    assert!(
+        total_naive > 60,
+        "noise should produce many naive 'discoveries': {total_naive}"
+    );
+    assert!(
+        total_corrected <= 1,
+        "Holm should withdraw them: kept {total_corrected}"
+    );
+}
+
+#[test]
+fn simpson_reversal_detected_on_generated_admissions_at_all_sizes() {
+    for n in [2_000, 8_000, 24_000] {
+        let ds = generate_admissions(&AdmissionsConfig { n, seed: n as u64 });
+        let rep =
+            audit_simpson(&ds, "admitted", "gender", "male", "female", "department").unwrap();
+        assert!(rep.aggregate_difference > 0.05, "n={n}");
+        assert!(
+            rep.adjusted_difference < rep.aggregate_difference - 0.05,
+            "n={n}: stratification must shrink the gap"
+        );
+    }
+}
+
+#[test]
+fn stratifier_scan_ranks_the_true_confounder_first() {
+    let ds = generate_admissions(&AdmissionsConfig::default());
+    // add two irrelevant stratifiers
+    let mut ds2 = ds.clone();
+    let coin: Vec<&str> = (0..ds.n_rows())
+        .map(|i| if i % 2 == 0 { "h" } else { "t" })
+        .collect();
+    ds2.add_column("coin", fact_data::Column::from_labels(&coin))
+        .unwrap();
+    let reports = scan_stratifiers(
+        &ds2,
+        "admitted",
+        "gender",
+        "male",
+        "female",
+        &["coin", "department"],
+    )
+    .unwrap();
+    let dept = reports
+        .iter()
+        .find(|r| r.stratifier == "department")
+        .unwrap();
+    let coin = reports.iter().find(|r| r.stratifier == "coin").unwrap();
+    // department shrinks the gap dramatically; the coin does not
+    assert!(dept.adjusted_difference.abs() < 0.06);
+    assert!((coin.adjusted_difference - coin.aggregate_difference).abs() < 0.02);
+}
+
+#[test]
+fn bootstrap_uncertainty_wraps_a_real_classifier() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 800;
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a: f64 = rng.gen_range(-2.0..2.0);
+        let b: f64 = rng.gen_range(-2.0..2.0);
+        rows.push(vec![a, b]);
+        y.push(a - b + rng.gen_range(-0.5..0.5) > 0.0);
+    }
+    let x = Matrix::from_rows(&rows).unwrap();
+    let trainer = |xt: &Matrix, yt: &[bool], seed: u64| -> Result<Box<dyn Classifier>> {
+        let cfg = LogisticConfig {
+            seed,
+            epochs: 25,
+            ..LogisticConfig::default()
+        };
+        Ok(Box::new(LogisticRegression::fit(xt, yt, None, &cfg)?))
+    };
+    let ens = BootstrapEnsemble::fit(&x, &y, 12, 0.9, 7, trainer).unwrap();
+    let probe = Matrix::from_rows(&[vec![2.0, -2.0], vec![0.05, 0.05]]).unwrap();
+    let preds = ens.predict_with_uncertainty(&probe).unwrap();
+    // deep in the positive class: confident and stable
+    assert!(preds[0].mean > 0.9);
+    assert!(preds[0].decision_is_stable());
+    // near the boundary: wider interval
+    assert!(preds[1].width() >= preds[0].width());
+}

@@ -1,0 +1,228 @@
+//! End-to-end integration: the full FACT pipeline across every crate.
+
+use responsible_data_science::prelude::*;
+
+use fact_core::Pillar;
+use fact_data::synth::loans::generate_loans;
+use fact_data::Dataset;
+use fact_fairness::mitigation::reweighing::reweighing_weights;
+
+fn plain(x: &Matrix, y: &[bool], _d: &Dataset, seed: u64) -> Result<Box<dyn Classifier>> {
+    let cfg = LogisticConfig {
+        seed,
+        ..LogisticConfig::default()
+    };
+    Ok(Box::new(LogisticRegression::fit(x, y, None, &cfg)?))
+}
+
+fn reweighed(x: &Matrix, y: &[bool], d: &Dataset, seed: u64) -> Result<Box<dyn Classifier>> {
+    let mask = protected_mask(d, "group", "B")?;
+    let w = reweighing_weights(y, &mask)?;
+    let cfg = LogisticConfig {
+        seed,
+        ..LogisticConfig::default()
+    };
+    Ok(Box::new(LogisticRegression::fit(x, y, Some(&w), &cfg)?))
+}
+
+fn lenient_policy() -> FactPolicy {
+    let mut p = FactPolicy::strict("group", "B");
+    if let Some(f) = p.fairness.as_mut() {
+        f.thresholds.max_equalized_odds = 1.0; // labels are bias-corrupted
+    }
+    if let Some(a) = p.accuracy.as_mut() {
+        a.min_accuracy = 0.6;
+    }
+    p
+}
+
+#[test]
+fn biased_world_fails_then_remediation_passes() {
+    let world = generate_loans(&LoanConfig {
+        n: 10_000,
+        seed: 31,
+        bias_strength: 0.45,
+        proxy_strength: 0.9,
+        ..LoanConfig::default()
+    });
+
+    // careless: proxy feature included
+    let mut careless = GuardedPipeline::new(lenient_policy()).unwrap();
+    careless.load_data("loans", "test", world.clone()).unwrap();
+    let with_proxy = [
+        "income",
+        "credit_score",
+        "debt_ratio",
+        "years_employed",
+        "zip_risk",
+    ];
+    careless
+        .train("v1", "test", &with_proxy, "approved", 1, plain)
+        .unwrap();
+    careless.audit_fairness().unwrap();
+    let r1 = careless.certify();
+    assert!(!r1.is_green());
+    assert!(!r1.pillar_passes(Pillar::Fairness));
+
+    // remediated
+    let mut fixed = GuardedPipeline::new(lenient_policy()).unwrap();
+    fixed.load_data("loans", "test", world).unwrap();
+    fixed
+        .train("v2", "test", &LEGIT_FEATURES, "approved", 1, reweighed)
+        .unwrap();
+    let audit = fixed.audit_fairness().unwrap();
+    assert!(audit.passes_disparate_impact(), "DI {}", audit.disparate_impact);
+    if let Some(card) = fixed.model_card_mut() {
+        card.intended_use = "integration test".into();
+    }
+    fixed.audit_transparency().unwrap();
+    fixed.release_mean("income", 0.0, 250.0, 0.3, 5).unwrap();
+    let r2 = fixed.certify();
+    assert!(r2.is_green(), "remediated pipeline must be green:\n{r2}");
+}
+
+#[test]
+fn certification_artifacts_are_exportable() {
+    let world = generate_loans(&LoanConfig {
+        n: 4_000,
+        seed: 5,
+        ..LoanConfig::default()
+    });
+    let mut p = GuardedPipeline::new(lenient_policy()).unwrap();
+    p.load_data("loans", "test", world).unwrap();
+    p.train("m", "test", &LEGIT_FEATURES, "approved", 9, plain)
+        .unwrap();
+    p.audit_fairness().unwrap();
+    let report = p.certify();
+    // JSON artifacts for registries/auditors
+    let json = report.to_json();
+    assert!(json.contains("checks"));
+    let prov_json = p.provenance().to_json().unwrap();
+    assert!(prov_json.contains("loans"));
+    let audit_json = p.audit_log().to_json();
+    assert!(audit_json.contains("guard:"));
+}
+
+#[test]
+fn transform_stage_composes_with_guards() {
+    let mut world = generate_loans(&LoanConfig {
+        n: 3_000,
+        seed: 8,
+        ..LoanConfig::default()
+    });
+    // poke some nulls into a copy of income
+    let mut vals: Vec<Option<f64>> = world
+        .f64_column("income")
+        .unwrap()
+        .into_iter()
+        .map(Some)
+        .collect();
+    vals[0] = None;
+    vals[1] = None;
+    world
+        .replace_column("income", fact_data::Column::from_f64_opt(vals))
+        .unwrap();
+
+    let mut p = GuardedPipeline::new(lenient_policy()).unwrap();
+    p.load_data("loans", "test", world).unwrap();
+    p.transform("drop_nulls", "engineer", |d| Ok(d.drop_nulls()))
+        .unwrap();
+    assert_eq!(p.data().unwrap().n_rows(), 2_998);
+    p.train("m", "test", &LEGIT_FEATURES, "approved", 2, plain)
+        .unwrap();
+    let lineage = p.model_lineage().unwrap();
+    assert!(lineage.iter().any(|n| n.contains("drop_nulls")));
+    assert!(lineage.iter().any(|n| n == "loans"));
+}
+
+#[test]
+fn audit_log_spans_the_whole_run_and_verifies() {
+    let world = generate_loans(&LoanConfig {
+        n: 3_000,
+        seed: 13,
+        ..LoanConfig::default()
+    });
+    let mut p = GuardedPipeline::new(lenient_policy()).unwrap();
+    p.load_data("loans", "ingest", world).unwrap();
+    p.train("m", "ml", &LEGIT_FEATURES, "approved", 3, plain)
+        .unwrap();
+    p.audit_fairness().unwrap();
+    p.release_mean("income", 0.0, 250.0, 0.2, 1).unwrap();
+    p.explain_decision(0).unwrap();
+    let log = p.audit_log();
+    assert!(log.verify().is_none());
+    let actions: Vec<&str> = log.entries().iter().map(|e| e.action.as_str()).collect();
+    assert!(actions.contains(&"load_data"));
+    assert!(actions.contains(&"train"));
+    assert!(actions.contains(&"release"));
+    assert!(actions.contains(&"explain_decision"));
+}
+
+#[test]
+fn intersectional_audit_integrates_with_certification() {
+    let world = generate_loans(&LoanConfig {
+        n: 8_000,
+        seed: 21,
+        ..LoanConfig::default()
+    });
+    let mut p = GuardedPipeline::new(lenient_policy()).unwrap();
+    p.load_data("loans", "test", world).unwrap();
+    p.train("m", "test", &LEGIT_FEATURES, "approved", 2, plain)
+        .unwrap();
+    let report = p.audit_intersectional(&["group"]).unwrap();
+    assert!(!report.subgroups.is_empty());
+    // the fair world should pass the subgroup guard
+    let cert = p.certify();
+    let guard = cert
+        .checks
+        .iter()
+        .find(|c| c.name == "intersectional audit")
+        .unwrap();
+    assert!(guard.passed, "{}", guard.detail);
+}
+
+#[test]
+fn counterfactual_recourse_is_offered_and_logged() {
+    let world = generate_loans(&LoanConfig {
+        n: 6_000,
+        seed: 23,
+        ..LoanConfig::default()
+    });
+    let mut p = GuardedPipeline::new(lenient_policy()).unwrap();
+    p.load_data("loans", "test", world).unwrap();
+    p.train("m", "test", &LEGIT_FEATURES, "approved", 3, plain)
+        .unwrap();
+    // find a rejected test row and ask for recourse
+    let mut offered = false;
+    for row in 0..50 {
+        if let Some(cf) = p.counterfactual(row, &["years_employed"]).unwrap() {
+            assert!(!cf.changes.is_empty());
+            assert!(cf
+                .changes
+                .iter()
+                .all(|c| c.name != "years_employed"), "immutable respected");
+            offered = true;
+            break;
+        }
+    }
+    assert!(offered, "some row should have plausible recourse");
+    assert!(p
+        .audit_log()
+        .entries()
+        .iter()
+        .any(|e| e.action == "counterfactual"));
+}
+
+#[test]
+fn policy_can_be_loaded_from_config_json() {
+    let json = FactPolicy::strict("group", "B").to_json().unwrap();
+    let policy = FactPolicy::from_json(&json).unwrap();
+    let mut p = GuardedPipeline::new(policy).unwrap();
+    let world = generate_loans(&LoanConfig {
+        n: 3_000,
+        seed: 29,
+        ..LoanConfig::default()
+    });
+    p.load_data("loans", "test", world).unwrap();
+    assert!(p.accountant().is_some());
+}

@@ -1,0 +1,133 @@
+//! Cross-crate confidentiality integration: DP mechanisms + accountant +
+//! anonymization + risk, against the census world.
+
+use fact_confidentiality::kanon::{is_k_anonymous, mondrian_k_anonymize};
+use fact_confidentiality::mechanisms::{
+    dp_mean, laplace_mechanism, randomized_response, randomized_response_estimate,
+};
+use fact_confidentiality::pseudo::Pseudonymizer;
+use fact_confidentiality::risk::{reidentification_risk, schema_risk};
+use fact_confidentiality::PrivacyAccountant;
+use fact_data::csv::{read_csv, write_csv, CsvOptions};
+use fact_data::synth::census::{generate_census, CensusConfig};
+use fact_data::FactError;
+use fact_stats::descriptive::mean;
+
+#[test]
+fn dp_mean_error_shrinks_with_epsilon_and_n() {
+    let census = generate_census(&CensusConfig {
+        n: 20_000,
+        seed: 1,
+        ..CensusConfig::default()
+    });
+    let salaries = census.f64_column("salary").unwrap();
+    let truth = mean(&salaries).unwrap();
+    let mean_abs_err = |eps: f64| {
+        let mut total = 0.0;
+        for seed in 0..100 {
+            total += (dp_mean(&salaries, 0.0, 250.0, eps, seed).unwrap() - truth).abs();
+        }
+        total / 100.0
+    };
+    let loose = mean_abs_err(0.05);
+    let tight = mean_abs_err(5.0);
+    assert!(
+        loose > 20.0 * tight,
+        "error should scale ~1/ε: ε=0.05 → {loose:.4}, ε=5 → {tight:.4}"
+    );
+    // with n=20k even ε=1 gives sub-dollar error on a $250-range mean
+    assert!(mean_abs_err(1.0) < 0.1);
+}
+
+#[test]
+fn empirical_epsilon_sanity_for_laplace() {
+    // Neighbouring databases: counts 100 vs 101, sensitivity 1, ε = 1.
+    // P[release ≥ t | n=100] / P[release ≥ t | n=101] must be ≥ e^(−ε).
+    let eps = 1.0;
+    let n_trials = 60_000u64;
+    let t = 100.5;
+    let tail = |value: f64| {
+        let mut hits = 0u64;
+        for seed in 0..n_trials {
+            if laplace_mechanism(value, 1.0, eps, seed).unwrap() >= t {
+                hits += 1;
+            }
+        }
+        hits as f64 / n_trials as f64
+    };
+    let p_a = tail(100.0);
+    let p_b = tail(101.0);
+    let ratio = p_a / p_b;
+    assert!(
+        ratio >= (-eps).exp() * 0.9 && ratio <= eps.exp() * 1.1,
+        "likelihood ratio {ratio:.3} must lie within e^±ε"
+    );
+}
+
+#[test]
+fn budget_session_is_strictly_enforced_and_audited() {
+    let mut acc = PrivacyAccountant::new(0.5, 1e-6).unwrap();
+    acc.spend(0.2, 0.0, "q1").unwrap();
+    acc.spend(0.3, 0.0, "q2").unwrap();
+    let err = acc.spend(0.01, 0.0, "q3").unwrap_err();
+    assert!(matches!(err, FactError::BudgetExhausted { .. }));
+    assert_eq!(acc.ledger().len(), 2);
+    assert!(acc.remaining_epsilon() < 1e-9);
+}
+
+#[test]
+fn anonymize_then_export_then_reimport_stays_k_anonymous() {
+    let census = generate_census(&CensusConfig {
+        n: 3_000,
+        seed: 2,
+        ..CensusConfig::default()
+    });
+    let qis = ["age", "sex", "zipcode"];
+    let anon = mondrian_k_anonymize(&census, &qis, 10).unwrap();
+    // CSV round trip (release format)
+    let mut buf = Vec::new();
+    write_csv(&anon.data, &mut buf).unwrap();
+    let back = read_csv(buf.as_slice(), &CsvOptions::default()).unwrap();
+    assert!(is_k_anonymous(&back, &qis, 10).unwrap());
+    let risk = reidentification_risk(&back, &qis).unwrap();
+    assert_eq!(risk.unique_fraction, 0.0);
+    assert!(risk.prosecutor_risk <= 0.1 + 1e-9);
+}
+
+#[test]
+fn pseudonymize_then_anonymize_pipeline() {
+    let census = generate_census(&CensusConfig {
+        n: 2_000,
+        seed: 3,
+        ..CensusConfig::default()
+    });
+    // occupation stands in for a direct identifier column here
+    let p = Pseudonymizer::new(0xDEADBEEF);
+    let pseudo = p.pseudonymize_column(&census, "occupation").unwrap();
+    assert_ne!(
+        pseudo.labels("occupation").unwrap()[0],
+        census.labels("occupation").unwrap()[0]
+    );
+    let anon = mondrian_k_anonymize(&pseudo, &["age", "sex", "zipcode"], 5).unwrap();
+    assert!(anon.min_class_size() >= 5);
+    // raw schema risk before vs after
+    let before = schema_risk(&census).unwrap();
+    let after = reidentification_risk(&anon.data, &["age", "sex", "zipcode"]).unwrap();
+    assert!(after.prosecutor_risk < before.prosecutor_risk);
+}
+
+#[test]
+fn randomized_response_recovers_sensitive_prevalence() {
+    // population-scale survey of a sensitive yes/no attribute
+    let truth: Vec<bool> = (0..50_000).map(|i| i % 10 < 3).collect(); // 30%
+    for eps in [0.5, 1.0, 2.0] {
+        let responses = randomized_response(&truth, eps, 1).unwrap();
+        let est = randomized_response_estimate(&responses, eps).unwrap();
+        // the de-biasing factor 1/(2p−1) amplifies sampling noise at low ε
+        let tol = if eps < 1.0 { 0.04 } else { 0.02 };
+        assert!(
+            (est - 0.3).abs() < tol,
+            "ε={eps}: estimate {est} should recover 0.30"
+        );
+    }
+}
