@@ -56,7 +56,11 @@ pub fn achieved_power(n1: usize, n2: usize, d: f64, alpha: f64) -> Result<f64> {
 
 /// Audit a dataset's group sizes: warn about any group of `group_col` whose
 /// size is below `min_n` (a floor for any trustworthy per-group statistic).
-pub fn check_group_sizes(ds: &Dataset, group_col: &str, min_n: usize) -> Result<Vec<AdequacyWarning>> {
+pub fn check_group_sizes(
+    ds: &Dataset,
+    group_col: &str,
+    min_n: usize,
+) -> Result<Vec<AdequacyWarning>> {
     let groups = ds.group_by(group_col)?;
     let mut warnings = Vec::new();
     for (key, n) in groups.counts() {

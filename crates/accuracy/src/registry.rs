@@ -8,9 +8,7 @@
 //! answering "out of how many attempts?".
 
 use fact_data::{FactError, Result};
-use fact_stats::multiple::{
-    benjamini_hochberg, benjamini_yekutieli, bonferroni, holm, sidak,
-};
+use fact_stats::multiple::{benjamini_hochberg, benjamini_yekutieli, bonferroni, holm, sidak};
 
 /// Correction procedure for the registered family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,7 +159,8 @@ impl RegistryReport {
 
     /// How many naive discoveries the correction withdrew.
     pub fn discoveries_withdrawn(&self) -> usize {
-        self.naive_discoveries.saturating_sub(self.corrected_discoveries)
+        self.naive_discoveries
+            .saturating_sub(self.corrected_discoveries)
     }
 }
 

@@ -73,12 +73,10 @@ pub fn audit_simpson(
         (n > 0).then(|| (pos as f64 / n as f64, n))
     };
 
-    let (r1, _) = rate(&|i| groups[i] == group1).ok_or_else(|| {
-        FactError::InvalidArgument(format!("group '{group1}' has no rows"))
-    })?;
-    let (r2, _) = rate(&|i| groups[i] == group2).ok_or_else(|| {
-        FactError::InvalidArgument(format!("group '{group2}' has no rows"))
-    })?;
+    let (r1, _) = rate(&|i| groups[i] == group1)
+        .ok_or_else(|| FactError::InvalidArgument(format!("group '{group1}' has no rows")))?;
+    let (r2, _) = rate(&|i| groups[i] == group2)
+        .ok_or_else(|| FactError::InvalidArgument(format!("group '{group2}' has no rows")))?;
     let aggregate = r1 - r2;
 
     // distinct strata in first-appearance order
@@ -112,8 +110,9 @@ pub fn audit_simpson(
         ));
     }
     let adjusted = weighted / weight_total;
-    let reversal =
-        aggregate.abs() >= 0.01 && adjusted.abs() >= 0.01 && aggregate.signum() != adjusted.signum();
+    let reversal = aggregate.abs() >= 0.01
+        && adjusted.abs() >= 0.01
+        && aggregate.signum() != adjusted.signum();
     Ok(SimpsonReport {
         stratifier: stratifier.to_string(),
         aggregate_difference: aggregate,
@@ -134,7 +133,14 @@ pub fn scan_stratifiers(
 ) -> Result<Vec<SimpsonReport>> {
     let mut out = Vec::with_capacity(candidates.len());
     for &c in candidates {
-        out.push(audit_simpson(ds, outcome_col, group_col, group1, group2, c)?);
+        out.push(audit_simpson(
+            ds,
+            outcome_col,
+            group_col,
+            group1,
+            group2,
+            c,
+        )?);
     }
     out.sort_by_key(|r| !r.reversal);
     Ok(out)
@@ -148,8 +154,7 @@ mod tests {
     #[test]
     fn detects_the_berkeley_reversal() {
         let ds = generate_admissions(&AdmissionsConfig::default());
-        let rep = audit_simpson(&ds, "admitted", "gender", "male", "female", "department")
-            .unwrap();
+        let rep = audit_simpson(&ds, "admitted", "gender", "male", "female", "department").unwrap();
         assert!(
             rep.aggregate_difference > 0.08,
             "aggregate favors men: {}",
@@ -251,10 +256,7 @@ mod tests {
 
     #[test]
     fn validation() {
-        let ds = generate_admissions(&AdmissionsConfig {
-            n: 200,
-            seed: 0,
-        });
+        let ds = generate_admissions(&AdmissionsConfig { n: 200, seed: 0 });
         assert!(audit_simpson(&ds, "admitted", "gender", "alien", "female", "department").is_err());
         assert!(audit_simpson(&ds, "ghost", "gender", "male", "female", "department").is_err());
     }

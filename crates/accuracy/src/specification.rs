@@ -96,13 +96,14 @@ pub fn specification_curve(
             effect: model.coefficients()[1], // [intercept, focal, ...]
         });
     }
-    results.sort_by(|a, b| a.effect.partial_cmp(&b.effect).unwrap_or(std::cmp::Ordering::Equal));
+    results.sort_by(|a, b| {
+        a.effect
+            .partial_cmp(&b.effect)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let median_effect = results[results.len() / 2].effect;
     let sign = median_effect.signum();
-    let agree = results
-        .iter()
-        .filter(|r| r.effect.signum() == sign)
-        .count();
+    let agree = results.iter().filter(|r| r.effect.signum() == sign).count();
     Ok(SpecCurve {
         sign_stability: agree as f64 / results.len() as f64,
         median_effect,
@@ -202,7 +203,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 2_000;
         let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let y: Vec<bool> = x.iter().map(|&v| v + rng.gen_range(-0.5..0.5) > 0.0).collect();
+        let y: Vec<bool> = x
+            .iter()
+            .map(|&v| v + rng.gen_range(-0.5..0.5) > 0.0)
+            .collect();
         let ds = Dataset::builder()
             .f64("x", x)
             .boolean("y", y)

@@ -203,7 +203,10 @@ mod tests {
             .predict_with_uncertainty(&probe)
             .unwrap()[0]
             .width();
-        assert!(w_big < w_small, "big-data width {w_big} < small-data width {w_small}");
+        assert!(
+            w_big < w_small,
+            "big-data width {w_big} < small-data width {w_small}"
+        );
     }
 
     #[test]

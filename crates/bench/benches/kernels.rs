@@ -99,10 +99,7 @@ fn bench_multiple_testing(c: &mut Criterion) {
 
 fn bench_simpson(c: &mut Criterion) {
     // E4 kernel
-    let ds = generate_admissions(&AdmissionsConfig {
-        n: 12_000,
-        seed: 4,
-    });
+    let ds = generate_admissions(&AdmissionsConfig { n: 12_000, seed: 4 });
     c.benchmark_group("e4_simpson")
         .bench_function("audit_12k", |b| {
             b.iter(|| {

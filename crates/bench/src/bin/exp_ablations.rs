@@ -48,13 +48,19 @@ fn a1_svt() {
     println!(
         "  sparse vector:       ε = {svt_total:.1} total — answered {answered}, flagged {positives}"
     );
-    println!("  → SVT is {}× cheaper for sparse monitoring\n", independent_total / svt_total);
+    println!(
+        "  → SVT is {}× cheaper for sparse monitoring\n",
+        independent_total / svt_total
+    );
 }
 
 fn a2_window() {
     println!("A2: fairness-monitor window size vs recovery after remediation\n");
     println!("(10k discriminatory events, then fair traffic; when do alerts stop?)\n");
-    println!("{:>8} {:>18} {:>24}", "window", "events-to-alert", "recovery (fair events)");
+    println!(
+        "{:>8} {:>18} {:>24}",
+        "window", "events-to-alert", "recovery (fair events)"
+    );
     for window in [500usize, 2_000, 8_000] {
         let mut m = StreamingFairnessMonitor::new(window, 0.8, 50).unwrap();
         let mut latency = None;
@@ -77,7 +83,9 @@ fn a2_window() {
         }
         println!(
             "{window:>8} {:>18} {last_alert:>24}",
-            latency.map(|l| l.to_string()).unwrap_or_else(|| "never".into())
+            latency
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "never".into())
         );
     }
     println!("  → detection latency is gated by min-samples, but recovery time scales with\n    the window: a stale window keeps accusing a remediated system\n");

@@ -19,11 +19,7 @@ use fact_ml::logistic::{LogisticConfig, LogisticRegression};
 use fact_ml::metrics::accuracy;
 use fact_ml::Classifier;
 
-fn run(
-    ds: &fact_data::Dataset,
-    features: &[&str],
-    seed: u64,
-) -> (f64, f64) {
+fn run(ds: &fact_data::Dataset, features: &[&str], seed: u64) -> (f64, f64) {
     let (train, test) = train_test_split(ds, 0.3, seed).unwrap();
     let x = train.to_matrix_onehot(features).unwrap().0;
     let y = train.bool_column("approved").unwrap().to_vec();

@@ -1,0 +1,227 @@
+//! E11 — FACT-guarded decision serving under load (EXPERIMENTS.md, E11).
+//!
+//! Drives `fact-serve` with a synthetic open-loop lending workload: a
+//! driver thread submits requests on a fixed arrival schedule (arrivals do
+//! not wait for completions; a full shard queue sheds), the service
+//! micro-batches them through a logistic model, and the FACT guards watch
+//! every decision. Reported per shard count: achieved throughput,
+//! p50/p95/p99 end-to-end latency, and the guarded-vs-unguarded overhead.
+//!
+//! The model wrapper simulates a 1 ms feature-store fetch per batch — the
+//! dominant cost of real online inference. That is what makes shard scaling
+//! honest on a single-core host: shards overlap their *waits*, not CPU, so
+//! throughput grows with shard count the way a remote-backed service's
+//! would, and the guards' CPU cost shows up undiluted in the overhead
+//! column.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::header;
+use fact_data::{Matrix, Result};
+use fact_ml::logistic::{LogisticConfig, LogisticRegression};
+use fact_ml::Classifier;
+use fact_serve::{DecisionRequest, DecisionService, DegradePolicy, GuardConfig, ServeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_FEATURES: usize = 8;
+/// Simulated feature-store round trip, paid once per micro-batch.
+const FETCH: Duration = Duration::from_millis(1);
+/// Offered load: past saturation even at 4 shards (capacity ≈ 8k/s/shard).
+const OFFERED_PER_MS: usize = 40;
+const TRIAL: Duration = Duration::from_millis(1200);
+
+/// A trained model behind a simulated remote feature fetch.
+struct RemoteFeatureModel {
+    inner: LogisticRegression,
+}
+
+impl Classifier for RemoteFeatureModel {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        std::thread::sleep(FETCH);
+        self.inner.predict_proba(x)
+    }
+}
+
+fn train_model(seed: u64) -> LogisticRegression {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 2_000;
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..N_FEATURES).map(|_| rng.gen::<f64>()).collect();
+        let score = row[0] + 0.2 * row[1] + 0.1 * rng.gen::<f64>();
+        y.push(score > 0.65);
+        rows.push(row);
+    }
+    let x = Matrix::from_rows(&rows).unwrap();
+    let cfg = LogisticConfig {
+        seed,
+        ..LogisticConfig::default()
+    };
+    LogisticRegression::fit(&x, &y, None, &cfg).unwrap()
+}
+
+/// One serving request from the synthetic lending population: group B's
+/// qualifying feature is mildly depressed, so the fairness guard has real
+/// work to do.
+fn lending_request(rng: &mut StdRng, key: u64) -> DecisionRequest {
+    let group_b = rng.gen_bool(0.3);
+    let mut features: Vec<f64> = (0..N_FEATURES).map(|_| rng.gen::<f64>()).collect();
+    features[0] = if group_b {
+        rng.gen_range(0.0..0.85)
+    } else {
+        rng.gen_range(0.15..1.0)
+    };
+    DecisionRequest {
+        features,
+        group_b,
+        route_key: key,
+    }
+}
+
+struct Trial {
+    throughput: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    shed: u64,
+    alerts: u64,
+    epsilon: f64,
+}
+
+fn run_trial(model: Arc<RemoteFeatureModel>, shards: usize, guarded: bool, seed: u64) -> Trial {
+    let guards = guarded.then(|| GuardConfig {
+        fairness_window: 2_000,
+        min_di: 0.8,
+        min_samples_per_group: 100,
+        dp_interval: 1_000,
+        epsilon_per_release: 0.01,
+        epsilon_budget: 5.0,
+        // score drift monitored against the serving distribution itself, so
+        // it observes every decision without constantly firing
+        drift: Some((
+            (0..1000).map(|i| i as f64 / 1000.0).collect(),
+            10,
+            2_000,
+            0.25,
+        )),
+    });
+    let service = DecisionService::start(
+        model,
+        ServeConfig {
+            shards,
+            n_features: N_FEATURES,
+            queue_cap: 256,
+            batch_max: 8,
+            batch_linger: Duration::from_micros(200),
+            default_timeout: Duration::from_secs(5),
+            threshold: 0.5,
+            // measure pure observation overhead: guards watch and alert but
+            // never change what is served
+            policy: DegradePolicy::Off,
+            trip_cooldown: 0,
+            alert_debounce: 1_000,
+            guards,
+            seed,
+        },
+    )
+    .expect("service start");
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let start = Instant::now();
+    let mut key = 0u64;
+    let mut shed = 0u64;
+    // open loop: a fixed arrival schedule, one burst per millisecond tick;
+    // completions are reaped by the service, never waited on here
+    while start.elapsed() < TRIAL {
+        for _ in 0..OFFERED_PER_MS {
+            key += 1;
+            match service.submit(lending_request(&mut rng, key)) {
+                Ok(handle) => drop(handle), // fire-and-forget; worker still serves it
+                Err(_) => shed += 1,
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let report = service.shutdown(); // drain what was accepted
+    let elapsed = start.elapsed().as_secs_f64();
+    let snap = service.metrics();
+    let us = |d: Option<Duration>| d.map_or(0.0, |d| d.as_nanos() as f64 / 1e3);
+    Trial {
+        throughput: report.decisions_served as f64 / elapsed,
+        p50_us: us(snap.p50),
+        p95_us: us(snap.p95),
+        p99_us: us(snap.p99),
+        shed,
+        alerts: report.alerts_raised,
+        epsilon: report.epsilon_spent,
+    }
+}
+
+fn main() {
+    let model = Arc::new(RemoteFeatureModel {
+        inner: train_model(11),
+    });
+    println!(
+        "E11: guarded decision serving, open-loop load ({} req/s offered, {}ms fetch per batch)\n",
+        OFFERED_PER_MS * 1000,
+        FETCH.as_millis()
+    );
+    // warm-up (thread spawn, allocator, model)
+    run_trial(Arc::clone(&model), 1, true, 99);
+
+    let mut out = String::new();
+    let columns = [
+        "shards", "config", "req/s", "p50(us)", "p95(us)", "p99(us)", "shed", "alerts", "eps",
+    ];
+    let widths = [6, 10, 10, 10, 10, 10, 8, 7, 6];
+    header(&columns, &widths);
+    let mut head = String::new();
+    for (c, w) in columns.iter().zip(widths) {
+        head.push_str(&format!("{c:>w$} "));
+    }
+    out.push_str(&head);
+    out.push('\n');
+
+    let mut guarded_rates = Vec::new();
+    let mut overheads = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        let base = run_trial(Arc::clone(&model), shards, false, 7 + shards as u64);
+        let guarded = run_trial(Arc::clone(&model), shards, true, 7 + shards as u64);
+        for (label, t) in [("unguarded", &base), ("guarded", &guarded)] {
+            let line = format!(
+                "{shards:>6} {label:>10} {:>10.0} {:>10.1} {:>10.1} {:>10.1} {:>8} {:>7} {:>6.2}",
+                t.throughput, t.p50_us, t.p95_us, t.p99_us, t.shed, t.alerts, t.epsilon
+            );
+            println!("{line}");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        let overhead = 100.0 * (1.0 - guarded.throughput / base.throughput);
+        overheads.push((shards, overhead));
+        guarded_rates.push(guarded.throughput);
+        let line = format!("{shards:>6} {:>10} overhead {overhead:>5.1}%", "guard");
+        println!("{line}");
+        out.push_str(&line);
+        out.push('\n');
+    }
+
+    let monotone = guarded_rates.windows(2).all(|w| w[1] > w[0]);
+    let summary = format!(
+        "\nguarded throughput 1→2→4 shards: {:.0} → {:.0} → {:.0} req/s (monotone: {})\n\
+         guard overhead at 4 shards: {:.1}% (claim: <15%)\n",
+        guarded_rates[0],
+        guarded_rates[1],
+        guarded_rates[2],
+        if monotone { "yes" } else { "NO" },
+        overheads.last().unwrap().1,
+    );
+    print!("{summary}");
+    out.push_str(&summary);
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/e11.txt", &out).expect("write results/e11.txt");
+    println!("\nwrote results/e11.txt");
+}

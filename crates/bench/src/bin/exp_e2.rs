@@ -94,7 +94,10 @@ fn main() {
 
     let scores = base.predict_proba(&xt).unwrap();
     let th = equalize_selection_rates(&scores, &mask_te, 0.5).unwrap();
-    report("threshold opt (post)", &th.apply(&scores, &mask_te).unwrap());
+    report(
+        "threshold opt (post)",
+        &th.apply(&scores, &mask_te).unwrap(),
+    );
 
     println!("\nFigure E2: DI-repair fairness/accuracy frontier");
     println!("{:>6} {:>8} {:>8}", "λ", "acc", "DI");

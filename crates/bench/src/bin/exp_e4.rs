@@ -10,10 +10,7 @@ use fact_accuracy::simpson::{audit_simpson, scan_stratifiers};
 use fact_data::synth::admissions::{generate_admissions, AdmissionsConfig};
 
 fn main() {
-    let ds = generate_admissions(&AdmissionsConfig {
-        n: 24_000,
-        seed: 4,
-    });
+    let ds = generate_admissions(&AdmissionsConfig { n: 24_000, seed: 4 });
 
     let rep = audit_simpson(&ds, "admitted", "gender", "male", "female", "department").unwrap();
     println!("E4: Simpson's paradox — admissions by gender, stratified by department\n");

@@ -8,9 +8,7 @@
 //! Gaussian (δ=1e-6). Table: queries affordable at total ε=1 under basic vs
 //! advanced composition.
 
-use fact_confidentiality::accountant::{
-    advanced_composition_epsilon, queries_affordable_advanced,
-};
+use fact_confidentiality::accountant::{advanced_composition_epsilon, queries_affordable_advanced};
 use fact_confidentiality::mechanisms::{dp_mean, gaussian_mechanism};
 use fact_data::synth::census::{generate_census, CensusConfig};
 use fact_stats::descriptive::mean;
@@ -28,10 +26,7 @@ fn main() {
 
     println!("E5: privacy-utility tradeoff — DP mean(salary), n=10k, bounds [0,250]");
     println!("true mean = {truth:.3}\n");
-    println!(
-        "{:>8} {:>14} {:>14}",
-        "ε", "Laplace MAE", "Gaussian MAE"
-    );
+    println!("{:>8} {:>14} {:>14}", "ε", "Laplace MAE", "Gaussian MAE");
     println!("{}", "-".repeat(40));
     for eps in [0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
         let mut lap = 0.0;

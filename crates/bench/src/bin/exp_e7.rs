@@ -53,8 +53,7 @@ fn main() {
     );
     println!("{}", "-".repeat(54));
     for depth in 1..=8usize {
-        let sur =
-            SurrogateExplainer::distill(&mlp, &x_train, &x_test, &name_refs, depth).unwrap();
+        let sur = SurrogateExplainer::distill(&mlp, &x_train, &x_test, &name_refs, depth).unwrap();
         let sur_acc = accuracy(&y_test, &sur.tree().predict(&x_test).unwrap()).unwrap();
         // a tree trained directly on labels, for reference
         let direct = DecisionTree::fit(

@@ -27,7 +27,11 @@ fn throughput(guarded: bool, n_events: usize, seed: u64) -> (f64, u64, usize) {
     }
     let secs = start.elapsed().as_secs_f64();
     std::hint::black_box(proc.value_sum());
-    (n_events as f64 / secs, proc.audit_entries, proc.alerts.len())
+    (
+        n_events as f64 / secs,
+        proc.audit_entries,
+        proc.alerts.len(),
+    )
 }
 
 fn main() {
@@ -40,7 +44,13 @@ fn main() {
     throughput(false, 100_000, 0);
 
     header(
-        &["config", "events/sec", "audit entries", "alerts", "paper-minute cost"],
+        &[
+            "config",
+            "events/sec",
+            "audit entries",
+            "alerts",
+            "paper-minute cost",
+        ],
         &[14, 14, 14, 8, 20],
     );
     let mut base_rate = 0.0;
@@ -50,9 +60,7 @@ fn main() {
             base_rate = rate;
         }
         let minute_cost = Service::total_per_minute() as f64 / rate;
-        println!(
-            "{label:>14} {rate:>14.0} {audit:>14} {alerts:>8} {minute_cost:>18.2}s"
-        );
+        println!("{label:>14} {rate:>14.0} {audit:>14} {alerts:>8} {minute_cost:>18.2}s");
     }
     let (guarded_rate, _, _) = throughput(true, n, 43);
     println!(

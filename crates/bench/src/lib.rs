@@ -22,7 +22,9 @@ pub fn cell(v: f64, width: usize, precision: usize) -> String {
 
 /// A deterministic seed stream for experiments that need several seeds.
 pub fn seeds(base: u64, n: usize) -> Vec<u64> {
-    (0..n as u64).map(|i| base.wrapping_mul(0x9e3779b9).wrapping_add(i)).collect()
+    (0..n as u64)
+        .map(|i| base.wrapping_mul(0x9e3779b9).wrapping_add(i))
+        .collect()
 }
 
 #[cfg(test)]

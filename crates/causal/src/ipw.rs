@@ -46,9 +46,7 @@ pub fn ipw_ate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fact_data::synth::clinical::{
-        generate_clinical, ClinicalConfig, CLINICAL_COVARIATES,
-    };
+    use fact_data::synth::clinical::{generate_clinical, ClinicalConfig, CLINICAL_COVARIATES};
 
     fn world(confounding: f64, unobserved: f64, seed: u64) -> (Matrix, Vec<bool>, Vec<bool>, f64) {
         let w = generate_clinical(&ClinicalConfig {
@@ -72,7 +70,10 @@ mod tests {
         let naive = crate::naive::naive_difference(&t, &y).unwrap();
         let ipw = ipw_ate(&x, &t, &y, 0.01, 0).unwrap();
         assert!((ipw - true_ate).abs() < (naive - true_ate).abs());
-        assert!((ipw - true_ate).abs() < 0.06, "IPW {ipw:.3} vs {true_ate:.3}");
+        assert!(
+            (ipw - true_ate).abs() < 0.06,
+            "IPW {ipw:.3} vs {true_ate:.3}"
+        );
     }
 
     #[test]

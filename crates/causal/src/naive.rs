@@ -49,7 +49,11 @@ mod tests {
             w.data.bool_column("recovered").unwrap(),
         )
         .unwrap();
-        assert!((est - w.true_ate).abs() < 0.02, "RCT: {est} vs {}", w.true_ate);
+        assert!(
+            (est - w.true_ate).abs() < 0.02,
+            "RCT: {est} vs {}",
+            w.true_ate
+        );
     }
 
     #[test]

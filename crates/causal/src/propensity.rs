@@ -130,8 +130,7 @@ pub fn stratified_ate(
     let mut weight = 0.0;
     for s in 0..n_strata {
         if counts[s][0] > 0 && counts[s][1] > 0 {
-            let diff =
-                sums[s][1] / counts[s][1] as f64 - sums[s][0] / counts[s][0] as f64;
+            let diff = sums[s][1] / counts[s][1] as f64 - sums[s][0] / counts[s][0] as f64;
             let w = (counts[s][0] + counts[s][1]) as f64;
             weighted += diff * w;
             weight += w;
@@ -148,9 +147,7 @@ pub fn stratified_ate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fact_data::synth::clinical::{
-        generate_clinical, ClinicalConfig, CLINICAL_COVARIATES,
-    };
+    use fact_data::synth::clinical::{generate_clinical, ClinicalConfig, CLINICAL_COVARIATES};
 
     fn world(confounding: f64, unobserved: f64, seed: u64) -> (Matrix, Vec<bool>, Vec<bool>, f64) {
         let w = generate_clinical(&ClinicalConfig {
@@ -192,7 +189,10 @@ mod tests {
             (psm - true_ate).abs() < (naive - true_ate).abs(),
             "PSM {psm:.3} closer to truth {true_ate:.3} than naive {naive:.3}"
         );
-        assert!((psm - true_ate).abs() < 0.06, "PSM {psm:.3} vs {true_ate:.3}");
+        assert!(
+            (psm - true_ate).abs() < 0.06,
+            "PSM {psm:.3} vs {true_ate:.3}"
+        );
     }
 
     #[test]

@@ -59,12 +59,7 @@ pub fn regression_ate(x: &Matrix, treated: &[bool], outcome: &[bool], seed: u64)
     check_inputs(x.rows(), treated, outcome)?;
     let (mu0, mu1) = fit_outcome_model(x, treated, outcome, seed)?;
     let n = x.rows() as f64;
-    Ok(mu1
-        .iter()
-        .zip(&mu0)
-        .map(|(a, b)| a - b)
-        .sum::<f64>()
-        / n)
+    Ok(mu1.iter().zip(&mu0).map(|(a, b)| a - b).sum::<f64>() / n)
 }
 
 /// Doubly-robust AIPW estimate of the ATE. Propensities clamped to
@@ -100,9 +95,7 @@ pub fn aipw_ate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fact_data::synth::clinical::{
-        generate_clinical, ClinicalConfig, CLINICAL_COVARIATES,
-    };
+    use fact_data::synth::clinical::{generate_clinical, ClinicalConfig, CLINICAL_COVARIATES};
 
     fn world(confounding: f64, unobserved: f64, seed: u64) -> (Matrix, Vec<bool>, Vec<bool>, f64) {
         let w = generate_clinical(&ClinicalConfig {
@@ -126,7 +119,10 @@ mod tests {
         let naive = crate::naive::naive_difference(&t, &y).unwrap();
         let reg = regression_ate(&x, &t, &y, 0).unwrap();
         assert!((reg - true_ate).abs() < (naive - true_ate).abs());
-        assert!((reg - true_ate).abs() < 0.05, "reg {reg:.3} vs {true_ate:.3}");
+        assert!(
+            (reg - true_ate).abs() < 0.05,
+            "reg {reg:.3} vs {true_ate:.3}"
+        );
     }
 
     #[test]

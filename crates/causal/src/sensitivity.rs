@@ -125,9 +125,7 @@ mod tests {
     use super::*;
     use crate::ipw::ipw_ate;
     use crate::naive::naive_difference;
-    use fact_data::synth::clinical::{
-        generate_clinical, ClinicalConfig, CLINICAL_COVARIATES,
-    };
+    use fact_data::synth::clinical::{generate_clinical, ClinicalConfig, CLINICAL_COVARIATES};
 
     fn world(n: usize, confounding: f64) -> (Matrix, Vec<bool>, Vec<bool>, f64) {
         let w = generate_clinical(&ClinicalConfig {
@@ -174,12 +172,10 @@ mod tests {
     fn bootstrap_validation() {
         let (x, t, y, _) = world(500, 0.0);
         assert!(
-            bootstrap_ate_ci(&x, &t, &y, 10, 0.9, 0, |_, tb, yb| naive_difference(tb, yb))
-                .is_err()
+            bootstrap_ate_ci(&x, &t, &y, 10, 0.9, 0, |_, tb, yb| naive_difference(tb, yb)).is_err()
         );
         assert!(
-            bootstrap_ate_ci(&x, &t, &y, 50, 1.5, 0, |_, tb, yb| naive_difference(tb, yb))
-                .is_err()
+            bootstrap_ate_ci(&x, &t, &y, 50, 1.5, 0, |_, tb, yb| naive_difference(tb, yb)).is_err()
         );
     }
 

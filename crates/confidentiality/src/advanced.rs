@@ -161,10 +161,7 @@ mod tests {
         for seed in 0..500 {
             wins[exponential_mechanism(&utilities, 1.0, 2.0, seed).unwrap()] += 1;
         }
-        assert!(
-            wins[2] > 450,
-            "utility 30 should dominate at ε=2: {wins:?}"
-        );
+        assert!(wins[2] > 450, "utility 30 should dominate at ε=2: {wins:?}");
     }
 
     #[test]
@@ -197,7 +194,10 @@ mod tests {
                 negatives += 1;
             }
         }
-        assert!(negatives >= 498, "far-below queries answer false: {negatives}");
+        assert!(
+            negatives >= 498,
+            "far-below queries answer false: {negatives}"
+        );
         assert_eq!(svt.positives_left(), 2);
         // clearly-above queries consume the positive budget
         assert!(svt.query(10_000.0).unwrap());

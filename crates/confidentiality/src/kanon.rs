@@ -124,7 +124,10 @@ pub fn mondrian_k_anonymize(ds: &Dataset, qis: &[&str], k: usize) -> Result<Anon
             .iter()
             .enumerate()
             .map(|(d, q)| {
-                let lo = part.iter().map(|&i| q.numeric[i]).fold(f64::INFINITY, f64::min);
+                let lo = part
+                    .iter()
+                    .map(|&i| q.numeric[i])
+                    .fold(f64::INFINITY, f64::min);
                 let hi = part
                     .iter()
                     .map(|&i| q.numeric[i])
@@ -182,14 +185,16 @@ pub fn mondrian_k_anonymize(ds: &Dataset, qis: &[&str], k: usize) -> Result<Anon
     for q in &qi_cols {
         let mut labels = vec![String::new(); n];
         for class in &classes {
-            let lo = class.iter().map(|&i| q.numeric[i]).fold(f64::INFINITY, f64::min);
+            let lo = class
+                .iter()
+                .map(|&i| q.numeric[i])
+                .fold(f64::INFINITY, f64::min);
             let hi = class
                 .iter()
                 .map(|&i| q.numeric[i])
                 .fold(f64::NEG_INFINITY, f64::max);
             let label = if q.is_cat {
-                let mut codes: Vec<usize> =
-                    class.iter().map(|&i| q.numeric[i] as usize).collect();
+                let mut codes: Vec<usize> = class.iter().map(|&i| q.numeric[i] as usize).collect();
                 codes.sort_unstable();
                 codes.dedup();
                 if codes.len() == 1 {
@@ -210,8 +215,7 @@ pub fn mondrian_k_anonymize(ds: &Dataset, qis: &[&str], k: usize) -> Result<Anon
             };
             // NCP contribution
             let ncp = if q.is_cat {
-                let mut codes: Vec<usize> =
-                    class.iter().map(|&i| q.numeric[i] as usize).collect();
+                let mut codes: Vec<usize> = class.iter().map(|&i| q.numeric[i] as usize).collect();
                 codes.sort_unstable();
                 codes.dedup();
                 if q.global_card > 1 {
@@ -358,7 +362,11 @@ mod tests {
         let ds = census(500);
         let anon = mondrian_k_anonymize(&ds, &QIS, 1).unwrap();
         // k=1 permits singleton classes: loss is near zero
-        assert!(anon.information_loss < 0.05, "loss {}", anon.information_loss);
+        assert!(
+            anon.information_loss < 0.05,
+            "loss {}",
+            anon.information_loss
+        );
     }
 
     #[test]

@@ -210,7 +210,9 @@ mod tests {
     fn laplace_noise_moments() {
         let mut rng = StdRng::seed_from_u64(1);
         let scale = 2.0;
-        let xs: Vec<f64> = (0..100_000).map(|_| laplace_noise(scale, &mut rng)).collect();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| laplace_noise(scale, &mut rng))
+            .collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
@@ -275,10 +277,7 @@ mod tests {
     fn dp_quantile_close_to_true_median_at_high_epsilon() {
         let vals: Vec<f64> = (0..1001).map(|i| i as f64).collect();
         let med = dp_quantile(&vals, 0.5, 0.0, 1000.0, 5.0, 11).unwrap();
-        assert!(
-            (med - 500.0).abs() < 50.0,
-            "DP median ≈ 500, got {med}"
-        );
+        assert!((med - 500.0).abs() < 50.0, "DP median ≈ 500, got {med}");
     }
 
     #[test]

@@ -46,11 +46,7 @@ pub fn reidentification_risk(ds: &Dataset, qis: &[&str]) -> Result<RiskReport> {
     }
     let n = ds.n_rows() as f64;
     let unique = counts.values().filter(|&&c| c == 1).count() as f64;
-    let prosecutor: f64 = keys
-        .iter()
-        .map(|k| 1.0 / counts[k] as f64)
-        .sum::<f64>()
-        / n;
+    let prosecutor: f64 = keys.iter().map(|k| 1.0 / counts[k] as f64).sum::<f64>() / n;
     Ok(RiskReport {
         unique_fraction: unique / n,
         prosecutor_risk: prosecutor,
@@ -79,7 +75,11 @@ mod tests {
             ..CensusConfig::default()
         });
         let r = schema_risk(&ds).unwrap();
-        assert!(r.unique_fraction > 0.3, "many unique (age,sex,zip) combos: {}", r.unique_fraction);
+        assert!(
+            r.unique_fraction > 0.3,
+            "many unique (age,sex,zip) combos: {}",
+            r.unique_fraction
+        );
         assert!(r.prosecutor_risk > 0.3);
         assert!(r.min_class_size >= 1);
     }
@@ -95,7 +95,11 @@ mod tests {
         let anon = mondrian_k_anonymize(&ds, &["age", "sex", "zipcode"], 10).unwrap();
         let after = reidentification_risk(&anon.data, &["age", "sex", "zipcode"]).unwrap();
         assert_eq!(after.unique_fraction, 0.0);
-        assert!(after.prosecutor_risk <= 0.1 + 1e-9, "≤ 1/k: {}", after.prosecutor_risk);
+        assert!(
+            after.prosecutor_risk <= 0.1 + 1e-9,
+            "≤ 1/k: {}",
+            after.prosecutor_risk
+        );
         assert!(after.prosecutor_risk < before.prosecutor_risk);
         assert!(after.min_class_size >= 10);
     }

@@ -130,7 +130,9 @@ fn bin_of(edges: &[f64], v: f64) -> usize {
         return n_bins - 1;
     }
     let span = edges[n_bins] - edges[0];
-    (((v - edges[0]) / span) * n_bins as f64).floor().min(n_bins as f64 - 1.0) as usize
+    (((v - edges[0]) / span) * n_bins as f64)
+        .floor()
+        .min(n_bins as f64 - 1.0) as usize
 }
 
 #[cfg(test)]

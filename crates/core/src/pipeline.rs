@@ -24,9 +24,9 @@ use fact_confidentiality::PrivacyAccountant;
 use fact_data::split::train_test_split;
 use fact_data::{Dataset, FactError, Matrix, Result};
 use fact_fairness::intersectional::{intersectional_audit, IntersectionalReport};
+use fact_fairness::protected_mask;
 use fact_fairness::proxy::scan_proxies;
 use fact_fairness::report::{FairnessReport, FairnessThresholds};
-use fact_fairness::protected_mask;
 use fact_ml::metrics::accuracy;
 use fact_ml::Classifier;
 use fact_transparency::counterfactual::{find_counterfactual, Counterfactual};
@@ -96,12 +96,7 @@ impl GuardedPipeline {
     /// Load the working dataset. Runs load-time guards: protected-group
     /// adequacy (accuracy pillar) and re-identification risk (confidentiality
     /// pillar, when quasi-identifiers are declared in the schema).
-    pub fn load_data(
-        &mut self,
-        name: &str,
-        actor: &str,
-        ds: Dataset,
-    ) -> Result<&mut Self> {
+    pub fn load_data(&mut self, name: &str, actor: &str, ds: Dataset) -> Result<&mut Self> {
         let mut attrs = HashMap::new();
         attrs.insert("rows".to_string(), ds.n_rows().to_string());
         attrs.insert("cols".to_string(), ds.n_cols().to_string());
@@ -112,7 +107,10 @@ impl GuardedPipeline {
         if let (Some(fp), Some(ap)) = (&self.policy.fairness, &self.policy.accuracy) {
             let warnings = check_group_sizes(&ds, &fp.protected_column, ap.min_group_n)?;
             let detail = if warnings.is_empty() {
-                format!("all groups of '{}' have ≥ {} rows", fp.protected_column, ap.min_group_n)
+                format!(
+                    "all groups of '{}' have ≥ {} rows",
+                    fp.protected_column, ap.min_group_n
+                )
             } else {
                 warnings
                     .iter()
@@ -120,7 +118,12 @@ impl GuardedPipeline {
                     .collect::<Vec<_>>()
                     .join("; ")
             };
-            self.check(Pillar::Accuracy, "group adequacy", warnings.is_empty(), detail);
+            self.check(
+                Pillar::Accuracy,
+                "group adequacy",
+                warnings.is_empty(),
+                detail,
+            );
         }
 
         if let Some(cp) = &self.policy.confidentiality {
@@ -208,9 +211,15 @@ impl GuardedPipeline {
                 "no direct sensitive feature",
                 !direct_use,
                 if direct_use {
-                    format!("training features include protected column '{}'", fp.protected_column)
+                    format!(
+                        "training features include protected column '{}'",
+                        fp.protected_column
+                    )
                 } else {
-                    format!("protected column '{}' excluded from features", fp.protected_column)
+                    format!(
+                        "protected column '{}' excluded from features",
+                        fp.protected_column
+                    )
                 },
             );
             let mask = protected_mask(&ds, &fp.protected_column, &fp.protected_label)?;
@@ -255,20 +264,32 @@ impl GuardedPipeline {
                 Pillar::Accuracy,
                 "held-out accuracy",
                 acc >= ap.min_accuracy,
-                format!("accuracy {:.3} on {} held-out rows (min {:.3})", acc, y_test.len(), ap.min_accuracy),
+                format!(
+                    "accuracy {:.3} on {} held-out rows (min {:.3})",
+                    acc,
+                    y_test.len(),
+                    ap.min_accuracy
+                ),
             );
         }
 
         let mut attrs = HashMap::new();
         attrs.insert("seed".to_string(), seed.to_string());
         attrs.insert("features".to_string(), features.join(","));
-        let (_, outputs) =
-            self.provenance
-                .record_activity(format!("train:{name}"), actor, attrs, &[data_node], &[name])?;
+        let (_, outputs) = self.provenance.record_activity(
+            format!("train:{name}"),
+            actor,
+            attrs,
+            &[data_node],
+            &[name],
+        )?;
         self.audit.append(
             actor,
             "train",
-            format!("{name} on {} rows, held-out accuracy {acc:.3}", x_train.rows()),
+            format!(
+                "{name} on {} rows, held-out accuracy {acc:.3}",
+                x_train.rows()
+            ),
         );
 
         let mut card = ModelCard::new(name, "0.1.0");
@@ -297,11 +318,10 @@ impl GuardedPipeline {
 
     /// Run the fairness audit on the held-out split and record its guards.
     pub fn audit_fairness(&mut self) -> Result<FairnessReport> {
-        let fp = self
-            .policy
-            .fairness
-            .clone()
-            .ok_or_else(|| FactError::InvalidArgument("no fairness policy configured".into()))?;
+        let fp =
+            self.policy.fairness.clone().ok_or_else(|| {
+                FactError::InvalidArgument("no fairness policy configured".into())
+            })?;
         let ms = self
             .model
             .as_ref()
@@ -326,20 +346,30 @@ impl GuardedPipeline {
             Pillar::Fairness,
             "disparate impact",
             di_pass,
-            format!("DI {di:.3} (four-fifths band [{:.2}, {:.2}])", fp.thresholds.min_disparate_impact, 1.0 / fp.thresholds.min_disparate_impact),
+            format!(
+                "DI {di:.3} (four-fifths band [{:.2}, {:.2}])",
+                fp.thresholds.min_disparate_impact,
+                1.0 / fp.thresholds.min_disparate_impact
+            ),
         );
         self.check(
             Pillar::Fairness,
             "statistical parity",
             parity_pass,
-            format!("SPD {spd:+.3} (limit ±{:.2})", fp.thresholds.max_parity_difference),
+            format!(
+                "SPD {spd:+.3} (limit ±{:.2})",
+                fp.thresholds.max_parity_difference
+            ),
         );
         if let Some(eo) = eo {
             self.check(
                 Pillar::Fairness,
                 "equalized odds",
                 eo_pass,
-                format!("EO distance {eo:.3} (limit {:.2})", fp.thresholds.max_equalized_odds),
+                format!(
+                    "EO distance {eo:.3} (limit {:.2})",
+                    fp.thresholds.max_equalized_odds
+                ),
             );
         }
         Ok(report)
@@ -467,7 +497,10 @@ impl GuardedPipeline {
         self.audit.append(
             "pipeline",
             "release",
-            format!("dp_histogram({column}) ε={epsilon}, {} buckets", order.len()),
+            format!(
+                "dp_histogram({column}) ε={epsilon}, {} buckets",
+                order.len()
+            ),
         );
         Ok(order.into_iter().zip(noisy).collect())
     }
@@ -475,11 +508,9 @@ impl GuardedPipeline {
     /// Run the transparency guards: distill a surrogate at the policy depth
     /// and check its fidelity; check model-card completeness.
     pub fn audit_transparency(&mut self) -> Result<f64> {
-        let tp = self
-            .policy
-            .transparency
-            .clone()
-            .ok_or_else(|| FactError::InvalidArgument("no transparency policy configured".into()))?;
+        let tp = self.policy.transparency.clone().ok_or_else(|| {
+            FactError::InvalidArgument("no transparency policy configured".into())
+        })?;
         let ms = self
             .model
             .as_ref()
@@ -512,7 +543,11 @@ impl GuardedPipeline {
                 Pillar::Transparency,
                 "model card complete",
                 passed,
-                if passed { "all required fields present".into() } else { issues_txt },
+                if passed {
+                    "all required fields present".into()
+                } else {
+                    issues_txt
+                },
             );
         }
         Ok(fidelity)
@@ -549,11 +584,10 @@ impl GuardedPipeline {
     /// any adequately-sized subgroup falls below the policy's disparate-
     /// impact threshold.
     pub fn audit_intersectional(&mut self, attributes: &[&str]) -> Result<IntersectionalReport> {
-        let fp = self
-            .policy
-            .fairness
-            .clone()
-            .ok_or_else(|| FactError::InvalidArgument("no fairness policy configured".into()))?;
+        let fp =
+            self.policy.fairness.clone().ok_or_else(|| {
+                FactError::InvalidArgument("no fairness policy configured".into())
+            })?;
         let ms = self
             .model
             .as_ref()
@@ -800,7 +834,9 @@ mod tests {
     #[test]
     fn stage_ordering_is_enforced() {
         let mut p = GuardedPipeline::new(FactPolicy::strict("group", "B")).unwrap();
-        assert!(p.train("m", "ml", &LEGIT_FEATURES, "approved", 1, trainer).is_err());
+        assert!(p
+            .train("m", "ml", &LEGIT_FEATURES, "approved", 1, trainer)
+            .is_err());
         assert!(p.audit_fairness().is_err());
         assert!(p.explain_decision(0).is_err());
         assert!(p.transform("t", "x", |d| Ok(d.clone())).is_err());

@@ -177,10 +177,7 @@ mod tests {
         assert!(json.contains("protected_column"));
         let back = FactPolicy::from_json(&json).unwrap();
         assert_eq!(back.pillars_enabled(), 4);
-        assert_eq!(
-            back.fairness.as_ref().unwrap().protected_label,
-            "B"
-        );
+        assert_eq!(back.fairness.as_ref().unwrap().protected_label, "B");
         assert!(FactPolicy::from_json("{oops").is_err());
     }
 

@@ -112,7 +112,11 @@ impl fmt::Display for FactReport {
                 writeln!(f, "[{:>15}]  (not evaluated)", pillar.name())?;
                 continue;
             }
-            let verdict = if self.pillar_passes(pillar) { "PASS" } else { "FAIL" };
+            let verdict = if self.pillar_passes(pillar) {
+                "PASS"
+            } else {
+                "FAIL"
+            };
             writeln!(f, "[{:>15}]  {verdict}", pillar.name())?;
             for c in checks {
                 writeln!(
@@ -130,12 +134,20 @@ impl fmt::Display for FactReport {
         writeln!(
             f,
             "audit chain: {}",
-            if self.audit_chain_intact { "intact" } else { "BROKEN" }
+            if self.audit_chain_intact {
+                "intact"
+            } else {
+                "BROKEN"
+            }
         )?;
         write!(
             f,
             "certification: {}",
-            if self.is_green() { "GREEN ✓" } else { "NOT GREEN ✗" }
+            if self.is_green() {
+                "GREEN ✓"
+            } else {
+                "NOT GREEN ✗"
+            }
         )
     }
 }
@@ -163,7 +175,10 @@ mod tests {
         };
         assert!(rep.is_green());
         assert!(rep.pillar_passes(Pillar::Fairness));
-        assert!(!rep.pillar_passes(Pillar::Transparency), "not evaluated ≠ pass");
+        assert!(
+            !rep.pillar_passes(Pillar::Transparency),
+            "not evaluated ≠ pass"
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub enum Alert {
         rate_protected: f64,
         /// Windowed favorable rate for group A.
         rate_unprotected: f64,
-        /// The DI ratio that tripped the alert.
+        /// The DI ratio that tripped the alert. `f64::INFINITY` when the
+        /// unprotected group's windowed rate is zero while the protected
+        /// group's is positive (total one-sided disparity).
         disparate_impact: f64,
     },
     /// A DP count was released.
@@ -94,11 +96,19 @@ impl StreamingFairnessMonitor {
         }
         let rate_a = self.counts[0][1] as f64 / n_a as f64;
         let rate_b = self.counts[1][1] as f64 / n_b as f64;
-        if rate_a <= 0.0 {
+        // DI is rate_b / rate_a. When rate_a == 0 the ratio is not finite:
+        // if rate_b > 0 the window shows total one-sided disparity (A never
+        // favored while B is) — the worst case, which must alert rather than
+        // be masked; if both rates are zero the window carries no evidence
+        // either way.
+        let di = if rate_a > 0.0 {
+            rate_b / rate_a
+        } else if rate_b > 0.0 {
+            f64::INFINITY
+        } else {
             return None;
-        }
-        let di = rate_b / rate_a;
-        if di < self.min_di {
+        };
+        if di < self.min_di || di.is_infinite() {
             Some(Alert::FairnessViolation {
                 rate_protected: rate_b,
                 rate_unprotected: rate_a,
@@ -306,7 +316,10 @@ mod tests {
                 assert!(disparate_impact < 0.8);
             }
         }
-        assert!(alerts > 100, "sustained disparity must keep alerting: {alerts}");
+        assert!(
+            alerts > 100,
+            "sustained disparity must keep alerting: {alerts}"
+        );
     }
 
     #[test]
@@ -327,7 +340,10 @@ mod tests {
             }
         }
         // after the window refills with fair traffic, alerts stop
-        assert!(late < early, "sliding window must recover: {late} < {early}");
+        assert!(
+            late < early,
+            "sliding window must recover: {late} < {early}"
+        );
     }
 
     #[test]

@@ -137,12 +137,12 @@ mod tests {
         let y = biased.bool_column("y").unwrap();
         let g = biased.labels("g").unwrap();
         // group A untouched
-        assert!(y.iter().zip(&g).filter(|(_, gg)| *gg == "A").all(|(&v, _)| v));
-        let b_false = y
+        assert!(y
             .iter()
             .zip(&g)
-            .filter(|(&v, gg)| *gg == "B" && !v)
-            .count();
+            .filter(|(_, gg)| *gg == "A")
+            .all(|(&v, _)| v));
+        let b_false = y.iter().zip(&g).filter(|(&v, gg)| *gg == "B" && !v).count();
         assert_eq!(b_false, flipped);
         assert!((150..350).contains(&flipped), "≈50% of 500, got {flipped}");
     }
@@ -203,6 +203,9 @@ mod tests {
             vals.iter().sum::<f64>() / vals.len() as f64
         };
         let diff = (mean(&|s: &str| s == "A") - mean(&|s: &str| s == "B")).abs();
-        assert!(diff < 0.1, "pure-noise proxy should not separate groups: {diff}");
+        assert!(
+            diff < 0.1,
+            "pure-noise proxy should not separate groups: {diff}"
+        );
     }
 }

@@ -270,9 +270,7 @@ mod tests {
 
     #[test]
     fn display_is_audit_readable() {
-        let p = col("income")
-            .ge(50.0)
-            .and(col("group").eq_label("B").not());
+        let p = col("income").ge(50.0).and(col("group").eq_label("B").not());
         assert_eq!(p.to_string(), "(income >= 50 AND NOT (group == 'B'))");
     }
 

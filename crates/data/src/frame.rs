@@ -92,7 +92,11 @@ impl Dataset {
 
     /// Column names in order.
     pub fn names(&self) -> Vec<&str> {
-        self.schema.fields().iter().map(|f| f.name.as_str()).collect()
+        self.schema
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect()
     }
 
     /// Borrow a column by name.
@@ -201,11 +205,7 @@ impl Dataset {
         if self.schema.index_of(name).is_none() {
             return Err(FactError::ColumnNotFound(name.to_string()));
         }
-        let keep: Vec<&str> = self
-            .names()
-            .into_iter()
-            .filter(|&n| n != name)
-            .collect();
+        let keep: Vec<&str> = self.names().into_iter().filter(|&n| n != name).collect();
         self.select(&keep)
     }
 
@@ -269,7 +269,8 @@ impl Dataset {
                 }
             }
         }
-        self.filter(&mask).expect("mask length matches by construction")
+        self.filter(&mask)
+            .expect("mask length matches by construction")
     }
 
     /// Total null count across all columns.
@@ -495,7 +496,11 @@ fn stitch(left: Column, right: Column) -> Column {
         ColumnData::Int(v) => Column::from_i64(v),
         ColumnData::Bool(v) => Column::from_bool(v),
         ColumnData::Cat(c) => {
-            let labels: Vec<String> = c.codes.iter().map(|&i| c.dict[i as usize].clone()).collect();
+            let labels: Vec<String> = c
+                .codes
+                .iter()
+                .map(|&i| c.dict[i as usize].clone())
+                .collect();
             Column::from_labels(&labels)
         }
     };
@@ -643,7 +648,8 @@ mod tests {
         assert!(ds
             .add_column("short", Column::from_f64(vec![0.0; 2]))
             .is_err());
-        ds.replace_column("debt", Column::from_f64(vec![9.0; 4])).unwrap();
+        ds.replace_column("debt", Column::from_f64(vec![9.0; 4]))
+            .unwrap();
         assert_eq!(ds.f64_column("debt").unwrap(), vec![9.0; 4]);
         let dropped = ds.drop_column("debt").unwrap();
         assert_eq!(dropped.n_cols(), 4);
@@ -709,10 +715,7 @@ mod tests {
             .unwrap();
         let stacked = a.vstack(&b).unwrap();
         assert_eq!(stacked.n_rows(), 4);
-        assert_eq!(
-            stacked.labels("g").unwrap(),
-            vec!["x", "y", "z", "x"]
-        );
+        assert_eq!(stacked.labels("g").unwrap(), vec!["x", "y", "z", "x"]);
     }
 
     #[test]

@@ -297,9 +297,7 @@ impl Matrix {
                 }
             }
             if best < 1e-12 {
-                return Err(FactError::Numeric(
-                    "singular matrix in linear solve".into(),
-                ));
+                return Err(FactError::Numeric("singular matrix in linear solve".into()));
             }
             if pivot != col {
                 for j in 0..n {

@@ -44,7 +44,9 @@ pub fn sample_with_replacement(n: usize, k: usize, seed: u64) -> Result<Vec<usiz
 /// `weights[i] / Σ weights`. Weights must be non-negative with positive sum.
 pub fn weighted_sample(weights: &[f64], k: usize, seed: u64) -> Result<Vec<usize>> {
     if weights.is_empty() {
-        return Err(FactError::EmptyData("weighted sample with no weights".into()));
+        return Err(FactError::EmptyData(
+            "weighted sample with no weights".into(),
+        ));
     }
     if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
         return Err(FactError::InvalidArgument(

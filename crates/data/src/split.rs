@@ -180,7 +180,10 @@ mod tests {
                 assert!(!train.contains(&i));
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each row validates exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each row validates exactly once"
+        );
     }
 
     #[test]

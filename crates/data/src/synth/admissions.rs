@@ -144,10 +144,7 @@ mod tests {
 
     #[test]
     fn department_rates_match_history() {
-        let ds = generate_admissions(&AdmissionsConfig {
-            n: 24_000,
-            seed: 1,
-        });
+        let ds = generate_admissions(&AdmissionsConfig { n: 24_000, seed: 1 });
         let by_dept = ds.group_by("department").unwrap();
         // department F is brutally selective for everyone
         let f_ds = by_dept.dataset("F").unwrap();

@@ -15,7 +15,12 @@ use crate::synth::normal;
 
 /// Occupations (correlated with salary).
 pub const OCCUPATIONS: [&str; 6] = [
-    "service", "clerical", "technical", "professional", "managerial", "executive",
+    "service",
+    "clerical",
+    "technical",
+    "professional",
+    "managerial",
+    "executive",
 ];
 
 /// Diagnoses (the sensitive attribute for l-diversity).

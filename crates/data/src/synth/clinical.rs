@@ -82,14 +82,16 @@ pub fn generate_clinical(cfg: &ClinicalConfig) -> ClinicalWorld {
         let u = normal(&mut rng, 0.0, 1.0); // unobserved frailty
 
         // sicker and older patients are more likely to receive treatment
-        let p_treat = sigmoid(
-            cfg.confounding * (0.9 * s + 0.4 * a) + cfg.unobserved_confounding * u,
-        );
+        let p_treat =
+            sigmoid(cfg.confounding * (0.9 * s + 0.4 * a) + cfg.unobserved_confounding * u);
         let t = rng.gen::<f64>() < p_treat;
 
         // outcome model: recovery less likely when severe/old/frail,
         // improved by treatment by `effect` on the logit
-        let base = 0.6 - 1.0 * s - 0.35 * a - if c { 0.4 } else { 0.0 }
+        let base = 0.6
+            - 1.0 * s
+            - 0.35 * a
+            - if c { 0.4 } else { 0.0 }
             - cfg.unobserved_confounding * 0.9 * u;
         let p0 = sigmoid(base);
         let p1 = sigmoid(base + cfg.effect);

@@ -45,8 +45,7 @@ pub fn consistency_score(x: &Matrix, scores: &[f64], k: usize) -> Result<f64> {
         dists.select_nth_unstable_by(k - 1, |a, b| {
             a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
         });
-        let neigh_mean: f64 =
-            dists[..k].iter().map(|&(_, j)| scores[j]).sum::<f64>() / k as f64;
+        let neigh_mean: f64 = dists[..k].iter().map(|&(_, j)| scores[j]).sum::<f64>() / k as f64;
         total_dev += (scores[i] - neigh_mean).abs();
     }
     Ok(1.0 - total_dev / n as f64)

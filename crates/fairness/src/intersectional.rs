@@ -75,7 +75,9 @@ pub fn intersectional_audit(
         });
     }
     if pred.is_empty() {
-        return Err(FactError::EmptyData("intersectional audit on empty data".into()));
+        return Err(FactError::EmptyData(
+            "intersectional audit on empty data".into(),
+        ));
     }
     let mut label_cols = Vec::with_capacity(attributes.len());
     for &a in attributes {

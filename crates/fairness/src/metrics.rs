@@ -78,11 +78,7 @@ pub fn disparate_impact(pred: &[bool], mask: &[bool]) -> Result<f64> {
 
 /// Equal opportunity difference: `TPR(unprotected) − TPR(protected)`.
 /// Requires positive examples in both groups.
-pub fn equal_opportunity_difference(
-    truth: &[bool],
-    pred: &[bool],
-    mask: &[bool],
-) -> Result<f64> {
+pub fn equal_opportunity_difference(truth: &[bool], pred: &[bool], mask: &[bool]) -> Result<f64> {
     validate(truth.len(), pred.len(), mask)?;
     let (tpr_p, tpr_u) = group_rates(truth, pred, mask, |cm| cm.tpr())?;
     Ok(tpr_u - tpr_p)
@@ -97,11 +93,7 @@ pub fn equalized_odds_difference(truth: &[bool], pred: &[bool], mask: &[bool]) -
 }
 
 /// Predictive parity difference: `precision(unprotected) − precision(protected)`.
-pub fn predictive_parity_difference(
-    truth: &[bool],
-    pred: &[bool],
-    mask: &[bool],
-) -> Result<f64> {
+pub fn predictive_parity_difference(truth: &[bool], pred: &[bool], mask: &[bool]) -> Result<f64> {
     validate(truth.len(), pred.len(), mask)?;
     let (p, u) = group_rates(truth, pred, mask, |cm| cm.precision())?;
     Ok(u - p)

@@ -66,7 +66,9 @@ impl PrejudiceRemover {
             return Err(FactError::EmptyData("empty training data".into()));
         }
         if cfg.eta < 0.0 {
-            return Err(FactError::InvalidArgument("eta must be non-negative".into()));
+            return Err(FactError::InvalidArgument(
+                "eta must be non-negative".into(),
+            ));
         }
         let n_prot = mask.iter().filter(|&&m| m).count();
         if n_prot == 0 || n_prot == mask.len() {
@@ -243,7 +245,10 @@ mod tests {
         };
         let g0 = gap_at(0.0);
         let g2 = gap_at(2.0);
-        assert!(g2 < g0, "eta=2 gap {g2:.3} should be below eta=0 gap {g0:.3}");
+        assert!(
+            g2 < g0,
+            "eta=2 gap {g2:.3} should be below eta=0 gap {g0:.3}"
+        );
     }
 
     #[test]
@@ -259,13 +264,10 @@ mod tests {
     fn validation() {
         let (x, y, mask) = biased_world();
         assert!(PrejudiceRemover::fit(&x, &y[..10], &mask, &PrejudiceConfig::default()).is_err());
-        assert!(PrejudiceRemover::fit(
-            &x,
-            &y,
-            &vec![true; y.len()],
-            &PrejudiceConfig::default()
-        )
-        .is_err());
+        assert!(
+            PrejudiceRemover::fit(&x, &y, &vec![true; y.len()], &PrejudiceConfig::default())
+                .is_err()
+        );
         let bad = PrejudiceConfig {
             eta: -1.0,
             ..PrejudiceConfig::default()

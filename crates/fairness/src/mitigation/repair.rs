@@ -163,7 +163,10 @@ mod tests {
         let g0 = gap_at(0.0);
         let g5 = gap_at(0.5);
         let g1 = gap_at(1.0);
-        assert!(g0 > g5 && g5 > g1, "monotone gap closure: {g0:.2} > {g5:.2} > {g1:.2}");
+        assert!(
+            g0 > g5 && g5 > g1,
+            "monotone gap closure: {g0:.2} > {g5:.2} > {g1:.2}"
+        );
     }
 
     #[test]

@@ -39,14 +39,8 @@ pub fn reweighing_weights(y: &[bool], mask: &[bool]) -> Result<Vec<f64>> {
             }
         }
     }
-    let p_group = [
-        (cell[0][0] + cell[0][1]) / n,
-        (cell[1][0] + cell[1][1]) / n,
-    ];
-    let p_label = [
-        (cell[0][0] + cell[1][0]) / n,
-        (cell[0][1] + cell[1][1]) / n,
-    ];
+    let p_group = [(cell[0][0] + cell[0][1]) / n, (cell[1][0] + cell[1][1]) / n];
+    let p_label = [(cell[0][0] + cell[1][0]) / n, (cell[0][1] + cell[1][1]) / n];
     let mut w_cell = [[0.0f64; 2]; 2];
     for g in 0..2 {
         for l in 0..2 {
@@ -141,8 +135,7 @@ mod tests {
         let w = reweighing_weights(&y, &mask).unwrap();
         let fair = LogisticRegression::fit(&x, &y, Some(&w), &LogisticConfig::default()).unwrap();
 
-        let spd_plain =
-            statistical_parity_difference(&plain.predict(&x).unwrap(), &mask).unwrap();
+        let spd_plain = statistical_parity_difference(&plain.predict(&x).unwrap(), &mask).unwrap();
         let spd_fair = statistical_parity_difference(&fair.predict(&x).unwrap(), &mask).unwrap();
         assert!(
             spd_fair.abs() < spd_plain.abs(),

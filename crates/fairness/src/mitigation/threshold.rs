@@ -48,7 +48,9 @@ fn validate(scores: &[f64], mask: &[bool]) -> Result<()> {
         });
     }
     if scores.is_empty() {
-        return Err(FactError::EmptyData("threshold search on empty scores".into()));
+        return Err(FactError::EmptyData(
+            "threshold search on empty scores".into(),
+        ));
     }
     if !mask.iter().any(|&m| m) || mask.iter().all(|&m| m) {
         return Err(FactError::InvalidArgument(
@@ -217,9 +219,7 @@ mod tests {
         assert!(equalize_selection_rates(&scores, &[true], 0.5).is_err());
         assert!(equalize_opportunity(&scores, &[true], &[true, false], 0.5).is_err());
         // no positives in one group
-        assert!(
-            equalize_opportunity(&[0.5, 0.6], &[false, true], &[true, false], 0.5).is_err()
-        );
+        assert!(equalize_opportunity(&[0.5, 0.6], &[false, true], &[true, false], 0.5).is_err());
         let th = GroupThresholds {
             protected: 0.3,
             unprotected: 0.5,

@@ -50,7 +50,10 @@ pub fn scan_proxies(ds: &Dataset, mask: &[bool], exclude: &[&str]) -> Result<Vec
         let (bins, abs_corr) = match field.dtype {
             DataType::Cat => {
                 let cat = col.as_cat()?;
-                (cat.codes.iter().map(|&c| c as usize).collect::<Vec<_>>(), None)
+                (
+                    cat.codes.iter().map(|&c| c as usize).collect::<Vec<_>>(),
+                    None,
+                )
             }
             _ => {
                 let vals = ds.f64_column(&field.name)?;
@@ -91,7 +94,11 @@ fn discretize(vals: &[f64], n_bins: usize) -> Vec<usize> {
     }
     let width = (hi - lo).max(1e-300);
     vals.iter()
-        .map(|&v| (((v - lo) / width) * n_bins as f64).floor().min(n_bins as f64 - 1.0) as usize)
+        .map(|&v| {
+            (((v - lo) / width) * n_bins as f64)
+                .floor()
+                .min(n_bins as f64 - 1.0) as usize
+        })
         .collect()
 }
 
@@ -128,9 +135,9 @@ fn mutual_information(bins: &[usize], mask: &[bool]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protected_mask;
     use fact_data::bias::inject_proxy;
     use fact_data::synth::loans::{generate_loans, LoanConfig};
-    use crate::protected_mask;
 
     #[test]
     fn perfect_proxy_tops_the_ranking() {
@@ -143,7 +150,11 @@ mod tests {
         let mask = protected_mask(&ds, "group", "B").unwrap();
         let scores = scan_proxies(&ds, &mask, &["group", "approved"]).unwrap();
         assert_eq!(scores[0].feature, "zip_risk");
-        assert!(scores[0].normalized_mi > 0.9, "nmi={}", scores[0].normalized_mi);
+        assert!(
+            scores[0].normalized_mi > 0.9,
+            "nmi={}",
+            scores[0].normalized_mi
+        );
         assert!(scores[0].abs_correlation.unwrap() > 0.95);
     }
 
@@ -199,11 +210,8 @@ mod tests {
         });
         let labels = ds.labels("group").unwrap();
         let mut ds2 = ds.clone();
-        ds2.add_column(
-            "neighborhood",
-            fact_data::Column::from_labels(&labels),
-        )
-        .unwrap();
+        ds2.add_column("neighborhood", fact_data::Column::from_labels(&labels))
+            .unwrap();
         let mask = protected_mask(&ds2, "group", "B").unwrap();
         let scores = scan_proxies(&ds2, &mask, &["group", "approved"]).unwrap();
         assert_eq!(scores[0].feature, "neighborhood");

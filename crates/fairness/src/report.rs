@@ -139,7 +139,11 @@ impl FairnessReport {
 
 impl fmt::Display for FairnessReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fairness audit (protected n={}, unprotected n={})", self.n_protected, self.n_unprotected)?;
+        writeln!(
+            f,
+            "Fairness audit (protected n={}, unprotected n={})",
+            self.n_protected, self.n_unprotected
+        )?;
         writeln!(
             f,
             "  selection rate       protected {:.3}  unprotected {:.3}",
@@ -155,7 +159,11 @@ impl fmt::Display for FairnessReport {
             f,
             "  disparate impact     {:.3}  [{}]",
             self.disparate_impact,
-            if self.passes_disparate_impact() { "pass" } else { "FAIL" }
+            if self.passes_disparate_impact() {
+                "pass"
+            } else {
+                "FAIL"
+            }
         )?;
         if let Some(v) = self.equal_opportunity_difference {
             writeln!(f, "  equal opportunity Δ  {v:+.3}")?;
@@ -165,14 +173,21 @@ impl fmt::Display for FairnessReport {
                 f,
                 "  equalized odds       {:.3}  [{}]",
                 v,
-                if self.passes_equalized_odds() { "pass" } else { "FAIL" }
+                if self.passes_equalized_odds() {
+                    "pass"
+                } else {
+                    "FAIL"
+                }
             )?;
         }
         if let Some(v) = self.predictive_parity_difference {
             writeln!(f, "  predictive parity Δ  {v:+.3}")?;
         }
         if let Some((p, u)) = self.group_accuracy {
-            writeln!(f, "  accuracy             protected {p:.3}  unprotected {u:.3}")?;
+            writeln!(
+                f,
+                "  accuracy             protected {p:.3}  unprotected {u:.3}"
+            )?;
         }
         write!(
             f,

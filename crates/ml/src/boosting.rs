@@ -112,8 +112,7 @@ fn build_reg_tree(
             }
             let gr = g_total - gl;
             let hr = h_total - hl;
-            let gain =
-                gl * gl / (hl + 1e-9) + gr * gr / (hr + 1e-9) - parent_score;
+            let gain = gl * gl / (hl + 1e-9) + gr * gr / (hr + 1e-9) - parent_score;
             if gain > best.map(|b| b.0).unwrap_or(1e-9) {
                 best = Some((gain, f, (vals[k].0 + vals[k + 1].0) / 2.0));
             }

@@ -131,11 +131,7 @@ impl<C: Classifier> Classifier for CalibratedClassifier<C> {
 
 /// Expected calibration error: Σ (bin weight) · |mean predicted − observed|
 /// over `n_bins` equal-width bins.
-pub fn expected_calibration_error(
-    truth: &[bool],
-    probs: &[f64],
-    n_bins: usize,
-) -> Result<f64> {
+pub fn expected_calibration_error(truth: &[bool], probs: &[f64], n_bins: usize) -> Result<f64> {
     let curve = calibration_curve(truth, probs, n_bins)?;
     let n: usize = curve.iter().map(|&(_, _, c)| c).sum();
     Ok(curve

@@ -124,7 +124,10 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![0.0], vec![1.0]]).unwrap();
         let y = vec![0.0, 1.0, 5.0, 6.0];
         let w_lo = LinearRegression::fit(&x, &y, 0.0, Some(&[100.0, 100.0, 1.0, 1.0])).unwrap();
-        assert!(w_lo.coefficients()[0] < 1.0, "intercept pulled to first pair");
+        assert!(
+            w_lo.coefficients()[0] < 1.0,
+            "intercept pulled to first pair"
+        );
         drop(m);
     }
 

@@ -214,12 +214,7 @@ mod tests {
         let weighted =
             LogisticRegression::fit(&x, &y, Some(&w), &LogisticConfig::default()).unwrap();
         let rate = |m: &LogisticRegression| {
-            m.predict(&x)
-                .unwrap()
-                .iter()
-                .filter(|&&p| p)
-                .count() as f64
-                / x.rows() as f64
+            m.predict(&x).unwrap().iter().filter(|&&p| p).count() as f64 / x.rows() as f64
         };
         assert!(rate(&weighted) >= rate(&plain));
     }
@@ -227,8 +222,9 @@ mod tests {
     #[test]
     fn weight_validation() {
         let (x, y) = linear_world(100, 5);
-        assert!(LogisticRegression::fit(&x, &y, Some(&[1.0; 99]), &LogisticConfig::default())
-            .is_err());
+        assert!(
+            LogisticRegression::fit(&x, &y, Some(&[1.0; 99]), &LogisticConfig::default()).is_err()
+        );
         let neg = vec![-1.0; 100];
         assert!(LogisticRegression::fit(&x, &y, Some(&neg), &LogisticConfig::default()).is_err());
     }

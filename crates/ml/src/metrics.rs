@@ -77,12 +77,7 @@ fn check_pair<T, U>(a: &[T], b: &[U]) -> Result<()> {
 /// Fraction of correct predictions.
 pub fn accuracy(truth: &[bool], pred: &[bool]) -> Result<f64> {
     check_pair(truth, pred)?;
-    Ok(truth
-        .iter()
-        .zip(pred)
-        .filter(|(t, p)| t == p)
-        .count() as f64
-        / truth.len() as f64)
+    Ok(truth.iter().zip(pred).filter(|(t, p)| t == p).count() as f64 / truth.len() as f64)
 }
 
 /// Precision; errors when nothing was predicted positive.
@@ -147,8 +142,8 @@ pub fn roc_auc(truth: &[bool], scores: &[f64]) -> Result<f64> {
         .filter(|(&t, _)| t)
         .map(|(_, &r)| r)
         .sum();
-    let auc = (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0)
-        / (n_pos as f64 * n_neg as f64);
+    let auc =
+        (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64);
     Ok(auc)
 }
 

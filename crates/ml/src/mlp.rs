@@ -174,8 +174,7 @@ impl Mlp {
                     for (o, wrow) in layer.w.iter_mut().enumerate() {
                         for (j, wv) in wrow.iter_mut().enumerate() {
                             let g = grads[li].w[o][j] * scale + cfg.l2 * *wv;
-                            velocity[li].w[o][j] =
-                                cfg.momentum * velocity[li].w[o][j] - g;
+                            velocity[li].w[o][j] = cfg.momentum * velocity[li].w[o][j] - g;
                             *wv += velocity[li].w[o][j];
                         }
                         let g = grads[li].b[o] * scale;

@@ -126,8 +126,13 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_explode() {
-        let x = Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0], vec![4.0, 5.0]])
-            .unwrap();
+        let x = Matrix::from_rows(&[
+            vec![1.0, 5.0],
+            vec![2.0, 5.0],
+            vec![3.0, 5.0],
+            vec![4.0, 5.0],
+        ])
+        .unwrap();
         let m = GaussianNb::fit(&x, &[false, false, true, true]).unwrap();
         let p = m.predict_proba(&x).unwrap();
         assert!(p.iter().all(|v| v.is_finite()));

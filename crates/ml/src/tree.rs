@@ -142,8 +142,8 @@ pub(crate) fn best_split(
                 continue;
             }
             let right_pos = total_pos - left_pos;
-            let impurity =
-                (left_n / total) * gini(left_pos, left_n) + (right_n / total) * gini(right_pos, right_n);
+            let impurity = (left_n / total) * gini(left_pos, left_n)
+                + (right_n / total) * gini(right_pos, right_n);
             if impurity + 1e-12 < best.as_ref().map(|b| b.impurity).unwrap_or(parent) {
                 best = Some(BestSplit {
                     feature: f,
@@ -156,13 +156,7 @@ pub(crate) fn best_split(
     best.map(|b| (b.feature, b.threshold, b.impurity))
 }
 
-fn build(
-    x: &Matrix,
-    y: &[bool],
-    rows: &[usize],
-    depth: usize,
-    cfg: &TreeConfig,
-) -> Node {
+fn build(x: &Matrix, y: &[bool], rows: &[usize], depth: usize, cfg: &TreeConfig) -> Node {
     let n = rows.len();
     let pos = rows.iter().filter(|&&i| y[i]).count();
     let prob = pos as f64 / n as f64;
@@ -254,7 +248,11 @@ impl DecisionTree {
                     right,
                     ..
                 } => {
-                    node = if row[*feature] <= *threshold { left } else { right };
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -296,7 +294,11 @@ impl DecisionTree {
     /// Every root-to-leaf rule as `(conditions, leaf probability, support)`.
     pub fn rules(&self) -> Vec<(Vec<Condition>, f64, usize)> {
         let mut out = Vec::new();
-        fn walk(node: &Node, prefix: &mut Vec<Condition>, out: &mut Vec<(Vec<Condition>, f64, usize)>) {
+        fn walk(
+            node: &Node,
+            prefix: &mut Vec<Condition>,
+            out: &mut Vec<(Vec<Condition>, f64, usize)>,
+        ) {
             match node {
                 Node::Leaf { prob, n } => out.push((prefix.clone(), *prob, *n)),
                 Node::Split {
@@ -448,10 +450,7 @@ mod tests {
             is_le: false,
             threshold: 3.25,
         };
-        assert_eq!(
-            c.render(&["income".into(), "debt".into()]),
-            "debt > 3.2500"
-        );
+        assert_eq!(c.render(&["income".into(), "debt".into()]), "debt > 3.2500");
         assert_eq!(c.render(&[]), "x1 > 3.2500");
     }
 

@@ -1,0 +1,466 @@
+//! # fact-serve — concurrent FACT-guarded decision serving
+//!
+//! §3 of the paper frames the scale problem with the "Internet Minute":
+//! responsible data science has to hold *while decisions are being served*,
+//! millions per minute, not only in offline audits. This crate is the
+//! serving fabric for that regime, built on `std` alone (threads + mpsc —
+//! the build environment has no async runtime):
+//!
+//! * **Sharding** — [`DecisionService::start`] spins up one worker thread
+//!   per shard; requests are routed by key hash so a user's decisions stay
+//!   on one shard (and one guard window).
+//! * **Admission control** — every shard queue is *bounded*. A full queue
+//!   sheds the request immediately with [`ServeError::Busy`] rather than
+//!   buffering into latency collapse; callers that wait bound their own
+//!   exposure with [`ServeError::Timeout`].
+//! * **Micro-batching** — workers drain their queue into batches (up to
+//!   `batch_max`, lingering `batch_linger` for stragglers) so one
+//!   matrix-level [`Classifier::predict_proba`] call amortizes model
+//!   overhead across requests.
+//! * **Streaming guards** — each shard owns a
+//!   [`StreamingFairnessMonitor`], an optional [`DriftMonitor`] over the
+//!   decision scores, and a [`StreamingDpCounter`] spending a per-shard ε
+//!   budget. Alerts are debounced per kind and merged into one channel
+//!   ([`DecisionService::drain_alerts`]). A trip engages the
+//!   [`DegradePolicy`]: keep serving but flag decisions for audit, or
+//!   hard-reject until the cooldown passes — responsibility degrades the
+//!   service, never silently disables itself.
+//! * **Observability** — a lock-free [`MetricsRegistry`]: relaxed-atomic
+//!   counters, power-of-two latency buckets with p50/p95/p99, per-shard
+//!   queue depth and shed/timeout counts, rendered as text.
+//! * **Graceful shutdown** — [`DecisionService::shutdown`] stops admission,
+//!   lets every shard serve what it already accepted, and returns a
+//!   [`ServiceReport`] with decisions served, alerts raised, and ε spent.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use fact_data::{Matrix, Result};
+//! use fact_ml::Classifier;
+//! use fact_serve::{DecisionRequest, DecisionService, ServeConfig};
+//!
+//! struct Threshold;
+//! impl Classifier for Threshold {
+//!     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+//!         Ok((0..x.rows()).map(|i| x.get(i, 0)).collect())
+//!     }
+//! }
+//!
+//! let service = DecisionService::start(
+//!     Arc::new(Threshold),
+//!     ServeConfig { shards: 2, n_features: 1, ..ServeConfig::default() },
+//! ).unwrap();
+//! let decision = service.decide(DecisionRequest {
+//!     features: vec![0.9],
+//!     group_b: false,
+//!     route_key: 17,
+//! }).unwrap();
+//! assert!(decision.favorable);
+//! let report = service.shutdown();
+//! assert_eq!(report.decisions_served, 1);
+//! ```
+//!
+//! [`Classifier::predict_proba`]: fact_ml::Classifier::predict_proba
+//! [`StreamingFairnessMonitor`]: fact_core::runtime::StreamingFairnessMonitor
+//! [`StreamingDpCounter`]: fact_core::runtime::StreamingDpCounter
+//! [`DriftMonitor`]: fact_core::drift::DriftMonitor
+
+#![warn(missing_docs)]
+
+pub mod guards;
+pub mod metrics;
+pub mod service;
+
+pub use guards::{AlertKind, DegradePolicy, GuardConfig, ServiceAlert};
+pub use metrics::{LatencyHistogram, MetricsRegistry, MetricsSnapshot, ShardSnapshot};
+pub use service::{
+    Decision, DecisionHandle, DecisionRequest, DecisionService, ServeConfig, ServeError,
+    ServiceReport, ShardReport,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_data::{Matrix, Result};
+    use fact_ml::Classifier;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Probability = first feature; optionally stalls per batch so tests
+    /// can fill queues deterministically.
+    struct StubModel {
+        stall: Duration,
+        batches: AtomicU64,
+    }
+
+    impl StubModel {
+        fn instant() -> Self {
+            StubModel {
+                stall: Duration::ZERO,
+                batches: AtomicU64::new(0),
+            }
+        }
+
+        fn slow(stall: Duration) -> Self {
+            StubModel {
+                stall,
+                batches: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Classifier for StubModel {
+        fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            if !self.stall.is_zero() {
+                std::thread::sleep(self.stall);
+            }
+            Ok((0..x.rows()).map(|i| x.get(i, 0).clamp(0.0, 1.0)).collect())
+        }
+    }
+
+    fn request(p: f64, key: u64) -> DecisionRequest {
+        DecisionRequest {
+            features: vec![p],
+            group_b: key % 2 == 0,
+            route_key: key,
+        }
+    }
+
+    fn base_config() -> ServeConfig {
+        ServeConfig {
+            shards: 2,
+            n_features: 1,
+            queue_cap: 64,
+            batch_max: 8,
+            batch_linger: Duration::from_micros(100),
+            default_timeout: Duration::from_secs(5),
+            guards: None,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn batching_returns_each_caller_its_own_prediction() {
+        let model = Arc::new(StubModel::slow(Duration::from_millis(2)));
+        let service = DecisionService::start(
+            Arc::clone(&model) as Arc<dyn Classifier + Send + Sync>,
+            ServeConfig {
+                shards: 1,
+                batch_max: 16,
+                batch_linger: Duration::from_millis(5),
+                ..base_config()
+            },
+        )
+        .unwrap();
+        // enqueue k requests with distinct known probabilities, then reap:
+        // micro-batching must not permute replies across callers
+        let k = 32;
+        let handles: Vec<_> = (0..k)
+            .map(|i| {
+                let p = i as f64 / k as f64;
+                (p, service.submit(request(p, i as u64)).unwrap())
+            })
+            .collect();
+        for (p, h) in handles {
+            let d = h.wait(Duration::from_secs(10)).unwrap();
+            assert!(
+                (d.probability - p).abs() < 1e-12,
+                "got {} want {p}",
+                d.probability
+            );
+            assert_eq!(d.favorable, p >= 0.5);
+            assert_eq!(d.shard, 0);
+        }
+        let report = service.shutdown();
+        assert_eq!(report.decisions_served, k as u64);
+        // the slow model forces queue build-up, so batching must have kicked
+        // in: far fewer batches than requests
+        assert!(
+            model.batches.load(Ordering::Relaxed) < k as u64,
+            "expected micro-batches, got one call per request"
+        );
+    }
+
+    #[test]
+    fn bounded_queue_sheds_with_busy() {
+        // one shard, tiny queue, model stalled long enough that nothing
+        // drains while we flood
+        let service = DecisionService::start(
+            Arc::new(StubModel::slow(Duration::from_millis(200))),
+            ServeConfig {
+                shards: 1,
+                queue_cap: 4,
+                batch_max: 1,
+                batch_linger: Duration::ZERO,
+                ..base_config()
+            },
+        )
+        .unwrap();
+        let mut accepted = Vec::new();
+        let mut busy = 0;
+        for i in 0..64 {
+            match service.submit(request(0.5, i)) {
+                Ok(h) => accepted.push(h),
+                Err(ServeError::Busy { shard }) => {
+                    assert_eq!(shard, 0);
+                    busy += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(busy > 0, "flooding a capacity-4 queue must shed");
+        // capacity + at most a couple in flight
+        assert!(accepted.len() <= 8, "accepted {}", accepted.len());
+        let snap = service.metrics();
+        assert_eq!(snap.shed(), busy);
+        // every accepted request is still answered
+        for h in accepted {
+            h.wait(Duration::from_secs(30)).unwrap();
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn caller_timeout_is_typed_and_counted() {
+        let service = DecisionService::start(
+            Arc::new(StubModel::slow(Duration::from_millis(100))),
+            ServeConfig {
+                shards: 1,
+                ..base_config()
+            },
+        )
+        .unwrap();
+        let h = service.submit(request(0.5, 1)).unwrap();
+        match h.wait(Duration::from_millis(1)) {
+            Err(ServeError::Timeout { waited }) => {
+                assert_eq!(waited, Duration::from_millis(1))
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        let snap = service.metrics();
+        assert_eq!(snap.shards[0].timeouts, 1);
+        let report = service.shutdown();
+        // the timed-out request was still served after the caller left
+        assert_eq!(report.decisions_served, 1);
+        assert_eq!(report.timed_out, 1);
+    }
+
+    fn disparity_config(policy: DegradePolicy) -> ServeConfig {
+        ServeConfig {
+            shards: 1,
+            policy,
+            trip_cooldown: 10_000,
+            guards: Some(GuardConfig {
+                fairness_window: 100,
+                min_di: 0.8,
+                min_samples_per_group: 10,
+                dp_interval: 1_000_000, // keep DP quiet for this test
+                ..GuardConfig::default()
+            }),
+            ..base_config()
+        }
+    }
+
+    /// Group B requests get low scores, group A high: trips the fairness
+    /// guard quickly.
+    fn run_disparity_traffic(
+        service: &DecisionService,
+        n: u64,
+    ) -> Vec<std::result::Result<Decision, ServeError>> {
+        (0..n)
+            .map(|i| {
+                let group_b = i % 2 == 0;
+                let p = if group_b { 0.1 } else { 0.9 };
+                service.decide(DecisionRequest {
+                    features: vec![p],
+                    group_b,
+                    route_key: i,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn guard_trip_degrades_to_audit_and_flag() {
+        let service = DecisionService::start(
+            Arc::new(StubModel::instant()),
+            disparity_config(DegradePolicy::AuditAndFlag),
+        )
+        .unwrap();
+        let results = run_disparity_traffic(&service, 400);
+        let flagged = results
+            .iter()
+            .filter(|r| matches!(r, Ok(d) if d.flagged))
+            .count();
+        assert!(flagged > 0, "sustained disparity must flag decisions");
+        assert!(
+            results.iter().all(|r| r.is_ok()),
+            "audit-and-flag keeps serving"
+        );
+        let alerts = service.drain_alerts();
+        assert!(
+            alerts
+                .iter()
+                .any(|a| a.shard == 0 && matches!(a.alert, Alert::FairnessViolation { .. })),
+            "alert channel must carry the violation"
+        );
+        let report = service.shutdown();
+        assert_eq!(report.decisions_served, 400);
+        assert!(report.flagged > 0);
+        assert!(report.alerts_raised > 0);
+        assert_eq!(report.rejected, 0);
+    }
+
+    use fact_core::runtime::Alert;
+
+    #[test]
+    fn guard_trip_hard_rejects_until_cooldown() {
+        let service = DecisionService::start(
+            Arc::new(StubModel::instant()),
+            disparity_config(DegradePolicy::HardReject),
+        )
+        .unwrap();
+        let results = run_disparity_traffic(&service, 400);
+        let rejected = results
+            .iter()
+            .filter(|r| matches!(r, Err(ServeError::Rejected { .. })))
+            .count();
+        assert!(rejected > 0, "hard-reject must refuse after the trip");
+        // requests before the trip were served normally
+        assert!(matches!(&results[0], Ok(d) if !d.flagged));
+        let report = service.shutdown();
+        assert_eq!(report.rejected, rejected as u64);
+        assert_eq!(
+            report.decisions_served, 400,
+            "rejections are still decisions served"
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_every_accepted_request() {
+        let service = DecisionService::start(
+            Arc::new(StubModel::slow(Duration::from_millis(1))),
+            ServeConfig {
+                shards: 2,
+                queue_cap: 128,
+                batch_max: 4,
+                ..base_config()
+            },
+        )
+        .unwrap();
+        let handles: Vec<_> = (0..100)
+            .filter_map(|i| service.submit(request(0.7, i)).ok())
+            .collect();
+        let accepted = handles.len() as u64;
+        assert!(accepted > 0);
+        // shut down from a clone while requests are still queued
+        let report = service.clone().shutdown();
+        assert_eq!(
+            report.decisions_served, accepted,
+            "drain must answer everything"
+        );
+        for h in handles {
+            assert!(h.wait(Duration::from_secs(1)).is_ok());
+        }
+        // post-shutdown submissions are refused, and shutdown is idempotent
+        assert!(matches!(
+            service.submit(request(0.5, 0)),
+            Err(ServeError::ShuttingDown)
+        ));
+        let again = service.shutdown();
+        assert_eq!(again.decisions_served, accepted);
+    }
+
+    #[test]
+    fn epsilon_is_accounted_in_the_report() {
+        let service = DecisionService::start(
+            Arc::new(StubModel::instant()),
+            ServeConfig {
+                shards: 1,
+                policy: DegradePolicy::Off,
+                guards: Some(GuardConfig {
+                    dp_interval: 50,
+                    epsilon_per_release: 0.01,
+                    epsilon_budget: 1.0,
+                    ..GuardConfig::default()
+                }),
+                ..base_config()
+            },
+        )
+        .unwrap();
+        for i in 0..500 {
+            service.decide(request(0.5, i)).unwrap();
+        }
+        let snap = service.metrics();
+        let report = service.shutdown();
+        // 500 decisions at one release per 50 → 10 releases of ε=0.01
+        assert!(
+            (report.epsilon_spent - 0.10).abs() < 1e-9,
+            "{}",
+            report.epsilon_spent
+        );
+        assert!((snap.epsilon_spent - report.epsilon_spent).abs() < 1e-9);
+        let text = report.render_text();
+        assert!(text.contains("eps_spent=0.1000"), "{text}");
+    }
+
+    #[test]
+    fn config_validation() {
+        let model: Arc<dyn Classifier + Send + Sync> = Arc::new(StubModel::instant());
+        for bad in [
+            ServeConfig {
+                shards: 0,
+                ..base_config()
+            },
+            ServeConfig {
+                queue_cap: 0,
+                ..base_config()
+            },
+            ServeConfig {
+                batch_max: 0,
+                ..base_config()
+            },
+            ServeConfig {
+                n_features: 0,
+                ..base_config()
+            },
+            ServeConfig {
+                threshold: 1.5,
+                ..base_config()
+            },
+        ] {
+            assert!(matches!(
+                DecisionService::start(Arc::clone(&model), bad),
+                Err(ServeError::BadRequest(_))
+            ));
+        }
+        let service = DecisionService::start(model, base_config()).unwrap();
+        assert!(matches!(
+            service.submit(DecisionRequest {
+                features: vec![0.1, 0.2],
+                group_b: false,
+                route_key: 0,
+            }),
+            Err(ServeError::BadRequest(_))
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn route_key_is_sticky() {
+        let service = DecisionService::start(
+            Arc::new(StubModel::instant()),
+            ServeConfig {
+                shards: 4,
+                ..base_config()
+            },
+        )
+        .unwrap();
+        let a = service.decide(request(0.5, 42)).unwrap().shard;
+        for _ in 0..10 {
+            assert_eq!(service.decide(request(0.5, 42)).unwrap().shard, a);
+        }
+        service.shutdown();
+    }
+}

@@ -1,0 +1,365 @@
+//! Lock-free serving observability.
+//!
+//! Every hot-path record is a relaxed atomic operation: counters are
+//! [`AtomicU64`]s, the latency histogram is a fixed array of power-of-two
+//! buckets, and queue depth is a gauge updated with `fetch_add`/`fetch_sub`.
+//! Snapshots read the atomics without stopping traffic, so a reported
+//! snapshot is a *consistent-enough* view (individual cells are exact; the
+//! set is not taken under a global lock — standard practice for serving
+//! metrics).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets (4), bounding quantile error at 25%.
+const SUB_BITS: usize = 2;
+/// Nanosecond octaves covered; the top one reaches ~9.2 minutes.
+const OCTAVES: usize = 40;
+/// Total fixed buckets in the log-linear latency histogram.
+pub const LATENCY_BUCKETS: usize = OCTAVES << SUB_BITS;
+
+/// A fixed-bucket, lock-free latency histogram: log-linear buckets
+/// (power-of-two octaves, 4 linear sub-buckets each) over nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    fn bucket_index(nanos: u64) -> usize {
+        let n = nanos.max(1);
+        let octave = (63 - u64::leading_zeros(n) as usize).min(OCTAVES - 1);
+        let sub = if octave >= SUB_BITS {
+            ((n >> (octave - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as usize
+        } else {
+            0 // octaves below 2^SUB_BITS ns have no sub-resolution
+        };
+        (octave << SUB_BITS) + sub
+    }
+
+    /// Upper edge (exclusive) of bucket `i`, in nanoseconds.
+    fn bucket_upper(i: usize) -> u64 {
+        let octave = i >> SUB_BITS;
+        let sub = (i & ((1 << SUB_BITS) - 1)) as u64;
+        if octave >= SUB_BITS {
+            (1u64 << octave) + ((sub + 1) << (octave - SUB_BITS))
+        } else {
+            1u64 << (octave + 1)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, latency: Duration) {
+        let idx = Self::bucket_index(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) as the upper edge of the bucket that
+    /// contains it, or `None` if the histogram is empty. Log-linear edges
+    /// bound the true quantile within 25% — the usual trade for a lock-free
+    /// fixed-size histogram.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Duration::from_nanos(Self::bucket_upper(i)));
+            }
+        }
+        Some(Duration::from_nanos(u64::MAX))
+    }
+}
+
+/// Per-shard counters (all relaxed atomics).
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Requests accepted into the shard's queue.
+    pub enqueued: AtomicU64,
+    /// Decisions served (replied to).
+    pub served: AtomicU64,
+    /// Requests shed at admission (queue full → `Busy`).
+    pub shed: AtomicU64,
+    /// Requests whose caller gave up waiting (`Timeout`).
+    pub timeouts: AtomicU64,
+    /// Requests hard-rejected by a tripped guard policy.
+    pub rejected: AtomicU64,
+    /// Decisions served in degraded audit-and-flag mode.
+    pub flagged: AtomicU64,
+    /// Micro-batches executed.
+    pub batches: AtomicU64,
+    /// Sum of batch sizes (mean batch = batch_items / batches).
+    pub batch_items: AtomicU64,
+    /// Current queue depth (gauge).
+    pub depth: AtomicU64,
+    /// High-water mark of the queue depth.
+    pub depth_max: AtomicU64,
+}
+
+impl ShardMetrics {
+    /// Bump the depth gauge (on successful enqueue).
+    pub fn depth_inc(&self) {
+        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.depth_max.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// Drop the depth gauge (on dequeue).
+    pub fn depth_dec(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The service-wide registry: one [`ShardMetrics`] per shard plus global
+/// latency and guard counters. Shared via `Arc`; all methods take `&self`.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: Vec<ShardMetrics>,
+    /// End-to-end decision latency (enqueue → reply).
+    pub latency: LatencyHistogram,
+    /// Guard alerts forwarded to the global channel (after debouncing).
+    pub alerts: AtomicU64,
+    /// Differential-privacy budget spent, in micro-ε (ε × 1e6), summed
+    /// across shards.
+    pub epsilon_micro: AtomicU64,
+}
+
+impl MetricsRegistry {
+    /// A registry for `shards` worker shards.
+    pub fn new(shards: usize) -> Self {
+        MetricsRegistry {
+            shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
+            latency: LatencyHistogram::new(),
+            alerts: AtomicU64::new(0),
+            epsilon_micro: AtomicU64::new(0),
+        }
+    }
+
+    /// The counters for one shard.
+    pub fn shard(&self, i: usize) -> &ShardMetrics {
+        &self.shards[i]
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Record ε spent on a DP release.
+    pub fn add_epsilon(&self, epsilon: f64) {
+        self.epsilon_micro
+            .fetch_add((epsilon * 1e6).round() as u64, Ordering::Relaxed);
+    }
+
+    /// An instantaneous copy of every counter plus latency quantiles.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let shards: Vec<ShardSnapshot> = self
+            .shards
+            .iter()
+            .map(|s| ShardSnapshot {
+                enqueued: s.enqueued.load(Ordering::Relaxed),
+                served: s.served.load(Ordering::Relaxed),
+                shed: s.shed.load(Ordering::Relaxed),
+                timeouts: s.timeouts.load(Ordering::Relaxed),
+                rejected: s.rejected.load(Ordering::Relaxed),
+                flagged: s.flagged.load(Ordering::Relaxed),
+                batches: s.batches.load(Ordering::Relaxed),
+                batch_items: s.batch_items.load(Ordering::Relaxed),
+                depth: s.depth.load(Ordering::Relaxed),
+                depth_max: s.depth_max.load(Ordering::Relaxed),
+            })
+            .collect();
+        MetricsSnapshot {
+            shards,
+            latency_count: self.latency.count(),
+            p50: self.latency.quantile(0.50),
+            p95: self.latency.quantile(0.95),
+            p99: self.latency.quantile(0.99),
+            alerts: self.alerts.load(Ordering::Relaxed),
+            epsilon_spent: self.epsilon_micro.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+}
+
+/// Plain-data copy of one shard's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Requests accepted into the queue.
+    pub enqueued: u64,
+    /// Decisions served.
+    pub served: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Caller-side timeouts.
+    pub timeouts: u64,
+    /// Hard rejections from a tripped guard.
+    pub rejected: u64,
+    /// Audit-and-flag decisions.
+    pub flagged: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Sum of batch sizes.
+    pub batch_items: u64,
+    /// Queue depth at snapshot time.
+    pub depth: u64,
+    /// Queue-depth high-water mark.
+    pub depth_max: u64,
+}
+
+impl ShardSnapshot {
+    /// Mean micro-batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_items as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Plain-data copy of the whole registry at one instant.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Per-shard counters.
+    pub shards: Vec<ShardSnapshot>,
+    /// Latency samples recorded.
+    pub latency_count: u64,
+    /// Median end-to-end latency (bucket upper edge).
+    pub p50: Option<Duration>,
+    /// 95th-percentile latency.
+    pub p95: Option<Duration>,
+    /// 99th-percentile latency.
+    pub p99: Option<Duration>,
+    /// Alerts forwarded to the global channel.
+    pub alerts: u64,
+    /// Total differential-privacy ε spent.
+    pub epsilon_spent: f64,
+}
+
+impl MetricsSnapshot {
+    /// Total decisions served across shards.
+    pub fn served(&self) -> u64 {
+        self.shards.iter().map(|s| s.served).sum()
+    }
+
+    /// Total requests shed across shards.
+    pub fn shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed).sum()
+    }
+
+    /// Render as a plain-text block (one line per shard plus totals),
+    /// suitable for logs or a `/metrics`-style endpoint.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "shard  served  shed  timeout  reject  flagged  depth  depth_max  mean_batch\n",
+        );
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>5}  {:>6}  {:>4}  {:>7}  {:>6}  {:>7}  {:>5}  {:>9}  {:>10.2}\n",
+                i,
+                s.served,
+                s.shed,
+                s.timeouts,
+                s.rejected,
+                s.flagged,
+                s.depth,
+                s.depth_max,
+                s.mean_batch(),
+            ));
+        }
+        let fmt = |d: Option<Duration>| match d {
+            Some(d) => format!("{:.1}us", d.as_nanos() as f64 / 1e3),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "total served={} shed={} alerts={} eps_spent={:.4} p50={} p95={} p99={}\n",
+            self.served(),
+            self.shed(),
+            self.alerts,
+            self.epsilon_spent,
+            fmt(self.p50),
+            fmt(self.p95),
+            fmt(self.p99),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100)); // ~2^17 ns
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(10)); // ~2^23 ns
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 < Duration::from_millis(1), "p50 {p50:?}");
+        assert!(p99 >= Duration::from_millis(8), "p99 {p99:?}");
+        assert!(h.quantile(0.0).unwrap() <= p50);
+    }
+
+    #[test]
+    fn quantile_upper_edge_bounds_sample() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1000));
+        // 1000 ns is in [512, 1024): upper edge 1024
+        assert_eq!(h.quantile(1.0).unwrap(), Duration::from_nanos(1024));
+    }
+
+    #[test]
+    fn registry_snapshot_reads_counters() {
+        let m = MetricsRegistry::new(2);
+        m.shard(0).served.fetch_add(3, Ordering::Relaxed);
+        m.shard(1).shed.fetch_add(2, Ordering::Relaxed);
+        m.shard(0).depth_inc();
+        m.shard(0).depth_inc();
+        m.shard(0).depth_dec();
+        m.add_epsilon(0.25);
+        let snap = m.snapshot();
+        assert_eq!(snap.served(), 3);
+        assert_eq!(snap.shed(), 2);
+        assert_eq!(snap.shards[0].depth, 1);
+        assert_eq!(snap.shards[0].depth_max, 2);
+        assert!((snap.epsilon_spent - 0.25).abs() < 1e-9);
+        let text = snap.render_text();
+        assert!(text.contains("total served=3"));
+        assert!(text.lines().count() == 4);
+    }
+}

@@ -1,0 +1,611 @@
+//! The decision service: sharded workers, micro-batching, admission
+//! control, guard-driven degradation, and graceful shutdown.
+//!
+//! A [`DecisionService`] owns one worker thread per shard. Requests are
+//! routed by key hash onto a shard's **bounded** queue (`try_send`): a full
+//! queue sheds the request with [`ServeError::Busy`] instead of letting
+//! latency collapse — admission control, not buffering. Each worker drains
+//! its queue into micro-batches so one matrix-level `predict_proba` call
+//! amortizes model overhead across requests, then walks the batch through
+//! the shard's FACT guards. A tripped guard engages the configured
+//! [`DegradePolicy`] for a cooldown: decisions are flagged for audit or
+//! hard-rejected until the cooldown expires.
+//!
+//! Shutdown drops the queue senders; workers finish whatever is buffered
+//! (every accepted request is answered), then report their totals, which
+//! are merged into a [`ServiceReport`].
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
+    TrySendError,
+};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fact_core::runtime::Alert;
+use fact_data::Matrix;
+use fact_ml::Classifier;
+
+use crate::guards::{AlertHub, AlertKind, DegradePolicy, GuardConfig, ServiceAlert, ShardGuards};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+
+/// Errors surfaced to callers of the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The target shard's queue is full; the request was shed at admission.
+    Busy {
+        /// Shard whose queue was full.
+        shard: usize,
+    },
+    /// The caller's deadline passed before a decision arrived. The request
+    /// is *not* cancelled — an accepted request is always served — but the
+    /// reply is discarded.
+    Timeout {
+        /// How long the caller waited.
+        waited: Duration,
+    },
+    /// A guard tripped and the hard-reject policy is active.
+    Rejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The request was malformed (e.g. wrong feature count).
+    BadRequest(String),
+    /// The service is shutting down (or already shut down).
+    ShuttingDown,
+    /// The model failed on this batch.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Busy { shard } => write!(f, "shard {shard} queue full"),
+            ServeError::Timeout { waited } => write!(f, "timed out after {waited:?}"),
+            ServeError::Rejected { reason } => write!(f, "rejected: {reason}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards (threads).
+    pub shards: usize,
+    /// Feature-vector length every request must match.
+    pub n_features: usize,
+    /// Bounded queue capacity per shard; a full queue sheds requests.
+    pub queue_cap: usize,
+    /// Largest micro-batch a worker will assemble.
+    pub batch_max: usize,
+    /// How long a worker waits to top off a partial batch.
+    pub batch_linger: Duration,
+    /// Default caller deadline for [`DecisionService::decide`].
+    pub default_timeout: Duration,
+    /// Probability threshold for a favorable decision.
+    pub threshold: f64,
+    /// What happens to decisions while a guard trip is in effect.
+    pub policy: DegradePolicy,
+    /// Decisions a guard trip stays in effect for (per shard).
+    pub trip_cooldown: u64,
+    /// Minimum decisions between forwarded alerts of one kind (per shard).
+    pub alert_debounce: u64,
+    /// The FACT guard set; `None` serves unguarded (baseline).
+    pub guards: Option<GuardConfig>,
+    /// Seed decorrelating per-shard DP noise streams.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 2,
+            n_features: 1,
+            queue_cap: 256,
+            batch_max: 16,
+            batch_linger: Duration::from_micros(200),
+            default_timeout: Duration::from_secs(1),
+            threshold: 0.5,
+            policy: DegradePolicy::AuditAndFlag,
+            trip_cooldown: 1_000,
+            alert_debounce: 500,
+            guards: Some(GuardConfig::default()),
+            seed: 0,
+        }
+    }
+}
+
+/// One decision request.
+#[derive(Debug, Clone)]
+pub struct DecisionRequest {
+    /// Feature vector (must have `n_features` entries).
+    pub features: Vec<f64>,
+    /// Protected-group membership, observed by the fairness guard.
+    pub group_b: bool,
+    /// Routing key (e.g. user id): requests with equal keys land on the
+    /// same shard.
+    pub route_key: u64,
+}
+
+/// One served decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Model probability of the favorable class.
+    pub probability: f64,
+    /// The decision at the configured threshold.
+    pub favorable: bool,
+    /// True when served in degraded audit-and-flag mode.
+    pub flagged: bool,
+    /// Shard that served it.
+    pub shard: usize,
+}
+
+/// An in-flight decision returned by [`DecisionService::submit`].
+pub struct DecisionHandle {
+    rx: Receiver<Result<Decision, ServeError>>,
+    shard: usize,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl DecisionHandle {
+    /// Block until the decision arrives or `timeout` passes.
+    pub fn wait(self, timeout: Duration) -> Result<Decision, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => {
+                self.metrics
+                    .shard(self.shard)
+                    .timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Timeout { waited: timeout })
+            }
+            // The worker exited without answering: only possible mid-shutdown.
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Non-blocking poll; `None` while the decision is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Decision, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
+}
+
+/// What one worker reports when it drains and exits.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Decisions served (including flagged ones).
+    pub served: u64,
+    /// Hard rejections issued while degraded.
+    pub rejected: u64,
+    /// Decisions flagged for audit.
+    pub flagged: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Alerts forwarded to the global channel.
+    pub alerts: u64,
+    /// ε spent by this shard's DP counter.
+    pub epsilon_spent: f64,
+}
+
+/// The final accounting returned by [`DecisionService::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Decisions served across all shards.
+    pub decisions_served: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Caller-side timeouts observed.
+    pub timed_out: u64,
+    /// Hard rejections issued by the degrade policy.
+    pub rejected: u64,
+    /// Decisions flagged for audit.
+    pub flagged: u64,
+    /// Alerts forwarded to the global channel.
+    pub alerts_raised: u64,
+    /// Total ε spent across shards.
+    pub epsilon_spent: f64,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardReport>,
+}
+
+impl ServiceReport {
+    /// Render as a short plain-text block.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "served={} shed={} timed_out={} rejected={} flagged={} alerts={} eps_spent={:.4}\n",
+            self.decisions_served,
+            self.shed,
+            self.timed_out,
+            self.rejected,
+            self.flagged,
+            self.alerts_raised,
+            self.epsilon_spent,
+        );
+        for s in &self.shards {
+            out.push_str(&format!(
+                "  shard {}: served={} batches={} rejected={} flagged={} alerts={} eps={:.4}\n",
+                s.shard, s.served, s.batches, s.rejected, s.flagged, s.alerts, s.epsilon_spent,
+            ));
+        }
+        out
+    }
+}
+
+/// One queued request inside a shard.
+struct Job {
+    features: Vec<f64>,
+    group_b: bool,
+    enqueued: Instant,
+    reply: Sender<Result<Decision, ServeError>>,
+}
+
+struct Inner {
+    config: ServeConfig,
+    metrics: Arc<MetricsRegistry>,
+    /// `None` once shutdown has begun: dropping the senders is what tells
+    /// the workers to drain and exit.
+    senders: RwLock<Option<Vec<SyncSender<Job>>>>,
+    workers: Mutex<Vec<JoinHandle<ShardReport>>>,
+    alert_rx: Mutex<Receiver<ServiceAlert>>,
+    report: Mutex<Option<ServiceReport>>,
+}
+
+/// A cheaply-cloneable handle to the serving fabric. All clones address the
+/// same shards; the service keeps running until [`shutdown`] is called.
+///
+/// [`shutdown`]: DecisionService::shutdown
+#[derive(Clone)]
+pub struct DecisionService {
+    inner: Arc<Inner>,
+}
+
+impl DecisionService {
+    /// Start the worker shards around a trained model.
+    pub fn start(
+        model: Arc<dyn Classifier + Send + Sync>,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        if config.shards == 0
+            || config.queue_cap == 0
+            || config.batch_max == 0
+            || config.n_features == 0
+        {
+            return Err(ServeError::BadRequest(
+                "shards, queue_cap, batch_max, and n_features must be positive".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&config.threshold) {
+            return Err(ServeError::BadRequest("threshold must be in [0, 1]".into()));
+        }
+        let metrics = Arc::new(MetricsRegistry::new(config.shards));
+        let (alert_tx, alert_rx) = channel();
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = sync_channel::<Job>(config.queue_cap);
+            senders.push(tx);
+            let guards = match &config.guards {
+                Some(g) => Some(
+                    ShardGuards::new(g, config.seed.wrapping_add(shard as u64))
+                        .map_err(|e| ServeError::BadRequest(e.to_string()))?,
+                ),
+                None => None,
+            };
+            let hub = AlertHub::new(
+                shard,
+                alert_tx.clone(),
+                Arc::clone(&metrics),
+                config.alert_debounce,
+            );
+            let worker = ShardWorker {
+                shard,
+                rx,
+                model: Arc::clone(&model),
+                metrics: Arc::clone(&metrics),
+                guards,
+                hub,
+                threshold: config.threshold,
+                batch_max: config.batch_max,
+                batch_linger: config.batch_linger,
+                policy: config.policy,
+                trip_cooldown: config.trip_cooldown,
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("fact-serve-{shard}"))
+                    .spawn(move || worker.run())
+                    .map_err(|e| ServeError::Internal(e.to_string()))?,
+            );
+        }
+        Ok(DecisionService {
+            inner: Arc::new(Inner {
+                config,
+                metrics,
+                senders: RwLock::new(Some(senders)),
+                workers: Mutex::new(workers),
+                alert_rx: Mutex::new(alert_rx),
+                report: Mutex::new(None),
+            }),
+        })
+    }
+
+    fn shard_of(&self, route_key: u64) -> usize {
+        let mut h = DefaultHasher::new();
+        route_key.hash(&mut h);
+        (h.finish() % self.inner.config.shards as u64) as usize
+    }
+
+    /// Enqueue a request without waiting for the decision.
+    ///
+    /// Fails fast with [`ServeError::Busy`] when the shard's queue is full
+    /// (load shedding) and [`ServeError::ShuttingDown`] after shutdown has
+    /// begun.
+    pub fn submit(&self, request: DecisionRequest) -> Result<DecisionHandle, ServeError> {
+        if request.features.len() != self.inner.config.n_features {
+            return Err(ServeError::BadRequest(format!(
+                "expected {} features, got {}",
+                self.inner.config.n_features,
+                request.features.len()
+            )));
+        }
+        let shard = self.shard_of(request.route_key);
+        let (reply_tx, reply_rx) = channel();
+        let job = Job {
+            features: request.features,
+            group_b: request.group_b,
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        };
+        let guard = self.inner.senders.read().unwrap_or_else(|e| e.into_inner());
+        let senders = guard.as_ref().ok_or(ServeError::ShuttingDown)?;
+        let m = self.inner.metrics.shard(shard);
+        // The gauge goes up *before* the send: the worker may dequeue (and
+        // decrement) the instant try_send returns, so incrementing after
+        // would transiently wrap the gauge below zero.
+        m.depth_inc();
+        match senders[shard].try_send(job) {
+            Ok(()) => {
+                m.enqueued.fetch_add(1, Ordering::Relaxed);
+                Ok(DecisionHandle {
+                    rx: reply_rx,
+                    shard,
+                    metrics: Arc::clone(&self.inner.metrics),
+                })
+            }
+            Err(TrySendError::Full(_)) => {
+                m.depth_dec();
+                m.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Busy { shard })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                m.depth_dec();
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Submit and wait for the decision under the configured default
+    /// timeout.
+    pub fn decide(&self, request: DecisionRequest) -> Result<Decision, ServeError> {
+        let timeout = self.inner.config.default_timeout;
+        self.submit(request)?.wait(timeout)
+    }
+
+    /// An instantaneous metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Drain all alerts currently buffered on the global channel.
+    pub fn drain_alerts(&self) -> Vec<ServiceAlert> {
+        let rx = self
+            .inner
+            .alert_rx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        while let Ok(a) = rx.try_recv() {
+            out.push(a);
+        }
+        out
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.inner.config.shards
+    }
+
+    /// Stop admitting requests, let every shard drain its queue, and join
+    /// the workers. Every request accepted before shutdown is answered.
+    /// Idempotent: later calls (from this or any clone) return the same
+    /// report.
+    pub fn shutdown(&self) -> ServiceReport {
+        {
+            // Dropping the senders disconnects the queues; workers exit
+            // after serving what is already buffered.
+            let mut senders = self
+                .inner
+                .senders
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
+            senders.take();
+        }
+        let mut report_slot = self.inner.report.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(report) = report_slot.as_ref() {
+            return report.clone();
+        }
+        let handles: Vec<JoinHandle<ShardReport>> = {
+            let mut workers = self.inner.workers.lock().unwrap_or_else(|e| e.into_inner());
+            workers.drain(..).collect()
+        };
+        let mut shards: Vec<ShardReport> = handles
+            .into_iter()
+            .map(|h| h.join().expect("fact-serve worker panicked"))
+            .collect();
+        shards.sort_by_key(|s| s.shard);
+        let snap = self.inner.metrics.snapshot();
+        let report = ServiceReport {
+            decisions_served: shards.iter().map(|s| s.served).sum(),
+            shed: snap.shed(),
+            timed_out: snap.shards.iter().map(|s| s.timeouts).sum(),
+            rejected: shards.iter().map(|s| s.rejected).sum(),
+            flagged: shards.iter().map(|s| s.flagged).sum(),
+            alerts_raised: shards.iter().map(|s| s.alerts).sum(),
+            epsilon_spent: shards.iter().map(|s| s.epsilon_spent).sum(),
+            shards,
+        };
+        *report_slot = Some(report.clone());
+        report
+    }
+}
+
+/// The per-shard worker loop.
+struct ShardWorker {
+    shard: usize,
+    rx: Receiver<Job>,
+    model: Arc<dyn Classifier + Send + Sync>,
+    metrics: Arc<MetricsRegistry>,
+    guards: Option<ShardGuards>,
+    hub: AlertHub,
+    threshold: f64,
+    batch_max: usize,
+    batch_linger: Duration,
+    policy: DegradePolicy,
+    trip_cooldown: u64,
+}
+
+impl ShardWorker {
+    fn run(mut self) -> ShardReport {
+        let mut served: u64 = 0;
+        let mut rejected: u64 = 0;
+        let mut flagged: u64 = 0;
+        let mut batches: u64 = 0;
+        let mut alerts: u64 = 0;
+        // decision count until which the degrade policy stays engaged
+        let mut degraded_until: u64 = 0;
+        let mut batch: Vec<Job> = Vec::with_capacity(self.batch_max);
+
+        loop {
+            // Block for the first job; a disconnect here means the queue is
+            // fully drained and shutdown can complete.
+            match self.rx.recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+            // Top off the batch: greedily take what is buffered, then wait
+            // out the linger for stragglers.
+            let deadline = Instant::now() + self.batch_linger;
+            while batch.len() < self.batch_max {
+                match self.rx.try_recv() {
+                    Ok(job) => batch.push(job),
+                    Err(TryRecvError::Disconnected) => break,
+                    Err(TryRecvError::Empty) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        match self.rx.recv_timeout(deadline - now) {
+                            Ok(job) => batch.push(job),
+                            Err(_) => break,
+                        }
+                    }
+                }
+            }
+
+            let m = self.metrics.shard(self.shard);
+            for _ in 0..batch.len() {
+                m.depth_dec();
+            }
+            m.batches.fetch_add(1, Ordering::Relaxed);
+            m.batch_items
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            batches += 1;
+
+            let rows: Vec<Vec<f64>> = batch.iter().map(|j| j.features.clone()).collect();
+            let probs = Matrix::from_rows(&rows).and_then(|x| self.model.predict_proba(&x));
+            let probs = match probs {
+                Ok(p) => p,
+                Err(e) => {
+                    let msg = e.to_string();
+                    for job in batch.drain(..) {
+                        let _ = job.reply.send(Err(ServeError::Internal(msg.clone())));
+                    }
+                    continue;
+                }
+            };
+
+            let mut raised = Vec::new();
+            for (job, p) in batch.drain(..).zip(probs) {
+                let favorable = p >= self.threshold;
+                served += 1;
+                if let Some(g) = &mut self.guards {
+                    raised.clear();
+                    g.observe(job.group_b, favorable, p, &mut raised);
+                    for alert in raised.drain(..) {
+                        if let Alert::DpRelease { epsilon, .. } = &alert {
+                            // ε is spent whether or not the alert is
+                            // debounced out of the channel.
+                            self.metrics.add_epsilon(*epsilon);
+                        }
+                        if AlertKind::of(&alert).trips_policy() {
+                            degraded_until = served + self.trip_cooldown;
+                        }
+                        if self.hub.raise(served, alert) {
+                            alerts += 1;
+                        }
+                    }
+                }
+                let degraded = self.policy != DegradePolicy::Off && served <= degraded_until;
+                let result = if degraded && self.policy == DegradePolicy::HardReject {
+                    rejected += 1;
+                    m.rejected.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::Rejected {
+                        reason: "guard tripped; hard-reject policy active".into(),
+                    })
+                } else {
+                    let flag = degraded && self.policy == DegradePolicy::AuditAndFlag;
+                    if flag {
+                        flagged += 1;
+                        m.flagged.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(Decision {
+                        probability: p,
+                        favorable,
+                        flagged: flag,
+                        shard: self.shard,
+                    })
+                };
+                m.served.fetch_add(1, Ordering::Relaxed);
+                self.metrics.latency.record(job.enqueued.elapsed());
+                // The caller may have timed out and dropped the receiver;
+                // an accepted request is still counted as served.
+                let _ = job.reply.send(result);
+            }
+        }
+
+        ShardReport {
+            shard: self.shard,
+            served,
+            rejected,
+            flagged,
+            batches,
+            alerts,
+            epsilon_spent: self.guards.as_ref().map_or(0.0, ShardGuards::epsilon_spent),
+        }
+    }
+}

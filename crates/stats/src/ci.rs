@@ -47,7 +47,9 @@ fn check_level(level: f64) -> Result<()> {
 pub fn mean_ci(xs: &[f64], level: f64) -> Result<ConfidenceInterval> {
     check_level(level)?;
     if xs.len() < 2 {
-        return Err(FactError::EmptyData("mean CI requires at least 2 values".into()));
+        return Err(FactError::EmptyData(
+            "mean CI requires at least 2 values".into(),
+        ));
     }
     let m = mean(xs)?;
     let se = std_dev(xs)? / (xs.len() as f64).sqrt();
@@ -65,7 +67,9 @@ pub fn mean_ci(xs: &[f64], level: f64) -> Result<ConfidenceInterval> {
 pub fn wilson_ci(successes: u64, trials: u64, level: f64) -> Result<ConfidenceInterval> {
     check_level(level)?;
     if trials == 0 {
-        return Err(FactError::EmptyData("proportion CI with zero trials".into()));
+        return Err(FactError::EmptyData(
+            "proportion CI with zero trials".into(),
+        ));
     }
     if successes > trials {
         return Err(FactError::InvalidArgument(
@@ -188,8 +192,14 @@ mod tests {
     #[test]
     fn bootstrap_mean_ci_contains_sample_mean() {
         let xs: Vec<f64> = (0..500).map(|i| (i % 13) as f64).collect();
-        let ci = bootstrap_ci(&xs, |s| s.iter().sum::<f64>() / s.len() as f64, 500, 0.95, 3)
-            .unwrap();
+        let ci = bootstrap_ci(
+            &xs,
+            |s| s.iter().sum::<f64>() / s.len() as f64,
+            500,
+            0.95,
+            3,
+        )
+        .unwrap();
         assert!(ci.contains(ci.estimate));
         assert!(ci.width() > 0.0 && ci.width() < 2.0);
     }
@@ -197,14 +207,8 @@ mod tests {
     #[test]
     fn bootstrap_works_for_median() {
         let xs: Vec<f64> = (0..301).map(|i| i as f64).collect();
-        let ci = bootstrap_ci(
-            &xs,
-            |s| crate::descriptive::median(s).unwrap(),
-            300,
-            0.9,
-            5,
-        )
-        .unwrap();
+        let ci =
+            bootstrap_ci(&xs, |s| crate::descriptive::median(s).unwrap(), 300, 0.9, 5).unwrap();
         assert!(ci.contains(150.0));
     }
 

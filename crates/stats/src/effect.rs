@@ -16,9 +16,8 @@ pub fn cohens_d(xs: &[f64], ys: &[f64]) -> Result<f64> {
     }
     let nx = xs.len() as f64;
     let ny = ys.len() as f64;
-    let pooled = (((nx - 1.0) * variance(xs)? + (ny - 1.0) * variance(ys)?)
-        / (nx + ny - 2.0))
-        .sqrt();
+    let pooled =
+        (((nx - 1.0) * variance(xs)? + (ny - 1.0) * variance(ys)?) / (nx + ny - 2.0)).sqrt();
     if pooled < 1e-300 {
         return Err(FactError::Numeric("Cohen's d of constant data".into()));
     }

@@ -15,7 +15,10 @@ fn validate(p_values: &[f64]) -> Result<()> {
     if p_values.is_empty() {
         return Err(FactError::EmptyData("no p-values to adjust".into()));
     }
-    if p_values.iter().any(|&p| !(0.0..=1.0).contains(&p) || p.is_nan()) {
+    if p_values
+        .iter()
+        .any(|&p| !(0.0..=1.0).contains(&p) || p.is_nan())
+    {
         return Err(FactError::InvalidArgument(
             "p-values must lie in [0, 1]".into(),
         ));
@@ -155,7 +158,13 @@ mod tests {
     #[test]
     fn monotonicity_of_adjusted_values() {
         // adjusted p-values must preserve the order of raw p-values
-        for f in [bonferroni, sidak, holm, benjamini_hochberg, benjamini_yekutieli] {
+        for f in [
+            bonferroni,
+            sidak,
+            holm,
+            benjamini_hochberg,
+            benjamini_yekutieli,
+        ] {
             let adj = f(&PS).unwrap();
             let mut pairs: Vec<(f64, f64)> = PS.iter().copied().zip(adj).collect();
             pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());

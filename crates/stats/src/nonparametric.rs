@@ -123,8 +123,7 @@ pub fn anova_oneway(groups: &[&[f64]]) -> Result<TestResult> {
     }
     let k = groups.len() as f64;
     let n: f64 = groups.iter().map(|g| g.len() as f64).sum();
-    let grand_mean: f64 =
-        groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n;
+    let grand_mean: f64 = groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n;
     let ss_between: f64 = groups
         .iter()
         .map(|g| {
@@ -193,11 +192,7 @@ mod tests {
     #[test]
     fn mwu_known_value() {
         // scipy.stats.mannwhitneyu([1,2,3,4,5],[6,7,8,9,10]) → U=0 (for x)
-        let r = mann_whitney_u(
-            &[1.0, 2.0, 3.0, 4.0, 5.0],
-            &[6.0, 7.0, 8.0, 9.0, 10.0],
-        )
-        .unwrap();
+        let r = mann_whitney_u(&[1.0, 2.0, 3.0, 4.0, 5.0], &[6.0, 7.0, 8.0, 9.0, 10.0]).unwrap();
         assert_eq!(r.statistic, 0.0);
         assert!(r.p_value < 0.02);
     }
@@ -211,7 +206,11 @@ mod tests {
         let mwu = mann_whitney_u(&xs, &ys).unwrap();
         let t = crate::tests::welch_t_test(&xs, &ys).unwrap();
         assert!(mwu.p_value < 0.01);
-        assert!(t.p_value > 0.05, "t-test destroyed by the outlier: {}", t.p_value);
+        assert!(
+            t.p_value > 0.05,
+            "t-test destroyed by the outlier: {}",
+            t.p_value
+        );
     }
 
     #[test]
@@ -278,7 +277,9 @@ mod tests {
     fn pearson_test_null() {
         // alternate up/down around 0, no trend vs index
         let xs: Vec<f64> = (0..40).map(|i| i as f64).collect();
-        let ys: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r = pearson_test(&xs, &ys).unwrap();
         assert!(r.p_value > 0.2, "p={}", r.p_value);
     }

@@ -44,8 +44,8 @@ pub fn sample_size_two_proportions(p1: f64, p2: f64, alpha: f64, power: f64) -> 
     let z_a = norm_ppf(1.0 - alpha / 2.0)?;
     let z_b = norm_ppf(power)?;
     let pbar = (p1 + p2) / 2.0;
-    let num = z_a * (2.0 * pbar * (1.0 - pbar)).sqrt()
-        + z_b * (p1 * (1.0 - p1) + p2 * (1.0 - p2)).sqrt();
+    let num =
+        z_a * (2.0 * pbar * (1.0 - pbar)).sqrt() + z_b * (p1 * (1.0 - p1) + p2 * (1.0 - p2)).sqrt();
     Ok((num / (p1 - p2)).powi(2).ceil() as usize)
 }
 
@@ -57,7 +57,9 @@ pub fn power_two_means(n: usize, d: f64, alpha: f64) -> Result<f64> {
         return Err(FactError::EmptyData("power with n = 0".into()));
     }
     if !d.is_finite() {
-        return Err(FactError::InvalidArgument("effect size must be finite".into()));
+        return Err(FactError::InvalidArgument(
+            "effect size must be finite".into(),
+        ));
     }
     if !(0.0 < alpha && alpha < 1.0) {
         return Err(FactError::InvalidArgument(format!(

@@ -47,7 +47,9 @@ pub fn z_test(xs: &[f64], mu0: f64, sigma: f64) -> Result<TestResult> {
 pub fn t_test_one_sample(xs: &[f64], mu0: f64) -> Result<TestResult> {
     let n = xs.len();
     if n < 2 {
-        return Err(FactError::EmptyData("t-test requires at least 2 values".into()));
+        return Err(FactError::EmptyData(
+            "t-test requires at least 2 values".into(),
+        ));
     }
     let m = mean(xs)?;
     let s = variance(xs)?.sqrt();
@@ -109,7 +111,9 @@ pub fn chi2_independence(table: &[Vec<f64>]) -> Result<TestResult> {
         ));
     }
     let row_sums: Vec<f64> = table.iter().map(|row| row.iter().sum()).collect();
-    let col_sums: Vec<f64> = (0..c).map(|j| table.iter().map(|row| row[j]).sum()).collect();
+    let col_sums: Vec<f64> = (0..c)
+        .map(|j| table.iter().map(|row| row[j]).sum())
+        .collect();
     let total: f64 = row_sums.iter().sum();
     if total <= 0.0 {
         return Err(FactError::EmptyData("contingency table of zeros".into()));
@@ -135,7 +139,9 @@ pub fn chi2_independence(table: &[Vec<f64>]) -> Result<TestResult> {
 /// Two-proportion z-test: success counts `x1`/`n1` vs `x2`/`n2` (pooled SE).
 pub fn two_proportion_z_test(x1: u64, n1: u64, x2: u64, n2: u64) -> Result<TestResult> {
     if n1 == 0 || n2 == 0 {
-        return Err(FactError::EmptyData("proportion test with empty group".into()));
+        return Err(FactError::EmptyData(
+            "proportion test with empty group".into(),
+        ));
     }
     if x1 > n1 || x2 > n2 {
         return Err(FactError::InvalidArgument(
@@ -168,14 +174,11 @@ pub fn two_proportion_z_test(x1: u64, n1: u64, x2: u64, n2: u64) -> Result<TestR
 /// difference| is at least the observed one (with the +1 small-sample
 /// correction). Exact in distribution as `n_perm → ∞`; makes no normality
 /// assumption.
-pub fn permutation_test(
-    xs: &[f64],
-    ys: &[f64],
-    n_perm: usize,
-    seed: u64,
-) -> Result<TestResult> {
+pub fn permutation_test(xs: &[f64], ys: &[f64], n_perm: usize, seed: u64) -> Result<TestResult> {
     if xs.is_empty() || ys.is_empty() {
-        return Err(FactError::EmptyData("permutation test with empty group".into()));
+        return Err(FactError::EmptyData(
+            "permutation test with empty group".into(),
+        ));
     }
     if n_perm == 0 {
         return Err(FactError::InvalidArgument(

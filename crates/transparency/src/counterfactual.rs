@@ -83,7 +83,9 @@ pub fn find_counterfactual(
     // plausibility ranges per feature: 5th..95th percentile of background
     let mut ranges = Vec::with_capacity(d);
     for j in 0..d {
-        let mut col: Vec<f64> = (0..background.rows()).map(|i| background.get(i, j)).collect();
+        let mut col: Vec<f64> = (0..background.rows())
+            .map(|i| background.get(i, j))
+            .collect();
         col.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let lo = col[(col.len() as f64 * 0.05) as usize];
         let hi = col[((col.len() as f64 * 0.95) as usize).min(col.len() - 1)];
@@ -281,8 +283,7 @@ mod tests {
     #[test]
     fn returns_none_when_everything_is_immutable() {
         let (m, x) = world();
-        let cf =
-            find_counterfactual(&m, &x, &[20.0, 70.0], &["income", "debt"], &[0, 1]).unwrap();
+        let cf = find_counterfactual(&m, &x, &[20.0, 70.0], &["income", "debt"], &[0, 1]).unwrap();
         assert!(cf.is_none());
     }
 

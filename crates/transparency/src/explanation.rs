@@ -44,7 +44,11 @@ impl DecisionExplanation {
     pub fn render(&self) -> String {
         let mut out = format!(
             "Decision: {} (score {:.2})\n",
-            if self.decision { "POSITIVE" } else { "NEGATIVE" },
+            if self.decision {
+                "POSITIVE"
+            } else {
+                "NEGATIVE"
+            },
             self.probability
         );
         for c in self.top(3) {

@@ -115,14 +115,17 @@ mod tests {
     fn importance_ranking_matches_ground_truth() {
         let (x, y) = graded_world(3000, 1);
         let m = LogisticRegression::fit(&x, &y, None, &LogisticConfig::default()).unwrap();
-        let imp =
-            permutation_importance(&m, &x, &y, &["strong", "weak", "noise"], 5, 7).unwrap();
+        let imp = permutation_importance(&m, &x, &y, &["strong", "weak", "noise"], 5, 7).unwrap();
         assert_eq!(imp[0].name, "strong");
         assert!(imp[0].importance > 0.2);
         let weak = imp.iter().find(|i| i.name == "weak").unwrap();
         let noise = imp.iter().find(|i| i.name == "noise").unwrap();
         assert!(weak.importance > noise.importance);
-        assert!(noise.importance.abs() < 0.02, "noise ≈ 0: {}", noise.importance);
+        assert!(
+            noise.importance.abs() < 0.02,
+            "noise ≈ 0: {}",
+            noise.importance
+        );
     }
 
     #[test]

@@ -76,11 +76,10 @@ impl ModelCard {
 
     /// Parse from JSON.
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json)
-            .map_err(|e| FactError::Parse {
-                line: 0,
-                message: format!("model card: {e}"),
-            })
+        serde_json::from_str(json).map_err(|e| FactError::Parse {
+            line: 0,
+            message: format!("model card: {e}"),
+        })
     }
 
     /// A card is *complete* when the fields an auditor needs are non-empty.

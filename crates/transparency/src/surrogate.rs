@@ -75,10 +75,7 @@ impl SurrogateExplainer {
     /// the rule path plus the leaf probability.
     pub fn explain_row(&self, row: &[f64]) -> Result<String> {
         let (path, prob) = self.tree.decision_path(row)?;
-        let mut parts: Vec<String> = path
-            .iter()
-            .map(|c| c.render(&self.feature_names))
-            .collect();
+        let mut parts: Vec<String> = path.iter().map(|c| c.render(&self.feature_names)).collect();
         if parts.is_empty() {
             parts.push("(no conditions: constant model)".into());
         }
@@ -163,11 +160,15 @@ mod tests {
                 .unwrap()
                 .fidelity()
         };
+        // Depth 1 cannot express XOR; depth 6 can. Intermediate depths are
+        // not asserted on: every root split of XOR has near-zero gain, so
+        // greedy CART's early splits are sampling-noise-driven and how fast
+        // fidelity recovers depends on the RNG sample (see KNOWN_ISSUES.md).
         let f1 = f(1);
-        let f4 = f(4);
+        let f6 = f(6);
         assert!(
-            f4 > f1 + 0.1,
-            "XOR needs depth ≥ 2: depth1 {f1:.3} vs depth4 {f4:.3}"
+            f6 > f1 + 0.1,
+            "XOR needs depth ≥ 2: depth1 {f1:.3} vs depth6 {f6:.3}"
         );
     }
 

@@ -24,7 +24,10 @@ fn run_world(title: &str, cfg: &ClinicalConfig) -> Result<()> {
         println!("{name:<28} {est:>+10.3} {:>+10.3}", est - w.true_ate);
     };
     show("naive (correlation)", naive_difference(&t, &y)?);
-    show("propensity matching", psm_ate(&x, &t, &y, f64::INFINITY, 0)?);
+    show(
+        "propensity matching",
+        psm_ate(&x, &t, &y, f64::INFINITY, 0)?,
+    );
     show("propensity strata (5)", stratified_ate(&x, &t, &y, 5, 0)?);
     show("IPW (trim 0.01)", ipw_ate(&x, &t, &y, 0.01, 0)?);
     show("regression adjustment", regression_ate(&x, &t, &y, 0)?);

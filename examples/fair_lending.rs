@@ -112,7 +112,11 @@ fn main() -> Result<()> {
         "method", "accuracy", "disparate impact", "SPD"
     );
     for (name, acc, di, spd) in &rows {
-        let verdict = if *di >= 0.8 && *di <= 1.25 { "fair" } else { "UNFAIR" };
+        let verdict = if *di >= 0.8 && *di <= 1.25 {
+            "fair"
+        } else {
+            "UNFAIR"
+        };
         println!("{name:<28} {acc:>9.3} {di:>14.3} [{verdict}] {spd:>+8.3}");
     }
     Ok(())

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example private_statistics`
 
-use fact_confidentiality::accountant::{
-    advanced_composition_epsilon, queries_affordable_advanced,
-};
+use fact_confidentiality::accountant::{advanced_composition_epsilon, queries_affordable_advanced};
 use fact_confidentiality::kanon::{max_t_distance, min_l_diversity, mondrian_k_anonymize};
 use fact_confidentiality::mechanisms::{dp_count, dp_histogram, dp_mean, dp_quantile};
 use fact_confidentiality::pseudo::Pseudonymizer;
@@ -39,7 +37,10 @@ fn main() -> Result<()> {
     let mut acc = PrivacyAccountant::pure(1.0)?;
     acc.spend(0.2, 0.0, "population count")?;
     let count = dp_count(census.n_rows(), 0.2, 101)?;
-    println!("  population count      ≈ {count:.0}   (true {})", census.n_rows());
+    println!(
+        "  population count      ≈ {count:.0}   (true {})",
+        census.n_rows()
+    );
 
     acc.spend(0.3, 0.0, "mean salary")?;
     let m = dp_mean(&salaries, 0.0, 250.0, 0.3, 102)?;

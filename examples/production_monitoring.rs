@@ -15,15 +15,18 @@ use fact_data::Result;
 
 fn main() -> Result<()> {
     // reference payload distribution: values are uniform [0, 100]
-    let reference: Vec<f64> = InternetMinute::new(1).take(5_000).map(|e| e.value).collect();
+    let reference: Vec<f64> = InternetMinute::new(1)
+        .take(5_000)
+        .map(|e| e.value)
+        .collect();
     let drift = DriftMonitor::new(&reference, 10, 2_000, 0.2)?;
 
     let mut guards = GuardedStream::guarded(
-        4_000, // fairness window
-        0.8,   // min DI
+        4_000,  // fairness window
+        0.8,    // min DI
         25_000, // DP count release interval
-        2.0,   // ε budget for the stream
-        1_000, // audit sampling
+        2.0,    // ε budget for the stream
+        1_000,  // audit sampling
         7,
     )?
     .with_drift_monitor(drift);
@@ -35,7 +38,10 @@ fn main() -> Result<()> {
     summarize(&guards);
 
     println!("\n== Phase 2: bad deployment — disparity + payload shift (100k events) ==");
-    for mut ev in InternetMinute::new(3).with_disparity(0.9, 0.45).take(100_000) {
+    for mut ev in InternetMinute::new(3)
+        .with_disparity(0.9, 0.45)
+        .take(100_000)
+    {
         ev.value = ev.value * 0.3 + 80.0; // distribution shift
         guards.process(&ev);
     }

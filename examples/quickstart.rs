@@ -56,7 +56,12 @@ fn reweighing_trainer(
         seed,
         ..LogisticConfig::default()
     };
-    Ok(Box::new(LogisticRegression::fit(x, y, Some(&weights), &cfg)?))
+    Ok(Box::new(LogisticRegression::fit(
+        x,
+        y,
+        Some(&weights),
+        &cfg,
+    )?))
 }
 
 fn main() -> Result<()> {

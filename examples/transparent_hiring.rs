@@ -103,7 +103,10 @@ fn main() -> Result<()> {
         "depth-3 surrogate fidelity {:.2}: rules above approximate, not define, the model",
         surrogate.fidelity()
     )];
-    println!("== Model card (JSON, for the registry) ==\n{}", card.to_json()?);
+    println!(
+        "== Model card (JSON, for the registry) ==\n{}",
+        card.to_json()?
+    );
 
     let sheet = Datasheet::from_dataset("hiring_records", &world);
     println!(

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The local gate — run before every push. CI runs exactly this script.
+#
+# Steps:
+#   1. cargo fmt --check      formatting is not negotiable
+#   2. cargo clippy           all targets, warnings are errors
+#   3. cargo test -q          the full workspace suite
+#
+# Everything runs --offline: the workspace vendors its dependencies and
+# must build with no network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test --offline --workspace -q
+
+echo "==> ci.sh: all green"

@@ -46,9 +46,9 @@ impl CliArgs {
                     FactError::InvalidArgument(format!("expected --option, got '{key}'"))
                 })?
                 .to_string();
-            let value = iter.next().ok_or_else(|| {
-                FactError::InvalidArgument(format!("--{key} requires a value"))
-            })?;
+            let value = iter
+                .next()
+                .ok_or_else(|| FactError::InvalidArgument(format!("--{key} requires a value")))?;
             options.insert(key, value);
         }
         Ok(CliArgs { command, options })
@@ -62,9 +62,9 @@ impl CliArgs {
     }
 
     fn require_f64(&self, key: &str) -> Result<f64> {
-        self.require(key)?.parse::<f64>().map_err(|_| {
-            FactError::InvalidArgument(format!("--{key} must be a number"))
-        })
+        self.require(key)?
+            .parse::<f64>()
+            .map_err(|_| FactError::InvalidArgument(format!("--{key} must be a number")))
     }
 }
 
@@ -127,9 +127,9 @@ fn audit(args: &CliArgs) -> Result<String> {
     let ds = load(args)?;
     let outcome_col = args.require("outcome")?;
     let protected = args.require("protected")?;
-    let (col, label) = protected.split_once('=').ok_or_else(|| {
-        FactError::InvalidArgument("--protected must be COLUMN=LABEL".into())
-    })?;
+    let (col, label) = protected
+        .split_once('=')
+        .ok_or_else(|| FactError::InvalidArgument("--protected must be COLUMN=LABEL".into()))?;
     let outcomes = ds.bool_column(outcome_col)?.to_vec();
     let mask = protected_mask(&ds, col, label)?;
     let report = FairnessReport::audit(None, &outcomes, &mask, FairnessThresholds::default())?;
@@ -145,9 +145,10 @@ fn audit(args: &CliArgs) -> Result<String> {
 
 fn anonymize(args: &CliArgs) -> Result<String> {
     let ds = load(args)?;
-    let k = args.require("k")?.parse::<usize>().map_err(|_| {
-        FactError::InvalidArgument("--k must be a positive integer".into())
-    })?;
+    let k = args
+        .require("k")?
+        .parse::<usize>()
+        .map_err(|_| FactError::InvalidArgument("--k must be a positive integer".into()))?;
     let quasi: Vec<&str> = args.require("quasi")?.split(',').collect();
     let before = reidentification_risk(&ds, &quasi)?;
     let anon = mondrian_k_anonymize(&ds, &quasi, k)?;
@@ -310,8 +311,17 @@ mod tests {
         });
         fact_data::csv::write_csv_path(&ds, &path).unwrap();
         let out = run(&argv(&[
-            "dp-mean", "--csv", &path, "--column", "salary", "--lo", "0", "--hi", "250",
-            "--epsilon", "1.0",
+            "dp-mean",
+            "--csv",
+            &path,
+            "--column",
+            "salary",
+            "--lo",
+            "0",
+            "--hi",
+            "250",
+            "--epsilon",
+            "1.0",
         ]))
         .unwrap();
         assert!(out.contains("dp_mean(salary)"));
@@ -338,7 +348,14 @@ mod tests {
             ..CensusConfig::default()
         });
         fact_data::csv::write_csv_path(&ds, &path).unwrap();
-        let out = run(&argv(&["risk", "--csv", &path, "--quasi", "age,sex,zipcode"])).unwrap();
+        let out = run(&argv(&[
+            "risk",
+            "--csv",
+            &path,
+            "--quasi",
+            "age,sex,zipcode",
+        ]))
+        .unwrap();
         assert!(out.contains("prosecutor risk"));
         assert!(run(&argv(&["unknown-cmd"])).is_err());
         assert!(run(&argv(&["help"])).unwrap().contains("USAGE"));

@@ -28,7 +28,7 @@
 //! // A synthetic lending world with historical bias against group B.
 //! let ds = generate_loans(&LoanConfig {
 //!     n: 4_000,
-//!     seed: 7,
+//!     seed: 42,
 //!     bias_strength: 0.4,
 //!     ..LoanConfig::default()
 //! });

@@ -62,8 +62,7 @@ fn fishing_expeditions_produce_false_discoveries_and_corrections_stop_them() {
 fn simpson_reversal_detected_on_generated_admissions_at_all_sizes() {
     for n in [2_000, 8_000, 24_000] {
         let ds = generate_admissions(&AdmissionsConfig { n, seed: n as u64 });
-        let rep =
-            audit_simpson(&ds, "admitted", "gender", "male", "female", "department").unwrap();
+        let rep = audit_simpson(&ds, "admitted", "gender", "male", "female", "department").unwrap();
         assert!(rep.aggregate_difference > 0.05, "n={n}");
         assert!(
             rep.adjusted_difference < rep.aggregate_difference - 0.05,

@@ -71,7 +71,11 @@ fn biased_world_fails_then_remediation_passes() {
         .train("v2", "test", &LEGIT_FEATURES, "approved", 1, reweighed)
         .unwrap();
     let audit = fixed.audit_fairness().unwrap();
-    assert!(audit.passes_disparate_impact(), "DI {}", audit.disparate_impact);
+    assert!(
+        audit.passes_disparate_impact(),
+        "DI {}",
+        audit.disparate_impact
+    );
     if let Some(card) = fixed.model_card_mut() {
         card.intended_use = "integration test".into();
     }
@@ -197,10 +201,10 @@ fn counterfactual_recourse_is_offered_and_logged() {
     for row in 0..50 {
         if let Some(cf) = p.counterfactual(row, &["years_employed"]).unwrap() {
             assert!(!cf.changes.is_empty());
-            assert!(cf
-                .changes
-                .iter()
-                .all(|c| c.name != "years_employed"), "immutable respected");
+            assert!(
+                cf.changes.iter().all(|c| c.name != "years_employed"),
+                "immutable respected"
+            );
             offered = true;
             break;
         }

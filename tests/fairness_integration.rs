@@ -29,7 +29,10 @@ fn injected_label_bias_is_detected_across_seeds() {
         let mask = protected_mask(&biased, "group", "B").unwrap();
         let labels = biased.bool_column("approved").unwrap();
         let spd = statistical_parity_difference(labels, &mask).unwrap();
-        assert!(spd > 0.1, "seed {seed}: injected bias visible in labels, spd={spd}");
+        assert!(
+            spd > 0.1,
+            "seed {seed}: injected bias visible in labels, spd={spd}"
+        );
     }
 }
 
@@ -105,23 +108,23 @@ fn every_mitigation_improves_di_on_the_same_world() {
     // repair
     let rep_tr = repair_disparate_impact(&train, &features, &mask_tr, 1.0).unwrap();
     let rep_te = repair_disparate_impact(&test, &features, &mask_te, 1.0).unwrap();
-    let m = LogisticRegression::fit(
-        &rep_tr.to_matrix(&features).unwrap(),
-        &y,
-        None,
-        &cfg,
+    let m = LogisticRegression::fit(&rep_tr.to_matrix(&features).unwrap(), &y, None, &cfg).unwrap();
+    let di_rep = disparate_impact(
+        &m.predict(&rep_te.to_matrix(&features).unwrap()).unwrap(),
+        &mask_te,
     )
     .unwrap();
-    let di_rep =
-        disparate_impact(&m.predict(&rep_te.to_matrix(&features).unwrap()).unwrap(), &mask_te)
-            .unwrap();
 
     // threshold post-processing
     let scores = base.predict_proba(&xt).unwrap();
     let th = equalize_selection_rates(&scores, &mask_te, 0.5).unwrap();
     let di_th = disparate_impact(&th.apply(&scores, &mask_te).unwrap(), &mask_te).unwrap();
 
-    for (name, di) in [("reweighing", di_rw), ("repair", di_rep), ("threshold", di_th)] {
+    for (name, di) in [
+        ("reweighing", di_rw),
+        ("repair", di_rep),
+        ("threshold", di_th),
+    ] {
         assert!(
             di > di_base + 0.1,
             "{name} must improve DI: base {di_base:.3} → {di:.3}"
@@ -139,9 +142,11 @@ fn representation_bias_shrinks_group_and_trips_adequacy() {
         ..LoanConfig::default()
     });
     let shrunk = undersample_group(&ds, "group", "B", 0.02, 3).unwrap();
-    let warnings =
-        fact_accuracy::adequacy::check_group_sizes(&shrunk, "group", 50).unwrap();
-    assert!(!warnings.is_empty(), "undersampled group must trip adequacy");
+    let warnings = fact_accuracy::adequacy::check_group_sizes(&shrunk, "group", 50).unwrap();
+    assert!(
+        !warnings.is_empty(),
+        "undersampled group must trip adequacy"
+    );
     assert!(warnings[0].subject.contains("B"));
 }
 

@@ -381,3 +381,77 @@ fn platt_identity_on_already_calibrated_scores() {
     assert!((a - 1.0).abs() < 0.1, "calibrated input ⇒ a≈1, got {a}");
     assert!(b.abs() < 0.1, "calibrated input ⇒ b≈0, got {b}");
 }
+
+// ---------- streaming fairness monitor ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The monitor's O(1) sliding-window bookkeeping must agree with a naive
+    /// recomputation over the last `window` events, for arbitrary sequences
+    /// and window sizes — including the degenerate zero-rate windows.
+    #[test]
+    fn sliding_window_counts_match_naive_recomputation(
+        events in prop::collection::vec(any::<(bool, bool)>(), 1..400),
+        window in 1usize..64,
+        min_samples in 0usize..8,
+    ) {
+        use fact_core::runtime::{Alert, StreamingFairnessMonitor};
+        let min_di = 0.8;
+        let mut monitor = StreamingFairnessMonitor::new(window, min_di, min_samples).unwrap();
+        let mut history: Vec<(bool, bool)> = Vec::new();
+        for &(group_b, favorable) in &events {
+            let got = monitor.observe(group_b, favorable);
+            history.push((group_b, favorable));
+
+            // naive model: recount the last `window` events from scratch
+            let tail = &history[history.len().saturating_sub(window)..];
+            let mut counts = [[0usize; 2]; 2];
+            for &(g, f) in tail {
+                counts[usize::from(g)][usize::from(f)] += 1;
+            }
+            let n_a = counts[0][0] + counts[0][1];
+            let n_b = counts[1][0] + counts[1][1];
+            let expect = if n_a < min_samples || n_b < min_samples {
+                None
+            } else {
+                let rate_a = counts[0][1] as f64 / n_a as f64;
+                let rate_b = counts[1][1] as f64 / n_b as f64;
+                let di = if rate_a > 0.0 {
+                    rate_b / rate_a
+                } else if rate_b > 0.0 {
+                    f64::INFINITY
+                } else {
+                    f64::NAN // sentinel: no evidence, expect None
+                };
+                if di.is_nan() || (di >= min_di && di.is_finite()) {
+                    None
+                } else {
+                    Some((rate_b, rate_a, di))
+                }
+            };
+            match (got, expect) {
+                (None, None) => {}
+                (
+                    Some(Alert::FairnessViolation {
+                        rate_protected,
+                        rate_unprotected,
+                        disparate_impact,
+                    }),
+                    Some((eb, ea, edi)),
+                ) => {
+                    // bitwise equality so the NaN rate of an empty group
+                    // (reachable when min_samples == 0) compares equal
+                    prop_assert_eq!(rate_protected.to_bits(), eb.to_bits());
+                    prop_assert_eq!(rate_unprotected.to_bits(), ea.to_bits());
+                    prop_assert_eq!(disparate_impact.to_bits(), edi.to_bits());
+                }
+                (g, e) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "monitor and naive model disagree: got {g:?}, expected {e:?}"
+                    )));
+                }
+            }
+        }
+    }
+}

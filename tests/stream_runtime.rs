@@ -2,12 +2,48 @@
 //! Internet-Minute scenario with guards composed end to end.
 
 use fact_core::drift::DriftMonitor;
-use fact_core::runtime::{Alert, GuardedStream};
+use fact_core::runtime::{Alert, GuardedStream, StreamingFairnessMonitor};
 use fact_data::stream::{InternetMinute, Service};
 
 #[test]
+fn zero_unprotected_rate_is_total_disparity_not_silence() {
+    // Regression: observe() used to return None whenever rate_a == 0,
+    // silently masking the worst possible disparity (A never favored while
+    // B is). It must alert with an infinite DI instead.
+    let mut m = StreamingFairnessMonitor::new(100, 0.8, 10).unwrap();
+    let mut last = None;
+    for i in 0..100 {
+        let group_b = i % 2 == 1;
+        // favorable outcomes go exclusively to group B
+        last = m.observe(group_b, group_b);
+    }
+    match last {
+        Some(Alert::FairnessViolation {
+            disparate_impact,
+            rate_unprotected,
+            rate_protected,
+        }) => {
+            assert!(disparate_impact.is_infinite() && disparate_impact > 0.0);
+            assert_eq!(rate_unprotected, 0.0);
+            assert!(rate_protected > 0.0);
+        }
+        other => panic!("expected a fairness violation, got {other:?}"),
+    }
+
+    // When neither group sees a favorable outcome the window carries no
+    // evidence of disparity, so the monitor stays quiet.
+    let mut m = StreamingFairnessMonitor::new(100, 0.8, 10).unwrap();
+    for i in 0..100 {
+        assert_eq!(m.observe(i % 2 == 1, false), None);
+    }
+}
+
+#[test]
 fn healthy_then_bad_deployment_is_caught_by_the_right_guards() {
-    let reference: Vec<f64> = InternetMinute::new(1).take(4_000).map(|e| e.value).collect();
+    let reference: Vec<f64> = InternetMinute::new(1)
+        .take(4_000)
+        .map(|e| e.value)
+        .collect();
     let drift = DriftMonitor::new(&reference, 10, 2_000, 0.2).unwrap();
     let mut guards = GuardedStream::guarded(4_000, 0.8, 20_000, 1.0, 500, 3)
         .unwrap()
@@ -91,8 +127,7 @@ fn service_mix_is_stable_under_the_guards() {
         .filter(|e| e.service == Service::SnapReceived)
         .count() as f64
         / events.len() as f64;
-    let expected = Service::SnapReceived.per_minute() as f64
-        / Service::total_per_minute() as f64;
+    let expected = Service::SnapReceived.per_minute() as f64 / Service::total_per_minute() as f64;
     assert!((snaps - expected).abs() < 0.01);
     assert_eq!(guards.processed as usize, events.len());
 }

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` API subset this workspace uses.
+//!
+//! Runs each benchmark long enough for a stable median-of-samples estimate
+//! and prints `name ... time/iter` lines. No statistical machinery, HTML
+//! reports, or baseline comparisons — just honest wall-clock numbers so
+//! `cargo bench` works in the offline build environment.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (re-export shape matches
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. Only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup re-runs every iteration).
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_count),
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Benchmark `routine` by timing batches of calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // calibrate: grow the batch until one sample takes >= 1 ms
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters *= 2;
+        }
+        let sample_count = self.samples.capacity().max(1);
+        for _ in 0..sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let sample_count = self.samples.capacity().max(1);
+        self.iters_per_sample = 1;
+        for _ in 0..sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut ns: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ns[ns.len() / 2]
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_count);
+        f(&mut b);
+        println!("{}/{:<40} {:>12}/iter", self.name, id, human(b.median_ns()));
+        self
+    }
+
+    /// End the group (matches the criterion API; nothing to flush here).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_count: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(10);
+        f(&mut b);
+        println!("{:<40} {:>12}/iter", id, human(b.median_ns()));
+        self
+    }
+}
+
+/// Declare a group-runner function, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench `main`, criterion style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(12.0).ends_with("ns"));
+        assert!(human(12_000.0).ends_with("µs"));
+        assert!(human(12_000_000.0).ends_with("ms"));
+        assert!(human(12_000_000_000.0).ends_with("s"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline stand-in for the `proptest` API subset this workspace uses.
+//!
+//! Implements random-input property testing: strategies for numeric ranges,
+//! simple `[a-z]{m,n}`-style string patterns, tuples, `prop::collection::vec`,
+//! `any::<T>()`, `prop_filter`/`prop_map`, the `proptest!` macro, and the
+//! `prop_assert*` / `prop_assume!` macros. Unlike the real crate there is
+//! **no shrinking**: a failing case panics with the iteration's seed so it
+//! can be replayed. Case generation is deterministic per test name.
+
+use rand::rngs::StdRng;
+use rand::{SampleRange, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Strategy};
+
+/// Runner configuration (`cases` is the only knob this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was skipped (`prop_assume!` failed); it does not count.
+    Reject(String),
+    /// The property failed.
+    Fail(String),
+}
+
+/// Result of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A deterministic seed for a named property test (FNV-1a over the name).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Build the per-test generator.
+pub fn rng_for(name: &str) -> TestRng {
+    StdRng::seed_from_u64(seed_for(name))
+}
+
+/// Draw a length uniformly from a size specification.
+pub fn sample_size<R: Into<SizeRange>>(spec: R, rng: &mut TestRng) -> usize {
+    let SizeRange { lo, hi } = spec.into();
+    if lo >= hi {
+        lo
+    } else {
+        (lo..=hi).sample_from(rng)
+    }
+}
+
+/// Inclusive size bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub lo: usize,
+    /// Maximum length (inclusive).
+    pub hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy modules mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::VecStrategy;
+        use crate::{SizeRange, Strategy};
+
+        /// A strategy for `Vec`s whose length is drawn from `size` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Define property tests (see the crate docs for the supported grammar).
+#[macro_export]
+macro_rules! proptest {
+    // with a config attribute
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $( $crate::proptest!(@one $config; $(#[$meta])* fn $name ($($arg in $strat),+) $body); )*
+    };
+    // without a config attribute
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $( $crate::proptest!(@one $crate::ProptestConfig::default(); $(#[$meta])* fn $name ($($arg in $strat),+) $body); )*
+    };
+    (@one $config:expr; $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ ) $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __config.cases.saturating_mul(20).saturating_add(100);
+            while __passed < __config.cases && __attempts < __max_attempts {
+                __attempts += 1;
+                $(
+                    let $arg = match $crate::Strategy::sample(&($strat), &mut __rng) {
+                        Some(v) => v,
+                        None => continue, // strategy-level rejection (filters)
+                    };
+                )+
+                let __result: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                match __result {
+                    Ok(()) => __passed += 1,
+                    Err($crate::TestCaseError::Reject(_)) => continue,
+                    Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "property `{}` failed at case {} (attempt {}): {}",
+                        stringify!($name), __passed, __attempts, msg
+                    ),
+                }
+            }
+            assert!(
+                __passed > 0,
+                "property `{}` generated no accepted cases in {} attempts",
+                stringify!($name),
+                __attempts
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Skip the current case unless `cond` holds (does not count as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn addition_commutes(a in -1000i64..1000, b in -1000i64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(xs in prop::collection::vec(0.0f64..1.0, 3..7)) {
+            prop_assert!((3..7).contains(&xs.len()));
+            for x in &xs {
+                prop_assert!((0.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn filters_and_assume_compose(x in (0u64..100).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assume!(x != 2);
+            prop_assert!(x % 2 == 0 && x != 2);
+        }
+
+        #[test]
+        fn string_patterns_match(s in "[a-z]{1,6}", pair in any::<(bool, bool)>()) {
+            prop_assert!(!s.is_empty() && s.len() <= 6);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+            let _ = pair;
+        }
+    }
+
+    #[test]
+    fn failing_property_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::proptest!(@one crate::ProptestConfig::with_cases(8);
+                fn always_fails(x in 0u64..10) { crate::prop_assert!(x > 100); });
+            always_fails();
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Strategies: how to generate values for `proptest!` arguments.
+
+use crate::{sample_size, SizeRange, TestRng};
+use rand::{Rng, SampleRange};
+
+/// A generator of values of one type.
+///
+/// `sample` returns `None` when the strategy rejects (e.g. a filter could not
+/// be satisfied); the runner then skips the whole case.
+pub trait Strategy {
+    /// Generated type.
+    type Value;
+
+    /// Draw one value, or `None` to reject this case.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Keep only values where `pred` holds; rejects after 100 misses.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Transform generated values.
+    fn prop_map<F, U>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, map }
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)] // kept for parity with proptest's diagnostics
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        for _ in 0..100 {
+            if let Some(v) = self.inner.sample(rng) {
+                if (self.pred)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.sample(rng).map(&self.map)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// numeric ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(self.clone().sample_from(rng))
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(self.clone().sample_from(rng))
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+// ---------------------------------------------------------------------------
+// tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident : $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.sample(rng)?,)+))
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+// ---------------------------------------------------------------------------
+// collections
+// ---------------------------------------------------------------------------
+
+/// See [`crate::prop::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let len = sample_size(self.size, rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// string patterns
+// ---------------------------------------------------------------------------
+
+/// `&str` strategies: a tiny regex subset `[class]{m,n}` (class may contain
+/// ranges like `a-z` and literal characters; `{n}` and a missing quantifier
+/// also work). Unrecognized patterns fall back to lowercase strings of
+/// length 0..=8.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<String> {
+        let (chars, lo, hi) = parse_pattern(self).unwrap_or_else(|| (('a'..='z').collect(), 0, 8));
+        let len = if lo >= hi {
+            lo
+        } else {
+            (lo..=hi).sample_from(rng)
+        };
+        Some(
+            (0..len)
+                .map(|_| chars[(0..chars.len()).sample_from(rng)])
+                .collect(),
+        )
+    }
+}
+
+fn parse_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            for c in a..=b {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let quant = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match quant.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = quant.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((chars, lo, hi))
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // finite, wide-range values; full bit-pattern floats (NaN/inf) are
+        // not useful for this workspace's properties
+        let mag: f64 = rng.gen_range(-1e9..1e9);
+        mag
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_arbitrary_tuple {
+    ($($s:ident),+) => {
+        impl<$($s: Arbitrary),+> Arbitrary for ($($s,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($s::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+impl_arbitrary_tuple!(A);
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_for;
+
+    #[test]
+    fn pattern_parser_handles_classes() {
+        let (chars, lo, hi) = parse_pattern("[a-z]{1,6}").unwrap();
+        assert_eq!(chars.len(), 26);
+        assert_eq!((lo, hi), (1, 6));
+        let (chars, lo, hi) = parse_pattern("[abc]").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c']);
+        assert_eq!((lo, hi), (1, 1));
+        let (_, lo, hi) = parse_pattern("[0-9]{4}").unwrap();
+        assert_eq!((lo, hi), (4, 4));
+        assert!(parse_pattern("plain").is_none());
+    }
+
+    #[test]
+    fn filter_rejects_impossible_predicates() {
+        let mut rng = rng_for("filter_rejects");
+        let s = (0u64..10).prop_filter("impossible", |_| false);
+        assert!(s.sample(&mut rng).is_none());
+    }
+
+    #[test]
+    fn map_transforms() {
+        let mut rng = rng_for("map_transforms");
+        let s = (0u64..10).prop_map(|v| v * 2);
+        let v = s.sample(&mut rng).unwrap();
+        assert!(v % 2 == 0 && v < 20);
+    }
+}

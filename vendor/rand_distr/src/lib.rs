@@ -1,0 +1,68 @@
+//! Offline stand-in for the small part of `rand_distr` this workspace
+//! declares. Currently only the normal distribution, via Box–Muller.
+
+use rand::{Rng, RngCore};
+
+/// A distribution samplable with an [`RngCore`].
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+/// Error constructing a distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistrError(pub &'static str);
+
+impl std::fmt::Display for DistrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for DistrError {}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistrError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(DistrError("std_dev must be finite and non-negative"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}

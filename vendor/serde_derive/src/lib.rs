@@ -1,0 +1,270 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports exactly the shapes this workspace derives:
+//!
+//! * structs with named fields (any field visibility, doc comments fine);
+//! * enums whose variants are all unit variants (serialized as their name).
+//!
+//! No `#[serde(...)]` attributes, no generics, no tuple structs. Anything
+//! else produces a `compile_error!` pointing here.
+//!
+//! The implementation walks the raw `proc_macro::TokenStream` (no `syn` /
+//! `quote` — the build environment is offline) and emits the impl as a
+//! string, which is parsed back into a token stream.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the deriving type.
+enum Shape {
+    /// Struct with named fields (field names in declaration order).
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with unit variants only.
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(crate)`, …) from
+/// the front of `tokens`, starting at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // '#' then the bracket group
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parse the derive input into a [`Shape`].
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("unexpected token {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("cannot derive for `{kind}` items"));
+    }
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the vendored serde_derive"
+            ));
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+            "expected a braced body for `{name}` (tuple/unit structs unsupported), got {other:?}"
+        ))
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    if kind == "struct" {
+        Ok(Shape::Struct {
+            name,
+            fields: parse_named_fields(&body)?,
+        })
+    } else {
+        Ok(Shape::Enum {
+            name,
+            variants: parse_unit_variants(&body)?,
+        })
+    }
+}
+
+/// `field_name: Type,` sequences. Types may contain `<...>` with commas.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let field = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{field}`, got {other:?}")),
+        }
+        // skip the type: tokens until a comma at angle-bracket depth 0
+        let mut angle = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// `Variant,` sequences; any payload group is an error.
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let variant = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{variant}` has a payload; only unit variants are supported"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "variant `{variant}` has a discriminant; unsupported"
+                ))
+            }
+            Some(other) => return Err(format!("unexpected token {other:?}")),
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((::std::string::ToString::to_string({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::value::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::value::Value::String({v:?}.to_string()),\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(__obj, {f:?}))\
+                         .map_err(|e| ::serde::Error::custom(\
+                             format!(\"{name}.{f}: {{e}}\")))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::value::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(concat!(\"expected object for \", stringify!({name}))))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::value::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         let __s = __v.as_str().ok_or_else(|| \
+                             ::serde::Error::custom(concat!(\"expected string for \", stringify!({name}))))?;\n\
+                         match __s {{\n\
+                             {arms}\
+                             other => Err(::serde::Error::custom(\
+                                 format!(concat!(\"unknown \", stringify!({name}), \" variant {{}}\"), other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

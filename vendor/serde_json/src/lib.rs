@@ -1,0 +1,359 @@
+//! Offline stand-in for the `serde_json` API subset this workspace uses:
+//! [`to_string`], [`to_string_pretty`], and [`from_str`], over the vendored
+//! `serde` JSON data model.
+
+pub use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// JSON error (render or parse).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to pretty JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Parse JSON text into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Parse JSON text into a [`Value`] tree.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing input at byte {pos}")));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// rendering
+// ---------------------------------------------------------------------------
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => render_float(*f, out),
+        Value::String(s) => render_string(s, out),
+        Value::Array(items) => render_seq(items.len(), indent, depth, out, '[', ']', |i, out| {
+            render(&items[i], indent, depth + 1, out);
+        }),
+        Value::Object(fields) => {
+            render_seq(fields.len(), indent, depth, out, '{', '}', |i, out| {
+                render_string(&fields[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(&fields[i].1, indent, depth + 1, out);
+            })
+        }
+    }
+}
+
+fn render_seq(
+    n: usize,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut item: impl FnMut(usize, &mut String),
+) {
+    out.push(open);
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        item(i, out);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+fn render_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        // `{}` on f64 is shortest round-trip; make integral floats explicit
+        // so they parse back as floats
+        let s = format!("{f}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/inf; match serde_json's lossy behavior
+        out.push_str("null");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// parsing (recursive descent)
+// ---------------------------------------------------------------------------
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{}` at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::String(parse_string(b, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_at(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_at(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
+                            16,
+                        )
+                        .map_err(|_| Error("bad \\u escape".into()))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(Error(format!("bad escape {other:?}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // consume one UTF-8 code point
+                let start = *pos;
+                let mut end = start + 1;
+                while end < b.len() && (b[end] & 0xc0) == 0x80 {
+                    end += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..end])
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?,
+                );
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("invalid number at byte {start}")));
+    }
+    if !is_float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("fact \"serve\"\n".into())),
+            ("n".into(), Value::UInt(u64::MAX)),
+            ("neg".into(), Value::Int(-12)),
+            ("pi".into(), Value::Float(3.25)),
+            ("whole".into(), Value::Float(2.0)),
+            ("ok".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::UInt(1), Value::Float(0.5)]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        for pretty in [false, true] {
+            let mut s = String::new();
+            render(&v, if pretty { Some(2) } else { None }, 0, &mut s);
+            let back = parse_value(&s).unwrap();
+            // whole floats come back as Float thanks to the forced ".0"
+            assert_eq!(back, v, "pretty={pretty}\n{s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("nul").is_err());
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_value("\"abc").is_err());
+    }
+
+    #[test]
+    fn unicode_and_escapes() {
+        let v = parse_value(r#""café ☕""#).unwrap();
+        assert_eq!(v, Value::String("café ☕".into()));
+    }
+}
