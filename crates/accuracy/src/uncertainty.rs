@@ -41,13 +41,18 @@ impl UncertainPrediction {
 
 /// An ensemble of classifiers fit on bootstrap resamples.
 pub struct BootstrapEnsemble {
-    members: Vec<Box<dyn Classifier>>,
+    members: Vec<Box<dyn Classifier + Send + Sync>>,
     level: f64,
 }
 
 impl BootstrapEnsemble {
     /// Fit `n_members` replicas. `trainer` receives a bootstrap-resampled
     /// `(x, y)` and a per-member seed.
+    ///
+    /// Bootstrap indices are drawn up front from the seeded master RNG in
+    /// member order (the exact stream the sequential implementation used),
+    /// then the replicas train in parallel — the fitted ensemble is
+    /// bit-identical at any worker count.
     pub fn fit<F>(
         x: &Matrix,
         y: &[bool],
@@ -57,7 +62,7 @@ impl BootstrapEnsemble {
         trainer: F,
     ) -> Result<Self>
     where
-        F: Fn(&Matrix, &[bool], u64) -> Result<Box<dyn Classifier>>,
+        F: Fn(&Matrix, &[bool], u64) -> Result<Box<dyn Classifier + Send + Sync>> + Sync,
     {
         if x.rows() != y.len() {
             return Err(FactError::LengthMismatch {
@@ -77,19 +82,21 @@ impl BootstrapEnsemble {
         }
         let n = x.rows();
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut members = Vec::with_capacity(n_members);
-        for m in 0..n_members {
-            let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        let indices: Vec<Vec<usize>> = (0..n_members)
+            .map(|_| (0..n).map(|_| rng.gen_range(0..n)).collect())
+            .collect();
+        let members = fact_par::par_map(n_members, 1, |m| {
             let mut xb = Matrix::zeros(n, x.cols());
             let mut yb = Vec::with_capacity(n);
-            for (r, &i) in idx.iter().enumerate() {
+            for (r, &i) in indices[m].iter().enumerate() {
                 for j in 0..x.cols() {
                     xb.set(r, j, x.get(i, j));
                 }
                 yb.push(y[i]);
             }
-            members.push(trainer(&xb, &yb, seed.wrapping_add(m as u64 + 1))?);
-        }
+            trainer(&xb, &yb, seed.wrapping_add(m as u64 + 1))
+        });
+        let members = members.into_iter().collect::<Result<Vec<_>>>()?;
         Ok(BootstrapEnsemble { members, level })
     }
 
@@ -104,29 +111,29 @@ impl BootstrapEnsemble {
     }
 
     /// Predict with uncertainty for each row of `x`.
+    ///
+    /// Members predict in parallel, then rows aggregate in parallel; both
+    /// stages are per-index independent, so the output is bit-identical at
+    /// any worker count.
     pub fn predict_with_uncertainty(&self, x: &Matrix) -> Result<Vec<UncertainPrediction>> {
-        let mut all: Vec<Vec<f64>> = Vec::with_capacity(self.members.len());
-        for m in &self.members {
-            all.push(m.predict_proba(x)?);
-        }
+        let all = fact_par::par_map(self.members.len(), 1, |m| self.members[m].predict_proba(x))
+            .into_iter()
+            .collect::<Result<Vec<Vec<f64>>>>()?;
         let alpha = (1.0 - self.level) / 2.0;
         let b = self.members.len() as f64;
-        let mut out = Vec::with_capacity(x.rows());
-        let mut column = vec![0.0; self.members.len()];
-        for i in 0..x.rows() {
-            for (k, preds) in all.iter().enumerate() {
-                column[k] = preds[i];
-            }
+        fact_par::par_map(x.rows(), 64, |i| {
+            let column: Vec<f64> = all.iter().map(|preds| preds[i]).collect();
             let mean = column.iter().sum::<f64>() / b;
             let var = column.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / (b - 1.0);
-            out.push(UncertainPrediction {
+            Ok(UncertainPrediction {
                 mean,
                 lower: quantile(&column, alpha)?,
                 upper: quantile(&column, 1.0 - alpha)?,
                 std: var.sqrt(),
-            });
-        }
-        Ok(out)
+            })
+        })
+        .into_iter()
+        .collect()
     }
 }
 
@@ -151,7 +158,7 @@ mod tests {
         (Matrix::from_rows(&rows).unwrap(), y)
     }
 
-    fn trainer(x: &Matrix, y: &[bool], seed: u64) -> Result<Box<dyn Classifier>> {
+    fn trainer(x: &Matrix, y: &[bool], seed: u64) -> Result<Box<dyn Classifier + Send + Sync>> {
         let cfg = LogisticConfig {
             seed,
             epochs: 25,
@@ -207,6 +214,24 @@ mod tests {
             w_big < w_small,
             "big-data width {w_big} < small-data width {w_small}"
         );
+    }
+
+    #[test]
+    fn ensemble_is_worker_count_invariant() {
+        let (x, y) = world(300, 8);
+        let probe = Matrix::from_rows(&[vec![0.2, -0.4], vec![1.0, 1.0]]).unwrap();
+        fact_par::set_workers(1);
+        let p1 = BootstrapEnsemble::fit(&x, &y, 8, 0.9, 13, trainer)
+            .unwrap()
+            .predict_with_uncertainty(&probe)
+            .unwrap();
+        fact_par::set_workers(4);
+        let p4 = BootstrapEnsemble::fit(&x, &y, 8, 0.9, 13, trainer)
+            .unwrap()
+            .predict_with_uncertainty(&probe)
+            .unwrap();
+        fact_par::set_workers(0);
+        assert_eq!(p1, p4);
     }
 
     #[test]

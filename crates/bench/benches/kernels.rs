@@ -29,6 +29,7 @@ use fact_ml::tree::{DecisionTree, TreeConfig};
 use fact_ml::Classifier;
 use fact_stats::multiple::{benjamini_hochberg, holm};
 use fact_transparency::surrogate::SurrogateExplainer;
+use rand::{Rng, SeedableRng};
 
 fn bench_fairness_metrics(c: &mut Criterion) {
     // E1 kernel: group metrics on 100k predictions
@@ -246,6 +247,31 @@ fn bench_stream_guards(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_matmul(c: &mut Criterion) {
+    // E12 kernel: cache-blocked + parallel matmul vs the naive triple loop
+    let square = |n: usize, seed: u64| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        fact_data::Matrix::from_flat(data, n, n).unwrap()
+    };
+    let a = square(128, 12);
+    let b = square(128, 13);
+    let mut g = c.benchmark_group("e12_matmul");
+    g.sample_size(20);
+    g.bench_function("naive_128", |bch| {
+        bch.iter(|| black_box(&a).matmul_naive(black_box(&b)).unwrap())
+    });
+    g.bench_function("tiled_par_128", |bch| {
+        bch.iter(|| black_box(&a).matmul(black_box(&b)).unwrap())
+    });
+    g.bench_function("tiled_1worker_128", |bch| {
+        fact_par::set_workers(1);
+        bch.iter(|| black_box(&a).matmul(black_box(&b)).unwrap());
+        fact_par::set_workers(0);
+    });
+    g.finish();
+}
+
 fn bench_training(c: &mut Criterion) {
     // shared substrate: model training cost
     let loans = generate_loans(&LoanConfig {
@@ -287,6 +313,7 @@ criterion_group!(
     bench_surrogate,
     bench_causal,
     bench_stream_guards,
+    bench_matmul,
     bench_training,
 );
 criterion_main!(kernels);

@@ -7,21 +7,24 @@
 //! every decision. Reported per shard count: achieved throughput,
 //! p50/p95/p99 end-to-end latency, and the guarded-vs-unguarded overhead.
 //!
-//! The model wrapper simulates a 1 ms feature-store fetch per batch — the
-//! dominant cost of real online inference. That is what makes shard scaling
-//! honest on a single-core host: shards overlap their *waits*, not CPU, so
-//! throughput grows with shard count the way a remote-backed service's
-//! would, and the guards' CPU cost shows up undiluted in the overhead
-//! column.
+//! A `SimulatedRemoteSource` charges a 1 ms feature-store fetch per batch —
+//! the dominant cost of real online inference — through the `FeatureSource`
+//! seam the service assembles every micro-batch with. That is what makes
+//! shard scaling honest on a single-core host: shards overlap their
+//! *waits*, not CPU, so throughput grows with shard count the way a
+//! remote-backed service's would, and the guards' CPU cost shows up
+//! undiluted in the overhead column.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bench::header;
-use fact_data::{Matrix, Result};
+use fact_data::Matrix;
 use fact_ml::logistic::{LogisticConfig, LogisticRegression};
-use fact_ml::Classifier;
-use fact_serve::{DecisionRequest, DecisionService, DegradePolicy, GuardConfig, ServeConfig};
+use fact_serve::{
+    DecisionRequest, DecisionService, DegradePolicy, GuardConfig, ServeConfig,
+    SimulatedRemoteSource,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,18 +34,6 @@ const FETCH: Duration = Duration::from_millis(1);
 /// Offered load: past saturation even at 4 shards (capacity ≈ 8k/s/shard).
 const OFFERED_PER_MS: usize = 40;
 const TRIAL: Duration = Duration::from_millis(1200);
-
-/// A trained model behind a simulated remote feature fetch.
-struct RemoteFeatureModel {
-    inner: LogisticRegression,
-}
-
-impl Classifier for RemoteFeatureModel {
-    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
-        std::thread::sleep(FETCH);
-        self.inner.predict_proba(x)
-    }
-}
 
 fn train_model(seed: u64) -> LogisticRegression {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -91,7 +82,7 @@ struct Trial {
     epsilon: f64,
 }
 
-fn run_trial(model: Arc<RemoteFeatureModel>, shards: usize, guarded: bool, seed: u64) -> Trial {
+fn run_trial(model: Arc<LogisticRegression>, shards: usize, guarded: bool, seed: u64) -> Trial {
     let guards = guarded.then(|| GuardConfig {
         fairness_window: 2_000,
         min_di: 0.8,
@@ -108,7 +99,7 @@ fn run_trial(model: Arc<RemoteFeatureModel>, shards: usize, guarded: bool, seed:
             0.25,
         )),
     });
-    let service = DecisionService::start(
+    let service = DecisionService::start_with_source(
         model,
         ServeConfig {
             shards,
@@ -126,6 +117,7 @@ fn run_trial(model: Arc<RemoteFeatureModel>, shards: usize, guarded: bool, seed:
             guards,
             seed,
         },
+        Arc::new(SimulatedRemoteSource::new(FETCH)),
     )
     .expect("service start");
 
@@ -161,9 +153,7 @@ fn run_trial(model: Arc<RemoteFeatureModel>, shards: usize, guarded: bool, seed:
 }
 
 fn main() {
-    let model = Arc::new(RemoteFeatureModel {
-        inner: train_model(11),
-    });
+    let model = Arc::new(train_model(11));
     println!(
         "E11: guarded decision serving, open-loop load ({} req/s offered, {}ms fetch per batch)\n",
         OFFERED_PER_MS * 1000,

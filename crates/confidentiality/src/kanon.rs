@@ -183,8 +183,12 @@ pub fn mondrian_k_anonymize(ds: &Dataset, qis: &[&str], k: usize) -> Result<Anon
     let mut total_ncp = 0.0;
     let mut out = ds.clone();
     for q in &qi_cols {
-        let mut labels = vec![String::new(); n];
-        for class in &classes {
+        // Per-class generalization is independent work: compute each class's
+        // label and NCP contribution in parallel, then fold the NCP sum and
+        // write the labels sequentially in class order (bit-identical to the
+        // sequential class loop at any worker count).
+        let per_class: Vec<(String, f64)> = fact_par::par_map(classes.len(), 8, |ci| {
+            let class = &classes[ci];
             let lo = class
                 .iter()
                 .map(|&i| q.numeric[i])
@@ -226,6 +230,10 @@ pub fn mondrian_k_anonymize(ds: &Dataset, qis: &[&str], k: usize) -> Result<Anon
             } else {
                 (hi - lo) / q.global_range
             };
+            (label, ncp)
+        });
+        let mut labels = vec![String::new(); n];
+        for (class, (label, ncp)) in classes.iter().zip(&per_class) {
             total_ncp += ncp * class.len() as f64;
             for &i in class {
                 labels[i] = label.clone();
@@ -256,19 +264,40 @@ fn format_number(v: f64) -> String {
     }
 }
 
+/// Rows per parallel chunk when counting QI combinations.
+const KANON_ROW_GRAIN: usize = 512;
+
 /// Verify k-anonymity directly on a released dataset: every combination of
 /// the given QI columns must occur at least `k` times.
+///
+/// Row chunks count combinations in parallel; the per-chunk maps are merged
+/// by addition, which is order-independent, so the verdict never depends on
+/// the worker count.
 pub fn is_k_anonymous(ds: &Dataset, qis: &[&str], k: usize) -> Result<bool> {
     use std::collections::HashMap;
-    let mut counts: HashMap<Vec<String>, usize> = HashMap::new();
     let mut cols = Vec::with_capacity(qis.len());
     for &q in qis {
         cols.push(ds.column(q)?);
     }
-    for i in 0..ds.n_rows() {
-        let key: Vec<String> = cols.iter().map(|c| c.get(i).to_string()).collect();
-        *counts.entry(key).or_insert(0) += 1;
-    }
+    let counts = fact_par::par_reduce(
+        ds.n_rows(),
+        KANON_ROW_GRAIN,
+        |range| {
+            let mut local: HashMap<Vec<String>, usize> = HashMap::new();
+            for i in range {
+                let key: Vec<String> = cols.iter().map(|c| c.get(i).to_string()).collect();
+                *local.entry(key).or_insert(0) += 1;
+            }
+            local
+        },
+        |mut a, b| {
+            for (key, c) in b {
+                *a.entry(key).or_insert(0) += c;
+            }
+            a
+        },
+    )
+    .unwrap_or_default();
     Ok(counts.values().all(|&c| c >= k))
 }
 

@@ -475,17 +475,41 @@ impl GuardedPipeline {
             .as_ref()
             .ok_or_else(|| FactError::InvalidArgument("no data loaded".into()))?;
         let labels = ds.labels(column)?;
-        let mut order: Vec<String> = Vec::new();
-        let mut counts: Vec<u64> = Vec::new();
-        for l in &labels {
-            match order.iter().position(|o| o == l) {
-                Some(i) => counts[i] += 1,
-                None => {
-                    order.push(l.clone());
-                    counts.push(1);
+        // Count buckets over row chunks in parallel. Each chunk records
+        // labels in local first-appearance order; merging chunks in index
+        // order preserves the global first-appearance order exactly, so the
+        // released histogram is bit-identical at any worker count.
+        let (order, counts): (Vec<String>, Vec<u64>) = fact_par::par_reduce(
+            labels.len(),
+            1024,
+            |range| {
+                let mut order: Vec<String> = Vec::new();
+                let mut counts: Vec<u64> = Vec::new();
+                for l in &labels[range] {
+                    match order.iter().position(|o| o == l) {
+                        Some(i) => counts[i] += 1,
+                        None => {
+                            order.push(l.clone());
+                            counts.push(1);
+                        }
+                    }
                 }
-            }
-        }
+                (order, counts)
+            },
+            |(mut order, mut counts), (border, bcounts)| {
+                for (l, c) in border.into_iter().zip(bcounts) {
+                    match order.iter().position(|o| *o == l) {
+                        Some(i) => counts[i] += c,
+                        None => {
+                            order.push(l);
+                            counts.push(c);
+                        }
+                    }
+                }
+                (order, counts)
+            },
+        )
+        .unwrap_or_default();
         accountant.spend(epsilon, 0.0, format!("dp_histogram({column})"))?;
         let noisy = dp_histogram(&counts, epsilon, seed)?;
         self.check(

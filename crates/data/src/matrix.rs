@@ -4,8 +4,29 @@
 //! (`fact-causal`) crates need — construction, views, products, normal
 //! equations, and a partial-pivot Gaussian solver. Row-major storage keeps
 //! per-row feature access (the hot path in SGD and tree building) contiguous.
+//!
+//! The products ([`Matrix::matmul`], [`Matrix::matvec`], [`Matrix::xtx`])
+//! run on the `fact-par` pool above a size threshold. Partitioning is by
+//! output rows (matmul/matvec) or fixed input-row chunks (xtx), so results
+//! are bit-identical at any `FACT_THREADS` value — see each method's note.
 
 use crate::error::{FactError, Result};
+
+/// k-dimension tile for the blocked matmul: `MATMUL_TILE` rows of the
+/// right-hand matrix stay hot in cache while a whole row block consumes
+/// them.
+const MATMUL_TILE: usize = 64;
+
+/// Flop budget per parallel chunk: chunks are sized so each holds roughly
+/// this much multiply-add work, keeping scheduling overhead ~0.1% of
+/// compute. Fixed constants (never worker-count-dependent) so chunk
+/// boundaries — and therefore float accumulation order — are reproducible.
+const PAR_FLOPS_PER_CHUNK: usize = 1 << 15;
+
+/// Rows per parallel chunk for a kernel doing `flops_per_row` work per row.
+fn row_grain(flops_per_row: usize) -> usize {
+    (PAR_FLOPS_PER_CHUNK / flops_per_row.max(1)).max(1)
+}
 
 /// Dense row-major `f64` matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,6 +153,9 @@ impl Matrix {
     }
 
     /// `self · v` (length must equal `cols`).
+    ///
+    /// Parallel over output rows; each entry is one independent dot
+    /// product, so the result is bit-identical at any worker count.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
         if v.len() != self.cols {
             return Err(FactError::LengthMismatch {
@@ -139,16 +163,13 @@ impl Matrix {
                 actual: v.len(),
             });
         }
-        let mut out = Vec::with_capacity(self.rows);
-        for i in 0..self.rows {
-            let row = self.row(i);
+        Ok(fact_par::par_map(self.rows, row_grain(self.cols), |i| {
             let mut acc = 0.0;
-            for (a, b) in row.iter().zip(v) {
+            for (a, b) in self.row(i).iter().zip(v) {
                 acc += a * b;
             }
-            out.push(acc);
-        }
-        Ok(out)
+            acc
+        }))
     }
 
     /// `selfᵀ · v` (length must equal `rows`).
@@ -171,8 +192,51 @@ impl Matrix {
         Ok(out)
     }
 
-    /// `self · other`.
+    /// `self · other` — cache-blocked over the shared dimension and
+    /// parallel over row blocks of the output.
+    ///
+    /// Per output entry the additions still happen in strictly ascending
+    /// `k` order (tiling reorders only across `(i, j)`, never within one),
+    /// so the result is bit-identical to [`Matrix::matmul_naive`] and to
+    /// itself at any worker count.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(FactError::LengthMismatch {
+                expected: self.cols,
+                actual: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let out_cols = other.cols;
+        // chunk = whole output rows: grain in elements must be a multiple
+        // of the row length so every chunk holds complete rows
+        let grain_rows = row_grain(self.cols * out_cols.max(1));
+        fact_par::par_for_each_mut(&mut out.data, grain_rows * out_cols.max(1), |off, chunk| {
+            let row0 = off / out_cols.max(1);
+            let rows_here = chunk.len() / out_cols.max(1);
+            for kb in (0..self.cols).step_by(MATMUL_TILE) {
+                let kend = (kb + MATMUL_TILE).min(self.cols);
+                for i in 0..rows_here {
+                    let arow = self.row(row0 + i);
+                    let orow = &mut chunk[i * out_cols..(i + 1) * out_cols];
+                    for (k, &a) in arow.iter().enumerate().take(kend).skip(kb) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, &b) in orow.iter_mut().zip(other.row(k)) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    /// The reference un-blocked, single-threaded `self · other`, kept as
+    /// the baseline the tiled kernel is benchmarked (and property-tested)
+    /// against.
+    pub fn matmul_naive(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(FactError::LengthMismatch {
                 expected: self.cols,
@@ -208,7 +272,10 @@ impl Matrix {
 
     /// `Xᵀ X` — the Gram matrix used by normal equations, optionally with
     /// per-row weights (`XᵀWX`).
-    #[allow(clippy::needless_range_loop)]
+    ///
+    /// Assembled in parallel: fixed row chunks accumulate partial Gram
+    /// matrices that are summed in chunk order, so the result depends on
+    /// the (size-derived) chunk grain but never on the worker count.
     pub fn xtx(&self, weights: Option<&[f64]>) -> Result<Matrix> {
         if let Some(w) = weights {
             if w.len() != self.rows {
@@ -218,24 +285,40 @@ impl Matrix {
                 });
             }
         }
-        let mut out = Matrix::zeros(self.cols, self.cols);
-        for i in 0..self.rows {
-            let row = self.row(i);
-            let w = weights.map(|w| w[i]).unwrap_or(1.0);
-            for a in 0..self.cols {
-                let ra = row[a] * w;
-                if ra == 0.0 {
-                    continue;
+        let d = self.cols;
+        let grain = row_grain(d * d);
+        let upper = fact_par::par_reduce(
+            self.rows,
+            grain,
+            |range| {
+                let mut acc = vec![0.0; d * d];
+                for i in range {
+                    let row = self.row(i);
+                    let w = weights.map(|w| w[i]).unwrap_or(1.0);
+                    for (a, &va) in row.iter().enumerate() {
+                        let ra = va * w;
+                        if ra == 0.0 {
+                            continue;
+                        }
+                        for (b, &vb) in row.iter().enumerate().skip(a) {
+                            acc[a * d + b] += ra * vb;
+                        }
+                    }
                 }
-                for b in a..self.cols {
-                    let cur = out.get(a, b);
-                    out.set(a, b, cur + ra * row[b]);
+                acc
+            },
+            |mut left, right| {
+                for (l, r) in left.iter_mut().zip(&right) {
+                    *l += r;
                 }
-            }
-        }
+                left
+            },
+        )
+        .unwrap_or_else(|| vec![0.0; d * d]);
+        let mut out = Matrix::from_flat(upper, d, d)?;
         // mirror upper triangle
-        for a in 0..self.cols {
-            for b in (a + 1)..self.cols {
+        for a in 0..d {
+            for b in (a + 1)..d {
                 let v = out.get(a, b);
                 out.set(b, a, v);
             }
@@ -434,6 +517,48 @@ mod tests {
         let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let i = Matrix::identity(2);
         assert_eq!(m.matmul(&i).unwrap(), m);
+    }
+
+    /// A deterministic pseudo-random matrix (no RNG dependency in this crate's tests).
+    fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+            })
+            .collect();
+        Matrix::from_flat(data, rows, cols).unwrap()
+    }
+
+    #[test]
+    fn tiled_matmul_is_bit_identical_to_naive() {
+        // sizes straddling the tile and the parallel grain
+        for &(m, k, n) in &[(3usize, 5usize, 4usize), (65, 64, 63), (130, 200, 70)] {
+            let a = lcg_matrix(m, k, 1);
+            let b = lcg_matrix(k, n, 2);
+            let tiled = a.matmul(&b).unwrap();
+            let naive = a.matmul_naive(&b).unwrap();
+            assert_eq!(tiled, naive, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn products_are_worker_count_invariant() {
+        let a = lcg_matrix(90, 70, 3);
+        let b = lcg_matrix(70, 40, 4);
+        let v: Vec<f64> = (0..70).map(|i| (i as f64).cos()).collect();
+        fact_par::set_workers(1);
+        let mm1 = a.matmul(&b).unwrap();
+        let mv1 = a.matvec(&v).unwrap();
+        let g1 = a.xtx(None).unwrap();
+        fact_par::set_workers(7);
+        assert_eq!(a.matmul(&b).unwrap(), mm1);
+        assert_eq!(a.matvec(&v).unwrap(), mv1);
+        assert_eq!(a.xtx(None).unwrap(), g1);
+        fact_par::set_workers(0);
     }
 
     #[test]

@@ -90,15 +90,34 @@ pub fn intersectional_audit(
         ));
     }
     use std::collections::HashMap;
-    let mut cells: HashMap<Vec<String>, (usize, usize)> = HashMap::new();
-    for i in 0..pred.len() {
-        let key: Vec<String> = label_cols.iter().map(|c| c[i].clone()).collect();
-        let entry = cells.entry(key).or_insert((0, 0));
-        entry.0 += 1;
-        if pred[i] {
-            entry.1 += 1;
-        }
-    }
+    // Count subgroup cells over row chunks in parallel; the additive merge
+    // is order-independent and the final sort fixes the output order, so the
+    // report never depends on the worker count.
+    let cells: HashMap<Vec<String>, (usize, usize)> = fact_par::par_reduce(
+        pred.len(),
+        512,
+        |range| {
+            let mut local: HashMap<Vec<String>, (usize, usize)> = HashMap::new();
+            for i in range {
+                let key: Vec<String> = label_cols.iter().map(|c| c[i].clone()).collect();
+                let entry = local.entry(key).or_insert((0, 0));
+                entry.0 += 1;
+                if pred[i] {
+                    entry.1 += 1;
+                }
+            }
+            local
+        },
+        |mut a, b| {
+            for (key, (n, pos)) in b {
+                let entry = a.entry(key).or_insert((0, 0));
+                entry.0 += n;
+                entry.1 += pos;
+            }
+            a
+        },
+    )
+    .unwrap_or_default();
     let mut subgroups: Vec<SubgroupOutcome> = cells
         .into_iter()
         .map(|(labels, (n, pos))| {

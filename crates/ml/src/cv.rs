@@ -37,6 +37,39 @@ where
     Ok(scores)
 }
 
+/// [`cross_validate`] with the folds fitted and scored in parallel.
+///
+/// Requires a re-entrant `fit_score` (`Fn + Sync` instead of `FnMut`); fold
+/// splits come from the same seeded `kfold_indices` and scores are returned
+/// in fold order, so the result is bit-identical to the sequential version
+/// at any worker count.
+pub fn cross_validate_par<F>(
+    x: &Matrix,
+    y: &[bool],
+    k: usize,
+    seed: u64,
+    fit_score: F,
+) -> Result<Vec<f64>>
+where
+    F: Fn(&Matrix, &[bool], &Matrix, &[bool]) -> Result<f64> + Sync,
+{
+    if x.rows() != y.len() {
+        return Err(fact_data::FactError::LengthMismatch {
+            expected: x.rows(),
+            actual: y.len(),
+        });
+    }
+    let folds = kfold_indices(x.rows(), k, seed)?;
+    fact_par::par_map(folds.len(), 1, |f| {
+        let (train_idx, valid_idx) = &folds[f];
+        let (xt, yt) = gather(x, y, train_idx);
+        let (xv, yv) = gather(x, y, valid_idx);
+        fit_score(&xt, &yt, &xv, &yv)
+    })
+    .into_iter()
+    .collect()
+}
+
 /// Mean and sample standard deviation of fold scores.
 pub fn summarize(scores: &[f64]) -> (f64, f64) {
     let n = scores.len() as f64;
@@ -100,6 +133,20 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total_valid, 50);
+    }
+
+    #[test]
+    fn parallel_cv_matches_sequential() {
+        let (x, y) = linear_world(400, 4);
+        let run = |xt: &Matrix, yt: &[bool], xv: &Matrix, yv: &[bool]| {
+            let m = LogisticRegression::fit(xt, yt, None, &LogisticConfig::default())?;
+            accuracy(yv, &m.predict(xv)?)
+        };
+        let seq = cross_validate(&x, &y, 5, 7, run).unwrap();
+        fact_par::set_workers(4);
+        let par = cross_validate_par(&x, &y, 5, 7, run).unwrap();
+        fact_par::set_workers(0);
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub struct RandomForest {
 impl RandomForest {
     /// Fit `n_trees` trees, each on a bootstrap resample and a random feature
     /// subset.
-    #[allow(clippy::needless_range_loop)]
+    ///
+    /// All randomness is drawn up front from the seeded master RNG in tree
+    /// order (the exact stream the sequential implementation consumed), so
+    /// the tree fits themselves — which are RNG-free — can run in parallel
+    /// while the fitted forest stays bit-identical at any worker count.
     pub fn fit(x: &Matrix, y: &[bool], cfg: &ForestConfig) -> Result<Self> {
         check_xy(x, y.len())?;
         if cfg.n_trees == 0 {
@@ -59,16 +63,21 @@ impl RandomForest {
             .max(1);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let n = x.rows();
-        let mut trees = Vec::with_capacity(cfg.n_trees);
         let mut all_features: Vec<usize> = (0..d).collect();
-        for _ in 0..cfg.n_trees {
-            // bootstrap rows
-            let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-            // feature subset
-            all_features.shuffle(&mut rng);
-            let mut feats = all_features[..mtry].to_vec();
-            feats.sort_unstable();
-            // project
+        let samples: Vec<(Vec<usize>, Vec<usize>)> = (0..cfg.n_trees)
+            .map(|_| {
+                // bootstrap rows
+                let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                // feature subset
+                all_features.shuffle(&mut rng);
+                let mut feats = all_features[..mtry].to_vec();
+                feats.sort_unstable();
+                (rows, feats)
+            })
+            .collect();
+        let trees = fact_par::par_map(cfg.n_trees, 1, |t| {
+            let (rows, feats) = &samples[t];
+            // project the bootstrap sample onto the feature subset
             let mut sub = Matrix::zeros(n, feats.len());
             let mut suby = Vec::with_capacity(n);
             for (ri, &i) in rows.iter().enumerate() {
@@ -77,9 +86,10 @@ impl RandomForest {
                 }
                 suby.push(y[i]);
             }
-            let tree = DecisionTree::fit(&sub, &suby, &cfg.tree)?;
-            trees.push((tree, feats));
-        }
+            DecisionTree::fit(&sub, &suby, &cfg.tree).map(|tree| (tree, feats.clone()))
+        });
+        let trees: Vec<(DecisionTree, Vec<usize>)> =
+            trees.into_iter().collect::<Result<Vec<_>>>()?;
         Ok(RandomForest {
             trees,
             n_features: d,
@@ -92,8 +102,10 @@ impl RandomForest {
     }
 }
 
+/// Rows per parallel chunk when averaging tree votes.
+const PREDICT_ROW_GRAIN: usize = 64;
+
 impl Classifier for RandomForest {
-    #[allow(clippy::needless_range_loop)]
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         if x.cols() != self.n_features {
             return Err(FactError::LengthMismatch {
@@ -101,20 +113,23 @@ impl Classifier for RandomForest {
                 actual: x.cols(),
             });
         }
-        let mut acc = vec![0.0; x.rows()];
-        let mut row_buf = Vec::new();
-        for (tree, feats) in &self.trees {
-            for i in 0..x.rows() {
+        let k = self.trees.len() as f64;
+        // Row-parallel; each row sums its tree votes in tree order, exactly
+        // as the sequential tree-outer loop accumulated them.
+        let probs = fact_par::par_map(x.rows(), PREDICT_ROW_GRAIN, |i| {
+            let row = x.row(i);
+            let mut row_buf = Vec::new();
+            let mut acc = 0.0;
+            for (tree, feats) in &self.trees {
                 row_buf.clear();
-                let row = x.row(i);
                 for &f in feats {
                     row_buf.push(row[f]);
                 }
-                acc[i] += tree.predict_row(&row_buf)?;
+                acc += tree.predict_row(&row_buf)?;
             }
-        }
-        let k = self.trees.len() as f64;
-        Ok(acc.into_iter().map(|v| v / k).collect())
+            Ok(acc / k)
+        });
+        probs.into_iter().collect()
     }
 }
 
@@ -161,6 +176,28 @@ mod tests {
         let a = RandomForest::fit(&x, &y, &cfg).unwrap();
         let b = RandomForest::fit(&x, &y, &cfg).unwrap();
         assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+    }
+
+    #[test]
+    fn fit_and_predict_are_worker_count_invariant() {
+        let (x, y) = xor_world(300, 6);
+        let cfg = ForestConfig {
+            n_trees: 7,
+            seed: 11,
+            ..ForestConfig::default()
+        };
+        fact_par::set_workers(1);
+        let p1 = RandomForest::fit(&x, &y, &cfg)
+            .unwrap()
+            .predict_proba(&x)
+            .unwrap();
+        fact_par::set_workers(5);
+        let p5 = RandomForest::fit(&x, &y, &cfg)
+            .unwrap()
+            .predict_proba(&x)
+            .unwrap();
+        fact_par::set_workers(0);
+        assert_eq!(p1, p5);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! # fact-par — a std-only data-parallel runtime
+//!
+//! The FACT guards only get deployed if they are cheap at scale, and cheap
+//! at scale means using every core the host offers. This crate is the
+//! workspace's parallel-compute substrate, built on `std::thread::scope`
+//! alone (the build environment has no rayon): chunked [`Pool::par_map`],
+//! [`Pool::par_for_each_mut`], and [`Pool::par_reduce`] over index ranges.
+//!
+//! Three properties every caller can rely on:
+//!
+//! * **Determinism.** Work is split into chunks whose boundaries depend
+//!   only on the problem size and the grain — *never* on the worker count.
+//!   Chunk results are merged in index order. A kernel built on these
+//!   primitives therefore produces **bit-identical** output at any
+//!   `FACT_THREADS` value, including 1; "parallel" and "sequential" are the
+//!   same computation scheduled differently.
+//! * **Zero overhead below the grain.** Inputs that fit in a single chunk
+//!   (or a pool with one worker) run inline on the caller's thread — no
+//!   spawn, no lock, no allocation beyond the output.
+//! * **No global executor state.** [`Pool`] is a plain value; the
+//!   module-level [`par_map`]/[`par_for_each_mut`]/[`par_reduce`] helpers
+//!   snapshot the configured worker count per call, so [`set_workers`] (or
+//!   the `FACT_THREADS` environment variable) takes effect immediately.
+//!
+//! Worker-count resolution order: [`set_workers`] runtime override, then
+//! the `FACT_THREADS` environment variable (read once), then
+//! `std::thread::available_parallelism()`.
+//!
+//! ```
+//! let squares = fact_par::par_map(10_000, 1024, |i| (i * i) as u64);
+//! assert_eq!(squares[77], 77 * 77);
+//!
+//! let total = fact_par::par_reduce(
+//!     10_000,
+//!     1024,
+//!     |range| range.map(|i| i as u64).sum::<u64>(),
+//!     |a, b| a + b,
+//! );
+//! assert_eq!(total, Some(9_999 * 10_000 / 2));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+mod pool;
+
+pub use pool::Pool;
+
+/// Default chunk grain for index-range primitives: below this many index
+/// units a call runs inline on the caller's thread.
+pub const DEFAULT_GRAIN: usize = 1024;
+
+/// Runtime worker override (0 = unset). Set via [`set_workers`].
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `FACT_THREADS` parsed once per process.
+static ENV_WORKERS: OnceLock<Option<usize>> = OnceLock::new();
+
+/// The worker count parallel calls will use right now.
+///
+/// Resolution order: [`set_workers`] override, then `FACT_THREADS`, then
+/// `available_parallelism()` (1 when even that is unavailable).
+pub fn workers() -> usize {
+    let over = WORKER_OVERRIDE.load(Ordering::Relaxed);
+    if over != 0 {
+        return over;
+    }
+    let env = ENV_WORKERS.get_or_init(|| {
+        std::env::var("FACT_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    });
+    if let Some(n) = *env {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Override the worker count process-wide (experiments, tests). `0` clears
+/// the override and falls back to `FACT_THREADS` / detected parallelism.
+///
+/// Because chunking never depends on the worker count, changing this knob
+/// changes scheduling only — results stay bit-identical.
+pub fn set_workers(n: usize) {
+    WORKER_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// [`Pool::par_map`] on a pool with the configured worker count.
+pub fn par_map<T, F>(n: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    Pool::global().par_map(n, grain, f)
+}
+
+/// [`Pool::par_for_each_mut`] on a pool with the configured worker count.
+pub fn par_for_each_mut<T, F>(data: &mut [T], grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    Pool::global().par_for_each_mut(data, grain, f)
+}
+
+/// [`Pool::par_reduce`] on a pool with the configured worker count.
+pub fn par_reduce<A, M, R>(n: usize, grain: usize, map: M, reduce: R) -> Option<A>
+where
+    A: Send,
+    M: Fn(std::ops::Range<usize>) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    Pool::global().par_reduce(n, grain, map, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_helpers_match_explicit_pool() {
+        let a = par_map(500, 64, |i| i * 3);
+        let b = Pool::new(4).par_map(500, 64, |i| i * 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_workers_overrides_and_clears() {
+        set_workers(3);
+        assert_eq!(workers(), 3);
+        set_workers(0);
+        assert!(workers() >= 1);
+    }
+}

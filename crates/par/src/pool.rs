@@ -1,0 +1,288 @@
+//! The scoped worker pool and its chunked primitives.
+//!
+//! A [`Pool`] is a plain value holding a worker count; each parallel call
+//! opens a `std::thread::scope`, so closures may borrow from the caller's
+//! stack freely and no thread outlives the call. Spawn cost (~tens of
+//! microseconds per worker) is amortized by the grain gate: work that fits
+//! in one chunk never spawns at all.
+//!
+//! Scheduling is dynamic — workers pull the next unclaimed chunk from a
+//! shared queue, so an unlucky slow chunk cannot serialize the rest — but
+//! every chunk writes its result into a slot fixed by its index, which is
+//! what makes the output independent of scheduling.
+
+use std::mem::MaybeUninit;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Work queue for [`Pool::par_map`]: each entry is a chunk's starting index
+/// plus the uninitialized output slots it must fill.
+type MapQueue<'a, T> = Mutex<std::vec::IntoIter<(usize, &'a mut [MaybeUninit<T>])>>;
+
+/// A reusable handle for running chunked data-parallel work.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool that uses up to `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool with the globally configured worker count
+    /// ([`crate::workers`]): the `set_workers` override, `FACT_THREADS`, or
+    /// detected parallelism, in that order.
+    pub fn global() -> Self {
+        Pool::new(crate::workers())
+    }
+
+    /// This pool's worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// `f(i)` for every `i in 0..n`, results in index order.
+    ///
+    /// Chunks of `grain` indices are distributed over the workers; each
+    /// element lands in its own slot, so the result is identical to
+    /// `(0..n).map(f).collect()` for any worker count.
+    pub fn par_map<T, F>(&self, n: usize, grain: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let grain = grain.max(1);
+        let mut out = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        let n_chunks = n.div_ceil(grain);
+        let threads = self.workers.min(n_chunks);
+        if threads <= 1 {
+            out.extend((0..n).map(f));
+            return out;
+        }
+        {
+            let slots = &mut out.spare_capacity_mut()[..n];
+            let mut chunks: Vec<(usize, &mut [MaybeUninit<T>])> = Vec::with_capacity(n_chunks);
+            let mut start = 0;
+            for chunk in slots.chunks_mut(grain) {
+                let len = chunk.len();
+                chunks.push((start, chunk));
+                start += len;
+            }
+            let queue = Mutex::new(chunks.into_iter());
+            let run = |queue: &MapQueue<T>| loop {
+                let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                match next {
+                    Some((base, slot)) => {
+                        for (k, cell) in slot.iter_mut().enumerate() {
+                            cell.write(f(base + k));
+                        }
+                    }
+                    None => return,
+                }
+            };
+            std::thread::scope(|s| {
+                for _ in 1..threads {
+                    s.spawn(|| run(&queue));
+                }
+                run(&queue);
+            });
+        }
+        // SAFETY: the chunks partition exactly the first `n` spare slots and
+        // every worker writes each slot of its claimed chunks exactly once;
+        // the scope joined all workers before we get here. (If `f` panics the
+        // scope propagates it and `out` is dropped at its old length — any
+        // already-written elements leak, which is safe.)
+        unsafe { out.set_len(n) };
+        out
+    }
+
+    /// Run `f(offset, chunk)` over `grain`-sized disjoint chunks of `data`
+    /// in parallel; `offset` is the chunk's starting index in `data`.
+    pub fn par_for_each_mut<T, F>(&self, data: &mut [T], grain: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let grain = grain.max(1);
+        if data.is_empty() {
+            return;
+        }
+        let n_chunks = data.len().div_ceil(grain);
+        let threads = self.workers.min(n_chunks);
+        if threads <= 1 {
+            let mut start = 0;
+            for chunk in data.chunks_mut(grain) {
+                let len = chunk.len();
+                f(start, chunk);
+                start += len;
+            }
+            return;
+        }
+        let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(n_chunks);
+        let mut start = 0;
+        for chunk in data.chunks_mut(grain) {
+            let len = chunk.len();
+            chunks.push((start, chunk));
+            start += len;
+        }
+        let queue = Mutex::new(chunks.into_iter());
+        let run = |queue: &Mutex<std::vec::IntoIter<(usize, &mut [T])>>| loop {
+            let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+            match next {
+                Some((base, chunk)) => f(base, chunk),
+                None => return,
+            }
+        };
+        std::thread::scope(|s| {
+            for _ in 1..threads {
+                s.spawn(|| run(&queue));
+            }
+            run(&queue);
+        });
+    }
+
+    /// Map every `grain`-sized index chunk of `0..n` through `map`, then
+    /// fold the per-chunk results **in chunk order** with `reduce`.
+    ///
+    /// Because the chunk boundaries depend only on `n` and `grain` and the
+    /// fold order is fixed, the result is bit-identical at any worker count
+    /// — including for non-associative float accumulation. Returns `None`
+    /// when `n == 0`.
+    pub fn par_reduce<A, M, R>(&self, n: usize, grain: usize, map: M, reduce: R) -> Option<A>
+    where
+        A: Send,
+        M: Fn(Range<usize>) -> A + Sync,
+        R: Fn(A, A) -> A,
+    {
+        let grain = grain.max(1);
+        if n == 0 {
+            return None;
+        }
+        let n_chunks = n.div_ceil(grain);
+        let range_of = |c: usize| (c * grain)..(((c + 1) * grain).min(n));
+        let threads = self.workers.min(n_chunks);
+        if threads <= 1 {
+            // Same chunk structure as the parallel path, so the fold order —
+            // and therefore the bits — match at any worker count.
+            return (0..n_chunks).map(|c| map(range_of(c))).reduce(&reduce);
+        }
+        let mut results: Vec<Option<A>> = (0..n_chunks).map(|_| None).collect();
+        {
+            let slots: Vec<(usize, &mut Option<A>)> = results.iter_mut().enumerate().collect();
+            let queue = Mutex::new(slots.into_iter());
+            let run = |queue: &Mutex<std::vec::IntoIter<(usize, &mut Option<A>)>>| loop {
+                let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                match next {
+                    Some((c, slot)) => *slot = Some(map(range_of(c))),
+                    None => return,
+                }
+            };
+            std::thread::scope(|s| {
+                for _ in 1..threads {
+                    s.spawn(|| run(&queue));
+                }
+                run(&queue);
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("chunk computed"))
+            .reduce(&reduce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        for &workers in &[1usize, 2, 3, 8] {
+            let pool = Pool::new(workers);
+            for &n in &[0usize, 1, 7, 64, 1000] {
+                let got = pool.par_map(n, 16, |i| i as u64 * 3 + 1);
+                let want: Vec<u64> = (0..n).map(|i| i as u64 * 3 + 1).collect();
+                assert_eq!(got, want, "n={n} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_handles_non_copy_types() {
+        let got = Pool::new(4).par_map(100, 8, |i| format!("v{i}"));
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[42], "v42");
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_every_element_once() {
+        for &workers in &[1usize, 2, 5] {
+            let mut data = vec![0u32; 999];
+            Pool::new(workers).par_for_each_mut(&mut data, 100, |base, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v += (base + k) as u32 + 1;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn par_reduce_is_deterministic_across_worker_counts() {
+        // float accumulation: chunk order is what guarantees equal bits
+        let xs: Vec<f64> = (0..10_000).map(|i| (i as f64).sin() * 1e-3).collect();
+        let sum_with = |workers: usize| {
+            Pool::new(workers)
+                .par_reduce(
+                    xs.len(),
+                    128,
+                    |r| r.map(|i| xs[i]).sum::<f64>(),
+                    |a, b| a + b,
+                )
+                .unwrap()
+        };
+        let s1 = sum_with(1);
+        for &w in &[2usize, 3, 4, 8, 16] {
+            assert_eq!(s1.to_bits(), sum_with(w).to_bits(), "workers={w}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_empty_is_none() {
+        assert_eq!(Pool::new(4).par_reduce(0, 8, |_| 1u32, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn par_reduce_single_chunk_runs_inline() {
+        let v = Pool::new(8)
+            .par_reduce(5, 100, |r| r.sum::<usize>(), |a, b| a + b)
+            .unwrap();
+        assert_eq!(v, 0 + 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn grain_zero_is_clamped() {
+        let got = Pool::new(2).par_map(10, 0, |i| i);
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dynamic_scheduling_balances_uneven_chunks() {
+        // one slow chunk must not change the result
+        let got = Pool::new(4).par_map(64, 4, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * i
+        });
+        let want: Vec<usize> = (0..64).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -17,6 +17,12 @@
 //!   `batch_max`, lingering `batch_linger` for stragglers) so one
 //!   matrix-level [`Classifier::predict_proba`] call amortizes model
 //!   overhead across requests.
+//! * **Feature sources** — each micro-batch's feature matrix is assembled
+//!   by a [`FeatureSource`] (one `fetch_batch` call per batch, ahead of the
+//!   model): [`InlineFeatures`] by default, or a remote store —
+//!   [`SimulatedRemoteSource`] in the experiments — via
+//!   [`DecisionService::start_with_source`], so a fetch round trip is paid
+//!   per batch, not per request.
 //! * **Streaming guards** — each shard owns a
 //!   [`StreamingFairnessMonitor`], an optional [`DriftMonitor`] over the
 //!   decision scores, and a [`StreamingDpCounter`] spending a per-shard ε
@@ -69,6 +75,7 @@
 pub mod guards;
 pub mod metrics;
 pub mod service;
+pub mod source;
 
 pub use guards::{AlertKind, DegradePolicy, GuardConfig, ServiceAlert};
 pub use metrics::{LatencyHistogram, MetricsRegistry, MetricsSnapshot, ShardSnapshot};
@@ -76,6 +83,7 @@ pub use service::{
     Decision, DecisionHandle, DecisionRequest, DecisionService, ServeConfig, ServeError,
     ServiceReport, ShardReport,
 };
+pub use source::{FeatureSource, InlineFeatures, SimulatedRemoteSource};
 
 #[cfg(test)]
 mod tests {
@@ -444,6 +452,45 @@ mod tests {
             }),
             Err(ServeError::BadRequest(_))
         ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn custom_feature_source_feeds_the_model() {
+        /// Ignores the inline features and serves `route_key / 100`.
+        struct KeyedSource {
+            fetches: AtomicU64,
+        }
+        impl FeatureSource for KeyedSource {
+            fn fetch_batch(&self, keys: &[u64], _inline: &[Vec<f64>]) -> Result<Matrix> {
+                self.fetches.fetch_add(1, Ordering::Relaxed);
+                let rows: Vec<Vec<f64>> = keys.iter().map(|&k| vec![k as f64 / 100.0]).collect();
+                Matrix::from_rows(&rows)
+            }
+        }
+        let source = Arc::new(KeyedSource {
+            fetches: AtomicU64::new(0),
+        });
+        let service = DecisionService::start_with_source(
+            Arc::new(StubModel::instant()),
+            ServeConfig {
+                shards: 1,
+                ..base_config()
+            },
+            Arc::clone(&source) as Arc<dyn FeatureSource>,
+        )
+        .unwrap();
+        // inline feature says 0.9, but the source must win with key/100
+        let d = service
+            .decide(DecisionRequest {
+                features: vec![0.9],
+                group_b: false,
+                route_key: 20,
+            })
+            .unwrap();
+        assert!((d.probability - 0.2).abs() < 1e-12, "{}", d.probability);
+        assert!(!d.favorable);
+        assert!(source.fetches.load(Ordering::Relaxed) >= 1);
         service.shutdown();
     }
 

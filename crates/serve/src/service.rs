@@ -27,11 +27,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fact_core::runtime::Alert;
-use fact_data::Matrix;
 use fact_ml::Classifier;
 
 use crate::guards::{AlertHub, AlertKind, DegradePolicy, GuardConfig, ServiceAlert, ShardGuards};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::source::{FeatureSource, InlineFeatures};
 
 /// Errors surfaced to callers of the service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -250,6 +250,7 @@ impl ServiceReport {
 struct Job {
     features: Vec<f64>,
     group_b: bool,
+    route_key: u64,
     enqueued: Instant,
     reply: Sender<Result<Decision, ServeError>>,
 }
@@ -275,10 +276,22 @@ pub struct DecisionService {
 }
 
 impl DecisionService {
-    /// Start the worker shards around a trained model.
+    /// Start the worker shards around a trained model, with features taken
+    /// inline from each request ([`InlineFeatures`]).
     pub fn start(
         model: Arc<dyn Classifier + Send + Sync>,
         config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        Self::start_with_source(model, config, Arc::new(InlineFeatures))
+    }
+
+    /// Start the worker shards around a trained model and an explicit
+    /// [`FeatureSource`] that assembles each micro-batch's feature matrix
+    /// (e.g. a simulated or real feature store) before the model scores it.
+    pub fn start_with_source(
+        model: Arc<dyn Classifier + Send + Sync>,
+        config: ServeConfig,
+        source: Arc<dyn FeatureSource>,
     ) -> Result<Self, ServeError> {
         if config.shards == 0
             || config.queue_cap == 0
@@ -316,6 +329,7 @@ impl DecisionService {
                 shard,
                 rx,
                 model: Arc::clone(&model),
+                source: Arc::clone(&source),
                 metrics: Arc::clone(&metrics),
                 guards,
                 hub,
@@ -368,6 +382,7 @@ impl DecisionService {
         let job = Job {
             features: request.features,
             group_b: request.group_b,
+            route_key: request.route_key,
             enqueued: Instant::now(),
             reply: reply_tx,
         };
@@ -479,6 +494,7 @@ struct ShardWorker {
     shard: usize,
     rx: Receiver<Job>,
     model: Arc<dyn Classifier + Send + Sync>,
+    source: Arc<dyn FeatureSource>,
     metrics: Arc<MetricsRegistry>,
     guards: Option<ShardGuards>,
     hub: AlertHub,
@@ -536,8 +552,15 @@ impl ShardWorker {
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
             batches += 1;
 
+            // One batched feature fetch per micro-batch, then one
+            // matrix-level model call: both the round trip and the model
+            // overhead are amortized across the whole batch.
+            let keys: Vec<u64> = batch.iter().map(|j| j.route_key).collect();
             let rows: Vec<Vec<f64>> = batch.iter().map(|j| j.features.clone()).collect();
-            let probs = Matrix::from_rows(&rows).and_then(|x| self.model.predict_proba(&x));
+            let probs = self
+                .source
+                .fetch_batch(&keys, &rows)
+                .and_then(|x| self.model.predict_proba(&x));
             let probs = match probs {
                 Ok(p) => p,
                 Err(e) => {

@@ -91,10 +91,18 @@ pub fn wilson_ci(successes: u64, trials: u64, level: f64) -> Result<ConfidenceIn
     })
 }
 
+/// Replicates per parallel chunk when bootstrapping.
+const BOOT_CHUNK: usize = 64;
+
 /// Percentile bootstrap CI for an arbitrary statistic of one sample.
 ///
 /// `statistic` is evaluated on `n_boot` seeded resamples; the interval is the
 /// empirical `(1±level)/2` quantile range of those replicates.
+///
+/// Replicates are computed in parallel chunks of [`BOOT_CHUNK`]. Each chunk
+/// owns a child RNG whose seed is drawn from the master RNG in chunk order,
+/// so the replicate stream depends only on `seed` and `n_boot` — never on
+/// the worker count.
 pub fn bootstrap_ci<F>(
     xs: &[f64],
     statistic: F,
@@ -103,7 +111,7 @@ pub fn bootstrap_ci<F>(
     seed: u64,
 ) -> Result<ConfidenceInterval>
 where
-    F: Fn(&[f64]) -> f64,
+    F: Fn(&[f64]) -> f64 + Sync,
 {
     check_level(level)?;
     if xs.is_empty() {
@@ -114,15 +122,30 @@ where
             "bootstrap needs at least 10 replicates".into(),
         ));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut replicates = Vec::with_capacity(n_boot);
-    let mut resample = vec![0.0; xs.len()];
-    for _ in 0..n_boot {
-        for slot in resample.iter_mut() {
-            *slot = xs[rng.gen_range(0..xs.len())];
-        }
-        replicates.push(statistic(&resample));
-    }
+    let mut master = StdRng::seed_from_u64(seed);
+    let n_chunks = n_boot.div_ceil(BOOT_CHUNK);
+    let chunk_seeds: Vec<u64> = (0..n_chunks).map(|_| master.gen()).collect();
+    let replicates = fact_par::par_reduce(
+        n_boot,
+        BOOT_CHUNK,
+        |range| {
+            let mut rng = StdRng::seed_from_u64(chunk_seeds[range.start / BOOT_CHUNK]);
+            let mut resample = vec![0.0; xs.len()];
+            let mut reps = Vec::with_capacity(range.len());
+            for _ in range {
+                for slot in resample.iter_mut() {
+                    *slot = xs[rng.gen_range(0..xs.len())];
+                }
+                reps.push(statistic(&resample));
+            }
+            reps
+        },
+        |mut a, b| {
+            a.extend(b);
+            a
+        },
+    )
+    .expect("n_boot >= 10");
     let alpha = (1.0 - level) / 2.0;
     Ok(ConfidenceInterval {
         estimate: statistic(xs),
@@ -210,6 +233,18 @@ mod tests {
         let ci =
             bootstrap_ci(&xs, |s| crate::descriptive::median(s).unwrap(), 300, 0.9, 5).unwrap();
         assert!(ci.contains(150.0));
+    }
+
+    #[test]
+    fn bootstrap_is_worker_count_invariant() {
+        let xs: Vec<f64> = (0..400).map(|i| ((i * 7) % 23) as f64).collect();
+        let stat = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        fact_par::set_workers(1);
+        let a = bootstrap_ci(&xs, stat, 300, 0.95, 17).unwrap();
+        fact_par::set_workers(6);
+        let b = bootstrap_ci(&xs, stat, 300, 0.95, 17).unwrap();
+        fact_par::set_workers(0);
+        assert_eq!(a, b);
     }
 
     #[test]

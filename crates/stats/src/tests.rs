@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use fact_data::{FactError, Result};
 
@@ -168,12 +168,20 @@ pub fn two_proportion_z_test(x1: u64, n1: u64, x2: u64, n2: u64) -> Result<TestR
     })
 }
 
+/// Shuffles per parallel chunk in the permutation test.
+const PERM_CHUNK: usize = 128;
+
 /// Permutation test for a difference in means between two samples.
 ///
 /// The p-value is the fraction of `n_perm` label shuffles whose |mean
 /// difference| is at least the observed one (with the +1 small-sample
 /// correction). Exact in distribution as `n_perm → ∞`; makes no normality
 /// assumption.
+///
+/// Shuffles run in parallel chunks of [`PERM_CHUNK`]; each chunk shuffles
+/// its own copy of the pooled sample with a child RNG seeded from the
+/// master RNG in chunk order, so the p-value depends only on `seed` and
+/// `n_perm`, not on the worker count.
 pub fn permutation_test(xs: &[f64], ys: &[f64], n_perm: usize, seed: u64) -> Result<TestResult> {
     if xs.is_empty() || ys.is_empty() {
         return Err(FactError::EmptyData(
@@ -186,18 +194,31 @@ pub fn permutation_test(xs: &[f64], ys: &[f64], n_perm: usize, seed: u64) -> Res
         ));
     }
     let observed = mean(xs)? - mean(ys)?;
-    let mut pool: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+    let pool: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
     let nx = xs.len();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut extreme = 0usize;
-    for _ in 0..n_perm {
-        pool.shuffle(&mut rng);
-        let mx: f64 = pool[..nx].iter().sum::<f64>() / nx as f64;
-        let my: f64 = pool[nx..].iter().sum::<f64>() / (pool.len() - nx) as f64;
-        if (mx - my).abs() >= observed.abs() - 1e-12 {
-            extreme += 1;
-        }
-    }
+    let mut master = StdRng::seed_from_u64(seed);
+    let n_chunks = n_perm.div_ceil(PERM_CHUNK);
+    let chunk_seeds: Vec<u64> = (0..n_chunks).map(|_| master.gen()).collect();
+    let extreme = fact_par::par_reduce(
+        n_perm,
+        PERM_CHUNK,
+        |range| {
+            let mut rng = StdRng::seed_from_u64(chunk_seeds[range.start / PERM_CHUNK]);
+            let mut local = pool.clone();
+            let mut hits = 0usize;
+            for _ in range {
+                local.shuffle(&mut rng);
+                let mx: f64 = local[..nx].iter().sum::<f64>() / nx as f64;
+                let my: f64 = local[nx..].iter().sum::<f64>() / (local.len() - nx) as f64;
+                if (mx - my).abs() >= observed.abs() - 1e-12 {
+                    hits += 1;
+                }
+            }
+            hits
+        },
+        |a, b| a + b,
+    )
+    .expect("n_perm >= 1");
     Ok(TestResult {
         statistic: observed,
         p_value: (extreme + 1) as f64 / (n_perm + 1) as f64,
@@ -295,6 +316,18 @@ mod unit_tests {
         assert!(p.p_value < 0.01, "clear shift: {}", p.p_value);
         let null = permutation_test(&xs, &xs, 2000, 7).unwrap();
         assert!(null.p_value > 0.5, "no shift: {}", null.p_value);
+    }
+
+    #[test]
+    fn permutation_p_is_worker_count_invariant() {
+        let xs: Vec<f64> = (0..40).map(|i| (i % 9) as f64).collect();
+        let ys: Vec<f64> = (0..40).map(|i| (i % 9) as f64 + 0.5).collect();
+        fact_par::set_workers(1);
+        let a = permutation_test(&xs, &ys, 1000, 3).unwrap();
+        fact_par::set_workers(8);
+        let b = permutation_test(&xs, &ys, 1000, 3).unwrap();
+        fact_par::set_workers(0);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 #   1. cargo fmt --check      formatting is not negotiable
 #   2. cargo clippy           all targets, warnings are errors
 #   3. cargo test -q          the full workspace suite
+#   4. exp_e12 --smoke        parallel kernels bit-identical to sequential
 #
 # Everything runs --offline: the workspace vendors its dependencies and
 # must build with no network.
@@ -19,5 +20,8 @@ cargo clippy --offline --all-targets -- -D warnings
 
 echo "==> cargo test -q"
 cargo test --offline --workspace -q
+
+echo "==> exp_e12 --smoke (parallel-kernel determinism gate)"
+cargo run --offline -q -p fact-bench --bin exp_e12 -- --smoke
 
 echo "==> ci.sh: all green"

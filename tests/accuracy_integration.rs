@@ -113,14 +113,15 @@ fn bootstrap_uncertainty_wraps_a_real_classifier() {
         y.push(a - b + rng.gen_range(-0.5..0.5) > 0.0);
     }
     let x = Matrix::from_rows(&rows).unwrap();
-    let trainer = |xt: &Matrix, yt: &[bool], seed: u64| -> Result<Box<dyn Classifier>> {
-        let cfg = LogisticConfig {
-            seed,
-            epochs: 25,
-            ..LogisticConfig::default()
+    let trainer =
+        |xt: &Matrix, yt: &[bool], seed: u64| -> Result<Box<dyn Classifier + Send + Sync>> {
+            let cfg = LogisticConfig {
+                seed,
+                epochs: 25,
+                ..LogisticConfig::default()
+            };
+            Ok(Box::new(LogisticRegression::fit(xt, yt, None, &cfg)?))
         };
-        Ok(Box::new(LogisticRegression::fit(xt, yt, None, &cfg)?))
-    };
     let ens = BootstrapEnsemble::fit(&x, &y, 12, 0.9, 7, trainer).unwrap();
     let probe = Matrix::from_rows(&[vec![2.0, -2.0], vec![0.05, 0.05]]).unwrap();
     let preds = ens.predict_with_uncertainty(&probe).unwrap();

@@ -7,6 +7,7 @@ use fact_confidentiality::mechanisms::laplace_mechanism;
 use fact_data::csv::{read_csv, write_csv, CsvOptions};
 use fact_data::{Column, Dataset, Matrix};
 use fact_fairness::mitigation::reweighing::reweighing_weights;
+use fact_par::Pool;
 use fact_stats::descriptive::{quantile, ranks};
 use fact_stats::dist::norm_cdf;
 use fact_stats::multiple::{benjamini_hochberg, bonferroni, holm};
@@ -380,6 +381,117 @@ fn platt_identity_on_already_calibrated_scores() {
     let (a, b) = scaler.coefficients();
     assert!((a - 1.0).abs() < 0.1, "calibrated input ⇒ a≈1, got {a}");
     assert!(b.abs() < 0.1, "calibrated input ⇒ b≈0, got {b}");
+}
+
+// ---------- fact-par determinism ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The core contract of fact-par: chunk boundaries depend only on
+    /// (n, grain), so any pool computes exactly what a sequential map would.
+    #[test]
+    fn par_map_equals_sequential_for_any_pool(
+        vals in prop::collection::vec(finite_f64(), 0..300),
+        grain in 1usize..64,
+        workers in 1usize..9,
+    ) {
+        let got = Pool::new(workers).par_map(vals.len(), grain, |i| vals[i].mul_add(1.5, -2.0));
+        let want: Vec<f64> = vals.iter().map(|v| v.mul_add(1.5, -2.0)).collect();
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    /// In-place chunk mutation must visit every element exactly once, at
+    /// any grain and worker count.
+    #[test]
+    fn par_for_each_mut_equals_sequential_for_any_pool(
+        vals in prop::collection::vec(finite_f64(), 0..300),
+        grain in 1usize..64,
+        workers in 1usize..9,
+    ) {
+        let mut got = vals.clone();
+        Pool::new(workers).par_for_each_mut(&mut got, grain, |base, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v += (base + k) as f64;
+            }
+        });
+        let want: Vec<f64> = vals.iter().enumerate().map(|(i, v)| v + i as f64).collect();
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    /// Non-associative float accumulation is the acid test for the fixed
+    /// fold order: the reduction must be bit-identical at every worker count.
+    #[test]
+    fn par_reduce_bits_are_worker_count_invariant(
+        vals in prop::collection::vec(finite_f64(), 1..500),
+        grain in 1usize..64,
+        workers in 2usize..9,
+    ) {
+        let sum_with = |w: usize| {
+            Pool::new(w)
+                .par_reduce(vals.len(), grain, |r| r.map(|i| vals[i]).sum::<f64>(), |a, b| a + b)
+                .unwrap()
+        };
+        prop_assert_eq!(sum_with(1).to_bits(), sum_with(workers).to_bits());
+    }
+
+    /// The tiled + parallel matmul must agree bitwise with the naive triple
+    /// loop on arbitrary shapes, whatever the global worker count is.
+    #[test]
+    fn matmul_matches_naive_bitwise_at_any_worker_count(
+        rows in 1usize..40, inner in 1usize..40, cols in 1usize..40,
+        seed in 0u64..1000, workers in 1usize..9,
+    ) {
+        let fill = |r: usize, c: usize, salt: u64| {
+            let data: Vec<f64> = (0..r * c)
+                .map(|i| {
+                    let h = (i as u64)
+                        .wrapping_mul(2_654_435_761)
+                        .wrapping_add(seed.wrapping_mul(31).wrapping_add(salt));
+                    (h % 2003) as f64 / 1001.5 - 1.0
+                })
+                .collect();
+            Matrix::from_flat(data, r, c).unwrap()
+        };
+        let a = fill(rows, inner, 1);
+        let b = fill(inner, cols, 2);
+        fact_par::set_workers(workers);
+        let par = a.matmul(&b).unwrap();
+        fact_par::set_workers(0);
+        let naive = a.matmul_naive(&b).unwrap();
+        for (x, y) in par.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Chunk-seeded resampling: the bootstrap interval is bit-identical at
+    /// any worker count because each chunk owns its RNG seed.
+    #[test]
+    fn bootstrap_ci_bits_are_worker_count_invariant(
+        vals in prop::collection::vec(0.0f64..100.0, 8..60),
+        workers in 2usize..9,
+        seed in 0u64..500,
+    ) {
+        use fact_stats::ci::bootstrap_ci;
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        fact_par::set_workers(1);
+        let a = bootstrap_ci(&vals, mean, 300, 0.9, seed).unwrap();
+        fact_par::set_workers(workers);
+        let b = bootstrap_ci(&vals, mean, 300, 0.9, seed).unwrap();
+        fact_par::set_workers(0);
+        prop_assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        prop_assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+        prop_assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+    }
 }
 
 // ---------- streaming fairness monitor ----------

@@ -80,8 +80,9 @@ fn parse(input: TokenStream) -> Result<Shape, String> {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
         other => {
             return Err(format!(
-            "expected a braced body for `{name}` (tuple/unit structs unsupported), got {other:?}"
-        ))
+                "expected a braced body for `{name}` (tuple/unit structs \
+                 unsupported), got {other:?}"
+            ));
         }
     };
     let body: Vec<TokenTree> = body.into_iter().collect();
