@@ -116,6 +116,7 @@ fn run_trial(model: Arc<LogisticRegression>, shards: usize, guarded: bool, seed:
             alert_debounce: 1_000,
             guards,
             seed,
+            audit: None,
         },
         Arc::new(SimulatedRemoteSource::new(FETCH)),
     )

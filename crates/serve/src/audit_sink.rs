@@ -1,0 +1,966 @@
+//! Durable, hash-chained audit sink: the persistence layer behind
+//! audit-and-flag serving.
+//!
+//! `fact-serve` used to *count* flagged decisions; a crash erased exactly
+//! the evidence the audit-and-flag degrade policy exists to preserve. This
+//! module makes the trail durable and tamper-evident:
+//!
+//! * **One writer thread** is fed by an `std::sync::mpsc` channel from all
+//!   shard workers. Events are batched (up to `batch_max`, or after
+//!   `flush_interval` of quiet) and each batch becomes one storage append
+//!   followed by one fsync — so a crash can tear at most the last batch.
+//! * **Every entry extends the [`fact_transparency`] hash chain**: the
+//!   writer carries a [`ChainHead`] and serializes chained
+//!   [`AuditEntry`]s as JSONL, one line per entry. The file itself *is*
+//!   the chain; any edit, deletion, or reorder is detectable offline with
+//!   [`verify_chain_from`].
+//! * **The chain head is persisted** after every synced batch (a small
+//!   sidecar the storage keeps next to the log). It is advisory: losing it
+//!   never loses decisions, but comparing it against the recovered log
+//!   bounds and *reports* what a crash took.
+//! * **A startup recovery pass** re-reads the log, verifies the chain from
+//!   genesis, truncates a torn tail (an unterminated or unparseable final
+//!   batch) at the exact cut point, and resumes appending with `prev_hash`
+//!   continuity across the restart.
+//!
+//! Storage is injectable through [`AuditStorage`], which is what the
+//! crash/fault-injection test suite drives: [`MemStorage`] can fail an
+//! append outright, persist a short write, or die mid-batch like a killed
+//! process — the same failure surface any checkpoint/WAL path has.
+
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fact_transparency::audit::{AuditEntry, ChainHead};
+
+/// Where the audit log's bytes live. The sink only needs append, sync,
+/// truncate, and whole-log read (recovery), plus a small sidecar slot for
+/// the persisted chain head. Implementations are moved into the writer
+/// thread, so they must be `Send`.
+///
+/// The contract mirrors a real file: `append_log` may persist a *prefix*
+/// of the buffer before failing (short write, kill), and nothing is
+/// considered durable until `sync_log` returns `Ok`.
+pub trait AuditStorage: Send {
+    /// Read the entire log (recovery pass).
+    fn read_log(&mut self) -> io::Result<Vec<u8>>;
+    /// Append raw bytes to the log (one batch per call).
+    fn append_log(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Cut the log back to `len` bytes (tear off a torn tail).
+    fn truncate_log(&mut self, len: u64) -> io::Result<()>;
+    /// Make previous appends durable (fsync).
+    fn sync_log(&mut self) -> io::Result<()>;
+    /// Read the persisted chain head, if one exists.
+    fn read_head(&mut self) -> io::Result<Option<Vec<u8>>>;
+    /// Durably replace the persisted chain head.
+    fn write_head(&mut self, buf: &[u8]) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// file-backed storage
+// ---------------------------------------------------------------------------
+
+/// Real-file storage: an append-only JSONL log at `path` and the chain
+/// head in a `<path>.head` sidecar, replaced via write-temp-then-rename.
+#[derive(Debug)]
+pub struct FileStorage {
+    log: std::fs::File,
+    head_path: PathBuf,
+}
+
+impl FileStorage {
+    /// Open (creating if absent) the log at `path`; the head sidecar lives
+    /// at `<path>.head`.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let log = std::fs::OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut head_path = path.as_os_str().to_owned();
+        head_path.push(".head");
+        Ok(FileStorage {
+            log,
+            head_path: PathBuf::from(head_path),
+        })
+    }
+}
+
+impl AuditStorage for FileStorage {
+    fn read_log(&mut self) -> io::Result<Vec<u8>> {
+        self.log.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        self.log.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn append_log(&mut self, buf: &[u8]) -> io::Result<()> {
+        // O_APPEND: writes land at the end regardless of read seeks
+        self.log.write_all(buf)
+    }
+
+    fn truncate_log(&mut self, len: u64) -> io::Result<()> {
+        self.log.set_len(len)
+    }
+
+    fn sync_log(&mut self) -> io::Result<()> {
+        self.log.sync_data()
+    }
+
+    fn read_head(&mut self) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(&self.head_path) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn write_head(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut tmp = self.head_path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(buf)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.head_path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// in-memory storage with fault injection
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct MemInner {
+    log: Vec<u8>,
+    head: Option<Vec<u8>>,
+    appends: u64,
+    /// Appends (0-based) at or beyond this index fail with nothing
+    /// persisted — a storage layer that starts erroring.
+    fail_appends_from: Option<u64>,
+    /// The next append persists only this many bytes, then errors — a
+    /// short write surfaced to the caller.
+    short_write_next: Option<usize>,
+    /// Total log size is capped here: the append that would cross it
+    /// persists only up to the cap and the storage dies — a process
+    /// killed mid-batch, torn line and all.
+    kill_at_byte: Option<u64>,
+    dead: bool,
+}
+
+/// In-memory [`AuditStorage`] shared through an `Arc`: cloning yields a
+/// second handle onto the *same* bytes, which is how tests "restart" a
+/// sink over whatever a fault left behind. Fault injection is explicit:
+/// [`fail_appends_from`](MemStorage::fail_appends_from),
+/// [`short_write_next`](MemStorage::short_write_next), and
+/// [`kill_at_byte`](MemStorage::kill_at_byte).
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl MemStorage {
+    /// Fresh, empty, fault-free storage.
+    pub fn new() -> Self {
+        MemStorage::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Make append number `n` (0-based) and all later ones fail, persisting
+    /// nothing.
+    pub fn fail_appends_from(&self, n: u64) {
+        self.lock().fail_appends_from = Some(n);
+    }
+
+    /// Make the next append persist only the first `n` bytes, then error.
+    pub fn short_write_next(&self, n: usize) {
+        self.lock().short_write_next = Some(n);
+    }
+
+    /// Kill the storage once the log reaches `cap` total bytes: the
+    /// crossing append persists a prefix up to the cap (a torn line) and
+    /// every operation after that fails, like a dead process's fds.
+    pub fn kill_at_byte(&self, cap: u64) {
+        self.lock().kill_at_byte = Some(cap);
+    }
+
+    /// Clear all fault plans and revive a killed storage — the "restart".
+    pub fn restart(&self) -> MemStorage {
+        let mut g = self.lock();
+        g.fail_appends_from = None;
+        g.short_write_next = None;
+        g.kill_at_byte = None;
+        g.dead = false;
+        MemStorage {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Current log bytes (inspection).
+    pub fn log_bytes(&self) -> Vec<u8> {
+        self.lock().log.clone()
+    }
+
+    /// Current persisted head bytes (inspection).
+    pub fn head_bytes(&self) -> Option<Vec<u8>> {
+        self.lock().head.clone()
+    }
+}
+
+impl AuditStorage for MemStorage {
+    fn read_log(&mut self) -> io::Result<Vec<u8>> {
+        let g = self.lock();
+        if g.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "storage dead"));
+        }
+        Ok(g.log.clone())
+    }
+
+    fn append_log(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut g = self.lock();
+        if g.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "storage dead"));
+        }
+        let this_append = g.appends;
+        g.appends += 1;
+        if matches!(g.fail_appends_from, Some(n) if this_append >= n) {
+            return Err(io::Error::other("injected append failure"));
+        }
+        if let Some(n) = g.short_write_next.take() {
+            let n = n.min(buf.len());
+            g.log.extend_from_slice(&buf[..n]);
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected short write",
+            ));
+        }
+        if let Some(cap) = g.kill_at_byte {
+            let room = (cap as usize).saturating_sub(g.log.len());
+            if buf.len() > room {
+                g.log.extend_from_slice(&buf[..room]);
+                g.dead = true;
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "killed mid-batch",
+                ));
+            }
+        }
+        g.log.extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn truncate_log(&mut self, len: u64) -> io::Result<()> {
+        let mut g = self.lock();
+        if g.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "storage dead"));
+        }
+        g.log.truncate(len as usize);
+        Ok(())
+    }
+
+    fn sync_log(&mut self) -> io::Result<()> {
+        let g = self.lock();
+        if g.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "storage dead"));
+        }
+        Ok(())
+    }
+
+    fn read_head(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let g = self.lock();
+        if g.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "storage dead"));
+        }
+        Ok(g.head.clone())
+    }
+
+    fn write_head(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut g = self.lock();
+        if g.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "storage dead"));
+        }
+        g.head = Some(buf.to_vec());
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// events, config, reports
+// ---------------------------------------------------------------------------
+
+/// One auditable occurrence, as sent from shard workers to the writer.
+#[derive(Debug, Clone)]
+pub enum AuditEvent {
+    /// A decision served in degraded audit-and-flag mode.
+    Flagged {
+        /// Shard that served it.
+        shard: usize,
+        /// Routing key of the request.
+        route_key: u64,
+        /// Model probability of the favorable class.
+        probability: f64,
+        /// The decision at the configured threshold.
+        favorable: bool,
+        /// Protected-group membership observed by the fairness guard.
+        group_b: bool,
+    },
+    /// A decision refused under the hard-reject policy.
+    Rejected {
+        /// Shard that refused it.
+        shard: usize,
+        /// Routing key of the request.
+        route_key: u64,
+    },
+    /// A guard alert forwarded to the global channel.
+    Alert {
+        /// Shard that raised it.
+        shard: usize,
+        /// The shard's decision count when it was raised.
+        at_decision: u64,
+        /// Human-readable rendering of the alert.
+        summary: String,
+    },
+    /// A sink lifecycle marker (start/stop), written by the sink itself.
+    Lifecycle {
+        /// The marker action (e.g. `sink_start`).
+        what: String,
+        /// Free-form detail.
+        detail: String,
+    },
+}
+
+impl AuditEvent {
+    /// Map the event onto the audit-entry triple (actor, action, details).
+    fn into_parts(self) -> (String, String, String) {
+        match self {
+            AuditEvent::Flagged {
+                shard,
+                route_key,
+                probability,
+                favorable,
+                group_b,
+            } => (
+                format!("shard-{shard}"),
+                "flagged_decision".into(),
+                format!(
+                    "key={route_key} p={probability:.6} favorable={favorable} group_b={group_b}"
+                ),
+            ),
+            AuditEvent::Rejected { shard, route_key } => (
+                format!("shard-{shard}"),
+                "rejected_decision".into(),
+                format!("key={route_key} policy=hard_reject"),
+            ),
+            AuditEvent::Alert {
+                shard,
+                at_decision,
+                summary,
+            } => (
+                format!("shard-{shard}"),
+                "guard_alert".into(),
+                format!("at={at_decision} {summary}"),
+            ),
+            AuditEvent::Lifecycle { what, detail } => ("fact-serve".into(), what, detail),
+        }
+    }
+}
+
+/// Sink configuration.
+#[derive(Debug, Clone)]
+pub struct AuditSinkConfig {
+    /// JSONL log path (the chain head sidecar sits next to it). Ignored
+    /// when storage is injected explicitly.
+    pub path: PathBuf,
+    /// Largest batch the writer accumulates before an append+fsync.
+    pub batch_max: usize,
+    /// How long a partial batch may wait before it is flushed anyway.
+    pub flush_interval: Duration,
+    /// Bounded capacity of the worker→writer channel. Workers block when
+    /// it fills (audit events are evidence, not telemetry — they are never
+    /// silently shed while the sink is healthy).
+    pub queue_cap: usize,
+}
+
+impl Default for AuditSinkConfig {
+    fn default() -> Self {
+        AuditSinkConfig {
+            path: PathBuf::from("audit.jsonl"),
+            batch_max: 64,
+            flush_interval: Duration::from_millis(5),
+            queue_cap: 8_192,
+        }
+    }
+}
+
+/// What the startup recovery pass found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Intact chained entries retained.
+    pub recovered: u64,
+    /// Byte offset the log was truncated to (equals the log's length when
+    /// nothing was cut).
+    pub cut_offset: u64,
+    /// Bytes removed past the cut point (torn or unverifiable tail).
+    pub truncated_bytes: u64,
+    /// Complete lines discarded past the cut point (a torn final fragment
+    /// without a newline is not counted here).
+    pub cut_lines: u64,
+    /// Sequence number of the first entry that failed chain verification,
+    /// when the cut was a chain break rather than a torn/unparseable tail.
+    pub cut_seq: Option<u64>,
+    /// Entries the persisted chain head promised but the recovered log
+    /// lacks — what the crash provably cost. Bounded by one batch when the
+    /// only fault was a kill (the unsynced tail).
+    pub lost: u64,
+    /// The chain head appending resumes from.
+    pub resumed: ChainHead,
+}
+
+/// Final accounting returned by [`AuditSink::finish`].
+#[derive(Debug, Clone)]
+pub struct SinkReport {
+    /// Entries appended *and* fsynced during this run (including lifecycle
+    /// markers).
+    pub audited: u64,
+    /// Events dropped because the storage had failed (poisoned sink).
+    pub dropped: u64,
+    /// Storage errors observed (append/sync/head-write).
+    pub io_errors: u64,
+    /// What recovery found at startup.
+    pub recovery: RecoveryReport,
+}
+
+#[derive(Debug, Default)]
+struct SinkShared {
+    audited: AtomicU64,
+    dropped: AtomicU64,
+    io_errors: AtomicU64,
+}
+
+/// A cheap, cloneable sender side of the sink: shard workers hold one and
+/// [`record`](AuditSinkHandle::record) events into it.
+#[derive(Clone)]
+pub struct AuditSinkHandle {
+    tx: SyncSender<AuditEvent>,
+    shared: Arc<SinkShared>,
+}
+
+impl AuditSinkHandle {
+    /// Enqueue one event. Blocks while the writer's queue is full; if the
+    /// writer is gone (sink finished early), the event is counted dropped.
+    pub fn record(&self, event: AuditEvent) {
+        if self.tx.send(event).is_err() {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// recovery
+// ---------------------------------------------------------------------------
+
+/// Replay the log in `storage`, verify the hash chain from genesis,
+/// truncate whatever tail does not verify, and return the head appending
+/// should resume from.
+pub fn recover(storage: &mut dyn AuditStorage) -> io::Result<RecoveryReport> {
+    let bytes = storage.read_log()?;
+    let mut head = ChainHead::genesis();
+    let mut recovered = 0u64;
+    let mut good_len = 0usize;
+    let mut cut_seq = None;
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            break; // unterminated final fragment: torn mid-line
+        };
+        let parsed = std::str::from_utf8(&bytes[pos..pos + nl])
+            .ok()
+            .and_then(|s| serde_json::from_str::<AuditEntry>(s).ok());
+        match parsed {
+            Some(entry) if head.follows(&entry) => {
+                head = ChainHead::advanced_past(&entry);
+                recovered += 1;
+                pos += nl + 1;
+                good_len = pos;
+            }
+            Some(entry) => {
+                // parseable but breaks the chain: corruption or tampering
+                cut_seq = Some(entry.seq);
+                break;
+            }
+            None => break, // torn or garbled line
+        }
+    }
+    let cut_lines = bytes[good_len..].iter().filter(|&&b| b == b'\n').count() as u64;
+    let truncated_bytes = (bytes.len() - good_len) as u64;
+    if truncated_bytes > 0 {
+        storage.truncate_log(good_len as u64)?;
+        storage.sync_log()?;
+    }
+    let persisted: Option<ChainHead> = storage
+        .read_head()?
+        .and_then(|b| String::from_utf8(b).ok())
+        .and_then(|s| serde_json::from_str(&s).ok());
+    // The head is written after the batch fsync, so it can only lag the
+    // log, never legitimately lead it — a lead is exactly the loss.
+    let lost = persisted.map_or(0, |p: ChainHead| p.next_seq.saturating_sub(head.next_seq));
+    Ok(RecoveryReport {
+        recovered,
+        cut_offset: good_len as u64,
+        truncated_bytes,
+        cut_lines,
+        cut_seq,
+        lost,
+        resumed: head,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// the sink
+// ---------------------------------------------------------------------------
+
+/// The durable audit sink: owns the writer thread and the storage moved
+/// into it. Create with [`open`](AuditSink::open) (file-backed) or
+/// [`open_with_storage`](AuditSink::open_with_storage) (anything,
+/// including fault-injecting test storage); hand
+/// [`handle`](AuditSink::handle)s to producers; call
+/// [`finish`](AuditSink::finish) to drain, write the stop marker, fsync,
+/// and collect the [`SinkReport`].
+pub struct AuditSink {
+    tx: Option<SyncSender<AuditEvent>>,
+    writer: Option<JoinHandle<()>>,
+    shared: Arc<SinkShared>,
+    recovery: RecoveryReport,
+}
+
+impl AuditSink {
+    /// Open a file-backed sink at `config.path`, running recovery first.
+    pub fn open(config: &AuditSinkConfig) -> io::Result<AuditSink> {
+        let storage = FileStorage::open(&config.path)?;
+        Self::open_with_storage(config, Box::new(storage))
+    }
+
+    /// Open over explicit storage (`config.path` is ignored), running
+    /// recovery first.
+    pub fn open_with_storage(
+        config: &AuditSinkConfig,
+        mut storage: Box<dyn AuditStorage>,
+    ) -> io::Result<AuditSink> {
+        assert!(config.batch_max > 0, "batch_max must be positive");
+        assert!(config.queue_cap > 0, "queue_cap must be positive");
+        let recovery = recover(storage.as_mut())?;
+        let shared = Arc::new(SinkShared::default());
+        let (tx, rx) = sync_channel::<AuditEvent>(config.queue_cap);
+        let writer = Writer {
+            rx,
+            storage,
+            head: recovery.resumed,
+            batch_max: config.batch_max,
+            flush_interval: config.flush_interval,
+            shared: Arc::clone(&shared),
+            recovery: recovery.clone(),
+            poisoned: false,
+        };
+        let writer = std::thread::Builder::new()
+            .name("fact-audit-sink".into())
+            .spawn(move || writer.run())
+            .map_err(io::Error::other)?;
+        Ok(AuditSink {
+            tx: Some(tx),
+            writer: Some(writer),
+            shared,
+            recovery,
+        })
+    }
+
+    /// A sender handle for one producer (clone freely).
+    pub fn handle(&self) -> AuditSinkHandle {
+        AuditSinkHandle {
+            tx: self.tx.clone().expect("sink not finished"),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// What the startup recovery pass found.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Entries durably synced so far this run.
+    pub fn audited(&self) -> u64 {
+        self.shared.audited.load(Ordering::Relaxed)
+    }
+
+    /// Drop the sender, let the writer drain, stamp the stop marker, and
+    /// join. (Outstanding [`AuditSinkHandle`]s keep the writer alive until
+    /// they are dropped too.)
+    pub fn finish(mut self) -> SinkReport {
+        self.tx.take();
+        if let Some(w) = self.writer.take() {
+            let _ = w.join();
+        }
+        SinkReport {
+            audited: self.shared.audited.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            io_errors: self.shared.io_errors.load(Ordering::Relaxed),
+            recovery: self.recovery.clone(),
+        }
+    }
+}
+
+impl Drop for AuditSink {
+    fn drop(&mut self) {
+        self.tx.take();
+        if let Some(w) = self.writer.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+struct Writer {
+    rx: Receiver<AuditEvent>,
+    storage: Box<dyn AuditStorage>,
+    head: ChainHead,
+    batch_max: usize,
+    flush_interval: Duration,
+    shared: Arc<SinkShared>,
+    recovery: RecoveryReport,
+    poisoned: bool,
+}
+
+impl Writer {
+    fn run(mut self) {
+        // the restart itself is an auditable event, chained like any other
+        let mut batch = vec![AuditEvent::Lifecycle {
+            what: "sink_start".into(),
+            detail: format!(
+                "recovered={} truncated_bytes={} lost={}",
+                self.recovery.recovered, self.recovery.truncated_bytes, self.recovery.lost
+            ),
+        }];
+        self.flush(&mut batch);
+
+        let mut deadline: Option<Instant> = None;
+        loop {
+            let received = match deadline {
+                None => match self.rx.recv() {
+                    Ok(ev) => Some(ev),
+                    Err(_) => break,
+                },
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        self.flush(&mut batch);
+                        deadline = None;
+                        continue;
+                    }
+                    match self.rx.recv_timeout(d - now) {
+                        Ok(ev) => Some(ev),
+                        Err(RecvTimeoutError::Timeout) => {
+                            self.flush(&mut batch);
+                            deadline = None;
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            };
+            if let Some(ev) = received {
+                batch.push(ev);
+                if deadline.is_none() {
+                    deadline = Some(Instant::now() + self.flush_interval);
+                }
+                if batch.len() >= self.batch_max {
+                    self.flush(&mut batch);
+                    deadline = None;
+                }
+            }
+        }
+
+        // channel disconnected: whatever is pending plus the stop marker
+        let audited_so_far = self.shared.audited.load(Ordering::Relaxed) + batch.len() as u64 + 1;
+        batch.push(AuditEvent::Lifecycle {
+            what: "sink_stop".into(),
+            detail: format!("audited={audited_so_far}"),
+        });
+        self.flush(&mut batch);
+    }
+
+    /// Turn the batch into chained JSONL lines, append them in ONE storage
+    /// call, fsync, then persist the advanced head. A failure poisons the
+    /// sink: later events are counted dropped instead of risking a forked
+    /// chain on storage that already tore.
+    fn flush(&mut self, batch: &mut Vec<AuditEvent>) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len() as u64;
+        if self.poisoned {
+            self.shared.dropped.fetch_add(n, Ordering::Relaxed);
+            batch.clear();
+            return;
+        }
+        let mut head = self.head;
+        let mut buf = Vec::with_capacity(batch.len() * 128);
+        for ev in batch.drain(..) {
+            let (actor, action, details) = ev.into_parts();
+            let entry = head.extend(actor, action, details);
+            let line = serde_json::to_string(&entry).expect("audit entry serializes");
+            buf.extend_from_slice(line.as_bytes());
+            buf.push(b'\n');
+        }
+        let written = self
+            .storage
+            .append_log(&buf)
+            .and_then(|()| self.storage.sync_log());
+        match written {
+            Ok(()) => {
+                self.head = head;
+                self.shared.audited.fetch_add(n, Ordering::Relaxed);
+                // the head sidecar is advisory (loss *reporting*); its
+                // failure must not stop the log itself
+                let head_json = serde_json::to_string(&head).expect("chain head serializes");
+                if self.storage.write_head(head_json.as_bytes()).is_err() {
+                    self.shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                self.shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                self.shared.dropped.fetch_add(n, Ordering::Relaxed);
+                self.poisoned = true;
+            }
+        }
+    }
+}
+
+/// Parse a recovered JSONL log back into entries (verification helper for
+/// tests and offline audit tooling). Stops at the first unparseable line.
+pub fn parse_log(bytes: &[u8]) -> Vec<AuditEntry> {
+    let mut out = Vec::new();
+    for line in bytes.split(|&b| b == b'\n') {
+        if line.is_empty() {
+            continue;
+        }
+        match std::str::from_utf8(line)
+            .ok()
+            .and_then(|s| serde_json::from_str::<AuditEntry>(s).ok())
+        {
+            Some(e) => out.push(e),
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_transparency::audit::verify_chain_from;
+
+    fn flagged(shard: usize, key: u64) -> AuditEvent {
+        AuditEvent::Flagged {
+            shard,
+            route_key: key,
+            probability: 0.25,
+            favorable: false,
+            group_b: key.is_multiple_of(2),
+        }
+    }
+
+    fn open_mem(storage: &MemStorage, batch_max: usize) -> AuditSink {
+        AuditSink::open_with_storage(
+            &AuditSinkConfig {
+                batch_max,
+                flush_interval: Duration::from_millis(1),
+                ..AuditSinkConfig::default()
+            },
+            Box::new(storage.clone()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn events_become_a_verifiable_chain() {
+        let storage = MemStorage::new();
+        let sink = open_mem(&storage, 4);
+        let h = sink.handle();
+        for k in 0..10 {
+            h.record(flagged(0, k));
+        }
+        drop(h);
+        let report = sink.finish();
+        // 10 events + sink_start + sink_stop
+        assert_eq!(report.audited, 12);
+        assert_eq!(report.dropped, 0);
+        let entries = parse_log(&storage.log_bytes());
+        assert_eq!(entries.len(), 12);
+        assert_eq!(verify_chain_from(ChainHead::genesis(), &entries), None);
+        assert_eq!(entries[0].action, "sink_start");
+        assert_eq!(entries[11].action, "sink_stop");
+        assert_eq!(entries[1].actor, "shard-0");
+        assert!(entries[1].details.contains("key=0"));
+        // the persisted head matches the file's last entry
+        let head: ChainHead =
+            serde_json::from_str(&String::from_utf8(storage.head_bytes().unwrap()).unwrap())
+                .unwrap();
+        assert_eq!(head, ChainHead::advanced_past(entries.last().unwrap()));
+    }
+
+    #[test]
+    fn restart_resumes_the_same_chain() {
+        let storage = MemStorage::new();
+        let sink = open_mem(&storage, 4);
+        let h = sink.handle();
+        for k in 0..5 {
+            h.record(flagged(0, k));
+        }
+        drop(h);
+        sink.finish();
+
+        let sink2 = open_mem(&storage, 4);
+        assert_eq!(sink2.recovery().recovered, 7); // 5 + start/stop
+        assert_eq!(sink2.recovery().truncated_bytes, 0);
+        assert_eq!(sink2.recovery().lost, 0);
+        let h2 = sink2.handle();
+        for k in 5..8 {
+            h2.record(flagged(1, k));
+        }
+        drop(h2);
+        sink2.finish();
+
+        let entries = parse_log(&storage.log_bytes());
+        assert_eq!(entries.len(), 12); // 7 + start + 3 + stop
+        assert_eq!(verify_chain_from(ChainHead::genesis(), &entries), None);
+    }
+
+    #[test]
+    fn append_failure_poisons_but_does_not_wedge() {
+        let storage = MemStorage::new();
+        storage.fail_appends_from(1); // sink_start succeeds, then failure
+        let sink = open_mem(&storage, 2);
+        let h = sink.handle();
+        for k in 0..20 {
+            h.record(flagged(0, k));
+        }
+        drop(h);
+        let report = sink.finish();
+        assert_eq!(report.audited, 1); // only sink_start landed
+        assert!(report.io_errors >= 1);
+        // every event after the poison (incl. sink_stop) is counted dropped
+        assert_eq!(report.dropped, 21);
+        let entries = parse_log(&storage.log_bytes());
+        assert_eq!(verify_chain_from(ChainHead::genesis(), &entries), None);
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let storage = MemStorage::new();
+        let sink = open_mem(&storage, 4);
+        let h = sink.handle();
+        for k in 0..6 {
+            h.record(flagged(0, k));
+        }
+        drop(h);
+        sink.finish();
+        // tear the file mid-line, as a kill between write and sync would
+        let full = storage.log_bytes();
+        let cut = full.len() - 17;
+        let mut s = storage.clone();
+        s.truncate_log(cut as u64).unwrap();
+
+        let sink2 = open_mem(&storage, 4);
+        let rec = sink2.recovery().clone();
+        assert!(rec.truncated_bytes > 0, "{rec:?}");
+        assert_eq!(rec.cut_seq, None, "a torn line is not a chain break");
+        // the head sidecar still said 8 entries: the tear cost exactly one
+        assert_eq!(rec.recovered, 7);
+        assert_eq!(rec.lost, 1);
+        sink2.finish();
+        let entries = parse_log(&storage.log_bytes());
+        assert_eq!(verify_chain_from(ChainHead::genesis(), &entries), None);
+    }
+
+    #[test]
+    fn mid_chain_corruption_cuts_at_the_tamper_point() {
+        let storage = MemStorage::new();
+        let sink = open_mem(&storage, 4);
+        let h = sink.handle();
+        for k in 0..6 {
+            h.record(flagged(0, k));
+        }
+        drop(h);
+        sink.finish();
+        // flip one byte inside the details of an entry in the middle
+        let mut bytes = storage.log_bytes();
+        let target = bytes
+            .windows(7)
+            .position(|w| w == b"key=3 p".as_slice())
+            .expect("entry for key 3 present");
+        bytes[target + 4] = b'9';
+        let mut s = storage.clone();
+        s.truncate_log(0).unwrap();
+        s.append_log(&bytes).unwrap();
+
+        let sink2 = open_mem(&storage, 4);
+        let rec = sink2.recovery().clone();
+        assert_eq!(rec.cut_seq, Some(4), "{rec:?}"); // entry 4 = key=3 (after sink_start)
+        assert_eq!(rec.recovered, 4);
+        assert!(rec.cut_lines >= 1);
+        sink2.finish();
+        let entries = parse_log(&storage.log_bytes());
+        assert_eq!(verify_chain_from(ChainHead::genesis(), &entries), None);
+    }
+
+    #[test]
+    fn file_storage_round_trips_and_recovers() {
+        let dir = std::env::temp_dir().join(format!(
+            "fact-audit-sink-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let path = dir.join("audit.jsonl");
+        let cfg = AuditSinkConfig {
+            path: path.clone(),
+            batch_max: 4,
+            flush_interval: Duration::from_millis(1),
+            ..AuditSinkConfig::default()
+        };
+        let sink = AuditSink::open(&cfg).unwrap();
+        let h = sink.handle();
+        for k in 0..5 {
+            h.record(flagged(0, k));
+        }
+        drop(h);
+        let report = sink.finish();
+        assert_eq!(report.audited, 7);
+
+        // reopen: chain intact, appending resumes
+        let sink2 = AuditSink::open(&cfg).unwrap();
+        assert_eq!(sink2.recovery().recovered, 7);
+        assert_eq!(sink2.recovery().lost, 0);
+        sink2.finish();
+        let entries = parse_log(&std::fs::read(&path).unwrap());
+        assert_eq!(entries.len(), 9);
+        assert_eq!(verify_chain_from(ChainHead::genesis(), &entries), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

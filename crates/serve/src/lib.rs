@@ -72,18 +72,23 @@
 
 #![warn(missing_docs)]
 
+pub mod audit_sink;
 pub mod guards;
 pub mod metrics;
 pub mod service;
 pub mod source;
 
+pub use audit_sink::{
+    AuditEvent, AuditSink, AuditSinkConfig, AuditSinkHandle, AuditStorage, FileStorage, MemStorage,
+    RecoveryReport, SinkReport,
+};
 pub use guards::{AlertKind, DegradePolicy, GuardConfig, ServiceAlert};
 pub use metrics::{LatencyHistogram, MetricsRegistry, MetricsSnapshot, ShardSnapshot};
 pub use service::{
     Decision, DecisionHandle, DecisionRequest, DecisionService, ServeConfig, ServeError,
     ServiceReport, ShardReport,
 };
-pub use source::{FeatureSource, InlineFeatures, SimulatedRemoteSource};
+pub use source::{FailingFeatureSource, FeatureSource, InlineFeatures, SimulatedRemoteSource};
 
 #[cfg(test)]
 mod tests {
@@ -492,6 +497,137 @@ mod tests {
         assert!(!d.favorable);
         assert!(source.fetches.load(Ordering::Relaxed) >= 1);
         service.shutdown();
+    }
+
+    #[test]
+    fn try_wait_polls_none_then_decision_then_disconnected() {
+        use std::time::Instant;
+        let service = DecisionService::start(
+            Arc::new(StubModel::slow(Duration::from_millis(50))),
+            ServeConfig {
+                shards: 1,
+                ..base_config()
+            },
+        )
+        .unwrap();
+        let h = service.submit(request(0.9, 1)).unwrap();
+        // in flight: polling must neither block nor consume anything
+        assert!(h.try_wait().is_none());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let d = loop {
+            match h.try_wait() {
+                Some(Ok(d)) => break d,
+                Some(Err(e)) => panic!("unexpected error: {e}"),
+                None => {
+                    assert!(Instant::now() < deadline, "decision never arrived");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        };
+        assert!(d.favorable);
+        // the reply channel is one-shot: once the decision is consumed the
+        // worker's sender is gone and further polls say so
+        assert!(matches!(h.try_wait(), Some(Err(ServeError::ShuttingDown))));
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submit_and_shutdown_never_loses_an_accepted_request() {
+        // submit from one thread while another shuts down: every accepted
+        // request must resolve to a decision (no hangs, no dropped reply
+        // channels), everything after the cut must be refused as
+        // ShuttingDown, and the report must account exactly the accepted.
+        let service = DecisionService::start(
+            Arc::new(StubModel::slow(Duration::from_millis(1))),
+            ServeConfig {
+                shards: 2,
+                queue_cap: 256,
+                batch_max: 8,
+                ..base_config()
+            },
+        )
+        .unwrap();
+        let svc = service.clone();
+        let submitter = std::thread::spawn(move || {
+            let mut handles = Vec::new();
+            let mut refused = 0u64;
+            for i in 0..2_000u64 {
+                match svc.submit(request(0.6, i)) {
+                    Ok(h) => handles.push(h),
+                    Err(ServeError::ShuttingDown) | Err(ServeError::Busy { .. }) => refused += 1,
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+            (handles, refused)
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let report = service.shutdown();
+        let (handles, _refused) = submitter.join().unwrap();
+        let accepted = handles.len() as u64;
+        for h in handles {
+            assert!(
+                h.wait(Duration::from_secs(10)).is_ok(),
+                "an accepted request was never answered"
+            );
+        }
+        assert_eq!(report.decisions_served, accepted);
+        // the cut is clean: after shutdown returned, submission is refused
+        assert!(matches!(
+            service.submit(request(0.5, 0)),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn audited_service_persists_flagged_decisions_across_restart() {
+        use fact_transparency::{verify_chain_from, ChainHead};
+        let storage = MemStorage::new();
+        // first run: disparity traffic trips the guard, flags get audited
+        let service = DecisionService::start_with_audit_storage(
+            Arc::new(StubModel::instant()),
+            disparity_config(DegradePolicy::AuditAndFlag),
+            Arc::new(InlineFeatures),
+            Box::new(storage.clone()),
+        )
+        .unwrap();
+        assert_eq!(service.audit_recovery().unwrap().recovered, 0);
+        run_disparity_traffic(&service, 400);
+        let report = service.shutdown();
+        assert!(report.flagged > 0);
+        // sink_start + sink_stop + every flag + forwarded alerts
+        assert!(report.audited >= report.flagged + 2, "{report:?}");
+        assert_eq!(report.lost_on_recovery, 0);
+        let first_run_entries = audit_sink::parse_log(&storage.log_bytes()).len() as u64;
+        assert_eq!(first_run_entries, report.audited);
+
+        // second run over the same storage: recovery sees the intact chain
+        // and appends with prev_hash continuity across the restart
+        let service = DecisionService::start_with_audit_storage(
+            Arc::new(StubModel::instant()),
+            disparity_config(DegradePolicy::AuditAndFlag),
+            Arc::new(InlineFeatures),
+            Box::new(storage.clone()),
+        )
+        .unwrap();
+        let rec = service.audit_recovery().unwrap();
+        assert_eq!(rec.recovered, first_run_entries);
+        assert_eq!(rec.lost, 0);
+        run_disparity_traffic(&service, 400);
+        let report2 = service.shutdown();
+        assert!(report2.flagged > 0);
+        let entries = audit_sink::parse_log(&storage.log_bytes());
+        assert_eq!(
+            entries.len() as u64,
+            report.audited + report2.audited,
+            "both runs must share one log"
+        );
+        assert_eq!(
+            verify_chain_from(ChainHead::genesis(), &entries),
+            None,
+            "the chain must verify across the restart boundary"
+        );
+        let text = report2.render_text();
+        assert!(text.contains("audited="), "{text}");
     }
 
     #[test]

@@ -29,6 +29,9 @@ use std::time::{Duration, Instant};
 use fact_core::runtime::Alert;
 use fact_ml::Classifier;
 
+use crate::audit_sink::{
+    AuditEvent, AuditSink, AuditSinkConfig, AuditSinkHandle, AuditStorage, RecoveryReport,
+};
 use crate::guards::{AlertHub, AlertKind, DegradePolicy, GuardConfig, ServiceAlert, ShardGuards};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::source::{FeatureSource, InlineFeatures};
@@ -103,6 +106,9 @@ pub struct ServeConfig {
     pub guards: Option<GuardConfig>,
     /// Seed decorrelating per-shard DP noise streams.
     pub seed: u64,
+    /// Durable audit sink for flagged/rejected decisions and alerts;
+    /// `None` keeps the pre-sink behavior (counters only).
+    pub audit: Option<AuditSinkConfig>,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +126,7 @@ impl Default for ServeConfig {
             alert_debounce: 500,
             guards: Some(GuardConfig::default()),
             seed: 0,
+            audit: None,
         }
     }
 }
@@ -219,6 +226,14 @@ pub struct ServiceReport {
     pub alerts_raised: u64,
     /// Total ε spent across shards.
     pub epsilon_spent: f64,
+    /// Audit entries durably written (and fsynced) by the sink this run,
+    /// including the sink's own lifecycle markers. Zero when no sink is
+    /// configured.
+    pub audited: u64,
+    /// Entries a previous run's crash provably cost, as found by the
+    /// sink's startup recovery pass (persisted chain head vs recovered
+    /// log). Zero when no sink is configured.
+    pub lost_on_recovery: u64,
     /// Per-shard breakdown.
     pub shards: Vec<ShardReport>,
 }
@@ -227,7 +242,8 @@ impl ServiceReport {
     /// Render as a short plain-text block.
     pub fn render_text(&self) -> String {
         let mut out = format!(
-            "served={} shed={} timed_out={} rejected={} flagged={} alerts={} eps_spent={:.4}\n",
+            "served={} shed={} timed_out={} rejected={} flagged={} alerts={} eps_spent={:.4} \
+             audited={} lost_on_recovery={}\n",
             self.decisions_served,
             self.shed,
             self.timed_out,
@@ -235,6 +251,8 @@ impl ServiceReport {
             self.flagged,
             self.alerts_raised,
             self.epsilon_spent,
+            self.audited,
+            self.lost_on_recovery,
         );
         for s in &self.shards {
             out.push_str(&format!(
@@ -264,6 +282,11 @@ struct Inner {
     workers: Mutex<Vec<JoinHandle<ShardReport>>>,
     alert_rx: Mutex<Receiver<ServiceAlert>>,
     report: Mutex<Option<ServiceReport>>,
+    /// The audit sink, finished (drained + stop marker + fsync) at
+    /// shutdown, *after* the workers have been joined.
+    sink: Mutex<Option<AuditSink>>,
+    /// What the sink's startup recovery pass found, if a sink is on.
+    audit_recovery: Option<RecoveryReport>,
 }
 
 /// A cheaply-cloneable handle to the serving fabric. All clones address the
@@ -292,6 +315,38 @@ impl DecisionService {
         model: Arc<dyn Classifier + Send + Sync>,
         config: ServeConfig,
         source: Arc<dyn FeatureSource>,
+    ) -> Result<Self, ServeError> {
+        let sink = match &config.audit {
+            Some(audit_cfg) => Some(
+                AuditSink::open(audit_cfg)
+                    .map_err(|e| ServeError::Internal(format!("audit sink: {e}")))?,
+            ),
+            None => None,
+        };
+        Self::start_inner(model, config, source, sink)
+    }
+
+    /// Start with an explicit [`AuditStorage`] backing the audit sink —
+    /// the entry point for fault-injection tests and benchmarks. Sink
+    /// tuning comes from `config.audit` (or its defaults when `None`);
+    /// the configured path is ignored in favor of the given storage.
+    pub fn start_with_audit_storage(
+        model: Arc<dyn Classifier + Send + Sync>,
+        config: ServeConfig,
+        source: Arc<dyn FeatureSource>,
+        storage: Box<dyn AuditStorage>,
+    ) -> Result<Self, ServeError> {
+        let audit_cfg = config.audit.clone().unwrap_or_default();
+        let sink = AuditSink::open_with_storage(&audit_cfg, storage)
+            .map_err(|e| ServeError::Internal(format!("audit sink: {e}")))?;
+        Self::start_inner(model, config, source, Some(sink))
+    }
+
+    fn start_inner(
+        model: Arc<dyn Classifier + Send + Sync>,
+        config: ServeConfig,
+        source: Arc<dyn FeatureSource>,
+        sink: Option<AuditSink>,
     ) -> Result<Self, ServeError> {
         if config.shards == 0
             || config.queue_cap == 0
@@ -338,6 +393,7 @@ impl DecisionService {
                 batch_linger: config.batch_linger,
                 policy: config.policy,
                 trip_cooldown: config.trip_cooldown,
+                audit: sink.as_ref().map(AuditSink::handle),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -354,6 +410,8 @@ impl DecisionService {
                 workers: Mutex::new(workers),
                 alert_rx: Mutex::new(alert_rx),
                 report: Mutex::new(None),
+                audit_recovery: sink.as_ref().map(|s| s.recovery().clone()),
+                sink: Mutex::new(sink),
             }),
         })
     }
@@ -445,6 +503,12 @@ impl DecisionService {
         self.inner.config.shards
     }
 
+    /// What the audit sink's startup recovery pass found, when a sink is
+    /// configured: intact entries, truncated tail, and provable loss.
+    pub fn audit_recovery(&self) -> Option<&RecoveryReport> {
+        self.inner.audit_recovery.as_ref()
+    }
+
     /// Stop admitting requests, let every shard drain its queue, and join
     /// the workers. Every request accepted before shutdown is answered.
     /// Idempotent: later calls (from this or any clone) return the same
@@ -473,6 +537,13 @@ impl DecisionService {
             .map(|h| h.join().expect("fact-serve worker panicked"))
             .collect();
         shards.sort_by_key(|s| s.shard);
+        // The workers (and their sink handles) are gone: finishing the sink
+        // now drains whatever they enqueued, stamps the stop marker, and
+        // fsyncs the final batch.
+        let sink_report = {
+            let mut sink = self.inner.sink.lock().unwrap_or_else(|e| e.into_inner());
+            sink.take().map(AuditSink::finish)
+        };
         let snap = self.inner.metrics.snapshot();
         let report = ServiceReport {
             decisions_served: shards.iter().map(|s| s.served).sum(),
@@ -482,6 +553,8 @@ impl DecisionService {
             flagged: shards.iter().map(|s| s.flagged).sum(),
             alerts_raised: shards.iter().map(|s| s.alerts).sum(),
             epsilon_spent: shards.iter().map(|s| s.epsilon_spent).sum(),
+            audited: sink_report.as_ref().map_or(0, |r| r.audited),
+            lost_on_recovery: sink_report.as_ref().map_or(0, |r| r.recovery.lost),
             shards,
         };
         *report_slot = Some(report.clone());
@@ -503,6 +576,8 @@ struct ShardWorker {
     batch_linger: Duration,
     policy: DegradePolicy,
     trip_cooldown: u64,
+    /// Sender into the durable audit sink; `None` when auditing is off.
+    audit: Option<AuditSinkHandle>,
 }
 
 impl ShardWorker {
@@ -588,8 +663,16 @@ impl ShardWorker {
                         if AlertKind::of(&alert).trips_policy() {
                             degraded_until = served + self.trip_cooldown;
                         }
+                        let summary = self.audit.as_ref().map(|_| format!("{alert:?}"));
                         if self.hub.raise(served, alert) {
                             alerts += 1;
+                            if let (Some(sink), Some(summary)) = (&self.audit, summary) {
+                                sink.record(AuditEvent::Alert {
+                                    shard: self.shard,
+                                    at_decision: served,
+                                    summary,
+                                });
+                            }
                         }
                     }
                 }
@@ -597,6 +680,12 @@ impl ShardWorker {
                 let result = if degraded && self.policy == DegradePolicy::HardReject {
                     rejected += 1;
                     m.rejected.fetch_add(1, Ordering::Relaxed);
+                    if let Some(sink) = &self.audit {
+                        sink.record(AuditEvent::Rejected {
+                            shard: self.shard,
+                            route_key: job.route_key,
+                        });
+                    }
                     Err(ServeError::Rejected {
                         reason: "guard tripped; hard-reject policy active".into(),
                     })
@@ -605,6 +694,15 @@ impl ShardWorker {
                     if flag {
                         flagged += 1;
                         m.flagged.fetch_add(1, Ordering::Relaxed);
+                        if let Some(sink) = &self.audit {
+                            sink.record(AuditEvent::Flagged {
+                                shard: self.shard,
+                                route_key: job.route_key,
+                                probability: p,
+                                favorable,
+                                group_b: job.group_b,
+                            });
+                        }
                     }
                     Ok(Decision {
                         probability: p,

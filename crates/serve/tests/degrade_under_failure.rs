@@ -1,0 +1,208 @@
+//! Feature-store outage resilience: every [`DegradePolicy`] exercised
+//! while the [`FeatureSource`] is failing or slow.
+//!
+//! The contract under test: a failed batched fetch fails *that batch's*
+//! requests with [`ServeError::Internal`] — it never panics a worker,
+//! never wedges the queue, and never silently serves stale features. When
+//! the store heals, serving (and the degrade policy's own behavior:
+//! flagging or hard-rejecting after a guard trip) resumes unchanged.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fact_data::{Matrix, Result};
+use fact_ml::Classifier;
+use fact_serve::{
+    Decision, DecisionRequest, DecisionService, DegradePolicy, FailingFeatureSource, FeatureSource,
+    GuardConfig, InlineFeatures, MemStorage, ServeConfig, ServeError,
+};
+
+/// Probability = first feature, clamped.
+struct PassThrough;
+
+impl Classifier for PassThrough {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        Ok((0..x.rows()).map(|i| x.get(i, 0).clamp(0.0, 1.0)).collect())
+    }
+}
+
+/// Single shard + single-request batches: the Nth decide() call is exactly
+/// the Nth batched fetch, so a fail window is a deterministic outage.
+fn config(policy: DegradePolicy, guards: Option<GuardConfig>) -> ServeConfig {
+    ServeConfig {
+        shards: 1,
+        n_features: 1,
+        queue_cap: 64,
+        batch_max: 1,
+        batch_linger: Duration::ZERO,
+        default_timeout: Duration::from_secs(5),
+        policy,
+        trip_cooldown: 10_000,
+        guards,
+        ..ServeConfig::default()
+    }
+}
+
+/// Guards that trip the fairness monitor quickly under disparity traffic.
+fn quick_trip_guards() -> GuardConfig {
+    GuardConfig {
+        fairness_window: 100,
+        min_di: 0.8,
+        min_samples_per_group: 10,
+        dp_interval: 1_000_000,
+        ..GuardConfig::default()
+    }
+}
+
+/// Group B scores low, group A high: sustained disparate impact.
+fn disparity_request(i: u64) -> DecisionRequest {
+    let group_b = i.is_multiple_of(2);
+    DecisionRequest {
+        features: vec![if group_b { 0.1 } else { 0.9 }],
+        group_b,
+        route_key: i,
+    }
+}
+
+fn run_traffic(
+    service: &DecisionService,
+    n: u64,
+) -> Vec<std::result::Result<Decision, ServeError>> {
+    (0..n)
+        .map(|i| service.decide(disparity_request(i)))
+        .collect()
+}
+
+fn internal_errors(results: &[std::result::Result<Decision, ServeError>]) -> usize {
+    results
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::Internal(_))))
+        .count()
+}
+
+#[test]
+fn outage_fails_only_its_own_batches_and_heals() {
+    let source = Arc::new(FailingFeatureSource::new(Arc::new(InlineFeatures)).fail_window(10, 20));
+    let service = DecisionService::start_with_source(
+        Arc::new(PassThrough),
+        config(DegradePolicy::Off, None),
+        Arc::clone(&source) as Arc<dyn FeatureSource>,
+    )
+    .unwrap();
+    let results = run_traffic(&service, 40);
+    for (i, r) in results.iter().enumerate() {
+        if (10..20).contains(&i) {
+            assert!(
+                matches!(r, Err(ServeError::Internal(_))),
+                "request {i} during the outage must fail: {r:?}"
+            );
+        } else {
+            assert!(
+                r.is_ok(),
+                "request {i} outside the outage must serve: {r:?}"
+            );
+        }
+    }
+    assert_eq!(source.fetches(), 40);
+    assert_eq!(source.failures(), 10);
+    let report = service.shutdown();
+    // failed batches are answered but not *served*
+    assert_eq!(report.decisions_served, 30);
+}
+
+#[test]
+fn audit_and_flag_keeps_flagging_after_the_store_heals() {
+    let source = Arc::new(FailingFeatureSource::new(Arc::new(InlineFeatures)).fail_window(50, 60));
+    let storage = MemStorage::new();
+    let service = DecisionService::start_with_audit_storage(
+        Arc::new(PassThrough),
+        config(DegradePolicy::AuditAndFlag, Some(quick_trip_guards())),
+        Arc::clone(&source) as Arc<dyn FeatureSource>,
+        Box::new(storage.clone()),
+    )
+    .unwrap();
+    let results = run_traffic(&service, 400);
+    assert_eq!(internal_errors(&results), 10);
+    let flagged_after_outage = results[60..]
+        .iter()
+        .filter(|r| matches!(r, Ok(d) if d.flagged))
+        .count();
+    assert!(
+        flagged_after_outage > 0,
+        "flagging must resume once the store heals"
+    );
+    let report = service.shutdown();
+    assert_eq!(report.decisions_served, 390);
+    assert!(report.flagged > 0);
+    // the outage must not have poisoned the durable audit trail
+    assert!(
+        report.audited >= report.flagged,
+        "audited={} flagged={}",
+        report.audited,
+        report.flagged
+    );
+    let entries = fact_serve::audit_sink::parse_log(&storage.log_bytes());
+    assert_eq!(
+        fact_transparency::verify_chain_from(fact_transparency::ChainHead::genesis(), &entries),
+        None,
+        "audit chain must verify end-to-end"
+    );
+}
+
+#[test]
+fn hard_reject_still_refuses_after_the_store_heals() {
+    let source = Arc::new(FailingFeatureSource::new(Arc::new(InlineFeatures)).fail_window(50, 60));
+    let service = DecisionService::start_with_source(
+        Arc::new(PassThrough),
+        config(DegradePolicy::HardReject, Some(quick_trip_guards())),
+        Arc::clone(&source) as Arc<dyn FeatureSource>,
+    )
+    .unwrap();
+    let results = run_traffic(&service, 400);
+    assert_eq!(internal_errors(&results), 10);
+    let rejected_after_outage = results[60..]
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::Rejected { .. })))
+        .count();
+    assert!(
+        rejected_after_outage > 0,
+        "hard-reject must stay engaged across the outage"
+    );
+    let report = service.shutdown();
+    assert!(report.rejected > 0);
+    assert_eq!(report.decisions_served, 390);
+}
+
+#[test]
+fn permanent_outage_fails_everything_but_shutdown_still_drains() {
+    let source = Arc::new(FailingFeatureSource::new(Arc::new(InlineFeatures)).fail_from(0));
+    let service = DecisionService::start_with_source(
+        Arc::new(PassThrough),
+        config(DegradePolicy::AuditAndFlag, Some(quick_trip_guards())),
+        Arc::clone(&source) as Arc<dyn FeatureSource>,
+    )
+    .unwrap();
+    let results = run_traffic(&service, 50);
+    assert_eq!(internal_errors(&results), 50);
+    let report = service.shutdown();
+    assert_eq!(report.decisions_served, 0);
+    assert_eq!(report.flagged, 0);
+}
+
+#[test]
+fn slow_store_degrades_latency_not_correctness() {
+    let source = Arc::new(
+        FailingFeatureSource::new(Arc::new(InlineFeatures)).with_latency(Duration::from_millis(2)),
+    );
+    let service = DecisionService::start_with_source(
+        Arc::new(PassThrough),
+        config(DegradePolicy::Off, None),
+        Arc::clone(&source) as Arc<dyn FeatureSource>,
+    )
+    .unwrap();
+    let results = run_traffic(&service, 20);
+    assert!(results.iter().all(|r| r.is_ok()));
+    assert_eq!(source.failures(), 0);
+    let report = service.shutdown();
+    assert_eq!(report.decisions_served, 20);
+}

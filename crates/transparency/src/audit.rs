@@ -5,15 +5,22 @@
 //! covers its content *and* the previous digest, so edits, deletions, or
 //! reordering anywhere in the middle break verification from that point on.
 //!
+//! Two shapes share one hashing rule: [`AuditLog`] holds a whole chain in
+//! memory (offline audits), while [`ChainHead`] is the O(1) moving head a
+//! durable writer carries — everything needed to extend the chain or check
+//! continuity without the entries themselves. `fact-serve`'s audit sink
+//! streams entries to disk through a `ChainHead` and re-derives it on
+//! restart with [`verify_chain_from`].
+//!
 //! The digest is a 64-bit mixing hash — adequate for demonstrating the
 //! mechanism and for accidental-corruption detection; a production
 //! deployment would swap in SHA-256 behind the same interface (noted in
-//! DESIGN.md).
+//! DESIGN.md and KNOWN_ISSUES.md).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One audit-log entry.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AuditEntry {
     /// Sequence number (0-based).
     pub seq: u64,
@@ -59,6 +66,97 @@ fn entry_hash(seq: u64, actor: &str, action: &str, details: &str, prev: u64) -> 
     h
 }
 
+/// The moving head of an audit hash chain: the sequence number the next
+/// entry must carry and the digest it must link back to. A `ChainHead` is
+/// all the state a streaming writer needs to extend a chain of any length,
+/// and all a verifier needs to check that a later segment continues an
+/// earlier one (e.g. across a process restart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainHead {
+    /// Sequence number of the next entry to be appended.
+    pub next_seq: u64,
+    /// Digest the next entry must record as its `prev_hash` (0 at genesis).
+    pub hash: u64,
+}
+
+impl Default for ChainHead {
+    fn default() -> Self {
+        ChainHead::genesis()
+    }
+}
+
+impl ChainHead {
+    /// The head of an empty chain.
+    pub fn genesis() -> Self {
+        ChainHead {
+            next_seq: 0,
+            hash: 0,
+        }
+    }
+
+    /// Build the next chained entry and advance the head past it.
+    pub fn extend(
+        &mut self,
+        actor: impl Into<String>,
+        action: impl Into<String>,
+        details: impl Into<String>,
+    ) -> AuditEntry {
+        let actor = actor.into();
+        let action = action.into();
+        let details = details.into();
+        let hash = entry_hash(self.next_seq, &actor, &action, &details, self.hash);
+        let entry = AuditEntry {
+            seq: self.next_seq,
+            actor,
+            action,
+            details,
+            prev_hash: self.hash,
+            hash,
+        };
+        self.next_seq += 1;
+        self.hash = hash;
+        entry
+    }
+
+    /// Whether `entry` correctly extends this head: right sequence number,
+    /// right back-link, and a digest that matches its content.
+    pub fn follows(&self, entry: &AuditEntry) -> bool {
+        entry.seq == self.next_seq
+            && entry.prev_hash == self.hash
+            && entry.hash
+                == entry_hash(
+                    entry.seq,
+                    &entry.actor,
+                    &entry.action,
+                    &entry.details,
+                    entry.prev_hash,
+                )
+    }
+
+    /// The head after `entry` (which the caller has already checked with
+    /// [`follows`](Self::follows), or trusts).
+    pub fn advanced_past(entry: &AuditEntry) -> Self {
+        ChainHead {
+            next_seq: entry.seq + 1,
+            hash: entry.hash,
+        }
+    }
+}
+
+/// Verify that `entries` forms an intact chain continuing `from`. Returns
+/// the index (into `entries`) of the first entry that breaks the chain, or
+/// `None` when the whole segment verifies.
+pub fn verify_chain_from(from: ChainHead, entries: &[AuditEntry]) -> Option<usize> {
+    let mut head = from;
+    for (i, e) in entries.iter().enumerate() {
+        if !head.follows(e) {
+            return Some(i);
+        }
+        head = ChainHead::advanced_past(e);
+    }
+    None
+}
+
 impl AuditLog {
     /// An empty log.
     pub fn new() -> Self {
@@ -72,21 +170,19 @@ impl AuditLog {
         action: impl Into<String>,
         details: impl Into<String>,
     ) -> u64 {
-        let seq = self.entries.len() as u64;
-        let prev_hash = self.entries.last().map(|e| e.hash).unwrap_or(0);
-        let actor = actor.into();
-        let action = action.into();
-        let details = details.into();
-        let hash = entry_hash(seq, &actor, &action, &details, prev_hash);
-        self.entries.push(AuditEntry {
-            seq,
-            actor,
-            action,
-            details,
-            prev_hash,
-            hash,
-        });
+        let mut head = self.head();
+        let entry = head.extend(actor, action, details);
+        let hash = entry.hash;
+        self.entries.push(entry);
         hash
+    }
+
+    /// The chain head after the last entry (genesis for an empty log).
+    pub fn head(&self) -> ChainHead {
+        self.entries
+            .last()
+            .map(ChainHead::advanced_past)
+            .unwrap_or_default()
     }
 
     /// All entries in order.
@@ -107,18 +203,7 @@ impl AuditLog {
     /// Verify the whole chain. Returns the index of the first corrupted
     /// entry, or `None` when the log is intact.
     pub fn verify(&self) -> Option<usize> {
-        let mut prev = 0u64;
-        for (i, e) in self.entries.iter().enumerate() {
-            if e.seq != i as u64 || e.prev_hash != prev {
-                return Some(i);
-            }
-            let expect = entry_hash(e.seq, &e.actor, &e.action, &e.details, e.prev_hash);
-            if expect != e.hash {
-                return Some(i);
-            }
-            prev = e.hash;
-        }
-        None
+        verify_chain_from(ChainHead::genesis(), &self.entries)
     }
 
     /// Export as JSON for external archiving.
@@ -126,7 +211,11 @@ impl AuditLog {
         serde_json::to_string_pretty(&self.entries).expect("audit entries are serializable")
     }
 
-    /// Test-only access for tamper simulations.
+    /// Mutable access for tamper simulations. Only compiled into this
+    /// crate's own tests or under the opt-in `tamper` feature: the public
+    /// API of a release build is append-only, so production code cannot
+    /// silently break the chain.
+    #[cfg(any(test, feature = "tamper"))]
     #[doc(hidden)]
     pub fn entries_mut(&mut self) -> &mut Vec<AuditEntry> {
         &mut self.entries
@@ -201,5 +290,128 @@ mod tests {
         assert!(json.contains("prev_hash"));
         assert_eq!(log.len(), 4);
         assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn chain_head_extends_identically_to_append() {
+        let log = sample_log();
+        let mut head = ChainHead::genesis();
+        for e in log.entries() {
+            assert!(head.follows(e));
+            let rebuilt = head.extend(e.actor.clone(), e.action.clone(), e.details.clone());
+            assert_eq!(&rebuilt, e);
+        }
+        assert_eq!(head, log.head());
+        assert_eq!(AuditLog::new().head(), ChainHead::genesis());
+    }
+
+    #[test]
+    fn verify_chain_from_checks_continuity_across_a_split() {
+        let log = sample_log();
+        let (a, b) = log.entries().split_at(2);
+        assert_eq!(verify_chain_from(ChainHead::genesis(), a), None);
+        let mid = ChainHead::advanced_past(&a[1]);
+        assert_eq!(verify_chain_from(mid, b), None);
+        // the wrong resume point is rejected at the first entry
+        assert_eq!(verify_chain_from(ChainHead::genesis(), b), Some(0));
+    }
+
+    // ----- property tests: tamper detection over random logs and ops -----
+
+    use proptest::prelude::*;
+
+    fn build_log(rows: &[(String, String, String)]) -> AuditLog {
+        let mut log = AuditLog::new();
+        for (actor, action, details) in rows {
+            log.append(actor.clone(), action.clone(), details.clone());
+        }
+        log
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The public API is append-only: no sequence of appends can
+        /// produce a log that fails verification, and the head always
+        /// matches the last entry.
+        #[test]
+        fn public_api_alone_cannot_break_the_chain(
+            rows in prop::collection::vec(
+                ("[a-z]{1,8}", "[a-z]{1,8}", "[a-z0-9]{0,16}"), 0..24),
+        ) {
+            let log = build_log(&rows);
+            prop_assert_eq!(log.verify(), None);
+            prop_assert_eq!(log.head().next_seq, rows.len() as u64);
+            if let Some(last) = log.entries().last() {
+                prop_assert_eq!(log.head().hash, last.hash);
+            }
+        }
+
+        /// Any single-entry mutation, deletion, or reordering is caught at
+        /// or before the tampered index; tail truncation (which in-memory
+        /// verification alone cannot see) is caught by the recorded head.
+        #[test]
+        fn any_single_tamper_is_caught(
+            rows in prop::collection::vec(
+                ("[a-z]{1,8}", "[a-z]{1,8}", "[a-z0-9]{0,16}"), 2..20),
+            op_sel in 0usize..5,
+            raw_i in 0usize..1000,
+            raw_j in 0usize..1000,
+        ) {
+            let mut log = build_log(&rows);
+            let head_before = log.head();
+            let n = log.len();
+            let i = raw_i % n;
+            // plain mutation/deletion/reordering must be caught AT the
+            // tampered index or earlier; a recomputed-hash rewrite is only
+            // betrayed by the NEXT entry's back-link (+1)
+            let mut slack = 0usize;
+            let tampered_at = match op_sel {
+                0 => {
+                    log.entries_mut()[i].details.push('!');
+                    i
+                }
+                1 => {
+                    log.entries_mut()[i].actor = "mallory".into();
+                    i
+                }
+                2 => {
+                    // rewrite an entry AND recompute its own hash: the next
+                    // entry's dangling prev_hash betrays it (or, for the
+                    // last entry, the recorded head does)
+                    let e = &mut log.entries_mut()[i];
+                    e.details.push('!');
+                    e.hash = entry_hash(e.seq, &e.actor, &e.action, &e.details, e.prev_hash);
+                    slack = 1;
+                    i
+                }
+                3 => {
+                    log.entries_mut().remove(i);
+                    i
+                }
+                _ => {
+                    let j = raw_j % n;
+                    prop_assume!(i != j);
+                    log.entries_mut().swap(i, j);
+                    i.min(j)
+                }
+            };
+            let caught = log.verify();
+            match caught {
+                Some(at) => prop_assert!(
+                    at <= tampered_at + slack,
+                    "caught at {at}, tampered at {tampered_at} (slack {slack})"
+                ),
+                None => {
+                    // only a chain-consistent suffix rewrite can slip past
+                    // verify(); the recorded head still exposes it
+                    prop_assert!(
+                        log.head() != head_before,
+                        "tamper op {op_sel} at {tampered_at} invisible to both \
+                         verify() and the recorded head"
+                    );
+                }
+            }
+        }
     }
 }

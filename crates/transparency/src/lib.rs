@@ -28,6 +28,6 @@ pub mod modelcard;
 pub mod provenance;
 pub mod surrogate;
 
-pub use audit::AuditLog;
+pub use audit::{verify_chain_from, AuditEntry, AuditLog, ChainHead};
 pub use provenance::ProvenanceGraph;
 pub use surrogate::SurrogateExplainer;

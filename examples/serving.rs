@@ -65,6 +65,7 @@ fn main() -> Result<()> {
                 drift: None,
             }),
             seed: 7,
+            audit: None,
         },
     )
     .expect("service start");

@@ -6,6 +6,9 @@
 #   2. cargo clippy           all targets, warnings are errors
 #   3. cargo test -q          the full workspace suite
 #   4. exp_e12 --smoke        parallel kernels bit-identical to sequential
+#   5. audit_recovery smoke   kill the audit writer mid-batch, restart,
+#                             assert the hash chain verifies and loss is
+#                             bounded by one batch (tests + exp_e13 --smoke)
 #
 # Everything runs --offline: the workspace vendors its dependencies and
 # must build with no network.
@@ -23,5 +26,9 @@ cargo test --offline --workspace -q
 
 echo "==> exp_e12 --smoke (parallel-kernel determinism gate)"
 cargo run --offline -q -p fact-bench --bin exp_e12 -- --smoke
+
+echo "==> audit_recovery --smoke (crash-recovery gate)"
+cargo test --offline -q --test audit_recovery -- kill_mid_batch_recovery_is_deterministic
+cargo run --offline -q -p fact-bench --bin exp_e13 -- --smoke
 
 echo "==> ci.sh: all green"

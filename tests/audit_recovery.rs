@@ -1,0 +1,385 @@
+//! Crash/fault-injection suite for the durable audit sink.
+//!
+//! Every test drives the sink (or a whole audited `DecisionService`)
+//! against [`MemStorage`] faults — outright append failure, a short write,
+//! a kill mid-batch — then restarts over whatever the fault left behind
+//! and asserts the recovery contract:
+//!
+//! * the persisted prefix always verifies as one hash chain from genesis;
+//! * a torn tail is truncated at the exact cut point, costing at most one
+//!   batch;
+//! * the restarted sink resumes appending with `prev_hash` continuity, so
+//!   the log spanning the crash still verifies end to end;
+//! * provable loss (persisted chain head ahead of the recovered log) is
+//!   detected and reported, never papered over.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fact_serve::audit_sink::{parse_log, recover, AuditStorage};
+use fact_serve::{
+    AuditEvent, AuditSink, AuditSinkConfig, AuditSinkHandle, DecisionRequest, DecisionService,
+    DegradePolicy, GuardConfig, InlineFeatures, MemStorage, ServeConfig,
+};
+use fact_transparency::{verify_chain_from, AuditEntry, ChainHead};
+
+fn sink_config(batch_max: usize) -> AuditSinkConfig {
+    AuditSinkConfig {
+        batch_max,
+        flush_interval: Duration::from_millis(1),
+        ..AuditSinkConfig::default()
+    }
+}
+
+fn open(storage: &MemStorage, batch_max: usize) -> AuditSink {
+    AuditSink::open_with_storage(&sink_config(batch_max), Box::new(storage.clone())).unwrap()
+}
+
+fn flagged(key: u64) -> AuditEvent {
+    AuditEvent::Flagged {
+        shard: 0,
+        route_key: key,
+        probability: 0.125,
+        favorable: false,
+        group_b: key.is_multiple_of(2),
+    }
+}
+
+/// Send `events` and wait until the sink has durably audited (or given up
+/// on) everything outstanding — makes batch boundaries deterministic.
+fn feed_and_settle(sink: &AuditSink, handle: &AuditSinkHandle, keys: std::ops::Range<u64>) {
+    let n = keys.end - keys.start;
+    let target = sink.audited() + n;
+    for k in keys {
+        handle.record(flagged(k));
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while sink.audited() < target {
+        if Instant::now() > deadline {
+            // a poisoned sink will never reach the target; the caller's
+            // assertions decide whether that is the expected outcome
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn verified_entries(storage: &MemStorage) -> Vec<AuditEntry> {
+    let entries = parse_log(&storage.log_bytes());
+    assert_eq!(
+        verify_chain_from(ChainHead::genesis(), &entries),
+        None,
+        "persisted chain must verify from genesis"
+    );
+    entries
+}
+
+/// The CI smoke: kill the writer mid-batch, restart, assert the chain
+/// verifies, the torn tail is truncated, loss is bounded by one batch, and
+/// appending resumes with `prev_hash` continuity across the restart.
+#[test]
+fn kill_mid_batch_recovery_is_deterministic() {
+    const BATCH: usize = 4;
+    let storage = MemStorage::new();
+
+    // run 1: land two clean batches, then die partway into the third line
+    // of the next batch's single append
+    let sink = open(&storage, BATCH);
+    let handle = sink.handle();
+    feed_and_settle(&sink, &handle, 0..8);
+    let synced_len = storage.log_bytes().len();
+    let synced_entries = parse_log(&storage.log_bytes()).len();
+    storage.kill_at_byte(synced_len as u64 + 300);
+    for k in 8..12 {
+        handle.record(flagged(k));
+    }
+    drop(handle);
+    let report = sink.finish();
+    assert!(
+        report.io_errors >= 1,
+        "the kill must surface as an io error"
+    );
+    assert!(report.dropped >= 1, "the killed batch is accounted dropped");
+
+    // what the "disk" holds: the synced prefix plus a torn fragment
+    let storage = storage.restart();
+    let on_disk = storage.log_bytes();
+    assert!(
+        on_disk.len() > synced_len,
+        "the kill persisted a partial batch"
+    );
+
+    // run 2: recovery must truncate the tear and resume the same chain
+    let sink = open(&storage, BATCH);
+    let rec = sink.recovery().clone();
+    assert!(
+        rec.truncated_bytes > 0,
+        "the torn tail must be cut: {rec:?}"
+    );
+    assert_eq!(
+        rec.cut_seq, None,
+        "a kill tears bytes, it does not break the chain: {rec:?}"
+    );
+    assert!(
+        rec.recovered as usize >= synced_entries,
+        "everything synced before the kill survives: {rec:?}"
+    );
+    assert_eq!(
+        rec.lost, 0,
+        "the killed batch was never head-committed, so nothing *promised* is missing: {rec:?}"
+    );
+    // loss is bounded by the one killed batch
+    let written_total = synced_entries + 1; // + this run's sink_start not yet counted
+    let _ = written_total;
+    assert!(
+        (rec.cut_lines as usize) < BATCH,
+        "at most one torn batch: {rec:?}"
+    );
+
+    let handle = sink.handle();
+    feed_and_settle(&sink, &handle, 100..104);
+    drop(handle);
+    sink.finish();
+
+    // the log spanning the crash verifies as ONE chain, and the entries
+    // appended after restart sit directly on the recovered head
+    let entries = verified_entries(&storage);
+    assert!(entries.iter().any(|e| e.details.contains("key=100")));
+    let resumed_at = entries
+        .iter()
+        .position(|e| e.action == "sink_start" && e.seq == rec.resumed.next_seq)
+        .expect("restart marker chained at the recovered head");
+    assert_eq!(entries[resumed_at].seq, rec.resumed.next_seq);
+    assert_eq!(entries[resumed_at].prev_hash, rec.resumed.hash);
+
+    // determinism: recovering the same bytes again reports the same thing
+    let mut probe: Box<dyn AuditStorage> = Box::new(storage.restart());
+    let again = recover(probe.as_mut()).unwrap();
+    assert_eq!(again.truncated_bytes, 0, "recovery already cleaned the log");
+    assert_eq!(again.recovered, entries.len() as u64);
+}
+
+#[test]
+fn append_failure_preserves_the_synced_prefix() {
+    let storage = MemStorage::new();
+    let sink = open(&storage, 4);
+    let handle = sink.handle();
+    feed_and_settle(&sink, &handle, 0..4);
+    let good = parse_log(&storage.log_bytes()).len();
+    // every append from here on fails, persisting nothing; don't wait for
+    // a settle that can never come — finish() flushes and surfaces it
+    storage.fail_appends_from(0);
+    for k in 4..12 {
+        handle.record(flagged(k));
+    }
+    drop(handle);
+    let report = sink.finish();
+    assert!(report.io_errors >= 1);
+    assert!(report.dropped >= 8);
+    // nothing after the failure leaked into the log, and the prefix is intact
+    let entries = verified_entries(&storage);
+    assert_eq!(entries.len(), good);
+    assert_eq!(report.audited, good as u64);
+}
+
+#[test]
+fn short_write_tears_one_line_and_recovery_cuts_it() {
+    let storage = MemStorage::new();
+    let sink = open(&storage, 4);
+    let handle = sink.handle();
+    feed_and_settle(&sink, &handle, 0..4);
+    let good_len = storage.log_bytes().len();
+    let good = parse_log(&storage.log_bytes()).len();
+    // next batch persists 20 bytes of its first line, then errors
+    storage.short_write_next(20);
+    for k in 4..8 {
+        handle.record(flagged(k));
+    }
+    drop(handle);
+    sink.finish();
+    assert_eq!(storage.log_bytes().len(), good_len + 20);
+
+    let storage = storage.restart();
+    let sink = open(&storage, 4);
+    let rec = sink.recovery().clone();
+    assert_eq!(rec.truncated_bytes, 20);
+    assert_eq!(rec.recovered as usize, good);
+    assert_eq!(rec.lost, 0);
+    sink.finish();
+    verified_entries(&storage);
+}
+
+#[test]
+fn destroyed_synced_tail_is_reported_as_loss() {
+    let storage = MemStorage::new();
+    let sink = open(&storage, 2);
+    let handle = sink.handle();
+    feed_and_settle(&sink, &handle, 0..6);
+    drop(handle);
+    let report = sink.finish();
+
+    // simulate the disk losing the last two synced entries: cut the log at
+    // an exact line boundary while the head file still promises them
+    let bytes = storage.log_bytes();
+    let keep = {
+        let mut line_starts: Vec<usize> = vec![0];
+        line_starts.extend(
+            bytes
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b == b'\n')
+                .map(|(i, _)| i + 1),
+        );
+        line_starts[line_starts.len() - 3]
+    };
+    {
+        let mut s: Box<dyn AuditStorage> = Box::new(storage.clone());
+        s.truncate_log(keep as u64).unwrap();
+    }
+
+    let sink = open(&storage, 2);
+    let rec = sink.recovery().clone();
+    assert_eq!(
+        rec.lost, 2,
+        "the head promised {} entries; the log lost two: {rec:?}",
+        report.audited
+    );
+    assert_eq!(rec.recovered, report.audited - 2);
+    assert_eq!(rec.truncated_bytes, 0, "a clean cut needs no truncation");
+    let report2 = sink.finish();
+    assert_eq!(report2.recovery.lost, 2);
+    verified_entries(&storage);
+}
+
+#[test]
+fn tampered_middle_entry_cuts_the_chain_at_the_tamper_point() {
+    let storage = MemStorage::new();
+    let sink = open(&storage, 4);
+    let handle = sink.handle();
+    feed_and_settle(&sink, &handle, 0..8);
+    drop(handle);
+    sink.finish();
+
+    // flip a digit inside an entry's details, deep in the middle
+    let mut bytes = storage.log_bytes();
+    let at = bytes
+        .windows(6)
+        .position(|w| w == b"key=3 ".as_slice())
+        .expect("key=3 entry present");
+    bytes[at + 4] = b'7';
+    {
+        let mut s: Box<dyn AuditStorage> = Box::new(storage.clone());
+        s.truncate_log(0).unwrap();
+        s.append_log(&bytes).unwrap();
+    }
+
+    let sink = open(&storage, 4);
+    let rec = sink.recovery().clone();
+    assert!(rec.cut_seq.is_some(), "tampering is a chain break: {rec:?}");
+    assert!(
+        rec.lost > 0,
+        "entries beyond the tamper point are reported lost: {rec:?}"
+    );
+    sink.finish();
+    verified_entries(&storage);
+}
+
+// ---------------------------------------------------------------------------
+// whole-service crash cycle
+// ---------------------------------------------------------------------------
+
+fn audited_disparity_config() -> ServeConfig {
+    ServeConfig {
+        shards: 1,
+        n_features: 1,
+        queue_cap: 256,
+        batch_max: 8,
+        batch_linger: Duration::from_micros(100),
+        default_timeout: Duration::from_secs(5),
+        policy: DegradePolicy::AuditAndFlag,
+        trip_cooldown: 10_000,
+        guards: Some(GuardConfig {
+            fairness_window: 100,
+            min_di: 0.8,
+            min_samples_per_group: 10,
+            dp_interval: 1_000_000,
+            ..GuardConfig::default()
+        }),
+        audit: Some(sink_config(8)),
+        ..ServeConfig::default()
+    }
+}
+
+struct PassThrough;
+
+impl fact_ml::Classifier for PassThrough {
+    fn predict_proba(&self, x: &fact_data::Matrix) -> fact_data::Result<Vec<f64>> {
+        Ok((0..x.rows()).map(|i| x.get(i, 0).clamp(0.0, 1.0)).collect())
+    }
+}
+
+fn run_disparity(service: &DecisionService, n: u64) -> u64 {
+    let mut served = 0;
+    for i in 0..n {
+        let group_b = i.is_multiple_of(2);
+        let ok = service
+            .decide(DecisionRequest {
+                features: vec![if group_b { 0.1 } else { 0.9 }],
+                group_b,
+                route_key: i,
+            })
+            .is_ok();
+        served += u64::from(ok);
+    }
+    served
+}
+
+#[test]
+fn audited_service_survives_a_storage_kill_and_restart_verifies() {
+    let storage = MemStorage::new();
+
+    // run 1: the storage dies partway through; serving must be unaffected
+    let service = DecisionService::start_with_audit_storage(
+        Arc::new(PassThrough),
+        audited_disparity_config(),
+        Arc::new(InlineFeatures),
+        Box::new(storage.clone()),
+    )
+    .unwrap();
+    // let some audit batches land, then schedule the kill
+    let served_warmup = run_disparity(&service, 200);
+    assert_eq!(served_warmup, 200);
+    storage.kill_at_byte(storage.log_bytes().len() as u64 + 120);
+    let served_after = run_disparity(&service, 200);
+    assert_eq!(served_after, 200, "a dead audit disk must not stop serving");
+    let report = service.shutdown();
+    assert!(report.flagged > 0);
+
+    // run 2 over the same (revived) bytes: recovery truncates at most the
+    // one torn batch and the combined log verifies as a single chain
+    let storage = storage.restart();
+    let service = DecisionService::start_with_audit_storage(
+        Arc::new(PassThrough),
+        audited_disparity_config(),
+        Arc::new(InlineFeatures),
+        Box::new(storage.clone()),
+    )
+    .unwrap();
+    let rec = service.audit_recovery().unwrap().clone();
+    assert!(rec.recovered > 0);
+    assert!(
+        (rec.cut_lines as usize) < 8,
+        "at most one torn batch (batch_max=8): {rec:?}"
+    );
+    assert_eq!(rec.lost, 0, "only the unsynced tail was torn: {rec:?}");
+    run_disparity(&service, 200);
+    let report2 = service.shutdown();
+    assert!(report2.flagged > 0);
+    assert!(report2.audited > 0);
+    assert_eq!(report2.lost_on_recovery, 0);
+
+    let entries = verified_entries(&storage);
+    // both runs' lifecycle markers are present in one verified chain
+    let starts = entries.iter().filter(|e| e.action == "sink_start").count();
+    assert_eq!(starts, 2, "one start marker per run");
+}
