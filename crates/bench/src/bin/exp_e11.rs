@@ -117,6 +117,7 @@ fn run_trial(model: Arc<LogisticRegression>, shards: usize, guarded: bool, seed:
             guards,
             seed,
             audit: None,
+            cache: None,
         },
         Arc::new(SimulatedRemoteSource::new(FETCH)),
     )

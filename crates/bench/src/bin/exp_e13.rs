@@ -115,6 +115,7 @@ fn run_trial(
             }),
             seed,
             audit,
+            cache: None,
         },
         Arc::new(SimulatedRemoteSource::new(FETCH)),
     )

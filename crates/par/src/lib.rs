@@ -38,6 +38,7 @@
 //! );
 //! assert_eq!(total, Some(9_999 * 10_000 / 2));
 //! ```
+#![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;

@@ -264,7 +264,7 @@ mod tests {
         let v = Pool::new(8)
             .par_reduce(5, 100, |r| r.sum::<usize>(), |a, b| a + b)
             .unwrap();
-        assert_eq!(v, 0 + 1 + 2 + 3 + 4);
+        assert_eq!(v, (0..5).sum());
     }
 
     #[test]

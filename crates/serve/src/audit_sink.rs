@@ -13,7 +13,7 @@
 //!   writer carries a [`ChainHead`] and serializes chained
 //!   [`AuditEntry`]s as JSONL, one line per entry. The file itself *is*
 //!   the chain; any edit, deletion, or reorder is detectable offline with
-//!   [`verify_chain_from`].
+//!   [`verify_chain_from`](fact_transparency::audit::verify_chain_from).
 //! * **The chain head is persisted** after every synced batch (a small
 //!   sidecar the storage keeps next to the log). It is advisory: losing it
 //!   never loses decisions, but comparing it against the recovered log

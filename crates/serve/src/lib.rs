@@ -23,6 +23,13 @@
 //!   [`SimulatedRemoteSource`] in the experiments — via
 //!   [`DecisionService::start_with_source`], so a fetch round trip is paid
 //!   per batch, not per request.
+//! * **Feature caching** — setting [`ServeConfig::cache`] wraps the source
+//!   in a [`CachedFeatureSource`]: a sharded TTL map with negative caching
+//!   (recently failed keys fail fast instead of hammering a dead store)
+//!   and single-flight stampede protection (concurrent batches missing on
+//!   one key issue one upstream call). Warm entries bridge store outages;
+//!   hit/miss/negative-hit/eviction counters land in the metrics and the
+//!   final report.
 //! * **Streaming guards** — each shard owns a
 //!   [`StreamingFairnessMonitor`], an optional [`DriftMonitor`] over the
 //!   decision scores, and a [`StreamingDpCounter`] spending a per-shard ε
@@ -73,6 +80,7 @@
 #![warn(missing_docs)]
 
 pub mod audit_sink;
+pub mod cache;
 pub mod guards;
 pub mod metrics;
 pub mod service;
@@ -82,8 +90,11 @@ pub use audit_sink::{
     AuditEvent, AuditSink, AuditSinkConfig, AuditSinkHandle, AuditStorage, FileStorage, MemStorage,
     RecoveryReport, SinkReport,
 };
+pub use cache::{CacheConfig, CachedFeatureSource, Clock, ManualClock, SystemClock};
 pub use guards::{AlertKind, DegradePolicy, GuardConfig, ServiceAlert};
-pub use metrics::{LatencyHistogram, MetricsRegistry, MetricsSnapshot, ShardSnapshot};
+pub use metrics::{
+    CacheSnapshot, CacheStats, LatencyHistogram, MetricsRegistry, MetricsSnapshot, ShardSnapshot,
+};
 pub use service::{
     Decision, DecisionHandle, DecisionRequest, DecisionService, ServeConfig, ServeError,
     ServiceReport, ShardReport,
@@ -628,6 +639,86 @@ mod tests {
         );
         let text = report2.render_text();
         assert!(text.contains("audited="), "{text}");
+    }
+
+    #[test]
+    fn serve_config_cache_wires_counters_into_metrics_and_report() {
+        /// Key-deterministic source (required for caching to be sound):
+        /// probability = (route_key % 100) / 100.
+        struct KeyedSource {
+            fetches: AtomicU64,
+        }
+        impl FeatureSource for KeyedSource {
+            fn fetch_batch(&self, keys: &[u64], _inline: &[Vec<f64>]) -> Result<Matrix> {
+                self.fetches.fetch_add(1, Ordering::Relaxed);
+                let rows: Vec<Vec<f64>> = keys
+                    .iter()
+                    .map(|&k| vec![(k % 100) as f64 / 100.0])
+                    .collect();
+                Matrix::from_rows(&rows)
+            }
+        }
+        let source = Arc::new(KeyedSource {
+            fetches: AtomicU64::new(0),
+        });
+        let service = DecisionService::start_with_source(
+            Arc::new(StubModel::instant()),
+            ServeConfig {
+                shards: 1,
+                cache: Some(CacheConfig::default()),
+                ..base_config()
+            },
+            Arc::clone(&source) as Arc<dyn FeatureSource>,
+        )
+        .unwrap();
+        // the same 8 users decide 50 times each: after the cold pass every
+        // fetch is a cache hit and the upstream is never called again
+        for round in 0..50 {
+            for user in 0..8u64 {
+                let d = service.decide(request(0.9, user)).unwrap();
+                assert!(
+                    (d.probability - (user % 100) as f64 / 100.0).abs() < 1e-12,
+                    "round {round}: cached row must equal the source's row"
+                );
+            }
+        }
+        let snap = service.metrics();
+        assert_eq!(snap.cache.misses, 8);
+        assert!(snap.cache.hits >= 8 * 49, "hits={}", snap.cache.hits);
+        assert!(snap.cache.hit_rate() > 0.9);
+        let upstream_calls = source.fetches.load(Ordering::Relaxed);
+        assert!(upstream_calls <= 8, "upstream saw {upstream_calls} calls");
+        let report = service.shutdown();
+        assert_eq!(report.cache.misses, 8);
+        assert_eq!(report.cache.hits, snap.cache.hits);
+        let text = report.render_text();
+        assert!(text.contains("cache hits="), "{text}");
+    }
+
+    #[test]
+    fn invalid_cache_config_is_rejected() {
+        let model: Arc<dyn Classifier + Send + Sync> = Arc::new(StubModel::instant());
+        for bad in [
+            CacheConfig {
+                stripes: 0,
+                ..CacheConfig::default()
+            },
+            CacheConfig {
+                capacity_per_stripe: 0,
+                ..CacheConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                DecisionService::start(
+                    Arc::clone(&model),
+                    ServeConfig {
+                        cache: Some(bad),
+                        ..base_config()
+                    },
+                ),
+                Err(ServeError::BadRequest(_))
+            ));
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! metrics).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Sub-bucket resolution: each power-of-two octave is split into
@@ -137,8 +138,75 @@ impl ShardMetrics {
     }
 }
 
+/// Feature-cache counters (all relaxed atomics), shared between a
+/// [`CachedFeatureSource`](crate::cache::CachedFeatureSource) and the
+/// registry that reports it. All zeros when no cache is configured.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Keys answered from a fresh positive entry (no upstream work).
+    pub hits: AtomicU64,
+    /// Keys absent or expired at lookup time (an upstream fetch followed).
+    pub misses: AtomicU64,
+    /// Keys answered from a fresh *negative* entry: the upstream recently
+    /// failed for them, so the batch failed fast without an upstream call.
+    pub negative_hits: AtomicU64,
+    /// Entries removed to make room for an insert at capacity (lazy drops
+    /// of already-expired entries are not counted).
+    pub evictions: AtomicU64,
+    /// Cold-key fetches that joined another batch's in-flight upstream
+    /// call instead of issuing their own (single-flight coalescing).
+    pub coalesced: AtomicU64,
+    /// Batched calls actually forwarded upstream.
+    pub upstream_batches: AtomicU64,
+}
+
+impl CacheStats {
+    /// An instantaneous plain-data copy of every counter.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            upstream_batches: self.upstream_batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of [`CacheStats`] at one instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Keys served from a fresh positive entry.
+    pub hits: u64,
+    /// Keys that had to go upstream.
+    pub misses: u64,
+    /// Keys failed fast from a fresh negative entry.
+    pub negative_hits: u64,
+    /// Entries evicted for capacity.
+    pub evictions: u64,
+    /// Fetches coalesced onto another batch's in-flight upstream call.
+    pub coalesced: u64,
+    /// Batched calls forwarded upstream.
+    pub upstream_batches: u64,
+}
+
+impl CacheSnapshot {
+    /// Hit fraction over all positive-path lookups (hits + misses);
+    /// zero when the cache saw no traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let looked = self.hits + self.misses;
+        if looked == 0 {
+            0.0
+        } else {
+            self.hits as f64 / looked as f64
+        }
+    }
+}
+
 /// The service-wide registry: one [`ShardMetrics`] per shard plus global
-/// latency and guard counters. Shared via `Arc`; all methods take `&self`.
+/// latency, guard, and feature-cache counters. Shared via `Arc`; all
+/// methods take `&self`.
 #[derive(Debug)]
 pub struct MetricsRegistry {
     shards: Vec<ShardMetrics>,
@@ -149,6 +217,9 @@ pub struct MetricsRegistry {
     /// Differential-privacy budget spent, in micro-ε (ε × 1e6), summed
     /// across shards.
     pub epsilon_micro: AtomicU64,
+    /// Feature-cache counters; all zeros unless `ServeConfig.cache` wired
+    /// a [`CachedFeatureSource`](crate::cache::CachedFeatureSource) in.
+    pub cache: Arc<CacheStats>,
 }
 
 impl MetricsRegistry {
@@ -159,6 +230,7 @@ impl MetricsRegistry {
             latency: LatencyHistogram::new(),
             alerts: AtomicU64::new(0),
             epsilon_micro: AtomicU64::new(0),
+            cache: Arc::new(CacheStats::default()),
         }
     }
 
@@ -204,6 +276,7 @@ impl MetricsRegistry {
             p99: self.latency.quantile(0.99),
             alerts: self.alerts.load(Ordering::Relaxed),
             epsilon_spent: self.epsilon_micro.load(Ordering::Relaxed) as f64 / 1e6,
+            cache: self.cache.snapshot(),
         }
     }
 }
@@ -261,6 +334,8 @@ pub struct MetricsSnapshot {
     pub alerts: u64,
     /// Total differential-privacy ε spent.
     pub epsilon_spent: f64,
+    /// Feature-cache counters (all zero when no cache is configured).
+    pub cache: CacheSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -308,6 +383,17 @@ impl MetricsSnapshot {
             fmt(self.p50),
             fmt(self.p95),
             fmt(self.p99),
+        ));
+        out.push_str(&format!(
+            "cache hits={} misses={} neg_hits={} evictions={} coalesced={} upstream={} \
+             hit_rate={:.3}\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.negative_hits,
+            self.cache.evictions,
+            self.cache.coalesced,
+            self.cache.upstream_batches,
+            self.cache.hit_rate(),
         ));
         out
     }
@@ -360,6 +446,21 @@ mod tests {
         assert!((snap.epsilon_spent - 0.25).abs() < 1e-9);
         let text = snap.render_text();
         assert!(text.contains("total served=3"));
-        assert!(text.lines().count() == 4);
+        assert!(text.contains("cache hits=0"));
+        assert!(text.lines().count() == 5);
+    }
+
+    #[test]
+    fn cache_stats_snapshot_and_hit_rate() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.snapshot(), CacheSnapshot::default());
+        assert_eq!(stats.snapshot().hit_rate(), 0.0);
+        stats.hits.fetch_add(3, Ordering::Relaxed);
+        stats.misses.fetch_add(1, Ordering::Relaxed);
+        stats.negative_hits.fetch_add(2, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.hits, 3);
+        assert_eq!(snap.negative_hits, 2);
+        assert!((snap.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

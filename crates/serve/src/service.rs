@@ -32,8 +32,9 @@ use fact_ml::Classifier;
 use crate::audit_sink::{
     AuditEvent, AuditSink, AuditSinkConfig, AuditSinkHandle, AuditStorage, RecoveryReport,
 };
+use crate::cache::{CacheConfig, CachedFeatureSource, SystemClock};
 use crate::guards::{AlertHub, AlertKind, DegradePolicy, GuardConfig, ServiceAlert, ShardGuards};
-use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::metrics::{CacheSnapshot, MetricsRegistry, MetricsSnapshot};
 use crate::source::{FeatureSource, InlineFeatures};
 
 /// Errors surfaced to callers of the service.
@@ -109,6 +110,11 @@ pub struct ServeConfig {
     /// Durable audit sink for flagged/rejected decisions and alerts;
     /// `None` keeps the pre-sink behavior (counters only).
     pub audit: Option<AuditSinkConfig>,
+    /// Wrap the feature source in a [`CachedFeatureSource`] (sharded TTL
+    /// map, negative caching, single-flight); `None` fetches every batch
+    /// upstream. The cache's counters land in the service metrics and the
+    /// final [`ServiceReport`].
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +133,7 @@ impl Default for ServeConfig {
             guards: Some(GuardConfig::default()),
             seed: 0,
             audit: None,
+            cache: None,
         }
     }
 }
@@ -234,6 +241,9 @@ pub struct ServiceReport {
     /// sink's startup recovery pass (persisted chain head vs recovered
     /// log). Zero when no sink is configured.
     pub lost_on_recovery: u64,
+    /// Feature-cache counters at shutdown (hits, misses, negative hits,
+    /// evictions); all zero when no cache is configured.
+    pub cache: CacheSnapshot,
     /// Per-shard breakdown.
     pub shards: Vec<ShardReport>,
 }
@@ -254,6 +264,14 @@ impl ServiceReport {
             self.audited,
             self.lost_on_recovery,
         );
+        out.push_str(&format!(
+            "cache hits={} misses={} neg_hits={} evictions={} hit_rate={:.3}\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.negative_hits,
+            self.cache.evictions,
+            self.cache.hit_rate(),
+        ));
         for s in &self.shards {
             out.push_str(&format!(
                 "  shard {}: served={} batches={} rejected={} flagged={} alerts={} eps={:.4}\n",
@@ -360,7 +378,26 @@ impl DecisionService {
         if !(0.0..=1.0).contains(&config.threshold) {
             return Err(ServeError::BadRequest("threshold must be in [0, 1]".into()));
         }
+        if let Some(cache) = &config.cache {
+            if cache.stripes == 0 || cache.capacity_per_stripe == 0 {
+                return Err(ServeError::BadRequest(
+                    "cache stripes and capacity_per_stripe must be positive".into(),
+                ));
+            }
+        }
         let metrics = Arc::new(MetricsRegistry::new(config.shards));
+        // The cache decorates whatever source the caller supplied, sharing
+        // its counters with the registry so snapshots and the final report
+        // see hits/misses/negative hits/evictions.
+        let source: Arc<dyn FeatureSource> = match &config.cache {
+            Some(cache_cfg) => Arc::new(CachedFeatureSource::with_clock_and_stats(
+                source,
+                cache_cfg.clone(),
+                Arc::new(SystemClock),
+                Arc::clone(&metrics.cache),
+            )),
+            None => source,
+        };
         let (alert_tx, alert_rx) = channel();
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
@@ -555,6 +592,7 @@ impl DecisionService {
             epsilon_spent: shards.iter().map(|s| s.epsilon_spent).sum(),
             audited: sink_report.as_ref().map_or(0, |r| r.audited),
             lost_on_recovery: sink_report.as_ref().map_or(0, |r| r.recovery.lost),
+            cache: snap.cache.clone(),
             shards,
         };
         *report_slot = Some(report.clone());

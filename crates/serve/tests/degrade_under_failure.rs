@@ -13,8 +13,8 @@ use std::time::Duration;
 use fact_data::{Matrix, Result};
 use fact_ml::Classifier;
 use fact_serve::{
-    Decision, DecisionRequest, DecisionService, DegradePolicy, FailingFeatureSource, FeatureSource,
-    GuardConfig, InlineFeatures, MemStorage, ServeConfig, ServeError,
+    CacheConfig, Decision, DecisionRequest, DecisionService, DegradePolicy, FailingFeatureSource,
+    FeatureSource, GuardConfig, InlineFeatures, MemStorage, ServeConfig, ServeError,
 };
 
 /// Probability = first feature, clamped.
@@ -187,6 +187,128 @@ fn permanent_outage_fails_everything_but_shutdown_still_drains() {
     let report = service.shutdown();
     assert_eq!(report.decisions_served, 0);
     assert_eq!(report.flagged, 0);
+}
+
+/// TTLs long enough that nothing expires mid-test: the outage is bridged
+/// (or not) purely by what the warm phase cached.
+fn long_lived_cache() -> CacheConfig {
+    CacheConfig {
+        stripes: 4,
+        positive_ttl: Duration::from_secs(3_600),
+        negative_ttl: Duration::from_secs(3_600),
+        capacity_per_stripe: 1_024,
+    }
+}
+
+/// Keys the warm phase touches; with `batch_max: 1` each costs exactly one
+/// upstream fetch, so `fail_from(WARM_KEYS)` starts the outage the moment
+/// warming ends.
+const WARM_KEYS: u64 = 40;
+
+#[test]
+fn warm_cache_bridges_a_permanent_store_outage() {
+    let source = Arc::new(FailingFeatureSource::new(Arc::new(InlineFeatures)).fail_from(WARM_KEYS));
+    let service = DecisionService::start_with_source(
+        Arc::new(PassThrough),
+        ServeConfig {
+            cache: Some(long_lived_cache()),
+            ..config(DegradePolicy::Off, None)
+        },
+        Arc::clone(&source) as Arc<dyn FeatureSource>,
+    )
+    .unwrap();
+
+    // Warm: every key misses once and is fetched from the (healthy) store.
+    assert!(run_traffic(&service, WARM_KEYS).iter().all(|r| r.is_ok()));
+    assert_eq!(source.fetches(), WARM_KEYS);
+
+    // Outage: the store now fails every fetch, but five full rounds over
+    // the warm keyspace are served entirely from cache — the store is not
+    // even probed.
+    for _ in 0..5 {
+        let results = run_traffic(&service, WARM_KEYS);
+        assert!(results.iter().all(|r| r.is_ok()), "warm keys must serve");
+    }
+    assert_eq!(
+        source.fetches(),
+        WARM_KEYS,
+        "no upstream probes for warm keys"
+    );
+    assert_eq!(source.failures(), 0);
+
+    // A cold key hits the dead store once, then fails fast from the
+    // negative cache without another probe.
+    let cold = disparity_request(1_000);
+    for _ in 0..3 {
+        assert!(matches!(
+            service.decide(cold.clone()),
+            Err(ServeError::Internal(_))
+        ));
+    }
+    assert_eq!(source.fetches(), WARM_KEYS + 1, "one probe, then fail-fast");
+    assert_eq!(source.failures(), 1);
+
+    let report = service.shutdown();
+    assert_eq!(report.decisions_served, WARM_KEYS * 6);
+    assert!(report.cache.hits >= WARM_KEYS * 5);
+    assert!(report.cache.negative_hits >= 2);
+}
+
+#[test]
+fn every_degrade_policy_survives_an_outage_on_a_warm_cache() {
+    for policy in [
+        DegradePolicy::Off,
+        DegradePolicy::AuditAndFlag,
+        DegradePolicy::HardReject,
+    ] {
+        let source =
+            Arc::new(FailingFeatureSource::new(Arc::new(InlineFeatures)).fail_from(WARM_KEYS));
+        let service = DecisionService::start_with_source(
+            Arc::new(PassThrough),
+            ServeConfig {
+                cache: Some(long_lived_cache()),
+                ..config(policy, Some(quick_trip_guards()))
+            },
+            Arc::clone(&source) as Arc<dyn FeatureSource>,
+        )
+        .unwrap();
+
+        // Warm phase populates the cache; the disparity traffic also trips
+        // the fairness guard, engaging the policy. Features are fetched
+        // before the policy is applied, so even hard-rejected warm
+        // requests fill the cache.
+        run_traffic(&service, WARM_KEYS);
+        assert_eq!(source.fetches(), WARM_KEYS, "{policy:?}: warm fetches");
+
+        // Outage over warm keys: the store is dead, yet not a single
+        // request fails with Internal — the cache bridges it, and the
+        // degrade policy's own behavior stays intact throughout.
+        let mut results = Vec::new();
+        for _ in 0..5 {
+            results.extend(run_traffic(&service, WARM_KEYS));
+        }
+        assert_eq!(
+            internal_errors(&results),
+            0,
+            "{policy:?}: outage must be invisible on warm keys"
+        );
+        assert_eq!(source.failures(), 0, "{policy:?}: store never probed");
+        match policy {
+            DegradePolicy::Off => assert!(results.iter().all(|r| r.is_ok())),
+            DegradePolicy::AuditAndFlag => assert!(
+                results.iter().any(|r| matches!(r, Ok(d) if d.flagged)),
+                "flagging must continue through the outage"
+            ),
+            DegradePolicy::HardReject => assert!(
+                results
+                    .iter()
+                    .any(|r| matches!(r, Err(ServeError::Rejected { .. }))),
+                "hard-reject must stay engaged through the outage"
+            ),
+        }
+        let report = service.shutdown();
+        assert!(report.cache.hits >= WARM_KEYS * 5, "{policy:?}: cache hits");
+    }
 }
 
 #[test]

@@ -99,7 +99,7 @@ const BOOT_CHUNK: usize = 64;
 /// `statistic` is evaluated on `n_boot` seeded resamples; the interval is the
 /// empirical `(1±level)/2` quantile range of those replicates.
 ///
-/// Replicates are computed in parallel chunks of [`BOOT_CHUNK`]. Each chunk
+/// Replicates are computed in parallel chunks of `BOOT_CHUNK`. Each chunk
 /// owns a child RNG whose seed is drawn from the master RNG in chunk order,
 /// so the replicate stream depends only on `seed` and `n_boot` — never on
 /// the worker count.

@@ -178,7 +178,7 @@ const PERM_CHUNK: usize = 128;
 /// correction). Exact in distribution as `n_perm → ∞`; makes no normality
 /// assumption.
 ///
-/// Shuffles run in parallel chunks of [`PERM_CHUNK`]; each chunk shuffles
+/// Shuffles run in parallel chunks of `PERM_CHUNK`; each chunk shuffles
 /// its own copy of the pooled sample with a child RNG seeded from the
 /// master RNG in chunk order, so the p-value depends only on `seed` and
 /// `n_perm`, not on the worker count.

@@ -66,6 +66,7 @@ fn main() -> Result<()> {
             }),
             seed: 7,
             audit: None,
+            cache: None,
         },
     )
     .expect("service start");

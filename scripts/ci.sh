@@ -5,10 +5,14 @@
 #   1. cargo fmt --check      formatting is not negotiable
 #   2. cargo clippy           all targets, warnings are errors
 #   3. cargo test -q          the full workspace suite
-#   4. exp_e12 --smoke        parallel kernels bit-identical to sequential
-#   5. audit_recovery smoke   kill the audit writer mid-batch, restart,
+#   4. cargo doc              workspace rustdoc, warnings are errors
+#   5. exp_e12 --smoke        parallel kernels bit-identical to sequential
+#   6. audit_recovery smoke   kill the audit writer mid-batch, restart,
 #                             assert the hash chain verifies and loss is
 #                             bounded by one batch (tests + exp_e13 --smoke)
+#   7. exp_e14 --smoke        feature cache: >=5x steady-state speedup,
+#                             warm keys bridge a store outage, negative
+#                             cache bounds upstream probes
 #
 # Everything runs --offline: the workspace vendors its dependencies and
 # must build with no network.
@@ -24,11 +28,17 @@ cargo clippy --offline --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test --offline --workspace -q
 
+echo "==> cargo doc (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline -q --workspace --no-deps
+
 echo "==> exp_e12 --smoke (parallel-kernel determinism gate)"
 cargo run --offline -q -p fact-bench --bin exp_e12 -- --smoke
 
 echo "==> audit_recovery --smoke (crash-recovery gate)"
 cargo test --offline -q --test audit_recovery -- kill_mid_batch_recovery_is_deterministic
 cargo run --offline -q -p fact-bench --bin exp_e13 -- --smoke
+
+echo "==> exp_e14 --smoke (feature-cache speedup + outage-bridging gate)"
+cargo run --offline -q -p fact-bench --bin exp_e14 -- --smoke
 
 echo "==> ci.sh: all green"
