@@ -22,7 +22,10 @@ use std::time::{Duration, Instant};
 use bench::header;
 use fact_data::Matrix;
 use fact_ml::logistic::{LogisticConfig, LogisticRegression};
-use fact_serve::audit_sink::{parse_log, AuditEvent, AuditSink, AuditSinkConfig, MemStorage};
+use fact_serve::audit_sink::{
+    parse_log, verify_all_segments, AuditEvent, AuditSink, AuditSinkConfig, AuditStorage,
+    FileStorage, MemStorage,
+};
 use fact_serve::{
     DecisionRequest, DecisionService, DegradePolicy, GuardConfig, ServeConfig,
     SimulatedRemoteSource,
@@ -192,12 +195,26 @@ fn overhead_phase(out: &mut String) {
             audited.audited > audited.flagged / 2,
             "the sink must actually be receiving the flags"
         );
-        // the durable log the trial produced must verify
-        let entries = parse_log(&std::fs::read(&path).expect("audit log"));
+        // the durable log the trial produced must verify — enumerate the
+        // segments on disk rather than assuming a single-file layout (the
+        // sink rolls past max_segment_bytes)
+        let mut disk: Box<dyn AuditStorage> =
+            Box::new(FileStorage::open(&path).expect("open audit log"));
+        let segments = disk.list_segments().expect("list segments");
+        assert!(!segments.is_empty(), "the trial must have left a log");
+        let mut entries = Vec::new();
+        for &seg in &segments {
+            entries.extend(parse_log(&disk.read_segment(seg).expect("read segment")));
+        }
         assert_eq!(
             verify_chain_from(ChainHead::genesis(), &entries),
             None,
             "audit chain from the throughput trial must verify"
+        );
+        let audit_check = verify_all_segments(disk.as_mut()).expect("segment audit");
+        assert!(
+            audit_check.continuous,
+            "every segment must verify standalone and stitch: {audit_check:?}"
         );
         let overhead = 100.0 * (1.0 - audited.throughput / base.throughput);
         worst = worst.max(overhead);

@@ -18,17 +18,32 @@
 //!   sidecar the storage keeps next to the log). It is advisory: losing it
 //!   never loses decisions, but comparing it against the recovered log
 //!   bounds and *reports* what a crash took.
-//! * **A startup recovery pass** re-reads the log, verifies the chain from
-//!   genesis, truncates a torn tail (an unterminated or unparseable final
-//!   batch) at the exact cut point, and resumes appending with `prev_hash`
-//!   continuity across the restart.
+//! * **The log is segmented.** The writer rolls to a new segment
+//!   (`<path>.000001.jsonl`, `<path>.000002.jsonl`, …) once the active one
+//!   exceeds [`AuditSinkConfig::max_segment_bytes`], and opens each new
+//!   segment with a **handoff record**: a normal chained entry whose
+//!   `details` restate the head it continues
+//!   ([`ChainHead::handoff_details`]). Because the claim is covered by the
+//!   entry's own digest, every segment verifies **standalone** — no need
+//!   to replay history from genesis — and old segments can be archived or
+//!   verified lazily ([`verify_segment`], [`verify_all_segments`]).
+//! * **A startup recovery pass** replays only the *newest* segment: its
+//!   handoff record says where the chain resumes, so recovery work is
+//!   O(segment), not O(history). A torn tail is truncated at the exact cut
+//!   point; a segment whose opening handoff itself tore (a crash during
+//!   the roll) is wiped and recovery falls back one segment. A *missing
+//!   middle* segment is reported as provable loss, quantified from the
+//!   neighbors' handoff claims — never silently skipped.
 //!
 //! Storage is injectable through [`AuditStorage`], which is what the
 //! crash/fault-injection test suite drives: [`MemStorage`] can fail an
-//! append outright, persist a short write, or die mid-batch like a killed
-//! process — the same failure surface any checkpoint/WAL path has.
+//! append outright, persist a short write, die mid-batch or at a segment
+//! boundary like a killed process, or lose a head-sidecar rename the way
+//! an un-fsynced directory does — the same failure surface any
+//! checkpoint/WAL path has.
 
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
@@ -36,23 +51,31 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use fact_transparency::audit::{AuditEntry, ChainHead};
+use fact_transparency::audit::{
+    is_handoff, parse_handoff_details, verify_segment_entries, AuditEntry, ChainHead, SegmentCheck,
+    SegmentError, SEGMENT_HANDOFF_ACTION,
+};
 
-/// Where the audit log's bytes live. The sink only needs append, sync,
-/// truncate, and whole-log read (recovery), plus a small sidecar slot for
-/// the persisted chain head. Implementations are moved into the writer
-/// thread, so they must be `Send`.
+/// Where the audit log's bytes live: an ordered set of append-only
+/// segments plus a small sidecar slot for the persisted chain head.
+/// Implementations are moved into the writer thread, so they must be
+/// `Send`.
 ///
-/// The contract mirrors a real file: `append_log` may persist a *prefix*
-/// of the buffer before failing (short write, kill), and nothing is
-/// considered durable until `sync_log` returns `Ok`.
+/// The contract mirrors real files: `append_log` may persist a *prefix*
+/// of the buffer before failing (short write, kill), nothing is considered
+/// durable until `sync_log` returns `Ok`, and `truncate_segment` is
+/// durable on return.
 pub trait AuditStorage: Send {
-    /// Read the entire log (recovery pass).
-    fn read_log(&mut self) -> io::Result<Vec<u8>>;
-    /// Append raw bytes to the log (one batch per call).
+    /// Segment ids that exist, in ascending order.
+    fn list_segments(&mut self) -> io::Result<Vec<u64>>;
+    /// Read one whole segment (recovery and verification).
+    fn read_segment(&mut self, segment: u64) -> io::Result<Vec<u8>>;
+    /// Create `segment` if absent and make it the append target.
+    fn open_segment(&mut self, segment: u64) -> io::Result<()>;
+    /// Append raw bytes to the active segment (one batch per call).
     fn append_log(&mut self, buf: &[u8]) -> io::Result<()>;
-    /// Cut the log back to `len` bytes (tear off a torn tail).
-    fn truncate_log(&mut self, len: u64) -> io::Result<()>;
+    /// Durably cut `segment` back to `len` bytes (tear off a torn tail).
+    fn truncate_segment(&mut self, segment: u64, len: u64) -> io::Result<()>;
     /// Make previous appends durable (fsync).
     fn sync_log(&mut self) -> io::Result<()>;
     /// Read the persisted chain head, if one exists.
@@ -65,56 +88,137 @@ pub trait AuditStorage: Send {
 // file-backed storage
 // ---------------------------------------------------------------------------
 
-/// Real-file storage: an append-only JSONL log at `path` and the chain
-/// head in a `<path>.head` sidecar, replaced via write-temp-then-rename.
+/// Real-file storage: segment 0 is the JSONL log at `path` itself, later
+/// segments sit next to it as `<path>.000001.jsonl`, …, and the chain
+/// head lives in a `<path>.head` sidecar replaced via
+/// write-temp-then-rename-then-directory-fsync.
 #[derive(Debug)]
 pub struct FileStorage {
-    log: std::fs::File,
+    base: PathBuf,
     head_path: PathBuf,
+    active: Option<(u64, std::fs::File)>,
 }
 
 impl FileStorage {
-    /// Open (creating if absent) the log at `path`; the head sidecar lives
-    /// at `<path>.head`.
+    /// Open storage rooted at `path` (creating parent directories if
+    /// absent); the head sidecar lives at `<path>.head`. No segment is
+    /// created until [`open_segment`](AuditStorage::open_segment).
     pub fn open(path: &Path) -> io::Result<Self> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let log = std::fs::OpenOptions::new()
-            .read(true)
-            .create(true)
-            .append(true)
-            .open(path)?;
         let mut head_path = path.as_os_str().to_owned();
         head_path.push(".head");
         Ok(FileStorage {
-            log,
+            base: path.to_path_buf(),
             head_path: PathBuf::from(head_path),
+            active: None,
         })
+    }
+
+    fn seg_path(&self, segment: u64) -> PathBuf {
+        if segment == 0 {
+            self.base.clone()
+        } else {
+            let mut name = self.base.as_os_str().to_owned();
+            name.push(format!(".{segment:06}.jsonl"));
+            PathBuf::from(name)
+        }
+    }
+
+    fn dir(&self) -> PathBuf {
+        match self.base.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        }
+    }
+
+    /// fsync the directory holding the log: file creations and renames
+    /// are directory mutations and survive power loss only once the
+    /// directory inode itself is synced.
+    fn sync_dir(&self) -> io::Result<()> {
+        std::fs::File::open(self.dir())?.sync_all()
     }
 }
 
 impl AuditStorage for FileStorage {
-    fn read_log(&mut self) -> io::Result<Vec<u8>> {
-        self.log.seek(SeekFrom::Start(0))?;
-        let mut buf = Vec::new();
-        self.log.read_to_end(&mut buf)?;
-        Ok(buf)
+    fn list_segments(&mut self) -> io::Result<Vec<u64>> {
+        let base_name = self
+            .base
+            .file_name()
+            .and_then(|n| n.to_str())
+            .map(str::to_owned)
+            .ok_or_else(|| io::Error::other("audit log path has no file name"))?;
+        let mut segs = Vec::new();
+        for entry in std::fs::read_dir(self.dir())? {
+            let Ok(name) = entry?.file_name().into_string() else {
+                continue;
+            };
+            if name == base_name {
+                segs.push(0);
+            } else if let Some(mid) = name
+                .strip_prefix(&base_name)
+                .and_then(|r| r.strip_prefix('.'))
+                .and_then(|r| r.strip_suffix(".jsonl"))
+            {
+                if !mid.is_empty() && mid.bytes().all(|b| b.is_ascii_digit()) {
+                    if let Ok(n) = mid.parse::<u64>() {
+                        if n > 0 {
+                            segs.push(n);
+                        }
+                    }
+                }
+            }
+        }
+        segs.sort_unstable();
+        segs.dedup();
+        Ok(segs)
+    }
+
+    fn read_segment(&mut self, segment: u64) -> io::Result<Vec<u8>> {
+        std::fs::read(self.seg_path(segment))
+    }
+
+    fn open_segment(&mut self, segment: u64) -> io::Result<()> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(self.seg_path(segment))?;
+        self.sync_dir()?;
+        self.active = Some((segment, file));
+        Ok(())
     }
 
     fn append_log(&mut self, buf: &[u8]) -> io::Result<()> {
-        // O_APPEND: writes land at the end regardless of read seeks
-        self.log.write_all(buf)
+        // O_APPEND: writes land at the end regardless of other handles
+        match &mut self.active {
+            Some((_, file)) => file.write_all(buf),
+            None => Err(io::Error::other("no active segment")),
+        }
     }
 
-    fn truncate_log(&mut self, len: u64) -> io::Result<()> {
-        self.log.set_len(len)
+    fn truncate_segment(&mut self, segment: u64, len: u64) -> io::Result<()> {
+        if let Some((active, file)) = &self.active {
+            if *active == segment {
+                file.set_len(len)?;
+                return file.sync_data();
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.seg_path(segment))?;
+        file.set_len(len)?;
+        file.sync_data()
     }
 
     fn sync_log(&mut self) -> io::Result<()> {
-        self.log.sync_data()
+        match &self.active {
+            Some((_, file)) => file.sync_data(),
+            None => Err(io::Error::other("no active segment")),
+        }
     }
 
     fn read_head(&mut self) -> io::Result<Option<Vec<u8>>> {
@@ -134,7 +238,11 @@ impl AuditStorage for FileStorage {
             f.write_all(buf)?;
             f.sync_data()?;
         }
-        std::fs::rename(&tmp, &self.head_path)
+        std::fs::rename(&tmp, &self.head_path)?;
+        // Without this directory fsync the rename itself is not durable: a
+        // power cut could revert the sidecar to its previous content even
+        // though `rename` returned.
+        self.sync_dir()
     }
 }
 
@@ -144,7 +252,8 @@ impl AuditStorage for FileStorage {
 
 #[derive(Debug, Default)]
 struct MemInner {
-    log: Vec<u8>,
+    segments: BTreeMap<u64, Vec<u8>>,
+    active: Option<u64>,
     head: Option<Vec<u8>>,
     appends: u64,
     /// Appends (0-based) at or beyond this index fail with nothing
@@ -153,19 +262,38 @@ struct MemInner {
     /// The next append persists only this many bytes, then errors — a
     /// short write surfaced to the caller.
     short_write_next: Option<usize>,
-    /// Total log size is capped here: the append that would cross it
-    /// persists only up to the cap and the storage dies — a process
-    /// killed mid-batch, torn line and all.
+    /// Total log size (summed across segments) is capped here: the append
+    /// that would cross it persists only up to the cap and the storage
+    /// dies — a process killed mid-batch, torn line and all.
     kill_at_byte: Option<u64>,
+    /// Opening segment ids at or beyond this value creates the (empty)
+    /// segment and then kills the storage — a crash exactly at the
+    /// rotation boundary, after the dir entry, before the handoff.
+    kill_on_open_segment: Option<u64>,
+    /// Head-sidecar writes report success but do not persist — the
+    /// un-fsynced-directory rename that a power cut reverts.
+    revert_head_writes: bool,
     dead: bool,
+}
+
+impl MemInner {
+    fn total_len(&self) -> usize {
+        self.segments.values().map(Vec::len).sum()
+    }
+}
+
+fn dead_err() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "storage dead")
 }
 
 /// In-memory [`AuditStorage`] shared through an `Arc`: cloning yields a
 /// second handle onto the *same* bytes, which is how tests "restart" a
 /// sink over whatever a fault left behind. Fault injection is explicit:
 /// [`fail_appends_from`](MemStorage::fail_appends_from),
-/// [`short_write_next`](MemStorage::short_write_next), and
-/// [`kill_at_byte`](MemStorage::kill_at_byte).
+/// [`short_write_next`](MemStorage::short_write_next),
+/// [`kill_at_byte`](MemStorage::kill_at_byte),
+/// [`kill_on_open_segment`](MemStorage::kill_on_open_segment), and
+/// [`revert_head_writes`](MemStorage::revert_head_writes).
 #[derive(Debug, Clone, Default)]
 pub struct MemStorage {
     inner: Arc<Mutex<MemInner>>,
@@ -192,11 +320,26 @@ impl MemStorage {
         self.lock().short_write_next = Some(n);
     }
 
-    /// Kill the storage once the log reaches `cap` total bytes: the
-    /// crossing append persists a prefix up to the cap (a torn line) and
-    /// every operation after that fails, like a dead process's fds.
+    /// Kill the storage once the log (summed across segments) reaches
+    /// `cap` total bytes: the crossing append persists a prefix up to the
+    /// cap (a torn line) and every operation after that fails, like a dead
+    /// process's fds.
     pub fn kill_at_byte(&self, cap: u64) {
         self.lock().kill_at_byte = Some(cap);
+    }
+
+    /// Kill the storage when segment `n` (or any later id) is opened: the
+    /// empty segment is created — the directory entry a real crash leaves
+    /// behind — but nothing is ever written to it.
+    pub fn kill_on_open_segment(&self, n: u64) {
+        self.lock().kill_on_open_segment = Some(n);
+    }
+
+    /// Make every subsequent head-sidecar write report success without
+    /// persisting — the rename a power cut reverts when the directory was
+    /// never fsynced (the pre-fix [`FileStorage`] behavior).
+    pub fn revert_head_writes(&self) {
+        self.lock().revert_head_writes = true;
     }
 
     /// Clear all fault plans and revive a killed storage — the "restart".
@@ -205,15 +348,38 @@ impl MemStorage {
         g.fail_appends_from = None;
         g.short_write_next = None;
         g.kill_at_byte = None;
+        g.kill_on_open_segment = None;
+        g.revert_head_writes = false;
         g.dead = false;
         MemStorage {
             inner: Arc::clone(&self.inner),
         }
     }
 
-    /// Current log bytes (inspection).
+    /// All segments' bytes concatenated in segment order (inspection).
     pub fn log_bytes(&self) -> Vec<u8> {
-        self.lock().log.clone()
+        let g = self.lock();
+        let mut out = Vec::with_capacity(g.total_len());
+        for bytes in g.segments.values() {
+            out.extend_from_slice(bytes);
+        }
+        out
+    }
+
+    /// One segment's bytes, if it exists (inspection).
+    pub fn segment_bytes(&self, segment: u64) -> Option<Vec<u8>> {
+        self.lock().segments.get(&segment).cloned()
+    }
+
+    /// Segment ids currently present (inspection).
+    pub fn segment_ids(&self) -> Vec<u64> {
+        self.lock().segments.keys().copied().collect()
+    }
+
+    /// Delete a segment outright — the "operator removed a middle file"
+    /// fault. Returns whether it existed.
+    pub fn remove_segment(&self, segment: u64) -> bool {
+        self.lock().segments.remove(&segment).is_some()
     }
 
     /// Current persisted head bytes (inspection).
@@ -223,36 +389,72 @@ impl MemStorage {
 }
 
 impl AuditStorage for MemStorage {
-    fn read_log(&mut self) -> io::Result<Vec<u8>> {
+    fn list_segments(&mut self) -> io::Result<Vec<u64>> {
         let g = self.lock();
         if g.dead {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "storage dead"));
+            return Err(dead_err());
         }
-        Ok(g.log.clone())
+        Ok(g.segments.keys().copied().collect())
+    }
+
+    fn read_segment(&mut self, segment: u64) -> io::Result<Vec<u8>> {
+        let g = self.lock();
+        if g.dead {
+            return Err(dead_err());
+        }
+        g.segments
+            .get(&segment)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such segment"))
+    }
+
+    fn open_segment(&mut self, segment: u64) -> io::Result<()> {
+        let mut g = self.lock();
+        if g.dead {
+            return Err(dead_err());
+        }
+        if matches!(g.kill_on_open_segment, Some(n) if segment >= n) {
+            // the boundary crash: the segment's directory entry exists,
+            // but the process died before writing its handoff record
+            g.segments.entry(segment).or_default();
+            g.dead = true;
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "killed at segment boundary",
+            ));
+        }
+        g.segments.entry(segment).or_default();
+        g.active = Some(segment);
+        Ok(())
     }
 
     fn append_log(&mut self, buf: &[u8]) -> io::Result<()> {
         let mut g = self.lock();
         if g.dead {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "storage dead"));
+            return Err(dead_err());
         }
         let this_append = g.appends;
         g.appends += 1;
         if matches!(g.fail_appends_from, Some(n) if this_append >= n) {
             return Err(io::Error::other("injected append failure"));
         }
+        let Some(active) = g.active else {
+            return Err(io::Error::other("no active segment"));
+        };
         if let Some(n) = g.short_write_next.take() {
             let n = n.min(buf.len());
-            g.log.extend_from_slice(&buf[..n]);
+            let prefix = buf[..n].to_vec();
+            g.segments.entry(active).or_default().extend(prefix);
             return Err(io::Error::new(
                 io::ErrorKind::WriteZero,
                 "injected short write",
             ));
         }
         if let Some(cap) = g.kill_at_byte {
-            let room = (cap as usize).saturating_sub(g.log.len());
+            let room = (cap as usize).saturating_sub(g.total_len());
             if buf.len() > room {
-                g.log.extend_from_slice(&buf[..room]);
+                let prefix = buf[..room].to_vec();
+                g.segments.entry(active).or_default().extend(prefix);
                 g.dead = true;
                 return Err(io::Error::new(
                     io::ErrorKind::BrokenPipe,
@@ -260,23 +462,28 @@ impl AuditStorage for MemStorage {
                 ));
             }
         }
-        g.log.extend_from_slice(buf);
+        g.segments.entry(active).or_default().extend_from_slice(buf);
         Ok(())
     }
 
-    fn truncate_log(&mut self, len: u64) -> io::Result<()> {
+    fn truncate_segment(&mut self, segment: u64, len: u64) -> io::Result<()> {
         let mut g = self.lock();
         if g.dead {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "storage dead"));
+            return Err(dead_err());
         }
-        g.log.truncate(len as usize);
-        Ok(())
+        match g.segments.get_mut(&segment) {
+            Some(bytes) => {
+                bytes.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such segment")),
+        }
     }
 
     fn sync_log(&mut self) -> io::Result<()> {
         let g = self.lock();
         if g.dead {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "storage dead"));
+            return Err(dead_err());
         }
         Ok(())
     }
@@ -284,7 +491,7 @@ impl AuditStorage for MemStorage {
     fn read_head(&mut self) -> io::Result<Option<Vec<u8>>> {
         let g = self.lock();
         if g.dead {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "storage dead"));
+            return Err(dead_err());
         }
         Ok(g.head.clone())
     }
@@ -292,7 +499,11 @@ impl AuditStorage for MemStorage {
     fn write_head(&mut self, buf: &[u8]) -> io::Result<()> {
         let mut g = self.lock();
         if g.dead {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "storage dead"));
+            return Err(dead_err());
+        }
+        if g.revert_head_writes {
+            // reports success; the bytes never land (reverted rename)
+            return Ok(());
         }
         g.head = Some(buf.to_vec());
         Ok(())
@@ -394,6 +605,9 @@ pub struct AuditSinkConfig {
     /// it fills (audit events are evidence, not telemetry — they are never
     /// silently shed while the sink is healthy).
     pub queue_cap: usize,
+    /// Roll to a new segment once the active one exceeds this many bytes.
+    /// Checked per flush, so a segment can overshoot by at most one batch.
+    pub max_segment_bytes: u64,
 }
 
 impl Default for AuditSinkConfig {
@@ -403,6 +617,7 @@ impl Default for AuditSinkConfig {
             batch_max: 64,
             flush_interval: Duration::from_millis(5),
             queue_cap: 8_192,
+            max_segment_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -410,12 +625,12 @@ impl Default for AuditSinkConfig {
 /// What the startup recovery pass found and did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// Intact chained entries retained.
+    /// Intact chained entries replayed (the newest segment's — recovery
+    /// never re-reads older segments unless it has to fall back).
     pub recovered: u64,
-    /// Byte offset the log was truncated to (equals the log's length when
-    /// nothing was cut).
+    /// Byte offset appending resumes at within the active segment.
     pub cut_offset: u64,
-    /// Bytes removed past the cut point (torn or unverifiable tail).
+    /// Bytes removed across segments (torn or unverifiable tails).
     pub truncated_bytes: u64,
     /// Complete lines discarded past the cut point (a torn final fragment
     /// without a newline is not counted here).
@@ -423,24 +638,49 @@ pub struct RecoveryReport {
     /// Sequence number of the first entry that failed chain verification,
     /// when the cut was a chain break rather than a torn/unparseable tail.
     pub cut_seq: Option<u64>,
-    /// Entries the persisted chain head promised but the recovered log
-    /// lacks — what the crash provably cost. Bounded by one batch when the
-    /// only fault was a kill (the unsynced tail).
+    /// Entries provably lost: what the persisted chain head promised
+    /// beyond the recovered log, plus entries missing-middle segments
+    /// held (quantified from the neighbors' handoff claims). Bounded by
+    /// one batch when the only fault was a kill (the unsynced tail).
     pub lost: u64,
     /// The chain head appending resumes from.
     pub resumed: ChainHead,
+    /// Segments present after recovery.
+    pub segments: u64,
+    /// Segment id appending resumes into.
+    pub active_segment: u64,
+    /// Segments the pass actually read end-to-end: 1 normally, 2 when a
+    /// torn/empty newest segment forced a one-segment fallback, 0 for a
+    /// fresh log. Gap accounting may read more, but only when segments
+    /// are already missing.
+    pub replayed_segments: u64,
+    /// Segment ids missing between present neighbors (middle gaps; a
+    /// leading gap is legitimate archival, not loss).
+    pub missing_segments: u64,
+    /// Entries those missing segments provably held, per the surviving
+    /// neighbors' handoff claims.
+    pub missing_entries: u64,
+    /// Whether the writer's first flush must open the active segment with
+    /// a fresh handoff record (set after a fallback wiped a torn roll).
+    pub needs_handoff: bool,
 }
 
 /// Final accounting returned by [`AuditSink::finish`].
 #[derive(Debug, Clone)]
 pub struct SinkReport {
-    /// Entries appended *and* fsynced during this run (including lifecycle
-    /// markers).
+    /// Event entries appended *and* fsynced during this run (including
+    /// lifecycle markers; handoff records are counted in `rolls` instead,
+    /// so total chain entries written = `audited + rolls` + any handoff
+    /// re-emitted after a fallback recovery).
     pub audited: u64,
     /// Events dropped because the storage had failed (poisoned sink).
     pub dropped: u64,
-    /// Storage errors observed (append/sync/head-write).
+    /// Storage errors observed (append/sync/head-write/roll).
     pub io_errors: u64,
+    /// Segment rolls performed this run.
+    pub rolls: u64,
+    /// Segments present at the end of the run.
+    pub segments: u64,
     /// What recovery found at startup.
     pub recovery: RecoveryReport,
 }
@@ -450,6 +690,8 @@ struct SinkShared {
     audited: AtomicU64,
     dropped: AtomicU64,
     io_errors: AtomicU64,
+    rolls: AtomicU64,
+    active_segment: AtomicU64,
 }
 
 /// A cheap, cloneable sender side of the sink: shard workers hold one and
@@ -474,12 +716,19 @@ impl AuditSinkHandle {
 // recovery
 // ---------------------------------------------------------------------------
 
-/// Replay the log in `storage`, verify the hash chain from genesis,
-/// truncate whatever tail does not verify, and return the head appending
-/// should resume from.
-pub fn recover(storage: &mut dyn AuditStorage) -> io::Result<RecoveryReport> {
-    let bytes = storage.read_log()?;
+/// Line-by-line scan of one segment's bytes: establish the start head
+/// from the first entry (genesis, or a handoff record's claim), then walk
+/// the chain until it tears or breaks.
+struct SegmentScan {
+    recovered: u64,
+    good_len: usize,
+    cut_seq: Option<u64>,
+    end: ChainHead,
+}
+
+fn scan_segment(bytes: &[u8]) -> SegmentScan {
     let mut head = ChainHead::genesis();
+    let mut started = false;
     let mut recovered = 0u64;
     let mut good_len = 0usize;
     let mut cut_seq = None;
@@ -491,42 +740,275 @@ pub fn recover(storage: &mut dyn AuditStorage) -> io::Result<RecoveryReport> {
         let parsed = std::str::from_utf8(&bytes[pos..pos + nl])
             .ok()
             .and_then(|s| serde_json::from_str::<AuditEntry>(s).ok());
-        match parsed {
-            Some(entry) if head.follows(&entry) => {
-                head = ChainHead::advanced_past(&entry);
-                recovered += 1;
-                pos += nl + 1;
-                good_len = pos;
+        let Some(entry) = parsed else {
+            break; // torn or garbled line
+        };
+        if !started {
+            started = true;
+            if is_handoff(&entry) {
+                match parse_handoff_details(&entry.details) {
+                    // the claim is only *trusted* if the entry itself
+                    // chains onto it, which the follows() check does below
+                    Some((_, claim)) => head = claim,
+                    None => break,
+                }
             }
-            Some(entry) => {
-                // parseable but breaks the chain: corruption or tampering
-                cut_seq = Some(entry.seq);
-                break;
-            }
-            None => break, // torn or garbled line
+            // a non-handoff first entry must start at genesis; anything
+            // else fails the follows() check and cuts at offset 0
+        }
+        if head.follows(&entry) {
+            head = ChainHead::advanced_past(&entry);
+            recovered += 1;
+            pos += nl + 1;
+            good_len = pos;
+        } else {
+            // parseable but breaks the chain: corruption or tampering
+            cut_seq = Some(entry.seq);
+            break;
         }
     }
-    let cut_lines = bytes[good_len..].iter().filter(|&&b| b == b'\n').count() as u64;
-    let truncated_bytes = (bytes.len() - good_len) as u64;
-    if truncated_bytes > 0 {
-        storage.truncate_log(good_len as u64)?;
-        storage.sync_log()?;
+    SegmentScan {
+        recovered,
+        good_len,
+        cut_seq,
+        // nothing verified → the segment pins no chain position; resume
+        // from genesis and let the head sidecar report the loss
+        end: if recovered == 0 {
+            ChainHead::genesis()
+        } else {
+            head
+        },
     }
+}
+
+/// The (self-verified) claim of a segment's opening handoff record, if it
+/// has one.
+fn first_handoff_claim(bytes: &[u8]) -> Option<ChainHead> {
+    let nl = bytes.iter().position(|&b| b == b'\n')?;
+    let entry: AuditEntry = serde_json::from_str(std::str::from_utf8(&bytes[..nl]).ok()?).ok()?;
+    if !is_handoff(&entry) {
+        return None;
+    }
+    let (_, claim) = parse_handoff_details(&entry.details)?;
+    claim.follows(&entry).then_some(claim)
+}
+
+fn count_newlines(bytes: &[u8]) -> u64 {
+    bytes.iter().filter(|&&b| b == b'\n').count() as u64
+}
+
+/// Replay the **newest segment** in `storage`, verify it standalone from
+/// its own handoff record (or genesis), truncate whatever tail does not
+/// verify, and return the head appending should resume from.
+///
+/// Older segments are not re-read — that is what makes restart cost
+/// O(segment) instead of O(history) — except when recovery must fall back
+/// one segment (the newest is empty or its opening handoff tore: the
+/// crash hit the roll itself), or when segments are missing in the middle
+/// and their neighbors are consulted to *quantify* the provable loss.
+pub fn recover(storage: &mut dyn AuditStorage) -> io::Result<RecoveryReport> {
+    let present = storage.list_segments()?;
+    if present.is_empty() {
+        storage.open_segment(0)?;
+        return Ok(RecoveryReport {
+            recovered: 0,
+            cut_offset: 0,
+            truncated_bytes: 0,
+            cut_lines: 0,
+            cut_seq: None,
+            lost: 0,
+            resumed: ChainHead::genesis(),
+            segments: 1,
+            active_segment: 0,
+            replayed_segments: 0,
+            missing_segments: 0,
+            missing_entries: 0,
+            needs_handoff: false,
+        });
+    }
+
+    // Middle gaps: a leading gap is legitimate archival of old segments,
+    // but a hole between present segments is loss. It is *provable* loss:
+    // the segment after the gap opens with a handoff claiming the chain
+    // position at the end of the segment before it, and the last present
+    // segment before the gap replays to its own end — the difference is
+    // exactly the entries the hole swallowed.
+    let mut missing_segments = 0u64;
+    let mut missing_entries = 0u64;
+    for w in present.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b > a + 1 {
+            missing_segments += b - a - 1;
+            let before = scan_segment(&storage.read_segment(a)?);
+            if let Some(claim) = first_handoff_claim(&storage.read_segment(b)?) {
+                missing_entries += claim.next_seq.saturating_sub(before.end.next_seq);
+            }
+        }
+    }
+
+    let lowest = present[0];
+    let active = *present.last().expect("non-empty");
+    let bytes = storage.read_segment(active)?;
+    let scan = scan_segment(&bytes);
+    let mut truncated_bytes = 0u64;
+    let mut cut_lines = 0u64;
+    let mut replayed_segments = 1u64;
+    let mut needs_handoff = false;
+    let (recovered, cut_offset, cut_seq, resumed);
+
+    if scan.good_len == 0 && active > lowest {
+        // The newest segment is empty or its opening handoff tore — the
+        // crash hit the roll itself. Wipe it and fall back one present
+        // segment; the writer re-opens the wiped segment with a fresh
+        // handoff on its first flush.
+        truncated_bytes += bytes.len() as u64;
+        cut_lines += count_newlines(&bytes);
+        if !bytes.is_empty() {
+            storage.truncate_segment(active, 0)?;
+        }
+        let prev = present[present.len() - 2];
+        let pbytes = storage.read_segment(prev)?;
+        let pscan = scan_segment(&pbytes);
+        replayed_segments = 2;
+        needs_handoff = true;
+        if pscan.good_len < pbytes.len() {
+            truncated_bytes += (pbytes.len() - pscan.good_len) as u64;
+            cut_lines += count_newlines(&pbytes[pscan.good_len..]);
+            storage.truncate_segment(prev, pscan.good_len as u64)?;
+        }
+        recovered = pscan.recovered;
+        cut_offset = 0u64;
+        cut_seq = pscan.cut_seq;
+        resumed = pscan.end;
+    } else {
+        if scan.good_len < bytes.len() {
+            truncated_bytes += (bytes.len() - scan.good_len) as u64;
+            cut_lines += count_newlines(&bytes[scan.good_len..]);
+            storage.truncate_segment(active, scan.good_len as u64)?;
+        }
+        recovered = scan.recovered;
+        cut_offset = scan.good_len as u64;
+        cut_seq = scan.cut_seq;
+        resumed = scan.end;
+    }
+    storage.open_segment(active)?;
+
     let persisted: Option<ChainHead> = storage
         .read_head()?
         .and_then(|b| String::from_utf8(b).ok())
         .and_then(|s| serde_json::from_str(&s).ok());
     // The head is written after the batch fsync, so it can only lag the
-    // log, never legitimately lead it — a lead is exactly the loss.
-    let lost = persisted.map_or(0, |p: ChainHead| p.next_seq.saturating_sub(head.next_seq));
+    // log, never legitimately lead it — a lead is exactly the tail loss.
+    let tail_lost = persisted.map_or(0, |p: ChainHead| {
+        p.next_seq.saturating_sub(resumed.next_seq)
+    });
     Ok(RecoveryReport {
         recovered,
-        cut_offset: good_len as u64,
+        cut_offset,
         truncated_bytes,
         cut_lines,
         cut_seq,
-        lost,
-        resumed: head,
+        lost: tail_lost + missing_entries,
+        resumed,
+        segments: present.len() as u64,
+        active_segment: active,
+        replayed_segments,
+        missing_segments,
+        missing_entries,
+        needs_handoff,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// lazy segment verification
+// ---------------------------------------------------------------------------
+
+/// Verify one segment **standalone** against the hash chain: parse its
+/// bytes and check it from its own handoff record (or genesis) via
+/// [`verify_segment_entries`]. The outer `Result` is storage I/O; the
+/// inner one is the verification verdict.
+pub fn verify_segment(
+    storage: &mut dyn AuditStorage,
+    segment: u64,
+) -> io::Result<Result<SegmentCheck, SegmentError>> {
+    let bytes = storage.read_segment(segment)?;
+    Ok(check_segment_bytes(&bytes))
+}
+
+fn check_segment_bytes(bytes: &[u8]) -> Result<SegmentCheck, SegmentError> {
+    let mut entries = Vec::new();
+    let mut pos = 0usize;
+    let mut torn = false;
+    while pos < bytes.len() {
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            torn = true;
+            break;
+        };
+        match std::str::from_utf8(&bytes[pos..pos + nl])
+            .ok()
+            .and_then(|s| serde_json::from_str::<AuditEntry>(s).ok())
+        {
+            Some(e) => {
+                entries.push(e);
+                pos += nl + 1;
+            }
+            None => {
+                torn = true;
+                break;
+            }
+        }
+    }
+    let check = verify_segment_entries(&entries)?;
+    if torn {
+        return Err(SegmentError::TornTail(entries.len()));
+    }
+    Ok(check)
+}
+
+/// Outcome of verifying every present segment standalone plus stitching
+/// adjacent pairs, from [`verify_all_segments`].
+#[derive(Debug, Clone)]
+pub struct SegmentAudit {
+    /// Per-segment verdicts, ascending by segment id.
+    pub segments: Vec<(u64, Result<SegmentCheck, SegmentError>)>,
+    /// Whether every present segment verified, every adjacent pair is
+    /// gap-free, each handoff's claimed segment id matches its file, and
+    /// each segment's start equals its predecessor's end.
+    pub continuous: bool,
+}
+
+/// Verify **every** present segment standalone and check cross-segment
+/// continuity. This is the full-history audit the lazy design defers out
+/// of the restart path; run it offline or on demand.
+pub fn verify_all_segments(storage: &mut dyn AuditStorage) -> io::Result<SegmentAudit> {
+    let present = storage.list_segments()?;
+    let mut segments = Vec::with_capacity(present.len());
+    let mut continuous = true;
+    let mut prev: Option<(u64, ChainHead)> = None;
+    for &id in &present {
+        let verdict = verify_segment(storage, id)?;
+        match &verdict {
+            Ok(check) => {
+                if id > present[0] && check.handoff_segment != Some(id) {
+                    continuous = false; // renamed/transplanted segment file
+                }
+                if let Some((pid, pend)) = prev {
+                    if pid + 1 != id || check.start != pend {
+                        continuous = false;
+                    }
+                }
+                prev = Some((id, check.end));
+            }
+            Err(_) => {
+                continuous = false;
+                prev = None;
+            }
+        }
+        segments.push((id, verdict));
+    }
+    Ok(SegmentAudit {
+        segments,
+        continuous,
     })
 }
 
@@ -563,8 +1045,15 @@ impl AuditSink {
     ) -> io::Result<AuditSink> {
         assert!(config.batch_max > 0, "batch_max must be positive");
         assert!(config.queue_cap > 0, "queue_cap must be positive");
+        assert!(
+            config.max_segment_bytes > 0,
+            "max_segment_bytes must be positive"
+        );
         let recovery = recover(storage.as_mut())?;
         let shared = Arc::new(SinkShared::default());
+        shared
+            .active_segment
+            .store(recovery.active_segment, Ordering::Relaxed);
         let (tx, rx) = sync_channel::<AuditEvent>(config.queue_cap);
         let writer = Writer {
             rx,
@@ -572,6 +1061,10 @@ impl AuditSink {
             head: recovery.resumed,
             batch_max: config.batch_max,
             flush_interval: config.flush_interval,
+            max_segment_bytes: config.max_segment_bytes,
+            active_segment: recovery.active_segment,
+            active_bytes: recovery.cut_offset,
+            needs_handoff: recovery.needs_handoff,
             shared: Arc::clone(&shared),
             recovery: recovery.clone(),
             poisoned: false,
@@ -606,6 +1099,16 @@ impl AuditSink {
         self.shared.audited.load(Ordering::Relaxed)
     }
 
+    /// Segment rolls performed so far this run.
+    pub fn rolls(&self) -> u64 {
+        self.shared.rolls.load(Ordering::Relaxed)
+    }
+
+    /// Segment id currently being appended to.
+    pub fn active_segment(&self) -> u64 {
+        self.shared.active_segment.load(Ordering::Relaxed)
+    }
+
     /// Drop the sender, let the writer drain, stamp the stop marker, and
     /// join. (Outstanding [`AuditSinkHandle`]s keep the writer alive until
     /// they are dropped too.)
@@ -614,10 +1117,13 @@ impl AuditSink {
         if let Some(w) = self.writer.take() {
             let _ = w.join();
         }
+        let rolls = self.shared.rolls.load(Ordering::Relaxed);
         SinkReport {
             audited: self.shared.audited.load(Ordering::Relaxed),
             dropped: self.shared.dropped.load(Ordering::Relaxed),
             io_errors: self.shared.io_errors.load(Ordering::Relaxed),
+            rolls,
+            segments: self.recovery.segments + rolls,
             recovery: self.recovery.clone(),
         }
     }
@@ -638,6 +1144,13 @@ struct Writer {
     head: ChainHead,
     batch_max: usize,
     flush_interval: Duration,
+    max_segment_bytes: u64,
+    active_segment: u64,
+    active_bytes: u64,
+    /// The active segment is freshly opened and its first entry must be a
+    /// handoff record restating the current head, so the segment verifies
+    /// standalone. Set by a roll, or by recovery after wiping a torn roll.
+    needs_handoff: bool,
     shared: Arc<SinkShared>,
     recovery: RecoveryReport,
     poisoned: bool,
@@ -702,9 +1215,12 @@ impl Writer {
     }
 
     /// Turn the batch into chained JSONL lines, append them in ONE storage
-    /// call, fsync, then persist the advanced head. A failure poisons the
-    /// sink: later events are counted dropped instead of risking a forked
-    /// chain on storage that already tore.
+    /// call, fsync, then persist the advanced head. When the active
+    /// segment is over budget, roll to a fresh one first and open it with
+    /// a handoff record (so a flush never splits across segments and every
+    /// segment's first entry carries its resume point). A failure poisons
+    /// the sink: later events are counted dropped instead of risking a
+    /// forked chain on storage that already tore.
     fn flush(&mut self, batch: &mut Vec<AuditEvent>) {
         if batch.is_empty() {
             return;
@@ -715,8 +1231,39 @@ impl Writer {
             batch.clear();
             return;
         }
+        if self.active_bytes > self.max_segment_bytes && !self.needs_handoff {
+            match self.storage.open_segment(self.active_segment + 1) {
+                Ok(()) => {
+                    self.active_segment += 1;
+                    self.active_bytes = 0;
+                    self.needs_handoff = true;
+                    self.shared.rolls.fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .active_segment
+                        .store(self.active_segment, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // soft failure: keep appending to the oversized
+                    // current segment rather than lose evidence
+                    self.shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         let mut head = self.head;
-        let mut buf = Vec::with_capacity(batch.len() * 128);
+        let mut buf = Vec::with_capacity(batch.len() * 128 + 192);
+        let mut handoff_written = false;
+        if self.needs_handoff {
+            let claim = head;
+            let entry = head.extend(
+                "fact-serve",
+                SEGMENT_HANDOFF_ACTION,
+                claim.handoff_details(self.active_segment),
+            );
+            let line = serde_json::to_string(&entry).expect("audit entry serializes");
+            buf.extend_from_slice(line.as_bytes());
+            buf.push(b'\n');
+            handoff_written = true;
+        }
         for ev in batch.drain(..) {
             let (actor, action, details) = ev.into_parts();
             let entry = head.extend(actor, action, details);
@@ -731,6 +1278,10 @@ impl Writer {
         match written {
             Ok(()) => {
                 self.head = head;
+                self.active_bytes += buf.len() as u64;
+                if handoff_written {
+                    self.needs_handoff = false;
+                }
                 self.shared.audited.fetch_add(n, Ordering::Relaxed);
                 // the head sidecar is advisory (loss *reporting*); its
                 // failure must not stop the log itself
@@ -787,6 +1338,21 @@ mod tests {
             &AuditSinkConfig {
                 batch_max,
                 flush_interval: Duration::from_millis(1),
+                ..AuditSinkConfig::default()
+            },
+            Box::new(storage.clone()),
+        )
+        .unwrap()
+    }
+
+    /// `max_segment_bytes = 1` makes every flush after the first roll to a
+    /// fresh segment — the deterministic way to exercise rotation.
+    fn open_mem_rotating(storage: &MemStorage, batch_max: usize) -> AuditSink {
+        AuditSink::open_with_storage(
+            &AuditSinkConfig {
+                batch_max,
+                flush_interval: Duration::from_millis(1),
+                max_segment_bytes: 1,
                 ..AuditSinkConfig::default()
             },
             Box::new(storage.clone()),
@@ -882,7 +1448,7 @@ mod tests {
         let full = storage.log_bytes();
         let cut = full.len() - 17;
         let mut s = storage.clone();
-        s.truncate_log(cut as u64).unwrap();
+        s.truncate_segment(0, cut as u64).unwrap();
 
         let sink2 = open_mem(&storage, 4);
         let rec = sink2.recovery().clone();
@@ -914,7 +1480,8 @@ mod tests {
             .expect("entry for key 3 present");
         bytes[target + 4] = b'9';
         let mut s = storage.clone();
-        s.truncate_log(0).unwrap();
+        s.open_segment(0).unwrap();
+        s.truncate_segment(0, 0).unwrap();
         s.append_log(&bytes).unwrap();
 
         let sink2 = open_mem(&storage, 4);
@@ -961,6 +1528,116 @@ mod tests {
         let entries = parse_log(&std::fs::read(&path).unwrap());
         assert_eq!(entries.len(), 9);
         assert_eq!(verify_chain_from(ChainHead::genesis(), &entries), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writer_rolls_segments_and_each_verifies_standalone() {
+        let storage = MemStorage::new();
+        let sink = open_mem_rotating(&storage, 2);
+        let h = sink.handle();
+        for k in 0..10 {
+            h.record(flagged(0, k));
+        }
+        drop(h);
+        let report = sink.finish();
+        assert_eq!(report.audited, 12); // handoffs are counted in rolls
+        assert!(report.rolls >= 2, "{report:?}");
+        assert_eq!(report.segments, report.rolls + 1);
+        assert_eq!(storage.segment_ids().len() as u64, report.segments);
+
+        // every segment verifies standalone and the set stitches
+        let mut probe: Box<dyn AuditStorage> = Box::new(storage.clone());
+        let audit = verify_all_segments(probe.as_mut()).unwrap();
+        assert!(audit.continuous, "{audit:?}");
+        assert_eq!(audit.segments.len() as u64, report.segments);
+        for (id, verdict) in &audit.segments {
+            let check = verdict.as_ref().unwrap_or_else(|e| panic!("seg {id}: {e}"));
+            if *id == 0 {
+                assert_eq!(check.handoff_segment, None);
+            } else {
+                assert_eq!(check.handoff_segment, Some(*id));
+            }
+        }
+        // the concatenation is still one chain from genesis
+        let entries = parse_log(&storage.log_bytes());
+        assert_eq!(entries.len() as u64, report.audited + report.rolls);
+        assert_eq!(verify_chain_from(ChainHead::genesis(), &entries), None);
+    }
+
+    #[test]
+    fn recovery_replays_only_the_newest_segment() {
+        let storage = MemStorage::new();
+        let sink = open_mem_rotating(&storage, 2);
+        let h = sink.handle();
+        for k in 0..10 {
+            h.record(flagged(0, k));
+        }
+        drop(h);
+        let report = sink.finish();
+        let total = report.audited + report.rolls;
+        let newest = *storage.segment_ids().last().unwrap();
+        let newest_entries = parse_log(&storage.segment_bytes(newest).unwrap()).len() as u64;
+
+        let sink2 = open_mem_rotating(&storage, 2);
+        let rec = sink2.recovery().clone();
+        assert_eq!(rec.replayed_segments, 1, "{rec:?}");
+        assert_eq!(rec.recovered, newest_entries);
+        assert!(rec.recovered < total, "recovery must not replay history");
+        assert_eq!(rec.lost, 0);
+        assert_eq!(rec.active_segment, newest);
+        assert!(!rec.needs_handoff);
+        let h2 = sink2.handle();
+        for k in 10..13 {
+            h2.record(flagged(1, k));
+        }
+        drop(h2);
+        sink2.finish();
+        // appends resumed the same chain across the restart
+        let entries = parse_log(&storage.log_bytes());
+        assert_eq!(verify_chain_from(ChainHead::genesis(), &entries), None);
+    }
+
+    #[test]
+    fn file_storage_rotates_lists_and_reopens() {
+        let dir = std::env::temp_dir().join(format!(
+            "fact-audit-rotate-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let path = dir.join("audit.jsonl");
+        let cfg = AuditSinkConfig {
+            path: path.clone(),
+            batch_max: 2,
+            flush_interval: Duration::from_millis(1),
+            max_segment_bytes: 1,
+            ..AuditSinkConfig::default()
+        };
+        let sink = AuditSink::open(&cfg).unwrap();
+        let h = sink.handle();
+        for k in 0..8 {
+            h.record(flagged(0, k));
+        }
+        drop(h);
+        let report = sink.finish();
+        assert!(report.rolls >= 2, "{report:?}");
+        assert!(path.exists());
+        assert!(dir.join("audit.jsonl.000001.jsonl").exists());
+
+        let mut fs: Box<dyn AuditStorage> = Box::new(FileStorage::open(&path).unwrap());
+        let listed = fs.list_segments().unwrap();
+        assert_eq!(listed.len() as u64, report.segments);
+        assert_eq!(listed[0], 0);
+        let audit = verify_all_segments(fs.as_mut()).unwrap();
+        assert!(audit.continuous, "{audit:?}");
+
+        let sink2 = AuditSink::open(&cfg).unwrap();
+        assert_eq!(sink2.recovery().replayed_segments, 1);
+        assert_eq!(sink2.recovery().lost, 0);
+        sink2.finish();
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -29,6 +29,13 @@
 //! | negative (recent error)| `≥ negative_ttl`  | drop entry, retry upstream (miss)        | `misses`        |
 //! | none                   | —                 | claim or join an in-flight upstream call | `misses`        |
 //!
+//! Ahead of the table, one check applies to *every* entry: an entry
+//! stamped before the last [`invalidate`](CachedFeatureSource::invalidate)
+//! call is stale regardless of TTL — it is dropped on access, counted in
+//! `CacheStats::invalidated`, and the key treated as a miss. This is the
+//! O(1) rollout hook: bumping a generation counter invalidates every
+//! resident row without touching a single stripe lock.
+//!
 //! A batch with any fresh **negative** key fails with the cached error
 //! before any upstream call is issued: during an outage the store sees at
 //! most one probe per key per `negative_ttl`, and recovery is automatic —
@@ -167,6 +174,9 @@ enum Cached {
 struct Entry {
     value: Cached,
     expires_at: Instant,
+    /// The cache generation this entry was fetched under; entries from an
+    /// older generation are stale regardless of TTL and are dropped lazily.
+    generation: u64,
 }
 
 /// One single-flight ticket: the leader completes it once its upstream
@@ -248,6 +258,9 @@ pub struct CachedFeatureSource {
     config: CacheConfig,
     clock: Arc<dyn Clock>,
     stats: Arc<CacheStats>,
+    /// Bumped by [`invalidate`](CachedFeatureSource::invalidate); entries
+    /// stamped with an older value are dropped on their next access.
+    generation: AtomicU64,
 }
 
 impl CachedFeatureSource {
@@ -289,6 +302,7 @@ impl CachedFeatureSource {
             config,
             clock,
             stats,
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -321,6 +335,25 @@ impl CachedFeatureSource {
         }
     }
 
+    /// Invalidate every resident entry **without** taking the stripe locks:
+    /// bumps the generation counter, so entries stamped before the bump are
+    /// dropped lazily the next time they are looked at (and counted in
+    /// [`CacheStats::invalidated`]). O(1), safe to call from any thread mid-
+    /// traffic — the hook a model or schema rollout uses when cached rows
+    /// must not outlive the rollout. Unlike [`clear`](Self::clear) it also
+    /// stales entries a concurrent batch is *about to insert*: inserts are
+    /// stamped with the generation read at batch start, so a fetch that
+    /// raced the invalidation publishes rows that are already stale.
+    pub fn invalidate(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The current cache generation (bumps once per
+    /// [`invalidate`](Self::invalidate) call).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
     fn stripe(&self, key: u64) -> &Mutex<Stripe> {
         // splitmix64-style scramble so sequential keys spread over stripes
         let mut h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -328,10 +361,16 @@ impl CachedFeatureSource {
         &self.stripes[(h % self.stripes.len() as u64) as usize]
     }
 
-    /// Classify `key` against its stripe, dropping an expired entry.
-    fn lookup(&self, key: u64, now: Instant) -> Lookup {
+    /// Classify `key` against its stripe, dropping an entry that is expired
+    /// or stamped before generation `gen` (invalidated).
+    fn lookup(&self, key: u64, now: Instant, gen: u64) -> Lookup {
         let mut s = self.stripe(key).lock().unwrap_or_else(|e| e.into_inner());
         match s.map.get(&key) {
+            Some(e) if e.generation < gen => {
+                s.map.remove(&key);
+                self.stats.invalidated.fetch_add(1, Ordering::Relaxed);
+                Lookup::Miss
+            }
             Some(e) if e.expires_at > now => match &e.value {
                 Cached::Row(row) => Lookup::Hit(row.clone()),
                 Cached::Negative(reason) => Lookup::NegativeHit(reason.clone()),
@@ -346,7 +385,7 @@ impl CachedFeatureSource {
 
     /// Insert under the stripe lock, evicting the entry closest to expiry
     /// when the stripe is at capacity.
-    fn insert(&self, key: u64, value: Cached, ttl: Duration, now: Instant) {
+    fn insert(&self, key: u64, value: Cached, ttl: Duration, now: Instant, gen: u64) {
         let cap = self.config.capacity_per_stripe.max(1);
         let mut s = self.stripe(key).lock().unwrap_or_else(|e| e.into_inner());
         if s.map.len() >= cap && !s.map.contains_key(&key) {
@@ -372,6 +411,7 @@ impl CachedFeatureSource {
             Entry {
                 value,
                 expires_at: now + ttl,
+                generation: gen,
             },
         );
     }
@@ -384,6 +424,7 @@ impl CachedFeatureSource {
         keys: &[u64],
         inline: &[Vec<f64>],
         now: Instant,
+        gen: u64,
         resolved: &mut HashMap<u64, Vec<f64>>,
     ) -> Option<FactError> {
         self.stats.upstream_batches.fetch_add(1, Ordering::Relaxed);
@@ -391,7 +432,13 @@ impl CachedFeatureSource {
             Ok(m) if m.rows() == keys.len() => {
                 for (i, &k) in keys.iter().enumerate() {
                     let row = m.row(i).to_vec();
-                    self.insert(k, Cached::Row(row.clone()), self.config.positive_ttl, now);
+                    self.insert(
+                        k,
+                        Cached::Row(row.clone()),
+                        self.config.positive_ttl,
+                        now,
+                        gen,
+                    );
                     resolved.insert(k, row);
                 }
                 None
@@ -409,6 +456,7 @@ impl CachedFeatureSource {
                         Cached::Negative(reason.clone()),
                         self.config.negative_ttl,
                         now,
+                        gen,
                     );
                 }
                 Some(err)
@@ -421,6 +469,7 @@ impl CachedFeatureSource {
                         Cached::Negative(reason.clone()),
                         self.config.negative_ttl,
                         now,
+                        gen,
                     );
                 }
                 Some(err)
@@ -450,6 +499,9 @@ impl FeatureSource for CachedFeatureSource {
             });
         }
         let now = self.clock.now();
+        // One generation per batch: entries this batch inserts carry it, so
+        // an invalidation that lands mid-batch stales them retroactively.
+        let gen = self.generation.load(Ordering::SeqCst);
 
         // Deduplicate keys, remembering each key's first row index so the
         // upstream sees one (key, inline) pair per distinct key.
@@ -466,7 +518,7 @@ impl FeatureSource for CachedFeatureSource {
         let mut resolved: HashMap<u64, Vec<f64>> = HashMap::with_capacity(uniq.len());
         let mut missing: Vec<u64> = Vec::new();
         for &k in &uniq {
-            match self.lookup(k, now) {
+            match self.lookup(k, now, gen) {
                 Lookup::Hit(row) => {
                     self.stats.hits.fetch_add(1, Ordering::Relaxed);
                     resolved.insert(k, row);
@@ -490,7 +542,10 @@ impl FeatureSource for CachedFeatureSource {
             let mut s = self.stripe(k).lock().unwrap_or_else(|e| e.into_inner());
             // the key may have landed while we classified other stripes
             if let Some(e) = s.map.get(&k) {
-                if e.expires_at > now {
+                if e.generation < gen {
+                    s.map.remove(&k);
+                    self.stats.invalidated.fetch_add(1, Ordering::Relaxed);
+                } else if e.expires_at > now {
                     match &e.value {
                         Cached::Row(row) => {
                             resolved.insert(k, row.clone());
@@ -526,7 +581,8 @@ impl FeatureSource for CachedFeatureSource {
                 .iter()
                 .map(|k| inline[first_idx[k]].clone())
                 .collect();
-            upstream_err = self.fetch_and_publish(&claimed, &claimed_inline, now, &mut resolved);
+            upstream_err =
+                self.fetch_and_publish(&claimed, &claimed_inline, now, gen, &mut resolved);
             self.release_claims(&claimed);
         }
         if let Some(err) = upstream_err {
@@ -539,7 +595,7 @@ impl FeatureSource for CachedFeatureSource {
         let mut retry: Vec<u64> = Vec::new();
         for (k, flight) in joined {
             flight.wait(FLIGHT_TIMEOUT);
-            match self.lookup(k, now) {
+            match self.lookup(k, now, gen) {
                 Lookup::Hit(row) => {
                     resolved.insert(k, row);
                 }
@@ -553,7 +609,9 @@ impl FeatureSource for CachedFeatureSource {
         if !retry.is_empty() {
             let retry_inline: Vec<Vec<f64>> =
                 retry.iter().map(|k| inline[first_idx[k]].clone()).collect();
-            if let Some(err) = self.fetch_and_publish(&retry, &retry_inline, now, &mut resolved) {
+            if let Some(err) =
+                self.fetch_and_publish(&retry, &retry_inline, now, gen, &mut resolved)
+            {
                 return Err(err);
             }
         }
@@ -817,6 +875,96 @@ mod tests {
             "single-flight must collapse the stampede"
         );
         assert!(cache.stats().snapshot().coalesced >= 1);
+    }
+
+    #[test]
+    fn invalidate_drops_entries_lazily_and_counts_them() {
+        let upstream = Arc::new(KeyedSource::new());
+        let cache = CachedFeatureSource::new(Arc::clone(&upstream) as Arc<_>, small_config());
+        let keys = [1u64, 2, 3];
+        cache.fetch_batch(&keys, &inline_for(&keys)).unwrap();
+        assert_eq!(upstream.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.generation(), 0);
+
+        // invalidate is O(1): entries stay resident until touched
+        cache.invalidate();
+        assert_eq!(cache.generation(), 1);
+        assert_eq!(cache.len(), 3, "drop is lazy, not eager");
+        assert_eq!(cache.stats().snapshot().invalidated, 0);
+
+        // the next batch must refetch — TTL-fresh entries are still stale
+        let m = cache.fetch_batch(&keys, &inline_for(&keys)).unwrap();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(upstream.calls.load(Ordering::SeqCst), 2, "refetched");
+        let snap = cache.stats().snapshot();
+        assert_eq!(snap.invalidated, 3);
+        assert_eq!(snap.hits, 0, "nothing survived the invalidation");
+
+        // freshly restamped entries serve normally again
+        cache.fetch_batch(&keys, &inline_for(&keys)).unwrap();
+        assert_eq!(upstream.calls.load(Ordering::SeqCst), 2);
+        assert_eq!(cache.stats().snapshot().hits, 3);
+        assert_eq!(cache.stats().snapshot().invalidated, 3);
+    }
+
+    /// An upstream whose *first* fetch parks on a two-phase gate, so a test
+    /// can interleave an action between a batch's generation read (which
+    /// happens before the upstream call) and its publish (after).
+    struct GatedSource {
+        inner: KeyedSource,
+        entered: Arc<Barrier>,
+        release: Arc<Barrier>,
+        first: std::sync::atomic::AtomicBool,
+    }
+
+    impl FeatureSource for GatedSource {
+        fn fetch_batch(&self, keys: &[u64], inline: &[Vec<f64>]) -> Result<Matrix> {
+            if self.first.swap(false, Ordering::SeqCst) {
+                self.entered.wait();
+                self.release.wait();
+            }
+            self.inner.fetch_batch(keys, inline)
+        }
+    }
+
+    #[test]
+    fn invalidate_stales_rows_inserted_by_an_in_flight_batch() {
+        // A batch that *started* before the invalidation must not publish
+        // rows that survive it: inserts carry the generation read at batch
+        // start, so the racing batch's rows land already-stale.
+        let entered = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+        let upstream = Arc::new(GatedSource {
+            inner: KeyedSource::new(),
+            entered: Arc::clone(&entered),
+            release: Arc::clone(&release),
+            first: std::sync::atomic::AtomicBool::new(true),
+        });
+        let cache = Arc::new(CachedFeatureSource::new(
+            Arc::clone(&upstream) as Arc<_>,
+            small_config(),
+        ));
+        let worker = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.fetch_batch(&[77], &inline_for(&[77])).unwrap();
+            })
+        };
+        // Once `entered` trips, the worker has read generation 0 and is
+        // parked inside its upstream call; invalidate, then let it publish.
+        entered.wait();
+        cache.invalidate();
+        release.wait();
+        worker.join().unwrap();
+        assert_eq!(cache.len(), 1, "the stale row was still published");
+        // the published row is from generation 0 < 1 → dropped on access
+        cache.fetch_batch(&[77], &inline_for(&[77])).unwrap();
+        assert_eq!(
+            upstream.inner.calls.load(Ordering::SeqCst),
+            2,
+            "stale published row must be refetched"
+        );
+        assert_eq!(cache.stats().snapshot().invalidated, 1);
     }
 
     #[test]

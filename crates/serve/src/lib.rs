@@ -87,8 +87,8 @@ pub mod service;
 pub mod source;
 
 pub use audit_sink::{
-    AuditEvent, AuditSink, AuditSinkConfig, AuditSinkHandle, AuditStorage, FileStorage, MemStorage,
-    RecoveryReport, SinkReport,
+    verify_all_segments, verify_segment, AuditEvent, AuditSink, AuditSinkConfig, AuditSinkHandle,
+    AuditStorage, FileStorage, MemStorage, RecoveryReport, SegmentAudit, SinkReport,
 };
 pub use cache::{CacheConfig, CachedFeatureSource, Clock, ManualClock, SystemClock};
 pub use guards::{AlertKind, DegradePolicy, GuardConfig, ServiceAlert};
@@ -693,6 +693,59 @@ mod tests {
         assert_eq!(report.cache.hits, snap.cache.hits);
         let text = report.render_text();
         assert!(text.contains("cache hits="), "{text}");
+    }
+
+    #[test]
+    fn invalidate_features_forces_a_refetch_and_counts_stale_drops() {
+        struct KeyedSource {
+            fetches: AtomicU64,
+        }
+        impl FeatureSource for KeyedSource {
+            fn fetch_batch(&self, keys: &[u64], _inline: &[Vec<f64>]) -> Result<Matrix> {
+                self.fetches.fetch_add(1, Ordering::Relaxed);
+                let rows: Vec<Vec<f64>> = keys
+                    .iter()
+                    .map(|&k| vec![(k % 100) as f64 / 100.0])
+                    .collect();
+                Matrix::from_rows(&rows)
+            }
+        }
+        let source = Arc::new(KeyedSource {
+            fetches: AtomicU64::new(0),
+        });
+        let service = DecisionService::start_with_source(
+            Arc::new(StubModel::instant()),
+            ServeConfig {
+                shards: 1,
+                cache: Some(CacheConfig::default()),
+                ..base_config()
+            },
+            Arc::clone(&source) as Arc<dyn FeatureSource>,
+        )
+        .unwrap();
+        for user in 0..4u64 {
+            service.decide(request(0.9, user)).unwrap();
+            service.decide(request(0.9, user)).unwrap();
+        }
+        let warm_fetches = source.fetches.load(Ordering::Relaxed);
+        assert!(service.metrics().cache.hits >= 4, "cache is warm");
+
+        // the rollout hook: every cached row is stale from here on
+        assert!(service.invalidate_features(), "a cache is configured");
+        for user in 0..4u64 {
+            service.decide(request(0.9, user)).unwrap();
+        }
+        assert!(
+            source.fetches.load(Ordering::Relaxed) > warm_fetches,
+            "post-invalidation decisions must refetch upstream"
+        );
+        let report = service.shutdown();
+        assert_eq!(report.cache.invalidated, 4, "{:?}", report.cache);
+
+        // without a cache the hook reports there was nothing to invalidate
+        let plain = DecisionService::start(Arc::new(StubModel::instant()), base_config()).unwrap();
+        assert!(!plain.invalidate_features());
+        plain.shutdown();
     }
 
     #[test]

@@ -158,6 +158,10 @@ pub struct CacheStats {
     pub coalesced: AtomicU64,
     /// Batched calls actually forwarded upstream.
     pub upstream_batches: AtomicU64,
+    /// Entries dropped because they were stamped before the last
+    /// [`invalidate`](crate::cache::CachedFeatureSource::invalidate) —
+    /// stale-generation rows lazily discarded on access.
+    pub invalidated: AtomicU64,
 }
 
 impl CacheStats {
@@ -170,6 +174,7 @@ impl CacheStats {
             evictions: self.evictions.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             upstream_batches: self.upstream_batches.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
         }
     }
 }
@@ -189,6 +194,8 @@ pub struct CacheSnapshot {
     pub coalesced: u64,
     /// Batched calls forwarded upstream.
     pub upstream_batches: u64,
+    /// Stale-generation entries dropped after an invalidation.
+    pub invalidated: u64,
 }
 
 impl CacheSnapshot {
@@ -386,13 +393,14 @@ impl MetricsSnapshot {
         ));
         out.push_str(&format!(
             "cache hits={} misses={} neg_hits={} evictions={} coalesced={} upstream={} \
-             hit_rate={:.3}\n",
+             invalidated={} hit_rate={:.3}\n",
             self.cache.hits,
             self.cache.misses,
             self.cache.negative_hits,
             self.cache.evictions,
             self.cache.coalesced,
             self.cache.upstream_batches,
+            self.cache.invalidated,
             self.cache.hit_rate(),
         ));
         out

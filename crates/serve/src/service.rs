@@ -239,8 +239,13 @@ pub struct ServiceReport {
     pub audited: u64,
     /// Entries a previous run's crash provably cost, as found by the
     /// sink's startup recovery pass (persisted chain head vs recovered
-    /// log). Zero when no sink is configured.
+    /// log, plus any missing-middle segments quantified from neighboring
+    /// handoff claims). Zero when no sink is configured.
     pub lost_on_recovery: u64,
+    /// Audit-log segments present at shutdown (the sink rolls to a new
+    /// segment when the active one exceeds the configured size). Zero when
+    /// no sink is configured.
+    pub audit_segments: u64,
     /// Feature-cache counters at shutdown (hits, misses, negative hits,
     /// evictions); all zero when no cache is configured.
     pub cache: CacheSnapshot,
@@ -253,7 +258,7 @@ impl ServiceReport {
     pub fn render_text(&self) -> String {
         let mut out = format!(
             "served={} shed={} timed_out={} rejected={} flagged={} alerts={} eps_spent={:.4} \
-             audited={} lost_on_recovery={}\n",
+             audited={} lost_on_recovery={} audit_segments={}\n",
             self.decisions_served,
             self.shed,
             self.timed_out,
@@ -263,6 +268,7 @@ impl ServiceReport {
             self.epsilon_spent,
             self.audited,
             self.lost_on_recovery,
+            self.audit_segments,
         );
         out.push_str(&format!(
             "cache hits={} misses={} neg_hits={} evictions={} hit_rate={:.3}\n",
@@ -305,6 +311,9 @@ struct Inner {
     sink: Mutex<Option<AuditSink>>,
     /// What the sink's startup recovery pass found, if a sink is on.
     audit_recovery: Option<RecoveryReport>,
+    /// The cache decorating the feature source, retained so rollouts can
+    /// invalidate it through the service; `None` when caching is off.
+    cache: Option<Arc<CachedFeatureSource>>,
 }
 
 /// A cheaply-cloneable handle to the serving fabric. All clones address the
@@ -389,13 +398,16 @@ impl DecisionService {
         // The cache decorates whatever source the caller supplied, sharing
         // its counters with the registry so snapshots and the final report
         // see hits/misses/negative hits/evictions.
-        let source: Arc<dyn FeatureSource> = match &config.cache {
-            Some(cache_cfg) => Arc::new(CachedFeatureSource::with_clock_and_stats(
-                source,
+        let cache: Option<Arc<CachedFeatureSource>> = config.cache.as_ref().map(|cache_cfg| {
+            Arc::new(CachedFeatureSource::with_clock_and_stats(
+                Arc::clone(&source),
                 cache_cfg.clone(),
                 Arc::new(SystemClock),
                 Arc::clone(&metrics.cache),
-            )),
+            ))
+        });
+        let source: Arc<dyn FeatureSource> = match &cache {
+            Some(c) => Arc::clone(c) as Arc<dyn FeatureSource>,
             None => source,
         };
         let (alert_tx, alert_rx) = channel();
@@ -449,6 +461,7 @@ impl DecisionService {
                 report: Mutex::new(None),
                 audit_recovery: sink.as_ref().map(|s| s.recovery().clone()),
                 sink: Mutex::new(sink),
+                cache,
             }),
         })
     }
@@ -546,6 +559,22 @@ impl DecisionService {
         self.inner.audit_recovery.as_ref()
     }
 
+    /// Invalidate every cached feature row — the hook a model or schema
+    /// rollout calls so decisions stop being served from pre-rollout
+    /// features. Bumps the cache's generation counter; stale entries are
+    /// dropped lazily on their next lookup (no stop-the-world sweep) and
+    /// counted in [`CacheStats`](crate::CacheStats) `invalidated`. Returns
+    /// `false` when no cache is configured (nothing to invalidate).
+    pub fn invalidate_features(&self) -> bool {
+        match &self.inner.cache {
+            Some(cache) => {
+                cache.invalidate();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Stop admitting requests, let every shard drain its queue, and join
     /// the workers. Every request accepted before shutdown is answered.
     /// Idempotent: later calls (from this or any clone) return the same
@@ -592,6 +621,7 @@ impl DecisionService {
             epsilon_spent: shards.iter().map(|s| s.epsilon_spent).sum(),
             audited: sink_report.as_ref().map_or(0, |r| r.audited),
             lost_on_recovery: sink_report.as_ref().map_or(0, |r| r.recovery.lost),
+            audit_segments: sink_report.as_ref().map_or(0, |r| r.segments),
             cache: snap.cache.clone(),
             shards,
         };

@@ -157,6 +157,140 @@ pub fn verify_chain_from(from: ChainHead, entries: &[AuditEntry]) -> Option<usiz
     None
 }
 
+// ---------------------------------------------------------------------------
+// segment handoff records
+// ---------------------------------------------------------------------------
+
+/// The `action` every segment-handoff record carries. A rotated log writes
+/// one of these as the first entry of each new segment: a normal chained
+/// entry whose `details` restate the head it continues, so the segment
+/// carries its own resume point and verifies standalone.
+pub const SEGMENT_HANDOFF_ACTION: &str = "segment_handoff";
+
+impl ChainHead {
+    /// The canonical `details` payload of a handoff record that opens
+    /// `segment` by continuing this head. The payload restates the head
+    /// (`prev_seq`, `prev_hash`) so a verifier holding only the segment's
+    /// bytes knows where the chain resumes — and because the details are
+    /// covered by the entry's own digest, the claim is tamper-evident.
+    pub fn handoff_details(&self, segment: u64) -> String {
+        format!(
+            "segment={segment} prev_seq={} prev_hash={:016x}",
+            self.next_seq, self.hash
+        )
+    }
+}
+
+/// Whether `entry` is a segment-handoff record (by action name; its claim
+/// still has to check out via [`verify_segment_entries`]).
+pub fn is_handoff(entry: &AuditEntry) -> bool {
+    entry.action == SEGMENT_HANDOFF_ACTION
+}
+
+/// Parse a handoff `details` payload back into `(segment, claimed head)`.
+/// Returns `None` when the payload is not in canonical form.
+pub fn parse_handoff_details(details: &str) -> Option<(u64, ChainHead)> {
+    let mut segment = None;
+    let mut prev_seq = None;
+    let mut prev_hash = None;
+    for field in details.split_whitespace() {
+        let (key, value) = field.split_once('=')?;
+        match key {
+            "segment" => segment = Some(value.parse::<u64>().ok()?),
+            "prev_seq" => prev_seq = Some(value.parse::<u64>().ok()?),
+            "prev_hash" => prev_hash = Some(u64::from_str_radix(value, 16).ok()?),
+            _ => return None,
+        }
+    }
+    Some((
+        segment?,
+        ChainHead {
+            next_seq: prev_seq?,
+            hash: prev_hash?,
+        },
+    ))
+}
+
+/// What standalone verification of one segment established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentCheck {
+    /// The head the segment continues from: genesis for a segment that
+    /// opens at sequence 0, or the handoff record's (verified) claim.
+    pub start: ChainHead,
+    /// The head after the segment's last entry — what the next segment's
+    /// handoff must claim for the pair to be continuous.
+    pub end: ChainHead,
+    /// Entries the segment holds (including the handoff record itself).
+    pub entries: u64,
+    /// Segment id the handoff record claims to open; `None` for the
+    /// genesis segment.
+    pub handoff_segment: Option<u64>,
+}
+
+/// Why a segment failed standalone verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentError {
+    /// The segment holds no entries at all.
+    Empty,
+    /// The first entry neither starts at genesis nor is a parseable
+    /// handoff record — the segment carries no resume point.
+    BadStart,
+    /// The first entry is a handoff record whose claimed head does not
+    /// match the entry's own chain position (or its digest is wrong).
+    HandoffMismatch,
+    /// The chain breaks at this entry index (0-based into the segment).
+    ChainBreak(usize),
+    /// The segment's byte tail did not parse into entries (torn write);
+    /// the value is the index the intact prefix ends at.
+    TornTail(usize),
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::Empty => write!(f, "segment is empty"),
+            SegmentError::BadStart => {
+                write!(f, "first entry is neither genesis nor a handoff record")
+            }
+            SegmentError::HandoffMismatch => {
+                write!(f, "handoff claim does not match the entry's chain position")
+            }
+            SegmentError::ChainBreak(i) => write!(f, "chain breaks at entry {i}"),
+            SegmentError::TornTail(i) => write!(f, "torn bytes after entry {i}"),
+        }
+    }
+}
+
+/// Verify one segment **standalone**: establish its start head from its
+/// own first entry (genesis, or a handoff record whose claim must match
+/// the entry's chain position), then verify every entry from there. No
+/// other segment is needed — this is what makes a rotated log's segments
+/// independently checkable and recovery O(newest segment).
+pub fn verify_segment_entries(entries: &[AuditEntry]) -> Result<SegmentCheck, SegmentError> {
+    let first = entries.first().ok_or(SegmentError::Empty)?;
+    let (start, handoff_segment) = if is_handoff(first) {
+        let (segment, claim) =
+            parse_handoff_details(&first.details).ok_or(SegmentError::BadStart)?;
+        if !claim.follows(first) {
+            return Err(SegmentError::HandoffMismatch);
+        }
+        (claim, Some(segment))
+    } else if first.seq == 0 && first.prev_hash == 0 {
+        (ChainHead::genesis(), None)
+    } else {
+        return Err(SegmentError::BadStart);
+    };
+    if let Some(i) = verify_chain_from(start, entries) {
+        return Err(SegmentError::ChainBreak(i));
+    }
+    Ok(SegmentCheck {
+        start,
+        end: ChainHead::advanced_past(entries.last().expect("non-empty")),
+        entries: entries.len() as u64,
+        handoff_segment,
+    })
+}
+
 impl AuditLog {
     /// An empty log.
     pub fn new() -> Self {
@@ -314,6 +448,106 @@ mod tests {
         assert_eq!(verify_chain_from(mid, b), None);
         // the wrong resume point is rejected at the first entry
         assert_eq!(verify_chain_from(ChainHead::genesis(), b), Some(0));
+    }
+
+    // ----- segment handoff records -----
+
+    /// Split a chain into two "segments", opening the second with a
+    /// handoff record, the way a rotating writer does.
+    fn segmented_chain() -> (Vec<AuditEntry>, Vec<AuditEntry>) {
+        let mut head = ChainHead::genesis();
+        let seg0: Vec<AuditEntry> = (0..4)
+            .map(|i| head.extend("writer", "append", format!("n={i}")))
+            .collect();
+        let claim = head;
+        let mut seg1 =
+            vec![head.extend("writer", SEGMENT_HANDOFF_ACTION, claim.handoff_details(1))];
+        seg1.extend((4..7).map(|i| head.extend("writer", "append", format!("n={i}"))));
+        (seg0, seg1)
+    }
+
+    #[test]
+    fn handoff_details_round_trip() {
+        let head = ChainHead {
+            next_seq: 42,
+            hash: 0xdead_beef_0123_4567,
+        };
+        let details = head.handoff_details(3);
+        assert_eq!(parse_handoff_details(&details), Some((3, head)));
+        assert_eq!(parse_handoff_details("segment=1 prev_seq=x"), None);
+        assert_eq!(parse_handoff_details("garbage"), None);
+        assert_eq!(parse_handoff_details("segment=1 prev_seq=2"), None);
+    }
+
+    #[test]
+    fn each_segment_verifies_standalone_and_the_pair_is_continuous() {
+        let (seg0, seg1) = segmented_chain();
+        let c0 = verify_segment_entries(&seg0).unwrap();
+        assert_eq!(c0.start, ChainHead::genesis());
+        assert_eq!(c0.handoff_segment, None);
+        assert_eq!(c0.entries, 4);
+        let c1 = verify_segment_entries(&seg1).unwrap();
+        assert_eq!(c1.handoff_segment, Some(1));
+        assert_eq!(c1.start, c0.end, "handoff claim stitches the segments");
+        assert!(is_handoff(&seg1[0]) && !is_handoff(&seg0[0]));
+        // the concatenation is still one plain chain from genesis
+        let all: Vec<AuditEntry> = seg0.iter().chain(&seg1).cloned().collect();
+        assert_eq!(verify_chain_from(ChainHead::genesis(), &all), None);
+    }
+
+    #[test]
+    fn segment_faults_are_classified() {
+        let (seg0, mut seg1) = segmented_chain();
+        assert_eq!(verify_segment_entries(&[]), Err(SegmentError::Empty));
+        // a segment starting mid-chain without a handoff carries no
+        // resume point
+        assert_eq!(
+            verify_segment_entries(&seg0[2..]),
+            Err(SegmentError::BadStart)
+        );
+        // a handoff whose details were rewritten (claim no longer matches
+        // the entry's own position) is caught even though the rest chains
+        let mut forged = seg1.clone();
+        forged[0].details = ChainHead {
+            next_seq: 99,
+            hash: 7,
+        }
+        .handoff_details(1);
+        assert!(matches!(
+            verify_segment_entries(&forged),
+            // rewriting details breaks the entry digest first; a forged
+            // digest would then trip the claim check
+            Err(SegmentError::ChainBreak(0) | SegmentError::HandoffMismatch)
+        ));
+        // tamper deep in the segment: caught at that index, standalone
+        seg1[2].details = "n=999".into();
+        assert_eq!(
+            verify_segment_entries(&seg1),
+            Err(SegmentError::ChainBreak(2))
+        );
+    }
+
+    #[test]
+    fn forged_handoff_with_recomputed_hash_is_a_mismatch() {
+        let (_, mut seg1) = segmented_chain();
+        let wrong = ChainHead {
+            next_seq: seg1[0].seq,
+            hash: 0x1234,
+        };
+        seg1[0].details = wrong.handoff_details(1);
+        seg1[0].hash = entry_hash(
+            seg1[0].seq,
+            &seg1[0].actor,
+            &seg1[0].action,
+            &seg1[0].details,
+            seg1[0].prev_hash,
+        );
+        // its own digest now verifies, but the claim disagrees with the
+        // entry's actual back-link
+        assert_eq!(
+            verify_segment_entries(&seg1[..1]),
+            Err(SegmentError::HandoffMismatch)
+        );
     }
 
     // ----- property tests: tamper detection over random logs and ops -----

@@ -28,6 +28,9 @@ pub mod modelcard;
 pub mod provenance;
 pub mod surrogate;
 
-pub use audit::{verify_chain_from, AuditEntry, AuditLog, ChainHead};
+pub use audit::{
+    is_handoff, parse_handoff_details, verify_chain_from, verify_segment_entries, AuditEntry,
+    AuditLog, ChainHead, SegmentCheck, SegmentError, SEGMENT_HANDOFF_ACTION,
+};
 pub use provenance::ProvenanceGraph;
 pub use surrogate::SurrogateExplainer;

@@ -13,6 +13,10 @@
 #   7. exp_e14 --smoke        feature cache: >=5x steady-state speedup,
 #                             warm keys bridge a store outage, negative
 #                             cache bounds upstream probes
+#   8. exp_e15 --smoke        segmented audit rotation: recovery bytes-read
+#                             stays one segment as the log grows 10x, every
+#                             segment verifies standalone, a kill at the
+#                             segment boundary loses nothing silently
 #
 # Everything runs --offline: the workspace vendors its dependencies and
 # must build with no network.
@@ -40,5 +44,8 @@ cargo run --offline -q -p fact-bench --bin exp_e13 -- --smoke
 
 echo "==> exp_e14 --smoke (feature-cache speedup + outage-bridging gate)"
 cargo run --offline -q -p fact-bench --bin exp_e14 -- --smoke
+
+echo "==> exp_e15 --smoke (segmented-rotation O(segment)-recovery gate)"
+cargo run --offline -q -p fact-bench --bin exp_e15 -- --smoke
 
 echo "==> ci.sh: all green"

@@ -234,7 +234,7 @@ fn destroyed_synced_tail_is_reported_as_loss() {
     };
     {
         let mut s: Box<dyn AuditStorage> = Box::new(storage.clone());
-        s.truncate_log(keep as u64).unwrap();
+        s.truncate_segment(0, keep as u64).unwrap();
     }
 
     let sink = open(&storage, 2);
@@ -269,7 +269,8 @@ fn tampered_middle_entry_cuts_the_chain_at_the_tamper_point() {
     bytes[at + 4] = b'7';
     {
         let mut s: Box<dyn AuditStorage> = Box::new(storage.clone());
-        s.truncate_log(0).unwrap();
+        s.open_segment(0).unwrap();
+        s.truncate_segment(0, 0).unwrap();
         s.append_log(&bytes).unwrap();
     }
 
@@ -280,6 +281,188 @@ fn tampered_middle_entry_cuts_the_chain_at_the_tamper_point() {
         rec.lost > 0,
         "entries beyond the tamper point are reported lost: {rec:?}"
     );
+    sink.finish();
+    verified_entries(&storage);
+}
+
+// ---------------------------------------------------------------------------
+// segment-rotation fault matrix
+// ---------------------------------------------------------------------------
+
+/// `max_segment_bytes: 1` forces a roll on every flush after the first, so
+/// a handful of batches deterministically produce a multi-segment log.
+fn rotating_config(batch_max: usize) -> AuditSinkConfig {
+    AuditSinkConfig {
+        max_segment_bytes: 1,
+        ..sink_config(batch_max)
+    }
+}
+
+fn open_rotating(storage: &MemStorage, batch_max: usize) -> AuditSink {
+    AuditSink::open_with_storage(&rotating_config(batch_max), Box::new(storage.clone())).unwrap()
+}
+
+/// Build a clean multi-segment log: every flush after the first rolls, so
+/// `batches` batches leave at least that many segments, each standalone-
+/// verifiable. Returns the finished report.
+fn build_segmented_log(storage: &MemStorage, batches: u64) -> fact_serve::SinkReport {
+    let sink = open_rotating(storage, 2);
+    let handle = sink.handle();
+    for b in 0..batches {
+        feed_and_settle(&sink, &handle, b * 2..b * 2 + 2);
+    }
+    drop(handle);
+    sink.finish()
+}
+
+#[test]
+fn kill_mid_handoff_record_falls_back_one_segment_without_silent_loss() {
+    let storage = MemStorage::new();
+    let report = build_segmented_log(&storage, 3);
+    assert!(report.rolls >= 2, "rotation must have happened: {report:?}");
+
+    // run 2: die 10 bytes into the next flush. The active segment is over
+    // the 1-byte cap, so that flush rolls first — the 10 bytes are the
+    // torn opening *handoff record* of the freshly created segment.
+    let sink = open_rotating(&storage, 2);
+    let handle = sink.handle();
+    let segments_before = storage.segment_ids().len();
+    storage.kill_at_byte(storage.log_bytes().len() as u64 + 10);
+    for k in 100..102 {
+        handle.record(flagged(k));
+    }
+    drop(handle);
+    let killed = sink.finish();
+    assert!(killed.io_errors >= 1, "the kill must surface: {killed:?}");
+
+    // run 3: the newest segment holds only a torn handoff → recovery wipes
+    // it and falls back exactly one segment; nothing promised is missing.
+    let storage = storage.restart();
+    let sink = open_rotating(&storage, 2);
+    let rec = sink.recovery().clone();
+    assert!(
+        rec.needs_handoff,
+        "a wiped roll must be re-opened with a fresh handoff: {rec:?}"
+    );
+    assert_eq!(
+        rec.replayed_segments, 2,
+        "fallback reads the wiped segment plus one: {rec:?}"
+    );
+    assert_eq!(rec.lost, 0, "the torn handoff was never promised: {rec:?}");
+    assert_eq!(rec.missing_segments, 0, "{rec:?}");
+
+    // resume: the first flush re-emits the handoff and the whole history
+    // still verifies segment by segment AND as one continuous chain
+    let handle = sink.handle();
+    feed_and_settle(&sink, &handle, 200..204);
+    drop(handle);
+    let final_report = sink.finish();
+    assert!(final_report.segments as usize >= segments_before);
+    let mut probe: Box<dyn AuditStorage> = Box::new(storage.clone());
+    let audit = fact_serve::verify_all_segments(probe.as_mut()).unwrap();
+    assert!(audit.continuous, "{audit:?}");
+    for (id, verdict) in &audit.segments {
+        assert!(verdict.is_ok(), "segment {id} must verify: {verdict:?}");
+    }
+    verified_entries(&storage);
+}
+
+#[test]
+fn torn_tail_in_a_non_final_segment_is_caught_lazily_not_on_restart() {
+    let storage = MemStorage::new();
+    build_segmented_log(&storage, 4);
+    let ids = storage.segment_ids();
+    assert!(ids.len() >= 3, "need a middle segment: {ids:?}");
+    let mid = ids[ids.len() / 2];
+
+    // tear the middle segment's tail (lose its trailing newline + bytes)
+    let mid_len = storage.segment_bytes(mid).unwrap().len() as u64;
+    {
+        let mut s: Box<dyn AuditStorage> = Box::new(storage.clone());
+        s.truncate_segment(mid, mid_len - 5).unwrap();
+    }
+
+    // restart: recovery replays ONLY the newest segment, so the damage is
+    // invisible to the O(segment) startup path — by design
+    let storage = storage.restart();
+    let sink = open_rotating(&storage, 2);
+    let rec = sink.recovery().clone();
+    assert_eq!(rec.replayed_segments, 1, "{rec:?}");
+    assert_eq!(rec.lost, 0, "the newest segment is intact: {rec:?}");
+    sink.finish();
+
+    // …and the lazy full audit is what flags it
+    let mut probe: Box<dyn AuditStorage> = Box::new(storage.clone());
+    let verdict = fact_serve::verify_segment(probe.as_mut(), mid).unwrap();
+    assert!(
+        matches!(verdict, Err(fact_transparency::SegmentError::TornTail(_))),
+        "torn middle segment must be flagged: {verdict:?}"
+    );
+    let audit = fact_serve::verify_all_segments(probe.as_mut()).unwrap();
+    assert!(!audit.continuous, "{audit:?}");
+}
+
+#[test]
+fn missing_middle_segment_is_provable_loss_not_a_panic() {
+    let storage = MemStorage::new();
+    build_segmented_log(&storage, 4);
+    let ids = storage.segment_ids();
+    assert!(ids.len() >= 3, "need a middle segment: {ids:?}");
+    let mid = ids[ids.len() / 2];
+    let swallowed = {
+        let mut probe: Box<dyn AuditStorage> = Box::new(storage.clone());
+        fact_serve::verify_segment(probe.as_mut(), mid)
+            .unwrap()
+            .expect("intact before removal")
+            .entries
+    };
+    assert!(storage.remove_segment(mid));
+
+    let storage = storage.restart();
+    let sink = open_rotating(&storage, 2);
+    let rec = sink.recovery().clone();
+    assert_eq!(rec.missing_segments, 1, "{rec:?}");
+    assert_eq!(
+        rec.missing_entries, swallowed,
+        "the neighbors' handoff claims quantify the hole exactly: {rec:?}"
+    );
+    assert_eq!(rec.lost, swallowed, "{rec:?}");
+    sink.finish();
+
+    let mut probe: Box<dyn AuditStorage> = Box::new(storage.clone());
+    let audit = fact_serve::verify_all_segments(probe.as_mut()).unwrap();
+    assert!(!audit.continuous, "a hole can never audit continuous");
+}
+
+#[test]
+fn head_sidecar_stale_by_a_segment_is_lag_not_loss() {
+    let storage = MemStorage::new();
+    build_segmented_log(&storage, 2);
+    let head_then = storage.head_bytes().expect("head persisted");
+
+    // from here every head rename silently reverts (the failure mode the
+    // missing parent-dir fsync allowed): more segments land, but the
+    // sidecar stays a full segment behind
+    storage.revert_head_writes();
+    {
+        let sink = open_rotating(&storage, 2);
+        let handle = sink.handle();
+        feed_and_settle(&sink, &handle, 50..54);
+        drop(handle);
+        sink.finish();
+    }
+    assert_eq!(
+        storage.head_bytes().expect("head still present"),
+        head_then,
+        "reverted renames must leave the old head"
+    );
+
+    // a lagging head is advisory lag, never counted as loss
+    let storage = storage.restart();
+    let sink = open_rotating(&storage, 2);
+    let rec = sink.recovery().clone();
+    assert_eq!(rec.lost, 0, "head lag is not loss: {rec:?}");
+    assert!(rec.recovered > 0);
     sink.finish();
     verified_entries(&storage);
 }
