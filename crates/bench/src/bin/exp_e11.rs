@@ -118,6 +118,8 @@ fn run_trial(model: Arc<LogisticRegression>, shards: usize, guarded: bool, seed:
             seed,
             audit: None,
             cache: None,
+            topology: None,
+            checkpoint: None,
         },
         Arc::new(SimulatedRemoteSource::new(FETCH)),
     )

@@ -119,6 +119,8 @@ fn run_trial(
             seed,
             audit,
             cache: None,
+            topology: None,
+            checkpoint: None,
         },
         Arc::new(SimulatedRemoteSource::new(FETCH)),
     )

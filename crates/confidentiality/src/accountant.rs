@@ -121,6 +121,11 @@ impl PrivacyAccountant {
         self.budget_epsilon
     }
 
+    /// The total δ budget.
+    pub fn budget_delta(&self) -> f64 {
+        self.budget_delta
+    }
+
     /// The ledger of every recorded expenditure, in order — the audit trail
     /// the transparency pillar expects confidentiality decisions to leave.
     pub fn ledger(&self) -> &[Expenditure] {

@@ -111,13 +111,21 @@ pub fn mondrian_k_anonymize(ds: &Dataset, qis: &[&str], k: usize) -> Result<Anon
         });
     }
 
-    // recursive median partitioning
-    let mut classes: Vec<Vec<usize>> = Vec::new();
-    let mut stack: Vec<Vec<usize>> = vec![(0..ds.n_rows()).collect()];
-    while let Some(part) = stack.pop() {
+    // Median partitioning, level-synchronous: every partition on the
+    // current frontier is split (or finalized) independently, so each
+    // level fans out on the fact-par pool. `par_map` returns results in
+    // submission order no matter how they were scheduled, and the split
+    // decision for a partition depends only on that partition's rows —
+    // so class numbering and membership are bit-identical at any worker
+    // count (the property `partitioning_is_deterministic_across_worker_counts`
+    // pins down).
+    enum Node {
+        Leaf(Vec<usize>),
+        Split(Vec<usize>, Vec<usize>),
+    }
+    let split_partition = |part: &[usize]| -> Node {
         if part.len() < 2 * k {
-            classes.push(part);
-            continue;
+            return Node::Leaf(part.to_vec());
         }
         // order dims by normalized range within the partition, widest first
         let mut dims: Vec<(f64, usize)> = qi_cols
@@ -137,7 +145,6 @@ pub fn mondrian_k_anonymize(ds: &Dataset, qis: &[&str], k: usize) -> Result<Anon
             .collect();
         dims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
 
-        let mut split_done = false;
         for &(range, d) in &dims {
             if range <= 0.0 {
                 break; // all dims constant in this partition
@@ -161,14 +168,26 @@ pub fn mondrian_k_anonymize(ds: &Dataset, qis: &[&str], k: usize) -> Result<Anon
             let (left, right): (Vec<usize>, Vec<usize>) =
                 part.iter().partition(|&&i| q.numeric[i] <= pivot);
             if left.len() >= k && right.len() >= k {
-                stack.push(left);
-                stack.push(right);
-                split_done = true;
-                break;
+                return Node::Split(left, right);
             }
         }
-        if !split_done {
-            classes.push(part);
+        Node::Leaf(part.to_vec())
+    };
+
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    let mut frontier: Vec<Vec<usize>> = vec![(0..ds.n_rows()).collect()];
+    while !frontier.is_empty() {
+        let level: Vec<Node> =
+            fact_par::par_map(frontier.len(), 1, |pi| split_partition(&frontier[pi]));
+        frontier.clear();
+        for node in level {
+            match node {
+                Node::Leaf(class) => classes.push(class),
+                Node::Split(left, right) => {
+                    frontier.push(left);
+                    frontier.push(right);
+                }
+            }
         }
     }
 
@@ -456,6 +475,31 @@ mod tests {
         assert!(mondrian_k_anonymize(&ds, &QIS, 101).is_err());
         assert!(mondrian_k_anonymize(&ds, &[], 5).is_err());
         assert!(mondrian_k_anonymize(&ds, &["ghost"], 5).is_err());
+    }
+
+    #[test]
+    fn partitioning_is_deterministic_across_worker_counts() {
+        let ds = census(2500);
+        let reference = mondrian_k_anonymize(&ds, &QIS, 7).unwrap();
+        for w in [1, 2, 4] {
+            fact_par::set_workers(w);
+            let anon = mondrian_k_anonymize(&ds, &QIS, 7).unwrap();
+            fact_par::set_workers(0);
+            assert_eq!(anon.n_classes, reference.n_classes, "workers={w}");
+            assert_eq!(anon.class_of, reference.class_of, "workers={w}");
+            assert_eq!(
+                anon.information_loss.to_bits(),
+                reference.information_loss.to_bits(),
+                "workers={w}: information loss must be bit-identical"
+            );
+            for q in QIS {
+                assert_eq!(
+                    anon.data.labels(q).unwrap(),
+                    reference.data.labels(q).unwrap(),
+                    "workers={w} column={q}"
+                );
+            }
+        }
     }
 
     #[test]

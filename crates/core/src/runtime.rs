@@ -21,6 +21,7 @@ use crate::drift::{DriftAlert, DriftMonitor};
 
 use fact_confidentiality::mechanisms::laplace_noise;
 use fact_confidentiality::PrivacyAccountant;
+use fact_fairness::WindowSummary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -118,6 +119,41 @@ impl StreamingFairnessMonitor {
             None
         }
     }
+
+    /// Events currently held in the window.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Export the window contents as a mergeable [`WindowSummary`] at
+    /// `segment_events` resolution — the checkpoint/merge form a shard
+    /// serializes before shutdown and other shards can combine.
+    pub fn summary(&self, segment_events: usize) -> Result<WindowSummary> {
+        WindowSummary::from_events(
+            self.window as u64,
+            segment_events as u64,
+            self.events.iter().copied(),
+        )
+    }
+
+    /// Rebuild the window from a checkpointed summary by replaying its
+    /// resynthesized events (alerts raised during replay are discarded —
+    /// they were already raised, and acted on, before the checkpoint).
+    /// Window size, DI threshold and sample floor stay as constructed;
+    /// per-segment counts are restored exactly, ordering within a segment
+    /// is not (the documented one-segment resolution loss).
+    pub fn restore(&mut self, summary: &WindowSummary) {
+        self.events.clear();
+        self.counts = [[0; 2]; 2];
+        for (group_b, favorable) in summary.events() {
+            let _ = self.observe(group_b, favorable);
+        }
+    }
 }
 
 /// Periodic DP release of event counts under a shared budget.
@@ -175,6 +211,26 @@ impl StreamingDpCounter {
                 }
             }
         }
+    }
+
+    /// Events accumulated since the last release (checkpoint export).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Whether budget exhaustion was already reported (checkpoint export).
+    pub fn exhausted_reported(&self) -> bool {
+        self.exhausted_reported
+    }
+
+    /// Restore checkpointed counter state: events pending since the last
+    /// release and the one-shot exhaustion flag. The noise RNG restarts from
+    /// the constructor seed — a restarted shard draws a fresh noise stream,
+    /// which is safe (DP noise must only be unpredictable, not continuous)
+    /// and keeps the checkpoint free of RNG internals.
+    pub fn restore(&mut self, pending: usize, exhausted_reported: bool) {
+        self.pending = pending;
+        self.exhausted_reported = exhausted_reported;
     }
 }
 
@@ -385,6 +441,48 @@ mod tests {
             .alerts
             .iter()
             .any(|a| matches!(a, Alert::DpRelease { .. })));
+    }
+
+    #[test]
+    fn monitor_summary_round_trip_preserves_window_counts() {
+        let mut m = StreamingFairnessMonitor::new(500, 0.8, 50).unwrap();
+        for ev in InternetMinute::new(11).with_disparity(0.9, 0.4).take(2_300) {
+            m.observe(ev.group_b, ev.decision_favorable);
+        }
+        let summary = m.summary(50).unwrap();
+        assert_eq!(summary.total_events() as usize, m.len());
+
+        let mut restored = StreamingFairnessMonitor::new(500, 0.8, 50).unwrap();
+        restored.restore(&summary);
+        assert_eq!(restored.len(), m.len());
+        assert_eq!(restored.summary(50).unwrap().counts(), summary.counts());
+        // both monitors alert identically on the next disparate event
+        let a = m.observe(true, false);
+        let b = restored.observe(true, false);
+        assert_eq!(a.is_some(), b.is_some());
+    }
+
+    #[test]
+    fn dp_counter_restore_resumes_pending_and_exhaustion() {
+        let mut acc = PrivacyAccountant::pure(1.0).unwrap();
+        let mut dp = StreamingDpCounter::new(100, 0.01, 7).unwrap();
+        for _ in 0..150 {
+            dp.observe(&mut acc);
+        }
+        assert_eq!(dp.pending(), 50);
+        assert!(!dp.exhausted_reported());
+
+        let mut resumed = StreamingDpCounter::new(100, 0.01, 8).unwrap();
+        resumed.restore(dp.pending(), dp.exhausted_reported());
+        // 50 pending survive: the next release fires after 50 more events
+        let mut fired_at = None;
+        for i in 0..100 {
+            if resumed.observe(&mut acc).is_some() {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(fired_at, Some(49));
     }
 
     #[test]

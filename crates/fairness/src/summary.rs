@@ -1,0 +1,370 @@
+//! Mergeable sliding-window monitor summaries.
+//!
+//! A streaming fairness monitor holds its window as an ordered event queue —
+//! perfect for one process, useless for a fleet: two shards cannot combine
+//! their queues without replaying every event, and a shard that restarts or
+//! is resharded would silently reset its window (losing exactly the evidence
+//! a fairness guard exists to keep). A [`WindowSummary`] is the portable
+//! form: the window cut into fixed-size **segments**, each a paired
+//! count-vector `counts[group][favorable]`. Segment counts are plain sums,
+//! so:
+//!
+//! * **merge** is associative and commutative (segment-wise addition,
+//!   aligned from the newest segment) — N shards' windows combine into one
+//!   fleet window in any order;
+//! * **split** divides every cell deterministically — one shard's window
+//!   fans out to N successors whose summaries sum back to the original;
+//! * **resynthesis** ([`WindowSummary::events`]) turns a summary back into
+//!   an event sequence whose per-segment counts are exact, so a restored
+//!   monitor resumes with the same windowed rates it checkpointed with.
+//!   Ordering *within* a segment is not preserved — that is the quantified
+//!   resolution loss, bounded by one segment.
+
+use serde::{Deserialize, Serialize};
+
+use fact_data::{FactError, Result};
+
+/// Paired counts for one window segment: `counts[group][favorable]` with
+/// `group` 0 = unprotected (A), 1 = protected (B).
+pub type SegmentCounts = [[u64; 2]; 2];
+
+/// A sliding window of decision events, summarized as per-segment paired
+/// count-vectors. See the module docs for the merge/split/resynthesis
+/// contract.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSummary {
+    /// Events a full segment covers; the newest segment may be partial.
+    segment_events: u64,
+    /// Segments oldest → newest.
+    segments: Vec<SegmentCounts>,
+    /// Events currently in the newest segment.
+    newest_fill: u64,
+    /// Window size in events: observing past this drops whole oldest
+    /// segments (coarse sliding — resolution is one segment).
+    window: u64,
+}
+
+fn cell_sum(c: &SegmentCounts) -> u64 {
+    c[0][0] + c[0][1] + c[1][0] + c[1][1]
+}
+
+impl WindowSummary {
+    /// An empty summary covering the last `window` events at `segment_events`
+    /// resolution. Errors unless `0 < segment_events <= window`.
+    pub fn new(window: u64, segment_events: u64) -> Result<Self> {
+        if segment_events == 0 || window == 0 || segment_events > window {
+            return Err(FactError::InvalidArgument(format!(
+                "need 0 < segment_events <= window, got {segment_events} / {window}"
+            )));
+        }
+        Ok(WindowSummary {
+            segment_events,
+            segments: Vec::new(),
+            newest_fill: 0,
+            window,
+        })
+    }
+
+    /// Build a summary from an ordered event stream (oldest first).
+    pub fn from_events<I>(window: u64, segment_events: u64, events: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (bool, bool)>,
+    {
+        let mut s = WindowSummary::new(window, segment_events)?;
+        for (group_b, favorable) in events {
+            s.observe(group_b, favorable);
+        }
+        Ok(s)
+    }
+
+    /// Ingest one event into the newest segment, rolling to a fresh segment
+    /// when it fills and dropping whole oldest segments once the window is
+    /// exceeded.
+    pub fn observe(&mut self, group_b: bool, favorable: bool) {
+        // `>=`: a merged summary's newest segment may be overfull
+        if self.segments.is_empty() || self.newest_fill >= self.segment_events {
+            self.segments.push([[0; 2]; 2]);
+            self.newest_fill = 0;
+        }
+        let newest = self.segments.last_mut().expect("segment just ensured");
+        newest[usize::from(group_b)][usize::from(favorable)] += 1;
+        self.newest_fill += 1;
+        while self.total_events() > self.window {
+            let oldest = cell_sum(self.segments.first().expect("non-empty"));
+            // never drop below the window: a partial oldest segment stays
+            if self.total_events() - oldest < self.window {
+                break;
+            }
+            self.segments.remove(0);
+        }
+    }
+
+    /// Events a full segment covers.
+    pub fn segment_events(&self) -> u64 {
+        self.segment_events
+    }
+
+    /// The configured window, in events.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Segments oldest → newest.
+    pub fn segments(&self) -> impl Iterator<Item = &SegmentCounts> {
+        self.segments.iter()
+    }
+
+    /// Total events summarized.
+    pub fn total_events(&self) -> u64 {
+        self.segments.iter().map(cell_sum).sum()
+    }
+
+    /// Paired counts summed over every segment.
+    pub fn counts(&self) -> SegmentCounts {
+        let mut out = [[0u64; 2]; 2];
+        for seg in &self.segments {
+            for g in 0..2 {
+                for f in 0..2 {
+                    out[g][f] += seg[g][f];
+                }
+            }
+        }
+        out
+    }
+
+    /// Windowed favorable rate for one group; `None` when the group has no
+    /// events in the window.
+    pub fn favorable_rate(&self, group_b: bool) -> Option<f64> {
+        let c = self.counts();
+        let g = usize::from(group_b);
+        let n = c[g][0] + c[g][1];
+        (n > 0).then(|| c[g][1] as f64 / n as f64)
+    }
+
+    /// Merge two summaries segment-wise, **aligned from the newest
+    /// segment** (both describe the trailing window of their shard's
+    /// traffic). Addition per cell makes this associative and commutative;
+    /// the result keeps the longer segment tail and the larger window and
+    /// is **not** re-truncated, so grouping order cannot change the result.
+    /// Errors when the segment resolutions differ.
+    pub fn merge(&self, other: &WindowSummary) -> Result<WindowSummary> {
+        if self.segment_events != other.segment_events {
+            return Err(FactError::InvalidArgument(format!(
+                "cannot merge summaries at different resolutions ({} vs {})",
+                self.segment_events, other.segment_events
+            )));
+        }
+        let (longer, shorter) = if self.segments.len() >= other.segments.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut segments = longer.segments.clone();
+        let offset = longer.segments.len() - shorter.segments.len();
+        for (i, seg) in shorter.segments.iter().enumerate() {
+            let dst = &mut segments[offset + i];
+            for g in 0..2 {
+                for f in 0..2 {
+                    dst[g][f] += seg[g][f];
+                }
+            }
+        }
+        Ok(WindowSummary {
+            segment_events: self.segment_events,
+            newest_fill: segments.last().map(cell_sum).unwrap_or(0),
+            segments,
+            window: self.window.max(other.window),
+        })
+    }
+
+    /// Split into `n` summaries whose cell-wise sum reproduces `self`
+    /// exactly: every cell divides as `c / n`, with the first `c % n`
+    /// outputs taking one extra — deterministic, so a reshard is
+    /// reproducible. Errors when `n` is zero.
+    pub fn split(&self, n: usize) -> Result<Vec<WindowSummary>> {
+        if n == 0 {
+            return Err(FactError::InvalidArgument(
+                "cannot split a window into zero parts".into(),
+            ));
+        }
+        let mut parts: Vec<WindowSummary> = (0..n)
+            .map(|_| WindowSummary {
+                segment_events: self.segment_events,
+                segments: self
+                    .segments
+                    .iter()
+                    .map(|_| [[0u64; 2]; 2])
+                    .collect::<Vec<_>>(),
+                newest_fill: 0,
+                window: self.window,
+            })
+            .collect();
+        for (si, seg) in self.segments.iter().enumerate() {
+            for (g, row) in seg.iter().enumerate() {
+                for (f, &count) in row.iter().enumerate() {
+                    let per = count / n as u64;
+                    let extra = (count % n as u64) as usize;
+                    for (pi, part) in parts.iter_mut().enumerate() {
+                        part.segments[si][g][f] = per + u64::from(pi < extra);
+                    }
+                }
+            }
+        }
+        for part in &mut parts {
+            while part.segments.first().is_some_and(|s| cell_sum(s) == 0) {
+                part.segments.remove(0);
+            }
+            part.newest_fill = part.segments.last().map(cell_sum).unwrap_or(0);
+        }
+        Ok(parts)
+    }
+
+    /// Resynthesize an ordered event sequence (oldest segment first). Per
+    /// segment the cells are interleaved round-robin, so group balance is
+    /// roughly uniform within a segment; counts per segment are exact.
+    pub fn events(&self) -> Vec<(bool, bool)> {
+        let mut out = Vec::with_capacity(self.total_events() as usize);
+        for seg in &self.segments {
+            let mut left = *seg;
+            let mut remaining = cell_sum(seg);
+            while remaining > 0 {
+                for (g, f) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                    if left[g][f] > 0 {
+                        left[g][f] -= 1;
+                        remaining -= 1;
+                        out.push((g == 1, f == 1));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn filled(events: &[(bool, bool)]) -> WindowSummary {
+        WindowSummary::from_events(100, 10, events.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn observe_rolls_segments_and_slides_window() {
+        let mut s = WindowSummary::new(20, 5).unwrap();
+        for i in 0..50u64 {
+            s.observe(i % 2 == 0, i % 3 == 0);
+        }
+        // 50 events at window 20: at most 20 + one partial segment retained
+        assert!(s.total_events() >= 20);
+        assert!(s.total_events() <= 25, "{}", s.total_events());
+        assert!(s.segments().all(|c| cell_sum(c) <= 5));
+    }
+
+    #[test]
+    fn counts_and_rates() {
+        let s = filled(&[(false, true), (false, false), (true, true), (true, true)]);
+        assert_eq!(s.counts(), [[1, 1], [0, 2]]);
+        assert_eq!(s.favorable_rate(false), Some(0.5));
+        assert_eq!(s.favorable_rate(true), Some(1.0));
+        let empty = WindowSummary::new(10, 2).unwrap();
+        assert_eq!(empty.favorable_rate(true), None);
+    }
+
+    #[test]
+    fn events_round_trip_counts_exactly() {
+        let mut s = WindowSummary::new(1000, 7).unwrap();
+        for i in 0..137u64 {
+            s.observe(i % 3 == 0, i % 5 == 0);
+        }
+        let replay = WindowSummary::from_events(1000, 7, s.events()).unwrap();
+        assert_eq!(replay.counts(), s.counts());
+        assert_eq!(replay.total_events(), s.total_events());
+        // per-segment counts survive the round trip, not just totals
+        let a: Vec<_> = s.segments().copied().collect();
+        let b: Vec<_> = replay.segments().copied().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_requires_matching_resolution_and_split_rejects_zero() {
+        let a = WindowSummary::new(10, 2).unwrap();
+        let b = WindowSummary::new(10, 5).unwrap();
+        assert!(a.merge(&b).is_err());
+        assert!(a.split(0).is_err());
+        assert!(WindowSummary::new(10, 0).is_err());
+        assert!(WindowSummary::new(0, 1).is_err());
+        assert!(WindowSummary::new(4, 8).is_err());
+    }
+
+    #[test]
+    fn merge_aligns_newest_segments() {
+        // one shard saw 25 events (3 segments at 10), another saw 5 (1)
+        let long = filled(&(0..25).map(|i| (i % 2 == 0, true)).collect::<Vec<_>>());
+        let short = filled(&(0..5).map(|_| (true, false)).collect::<Vec<_>>());
+        let merged = long.merge(&short).unwrap();
+        assert_eq!(merged.total_events(), 30);
+        // the short shard's events landed in the *newest* segment
+        let newest = *merged.segments().last().unwrap();
+        assert_eq!(newest[1][0], 5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Merge is associative and commutative on the counts it keeps.
+        #[test]
+        fn merge_is_associative_and_commutative(
+            a in prop::collection::vec((any::<bool>(), any::<bool>()), 0..60),
+            b in prop::collection::vec((any::<bool>(), any::<bool>()), 0..60),
+            c in prop::collection::vec((any::<bool>(), any::<bool>()), 0..60),
+        ) {
+            let (sa, sb, sc) = (filled(&a), filled(&b), filled(&c));
+            let left = sa.merge(&sb).unwrap().merge(&sc).unwrap();
+            let right = sa.merge(&sb.merge(&sc).unwrap()).unwrap();
+            prop_assert_eq!(&left, &right);
+            prop_assert_eq!(&sa.merge(&sb).unwrap(), &sb.merge(&sa).unwrap());
+        }
+
+        /// Splitting then merging reproduces the original counts exactly,
+        /// at any fan-out.
+        #[test]
+        fn split_then_merge_is_identity_on_counts(
+            events in prop::collection::vec((any::<bool>(), any::<bool>()), 1..80),
+            n in 1usize..6,
+        ) {
+            let s = filled(&events);
+            let parts = s.split(n).unwrap();
+            prop_assert_eq!(parts.len(), n);
+            let mut back = parts[0].clone();
+            for p in &parts[1..] {
+                back = back.merge(p).unwrap();
+            }
+            prop_assert_eq!(back.counts(), s.counts());
+            prop_assert_eq!(back.total_events(), s.total_events());
+            // and segment-by-segment, not just in aggregate
+            let orig: Vec<_> = s.segments().copied().collect();
+            let merged: Vec<_> = back.segments().copied().collect();
+            let skew = orig.len() - merged.len();
+            for (i, seg) in merged.iter().enumerate() {
+                prop_assert_eq!(seg, &orig[i + skew]);
+            }
+        }
+
+        /// A summary built incrementally equals one built from the same
+        /// events in one shot.
+        #[test]
+        fn from_events_matches_observe(
+            events in prop::collection::vec((any::<bool>(), any::<bool>()), 0..200),
+        ) {
+            let mut inc = WindowSummary::new(64, 8).unwrap();
+            for &(g, f) in &events {
+                inc.observe(g, f);
+            }
+            let oneshot =
+                WindowSummary::from_events(64, 8, events.iter().copied()).unwrap();
+            prop_assert_eq!(inc, oneshot);
+        }
+    }
+}

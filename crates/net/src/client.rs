@@ -1,0 +1,272 @@
+//! [`RemoteShard`]: the client side of a worker connection.
+//!
+//! One `RemoteShard` owns one Unix-socket connection to one `fact-shardd`
+//! worker. Sends happen on the caller's thread under a short lock; a
+//! dedicated reader thread matches response frames back to waiters through
+//! a correlation-id map, so many requests can be in flight at once and
+//! replies may arrive in any order.
+//!
+//! When the worker dies the reader thread fails every pending waiter with
+//! [`NetError::Disconnected`] and marks the connection dead; the *next*
+//! send transparently reconnects (and counts it), which is exactly the
+//! shape a kill-and-respawn experiment needs. The waiter map lives on the
+//! connection, not the client, so a late drain from a dying reader can
+//! never fail requests already riding the replacement connection.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::frame::{encode_frame, read_frame, Frame, FrameKind};
+use crate::NetError;
+
+type PendingMap = Arc<Mutex<HashMap<u64, Sender<Result<Frame, NetError>>>>>;
+
+/// Live counters for one remote connection.
+#[derive(Debug, Default)]
+struct RemoteStats {
+    requests: AtomicU64,
+    reconnects: AtomicU64,
+    errors: AtomicU64,
+    rtt_micros_total: AtomicU64,
+    rtt_count: AtomicU64,
+}
+
+/// Point-in-time view of a connection's counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteStatsSnapshot {
+    /// Frames sent (all kinds).
+    pub requests: u64,
+    /// Times the connection was re-established after the first connect.
+    pub reconnects: u64,
+    /// Sends or waits that surfaced an error (including timeouts).
+    pub errors: u64,
+    /// Completed request/response round trips measured.
+    pub rtt_count: u64,
+    /// Mean round-trip time over measured round trips.
+    pub rtt_mean_micros: f64,
+}
+
+/// A reply that has been sent but not yet received.
+///
+/// Mirrors `fact-serve`'s `DecisionHandle`: the caller chooses when (and
+/// whether) to block.
+pub struct PendingReply {
+    rx: Receiver<Result<Frame, NetError>>,
+    sent_at: Instant,
+    stats: Arc<RemoteStats>,
+}
+
+impl PendingReply {
+    /// Block until the reply arrives or `timeout` passes.
+    pub fn wait(self, timeout: Duration) -> Result<Frame, NetError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Ok(frame)) => {
+                let rtt = self.sent_at.elapsed();
+                self.stats
+                    .rtt_micros_total
+                    .fetch_add(rtt.as_micros() as u64, Ordering::Relaxed);
+                self.stats.rtt_count.fetch_add(1, Ordering::Relaxed);
+                Ok(frame)
+            }
+            Ok(Err(e)) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                Err(NetError::Timeout)
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                Err(NetError::Disconnected)
+            }
+        }
+    }
+
+    /// Non-blocking poll; `None` while the reply is still in flight. A
+    /// reply already consumed (or failed) polls as `Some(Err(Disconnected))`
+    /// afterwards, mirroring a one-shot channel.
+    pub fn try_wait(&self) -> Option<Result<Frame, NetError>> {
+        match self.rx.try_recv() {
+            Ok(Ok(frame)) => {
+                let rtt = self.sent_at.elapsed();
+                self.stats
+                    .rtt_micros_total
+                    .fetch_add(rtt.as_micros() as u64, Ordering::Relaxed);
+                self.stats.rtt_count.fetch_add(1, Ordering::Relaxed);
+                Some(Ok(frame))
+            }
+            Ok(Err(e)) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                Some(Err(e))
+            }
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(NetError::Disconnected)),
+        }
+    }
+}
+
+struct Conn {
+    stream: UnixStream,
+    alive: Arc<AtomicBool>,
+    pending: PendingMap,
+}
+
+/// A connection to one remote worker process.
+pub struct RemoteShard {
+    path: PathBuf,
+    conn: Mutex<Option<Conn>>,
+    next_corr: AtomicU64,
+    ever_connected: AtomicBool,
+    stats: Arc<RemoteStats>,
+}
+
+impl RemoteShard {
+    /// Connect to the worker listening at `path`. Fails fast if the worker
+    /// is not up yet; later disconnects are healed lazily by [`send`].
+    ///
+    /// [`send`]: RemoteShard::send
+    pub fn connect(path: impl Into<PathBuf>) -> Result<RemoteShard, NetError> {
+        let shard = RemoteShard {
+            path: path.into(),
+            conn: Mutex::new(None),
+            next_corr: AtomicU64::new(1),
+            ever_connected: AtomicBool::new(false),
+            stats: Arc::new(RemoteStats::default()),
+        };
+        {
+            let mut guard = shard.conn.lock().expect("conn lock");
+            shard.ensure_connected(&mut guard)?;
+        }
+        Ok(shard)
+    }
+
+    /// Socket path this shard dials.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn ensure_connected(&self, guard: &mut Option<Conn>) -> Result<(), NetError> {
+        if let Some(conn) = guard.as_ref() {
+            if conn.alive.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            *guard = None; // its reader fails that connection's waiters
+        }
+        let stream = UnixStream::connect(&self.path)?;
+        let alive = Arc::new(AtomicBool::new(true));
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+        let reader_stream = stream.try_clone()?;
+        let reader_pending = Arc::clone(&pending);
+        let reader_alive = Arc::clone(&alive);
+        thread::Builder::new()
+            .name("fact-net-reader".into())
+            .spawn(move || reader_loop(reader_stream, reader_pending, reader_alive))
+            .map_err(NetError::Io)?;
+        if self.ever_connected.swap(true, Ordering::AcqRel) {
+            self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        *guard = Some(Conn {
+            stream,
+            alive,
+            pending,
+        });
+        Ok(())
+    }
+
+    /// Send one frame and return a handle for its reply. Reconnects first
+    /// if the previous connection died.
+    pub fn send(&self, kind: FrameKind, payload: Vec<u8>) -> Result<PendingReply, NetError> {
+        let corr_id = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::new(kind, corr_id, payload);
+        let bytes = encode_frame(&frame).map_err(|e| {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            NetError::Frame(e)
+        })?;
+
+        let (tx, rx) = mpsc::channel();
+        let mut guard = self.conn.lock().expect("conn lock");
+        if let Err(e) = self.ensure_connected(&mut guard) {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let conn = guard.as_mut().expect("connected above");
+        // register before writing: the reply can race back before we would
+        // get another chance to insert
+        conn.pending
+            .lock()
+            .expect("pending lock")
+            .insert(corr_id, tx);
+        let sent_at = Instant::now();
+        if let Err(e) = conn.stream.write_all(&bytes) {
+            conn.pending.lock().expect("pending lock").remove(&corr_id);
+            conn.alive.store(false, Ordering::Release);
+            *guard = None;
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(NetError::Io(e));
+        }
+        drop(guard);
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        Ok(PendingReply {
+            rx,
+            sent_at,
+            stats: Arc::clone(&self.stats),
+        })
+    }
+
+    /// Convenience: send a control command and wait for its raw ack frame.
+    pub fn control(&self, command: &str, timeout: Duration) -> Result<Frame, NetError> {
+        let payload = crate::payload::encode(&crate::payload::ControlWire {
+            command: command.to_string(),
+        })?;
+        self.send(FrameKind::Control, payload)?.wait(timeout)
+    }
+
+    /// Snapshot the connection counters.
+    pub fn stats(&self) -> RemoteStatsSnapshot {
+        let rtt_count = self.stats.rtt_count.load(Ordering::Relaxed);
+        let rtt_total = self.stats.rtt_micros_total.load(Ordering::Relaxed);
+        RemoteStatsSnapshot {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            reconnects: self.stats.reconnects.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            rtt_count,
+            rtt_mean_micros: if rtt_count == 0 {
+                0.0
+            } else {
+                rtt_total as f64 / rtt_count as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for RemoteShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteShard")
+            .field("path", &self.path)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn reader_loop(mut stream: UnixStream, pending: PendingMap, alive: Arc<AtomicBool>) {
+    // a clean close (Ok(None)) or a torn stream (Err) both end the loop:
+    // either way this connection is done
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
+        let waiter = pending.lock().expect("pending lock").remove(&frame.corr_id);
+        if let Some(tx) = waiter {
+            let _ = tx.send(Ok(frame)); // waiter may have timed out and gone
+        }
+    }
+    alive.store(false, Ordering::Release);
+    for (_, tx) in pending.lock().expect("pending lock").drain() {
+        let _ = tx.send(Err(NetError::Disconnected));
+    }
+}

@@ -1,0 +1,364 @@
+//! Length-prefixed binary frame codec.
+//!
+//! Every message on a fact-net socket is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "FNET"
+//! 4       1     version (currently 1)
+//! 5       1     kind    (1=request 2=response 3=checkpoint 4=control)
+//! 6       8     corr_id (u64 LE) — matches a response to its request
+//! 14      4     len     (u32 LE) — payload byte count, <= MAX_PAYLOAD
+//! 18      len   payload
+//! ```
+//!
+//! [`read_frame`] distinguishes a *clean* close (EOF exactly on a frame
+//! boundary → `Ok(None)`) from a *torn* one (EOF mid-header or mid-payload
+//! → [`FrameError::Truncated`]), and rejects oversized length prefixes
+//! before allocating, so a corrupt or malicious peer cannot balloon memory.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"FNET";
+/// Protocol version carried in byte 4.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 18;
+/// Hard cap on payload size; larger length prefixes are rejected unread.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// What a frame carries; the discriminant is the on-wire kind byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// A decision request (client → worker).
+    Request = 1,
+    /// A decision response (worker → client).
+    Response = 2,
+    /// A checkpoint flush command or its acknowledgement.
+    Checkpoint = 3,
+    /// An out-of-band control command ("ping", "shutdown") or its ack.
+    Control = 4,
+}
+
+impl FrameKind {
+    fn from_byte(b: u8) -> Option<FrameKind> {
+        match b {
+            1 => Some(FrameKind::Request),
+            2 => Some(FrameKind::Response),
+            3 => Some(FrameKind::Checkpoint),
+            4 => Some(FrameKind::Control),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message kind.
+    pub kind: FrameKind,
+    /// Correlation id: a response echoes its request's id.
+    pub corr_id: u64,
+    /// Opaque payload bytes (JSON at the [`crate::payload`] layer).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Build a frame.
+    pub fn new(kind: FrameKind, corr_id: u64, payload: Vec<u8>) -> Frame {
+        Frame {
+            kind,
+            corr_id,
+            payload,
+        }
+    }
+}
+
+/// Ways the codec can reject bytes.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying read/write failed.
+    Io(io::Error),
+    /// The stream ended mid-frame: `got` of `needed` bytes arrived.
+    Truncated {
+        /// Bytes the frame section required.
+        needed: usize,
+        /// Bytes actually read before EOF.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+        /// The cap it violated.
+        max: u32,
+    },
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unknown protocol version byte.
+    BadVersion(u8),
+    /// Unknown kind byte.
+    BadKind(u8),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Truncated { needed, got } => {
+                write!(f, "stream truncated mid-frame: got {got} of {needed} bytes")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds cap {max}")
+            }
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind byte {k}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Encode `frame` to its wire bytes.
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, FrameError> {
+    if frame.payload.len() > MAX_PAYLOAD as usize {
+        return Err(FrameError::Oversized {
+            len: frame.payload.len() as u32,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + frame.payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame.kind as u8);
+    out.extend_from_slice(&frame.corr_id.to_le_bytes());
+    out.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame.payload);
+    Ok(out)
+}
+
+/// Write one frame to `w` (single `write_all`, so concurrent writers on a
+/// duplicated stream must still serialize at a higher level).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), FrameError> {
+    let bytes = encode_frame(frame)?;
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Read until `buf` is full or EOF; returns bytes read. Unlike
+/// `read_exact`, a short read is reported with its count so the caller can
+/// tell "clean close" from "torn frame".
+fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(got)
+}
+
+/// Read one frame from `r`.
+///
+/// Returns `Ok(None)` when the stream closes cleanly on a frame boundary,
+/// `Err(Truncated)` when it closes mid-frame, and the other [`FrameError`]
+/// variants for malformed headers.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    let got = read_fully(r, &mut header)?;
+    if got == 0 {
+        return Ok(None); // clean EOF between frames
+    }
+    if got < HEADER_LEN {
+        return Err(FrameError::Truncated {
+            needed: HEADER_LEN,
+            got,
+        });
+    }
+    if header[..4] != MAGIC {
+        return Err(FrameError::BadMagic(
+            header[..4].try_into().expect("4-byte slice"),
+        ));
+    }
+    if header[4] != VERSION {
+        return Err(FrameError::BadVersion(header[4]));
+    }
+    let kind = FrameKind::from_byte(header[5]).ok_or(FrameError::BadKind(header[5]))?;
+    let corr_id = u64::from_le_bytes(header[6..14].try_into().expect("8-byte slice"));
+    let len = u32::from_le_bytes(header[14..18].try_into().expect("4-byte slice"));
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let got = read_fully(r, &mut payload)?;
+    if got < payload.len() {
+        return Err(FrameError::Truncated {
+            needed: len as usize,
+            got,
+        });
+    }
+    Ok(Some(Frame {
+        kind,
+        corr_id,
+        payload,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    fn roundtrip(frame: &Frame) -> Frame {
+        let bytes = encode_frame(frame).unwrap();
+        let mut cur = Cursor::new(bytes);
+        let back = read_frame(&mut cur).unwrap().unwrap();
+        // and the stream is now cleanly empty
+        assert!(read_frame(&mut cur).unwrap().is_none());
+        back
+    }
+
+    #[test]
+    fn roundtrip_each_kind() {
+        for kind in [
+            FrameKind::Request,
+            FrameKind::Response,
+            FrameKind::Checkpoint,
+            FrameKind::Control,
+        ] {
+            let f = Frame::new(kind, 0xdead_beef_0042, b"hello".to_vec());
+            assert_eq!(roundtrip(&f), f);
+        }
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let f = Frame::new(FrameKind::Control, 7, Vec::new());
+        assert_eq!(roundtrip(&f), f);
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_order() {
+        let a = Frame::new(FrameKind::Request, 1, b"one".to_vec());
+        let b = Frame::new(FrameKind::Response, 2, b"two".to_vec());
+        let mut bytes = encode_frame(&a).unwrap();
+        bytes.extend(encode_frame(&b).unwrap());
+        let mut cur = Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), a);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b);
+        assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_torn_not_clean() {
+        let bytes = encode_frame(&Frame::new(FrameKind::Request, 9, b"payload".to_vec())).unwrap();
+        // every strict prefix except the empty one is a torn frame
+        for cut in 1..bytes.len() {
+            let mut cur = Cursor::new(bytes[..cut].to_vec());
+            match read_frame(&mut cur) {
+                Err(FrameError::Truncated { needed, got }) => {
+                    assert!(got < needed, "cut at {cut}: got {got} needed {needed}")
+                }
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+        // the empty prefix is a clean close
+        let mut cur = Cursor::new(Vec::new());
+        assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut bytes = encode_frame(&Frame::new(FrameKind::Request, 1, Vec::new())).unwrap();
+        bytes[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cur = Cursor::new(bytes);
+        match read_frame(&mut cur) {
+            Err(FrameError::Oversized { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, MAX_PAYLOAD);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // encoding an oversized payload is refused symmetrically
+        let big = Frame::new(FrameKind::Request, 1, vec![0u8; MAX_PAYLOAD as usize + 1]);
+        assert!(matches!(
+            encode_frame(&big),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_version_and_kind_are_typed_errors() {
+        let good = encode_frame(&Frame::new(FrameKind::Request, 1, b"x".to_vec())).unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bad)),
+            Err(FrameError::BadMagic(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bad)),
+            Err(FrameError::BadVersion(99))
+        ));
+
+        let mut bad = good;
+        bad[5] = 0;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bad)),
+            Err(FrameError::BadKind(0))
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Any frame round-trips bit-exactly through encode + read.
+        #[test]
+        fn arbitrary_frames_roundtrip(
+            kind_byte in 1u8..=4,
+            corr_id in any::<u64>(),
+            payload in prop::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let kind = FrameKind::from_byte(kind_byte).unwrap();
+            let f = Frame::new(kind, corr_id, payload);
+            prop_assert_eq!(roundtrip(&f), f);
+        }
+
+        /// Any strict prefix of a frame reads as Truncated, never as a
+        /// clean close, a panic, or a bogus frame.
+        #[test]
+        fn arbitrary_truncations_are_typed(
+            corr_id in any::<u64>(),
+            payload in prop::collection::vec(any::<u8>(), 1..256),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let f = Frame::new(FrameKind::Request, corr_id, payload);
+            let bytes = encode_frame(&f).unwrap();
+            let cut = 1 + ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            prop_assume!(cut < bytes.len());
+            let res = read_frame(&mut Cursor::new(bytes[..cut].to_vec()));
+            prop_assert!(matches!(res, Err(FrameError::Truncated { .. })), "cut={} res={:?}", cut, res);
+        }
+    }
+}

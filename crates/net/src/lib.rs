@@ -1,0 +1,86 @@
+//! # fact-net — cross-process shard serving
+//!
+//! The decision service in `fact-serve` runs all shards as threads in one
+//! process. This crate is the wire layer that lets the same routing hash
+//! dispatch to shards hosted in *other* processes over Unix-domain sockets:
+//!
+//! * [`frame`] — a length-prefixed binary frame codec (request / response /
+//!   checkpoint / control frames). Std-only, no async runtime: blocking
+//!   I/O with one reader and one writer thread per connection, mirroring
+//!   the single-writer shape of the serve-side audit sink.
+//! * [`payload`] — the JSON wire payloads carried inside frames. All types
+//!   are plain named-field structs with `Option` fields (the vendored
+//!   serde derives support nothing fancier, which keeps the wire format
+//!   boring on purpose).
+//! * [`client`] — [`RemoteShard`], a connection to one worker process:
+//!   correlation-id matched in-flight requests, reconnect-on-next-request
+//!   after a worker dies, RTT / reconnect / error counters.
+//! * [`server`] — [`Server`], the worker-side acceptor: each connection
+//!   gets a reader thread that enqueues work fast and a writer thread
+//!   that drains completion thunks in FIFO order, so responses pipeline
+//!   without reordering.
+//!
+//! The crate knows nothing about `fact-serve`'s `Decision` types: the
+//! payload structs are the protocol, and both ends convert at the edge.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod payload;
+pub mod server;
+
+pub use client::{PendingReply, RemoteShard, RemoteStatsSnapshot};
+pub use frame::{read_frame, write_frame, Frame, FrameError, FrameKind, HEADER_LEN, MAX_PAYLOAD};
+pub use payload::{
+    decode, encode, CheckpointAckWire, ControlAckWire, ControlWire, DecisionWire, RequestWire,
+    ResponseWire,
+};
+pub use server::{Server, ShardHandler};
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the client/payload layers.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level I/O failure (connect, write).
+    Io(io::Error),
+    /// The frame codec rejected bytes on the wire.
+    Frame(FrameError),
+    /// The connection dropped while a reply was still pending.
+    Disconnected,
+    /// No reply arrived within the caller's deadline.
+    Timeout,
+    /// A payload failed to parse as the expected wire type.
+    Decode(String),
+    /// The remote worker answered with an application-level error.
+    Remote(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "net i/o error: {e}"),
+            NetError::Frame(e) => write!(f, "frame error: {e}"),
+            NetError::Disconnected => write!(f, "connection closed with reply pending"),
+            NetError::Timeout => write!(f, "timed out waiting for reply"),
+            NetError::Decode(msg) => write!(f, "payload decode error: {msg}"),
+            NetError::Remote(msg) => write!(f, "remote error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}

@@ -1,0 +1,159 @@
+//! JSON wire payloads carried inside frames.
+//!
+//! The vendored serde derives support named-field structs and `Option`
+//! fields only, so success/failure is expressed as paired `Option`s
+//! (`ok` / `error`) rather than a tagged enum. Exactly one should be
+//! `Some`; [`ResponseWire::into_result`] enforces that at the edge.
+
+use serde::{Deserialize, Serialize};
+
+use crate::NetError;
+
+/// A decision request: client → worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestWire {
+    /// Feature vector for the model hosted by the worker shard.
+    pub features: Vec<f64>,
+    /// Protected-group membership for the fairness guard.
+    pub group_b: bool,
+    /// Routing key; the worker uses it to pick its local shard.
+    pub route_key: u64,
+}
+
+/// A served decision (mirrors `fact-serve`'s `Decision`, converted at the
+/// edge so this crate stays serve-agnostic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionWire {
+    /// Model score in `[0, 1]`.
+    pub probability: f64,
+    /// Whether the score cleared the favorable threshold.
+    pub favorable: bool,
+    /// Whether any guard flagged the decision.
+    pub flagged: bool,
+    /// Worker-local shard that served it.
+    pub shard: usize,
+}
+
+/// A decision response: worker → client. Exactly one of `ok` / `error`
+/// is `Some`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseWire {
+    /// The decision, when the worker served it.
+    pub ok: Option<DecisionWire>,
+    /// The worker-side error, when it did not.
+    pub error: Option<String>,
+}
+
+impl ResponseWire {
+    /// Wrap a served decision.
+    pub fn success(decision: DecisionWire) -> ResponseWire {
+        ResponseWire {
+            ok: Some(decision),
+            error: None,
+        }
+    }
+
+    /// Wrap a worker-side failure.
+    pub fn failure(msg: impl Into<String>) -> ResponseWire {
+        ResponseWire {
+            ok: None,
+            error: Some(msg.into()),
+        }
+    }
+
+    /// Collapse the option pair back into a result, treating a malformed
+    /// both-`None` response as a remote error.
+    pub fn into_result(self) -> Result<DecisionWire, NetError> {
+        match (self.ok, self.error) {
+            (Some(d), _) => Ok(d),
+            (None, Some(msg)) => Err(NetError::Remote(msg)),
+            (None, None) => Err(NetError::Decode(
+                "response carried neither ok nor error".into(),
+            )),
+        }
+    }
+}
+
+/// An out-of-band control command ("ping", "shutdown", "checkpoint").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlWire {
+    /// Command verb.
+    pub command: String,
+}
+
+/// Acknowledgement for a control command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlAckWire {
+    /// Whether the worker accepted the command.
+    pub ok: bool,
+    /// Human-readable detail (e.g. why a command was refused).
+    pub info: String,
+}
+
+/// Acknowledgement for a checkpoint flush: what was durably written.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointAckWire {
+    /// Shards whose guard state was checkpointed.
+    pub shards: usize,
+    /// Total decisions covered by the checkpoints.
+    pub decisions: u64,
+}
+
+/// Encode a wire type as JSON payload bytes.
+pub fn encode<T: Serialize>(value: &T) -> Result<Vec<u8>, NetError> {
+    serde_json::to_string(value)
+        .map(String::into_bytes)
+        .map_err(|e| NetError::Decode(e.to_string()))
+}
+
+/// Decode JSON payload bytes into a wire type.
+pub fn decode<T: Deserialize>(bytes: &[u8]) -> Result<T, NetError> {
+    let s = std::str::from_utf8(bytes).map_err(|e| NetError::Decode(e.to_string()))?;
+    serde_json::from_str(s).map_err(|e| NetError::Decode(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_response_roundtrip() {
+        let req = RequestWire {
+            features: vec![0.25, -1.5, 3.0],
+            group_b: true,
+            route_key: 42,
+        };
+        let back: RequestWire = decode(&encode(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+
+        let resp = ResponseWire::success(DecisionWire {
+            probability: 0.875,
+            favorable: true,
+            flagged: false,
+            shard: 3,
+        });
+        let back: ResponseWire = decode(&encode(&resp).unwrap()).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.into_result().unwrap().shard, 3);
+    }
+
+    #[test]
+    fn failure_and_malformed_responses_surface_as_errors() {
+        let resp = ResponseWire::failure("queue full");
+        let back: ResponseWire = decode(&encode(&resp).unwrap()).unwrap();
+        assert!(matches!(back.into_result(), Err(NetError::Remote(m)) if m == "queue full"));
+
+        let neither = ResponseWire {
+            ok: None,
+            error: None,
+        };
+        assert!(matches!(neither.into_result(), Err(NetError::Decode(_))));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode::<RequestWire>(b"not json").is_err());
+        assert!(decode::<RequestWire>(&[0xff, 0xfe]).is_err());
+        assert!(decode::<RequestWire>(b"{\"features\": \"nope\"}").is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! [`Server`]: the worker-side acceptor.
+//!
+//! Each accepted connection gets two threads, mirroring the single-writer
+//! shape used by the serve-side audit sink:
+//!
+//! * a **reader** that decodes frames and immediately hands each one to the
+//!   [`ShardHandler`], which returns a *completion thunk* — enqueue fast,
+//!   never block the socket on shard work;
+//! * a **writer** that drains thunks in FIFO order, blocking on each until
+//!   its response payload is ready, and writes the reply frame.
+//!
+//! Because the thunks are drained in submission order by a single writer,
+//! responses pipeline (many in flight) without interleaving partial frames,
+//! and per-connection reply order matches request order even though the
+//! correlation id would tolerate reordering.
+
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use crate::frame::{read_frame, write_frame, Frame, FrameKind};
+
+/// What a worker process plugs into the server: turn one request payload
+/// into a thunk that, when called, blocks until the response payload is
+/// ready.
+///
+/// `submit` runs on the connection's reader thread and must return
+/// quickly (enqueue, don't compute); the thunk runs on the connection's
+/// writer thread.
+pub trait ShardHandler: Send + Sync + 'static {
+    /// Accept one frame's payload and return its completion thunk.
+    fn submit(&self, kind: FrameKind, payload: Vec<u8>) -> Box<dyn FnOnce() -> Vec<u8> + Send>;
+}
+
+/// A listening fact-net endpoint on a Unix-domain socket.
+pub struct Server {
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<UnixStream>>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `path` and start accepting connections, dispatching frames to
+    /// `handler`. A stale socket file at `path` is removed first.
+    pub fn bind(path: impl Into<PathBuf>, handler: Arc<dyn ShardHandler>) -> io::Result<Server> {
+        let path = path.into();
+        match std::fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let listener = UnixListener::bind(&path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<UnixStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_conns = Arc::clone(&conns);
+        let accept_threads = Arc::clone(&conn_threads);
+        let accept_thread = thread::Builder::new()
+            .name("fact-net-accept".into())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if accept_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let stream = match incoming {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    if let Ok(clone) = stream.try_clone() {
+                        accept_conns.lock().expect("conns lock").push(clone);
+                    }
+                    let handler = Arc::clone(&handler);
+                    if let Ok(h) = thread::Builder::new()
+                        .name("fact-net-conn".into())
+                        .spawn(move || serve_conn(stream, handler))
+                    {
+                        accept_threads.lock().expect("threads lock").push(h);
+                    }
+                }
+            })?;
+
+        Ok(Server {
+            path,
+            stop,
+            accept_thread: Some(accept_thread),
+            conns,
+            conn_threads,
+        })
+    }
+
+    /// The socket path this server listens on.
+    pub fn local_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stop accepting, sever live connections, and join all threads.
+    /// Idempotent via drop; callable explicitly for deterministic teardown.
+    pub fn shutdown(&mut self) {
+        self.teardown(true);
+    }
+
+    /// Like [`shutdown`], but detaches connection threads instead of
+    /// joining them — for kill paths where a connection thread may be
+    /// wedged in shard work and the caller cannot afford to wait it out.
+    ///
+    /// [`shutdown`]: Server::shutdown
+    pub fn sever(&mut self) {
+        self.teardown(false);
+    }
+
+    fn teardown(&mut self, join_conns: bool) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // wake the blocking accept with a throwaway connection
+        let _ = UnixStream::connect(&self.path);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        for conn in self.conns.lock().expect("conns lock").drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let threads: Vec<_> = self
+            .conn_threads
+            .lock()
+            .expect("threads lock")
+            .drain(..)
+            .collect();
+        if join_conns {
+            for h in threads {
+                let _ = h.join();
+            }
+        } // else: handles drop here, detaching the threads
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A request frame is answered with a `Response` frame; checkpoint and
+/// control frames are acked with their own kind.
+fn reply_kind(request: FrameKind) -> FrameKind {
+    match request {
+        FrameKind::Request => FrameKind::Response,
+        other => other,
+    }
+}
+
+fn serve_conn(stream: UnixStream, handler: Arc<dyn ShardHandler>) {
+    type Job = (u64, FrameKind, Box<dyn FnOnce() -> Vec<u8> + Send>);
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let writer_thread = thread::Builder::new()
+        .name("fact-net-writer".into())
+        .spawn(move || {
+            for (corr_id, kind, thunk) in job_rx {
+                let payload = thunk();
+                let frame = Frame::new(reply_kind(kind), corr_id, payload);
+                if write_frame(&mut writer, &frame).is_err() {
+                    break; // client gone; drain remaining thunks unsent
+                }
+            }
+        });
+    let writer_thread = match writer_thread {
+        Ok(h) => h,
+        Err(_) => return,
+    };
+
+    let mut reader = stream;
+    // a clean close (Ok(None)), torn frame, or malformed header all end the
+    // loop: the codec already typed the error, and a protocol violation is
+    // not recoverable mid-stream
+    while let Ok(Some(frame)) = read_frame(&mut reader) {
+        let thunk = handler.submit(frame.kind, frame.payload);
+        if job_tx.send((frame.corr_id, frame.kind, thunk)).is_err() {
+            break;
+        }
+    }
+    drop(job_tx); // writer drains queued work, then exits
+    let _ = writer_thread.join();
+}

@@ -1,0 +1,206 @@
+//! End-to-end exercises of the client/server pair over real Unix sockets:
+//! pipelined round trips, mid-stream disconnects surfacing as typed errors
+//! (never a panic or a hang), reconnect-after-restart, and a peer that
+//! writes garbage.
+
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fact_net::{
+    decode, encode, FrameKind, NetError, RemoteShard, RequestWire, ResponseWire, Server,
+    ShardHandler,
+};
+
+const WAIT: Duration = Duration::from_secs(5);
+
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fact-net-{tag}-{}.sock", std::process::id()))
+}
+
+/// Echoes requests back as decisions whose probability is the first
+/// feature; counts frames seen.
+struct EchoHandler {
+    seen: AtomicU64,
+}
+
+impl ShardHandler for EchoHandler {
+    fn submit(&self, kind: FrameKind, payload: Vec<u8>) -> Box<dyn FnOnce() -> Vec<u8> + Send> {
+        self.seen.fetch_add(1, Ordering::Relaxed);
+        Box::new(move || match kind {
+            FrameKind::Request => {
+                let resp = match decode::<RequestWire>(&payload) {
+                    Ok(req) => ResponseWire::success(fact_net::DecisionWire {
+                        probability: req.features.first().copied().unwrap_or(0.0),
+                        favorable: req.group_b,
+                        flagged: false,
+                        shard: (req.route_key % 4) as usize,
+                    }),
+                    Err(e) => ResponseWire::failure(e.to_string()),
+                };
+                encode(&resp).unwrap()
+            }
+            _ => payload,
+        })
+    }
+}
+
+fn start_echo(tag: &str) -> (Server, PathBuf, Arc<EchoHandler>) {
+    let path = sock_path(tag);
+    let handler = Arc::new(EchoHandler {
+        seen: AtomicU64::new(0),
+    });
+    let server = Server::bind(&path, Arc::clone(&handler) as Arc<dyn ShardHandler>).unwrap();
+    (server, path, handler)
+}
+
+fn request(route_key: u64, p: f64) -> Vec<u8> {
+    encode(&RequestWire {
+        features: vec![p, 1.0],
+        group_b: route_key % 2 == 0,
+        route_key,
+    })
+    .unwrap()
+}
+
+#[test]
+fn pipelined_requests_all_answer_with_matching_ids() {
+    let (mut server, path, handler) = start_echo("pipeline");
+    let shard = RemoteShard::connect(&path).unwrap();
+
+    // fire 64 requests before waiting on any reply
+    let pending: Vec<_> = (0..64u64)
+        .map(|i| {
+            shard
+                .send(FrameKind::Request, request(i, i as f64 / 64.0))
+                .unwrap()
+        })
+        .collect();
+    for (i, reply) in pending.into_iter().enumerate() {
+        let frame = reply.wait(WAIT).unwrap();
+        assert_eq!(frame.kind, FrameKind::Response);
+        let resp: ResponseWire = decode(&frame.payload).unwrap();
+        let decision = resp.into_result().unwrap();
+        assert!((decision.probability - i as f64 / 64.0).abs() < 1e-12);
+        assert_eq!(decision.shard, (i % 4) as usize);
+    }
+
+    let stats = shard.stats();
+    assert_eq!(stats.requests, 64);
+    assert_eq!(stats.reconnects, 0);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.rtt_count, 64);
+    assert!(stats.rtt_mean_micros > 0.0);
+    assert_eq!(handler.seen.load(Ordering::Relaxed), 64);
+    server.shutdown();
+}
+
+#[test]
+fn control_frames_ack_with_their_own_kind() {
+    let (mut server, path, _) = start_echo("control");
+    let shard = RemoteShard::connect(&path).unwrap();
+    let ack = shard.control("ping", WAIT).unwrap();
+    assert_eq!(ack.kind, FrameKind::Control);
+    let wire: fact_net::ControlWire = decode(&ack.payload).unwrap();
+    assert_eq!(wire.command, "ping"); // echo handler reflects the payload
+    server.shutdown();
+}
+
+#[test]
+fn server_death_fails_pending_replies_with_typed_error() {
+    /// Never answers: thunks block until the connection is severed.
+    struct StallHandler;
+    impl ShardHandler for StallHandler {
+        fn submit(&self, _: FrameKind, _: Vec<u8>) -> Box<dyn FnOnce() -> Vec<u8> + Send> {
+            Box::new(|| {
+                std::thread::sleep(Duration::from_secs(30));
+                Vec::new()
+            })
+        }
+    }
+
+    let path = sock_path("death");
+    let mut server = Server::bind(&path, Arc::new(StallHandler)).unwrap();
+    let shard = RemoteShard::connect(&path).unwrap();
+    let reply = shard.send(FrameKind::Request, request(1, 0.5)).unwrap();
+
+    // sever (not shutdown): the writer thread is wedged in the 30 s thunk,
+    // and the client must see Disconnected as soon as the socket drops
+    let killer = std::thread::spawn(move || server.sever());
+    match reply.wait(WAIT) {
+        Err(NetError::Disconnected) => {}
+        other => panic!("expected Disconnected, got {other:?}"),
+    }
+    assert_eq!(shard.stats().errors, 1);
+    killer.join().unwrap();
+}
+
+#[test]
+fn client_reconnects_after_server_restart() {
+    let (mut server, path, _) = start_echo("restart");
+    let shard = RemoteShard::connect(&path).unwrap();
+    shard
+        .send(FrameKind::Request, request(1, 0.25))
+        .unwrap()
+        .wait(WAIT)
+        .unwrap();
+    server.shutdown();
+
+    // in-flight-free death: the next send fails (worker gone)...
+    let err = match shard.send(FrameKind::Request, request(2, 0.5)) {
+        Ok(reply) => reply.wait(WAIT).unwrap_err(),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, NetError::Io(_) | NetError::Disconnected),
+        "{err:?}"
+    );
+
+    // ...and once a new worker binds the same path, sends heal transparently
+    let (mut server2, _, _) = start_echo("restart");
+    let mut healed = false;
+    for _ in 0..50 {
+        match shard.send(FrameKind::Request, request(3, 0.75)) {
+            Ok(reply) => {
+                if reply.wait(WAIT).is_ok() {
+                    healed = true;
+                    break;
+                }
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    assert!(healed, "client never healed after restart");
+    assert!(shard.stats().reconnects >= 1);
+    server2.shutdown();
+}
+
+#[test]
+fn garbage_peer_drops_connection_without_killing_server() {
+    let (mut server, path, handler) = start_echo("garbage");
+
+    // a raw peer writes a torn header then vanishes
+    let mut raw = UnixStream::connect(&path).unwrap();
+    raw.write_all(b"FNE").unwrap();
+    drop(raw);
+
+    // another writes a bad magic
+    let mut raw = UnixStream::connect(&path).unwrap();
+    raw.write_all(&[0u8; 32]).unwrap();
+    drop(raw);
+
+    // the server keeps serving well-formed clients
+    let shard = RemoteShard::connect(&path).unwrap();
+    let frame = shard
+        .send(FrameKind::Request, request(9, 0.125))
+        .unwrap()
+        .wait(WAIT)
+        .unwrap();
+    let resp: ResponseWire = decode(&frame.payload).unwrap();
+    assert!(resp.into_result().is_ok());
+    assert_eq!(handler.seen.load(Ordering::Relaxed), 1); // garbage never reached the handler
+    server.shutdown();
+}

@@ -81,6 +81,7 @@
 
 pub mod audit_sink;
 pub mod cache;
+pub mod checkpoint;
 pub mod guards;
 pub mod metrics;
 pub mod service;
@@ -91,13 +92,17 @@ pub use audit_sink::{
     AuditStorage, FileStorage, MemStorage, RecoveryReport, SegmentAudit, SinkReport,
 };
 pub use cache::{CacheConfig, CachedFeatureSource, Clock, ManualClock, SystemClock};
+pub use checkpoint::{
+    checkpoint_path, load_checkpoint, write_checkpoint, CheckpointConfig, GuardCheckpoint,
+    LedgerEntry,
+};
 pub use guards::{AlertKind, DegradePolicy, GuardConfig, ServiceAlert};
 pub use metrics::{
     CacheSnapshot, CacheStats, LatencyHistogram, MetricsRegistry, MetricsSnapshot, ShardSnapshot,
 };
 pub use service::{
-    Decision, DecisionHandle, DecisionRequest, DecisionService, ServeConfig, ServeError,
-    ServiceReport, ShardReport,
+    Decision, DecisionHandle, DecisionRequest, DecisionService, NetShardHandler, RemoteShardReport,
+    ServeConfig, ServeError, ServiceReport, ShardReport, ShardSlot,
 };
 pub use source::{FailingFeatureSource, FeatureSource, InlineFeatures, SimulatedRemoteSource};
 

@@ -17,7 +17,8 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::Ordering;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{
     channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
     TrySendError,
@@ -28,11 +29,16 @@ use std::time::{Duration, Instant};
 
 use fact_core::runtime::Alert;
 use fact_ml::Classifier;
+use fact_net::{
+    decode as net_decode, encode as net_encode, CheckpointAckWire, ControlAckWire, ControlWire,
+    DecisionWire, FrameKind, NetError, PendingReply, RemoteShard, RequestWire, ResponseWire,
+};
 
 use crate::audit_sink::{
     AuditEvent, AuditSink, AuditSinkConfig, AuditSinkHandle, AuditStorage, RecoveryReport,
 };
 use crate::cache::{CacheConfig, CachedFeatureSource, SystemClock};
+use crate::checkpoint::{load_checkpoint, write_checkpoint, CheckpointConfig};
 use crate::guards::{AlertHub, AlertKind, DegradePolicy, GuardConfig, ServiceAlert, ShardGuards};
 use crate::metrics::{CacheSnapshot, MetricsRegistry, MetricsSnapshot};
 use crate::source::{FeatureSource, InlineFeatures};
@@ -63,6 +69,9 @@ pub enum ServeError {
     ShuttingDown,
     /// The model failed on this batch.
     Internal(String),
+    /// A remote shard failed at the transport level (worker down, torn
+    /// connection, malformed reply) or answered with a worker-side error.
+    Remote(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -74,6 +83,7 @@ impl std::fmt::Display for ServeError {
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
+            ServeError::Remote(msg) => write!(f, "remote shard error: {msg}"),
         }
     }
 }
@@ -115,6 +125,25 @@ pub struct ServeConfig {
     /// upstream. The cache's counters land in the service metrics and the
     /// final [`ServiceReport`].
     pub cache: Option<CacheConfig>,
+    /// Where each shard runs: `None` keeps every shard in-process (the
+    /// pre-fact-net behavior). When set, it must have exactly `shards`
+    /// entries; [`ShardSlot::Remote`] entries are dialed over fact-net
+    /// instead of getting a local worker thread, and the routing hash is
+    /// unchanged either way.
+    pub topology: Option<Vec<ShardSlot>>,
+    /// Periodic + on-shutdown guard-state checkpointing for local shards;
+    /// on startup each local shard restores its fairness window, ε
+    /// ledger, and DP counters from its sidecar file if one exists.
+    pub checkpoint: Option<CheckpointConfig>,
+}
+
+/// Where one shard of the routing space is hosted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardSlot {
+    /// A worker thread in this process (the default).
+    Local,
+    /// A `fact-shardd` worker reached over the Unix socket at this path.
+    Remote(PathBuf),
 }
 
 impl Default for ServeConfig {
@@ -134,6 +163,8 @@ impl Default for ServeConfig {
             seed: 0,
             audit: None,
             cache: None,
+            topology: None,
+            checkpoint: None,
         }
     }
 }
@@ -163,36 +194,96 @@ pub struct Decision {
     pub shard: usize,
 }
 
-/// An in-flight decision returned by [`DecisionService::submit`].
+/// The transport a handle is waiting on: a local worker's reply channel
+/// or a fact-net in-flight frame.
+enum HandleInner {
+    Local {
+        rx: Receiver<Result<Decision, ServeError>>,
+    },
+    Remote {
+        reply: PendingReply,
+        enqueued: Instant,
+    },
+}
+
+/// An in-flight decision returned by [`DecisionService::submit`]. The
+/// caller cannot tell (and need not care) whether the shard is a local
+/// worker thread or a remote process.
 pub struct DecisionHandle {
-    rx: Receiver<Result<Decision, ServeError>>,
+    inner: HandleInner,
     shard: usize,
     metrics: Arc<MetricsRegistry>,
+}
+
+/// Convert a worker's wire reply into the local decision type, stamped
+/// with the *client-side* slot index so routing stays observable.
+fn decode_remote_decision(payload: &[u8], slot: usize) -> Result<Decision, ServeError> {
+    let wire: ResponseWire = net_decode(payload).map_err(|e| ServeError::Remote(e.to_string()))?;
+    let d = wire.into_result().map_err(|e| match e {
+        NetError::Remote(msg) => ServeError::Remote(msg),
+        other => ServeError::Remote(other.to_string()),
+    })?;
+    Ok(Decision {
+        probability: d.probability,
+        favorable: d.favorable,
+        flagged: d.flagged,
+        shard: slot,
+    })
 }
 
 impl DecisionHandle {
     /// Block until the decision arrives or `timeout` passes.
     pub fn wait(self, timeout: Duration) -> Result<Decision, ServeError> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(result) => result,
-            Err(RecvTimeoutError::Timeout) => {
-                self.metrics
-                    .shard(self.shard)
-                    .timeouts
-                    .fetch_add(1, Ordering::Relaxed);
-                Err(ServeError::Timeout { waited: timeout })
-            }
-            // The worker exited without answering: only possible mid-shutdown.
-            Err(RecvTimeoutError::Disconnected) => Err(ServeError::ShuttingDown),
+        let m = self.metrics.shard(self.shard);
+        match self.inner {
+            HandleInner::Local { rx } => match rx.recv_timeout(timeout) {
+                Ok(result) => result,
+                Err(RecvTimeoutError::Timeout) => {
+                    m.timeouts.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::Timeout { waited: timeout })
+                }
+                // The worker exited without answering: only possible
+                // mid-shutdown.
+                Err(RecvTimeoutError::Disconnected) => Err(ServeError::ShuttingDown),
+            },
+            HandleInner::Remote { reply, enqueued } => match reply.wait(timeout) {
+                Ok(frame) => {
+                    let result = decode_remote_decision(&frame.payload, self.shard);
+                    if result.is_ok() {
+                        m.served.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.latency.record(enqueued.elapsed());
+                    }
+                    result
+                }
+                Err(NetError::Timeout) => {
+                    m.timeouts.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::Timeout { waited: timeout })
+                }
+                Err(e) => Err(ServeError::Remote(e.to_string())),
+            },
         }
     }
 
     /// Non-blocking poll; `None` while the decision is still in flight.
     pub fn try_wait(&self) -> Option<Result<Decision, ServeError>> {
-        match self.rx.try_recv() {
-            Ok(result) => Some(result),
-            Err(TryRecvError::Empty) => None,
-            Err(TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        match &self.inner {
+            HandleInner::Local { rx } => match rx.try_recv() {
+                Ok(result) => Some(result),
+                Err(TryRecvError::Empty) => None,
+                Err(TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+            },
+            HandleInner::Remote { reply, enqueued } => match reply.try_wait()? {
+                Ok(frame) => {
+                    let result = decode_remote_decision(&frame.payload, self.shard);
+                    if result.is_ok() {
+                        let m = self.metrics.shard(self.shard);
+                        m.served.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.latency.record(enqueued.elapsed());
+                    }
+                    Some(result)
+                }
+                Err(e) => Some(Err(ServeError::Remote(e.to_string()))),
+            },
         }
     }
 }
@@ -214,6 +305,28 @@ pub struct ShardReport {
     pub alerts: u64,
     /// ε spent by this shard's DP counter.
     pub epsilon_spent: f64,
+    /// Guard checkpoints durably written (periodic + final).
+    pub checkpoints: u64,
+    /// Lifetime decision count restored from a checkpoint at startup
+    /// (zero on first boot or when checkpointing is off).
+    pub resumed_at: u64,
+}
+
+/// Client-side view of one remote shard's connection at shutdown.
+#[derive(Debug, Clone)]
+pub struct RemoteShardReport {
+    /// Shard slot the worker serves.
+    pub shard: usize,
+    /// Decisions this client observed served by the worker.
+    pub served: u64,
+    /// Frames sent to the worker.
+    pub requests: u64,
+    /// Reconnects after the worker dropped the connection.
+    pub reconnects: u64,
+    /// Transport-level errors (including timeouts).
+    pub errors: u64,
+    /// Mean request round-trip time in microseconds.
+    pub rtt_mean_micros: f64,
 }
 
 /// The final accounting returned by [`DecisionService::shutdown`].
@@ -249,8 +362,15 @@ pub struct ServiceReport {
     /// Feature-cache counters at shutdown (hits, misses, negative hits,
     /// evictions); all zero when no cache is configured.
     pub cache: CacheSnapshot,
-    /// Per-shard breakdown.
+    /// Guard checkpoints durably written across all local shards.
+    pub checkpoints_written: u64,
+    /// Per-shard breakdown (local shards only; remote workers keep their
+    /// own reports in their own processes).
     pub shards: Vec<ShardReport>,
+    /// Client-side transport stats for each remote shard slot. Shutting
+    /// down this service does *not* stop the remote workers — their
+    /// lifecycle belongs to whoever spawned them.
+    pub remotes: Vec<RemoteShardReport>,
 }
 
 impl ServiceReport {
@@ -280,8 +400,24 @@ impl ServiceReport {
         ));
         for s in &self.shards {
             out.push_str(&format!(
-                "  shard {}: served={} batches={} rejected={} flagged={} alerts={} eps={:.4}\n",
-                s.shard, s.served, s.batches, s.rejected, s.flagged, s.alerts, s.epsilon_spent,
+                "  shard {}: served={} batches={} rejected={} flagged={} alerts={} eps={:.4} \
+                 checkpoints={} resumed_at={}\n",
+                s.shard,
+                s.served,
+                s.batches,
+                s.rejected,
+                s.flagged,
+                s.alerts,
+                s.epsilon_spent,
+                s.checkpoints,
+                s.resumed_at,
+            ));
+        }
+        for r in &self.remotes {
+            out.push_str(&format!(
+                "  remote shard {}: served={} requests={} reconnects={} errors={} \
+                 rtt_mean={:.1}us\n",
+                r.shard, r.served, r.requests, r.reconnects, r.errors, r.rtt_mean_micros,
             ));
         }
         out
@@ -314,6 +450,11 @@ struct Inner {
     /// The cache decorating the feature source, retained so rollouts can
     /// invalidate it through the service; `None` when caching is off.
     cache: Option<Arc<CachedFeatureSource>>,
+    /// One fact-net client per remote shard slot (`None` for local slots).
+    remotes: Vec<Option<Arc<RemoteShard>>>,
+    /// Bumped by [`DecisionService::request_checkpoint`]; local workers
+    /// compare against it after every batch and flush when it moved.
+    checkpoint_gen: Arc<AtomicU64>,
 }
 
 /// A cheaply-cloneable handle to the serving fabric. All clones address the
@@ -394,6 +535,22 @@ impl DecisionService {
                 ));
             }
         }
+        if let Some(topology) = &config.topology {
+            if topology.len() != config.shards {
+                return Err(ServeError::BadRequest(format!(
+                    "topology has {} slots but shards is {}",
+                    topology.len(),
+                    config.shards
+                )));
+            }
+        }
+        if let Some(ck) = &config.checkpoint {
+            if ck.every == 0 || ck.segment_events == 0 {
+                return Err(ServeError::BadRequest(
+                    "checkpoint.every and checkpoint.segment_events must be positive".into(),
+                ));
+            }
+        }
         let metrics = Arc::new(MetricsRegistry::new(config.shards));
         // The cache decorates whatever source the caller supplied, sharing
         // its counters with the registry so snapshots and the final report
@@ -410,17 +567,58 @@ impl DecisionService {
             Some(c) => Arc::clone(c) as Arc<dyn FeatureSource>,
             None => source,
         };
+        let checkpoint_gen = Arc::new(AtomicU64::new(0));
         let (alert_tx, alert_rx) = channel();
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
+        let mut remotes: Vec<Option<Arc<RemoteShard>>> = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
+            let slot = config
+                .topology
+                .as_ref()
+                .map_or(&ShardSlot::Local, |t| &t[shard]);
+            if let ShardSlot::Remote(path) = slot {
+                // No local worker: a dummy sender keeps the vec aligned
+                // (its receiver drops here, so a stray send just reports
+                // ShuttingDown rather than wedging).
+                let (tx, _) = sync_channel::<Job>(1);
+                senders.push(tx);
+                remotes.push(Some(Arc::new(RemoteShard::connect(path).map_err(|e| {
+                    ServeError::Remote(format!("shard {shard} at {path:?}: {e}"))
+                })?)));
+                continue;
+            }
+            remotes.push(None);
             let (tx, rx) = sync_channel::<Job>(config.queue_cap);
             senders.push(tx);
+            let mut resumed_at = 0;
             let guards = match &config.guards {
-                Some(g) => Some(
-                    ShardGuards::new(g, config.seed.wrapping_add(shard as u64))
-                        .map_err(|e| ServeError::BadRequest(e.to_string()))?,
-                ),
+                Some(g) => {
+                    let mut guards = ShardGuards::new(g, config.seed.wrapping_add(shard as u64))
+                        .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+                    // Resume from the sidecar checkpoint, if one exists: a
+                    // respawned shard keeps its fairness window and ε
+                    // ledger instead of silently resetting them.
+                    if let Some(ck_cfg) = &config.checkpoint {
+                        match load_checkpoint(&ck_cfg.dir, shard) {
+                            Ok(Some(ck)) => {
+                                guards.restore(&ck).map_err(|e| {
+                                    ServeError::Internal(format!(
+                                        "shard {shard} checkpoint restore: {e}"
+                                    ))
+                                })?;
+                                resumed_at = ck.decisions;
+                            }
+                            Ok(None) => {}
+                            Err(e) => {
+                                return Err(ServeError::Internal(format!(
+                                    "shard {shard} checkpoint load: {e}"
+                                )))
+                            }
+                        }
+                    }
+                    Some(guards)
+                }
                 None => None,
             };
             let hub = AlertHub::new(
@@ -443,6 +641,9 @@ impl DecisionService {
                 policy: config.policy,
                 trip_cooldown: config.trip_cooldown,
                 audit: sink.as_ref().map(AuditSink::handle),
+                checkpoint: config.checkpoint.clone(),
+                base_decisions: resumed_at,
+                checkpoint_gen: Arc::clone(&checkpoint_gen),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -462,6 +663,8 @@ impl DecisionService {
                 audit_recovery: sink.as_ref().map(|s| s.recovery().clone()),
                 sink: Mutex::new(sink),
                 cache,
+                remotes,
+                checkpoint_gen,
             }),
         })
     }
@@ -486,6 +689,9 @@ impl DecisionService {
             )));
         }
         let shard = self.shard_of(request.route_key);
+        if let Some(remote) = self.inner.remotes[shard].as_deref() {
+            return self.submit_remote(remote, shard, request);
+        }
         let (reply_tx, reply_rx) = channel();
         let job = Job {
             features: request.features,
@@ -505,7 +711,7 @@ impl DecisionService {
             Ok(()) => {
                 m.enqueued.fetch_add(1, Ordering::Relaxed);
                 Ok(DecisionHandle {
-                    rx: reply_rx,
+                    inner: HandleInner::Local { rx: reply_rx },
                     shard,
                     metrics: Arc::clone(&self.inner.metrics),
                 })
@@ -522,11 +728,77 @@ impl DecisionService {
         }
     }
 
+    /// Ship a request to a remote worker over fact-net.
+    fn submit_remote(
+        &self,
+        remote: &RemoteShard,
+        shard: usize,
+        request: DecisionRequest,
+    ) -> Result<DecisionHandle, ServeError> {
+        if self
+            .inner
+            .senders
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_none()
+        {
+            return Err(ServeError::ShuttingDown);
+        }
+        let payload = net_encode(&RequestWire {
+            features: request.features,
+            group_b: request.group_b,
+            route_key: request.route_key,
+        })
+        .map_err(|e| ServeError::Remote(e.to_string()))?;
+        let enqueued = Instant::now();
+        let reply = remote
+            .send(FrameKind::Request, payload)
+            .map_err(|e| ServeError::Remote(e.to_string()))?;
+        let m = self.inner.metrics.shard(shard);
+        m.enqueued.fetch_add(1, Ordering::Relaxed);
+        Ok(DecisionHandle {
+            inner: HandleInner::Remote { reply, enqueued },
+            shard,
+            metrics: Arc::clone(&self.inner.metrics),
+        })
+    }
+
     /// Submit and wait for the decision under the configured default
     /// timeout.
     pub fn decide(&self, request: DecisionRequest) -> Result<Decision, ServeError> {
         let timeout = self.inner.config.default_timeout;
         self.submit(request)?.wait(timeout)
+    }
+
+    /// Ask every local worker to write a guard checkpoint at its next
+    /// batch boundary (a worker idle on an empty queue flushes when its
+    /// next batch completes). No-op when checkpointing is off.
+    pub fn request_checkpoint(&self) {
+        self.inner.checkpoint_gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Client-side transport stats for each remote shard slot (empty when
+    /// the whole topology is local).
+    pub fn remote_stats(&self) -> Vec<RemoteShardReport> {
+        let snap = self.inner.metrics.snapshot();
+        self.inner
+            .remotes
+            .iter()
+            .enumerate()
+            .filter_map(|(shard, r)| {
+                r.as_ref().map(|remote| {
+                    let s = remote.stats();
+                    RemoteShardReport {
+                        shard,
+                        served: snap.shards[shard].served,
+                        requests: s.requests,
+                        reconnects: s.reconnects,
+                        errors: s.errors,
+                        rtt_mean_micros: s.rtt_mean_micros,
+                    }
+                })
+            })
+            .collect()
     }
 
     /// An instantaneous metrics snapshot.
@@ -611,8 +883,10 @@ impl DecisionService {
             sink.take().map(AuditSink::finish)
         };
         let snap = self.inner.metrics.snapshot();
+        let remotes = self.remote_stats();
+        let remote_served: u64 = remotes.iter().map(|r| r.served).sum();
         let report = ServiceReport {
-            decisions_served: shards.iter().map(|s| s.served).sum(),
+            decisions_served: shards.iter().map(|s| s.served).sum::<u64>() + remote_served,
             shed: snap.shed(),
             timed_out: snap.shards.iter().map(|s| s.timeouts).sum(),
             rejected: shards.iter().map(|s| s.rejected).sum(),
@@ -623,7 +897,9 @@ impl DecisionService {
             lost_on_recovery: sink_report.as_ref().map_or(0, |r| r.recovery.lost),
             audit_segments: sink_report.as_ref().map_or(0, |r| r.segments),
             cache: snap.cache.clone(),
+            checkpoints_written: shards.iter().map(|s| s.checkpoints).sum(),
             shards,
+            remotes,
         };
         *report_slot = Some(report.clone());
         report
@@ -646,15 +922,42 @@ struct ShardWorker {
     trip_cooldown: u64,
     /// Sender into the durable audit sink; `None` when auditing is off.
     audit: Option<AuditSinkHandle>,
+    /// Guard-state checkpoint cadence; `None` disables checkpointing.
+    checkpoint: Option<CheckpointConfig>,
+    /// Lifetime decisions restored from a checkpoint at startup; the
+    /// shard keeps counting from here so its decision count survives
+    /// restarts.
+    base_decisions: u64,
+    /// Shared flush-request generation (see
+    /// [`DecisionService::request_checkpoint`]).
+    checkpoint_gen: Arc<AtomicU64>,
 }
 
 impl ShardWorker {
+    /// Write a guard checkpoint if guards and checkpointing are both on.
+    /// Returns whether one was durably written; failures are swallowed
+    /// (serving outranks checkpoint freshness — the previous checkpoint
+    /// file is still intact).
+    fn write_guard_checkpoint(&self, decisions: u64) -> bool {
+        let (Some(cfg), Some(guards)) = (&self.checkpoint, &self.guards) else {
+            return false;
+        };
+        guards
+            .checkpoint(self.shard, decisions, cfg.segment_events)
+            .ok()
+            .and_then(|ck| write_checkpoint(&cfg.dir, &ck).ok())
+            .is_some()
+    }
+
     fn run(mut self) -> ShardReport {
         let mut served: u64 = 0;
         let mut rejected: u64 = 0;
         let mut flagged: u64 = 0;
         let mut batches: u64 = 0;
         let mut alerts: u64 = 0;
+        let mut checkpoints: u64 = 0;
+        let mut last_checkpoint_at: u64 = self.base_decisions;
+        let mut seen_gen = self.checkpoint_gen.load(Ordering::Acquire);
         // decision count until which the degrade policy stays engaged
         let mut degraded_until: u64 = 0;
         let mut batch: Vec<Job> = Vec::with_capacity(self.batch_max);
@@ -785,6 +1088,26 @@ impl ShardWorker {
                 // an accepted request is still counted as served.
                 let _ = job.reply.send(result);
             }
+
+            // Periodic guard checkpoint at the batch boundary: on the
+            // cadence, or when a flush was requested via the service.
+            if let Some(cfg) = &self.checkpoint {
+                let decisions = self.base_decisions + served;
+                let gen = self.checkpoint_gen.load(Ordering::Acquire);
+                if decisions.saturating_sub(last_checkpoint_at) >= cfg.every || gen != seen_gen {
+                    if self.write_guard_checkpoint(decisions) {
+                        checkpoints += 1;
+                        last_checkpoint_at = decisions;
+                    }
+                    seen_gen = gen;
+                }
+            }
+        }
+
+        // Final checkpoint on clean drain, so a graceful shutdown loses
+        // nothing at all.
+        if self.checkpoint.is_some() && self.write_guard_checkpoint(self.base_decisions + served) {
+            checkpoints += 1;
         }
 
         ShardReport {
@@ -795,6 +1118,113 @@ impl ShardWorker {
             batches,
             alerts,
             epsilon_spent: self.guards.as_ref().map_or(0.0, ShardGuards::epsilon_spent),
+            checkpoints,
+            resumed_at: self.base_decisions,
+        }
+    }
+}
+
+/// The worker-side glue between a fact-net [`Server`](fact_net::Server)
+/// and a local [`DecisionService`]: decodes request frames, submits them
+/// into the service on the connection's reader thread (fast — bounded
+/// `try_send`), and waits for each decision inside the completion thunk on
+/// the connection's writer thread. This is what `fact-shardd` plugs into
+/// its server.
+///
+/// Control commands: `"ping"` acks; `"checkpoint"` requests a guard
+/// checkpoint flush; `"shutdown"` sets the shutdown flag (when one was
+/// provided) and acks — actually stopping the service and exiting is the
+/// hosting process's job, *after* it sees the flag, so the ack still
+/// reaches the client.
+pub struct NetShardHandler {
+    service: DecisionService,
+    /// Worker-side ceiling on how long a thunk waits for a decision.
+    timeout: Duration,
+    /// Set to true when a `"shutdown"` control command arrives.
+    shutdown_requested: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl NetShardHandler {
+    /// Wrap `service` for serving over fact-net.
+    pub fn new(service: DecisionService, timeout: Duration) -> Self {
+        NetShardHandler {
+            service,
+            timeout,
+            shutdown_requested: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        }
+    }
+
+    /// The flag a `"shutdown"` control command raises; the hosting process
+    /// polls it and performs the actual shutdown.
+    pub fn shutdown_flag(&self) -> Arc<std::sync::atomic::AtomicBool> {
+        Arc::clone(&self.shutdown_requested)
+    }
+}
+
+impl fact_net::ShardHandler for NetShardHandler {
+    fn submit(&self, kind: FrameKind, payload: Vec<u8>) -> Box<dyn FnOnce() -> Vec<u8> + Send> {
+        fn emit<T: serde::Serialize>(value: &T) -> Vec<u8> {
+            net_encode(value).unwrap_or_else(|_| b"{}".to_vec())
+        }
+        match kind {
+            FrameKind::Request => {
+                // Decode + submit here (reader thread): admission control
+                // stays immediate, so a full queue answers Busy without
+                // waiting behind earlier thunks.
+                let outcome = net_decode::<RequestWire>(&payload)
+                    .map_err(|e| ServeError::Remote(e.to_string()))
+                    .and_then(|req| {
+                        self.service.submit(DecisionRequest {
+                            features: req.features,
+                            group_b: req.group_b,
+                            route_key: req.route_key,
+                        })
+                    });
+                let timeout = self.timeout;
+                Box::new(move || {
+                    let resp = match outcome.and_then(|h| h.wait(timeout)) {
+                        Ok(d) => ResponseWire::success(DecisionWire {
+                            probability: d.probability,
+                            favorable: d.favorable,
+                            flagged: d.flagged,
+                            shard: d.shard,
+                        }),
+                        Err(e) => ResponseWire::failure(e.to_string()),
+                    };
+                    emit(&resp)
+                })
+            }
+            FrameKind::Checkpoint => {
+                self.service.request_checkpoint();
+                let ack = CheckpointAckWire {
+                    shards: self.service.shards(),
+                    decisions: self.service.metrics().served(),
+                };
+                Box::new(move || emit(&ack))
+            }
+            FrameKind::Control => {
+                let command = net_decode::<ControlWire>(&payload)
+                    .map(|c| c.command)
+                    .unwrap_or_default();
+                let (ok, info) = match command.as_str() {
+                    "ping" => (true, "pong".to_string()),
+                    "checkpoint" => {
+                        self.service.request_checkpoint();
+                        (true, "checkpoint requested".to_string())
+                    }
+                    "shutdown" => {
+                        self.shutdown_requested
+                            .store(true, std::sync::atomic::Ordering::Release);
+                        (true, "shutting down".to_string())
+                    }
+                    other => (false, format!("unknown command {other:?}")),
+                };
+                Box::new(move || emit(&ControlAckWire { ok, info }))
+            }
+            // a response frame arriving at a server is a protocol error
+            FrameKind::Response => {
+                Box::new(move || emit(&ResponseWire::failure("unexpected response frame")))
+            }
         }
     }
 }

@@ -12,12 +12,15 @@
 //! streams entries to disk through a `ChainHead` and re-derives it on
 //! restart with [`verify_chain_from`].
 //!
-//! The digest is a 64-bit mixing hash — adequate for demonstrating the
-//! mechanism and for accidental-corruption detection; a production
-//! deployment would swap in SHA-256 behind the same interface (noted in
-//! DESIGN.md and KNOWN_ISSUES.md).
+//! The digest is SHA-256 ([`mod@crate::sha256`]) truncated to the leading 64
+//! bits, so entry and head formats stay fixed-width while forging a link
+//! requires a second-preimage attack on SHA-256 (the ~2³² birthday bound of
+//! the earlier 64-bit mixing hash is gone; truncation caps collision
+//! resistance at 2³², noted in KNOWN_ISSUES.md).
 
 use serde::{Deserialize, Serialize};
+
+use crate::sha256::Sha256;
 
 /// One audit-log entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,28 +45,18 @@ pub struct AuditLog {
     entries: Vec<AuditEntry>,
 }
 
-fn mix(mut h: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    // splitmix64 finalizer
-    h = h.wrapping_add(0x9e3779b97f4a7c15);
-    let mut z = h;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
-}
-
 fn entry_hash(seq: u64, actor: &str, action: &str, details: &str, prev: u64) -> u64 {
-    let mut h = 0xcbf29ce484222325u64 ^ prev;
-    h = mix(h, &seq.to_le_bytes());
-    h = mix(h, actor.as_bytes());
-    h = mix(h, &[0x1f]);
-    h = mix(h, action.as_bytes());
-    h = mix(h, &[0x1f]);
-    h = mix(h, details.as_bytes());
-    h
+    // Fixed-width fields first, then length-prefixed strings: the encoding
+    // is injective, so no two distinct entries hash the same input bytes.
+    let mut h = Sha256::new();
+    h.update(&prev.to_le_bytes());
+    h.update(&seq.to_le_bytes());
+    for s in [actor, action, details] {
+        h.update(&(s.len() as u64).to_le_bytes());
+        h.update(s.as_bytes());
+    }
+    let digest = h.finalize();
+    u64::from_le_bytes(digest[..8].try_into().expect("32-byte digest"))
 }
 
 /// The moving head of an audit hash chain: the sequence number the next

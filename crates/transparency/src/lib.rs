@@ -8,7 +8,9 @@
 //!    meaningful inferences involves multiple steps and actors":
 //!    * [`provenance`] — a DAG recording every artifact, operation, and actor
 //!      from raw data to decision, with lineage queries;
-//!    * [`audit`] — a tamper-evident (hash-chained) audit log of actions.
+//!    * [`audit`] — a tamper-evident (hash-chained) audit log of actions;
+//!    * [`mod@sha256`] — std-only SHA-256 (FIPS 180-4) backing the chain
+//!      digest.
 //! 2. **Comprehensibility of the model** — deep nets are "a black box that
 //!    apparently makes good decisions, but cannot rationalize them":
 //!    * [`surrogate`] — global surrogate decision trees with measured
@@ -26,6 +28,7 @@ pub mod explanation;
 pub mod importance;
 pub mod modelcard;
 pub mod provenance;
+pub mod sha256;
 pub mod surrogate;
 
 pub use audit::{
@@ -33,4 +36,5 @@ pub use audit::{
     AuditLog, ChainHead, SegmentCheck, SegmentError, SEGMENT_HANDOFF_ACTION,
 };
 pub use provenance::ProvenanceGraph;
+pub use sha256::{sha256, Sha256};
 pub use surrogate::SurrogateExplainer;

@@ -67,6 +67,8 @@ fn main() -> Result<()> {
             seed: 7,
             audit: None,
             cache: None,
+            topology: None,
+            checkpoint: None,
         },
     )
     .expect("service start");

@@ -17,6 +17,12 @@
 #                             stays one segment as the log grows 10x, every
 #                             segment verifies standalone, a kill at the
 #                             segment boundary loses nothing silently
+#   9. exp_e16 --smoke        cross-process serving: spawn a fact-shardd
+#                             worker over a tempdir Unix socket, SIGKILL it
+#                             under load, respawn, assert the fairness
+#                             window + ε ledger resume from checkpoint with
+#                             bounded loss and the audit chain verifies
+#                             across the crash
 #
 # Everything runs --offline: the workspace vendors its dependencies and
 # must build with no network.
@@ -47,5 +53,11 @@ cargo run --offline -q -p fact-bench --bin exp_e14 -- --smoke
 
 echo "==> exp_e15 --smoke (segmented-rotation O(segment)-recovery gate)"
 cargo run --offline -q -p fact-bench --bin exp_e15 -- --smoke
+
+echo "==> exp_e16 --smoke (cross-process checkpoint-resume gate)"
+# exp_e16 spawns fact-shardd as a sibling of its own binary, so build the
+# worker explicitly first — `cargo run` alone would not produce it.
+cargo build --offline -q -p responsible-data-science --bin fact-shardd
+cargo run --offline -q -p fact-bench --bin exp_e16 -- --smoke
 
 echo "==> ci.sh: all green"

@@ -1,0 +1,187 @@
+//! `fact-shardd` — a FACT shard worker process.
+//!
+//! Hosts N guarded decision shards behind a Unix-domain socket speaking the
+//! fact-net frame protocol. A front-end `DecisionService` configured with
+//! `ShardSlot::Remote(socket)` routes decisions here exactly as it would to
+//! an in-process worker thread.
+//!
+//! Guard state (fairness window, ε ledger, DP counters) is checkpointed to
+//! sidecar files in `--checkpoint-dir` every `--checkpoint-every` decisions
+//! and on graceful shutdown. On startup each shard restores from its
+//! sidecar if one exists, so a respawned worker *resumes* its monitors
+//! instead of silently resetting them — after a hard kill the loss is
+//! bounded by the checkpoint interval.
+//!
+//! Shutdown paths:
+//! - `Control {"command":"shutdown"}` frame: acked first, then the worker
+//!   drains, writes final checkpoints, and exits 0.
+//! - SIGKILL: no cleanup (that is the point); the next start restores the
+//!   last periodic checkpoint.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fact_data::Matrix;
+use fact_ml::Classifier;
+use fact_net::{Server, ShardHandler};
+use fact_serve::{
+    AuditSinkConfig, CheckpointConfig, DecisionService, DegradePolicy, GuardConfig,
+    NetShardHandler, ServeConfig,
+};
+
+const USAGE: &str = "\
+usage: fact-shardd --socket PATH --checkpoint-dir DIR [options]
+
+options:
+  --socket PATH            Unix socket to listen on (required)
+  --checkpoint-dir DIR     guard-state sidecar directory (required)
+  --shards N               worker shards to host            [default: 2]
+  --n-features N           feature-vector length            [default: 8]
+  --checkpoint-every N     decisions between checkpoints    [default: 500]
+  --dp-interval N          decisions between DP releases    [default: 200]
+  --fairness-window N      fairness monitor window          [default: 1000]
+  --audit PATH             durable audit log (JSONL); off when absent
+";
+
+/// The worker's deterministic demo model: probability is the mean of the
+/// feature vector, clamped to [0, 1]. `exp_e16` uses the same scorer on the
+/// local side of its comparison — keep the two in sync.
+struct MeanScorer;
+
+impl Classifier for MeanScorer {
+    fn predict_proba(&self, x: &Matrix) -> fact_data::Result<Vec<f64>> {
+        Ok((0..x.rows())
+            .map(|i| {
+                let row = x.row(i);
+                let mean = row.iter().sum::<f64>() / row.len().max(1) as f64;
+                mean.clamp(0.0, 1.0)
+            })
+            .collect())
+    }
+}
+
+struct Args {
+    socket: PathBuf,
+    checkpoint_dir: PathBuf,
+    shards: usize,
+    n_features: usize,
+    checkpoint_every: u64,
+    dp_interval: usize,
+    fairness_window: usize,
+    audit: Option<PathBuf>,
+}
+
+fn parse_args(argv: Vec<String>) -> Result<Args, String> {
+    let mut socket = None;
+    let mut checkpoint_dir = None;
+    let mut shards = 2usize;
+    let mut n_features = 8usize;
+    let mut checkpoint_every = 500u64;
+    let mut dp_interval = 200usize;
+    let mut fairness_window = 1_000usize;
+    let mut audit = None;
+
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--checkpoint-dir" => checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?)),
+            "--shards" => shards = parse_num(&value("--shards")?, "--shards")?,
+            "--n-features" => n_features = parse_num(&value("--n-features")?, "--n-features")?,
+            "--checkpoint-every" => {
+                checkpoint_every = parse_num(&value("--checkpoint-every")?, "--checkpoint-every")?
+            }
+            "--dp-interval" => dp_interval = parse_num(&value("--dp-interval")?, "--dp-interval")?,
+            "--fairness-window" => {
+                fairness_window = parse_num(&value("--fairness-window")?, "--fairness-window")?
+            }
+            "--audit" => audit = Some(PathBuf::from(value("--audit")?)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args {
+        socket: socket.ok_or("--socket is required")?,
+        checkpoint_dir: checkpoint_dir.ok_or("--checkpoint-dir is required")?,
+        shards,
+        n_features,
+        checkpoint_every,
+        dp_interval,
+        fairness_window,
+        audit,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: not a number: {s:?}"))
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fact-shardd: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let cfg = ServeConfig {
+        shards: args.shards,
+        n_features: args.n_features,
+        policy: DegradePolicy::AuditAndFlag,
+        guards: Some(GuardConfig {
+            fairness_window: args.fairness_window,
+            dp_interval: args.dp_interval,
+            ..GuardConfig::default()
+        }),
+        checkpoint: Some(CheckpointConfig::new(
+            args.checkpoint_dir.clone(),
+            args.checkpoint_every,
+        )),
+        audit: args.audit.clone().map(|path| AuditSinkConfig {
+            path,
+            ..AuditSinkConfig::default()
+        }),
+        ..ServeConfig::default()
+    };
+
+    let service = match DecisionService::start(Arc::new(MeanScorer), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fact-shardd: failed to start shards: {e}");
+            std::process::exit(1);
+        }
+    };
+    let handler = NetShardHandler::new(service.clone(), Duration::from_secs(10));
+    let shutdown = handler.shutdown_flag();
+    let mut server = match Server::bind(&args.socket, Arc::new(handler) as Arc<dyn ShardHandler>) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fact-shardd: failed to bind {}: {e}", args.socket.display());
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "fact-shardd: {} shard(s) on {} (checkpoints: {} every {})",
+        args.shards,
+        args.socket.display(),
+        args.checkpoint_dir.display(),
+        args.checkpoint_every,
+    );
+
+    while !shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // the ack for the shutdown control rides the connection's writer
+    // thread; give it a beat to flush before tearing the sockets down
+    std::thread::sleep(Duration::from_millis(100));
+    server.shutdown();
+    let report = service.shutdown();
+    println!(
+        "fact-shardd: drained; served={} checkpoints={} eps_spent={:.4}",
+        report.decisions_served, report.checkpoints_written, report.epsilon_spent,
+    );
+}

@@ -124,6 +124,12 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -303,6 +309,25 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = match v {
+            Value::Array(items) => items,
+            other => return Err(Error::custom(format!("expected array, got {other:?}"))),
+        };
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}")))
+    }
+}
+
 impl<T: Deserialize> Deserialize for Option<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
@@ -326,6 +351,11 @@ mod tests {
             vec![1.0, 2.0]
         );
         assert_eq!(Option::<bool>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            <[[u64; 2]; 2]>::from_value(&[[1u64, 2], [3, 4]].to_value()).unwrap(),
+            [[1, 2], [3, 4]]
+        );
+        assert!(<[u64; 2]>::from_value(&vec![1u64].to_value()).is_err());
         assert_eq!(
             Option::<bool>::from_value(&Value::Bool(true)).unwrap(),
             Some(true)
