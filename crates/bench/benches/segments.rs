@@ -1,0 +1,96 @@
+//! Criterion benchmarks for the columnar segment engine (E17).
+//!
+//! `e17_scan` prices the primitives behind every segment-backed audit:
+//! spilling a dataset, a column-pruned scan, a zone-map-pruned selective
+//! scan, and the dense group-by against its in-memory counterpart.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fact_data::agg::{aggregate, aggregate_segments, AggFn};
+use fact_data::{Dataset, Predicate, SegmentWriteConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 20_000;
+const FILLER: usize = 12;
+const ROWS_PER_SEGMENT: usize = 2_048;
+
+fn wide_dataset(seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let groups = ["asia", "europe", "africa", "americas"];
+    let g: Vec<&str> = (0..ROWS)
+        .map(|_| groups[rng.gen_range(0..4usize)])
+        .collect();
+    let ts: Vec<f64> = (0..ROWS).map(|i| i as f64).collect();
+    let score: Vec<f64> = (0..ROWS).map(|_| rng.gen_range(-3.0..3.0)).collect();
+    let won: Vec<bool> = (0..ROWS).map(|_| rng.gen_bool(0.4)).collect();
+    let mut b = Dataset::builder()
+        .cat("group", &g)
+        .f64("ts", ts)
+        .f64("score", score)
+        .boolean("won", won);
+    for c in 0..FILLER {
+        let col: Vec<f64> = (0..ROWS).map(|_| rng.gen_range(0.0..1.0)).collect();
+        b = b.f64(format!("filler_{c:02}"), col);
+    }
+    b.build().expect("valid dataset")
+}
+
+fn bench_segments(c: &mut Criterion) {
+    let ds = wide_dataset(17);
+    let dir = std::env::temp_dir().join(format!("fseg-bench-{}", std::process::id()));
+    let cfg = SegmentWriteConfig {
+        rows_per_segment: ROWS_PER_SEGMENT,
+        ..Default::default()
+    };
+    let set = ds.to_segments(&dir, &cfg).expect("spill");
+    let specs = [
+        ("score", AggFn::Mean),
+        ("score", AggFn::Sum),
+        ("won", AggFn::Count),
+        ("won", AggFn::Mean),
+    ];
+    let zone_pred = Predicate::Range {
+        column: "ts".into(),
+        min: 0.0,
+        max: ROWS as f64 * 0.10,
+    };
+
+    let mut g = c.benchmark_group("e17_scan");
+    g.bench_function("spill_20k_x16", |b| {
+        b.iter(|| {
+            let d = std::env::temp_dir().join(format!("fseg-bench-w-{}", std::process::id()));
+            let s = black_box(&ds).to_segments(&d, &cfg).expect("spill");
+            std::fs::remove_dir_all(s.dir()).ok();
+            s.n_segments()
+        })
+    });
+    g.bench_function("scan_2_of_16_columns", |b| {
+        b.iter(|| {
+            black_box(&set)
+                .scan_columns(&["group", "score"], &Predicate::All)
+                .expect("scan")
+        })
+    });
+    g.bench_function("scan_zone_pruned_10pct", |b| {
+        b.iter(|| {
+            black_box(&set)
+                .scan_columns(&["group", "score"], &zone_pred)
+                .expect("scan")
+        })
+    });
+    g.bench_function("group_by_segments", |b| {
+        b.iter(|| {
+            aggregate_segments(black_box(&set), "group", &specs, &Predicate::All).expect("agg")
+        })
+    });
+    g.bench_function("group_by_in_memory", |b| {
+        b.iter(|| aggregate(black_box(&ds), "group", &specs).expect("agg"))
+    });
+    g.finish();
+    std::fs::remove_dir_all(set.dir()).ok();
+}
+
+criterion_group!(segments, bench_segments);
+criterion_main!(segments);

@@ -3,10 +3,24 @@
 //! A thin analytic layer over [`Dataset::group_by`]: one pass produces a new
 //! dataset with one row per group and one column per requested aggregate —
 //! the workhorse shape of every audit table in the FACT reports.
+//!
+//! Two engines share the same aggregate semantics:
+//!
+//! * [`aggregate`] runs over an in-memory [`Dataset`], accumulating through
+//!   borrowed column storage (no per-group materialization);
+//! * [`aggregate_segments`] runs over an on-disk [`SegmentSet`] through the
+//!   column-pruned, zone-map-accelerated scan — only the key and aggregate
+//!   columns are read, segments the predicate's zone maps exclude are
+//!   skipped, and per-segment partials are merged in segment order so the
+//!   result is bit-identical at any `fact_par` worker count.
 
-use crate::column::Column;
+use std::collections::HashMap;
+
+use crate::column::{Column, ColumnData};
 use crate::error::{FactError, Result};
 use crate::frame::Dataset;
+use crate::segment::{BatchColumn, DecodedValues, Predicate, ScanStats, SegmentBatch, SegmentSet};
+use crate::value::DataType;
 
 /// An aggregate function over a numeric/bool column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,25 +68,431 @@ pub fn aggregate(ds: &Dataset, key: &str, specs: &[AggSpec<'_>]) -> Result<Datas
     for &(col_name, f) in specs {
         let col = ds.column(col_name)?;
         let mut vals = Vec::with_capacity(keys.len());
-        for k in &keys {
-            let idx = groups.indices(k).expect("key from groups");
-            let sub = col.take(idx);
-            let v = match f {
-                AggFn::Count => idx.len() as f64,
-                AggFn::Sum => {
-                    let mut s = 0.0;
-                    sub.for_each_valid_f64(|x| s += x)?;
-                    s
+        if f == AggFn::Count {
+            for k in &keys {
+                let idx = groups.indices(k).expect("key from groups");
+                vals.push(idx.len() as f64);
+            }
+        } else {
+            // borrow the column storage once; accumulate per group without
+            // materializing per-group sub-columns
+            let view = NumView::of(col, col_name)?;
+            for k in &keys {
+                let idx = groups.indices(k).expect("key from groups");
+                let mut acc = Acc::new();
+                for &i in idx {
+                    if !col.is_null(i) {
+                        acc.push(view.get(i));
+                    }
                 }
-                AggFn::Mean => sub.mean()?,
-                AggFn::Min => sub.min()?,
-                AggFn::Max => sub.max()?,
-            };
-            vals.push(v);
+                vals.push(acc.finish(f)?);
+            }
         }
         out.add_column(format!("{col_name}_{}", f.name()), Column::from_f64(vals))?;
     }
     Ok(out)
+}
+
+/// Borrowed numeric view over a column's storage (ints widened, bools 0/1).
+enum NumView<'a> {
+    F(&'a [f64]),
+    I(&'a [i64]),
+    B(&'a [bool]),
+}
+
+impl<'a> NumView<'a> {
+    fn of(col: &'a Column, name: &str) -> Result<NumView<'a>> {
+        match col.data() {
+            ColumnData::Float(v) => Ok(NumView::F(v)),
+            ColumnData::Int(v) => Ok(NumView::I(v)),
+            ColumnData::Bool(v) => Ok(NumView::B(v)),
+            ColumnData::Cat(_) => Err(FactError::TypeMismatch {
+                column: name.to_string(),
+                expected: DataType::Float,
+                actual: DataType::Cat,
+            }),
+        }
+    }
+
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            NumView::F(v) => v[i],
+            NumView::I(v) => v[i] as f64,
+            NumView::B(v) => {
+                if v[i] {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Running aggregate state over the valid values of one group.
+#[derive(Clone, Copy)]
+struct Acc {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Acc {
+    fn new() -> Self {
+        Acc {
+            n: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        self.n += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another accumulator in (segment-order merge).
+    fn merge(&mut self, other: &Acc) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    fn finish(&self, f: AggFn) -> Result<f64> {
+        match f {
+            AggFn::Count => unreachable!("Count never builds an Acc"),
+            AggFn::Sum => Ok(self.sum),
+            AggFn::Mean => {
+                if self.n == 0 {
+                    Err(FactError::EmptyData("mean of empty column".into()))
+                } else {
+                    Ok(self.sum / self.n as f64)
+                }
+            }
+            AggFn::Min | AggFn::Max => {
+                if self.n == 0 {
+                    Err(FactError::EmptyData("reduction over empty column".into()))
+                } else {
+                    Ok(if f == AggFn::Min { self.min } else { self.max })
+                }
+            }
+        }
+    }
+}
+
+/// A group key as seen inside a segment scan. Kept typed (not stringified)
+/// until finalization so dictionary codes compare as integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum GKey {
+    Code(u32),
+    Int(i64),
+    Bool(bool),
+    Null,
+}
+
+/// Per-segment aggregation partial: groups in first-appearance order plus
+/// their accumulators (parallel to the spec list; `rows` feeds `Count`).
+struct Partial {
+    order: Vec<GKey>,
+    cells: HashMap<GKey, (u64, Vec<Acc>)>,
+}
+
+/// Group an on-disk segment set by `key` and compute each aggregate over
+/// the rows matching `pred`, reading **only** the key and aggregate columns
+/// and skipping segments whose zone maps exclude the predicate.
+///
+/// Semantics match [`aggregate`] on the equivalent filtered dataset: same
+/// output columns (`{column}_{fn}` after the key), groups in
+/// first-appearance (row) order, `Count` counting nulls, the other
+/// functions over valid values only. Sums associate per segment rather than
+/// globally, so `Sum`/`Mean` can differ from the in-memory engine in the
+/// last ulps; the result is still bit-identical at any worker count because
+/// partials merge in segment order.
+///
+/// Errors mirror [`aggregate`] (empty spec list, non-groupable key type,
+/// categorical aggregate column, `Mean`/`Min`/`Max` over a group with no
+/// valid values) plus scan errors from the segment layer.
+pub fn aggregate_segments(
+    set: &SegmentSet,
+    key: &str,
+    specs: &[AggSpec<'_>],
+    pred: &Predicate,
+) -> Result<(Dataset, ScanStats)> {
+    if specs.is_empty() {
+        return Err(FactError::InvalidArgument(
+            "at least one aggregate is required".into(),
+        ));
+    }
+    let key_dt = set.dtype(key)?;
+    if !matches!(key_dt, DataType::Cat | DataType::Bool | DataType::Int) {
+        return Err(FactError::TypeMismatch {
+            column: key.to_string(),
+            expected: DataType::Cat,
+            actual: key_dt,
+        });
+    }
+    for &(col, f) in specs {
+        let dt = set.dtype(col)?;
+        if f != AggFn::Count && dt == DataType::Cat {
+            return Err(FactError::TypeMismatch {
+                column: col.to_string(),
+                expected: DataType::Float,
+                actual: dt,
+            });
+        }
+    }
+    let mut columns: Vec<&str> = vec![key];
+    for &(col, _) in specs {
+        if !columns.contains(&col) {
+            columns.push(col);
+        }
+    }
+    let (partial, stats) = set.scan_fold(
+        &columns,
+        pred,
+        |batch| partial_of(batch, key, specs),
+        |mut a: Partial, b: Partial| {
+            for k in b.order {
+                let (rows, accs) = b.cells.get(&k).expect("key from order");
+                match a.cells.get_mut(&k) {
+                    Some((a_rows, a_accs)) => {
+                        *a_rows += rows;
+                        for (x, y) in a_accs.iter_mut().zip(accs) {
+                            x.merge(y);
+                        }
+                    }
+                    None => {
+                        a.order.push(k);
+                        a.cells.insert(k, (*rows, accs.clone()));
+                    }
+                }
+            }
+            a
+        },
+    )?;
+    let partial = partial.unwrap_or(Partial {
+        order: Vec::new(),
+        cells: HashMap::new(),
+    });
+    let dict = if key_dt == DataType::Cat {
+        Some(set.dict(key)?)
+    } else {
+        None
+    };
+    let keys: Vec<String> = partial
+        .order
+        .iter()
+        .map(|k| match k {
+            GKey::Code(c) => dict.expect("cat key has a dictionary")[*c as usize].clone(),
+            GKey::Int(v) => v.to_string(),
+            GKey::Bool(b) => b.to_string(),
+            GKey::Null => "null".to_string(),
+        })
+        .collect();
+    let mut out = Dataset::builder().cat(key, &keys).build()?;
+    for (j, &(col_name, f)) in specs.iter().enumerate() {
+        let mut vals = Vec::with_capacity(keys.len());
+        for k in &partial.order {
+            let (rows, accs) = &partial.cells[k];
+            vals.push(match f {
+                AggFn::Count => *rows as f64,
+                _ => accs[j].finish(f)?,
+            });
+        }
+        out.add_column(format!("{col_name}_{}", f.name()), Column::from_f64(vals))?;
+    }
+    Ok((out, stats))
+}
+
+/// Aggregate the matching rows of one segment batch.
+fn partial_of(batch: &SegmentBatch, key: &str, specs: &[AggSpec<'_>]) -> Result<Partial> {
+    let key_col = batch.column(key)?;
+    if let DecodedValues::Codes(codes) = &key_col.values {
+        return partial_of_coded(batch, key_col, codes, specs);
+    }
+    let spec_cols = specs
+        .iter()
+        .map(|&(c, _)| batch.column(c))
+        .collect::<Result<Vec<_>>>()?;
+    let mut partial = Partial {
+        order: Vec::new(),
+        cells: HashMap::new(),
+    };
+    for i in batch.rows() {
+        let gk = if key_col.is_null(i) {
+            GKey::Null
+        } else {
+            match &key_col.values {
+                DecodedValues::Codes(v) => GKey::Code(v[i]),
+                DecodedValues::Int(v) => GKey::Int(v[i]),
+                DecodedValues::Bool(v) => GKey::Bool(v[i]),
+                DecodedValues::Float(_) => unreachable!("key type validated before the scan"),
+            }
+        };
+        let (rows, accs) = partial.cells.entry(gk).or_insert_with(|| {
+            partial.order.push(gk);
+            (0, vec![Acc::new(); specs.len()])
+        });
+        *rows += 1;
+        for (j, (bc, &(_, f))) in spec_cols.iter().zip(specs).enumerate() {
+            if f != AggFn::Count {
+                if let Some(v) = bc.f64_at(i) {
+                    accs[j].push(v);
+                }
+            }
+        }
+    }
+    Ok(partial)
+}
+
+/// Dense fast path for dictionary-coded group keys: codes index straight
+/// into accumulator vectors (slot 0 = null, slot `c + 1` = code `c`), so the
+/// hot loop does no hashing, and each aggregate column is accumulated
+/// column-at-a-time with the type dispatch hoisted out of the row loop.
+/// Produces the identical [`Partial`] (same first-appearance order, same
+/// per-segment float association) as the generic path.
+fn partial_of_coded(
+    batch: &SegmentBatch,
+    key_col: &BatchColumn,
+    codes: &[u32],
+    specs: &[AggSpec<'_>],
+) -> Result<Partial> {
+    // Pass 1: one slot per matching row, counting rows and recording
+    // first-appearance order.
+    let mut slots: Vec<u32> = Vec::with_capacity(batch.n_matching());
+    let mut rows_by: Vec<u64> = Vec::new();
+    let mut order_slots: Vec<usize> = Vec::new();
+    {
+        let mut assign = |i: usize| {
+            let slot = if key_col.is_null(i) {
+                0
+            } else {
+                codes[i] as usize + 1
+            };
+            if slot >= rows_by.len() {
+                rows_by.resize(slot + 1, 0);
+            }
+            if rows_by[slot] == 0 {
+                order_slots.push(slot);
+            }
+            rows_by[slot] += 1;
+            slots.push(slot as u32);
+        };
+        match &batch.keep {
+            None => (0..batch.n_rows).for_each(&mut assign),
+            Some(k) => k.iter().for_each(|&i| assign(i)),
+        }
+    }
+    let n_slots = rows_by.len();
+
+    // Pass 2: one dense accumulator vector per distinct aggregate column.
+    let mut dense: Vec<(&str, Vec<Acc>)> = Vec::new();
+    for &(name, f) in specs {
+        if f == AggFn::Count || dense.iter().any(|(n, _)| *n == name) {
+            continue;
+        }
+        let bc = batch.column(name)?;
+        let mut accs = vec![Acc::new(); n_slots];
+        let keep = batch.keep.as_deref();
+        let validity = bc.validity.as_deref();
+        match &bc.values {
+            DecodedValues::Float(v) => {
+                dense_pass(batch.n_rows, keep, validity, &slots, &mut accs, |i| v[i])
+            }
+            DecodedValues::Int(v) => {
+                dense_pass(batch.n_rows, keep, validity, &slots, &mut accs, |i| {
+                    v[i] as f64
+                })
+            }
+            DecodedValues::Bool(v) => {
+                dense_pass(batch.n_rows, keep, validity, &slots, &mut accs, |i| {
+                    if v[i] {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+            }
+            DecodedValues::Codes(_) => {
+                unreachable!("non-Count aggregate columns are validated as non-categorical")
+            }
+        }
+        dense.push((name, accs));
+    }
+
+    // Assemble the same Partial shape the generic path builds.
+    let mut partial = Partial {
+        order: Vec::with_capacity(order_slots.len()),
+        cells: HashMap::with_capacity(order_slots.len()),
+    };
+    for &slot in &order_slots {
+        let gk = if slot == 0 {
+            GKey::Null
+        } else {
+            GKey::Code(slot as u32 - 1)
+        };
+        let accs: Vec<Acc> = specs
+            .iter()
+            .map(|&(name, f)| {
+                if f == AggFn::Count {
+                    Acc::new()
+                } else {
+                    dense
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .expect("dense accumulator built above")
+                        .1[slot]
+                }
+            })
+            .collect();
+        partial.order.push(gk);
+        partial.cells.insert(gk, (rows_by[slot], accs));
+    }
+    Ok(partial)
+}
+
+/// The accumulation loop of the dense path, monomorphized per value type
+/// and specialized over the keep-list/validity-mask combinations so the
+/// innermost loop is branch-light.
+fn dense_pass(
+    n_rows: usize,
+    keep: Option<&[usize]>,
+    validity: Option<&[bool]>,
+    slots: &[u32],
+    accs: &mut [Acc],
+    value: impl Fn(usize) -> f64,
+) {
+    match (keep, validity) {
+        (None, None) => {
+            for (i, &slot) in slots.iter().enumerate().take(n_rows) {
+                accs[slot as usize].push(value(i));
+            }
+        }
+        (None, Some(m)) => {
+            for (i, &slot) in slots.iter().enumerate().take(n_rows) {
+                if m[i] {
+                    accs[slot as usize].push(value(i));
+                }
+            }
+        }
+        (Some(k), None) => {
+            for (j, &i) in k.iter().enumerate() {
+                accs[slots[j] as usize].push(value(i));
+            }
+        }
+        (Some(k), Some(m)) => {
+            for (j, &i) in k.iter().enumerate() {
+                if m[i] {
+                    accs[slots[j] as usize].push(value(i));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

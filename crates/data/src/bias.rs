@@ -13,13 +13,38 @@
 //!   the protected attribute, so group membership leaks even after the
 //!   sensitive column is removed (the paper's "even if sensitive attributes
 //!   are omitted" failure mode).
+//!
+//! The matching [`group_rates`] / [`group_rates_segments`] probes measure
+//! the damage: per-group positive rates of a boolean outcome, computed
+//! in-memory over borrowed column storage or on-disk through the
+//! column-pruned segment scan.
+//!
+//! All injectors compare group membership by **dictionary code**, not by
+//! materialized label strings, so no per-row `String` allocation happens on
+//! the hot path.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::column::Column;
+use crate::column::{CatData, Column};
 use crate::error::{FactError, Result};
 use crate::frame::Dataset;
+use crate::segment::{DecodedValues, Predicate, ScanStats, SegmentSet};
+use crate::value::DataType;
+
+/// Borrow a named categorical column's storage, naming the column in errors.
+fn cat_of<'a>(ds: &'a Dataset, name: &str) -> Result<&'a CatData> {
+    ds.column(name)?.as_cat().map_err(|e| match e {
+        FactError::TypeMismatch {
+            expected, actual, ..
+        } => FactError::TypeMismatch {
+            column: name.to_string(),
+            expected,
+            actual,
+        },
+        other => other,
+    })
+}
 
 /// Flip `rate` of the `true` labels to `false` for rows whose `group_col`
 /// equals `group`. Models historical discrimination in recorded outcomes.
@@ -38,15 +63,16 @@ pub fn flip_labels_against_group(
             "flip rate must be in [0, 1], got {rate}"
         )));
     }
-    let labels = ds.bool_column(label_col)?.to_vec();
-    let groups = ds.labels(group_col)?;
+    let labels = ds.bool_column(label_col)?;
+    let cat = cat_of(ds, group_col)?;
+    let target = cat.code_of(group);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut flipped = 0usize;
     let new_labels: Vec<bool> = labels
         .iter()
-        .zip(&groups)
-        .map(|(&y, g)| {
-            if y && g == group && rng.gen::<f64>() < rate {
+        .zip(&cat.codes)
+        .map(|(&y, &c)| {
+            if y && target == Some(c) && rng.gen::<f64>() < rate {
                 flipped += 1;
                 false
             } else {
@@ -73,11 +99,13 @@ pub fn undersample_group(
             "keep_frac must be in [0, 1], got {keep_frac}"
         )));
     }
-    let groups = ds.labels(group_col)?;
+    let cat = cat_of(ds, group_col)?;
+    let target = cat.code_of(group);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mask: Vec<bool> = groups
+    let mask: Vec<bool> = cat
+        .codes
         .iter()
-        .map(|g| g != group || rng.gen::<f64>() < keep_frac)
+        .map(|&c| target != Some(c) || rng.gen::<f64>() < keep_frac)
         .collect();
     ds.filter(&mask)
 }
@@ -100,12 +128,14 @@ pub fn inject_proxy(
             "proxy strength must be in [0, 1], got {strength}"
         )));
     }
-    let groups = ds.labels(group_col)?;
+    let cat = cat_of(ds, group_col)?;
+    let target = cat.code_of(group);
     let mut rng = StdRng::seed_from_u64(seed);
-    let proxy: Vec<f64> = groups
+    let proxy: Vec<f64> = cat
+        .codes
         .iter()
-        .map(|g| {
-            let indicator = if g == group { 1.0 } else { 0.0 };
+        .map(|&c| {
+            let indicator = if target == Some(c) { 1.0 } else { 0.0 };
             let noise: f64 = rng.gen::<f64>();
             strength * indicator + (1.0 - strength) * noise
         })
@@ -113,6 +143,119 @@ pub fn inject_proxy(
     let mut out = ds.clone();
     out.add_column(proxy_name, Column::from_f64(proxy))?;
     Ok(out)
+}
+
+/// Positive rate of a boolean outcome within one group — the unit the bias
+/// probes report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRate {
+    /// Group label (dictionary entry).
+    pub group: String,
+    /// Rows in the group (group and label both non-null).
+    pub n: usize,
+    /// Rows whose label is `true`.
+    pub positives: usize,
+    /// `positives / n`.
+    pub rate: f64,
+}
+
+/// Per-group positive rate of boolean `label_col` split by categorical
+/// `group_col` — the probe that verifies an injector's damage (or detects
+/// it on real data). Groups are reported in dictionary-code order; rows
+/// where either column is null are skipped; dictionary entries with no
+/// remaining rows are omitted.
+pub fn group_rates(ds: &Dataset, label_col: &str, group_col: &str) -> Result<Vec<GroupRate>> {
+    let labels = ds.bool_column(label_col)?;
+    let lcol = ds.column(label_col)?;
+    let cat = cat_of(ds, group_col)?;
+    let gcol = ds.column(group_col)?;
+    let mut n = vec![0usize; cat.dict.len()];
+    let mut pos = vec![0usize; cat.dict.len()];
+    for (i, (&y, &c)) in labels.iter().zip(&cat.codes).enumerate() {
+        if gcol.is_null(i) || lcol.is_null(i) {
+            continue;
+        }
+        n[c as usize] += 1;
+        if y {
+            pos[c as usize] += 1;
+        }
+    }
+    Ok(finish_rates(&cat.dict, &n, &pos))
+}
+
+/// [`group_rates`] over an on-disk [`SegmentSet`], restricted to rows
+/// matching `pred`. Routed through the column-pruned scan: only the two
+/// named columns are read, and segments excluded by `pred`'s zone maps are
+/// skipped entirely. Per-code tallies merge additively, so the result is
+/// identical at any `fact_par` worker count.
+pub fn group_rates_segments(
+    set: &SegmentSet,
+    label_col: &str,
+    group_col: &str,
+    pred: &Predicate,
+) -> Result<(Vec<GroupRate>, ScanStats)> {
+    let ldt = set.dtype(label_col)?;
+    if ldt != DataType::Bool {
+        return Err(FactError::TypeMismatch {
+            column: label_col.to_string(),
+            expected: DataType::Bool,
+            actual: ldt,
+        });
+    }
+    let dict: Vec<String> = set.dict(group_col)?.to_vec();
+    let k = dict.len();
+    let (tallies, stats) = set.scan_fold(
+        &[label_col, group_col],
+        pred,
+        |batch| {
+            let lc = batch.column(label_col)?;
+            let gc = batch.column(group_col)?;
+            let labels = match &lc.values {
+                DecodedValues::Bool(v) => v,
+                _ => unreachable!("label dtype validated above"),
+            };
+            let codes = match &gc.values {
+                DecodedValues::Codes(v) => v,
+                _ => unreachable!("group dtype validated by dict lookup"),
+            };
+            let mut n = vec![0usize; k];
+            let mut pos = vec![0usize; k];
+            for i in batch.rows() {
+                if gc.is_null(i) || lc.is_null(i) {
+                    continue;
+                }
+                n[codes[i] as usize] += 1;
+                if labels[i] {
+                    pos[codes[i] as usize] += 1;
+                }
+            }
+            Ok((n, pos))
+        },
+        |(mut an, mut ap): (Vec<usize>, Vec<usize>), (bn, bp)| {
+            for (x, y) in an.iter_mut().zip(bn) {
+                *x += y;
+            }
+            for (x, y) in ap.iter_mut().zip(bp) {
+                *x += y;
+            }
+            (an, ap)
+        },
+    )?;
+    let (n, pos) = tallies.unwrap_or((vec![0; k], vec![0; k]));
+    Ok((finish_rates(&dict, &n, &pos), stats))
+}
+
+fn finish_rates(dict: &[String], n: &[usize], pos: &[usize]) -> Vec<GroupRate> {
+    dict.iter()
+        .zip(n.iter().zip(pos))
+        .filter(|(_, (&n, _))| n > 0)
+        .map(|(label, (&n, &positives))| GroupRate {
+            group: label.clone(),
+            n,
+            positives,
+            rate: positives as f64 / n as f64,
+        })
+        .collect()
 }
 
 #[cfg(test)]

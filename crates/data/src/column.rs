@@ -110,6 +110,16 @@ impl Column {
         }
     }
 
+    /// A categorical column from pre-built dictionary storage (codes must
+    /// index into the dictionary — used by the segment reader, which
+    /// validates codes against the manifest dictionary before calling).
+    pub fn from_cat(cat: CatData) -> Self {
+        Column {
+            data: ColumnData::Cat(cat),
+            validity: None,
+        }
+    }
+
     /// A float column with nulls: `None` entries become null slots.
     pub fn from_f64_opt(values: Vec<Option<f64>>) -> Self {
         let mut data = Vec::with_capacity(values.len());

@@ -47,6 +47,10 @@ pub enum FactError {
     },
     /// Underlying I/O failure (CSV read/write, artifact export).
     Io(std::io::Error),
+    /// A binary artifact (segment file, manifest) failed structural
+    /// validation: bad magic, unsupported version, truncated header, or a
+    /// torn/oversized buffer. Corrupt inputs are rejected, never guessed at.
+    Corrupt(String),
     /// A value could not be parsed (CSV ingestion).
     Parse {
         /// 1-based line number of the offending record, if known.
@@ -90,6 +94,7 @@ impl fmt::Display for FactError {
                 write!(f, "column '{column}' contains {count} null(s), which this operation does not accept; call Dataset::drop_nulls first")
             }
             FactError::Io(e) => write!(f, "I/O error: {e}"),
+            FactError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
             FactError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }

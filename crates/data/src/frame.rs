@@ -14,6 +14,20 @@ use crate::matrix::Matrix;
 use crate::schema::{Field, Schema};
 use crate::value::{DataType, Value};
 
+/// Fill in the column name on a type error raised by nameless column APIs.
+fn rename_column(e: FactError, name: &str) -> FactError {
+    match e {
+        FactError::TypeMismatch {
+            expected, actual, ..
+        } => FactError::TypeMismatch {
+            column: name.to_string(),
+            expected,
+            actual,
+        },
+        other => other,
+    }
+}
+
 /// An in-memory columnar dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
@@ -130,6 +144,38 @@ impl Dataset {
             },
             other => other,
         })
+    }
+
+    /// Convenience: borrow a named float column's storage without cloning.
+    ///
+    /// Unlike [`Dataset::f64_column`] this never allocates, but it only
+    /// accepts true float columns (no int/bool widening). Columns with
+    /// nulls are rejected: the raw buffer holds unspecified placeholder
+    /// bits under null slots that must not leak into arithmetic.
+    pub fn f64_slice(&self, name: &str) -> Result<&[f64]> {
+        let col = self.column(name)?;
+        let nulls = col.null_count();
+        if nulls > 0 {
+            return Err(FactError::NullNotAllowed {
+                column: name.to_string(),
+                count: nulls,
+            });
+        }
+        col.as_f64_slice().map_err(|e| rename_column(e, name))
+    }
+
+    /// Convenience: borrow a named int column's storage without cloning.
+    /// Columns with nulls are rejected, as with [`Dataset::f64_slice`].
+    pub fn i64_slice(&self, name: &str) -> Result<&[i64]> {
+        let col = self.column(name)?;
+        let nulls = col.null_count();
+        if nulls > 0 {
+            return Err(FactError::NullNotAllowed {
+                column: name.to_string(),
+                count: nulls,
+            });
+        }
+        col.as_i64_slice().map_err(|e| rename_column(e, name))
     }
 
     /// Convenience: borrow a named bool column's storage.

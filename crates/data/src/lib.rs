@@ -12,7 +12,12 @@
 //! * **synthetic data generators** with *parametric, injectable bias* — the
 //!   workloads for every experiment in the reproduction (loans, hiring,
 //!   Berkeley-style admissions, clinical trials, census microdata);
-//! * **bias injectors** that corrupt clean data in controlled ways; and
+//! * **bias injectors** that corrupt clean data in controlled ways;
+//! * a **binary columnar segment store** ([`segment`]) — per-column buffers
+//!   with null bitmaps and zone maps, column-pruned predicate-pushdown scans
+//!   ([`SegmentSet::scan_columns`](segment::SegmentSet::scan_columns)), and
+//!   segment-backed group-by ([`agg::aggregate_segments`]) that are
+//!   bit-identical at any `fact_par` worker count; and
 //! * an **event-stream generator** reproducing the "Internet Minute" rates
 //!   cited in the paper (van der Aalst et al., BISE 59(5), 2017, §3).
 //!
@@ -43,6 +48,7 @@ pub mod join;
 pub mod matrix;
 pub mod sample;
 pub mod schema;
+pub mod segment;
 pub mod split;
 pub mod stream;
 pub mod synth;
@@ -54,4 +60,5 @@ pub use error::{FactError, Result};
 pub use frame::{Dataset, GroupBy, SummaryRow};
 pub use matrix::Matrix;
 pub use schema::{Field, Schema};
+pub use segment::{Predicate, ScanStats, SegmentSet, SegmentWriteConfig};
 pub use value::{DataType, Value};

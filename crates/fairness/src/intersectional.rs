@@ -8,7 +8,7 @@
 //! reference rate, with small-cell flagging (tiny subgroups get warnings,
 //! not unstable verdicts).
 
-use fact_data::{Dataset, FactError, Result};
+use fact_data::{Dataset, FactError, Predicate, Result, ScanStats, SegmentSet};
 
 /// One subgroup's audit row.
 #[derive(Debug, Clone)]
@@ -143,6 +143,34 @@ pub fn intersectional_audit(
         subgroups,
         min_cell,
     })
+}
+
+/// [`intersectional_audit`] over an on-disk [`SegmentSet`], reading the
+/// boolean prediction column `prediction` alongside the attributes.
+///
+/// Routed through fact-data's column-pruned segment scan: only
+/// `attributes ∪ {prediction}` are decoded, every other column of the set
+/// stays untouched on disk. The returned [`ScanStats`] show exactly how
+/// many bytes the audit read.
+pub fn intersectional_audit_segments(
+    set: &SegmentSet,
+    prediction: &str,
+    attributes: &[&str],
+    min_cell: usize,
+) -> Result<(IntersectionalReport, ScanStats)> {
+    if attributes.is_empty() {
+        return Err(FactError::InvalidArgument(
+            "at least one attribute required".into(),
+        ));
+    }
+    let mut columns: Vec<&str> = attributes.to_vec();
+    if !columns.contains(&prediction) {
+        columns.push(prediction);
+    }
+    let (ds, stats) = set.scan_columns(&columns, &Predicate::All)?;
+    let pred = ds.bool_column(prediction)?.to_vec();
+    let report = intersectional_audit(&ds, &pred, attributes, min_cell)?;
+    Ok((report, stats))
 }
 
 #[cfg(test)]

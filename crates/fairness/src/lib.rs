@@ -52,6 +52,40 @@ pub fn protected_mask(ds: &Dataset, column: &str, protected_label: &str) -> Resu
     Ok(labels.iter().map(|l| l == protected_label).collect())
 }
 
+/// [`protected_mask`] over an on-disk segment set: builds the mask from the
+/// single categorical column, reading nothing else. Rows are compared by
+/// dictionary code (no per-row label materialization); the mask is in
+/// segment/row order, matching `SegmentSet::to_dataset` row order.
+pub fn protected_mask_segments(
+    set: &fact_data::SegmentSet,
+    column: &str,
+    protected_label: &str,
+) -> Result<(Vec<bool>, fact_data::ScanStats)> {
+    let (ds, stats) = set.scan_columns(&[column], &fact_data::Predicate::All)?;
+    let col = ds.column(column)?;
+    let cat = col.as_cat()?;
+    let target = match cat.code_of(protected_label) {
+        Some(c) => c,
+        None => {
+            return Err(FactError::InvalidArgument(format!(
+                "label '{protected_label}' does not occur in column '{column}'"
+            )))
+        }
+    };
+    let mask: Vec<bool> = cat
+        .codes
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| !col.is_null(i) && c == target)
+        .collect();
+    if !mask.iter().any(|&m| m) {
+        return Err(FactError::InvalidArgument(format!(
+            "label '{protected_label}' does not occur in column '{column}'"
+        )));
+    }
+    Ok((mask, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,15 +12,132 @@
 //! streams entries to disk through a `ChainHead` and re-derives it on
 //! restart with [`verify_chain_from`].
 //!
-//! The digest is SHA-256 ([`mod@crate::sha256`]) truncated to the leading 64
-//! bits, so entry and head formats stay fixed-width while forging a link
-//! requires a second-preimage attack on SHA-256 (the ~2³² birthday bound of
-//! the earlier 64-bit mixing hash is gone; truncation caps collision
-//! resistance at 2³², noted in KNOWN_ISSUES.md).
+//! The digest is SHA-256 ([`mod@crate::sha256`]). Chain format **v2** (the
+//! default since this revision) stores the full 256-bit digest, so link
+//! forgery requires a second-preimage attack on SHA-256 and collision
+//! resistance is the full 2¹²⁸. Format **v1** chains — everything written
+//! before the bump — truncated the digest to its leading 64 bits; they
+//! remain first-class: a [`Digest`] carries its width, old JSON (numeric
+//! digests) deserializes as v1, and a v1 chain keeps extending and
+//! verifying at v1 width. The width is fixed at genesis
+//! ([`ChainHead::genesis`] vs [`ChainHead::genesis_v1`]) and inherited by
+//! every subsequent link; mixed-width links never verify, because digests
+//! of different widths are never equal.
+
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use crate::sha256::Sha256;
+
+/// Chain format written by new chains: full-width SHA-256 digests.
+pub const CHAIN_FORMAT_VERSION: u16 = 2;
+
+/// A chain digest, tagged with its storage width.
+///
+/// `V1` is the legacy 64-bit truncated form (chain format v1); `V2` is the
+/// full SHA-256. JSON keeps the two distinguishable — and v1 logs readable
+/// — by writing `V1` as the same unsigned number it always was and `V2` as
+/// a 64-character lowercase hex string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Digest {
+    /// Leading 64 bits of SHA-256 (legacy chain format v1).
+    V1(u64),
+    /// Full 256-bit SHA-256 (chain format v2).
+    V2([u8; 32]),
+}
+
+impl Digest {
+    /// The genesis back-link of a v2 (full-width) chain.
+    pub fn zero() -> Self {
+        Digest::V2([0u8; 32])
+    }
+
+    /// The genesis back-link of a legacy v1 chain.
+    pub fn zero_v1() -> Self {
+        Digest::V1(0)
+    }
+
+    /// The chain-format version this digest's width belongs to.
+    pub fn version(&self) -> u16 {
+        match self {
+            Digest::V1(_) => 1,
+            Digest::V2(_) => 2,
+        }
+    }
+
+    /// Whether this is a genesis back-link (all-zero, either width).
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Digest::V1(v) => *v == 0,
+            Digest::V2(b) => b.iter().all(|&x| x == 0),
+        }
+    }
+
+    /// Truncate (or keep) a raw SHA-256 digest to this digest's width.
+    fn sibling_of(raw: [u8; 32], width: &Digest) -> Digest {
+        match width {
+            Digest::V1(_) => Digest::V1(u64::from_le_bytes(raw[..8].try_into().expect("32 bytes"))),
+            Digest::V2(_) => Digest::V2(raw),
+        }
+    }
+
+    /// Lowercase hex, width-length: 16 chars for v1, 64 for v2.
+    pub fn to_hex(&self) -> String {
+        match self {
+            Digest::V1(v) => format!("{v:016x}"),
+            Digest::V2(b) => b.iter().map(|x| format!("{x:02x}")).collect(),
+        }
+    }
+
+    /// Parse hex produced by [`to_hex`](Self::to_hex); the string length
+    /// (16 vs 64) selects the width. Anything else is `None`.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        match s.len() {
+            16 => u64::from_str_radix(s, 16).ok().map(Digest::V1),
+            64 => {
+                let mut out = [0u8; 32];
+                for (i, byte) in out.iter_mut().enumerate() {
+                    *byte = u8::from_str_radix(s.get(2 * i..2 * i + 2)?, 16).ok()?;
+                }
+                Some(Digest::V2(out))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+// Hand-written (not derived) so the wire form stays compatible in both
+// directions: v1 digests keep serializing as the bare number every
+// pre-existing log and head sidecar stores, v2 digests are hex strings.
+impl serde::Serialize for Digest {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Digest::V1(v) => serde::Value::UInt(*v),
+            Digest::V2(_) => serde::Value::String(self.to_hex()),
+        }
+    }
+}
+
+impl serde::Deserialize for Digest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::UInt(u) => Ok(Digest::V1(*u)),
+            serde::Value::Int(i) if *i >= 0 => Ok(Digest::V1(*i as u64)),
+            serde::Value::String(s) => Digest::from_hex(s)
+                .ok_or_else(|| serde::Error::custom(format!("malformed digest hex '{s}'"))),
+            other => Err(serde::Error::custom(format!(
+                "expected digest number or hex string, got {other:?}"
+            ))),
+        }
+    }
+}
 
 /// One audit-log entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,10 +150,10 @@ pub struct AuditEntry {
     pub action: String,
     /// Free-form detail (parameters, affected records…).
     pub details: String,
-    /// Digest of the previous entry (0 for the genesis entry).
-    pub prev_hash: u64,
-    /// Digest of this entry.
-    pub hash: u64,
+    /// Digest of the previous entry (all-zero for the genesis entry).
+    pub prev_hash: Digest,
+    /// Digest of this entry (same width as `prev_hash`).
+    pub hash: Digest,
 }
 
 /// An append-only, hash-chained audit log.
@@ -45,18 +162,27 @@ pub struct AuditLog {
     entries: Vec<AuditEntry>,
 }
 
-fn entry_hash(seq: u64, actor: &str, action: &str, details: &str, prev: u64) -> u64 {
+fn entry_hash(seq: u64, actor: &str, action: &str, details: &str, prev: Digest) -> Digest {
     // Fixed-width fields first, then length-prefixed strings: the encoding
     // is injective, so no two distinct entries hash the same input bytes.
+    // The previous digest is absorbed at its own width (8 bytes for v1 —
+    // byte-identical to the pre-bump format, so old chains still verify —
+    // 32 bytes for v2), and the output is truncated to the same width.
     let mut h = Sha256::new();
-    h.update(&prev.to_le_bytes());
+    match prev {
+        Digest::V1(v) => {
+            h.update(&v.to_le_bytes());
+        }
+        Digest::V2(b) => {
+            h.update(&b);
+        }
+    }
     h.update(&seq.to_le_bytes());
     for s in [actor, action, details] {
         h.update(&(s.len() as u64).to_le_bytes());
         h.update(s.as_bytes());
     }
-    let digest = h.finalize();
-    u64::from_le_bytes(digest[..8].try_into().expect("32-byte digest"))
+    Digest::sibling_of(h.finalize(), &prev)
 }
 
 /// The moving head of an audit hash chain: the sequence number the next
@@ -68,8 +194,9 @@ fn entry_hash(seq: u64, actor: &str, action: &str, details: &str, prev: u64) -> 
 pub struct ChainHead {
     /// Sequence number of the next entry to be appended.
     pub next_seq: u64,
-    /// Digest the next entry must record as its `prev_hash` (0 at genesis).
-    pub hash: u64,
+    /// Digest the next entry must record as its `prev_hash` (all-zero at
+    /// genesis). Its width fixes the chain's format for every later link.
+    pub hash: Digest,
 }
 
 impl Default for ChainHead {
@@ -79,12 +206,27 @@ impl Default for ChainHead {
 }
 
 impl ChainHead {
-    /// The head of an empty chain.
+    /// The head of an empty chain in the current (v2, full-width) format.
     pub fn genesis() -> Self {
         ChainHead {
             next_seq: 0,
-            hash: 0,
+            hash: Digest::zero(),
         }
+    }
+
+    /// The head of an empty chain in the legacy v1 (64-bit) format. Only
+    /// needed to reproduce or extend chains written before the format
+    /// bump; new chains should use [`genesis`](Self::genesis).
+    pub fn genesis_v1() -> Self {
+        ChainHead {
+            next_seq: 0,
+            hash: Digest::zero_v1(),
+        }
+    }
+
+    /// The chain-format version this head's digest width belongs to.
+    pub fn version(&self) -> u16 {
+        self.hash.version()
     }
 
     /// Build the next chained entry and advance the head past it.
@@ -113,9 +255,23 @@ impl ChainHead {
 
     /// Whether `entry` correctly extends this head: right sequence number,
     /// right back-link, and a digest that matches its content.
+    ///
+    /// At genesis (seq 0, all-zero digest) the back-link check accepts a
+    /// zero digest of **either width**: both encode "nothing before me",
+    /// and accepting them interchangeably is what lets a v1 log recorded
+    /// before the format bump verify from a plain [`genesis`] head. The
+    /// chain's width is then fixed by the genesis entry itself and checked
+    /// exactly on every later link.
+    ///
+    /// [`genesis`]: Self::genesis
     pub fn follows(&self, entry: &AuditEntry) -> bool {
+        let back_link_ok = if self.next_seq == 0 && self.hash.is_zero() {
+            entry.prev_hash.is_zero()
+        } else {
+            entry.prev_hash == self.hash
+        };
         entry.seq == self.next_seq
-            && entry.prev_hash == self.hash
+            && back_link_ok
             && entry.hash
                 == entry_hash(
                     entry.seq,
@@ -168,8 +324,9 @@ impl ChainHead {
     /// covered by the entry's own digest, the claim is tamper-evident.
     pub fn handoff_details(&self, segment: u64) -> String {
         format!(
-            "segment={segment} prev_seq={} prev_hash={:016x}",
-            self.next_seq, self.hash
+            "segment={segment} prev_seq={} prev_hash={}",
+            self.next_seq,
+            self.hash.to_hex()
         )
     }
 }
@@ -181,7 +338,9 @@ pub fn is_handoff(entry: &AuditEntry) -> bool {
 }
 
 /// Parse a handoff `details` payload back into `(segment, claimed head)`.
-/// Returns `None` when the payload is not in canonical form.
+/// Returns `None` when the payload is not in canonical form. The hex length
+/// of `prev_hash` (16 vs 64 chars) carries the chain-format width, so v1
+/// handoffs written before the bump parse back at v1 width.
 pub fn parse_handoff_details(details: &str) -> Option<(u64, ChainHead)> {
     let mut segment = None;
     let mut prev_seq = None;
@@ -191,7 +350,7 @@ pub fn parse_handoff_details(details: &str) -> Option<(u64, ChainHead)> {
         match key {
             "segment" => segment = Some(value.parse::<u64>().ok()?),
             "prev_seq" => prev_seq = Some(value.parse::<u64>().ok()?),
-            "prev_hash" => prev_hash = Some(u64::from_str_radix(value, 16).ok()?),
+            "prev_hash" => prev_hash = Some(Digest::from_hex(value)?),
             _ => return None,
         }
     }
@@ -268,8 +427,16 @@ pub fn verify_segment_entries(entries: &[AuditEntry]) -> Result<SegmentCheck, Se
             return Err(SegmentError::HandoffMismatch);
         }
         (claim, Some(segment))
-    } else if first.seq == 0 && first.prev_hash == 0 {
-        (ChainHead::genesis(), None)
+    } else if first.seq == 0 && first.prev_hash.is_zero() {
+        // genesis at the entry's own width, so v1 and v2 segments both
+        // verify standalone
+        (
+            ChainHead {
+                next_seq: 0,
+                hash: first.prev_hash,
+            },
+            None,
+        )
     } else {
         return Err(SegmentError::BadStart);
     };
@@ -296,7 +463,7 @@ impl AuditLog {
         actor: impl Into<String>,
         action: impl Into<String>,
         details: impl Into<String>,
-    ) -> u64 {
+    ) -> Digest {
         let mut head = self.head();
         let entry = head.extend(actor, action, details);
         let hash = entry.hash;
@@ -406,7 +573,7 @@ mod tests {
         for w in log.entries().windows(2) {
             assert_eq!(w[1].prev_hash, w[0].hash);
         }
-        assert_eq!(log.entries()[0].prev_hash, 0);
+        assert_eq!(log.entries()[0].prev_hash, Digest::zero());
     }
 
     #[test]
@@ -461,15 +628,34 @@ mod tests {
 
     #[test]
     fn handoff_details_round_trip() {
+        // legacy v1 head: 16-char hex parses back at v1 width
         let head = ChainHead {
             next_seq: 42,
-            hash: 0xdead_beef_0123_4567,
+            hash: Digest::V1(0xdead_beef_0123_4567),
         };
         let details = head.handoff_details(3);
+        assert!(details.contains("prev_hash=deadbeef01234567"));
         assert_eq!(parse_handoff_details(&details), Some((3, head)));
+        // v2 head: 64-char hex parses back at full width
+        let mut raw = [0u8; 32];
+        raw[0] = 0xab;
+        raw[31] = 0x01;
+        let head2 = ChainHead {
+            next_seq: 7,
+            hash: Digest::V2(raw),
+        };
+        assert_eq!(
+            parse_handoff_details(&head2.handoff_details(9)),
+            Some((9, head2))
+        );
         assert_eq!(parse_handoff_details("segment=1 prev_seq=x"), None);
         assert_eq!(parse_handoff_details("garbage"), None);
         assert_eq!(parse_handoff_details("segment=1 prev_seq=2"), None);
+        // wrong-length hex is rejected
+        assert_eq!(
+            parse_handoff_details("segment=1 prev_seq=2 prev_hash=abc"),
+            None
+        );
     }
 
     #[test]
@@ -503,7 +689,7 @@ mod tests {
         let mut forged = seg1.clone();
         forged[0].details = ChainHead {
             next_seq: 99,
-            hash: 7,
+            hash: Digest::V1(7),
         }
         .handoff_details(1);
         assert!(matches!(
@@ -525,7 +711,7 @@ mod tests {
         let (_, mut seg1) = segmented_chain();
         let wrong = ChainHead {
             next_seq: seg1[0].seq,
-            hash: 0x1234,
+            hash: Digest::V2([0x12; 32]),
         };
         seg1[0].details = wrong.handoff_details(1);
         seg1[0].hash = entry_hash(
@@ -541,6 +727,84 @@ mod tests {
             verify_segment_entries(&seg1[..1]),
             Err(SegmentError::HandoffMismatch)
         );
+    }
+
+    // ----- chain format v1/v2 compatibility -----
+
+    #[test]
+    fn new_chains_are_full_width() {
+        let log = sample_log();
+        assert_eq!(log.head().version(), CHAIN_FORMAT_VERSION);
+        for e in log.entries() {
+            assert!(matches!(e.hash, Digest::V2(_)));
+        }
+        // and the stored form is a 64-char hex string
+        let json = log.to_json();
+        assert!(json.contains(&log.entries()[0].hash.to_hex()));
+    }
+
+    #[test]
+    fn v1_chain_extends_and_verifies_at_v1_width() {
+        let mut head = ChainHead::genesis_v1();
+        let entries: Vec<AuditEntry> = (0..5)
+            .map(|i| head.extend("legacy", "append", format!("n={i}")))
+            .collect();
+        assert_eq!(head.version(), 1);
+        for e in &entries {
+            assert!(matches!(e.hash, Digest::V1(_)));
+        }
+        // verifies from a v1 genesis, and from the default (v2) genesis via
+        // the width-flexible zero back-link
+        assert_eq!(verify_chain_from(ChainHead::genesis_v1(), &entries), None);
+        assert_eq!(verify_chain_from(ChainHead::genesis(), &entries), None);
+        // a v1 segment verifies standalone at v1 width
+        let check = verify_segment_entries(&entries).unwrap();
+        assert_eq!(check.start, ChainHead::genesis_v1());
+        assert_eq!(check.end.version(), 1);
+    }
+
+    #[test]
+    fn v1_digests_keep_their_numeric_wire_form() {
+        // the exact JSON shape every pre-bump log stores: digests as bare
+        // unsigned numbers
+        let mut head = ChainHead::genesis_v1();
+        let e = head.extend("legacy", "load", "rows=3");
+        let json = serde_json::to_string(&e).expect("serializable");
+        let Digest::V1(h) = e.hash else {
+            panic!("v1 chain produced a non-v1 digest")
+        };
+        assert!(json.contains(&format!("\"hash\":{h}")));
+        // and it reads back identically
+        let back: AuditEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        // a pre-bump head sidecar (numeric hash) also still reads
+        let sidecar = format!("{{\"next_seq\":1,\"hash\":{h}}}");
+        let parsed: ChainHead = serde_json::from_str(&sidecar).unwrap();
+        assert_eq!(parsed, head);
+    }
+
+    #[test]
+    fn mixed_width_links_never_verify() {
+        // a v2 entry cannot claim to extend a v1 head (and vice versa),
+        // because digests of different widths are never equal
+        let mut v1 = ChainHead::genesis_v1();
+        v1.extend("w", "a", "x");
+        let mut v2 = ChainHead::genesis();
+        let e2 = v2.extend("w", "a", "y");
+        assert!(!v1.follows(&e2));
+    }
+
+    #[test]
+    fn digest_hex_round_trips() {
+        let d1 = Digest::V1(0x0123_4567_89ab_cdef);
+        assert_eq!(Digest::from_hex(&d1.to_hex()), Some(d1));
+        let d2 = Digest::V2(core::array::from_fn(|i| i as u8));
+        assert_eq!(d2.to_hex().len(), 64);
+        assert_eq!(Digest::from_hex(&d2.to_hex()), Some(d2));
+        assert_eq!(Digest::from_hex("xyz"), None);
+        assert_eq!(Digest::from_hex(&"f".repeat(63)), None);
+        assert!(Digest::zero().is_zero() && Digest::zero_v1().is_zero());
+        assert_ne!(Digest::zero(), Digest::zero_v1());
     }
 
     // ----- property tests: tamper detection over random logs and ops -----

@@ -33,7 +33,8 @@ pub mod surrogate;
 
 pub use audit::{
     is_handoff, parse_handoff_details, verify_chain_from, verify_segment_entries, AuditEntry,
-    AuditLog, ChainHead, SegmentCheck, SegmentError, SEGMENT_HANDOFF_ACTION,
+    AuditLog, ChainHead, Digest, SegmentCheck, SegmentError, CHAIN_FORMAT_VERSION,
+    SEGMENT_HANDOFF_ACTION,
 };
 pub use provenance::ProvenanceGraph;
 pub use sha256::{sha256, Sha256};

@@ -23,6 +23,11 @@
 #                             window + ε ledger resume from checkpoint with
 #                             bounded loss and the audit chain verifies
 #                             across the crash
+#  10. exp_e17 --smoke        columnar segments: roundtrip + aggregates
+#                             bit-identical at 1/2/4 workers, zone maps
+#                             prune >=half the segments under a selective
+#                             predicate, column-pruned scans read <half
+#                             the stored bytes (byte-counter asserts)
 #
 # Everything runs --offline: the workspace vendors its dependencies and
 # must build with no network.
@@ -59,5 +64,8 @@ echo "==> exp_e16 --smoke (cross-process checkpoint-resume gate)"
 # worker explicitly first — `cargo run` alone would not produce it.
 cargo build --offline -q -p responsible-data-science --bin fact-shardd
 cargo run --offline -q -p fact-bench --bin exp_e16 -- --smoke
+
+echo "==> exp_e17 --smoke (columnar-segment pruning + determinism gate)"
+cargo run --offline -q -p fact-bench --bin exp_e17 -- --smoke
 
 echo "==> ci.sh: all green"
