@@ -69,6 +69,7 @@ fn lending_request(rng: &mut StdRng, key: u64) -> DecisionRequest {
         features,
         group_b,
         route_key: key,
+        tenant: 0,
     }
 }
 
@@ -120,6 +121,7 @@ fn run_trial(model: Arc<LogisticRegression>, shards: usize, guarded: bool, seed:
             cache: None,
             topology: None,
             checkpoint: None,
+            admission: None,
         },
         Arc::new(SimulatedRemoteSource::new(FETCH)),
     )

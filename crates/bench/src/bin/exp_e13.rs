@@ -70,6 +70,7 @@ fn lending_request(rng: &mut StdRng, key: u64) -> DecisionRequest {
         features,
         group_b,
         route_key: key,
+        tenant: 0,
     }
 }
 
@@ -121,6 +122,7 @@ fn run_trial(
             cache: None,
             topology: None,
             checkpoint: None,
+            admission: None,
         },
         Arc::new(SimulatedRemoteSource::new(FETCH)),
     )

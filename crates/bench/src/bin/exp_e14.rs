@@ -56,6 +56,7 @@ fn request(key: u64) -> DecisionRequest {
         features: row_for(key),
         group_b: key.is_multiple_of(2),
         route_key: key,
+        tenant: 0,
     }
 }
 

@@ -311,6 +311,7 @@ fn run_disparity(service: &DecisionService, n: u64) -> u64 {
                 features: vec![if group_b { 0.1 } else { 0.9 }],
                 group_b,
                 route_key: i,
+                tenant: 0,
             })
             .is_ok();
         served += u64::from(ok);

@@ -68,6 +68,7 @@ fn lending_request(rng: &mut StdRng, key: u64) -> DecisionRequest {
         features,
         group_b,
         route_key: key,
+        tenant: 0,
     }
 }
 

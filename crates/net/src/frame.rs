@@ -19,6 +19,7 @@
 
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"FNET";
@@ -188,6 +189,24 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, FrameError> {
             got,
         });
     }
+    let (kind, corr_id, len) = parse_header(&header)?;
+    let mut payload = vec![0u8; len as usize];
+    let got = read_fully(r, &mut payload)?;
+    if got < payload.len() {
+        return Err(FrameError::Truncated {
+            needed: len as usize,
+            got,
+        });
+    }
+    Ok(Some(Frame {
+        kind,
+        corr_id,
+        payload,
+    }))
+}
+
+/// Validate a raw header and extract `(kind, corr_id, len)`.
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, u64, u32), FrameError> {
     if header[..4] != MAGIC {
         return Err(FrameError::BadMagic(
             header[..4].try_into().expect("4-byte slice"),
@@ -205,15 +224,115 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, FrameError> {
             max: MAX_PAYLOAD,
         });
     }
-    let mut payload = vec![0u8; len as usize];
-    let got = read_fully(r, &mut payload)?;
-    if got < payload.len() {
-        return Err(FrameError::Truncated {
-            needed: len as usize,
-            got,
-        });
+    Ok((kind, corr_id, len))
+}
+
+/// Outcome of one [`read_frame_deadline`] attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DeadlineRead {
+    /// A complete frame arrived within the deadline.
+    Frame(Frame),
+    /// The peer closed cleanly on a frame boundary.
+    Closed,
+    /// The read timed out with *zero* bytes of the next frame buffered:
+    /// the connection is idle, not torn. The caller may poll again (e.g.
+    /// after checking a shutdown flag).
+    Idle,
+}
+
+/// How one header/payload section of a frame ended.
+enum SectionRead {
+    /// The buffer was filled.
+    Full,
+    /// The stream closed after `got` bytes.
+    Eof(usize),
+    /// The frame deadline expired after `got` bytes (0 means the section
+    /// never started).
+    TimedOut(usize),
+}
+
+/// Read until `buf` is full, EOF, or the frame deadline expires.
+///
+/// `started` is the arrival time of the frame's first byte, shared across
+/// the header and payload sections so a peer cannot reset the clock at a
+/// section boundary. Timeout-flavoured io errors (`WouldBlock` /
+/// `TimedOut`, produced by a socket `read_timeout`) are polls, not
+/// failures: with no frame in progress they report an idle connection;
+/// mid-frame they only fail once `deadline` has elapsed since the first
+/// byte.
+fn read_fully_deadline<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    started: &mut Option<Instant>,
+    deadline: Duration,
+) -> Result<SectionRead, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => return Ok(SectionRead::Eof(got)),
+            Ok(n) => {
+                got += n;
+                started.get_or_insert_with(Instant::now);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                match started {
+                    None => return Ok(SectionRead::TimedOut(0)),
+                    Some(t) if t.elapsed() >= deadline => {
+                        return Ok(SectionRead::TimedOut(got));
+                    }
+                    Some(_) => continue,
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
     }
-    Ok(Some(Frame {
+    Ok(SectionRead::Full)
+}
+
+/// Read one frame from `r`, bounding how long a peer may take to deliver
+/// it once its first byte has arrived.
+///
+/// `r` should have a socket `read_timeout` set (see
+/// [`crate::Server::bind_with_deadline`]) so that reads return
+/// `WouldBlock`/`TimedOut` periodically; each such poll re-checks the
+/// per-frame `deadline`. A peer that dribbles header bytes or stalls
+/// mid-payload past the deadline surfaces as [`FrameError::Truncated`] —
+/// never as an unbounded blocking read. A timeout with *no* frame in
+/// progress is [`DeadlineRead::Idle`], letting the caller poll without
+/// tearing down healthy-but-quiet connections.
+pub fn read_frame_deadline<R: Read>(
+    r: &mut R,
+    deadline: Duration,
+) -> Result<DeadlineRead, FrameError> {
+    let mut started: Option<Instant> = None;
+    let mut header = [0u8; HEADER_LEN];
+    match read_fully_deadline(r, &mut header, &mut started, deadline)? {
+        SectionRead::Full => {}
+        SectionRead::Eof(0) => return Ok(DeadlineRead::Closed),
+        SectionRead::TimedOut(0) => return Ok(DeadlineRead::Idle),
+        SectionRead::Eof(got) | SectionRead::TimedOut(got) => {
+            return Err(FrameError::Truncated {
+                needed: HEADER_LEN,
+                got,
+            });
+        }
+    }
+    let (kind, corr_id, len) = parse_header(&header)?;
+    let mut payload = vec![0u8; len as usize];
+    match read_fully_deadline(r, &mut payload, &mut started, deadline)? {
+        SectionRead::Full => {}
+        // the header arrived, so even a 0-byte payload section is torn
+        SectionRead::Eof(got) | SectionRead::TimedOut(got) => {
+            return Err(FrameError::Truncated {
+                needed: len as usize,
+                got,
+            });
+        }
+    }
+    Ok(DeadlineRead::Frame(Frame {
         kind,
         corr_id,
         payload,
@@ -327,6 +446,130 @@ mod tests {
         assert!(matches!(
             read_frame(&mut Cursor::new(bad)),
             Err(FrameError::BadKind(0))
+        ));
+    }
+
+    /// Scripted reader: each step yields some bytes or a timeout error,
+    /// then the stream reports EOF. Drives `read_frame_deadline`
+    /// deterministically — no sockets, no sleeps.
+    struct Scripted {
+        steps: std::collections::VecDeque<Result<Vec<u8>, io::ErrorKind>>,
+    }
+
+    impl Scripted {
+        fn new(steps: Vec<Result<Vec<u8>, io::ErrorKind>>) -> Scripted {
+            Scripted {
+                steps: steps.into(),
+            }
+        }
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.steps.pop_front() {
+                Some(Ok(bytes)) => {
+                    assert!(bytes.len() <= buf.len(), "script step larger than request");
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(Err(kind)) => Err(io::Error::new(kind, "scripted timeout")),
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_read_completes_a_dribbled_frame_within_budget() {
+        // one byte per read step, no timeouts: slow but inside the deadline
+        let bytes = encode_frame(&Frame::new(FrameKind::Request, 3, b"ok".to_vec())).unwrap();
+        let steps = bytes.iter().map(|b| Ok(vec![*b])).collect();
+        let mut r = Scripted::new(steps);
+        match read_frame_deadline(&mut r, Duration::from_secs(60)).unwrap() {
+            DeadlineRead::Frame(f) => {
+                assert_eq!(f.corr_id, 3);
+                assert_eq!(f.payload, b"ok");
+            }
+            other => panic!("expected Frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_with_no_bytes_is_idle_not_an_error() {
+        let mut r = Scripted::new(vec![Err(io::ErrorKind::WouldBlock)]);
+        assert_eq!(
+            read_frame_deadline(&mut r, Duration::ZERO).unwrap(),
+            DeadlineRead::Idle
+        );
+        let mut r = Scripted::new(vec![Err(io::ErrorKind::TimedOut)]);
+        assert_eq!(
+            read_frame_deadline(&mut r, Duration::ZERO).unwrap(),
+            DeadlineRead::Idle
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let mut r = Scripted::new(Vec::new());
+        assert_eq!(
+            read_frame_deadline(&mut r, Duration::from_secs(1)).unwrap(),
+            DeadlineRead::Closed
+        );
+    }
+
+    #[test]
+    fn header_dribble_past_deadline_is_truncated_not_a_hang() {
+        // slow-loris: one header byte arrives, then the peer stalls. With a
+        // zero deadline the first post-byte timeout poll tears the frame.
+        let bytes = encode_frame(&Frame::new(FrameKind::Request, 1, b"x".to_vec())).unwrap();
+        let mut r = Scripted::new(vec![
+            Ok(bytes[..1].to_vec()),
+            Err(io::ErrorKind::WouldBlock),
+        ]);
+        match read_frame_deadline(&mut r, Duration::ZERO) {
+            Err(FrameError::Truncated { needed, got }) => {
+                assert_eq!(needed, HEADER_LEN);
+                assert_eq!(got, 1);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_payload_stall_past_deadline_is_truncated() {
+        let bytes = encode_frame(&Frame::new(FrameKind::Request, 2, b"abcdef".to_vec())).unwrap();
+        // full header + half the payload, then a stall
+        let mut r = Scripted::new(vec![
+            Ok(bytes[..HEADER_LEN].to_vec()),
+            Ok(bytes[HEADER_LEN..HEADER_LEN + 3].to_vec()),
+            Err(io::ErrorKind::TimedOut),
+        ]);
+        match read_frame_deadline(&mut r, Duration::ZERO) {
+            Err(FrameError::Truncated { needed, got }) => {
+                assert_eq!(needed, 6);
+                assert_eq!(got, 3);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_mid_frame_is_truncated_under_deadline_reader_too() {
+        let bytes = encode_frame(&Frame::new(FrameKind::Request, 4, b"zz".to_vec())).unwrap();
+        let mut r = Scripted::new(vec![Ok(bytes[..HEADER_LEN].to_vec())]);
+        assert!(matches!(
+            read_frame_deadline(&mut r, Duration::from_secs(1)),
+            Err(FrameError::Truncated { needed: 2, got: 0 })
+        ));
+    }
+
+    #[test]
+    fn deadline_reader_rejects_malformed_headers_like_the_plain_reader() {
+        let mut bytes = encode_frame(&Frame::new(FrameKind::Request, 1, Vec::new())).unwrap();
+        bytes[0] = b'X';
+        let mut r = Scripted::new(vec![Ok(bytes)]);
+        assert!(matches!(
+            read_frame_deadline(&mut r, Duration::from_secs(1)),
+            Err(FrameError::BadMagic(_))
         ));
     }
 

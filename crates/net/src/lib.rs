@@ -18,7 +18,10 @@
 //! * [`server`] — [`Server`], the worker-side acceptor: each connection
 //!   gets a reader thread that enqueues work fast and a writer thread
 //!   that drains completion thunks in FIFO order, so responses pipeline
-//!   without reordering.
+//!   without reordering. Each started frame must be delivered within a
+//!   per-frame deadline ([`server::DEFAULT_FRAME_DEADLINE`], tunable via
+//!   [`Server::bind_with_deadline`]) so a slow-loris peer cannot wedge a
+//!   reader thread.
 //!
 //! The crate knows nothing about `fact-serve`'s `Decision` types: the
 //! payload structs are the protocol, and both ends convert at the edge.
@@ -31,12 +34,15 @@ pub mod payload;
 pub mod server;
 
 pub use client::{PendingReply, RemoteShard, RemoteStatsSnapshot};
-pub use frame::{read_frame, write_frame, Frame, FrameError, FrameKind, HEADER_LEN, MAX_PAYLOAD};
+pub use frame::{
+    read_frame, read_frame_deadline, write_frame, DeadlineRead, Frame, FrameError, FrameKind,
+    HEADER_LEN, MAX_PAYLOAD,
+};
 pub use payload::{
     decode, encode, CheckpointAckWire, ControlAckWire, ControlWire, DecisionWire, RequestWire,
     ResponseWire,
 };
-pub use server::{Server, ShardHandler};
+pub use server::{Server, ShardHandler, DEFAULT_FRAME_DEADLINE};
 
 use std::fmt;
 use std::io;

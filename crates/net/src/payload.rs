@@ -18,6 +18,10 @@ pub struct RequestWire {
     pub group_b: bool,
     /// Routing key; the worker uses it to pick its local shard.
     pub route_key: u64,
+    /// Tenant id for per-tenant admission quotas. `None` (a pre-tenant
+    /// peer) decodes as tenant 0 at the serve edge, so old clients and
+    /// workers interoperate with new ones.
+    pub tenant: Option<u64>,
 }
 
 /// A served decision (mirrors `fact-serve`'s `Decision`, converted at the
@@ -42,6 +46,13 @@ pub struct ResponseWire {
     pub ok: Option<DecisionWire>,
     /// The worker-side error, when it did not.
     pub error: Option<String>,
+    /// Machine-readable error class (`"busy"`, `"throttled"`,
+    /// `"rejected"`), so the client can rebuild a typed error instead of
+    /// collapsing everything to an opaque remote failure. `None` on
+    /// success and for untyped errors (including pre-tenant workers).
+    pub code: Option<String>,
+    /// The tenant an error was attributed to (set for `"throttled"`).
+    pub tenant: Option<u64>,
 }
 
 impl ResponseWire {
@@ -50,6 +61,8 @@ impl ResponseWire {
         ResponseWire {
             ok: Some(decision),
             error: None,
+            code: None,
+            tenant: None,
         }
     }
 
@@ -58,6 +71,23 @@ impl ResponseWire {
         ResponseWire {
             ok: None,
             error: Some(msg.into()),
+            code: None,
+            tenant: None,
+        }
+    }
+
+    /// Wrap a worker-side failure with a machine-readable class and an
+    /// optional tenant attribution.
+    pub fn failure_coded(
+        msg: impl Into<String>,
+        code: impl Into<String>,
+        tenant: Option<u64>,
+    ) -> ResponseWire {
+        ResponseWire {
+            ok: None,
+            error: Some(msg.into()),
+            code: Some(code.into()),
+            tenant,
         }
     }
 
@@ -122,6 +152,7 @@ mod tests {
             features: vec![0.25, -1.5, 3.0],
             group_b: true,
             route_key: 42,
+            tenant: Some(7),
         };
         let back: RequestWire = decode(&encode(&req).unwrap()).unwrap();
         assert_eq!(back, req);
@@ -146,8 +177,30 @@ mod tests {
         let neither = ResponseWire {
             ok: None,
             error: None,
+            code: None,
+            tenant: None,
         };
         assert!(matches!(neither.into_result(), Err(NetError::Decode(_))));
+    }
+
+    #[test]
+    fn coded_failure_roundtrips_with_tenant() {
+        let resp = ResponseWire::failure_coded("tenant 9 over quota", "throttled", Some(9));
+        let back: ResponseWire = decode(&encode(&resp).unwrap()).unwrap();
+        assert_eq!(back.code.as_deref(), Some("throttled"));
+        assert_eq!(back.tenant, Some(9));
+        assert!(matches!(back.into_result(), Err(NetError::Remote(_))));
+    }
+
+    #[test]
+    fn pre_tenant_payloads_still_decode() {
+        // frames from a peer built before the tenant/code fields existed
+        let req: RequestWire =
+            decode(br#"{"features":[1.0],"group_b":false,"route_key":5}"#).unwrap();
+        assert_eq!(req.tenant, None);
+        let resp: ResponseWire = decode(br#"{"ok":null,"error":"queue full"}"#).unwrap();
+        assert_eq!(resp.code, None);
+        assert!(matches!(resp.into_result(), Err(NetError::Remote(_))));
     }
 
     #[test]

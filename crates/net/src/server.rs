@@ -21,8 +21,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
-use crate::frame::{read_frame, write_frame, Frame, FrameKind};
+use crate::frame::{read_frame_deadline, write_frame, DeadlineRead, Frame, FrameKind};
+
+/// Default per-frame delivery deadline: once a frame's first byte arrives,
+/// the rest must follow within this budget or the connection is torn down.
+pub const DEFAULT_FRAME_DEADLINE: Duration = Duration::from_secs(30);
+
+/// How often a blocked reader wakes to re-check its frame deadline.
+const READ_POLL_INTERVAL: Duration = Duration::from_millis(100);
 
 /// What a worker process plugs into the server: turn one request payload
 /// into a thunk that, when called, blocks until the response payload is
@@ -47,8 +55,25 @@ pub struct Server {
 
 impl Server {
     /// Bind `path` and start accepting connections, dispatching frames to
-    /// `handler`. A stale socket file at `path` is removed first.
+    /// `handler`. A stale socket file at `path` is removed first. Peers get
+    /// [`DEFAULT_FRAME_DEADLINE`] to deliver each started frame.
     pub fn bind(path: impl Into<PathBuf>, handler: Arc<dyn ShardHandler>) -> io::Result<Server> {
+        Server::bind_with_deadline(path, handler, DEFAULT_FRAME_DEADLINE)
+    }
+
+    /// Like [`bind`], but with an explicit per-frame delivery deadline: a
+    /// peer that dribbles a header byte-at-a-time or stalls mid-payload
+    /// for longer than `frame_deadline` is disconnected (the torn frame
+    /// surfaces as `FrameError::Truncated` on the reader) instead of
+    /// wedging the connection's reader thread forever. Idle connections
+    /// with no frame in progress are never torn down.
+    ///
+    /// [`bind`]: Server::bind
+    pub fn bind_with_deadline(
+        path: impl Into<PathBuf>,
+        handler: Arc<dyn ShardHandler>,
+        frame_deadline: Duration,
+    ) -> io::Result<Server> {
         let path = path.into();
         match std::fs::remove_file(&path) {
             Ok(()) => {}
@@ -80,7 +105,7 @@ impl Server {
                     let handler = Arc::clone(&handler);
                     if let Ok(h) = thread::Builder::new()
                         .name("fact-net-conn".into())
-                        .spawn(move || serve_conn(stream, handler))
+                        .spawn(move || serve_conn(stream, handler, frame_deadline))
                     {
                         accept_threads.lock().expect("threads lock").push(h);
                     }
@@ -158,9 +183,16 @@ fn reply_kind(request: FrameKind) -> FrameKind {
     }
 }
 
-fn serve_conn(stream: UnixStream, handler: Arc<dyn ShardHandler>) {
+fn serve_conn(stream: UnixStream, handler: Arc<dyn ShardHandler>, frame_deadline: Duration) {
     type Job = (u64, FrameKind, Box<dyn FnOnce() -> Vec<u8> + Send>);
     let (job_tx, job_rx) = mpsc::channel::<Job>();
+
+    // the read timeout is the *poll* interval, not the deadline: each
+    // timeout wakes read_frame_deadline to re-check elapsed time against
+    // the per-frame budget (and lets a torn-down socket error out)
+    let _ = stream.set_read_timeout(Some(
+        READ_POLL_INTERVAL.min(frame_deadline.max(Duration::from_millis(1))),
+    ));
 
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -183,15 +215,26 @@ fn serve_conn(stream: UnixStream, handler: Arc<dyn ShardHandler>) {
     };
 
     let mut reader = stream;
-    // a clean close (Ok(None)), torn frame, or malformed header all end the
-    // loop: the codec already typed the error, and a protocol violation is
-    // not recoverable mid-stream
-    while let Ok(Some(frame)) = read_frame(&mut reader) {
-        let thunk = handler.submit(frame.kind, frame.payload);
-        if job_tx.send((frame.corr_id, frame.kind, thunk)).is_err() {
-            break;
+    // a clean close (Closed), torn frame (incl. a slow-loris peer blowing
+    // its delivery deadline), or malformed header all end the loop: the
+    // codec already typed the error, and a protocol violation is not
+    // recoverable mid-stream. Idle polls just loop.
+    loop {
+        match read_frame_deadline(&mut reader, frame_deadline) {
+            Ok(DeadlineRead::Idle) => continue,
+            Ok(DeadlineRead::Frame(frame)) => {
+                let thunk = handler.submit(frame.kind, frame.payload);
+                if job_tx.send((frame.corr_id, frame.kind, thunk)).is_err() {
+                    break;
+                }
+            }
+            Ok(DeadlineRead::Closed) | Err(_) => break,
         }
     }
     drop(job_tx); // writer drains queued work, then exits
     let _ = writer_thread.join();
+    // actively sever the socket: the server's shutdown bookkeeping holds a
+    // clone of this stream, so without an explicit shutdown a cut-off peer
+    // (e.g. a slow-loris dribbler) would never observe the disconnect
+    let _ = reader.shutdown(std::net::Shutdown::Both);
 }

@@ -62,6 +62,7 @@ fn request(route_key: u64, p: f64) -> Vec<u8> {
         features: vec![p, 1.0],
         group_b: route_key % 2 == 0,
         route_key,
+        tenant: None,
     })
     .unwrap()
 }

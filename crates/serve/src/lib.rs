@@ -12,7 +12,13 @@
 //! * **Admission control** — every shard queue is *bounded*. A full queue
 //!   sheds the request immediately with [`ServeError::Busy`] rather than
 //!   buffering into latency collapse; callers that wait bound their own
-//!   exposure with [`ServeError::Timeout`].
+//!   exposure with [`ServeError::Timeout`]. Setting
+//!   [`ServeConfig::admission`] layers an *adaptive* bound on top: an
+//!   AIMD latency-target controller shrinks the effective capacity when
+//!   the rolling p99 exceeds [`AdmissionConfig::target_p99`] and grows it
+//!   back when under, while per-tenant token quotas shed a flooding
+//!   tenant with [`ServeError::Throttled`] before it can starve anyone
+//!   else (see [`admission`]).
 //! * **Micro-batching** — workers drain their queue into batches (up to
 //!   `batch_max`, lingering `batch_linger` for stragglers) so one
 //!   matrix-level [`Classifier::predict_proba`] call amortizes model
@@ -66,6 +72,7 @@
 //!     features: vec![0.9],
 //!     group_b: false,
 //!     route_key: 17,
+//!     tenant: 0,
 //! }).unwrap();
 //! assert!(decision.favorable);
 //! let report = service.shutdown();
@@ -79,6 +86,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod audit_sink;
 pub mod cache;
 pub mod checkpoint;
@@ -87,6 +95,7 @@ pub mod metrics;
 pub mod service;
 pub mod source;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
 pub use audit_sink::{
     verify_all_segments, verify_segment, AuditEvent, AuditSink, AuditSinkConfig, AuditSinkHandle,
     AuditStorage, FileStorage, MemStorage, RecoveryReport, SegmentAudit, SinkReport,
@@ -98,7 +107,8 @@ pub use checkpoint::{
 };
 pub use guards::{AlertKind, DegradePolicy, GuardConfig, ServiceAlert};
 pub use metrics::{
-    CacheSnapshot, CacheStats, LatencyHistogram, MetricsRegistry, MetricsSnapshot, ShardSnapshot,
+    AdmissionSnapshot, AdmissionStats, CacheSnapshot, CacheStats, LatencyHistogram,
+    MetricsRegistry, MetricsSnapshot, ShardSnapshot, TenantSnapshot,
 };
 pub use service::{
     Decision, DecisionHandle, DecisionRequest, DecisionService, NetShardHandler, RemoteShardReport,
@@ -153,6 +163,7 @@ mod tests {
             features: vec![p],
             group_b: key % 2 == 0,
             route_key: key,
+            tenant: 0,
         }
     }
 
@@ -305,6 +316,7 @@ mod tests {
                     features: vec![p],
                     group_b,
                     route_key: i,
+                    tenant: 0,
                 })
             })
             .collect()
@@ -470,6 +482,7 @@ mod tests {
                 features: vec![0.1, 0.2],
                 group_b: false,
                 route_key: 0,
+                tenant: 0,
             }),
             Err(ServeError::BadRequest(_))
         ));
@@ -507,6 +520,7 @@ mod tests {
                 features: vec![0.9],
                 group_b: false,
                 route_key: 20,
+                tenant: 0,
             })
             .unwrap();
         assert!((d.probability - 0.2).abs() < 1e-12, "{}", d.probability);

@@ -8,8 +8,9 @@
 //! set is not taken under a global lock — standard practice for serving
 //! metrics).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Sub-bucket resolution: each power-of-two octave is split into
@@ -74,6 +75,15 @@ impl LatencyHistogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
+    /// Zero every bucket. Concurrent `record`s land in either the old or
+    /// the new window — fine for the rolling-window use the admission
+    /// controller puts this to, where a sample's window is advisory.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// The `q`-quantile (0 ≤ q ≤ 1) as the upper edge of the bucket that
     /// contains it, or `None` if the histogram is empty. Log-linear edges
     /// bound the true quantile within 25% — the usual trade for a lock-free
@@ -107,8 +117,10 @@ pub struct ShardMetrics {
     pub enqueued: AtomicU64,
     /// Decisions served (replied to).
     pub served: AtomicU64,
-    /// Requests shed at admission (queue full → `Busy`).
+    /// Requests shed at admission (queue full or adaptive bound → `Busy`).
     pub shed: AtomicU64,
+    /// Requests refused because their tenant was over quota (`Throttled`).
+    pub throttled: AtomicU64,
     /// Requests whose caller gave up waiting (`Timeout`).
     pub timeouts: AtomicU64,
     /// Requests hard-rejected by a tripped guard policy.
@@ -211,6 +223,165 @@ impl CacheSnapshot {
     }
 }
 
+/// Stripes for the per-tenant counter map: bounds lock contention without
+/// a per-tenant allocation on the hot path.
+const TENANT_STRIPES: usize = 8;
+/// Max tenants tracked per stripe; ids beyond the cap fold into
+/// [`AdmissionStats::untracked`] so an id-spraying tenant cannot grow the
+/// map without bound.
+const TENANTS_PER_STRIPE: usize = 64;
+
+/// Per-tenant admission outcomes (plain integers; only ever touched under
+/// their stripe lock).
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantCounters {
+    admitted: u64,
+    shed: u64,
+    throttled: u64,
+}
+
+/// Admission-control counters, shared between the
+/// [`AdmissionController`](crate::admission::AdmissionController) and the
+/// registry that reports it. All zeros when admission control is not
+/// configured.
+#[derive(Debug)]
+pub struct AdmissionStats {
+    /// Requests refused because their tenant was over quota.
+    pub throttled: AtomicU64,
+    /// Requests shed by the *adaptive* bound (depth ≥ effective capacity);
+    /// a subset of the shard-level `shed` counters, which also count
+    /// channel-full sheds.
+    pub shed: AtomicU64,
+    /// Control-loop ticks executed.
+    pub ticks: AtomicU64,
+    /// Ticks that shrank effective capacity (window p99 over target).
+    pub shrinks: AtomicU64,
+    /// Ticks that grew effective capacity (window p99 under target, or an
+    /// idle window).
+    pub grows: AtomicU64,
+    /// Current effective queue capacity (gauge; 0 when admission control
+    /// is off or `queue_cap` is 0).
+    pub effective_cap: AtomicU64,
+    tenants: Vec<Mutex<HashMap<u64, TenantCounters>>>,
+    /// Admission outcomes for tenants beyond the tracking cap (counted,
+    /// never dropped silently).
+    pub untracked: AtomicU64,
+}
+
+impl Default for AdmissionStats {
+    fn default() -> Self {
+        AdmissionStats {
+            throttled: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+            shrinks: AtomicU64::new(0),
+            grows: AtomicU64::new(0),
+            effective_cap: AtomicU64::new(0),
+            tenants: (0..TENANT_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            untracked: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AdmissionStats {
+    fn with_tenant(&self, tenant: u64, f: impl FnOnce(&mut TenantCounters)) {
+        let stripe = &self.tenants[(tenant as usize) % TENANT_STRIPES];
+        let mut map = stripe.lock().expect("tenant stripe lock");
+        if let Some(c) = map.get_mut(&tenant) {
+            f(c);
+            return;
+        }
+        if map.len() >= TENANTS_PER_STRIPE {
+            self.untracked.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        f(map.entry(tenant).or_default());
+    }
+
+    /// Count one admitted request for `tenant`.
+    pub fn tenant_admitted(&self, tenant: u64) {
+        self.with_tenant(tenant, |c| c.admitted += 1);
+    }
+
+    /// Count one adaptive-bound shed for `tenant`.
+    pub fn tenant_shed(&self, tenant: u64) {
+        self.with_tenant(tenant, |c| c.shed += 1);
+    }
+
+    /// Count one quota throttle for `tenant`.
+    pub fn tenant_throttled(&self, tenant: u64) {
+        self.with_tenant(tenant, |c| c.throttled += 1);
+    }
+
+    /// An instantaneous plain-data copy, tenants sorted by id.
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        let mut tenants: Vec<TenantSnapshot> = Vec::new();
+        for stripe in &self.tenants {
+            let map = stripe.lock().expect("tenant stripe lock");
+            tenants.extend(map.iter().map(|(&tenant, c)| TenantSnapshot {
+                tenant,
+                admitted: c.admitted,
+                shed: c.shed,
+                throttled: c.throttled,
+            }));
+        }
+        tenants.sort_by_key(|t| t.tenant);
+        AdmissionSnapshot {
+            throttled: self.throttled.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            ticks: self.ticks.load(Ordering::Relaxed),
+            shrinks: self.shrinks.load(Ordering::Relaxed),
+            grows: self.grows.load(Ordering::Relaxed),
+            effective_cap: self.effective_cap.load(Ordering::Relaxed),
+            untracked: self.untracked.load(Ordering::Relaxed),
+            tenants,
+        }
+    }
+}
+
+/// One tenant's admission outcomes at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Tenant id (as carried on [`DecisionRequest`](crate::DecisionRequest)).
+    pub tenant: u64,
+    /// Requests this tenant got past admission.
+    pub admitted: u64,
+    /// Requests shed for this tenant by the adaptive bound.
+    pub shed: u64,
+    /// Requests throttled for this tenant by its quota.
+    pub throttled: u64,
+}
+
+/// Plain-data copy of [`AdmissionStats`] at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionSnapshot {
+    /// Quota throttles across all tenants.
+    pub throttled: u64,
+    /// Adaptive-bound sheds across all tenants.
+    pub shed: u64,
+    /// Control-loop ticks executed.
+    pub ticks: u64,
+    /// Capacity-shrinking ticks.
+    pub shrinks: u64,
+    /// Capacity-growing ticks.
+    pub grows: u64,
+    /// Effective queue capacity at snapshot time.
+    pub effective_cap: u64,
+    /// Outcomes attributed to tenants beyond the tracking cap.
+    pub untracked: u64,
+    /// Per-tenant outcomes, sorted by tenant id.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+impl AdmissionSnapshot {
+    /// The snapshot for one tenant, if tracked.
+    pub fn tenant(&self, tenant: u64) -> Option<&TenantSnapshot> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
+    }
+}
+
 /// The service-wide registry: one [`ShardMetrics`] per shard plus global
 /// latency, guard, and feature-cache counters. Shared via `Arc`; all
 /// methods take `&self`.
@@ -227,6 +398,9 @@ pub struct MetricsRegistry {
     /// Feature-cache counters; all zeros unless `ServeConfig.cache` wired
     /// a [`CachedFeatureSource`](crate::cache::CachedFeatureSource) in.
     pub cache: Arc<CacheStats>,
+    /// Admission-control counters; all zeros unless `ServeConfig.admission`
+    /// wired an [`AdmissionController`](crate::admission::AdmissionController) in.
+    pub admission: Arc<AdmissionStats>,
 }
 
 impl MetricsRegistry {
@@ -238,6 +412,7 @@ impl MetricsRegistry {
             alerts: AtomicU64::new(0),
             epsilon_micro: AtomicU64::new(0),
             cache: Arc::new(CacheStats::default()),
+            admission: Arc::new(AdmissionStats::default()),
         }
     }
 
@@ -266,6 +441,7 @@ impl MetricsRegistry {
                 enqueued: s.enqueued.load(Ordering::Relaxed),
                 served: s.served.load(Ordering::Relaxed),
                 shed: s.shed.load(Ordering::Relaxed),
+                throttled: s.throttled.load(Ordering::Relaxed),
                 timeouts: s.timeouts.load(Ordering::Relaxed),
                 rejected: s.rejected.load(Ordering::Relaxed),
                 flagged: s.flagged.load(Ordering::Relaxed),
@@ -284,6 +460,7 @@ impl MetricsRegistry {
             alerts: self.alerts.load(Ordering::Relaxed),
             epsilon_spent: self.epsilon_micro.load(Ordering::Relaxed) as f64 / 1e6,
             cache: self.cache.snapshot(),
+            admission: self.admission.snapshot(),
         }
     }
 }
@@ -297,6 +474,8 @@ pub struct ShardSnapshot {
     pub served: u64,
     /// Requests shed at admission.
     pub shed: u64,
+    /// Requests throttled by a tenant quota.
+    pub throttled: u64,
     /// Caller-side timeouts.
     pub timeouts: u64,
     /// Hard rejections from a tripped guard.
@@ -343,6 +522,8 @@ pub struct MetricsSnapshot {
     pub epsilon_spent: f64,
     /// Feature-cache counters (all zero when no cache is configured).
     pub cache: CacheSnapshot,
+    /// Admission-control counters (all zero when admission is off).
+    pub admission: AdmissionSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -356,19 +537,25 @@ impl MetricsSnapshot {
         self.shards.iter().map(|s| s.shed).sum()
     }
 
+    /// Total quota throttles across shards.
+    pub fn throttled(&self) -> u64 {
+        self.shards.iter().map(|s| s.throttled).sum()
+    }
+
     /// Render as a plain-text block (one line per shard plus totals),
     /// suitable for logs or a `/metrics`-style endpoint.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "shard  served  shed  timeout  reject  flagged  depth  depth_max  mean_batch\n",
+            "shard  served  shed  throttle  timeout  reject  flagged  depth  depth_max  mean_batch\n",
         );
         for (i, s) in self.shards.iter().enumerate() {
             out.push_str(&format!(
-                "{:>5}  {:>6}  {:>4}  {:>7}  {:>6}  {:>7}  {:>5}  {:>9}  {:>10.2}\n",
+                "{:>5}  {:>6}  {:>4}  {:>8}  {:>7}  {:>6}  {:>7}  {:>5}  {:>9}  {:>10.2}\n",
                 i,
                 s.served,
                 s.shed,
+                s.throttled,
                 s.timeouts,
                 s.rejected,
                 s.flagged,
@@ -403,6 +590,17 @@ impl MetricsSnapshot {
             self.cache.invalidated,
             self.cache.hit_rate(),
         ));
+        let a = &self.admission;
+        out.push_str(&format!(
+            "admission cap={} ticks={} shrinks={} grows={} throttled={} adm_shed={} untracked={}\n",
+            a.effective_cap, a.ticks, a.shrinks, a.grows, a.throttled, a.shed, a.untracked,
+        ));
+        for t in &a.tenants {
+            out.push_str(&format!(
+                "tenant {} admitted={} shed={} throttled={}\n",
+                t.tenant, t.admitted, t.shed, t.throttled,
+            ));
+        }
         out
     }
 }
@@ -455,7 +653,43 @@ mod tests {
         let text = snap.render_text();
         assert!(text.contains("total served=3"));
         assert!(text.contains("cache hits=0"));
-        assert!(text.lines().count() == 5);
+        assert!(text.contains("admission cap=0"));
+        // header + 2 shards + totals + cache + admission (no tenants seen)
+        assert!(text.lines().count() == 6);
+    }
+
+    #[test]
+    fn histogram_reset_zeroes_counts() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(50));
+        h.record(Duration::from_micros(500));
+        assert_eq!(h.count(), 2);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), None);
+    }
+
+    #[test]
+    fn admission_stats_track_tenants_with_bounded_map() {
+        let a = AdmissionStats::default();
+        a.tenant_admitted(7);
+        a.tenant_admitted(7);
+        a.tenant_throttled(7);
+        a.tenant_shed(9);
+        let snap = a.snapshot();
+        let t7 = snap.tenant(7).unwrap();
+        assert_eq!((t7.admitted, t7.shed, t7.throttled), (2, 0, 1));
+        assert_eq!(snap.tenant(9).unwrap().shed, 1);
+        assert!(snap.tenant(1).is_none());
+        // spray ids far beyond the cap: map stays bounded, spill is counted
+        for id in 0..10_000u64 {
+            a.tenant_admitted(id);
+        }
+        let snap = a.snapshot();
+        assert!(snap.tenants.len() <= TENANT_STRIPES * TENANTS_PER_STRIPE);
+        // every tracked tenant absorbed exactly one spray call; the rest spilled
+        let tracked = snap.tenants.iter().map(|t| t.admitted).sum::<u64>() - 2;
+        assert_eq!(snap.untracked, 10_000 - tracked);
     }
 
     #[test]

@@ -34,22 +34,30 @@ use fact_net::{
     DecisionWire, FrameKind, NetError, PendingReply, RemoteShard, RequestWire, ResponseWire,
 };
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
 use crate::audit_sink::{
     AuditEvent, AuditSink, AuditSinkConfig, AuditSinkHandle, AuditStorage, RecoveryReport,
 };
 use crate::cache::{CacheConfig, CachedFeatureSource, SystemClock};
 use crate::checkpoint::{load_checkpoint, write_checkpoint, CheckpointConfig};
 use crate::guards::{AlertHub, AlertKind, DegradePolicy, GuardConfig, ServiceAlert, ShardGuards};
-use crate::metrics::{CacheSnapshot, MetricsRegistry, MetricsSnapshot};
+use crate::metrics::{AdmissionSnapshot, CacheSnapshot, MetricsRegistry, MetricsSnapshot};
 use crate::source::{FeatureSource, InlineFeatures};
 
 /// Errors surfaced to callers of the service.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
-    /// The target shard's queue is full; the request was shed at admission.
+    /// The target shard's queue is full (or past the adaptive effective
+    /// capacity); the request was shed at admission.
     Busy {
         /// Shard whose queue was full.
         shard: usize,
+    },
+    /// The request's tenant is over its admission quota; retrying after
+    /// backoff is the contract (well-behaved tenants never see this).
+    Throttled {
+        /// Tenant whose token bucket was empty.
+        tenant: u64,
     },
     /// The caller's deadline passed before a decision arrived. The request
     /// is *not* cancelled — an accepted request is always served — but the
@@ -78,6 +86,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Busy { shard } => write!(f, "shard {shard} queue full"),
+            ServeError::Throttled { tenant } => write!(f, "tenant {tenant} over quota"),
             ServeError::Timeout { waited } => write!(f, "timed out after {waited:?}"),
             ServeError::Rejected { reason } => write!(f, "rejected: {reason}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
@@ -89,6 +98,20 @@ impl std::fmt::Display for ServeError {
 }
 
 impl std::error::Error for ServeError {}
+
+impl ServeError {
+    /// Machine-readable class for the fact-net wire (`ResponseWire.code`),
+    /// so a client can rebuild the typed error across the process
+    /// boundary. `None` for errors that stay opaque remotely.
+    fn wire_code(&self) -> Option<&'static str> {
+        match self {
+            ServeError::Busy { .. } => Some("busy"),
+            ServeError::Throttled { .. } => Some("throttled"),
+            ServeError::Rejected { .. } => Some("rejected"),
+            _ => None,
+        }
+    }
+}
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -135,6 +158,10 @@ pub struct ServeConfig {
     /// on startup each local shard restores its fairness window, ε
     /// ledger, and DP counters from its sidecar file if one exists.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Adaptive admission control: an AIMD latency-target controller plus
+    /// per-tenant token quotas layered on the depth gauge (see
+    /// [`crate::admission`]). `None` keeps the static `queue_cap` bound.
+    pub admission: Option<AdmissionConfig>,
 }
 
 /// Where one shard of the routing space is hosted.
@@ -165,6 +192,7 @@ impl Default for ServeConfig {
             cache: None,
             topology: None,
             checkpoint: None,
+            admission: None,
         }
     }
 }
@@ -179,6 +207,11 @@ pub struct DecisionRequest {
     /// Routing key (e.g. user id): requests with equal keys land on the
     /// same shard.
     pub route_key: u64,
+    /// Tenant the request bills its admission quota against (e.g. the
+    /// calling product or customer). Ignored unless
+    /// [`ServeConfig::admission`] enables tenant quotas; 0 is a fine
+    /// default for single-tenant callers.
+    pub tenant: u64,
 }
 
 /// One served decision.
@@ -219,8 +252,19 @@ pub struct DecisionHandle {
 /// with the *client-side* slot index so routing stays observable.
 fn decode_remote_decision(payload: &[u8], slot: usize) -> Result<Decision, ServeError> {
     let wire: ResponseWire = net_decode(payload).map_err(|e| ServeError::Remote(e.to_string()))?;
+    // a coded failure rebuilds the worker's typed error, so callers (and
+    // per-tenant accounting) see the same shape across both topologies
+    let code = wire.code.clone();
+    let tenant = wire.tenant;
     let d = wire.into_result().map_err(|e| match e {
-        NetError::Remote(msg) => ServeError::Remote(msg),
+        NetError::Remote(msg) => match code.as_deref() {
+            Some("busy") => ServeError::Busy { shard: slot },
+            Some("throttled") => ServeError::Throttled {
+                tenant: tenant.unwrap_or(0),
+            },
+            Some("rejected") => ServeError::Rejected { reason: msg },
+            _ => ServeError::Remote(msg),
+        },
         other => ServeError::Remote(other.to_string()),
     })?;
     Ok(Decision {
@@ -229,6 +273,20 @@ fn decode_remote_decision(payload: &[u8], slot: usize) -> Result<Decision, Serve
         flagged: d.flagged,
         shard: slot,
     })
+}
+
+/// Mirror a remote worker's typed admission refusal into the client-side
+/// shard counters, so reports read the same across both topologies.
+fn count_remote_error(m: &crate::metrics::ShardMetrics, e: &ServeError) {
+    match e {
+        ServeError::Busy { .. } => {
+            m.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        ServeError::Throttled { .. } => {
+            m.throttled.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
 }
 
 impl DecisionHandle {
@@ -249,9 +307,12 @@ impl DecisionHandle {
             HandleInner::Remote { reply, enqueued } => match reply.wait(timeout) {
                 Ok(frame) => {
                     let result = decode_remote_decision(&frame.payload, self.shard);
-                    if result.is_ok() {
-                        m.served.fetch_add(1, Ordering::Relaxed);
-                        self.metrics.latency.record(enqueued.elapsed());
+                    match &result {
+                        Ok(_) => {
+                            m.served.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.latency.record(enqueued.elapsed());
+                        }
+                        Err(e) => count_remote_error(m, e),
                     }
                     result
                 }
@@ -275,10 +336,13 @@ impl DecisionHandle {
             HandleInner::Remote { reply, enqueued } => match reply.try_wait()? {
                 Ok(frame) => {
                     let result = decode_remote_decision(&frame.payload, self.shard);
-                    if result.is_ok() {
-                        let m = self.metrics.shard(self.shard);
-                        m.served.fetch_add(1, Ordering::Relaxed);
-                        self.metrics.latency.record(enqueued.elapsed());
+                    let m = self.metrics.shard(self.shard);
+                    match &result {
+                        Ok(_) => {
+                            m.served.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.latency.record(enqueued.elapsed());
+                        }
+                        Err(e) => count_remote_error(m, e),
                     }
                     Some(result)
                 }
@@ -336,6 +400,8 @@ pub struct ServiceReport {
     pub decisions_served: u64,
     /// Requests shed at admission.
     pub shed: u64,
+    /// Requests refused because their tenant was over quota.
+    pub throttled: u64,
     /// Caller-side timeouts observed.
     pub timed_out: u64,
     /// Hard rejections issued by the degrade policy.
@@ -362,6 +428,9 @@ pub struct ServiceReport {
     /// Feature-cache counters at shutdown (hits, misses, negative hits,
     /// evictions); all zero when no cache is configured.
     pub cache: CacheSnapshot,
+    /// Admission-control counters at shutdown (ticks, capacity moves,
+    /// per-tenant outcomes); all zero when admission control is off.
+    pub admission: AdmissionSnapshot,
     /// Guard checkpoints durably written across all local shards.
     pub checkpoints_written: u64,
     /// Per-shard breakdown (local shards only; remote workers keep their
@@ -377,10 +446,11 @@ impl ServiceReport {
     /// Render as a short plain-text block.
     pub fn render_text(&self) -> String {
         let mut out = format!(
-            "served={} shed={} timed_out={} rejected={} flagged={} alerts={} eps_spent={:.4} \
-             audited={} lost_on_recovery={} audit_segments={}\n",
+            "served={} shed={} throttled={} timed_out={} rejected={} flagged={} alerts={} \
+             eps_spent={:.4} audited={} lost_on_recovery={} audit_segments={}\n",
             self.decisions_served,
             self.shed,
+            self.throttled,
             self.timed_out,
             self.rejected,
             self.flagged,
@@ -398,6 +468,21 @@ impl ServiceReport {
             self.cache.evictions,
             self.cache.hit_rate(),
         ));
+        out.push_str(&format!(
+            "admission cap={} ticks={} shrinks={} grows={} throttled={} adm_shed={}\n",
+            self.admission.effective_cap,
+            self.admission.ticks,
+            self.admission.shrinks,
+            self.admission.grows,
+            self.admission.throttled,
+            self.admission.shed,
+        ));
+        for t in &self.admission.tenants {
+            out.push_str(&format!(
+                "  tenant {}: admitted={} shed={} throttled={}\n",
+                t.tenant, t.admitted, t.shed, t.throttled,
+            ));
+        }
         for s in &self.shards {
             out.push_str(&format!(
                 "  shard {}: served={} batches={} rejected={} flagged={} alerts={} eps={:.4} \
@@ -455,6 +540,9 @@ struct Inner {
     /// Bumped by [`DecisionService::request_checkpoint`]; local workers
     /// compare against it after every batch and flush when it moved.
     checkpoint_gen: Arc<AtomicU64>,
+    /// Adaptive admission controller shared by every local shard's submit
+    /// path; `None` keeps the static bound.
+    admission: Option<Arc<AdmissionController>>,
 }
 
 /// A cheaply-cloneable handle to the serving fabric. All clones address the
@@ -551,7 +639,18 @@ impl DecisionService {
                 ));
             }
         }
+        if let Some(adm) = &config.admission {
+            adm.validate().map_err(ServeError::BadRequest)?;
+        }
         let metrics = Arc::new(MetricsRegistry::new(config.shards));
+        let admission: Option<Arc<AdmissionController>> = config.admission.as_ref().map(|adm| {
+            Arc::new(AdmissionController::new(
+                adm.clone(),
+                config.queue_cap,
+                Arc::new(SystemClock),
+                Arc::clone(&metrics.admission),
+            ))
+        });
         // The cache decorates whatever source the caller supplied, sharing
         // its counters with the registry so snapshots and the final report
         // see hits/misses/negative hits/evictions.
@@ -644,6 +743,7 @@ impl DecisionService {
                 checkpoint: config.checkpoint.clone(),
                 base_decisions: resumed_at,
                 checkpoint_gen: Arc::clone(&checkpoint_gen),
+                admission: admission.clone(),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -665,6 +765,7 @@ impl DecisionService {
                 cache,
                 remotes,
                 checkpoint_gen,
+                admission,
             }),
         })
     }
@@ -690,7 +791,25 @@ impl DecisionService {
         }
         let shard = self.shard_of(request.route_key);
         if let Some(remote) = self.inner.remotes[shard].as_deref() {
+            // remote slots enforce their own admission policy worker-side,
+            // where the depth gauge and latency window actually live
             return self.submit_remote(remote, shard, request);
+        }
+        let m = self.inner.metrics.shard(shard);
+        if let Some(adm) = &self.inner.admission {
+            match adm.admit(request.tenant, m.depth.load(Ordering::Relaxed)) {
+                AdmissionDecision::Admit => {}
+                AdmissionDecision::Shed => {
+                    m.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Busy { shard });
+                }
+                AdmissionDecision::Throttle => {
+                    m.throttled.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Throttled {
+                        tenant: request.tenant,
+                    });
+                }
+            }
         }
         let (reply_tx, reply_rx) = channel();
         let job = Job {
@@ -702,7 +821,6 @@ impl DecisionService {
         };
         let guard = self.inner.senders.read().unwrap_or_else(|e| e.into_inner());
         let senders = guard.as_ref().ok_or(ServeError::ShuttingDown)?;
-        let m = self.inner.metrics.shard(shard);
         // The gauge goes up *before* the send: the worker may dequeue (and
         // decrement) the instant try_send returns, so incrementing after
         // would transiently wrap the gauge below zero.
@@ -748,6 +866,7 @@ impl DecisionService {
             features: request.features,
             group_b: request.group_b,
             route_key: request.route_key,
+            tenant: Some(request.tenant),
         })
         .map_err(|e| ServeError::Remote(e.to_string()))?;
         let enqueued = Instant::now();
@@ -888,6 +1007,7 @@ impl DecisionService {
         let report = ServiceReport {
             decisions_served: shards.iter().map(|s| s.served).sum::<u64>() + remote_served,
             shed: snap.shed(),
+            throttled: snap.throttled(),
             timed_out: snap.shards.iter().map(|s| s.timeouts).sum(),
             rejected: shards.iter().map(|s| s.rejected).sum(),
             flagged: shards.iter().map(|s| s.flagged).sum(),
@@ -897,6 +1017,7 @@ impl DecisionService {
             lost_on_recovery: sink_report.as_ref().map_or(0, |r| r.recovery.lost),
             audit_segments: sink_report.as_ref().map_or(0, |r| r.segments),
             cache: snap.cache.clone(),
+            admission: snap.admission.clone(),
             checkpoints_written: shards.iter().map(|s| s.checkpoints).sum(),
             shards,
             remotes,
@@ -931,6 +1052,9 @@ struct ShardWorker {
     /// Shared flush-request generation (see
     /// [`DecisionService::request_checkpoint`]).
     checkpoint_gen: Arc<AtomicU64>,
+    /// Feeds served latencies into the admission controller's rolling
+    /// window; `None` when admission control is off.
+    admission: Option<Arc<AdmissionController>>,
 }
 
 impl ShardWorker {
@@ -1083,7 +1207,13 @@ impl ShardWorker {
                     })
                 };
                 m.served.fetch_add(1, Ordering::Relaxed);
-                self.metrics.latency.record(job.enqueued.elapsed());
+                let latency = job.enqueued.elapsed();
+                self.metrics.latency.record(latency);
+                if let Some(adm) = &self.admission {
+                    // also drives the control tick, so a draining queue
+                    // keeps adapting even when arrivals pause
+                    adm.record_latency(latency);
+                }
                 // The caller may have timed out and dropped the receiver;
                 // an accepted request is still counted as served.
                 let _ = job.reply.send(result);
@@ -1178,6 +1308,8 @@ impl fact_net::ShardHandler for NetShardHandler {
                             features: req.features,
                             group_b: req.group_b,
                             route_key: req.route_key,
+                            // pre-tenant clients fold into tenant 0
+                            tenant: req.tenant.unwrap_or(0),
                         })
                     });
                 let timeout = self.timeout;
@@ -1189,7 +1321,18 @@ impl fact_net::ShardHandler for NetShardHandler {
                             flagged: d.flagged,
                             shard: d.shard,
                         }),
-                        Err(e) => ResponseWire::failure(e.to_string()),
+                        Err(e) => match e.wire_code() {
+                            // typed admission refusals cross the wire as
+                            // coded failures so the client can rebuild them
+                            Some(code) => {
+                                let tenant = match &e {
+                                    ServeError::Throttled { tenant } => Some(*tenant),
+                                    _ => None,
+                                };
+                                ResponseWire::failure_coded(e.to_string(), code, tenant)
+                            }
+                            None => ResponseWire::failure(e.to_string()),
+                        },
                     };
                     emit(&resp)
                 })

@@ -61,6 +61,7 @@ fn disparity_request(i: u64) -> DecisionRequest {
         features: vec![if group_b { 0.1 } else { 0.9 }],
         group_b,
         route_key: i,
+        tenant: 0,
     }
 }
 

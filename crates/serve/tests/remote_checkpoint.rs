@@ -58,6 +58,7 @@ fn drive(service: &DecisionService, n: u64) {
                 features: vec![if group_b { 0.3 } else { 0.7 }],
                 group_b,
                 route_key: i,
+                tenant: 0,
             })
             .unwrap();
     }
@@ -156,6 +157,7 @@ fn remote_topology_serves_and_heals_across_worker_restart() {
                 features: vec![if group_b { 0.3 } else { 0.7 }],
                 group_b,
                 route_key: i,
+                tenant: 0,
             })
             .unwrap();
         assert_eq!(d.favorable, !group_b);
@@ -180,6 +182,7 @@ fn remote_topology_serves_and_heals_across_worker_restart() {
             features: vec![0.5],
             group_b: false,
             route_key: 1,
+            tenant: 0,
         })
         .unwrap_err();
     assert!(matches!(err, fact_serve::ServeError::Remote(_)), "{err:?}");
@@ -193,6 +196,7 @@ fn remote_topology_serves_and_heals_across_worker_restart() {
             features: vec![0.9],
             group_b: false,
             route_key: 7,
+            tenant: 0,
         }) {
             Ok(d) => {
                 assert!(d.favorable);

@@ -69,6 +69,7 @@ fn main() -> Result<()> {
             cache: None,
             topology: None,
             checkpoint: None,
+            admission: None,
         },
     )
     .expect("service start");
@@ -99,6 +100,7 @@ fn main() -> Result<()> {
                 features,
                 group_b: groups[i],
                 route_key: i as u64,
+                tenant: 0,
             }) {
                 Ok(d) => {
                     flagged += u64::from(d.flagged);

@@ -28,6 +28,13 @@
 #                             prune >=half the segments under a selective
 #                             predicate, column-pruned scans read <half
 #                             the stored bytes (byte-counter asserts)
+#  11. exp_e18 --smoke        adaptive admission: open-loop overload where
+#                             the static queue bound blows p99 >=4x past
+#                             target while the AIMD controller holds <=2x,
+#                             a flooding tenant is throttled while a quiet
+#                             one completes >=95%, and a spawned
+#                             fact-shardd enforces quotas with typed
+#                             Throttled errors across the wire
 #
 # Everything runs --offline: the workspace vendors its dependencies and
 # must build with no network.
@@ -67,5 +74,10 @@ cargo run --offline -q -p fact-bench --bin exp_e16 -- --smoke
 
 echo "==> exp_e17 --smoke (columnar-segment pruning + determinism gate)"
 cargo run --offline -q -p fact-bench --bin exp_e17 -- --smoke
+
+echo "==> exp_e18 --smoke (adaptive-admission overload + fairness gate)"
+# exp_e18's remote phase spawns fact-shardd like exp_e16's does; the
+# explicit worker build above covers it.
+cargo run --offline -q -p fact-bench --bin exp_e18 -- --smoke
 
 echo "==> ci.sh: all green"

@@ -27,8 +27,8 @@ use fact_data::Matrix;
 use fact_ml::Classifier;
 use fact_net::{Server, ShardHandler};
 use fact_serve::{
-    AuditSinkConfig, CheckpointConfig, DecisionService, DegradePolicy, GuardConfig,
-    NetShardHandler, ServeConfig,
+    AdmissionConfig, AuditSinkConfig, CheckpointConfig, DecisionService, DegradePolicy,
+    GuardConfig, NetShardHandler, ServeConfig,
 };
 
 const USAGE: &str = "\
@@ -43,6 +43,11 @@ options:
   --dp-interval N          decisions between DP releases    [default: 200]
   --fairness-window N      fairness monitor window          [default: 1000]
   --audit PATH             durable audit log (JSONL); off when absent
+  --queue-cap N            per-shard queue bound            [default: 64]
+  --target-p99-us MICROS   enable adaptive admission control with this
+                           latency target; off when absent
+  --tenant-rate R          per-tenant admitted req/s quota  [default: 0 = off]
+  --tenant-burst B         per-tenant burst allowance       [default: 256]
 ";
 
 /// The worker's deterministic demo model: probability is the mean of the
@@ -71,6 +76,10 @@ struct Args {
     dp_interval: usize,
     fairness_window: usize,
     audit: Option<PathBuf>,
+    queue_cap: usize,
+    target_p99_us: Option<u64>,
+    tenant_rate: f64,
+    tenant_burst: f64,
 }
 
 fn parse_args(argv: Vec<String>) -> Result<Args, String> {
@@ -82,6 +91,10 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
     let mut dp_interval = 200usize;
     let mut fairness_window = 1_000usize;
     let mut audit = None;
+    let mut queue_cap = 64usize;
+    let mut target_p99_us = None;
+    let mut tenant_rate = 0.0f64;
+    let mut tenant_burst = 256.0f64;
 
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
@@ -99,6 +112,14 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
                 fairness_window = parse_num(&value("--fairness-window")?, "--fairness-window")?
             }
             "--audit" => audit = Some(PathBuf::from(value("--audit")?)),
+            "--queue-cap" => queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?,
+            "--target-p99-us" => {
+                target_p99_us = Some(parse_num(&value("--target-p99-us")?, "--target-p99-us")?)
+            }
+            "--tenant-rate" => tenant_rate = parse_num(&value("--tenant-rate")?, "--tenant-rate")?,
+            "--tenant-burst" => {
+                tenant_burst = parse_num(&value("--tenant-burst")?, "--tenant-burst")?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -111,6 +132,10 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         dp_interval,
         fairness_window,
         audit,
+        queue_cap,
+        target_p99_us,
+        tenant_rate,
+        tenant_burst,
     })
 }
 
@@ -128,9 +153,18 @@ fn main() {
         }
     };
 
+    let admission = args.target_p99_us.map(|us| AdmissionConfig {
+        target_p99: Duration::from_micros(us),
+        tenant_rate: args.tenant_rate,
+        tenant_burst: args.tenant_burst,
+        ..AdmissionConfig::default()
+    });
+
     let cfg = ServeConfig {
         shards: args.shards,
         n_features: args.n_features,
+        queue_cap: args.queue_cap,
+        admission,
         policy: DegradePolicy::AuditAndFlag,
         guards: Some(GuardConfig {
             fairness_window: args.fairness_window,
@@ -165,11 +199,15 @@ fn main() {
         }
     };
     println!(
-        "fact-shardd: {} shard(s) on {} (checkpoints: {} every {})",
+        "fact-shardd: {} shard(s) on {} (checkpoints: {} every {}; admission: {})",
         args.shards,
         args.socket.display(),
         args.checkpoint_dir.display(),
         args.checkpoint_every,
+        match args.target_p99_us {
+            Some(us) => format!("target_p99={us}us tenant_rate={}", args.tenant_rate),
+            None => "off".into(),
+        },
     );
 
     while !shutdown.load(Ordering::Acquire) {
@@ -181,7 +219,7 @@ fn main() {
     server.shutdown();
     let report = service.shutdown();
     println!(
-        "fact-shardd: drained; served={} checkpoints={} eps_spent={:.4}",
-        report.decisions_served, report.checkpoints_written, report.epsilon_spent,
+        "fact-shardd: drained; served={} checkpoints={} eps_spent={:.4} throttled={}",
+        report.decisions_served, report.checkpoints_written, report.epsilon_spent, report.throttled,
     );
 }
