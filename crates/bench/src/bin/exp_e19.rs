@@ -1,0 +1,427 @@
+//! E19 — live resharding under sustained load (EXPERIMENTS.md, E19).
+//!
+//! Takes a guarded serving topology from 4 shards to 8 to 3 while driver
+//! threads keep a closed loop of disparate lending traffic running, and
+//! hard-asserts the three continuity properties the reshard orchestrator
+//! promises:
+//!
+//! 1. **Zero lost decisions** — every request issued is served; submits
+//!    that land mid-cutover park at the gate and replay into the new
+//!    topology (the hold window is set above the cutover time, so no
+//!    request sees `ServeError::Resharding`).
+//! 2. **Window-state continuity** — per cutover, the fairness-window
+//!    counts summed over the post-split sidecars are cell-for-cell equal
+//!    to the pre-merge sum, and lifetime decision counts conserve
+//!    exactly; the final sidecars account for every decision served.
+//! 3. **Audit-chain continuity** — the hash-chained audit log verifies
+//!    segment-by-segment and `continuous` across both cutovers (the new
+//!    epoch's sink resumes the old epoch's chain).
+//!
+//! `--smoke` runs the in-process phase only (the CI gate). The full run
+//! adds the wire phase: the same 4→8→3 schedule driven through a real
+//! `fact-shardd` process over TCP via `Control {"command":"reshard <M>"}`
+//! frames, proving the cutover holds across the socket too.
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fact_data::Matrix;
+use fact_ml::Classifier;
+use fact_net::RemoteShard;
+use fact_serve::audit_sink::{verify_all_segments, AuditStorage, FileStorage};
+use fact_serve::{
+    load_checkpoint, AuditSinkConfig, CheckpointConfig, DecisionRequest, DecisionService,
+    DegradePolicy, GuardConfig, ReshardConfig, ReshardableService, ServeConfig, ShardSlot,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_FEATURES: usize = 4;
+const CHECKPOINT_EVERY: u64 = 200;
+const DP_INTERVAL: usize = 100;
+const FAIRNESS_WINDOW: usize = 800;
+/// The reshard schedule both phases run: grow, then shrink below start.
+const SCHEDULE: [usize; 2] = [8, 3];
+const START_SHARDS: usize = 4;
+
+/// Same deterministic model `fact-shardd` hosts (probability = mean of the
+/// feature vector) so both phases score identical work.
+struct MeanScorer;
+
+impl Classifier for MeanScorer {
+    fn predict_proba(&self, x: &Matrix) -> fact_data::Result<Vec<f64>> {
+        Ok((0..x.rows())
+            .map(|i| {
+                let row = x.row(i);
+                let mean = row.iter().sum::<f64>() / row.len().max(1) as f64;
+                mean.clamp(0.0, 1.0)
+            })
+            .collect())
+    }
+}
+
+/// A disparate lending request: group B (30% of traffic) scores low, so
+/// the fairness monitor trips and flagged decisions flow to the audit log.
+fn lending_request(rng: &mut StdRng, key: u64) -> DecisionRequest {
+    let group_b = rng.gen_bool(0.3);
+    let center = if group_b { 0.30 } else { 0.70 };
+    let features: Vec<f64> = (0..N_FEATURES)
+        .map(|_| (center + rng.gen_range(-0.15f64..0.15)).clamp(0.0, 1.0))
+        .collect();
+    DecisionRequest {
+        features,
+        group_b,
+        route_key: key,
+        tenant: 0,
+    }
+}
+
+struct Dirs {
+    root: PathBuf,
+    checkpoints: PathBuf,
+    audit: PathBuf,
+}
+
+impl Dirs {
+    fn new(tag: &str) -> Dirs {
+        let root = std::env::temp_dir().join(format!("fact-e19-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create experiment dir");
+        Dirs {
+            checkpoints: root.join("checkpoints"),
+            audit: root.join("audit.jsonl"),
+            root,
+        }
+    }
+}
+
+impl Drop for Dirs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn verify_audit_chain(audit: &Path) -> (usize, u64) {
+    let mut storage = FileStorage::open(audit).expect("open audit log");
+    let report = verify_all_segments(&mut storage as &mut dyn AuditStorage).expect("verify");
+    assert!(
+        !report.segments.is_empty(),
+        "flagged decisions must be logged"
+    );
+    assert!(
+        report.continuous,
+        "audit chain must be continuous across the cutovers"
+    );
+    let mut entries = 0u64;
+    for (id, verdict) in &report.segments {
+        let check = verdict
+            .as_ref()
+            .unwrap_or_else(|e| panic!("audit segment {id} failed verification: {e:?}"));
+        entries += check.entries;
+    }
+    (report.segments.len(), entries)
+}
+
+fn sidecar_decisions(dir: &Path, shards: usize) -> u64 {
+    (0..shards)
+        .map(|s| {
+            load_checkpoint(dir, s)
+                .expect("readable sidecar")
+                .unwrap_or_else(|| panic!("sidecar {s} missing after reshard"))
+                .decisions
+        })
+        .sum()
+}
+
+// ---------------------------------------------------------------------------
+// Phase A: in-process reshard under closed-loop load
+// ---------------------------------------------------------------------------
+
+fn local_phase(per_epoch: u64) {
+    println!("## E19a: in-process 4 -> 8 -> 3 under sustained load\n");
+    let dirs = Dirs::new("local");
+    let service = ReshardableService::start(
+        Arc::new(MeanScorer),
+        ServeConfig {
+            shards: START_SHARDS,
+            n_features: N_FEATURES,
+            policy: DegradePolicy::AuditAndFlag,
+            guards: Some(GuardConfig {
+                fairness_window: FAIRNESS_WINDOW,
+                dp_interval: DP_INTERVAL,
+                ..GuardConfig::default()
+            }),
+            checkpoint: Some(CheckpointConfig {
+                dir: dirs.checkpoints.clone(),
+                every: CHECKPOINT_EVERY,
+                segment_events: 100,
+            }),
+            audit: Some(AuditSinkConfig {
+                path: dirs.audit.clone(),
+                ..AuditSinkConfig::default()
+            }),
+            default_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+        ReshardConfig {
+            // generous: the point of this phase is zero refusals, so the
+            // hold window must dominate any cutover on a loaded box
+            hold_max: Duration::from_secs(120),
+        },
+    )
+    .expect("start reshardable service");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let issued = Arc::new(AtomicU64::new(0));
+    let served = Arc::new(AtomicU64::new(0));
+    let drivers: Vec<_> = (0..2u64)
+        .map(|t| {
+            let service = service.clone();
+            let stop = Arc::clone(&stop);
+            let issued = Arc::clone(&issued);
+            let served = Arc::clone(&served);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(19 + t);
+                let mut key = t * 10_000_000;
+                while !stop.load(Ordering::Relaxed) {
+                    key += 1;
+                    issued.fetch_add(1, Ordering::Relaxed);
+                    service
+                        .decide(lending_request(&mut rng, key))
+                        .expect("no decision may be lost to a cutover");
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    let wait_for = |target: u64| {
+        while served.load(Ordering::Relaxed) < target {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+
+    bench::header(
+        &["cutover", "pre_decisions", "held", "cutover_ms"],
+        &[12, 14, 6, 10],
+    );
+    let mut marks = Vec::new();
+    for (i, &to) in SCHEDULE.iter().enumerate() {
+        wait_for(per_epoch * (i as u64 + 1));
+        let report = service.reshard(to).expect("reshard");
+        assert_eq!(
+            report.pre_counts, report.post_counts,
+            "fairness-window counts must conserve across {} -> {}",
+            report.from, report.to
+        );
+        assert_eq!(
+            report.pre_decisions, report.post_decisions,
+            "lifetime decision counts must conserve across {} -> {}",
+            report.from, report.to
+        );
+        assert_eq!(service.shards(), to);
+        println!(
+            "{:>12} {:>14} {:>6} {:>10.1}",
+            format!("{} -> {}", report.from, report.to),
+            report.pre_decisions,
+            report.held,
+            report.cutover.as_secs_f64() * 1e3,
+        );
+        marks.push(report);
+    }
+
+    wait_for(per_epoch * (SCHEDULE.len() as u64 + 1));
+    stop.store(true, Ordering::Relaxed);
+    for d in drivers {
+        d.join().expect("driver panicked — a decision was lost");
+    }
+    let epochs = service.shutdown();
+
+    let issued = issued.load(Ordering::Relaxed);
+    let served = served.load(Ordering::Relaxed);
+    let epoch_sum: u64 = epochs.iter().map(|e| e.decisions_served).sum();
+    assert_eq!(issued, served, "zero lost decisions (caller side)");
+    assert_eq!(epoch_sum, served, "zero lost decisions (epoch accounting)");
+    assert_eq!(
+        epochs.len(),
+        SCHEDULE.len() + 1,
+        "one report per topology epoch"
+    );
+    let final_sidecars = sidecar_decisions(&dirs.checkpoints, SCHEDULE[SCHEDULE.len() - 1]);
+    assert_eq!(
+        final_sidecars, served,
+        "final sidecars must account for every decision across both transforms"
+    );
+    let (segments, entries) = verify_audit_chain(&dirs.audit);
+    assert!(entries > 0, "disparate traffic must have flagged decisions");
+
+    println!("\ndecisions issued = served     : {served}");
+    println!("epoch reports                 : {}", epochs.len());
+    println!("final sidecar decision total  : {final_sidecars}");
+    println!("audit segments verified       : {segments} ({entries} entries, continuous)");
+    println!("\nPASS: 4 -> 8 -> 3 with zero lost decisions, conserved windows, continuous audit\n");
+}
+
+// ---------------------------------------------------------------------------
+// Phase B: the same schedule over TCP against a real fact-shardd
+// ---------------------------------------------------------------------------
+
+fn shardd_path() -> PathBuf {
+    let me = std::env::current_exe().expect("current_exe");
+    let path = me.parent().expect("bin dir").join("fact-shardd");
+    assert!(
+        path.exists(),
+        "fact-shardd not found at {} — build it first (cargo build --release --bin fact-shardd)",
+        path.display()
+    );
+    path
+}
+
+/// Spawn a worker on an ephemeral TCP port; parse the resolved address
+/// from its startup banner.
+fn spawn_tcp_worker(dirs: &Dirs) -> (Child, String) {
+    let mut child = Command::new(shardd_path())
+        .args(["--tcp", "127.0.0.1:0"])
+        .arg("--checkpoint-dir")
+        .arg(&dirs.checkpoints)
+        .args(["--shards", &START_SHARDS.to_string()])
+        .args(["--n-features", &N_FEATURES.to_string()])
+        .args(["--checkpoint-every", &CHECKPOINT_EVERY.to_string()])
+        .args(["--dp-interval", &DP_INTERVAL.to_string()])
+        .args(["--fairness-window", &FAIRNESS_WINDOW.to_string()])
+        .args(["--reshard-hold-ms", "120000"])
+        .arg("--audit")
+        .arg(&dirs.audit)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn fact-shardd");
+    let stdout = child.stdout.take().expect("worker stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(addr) = line.strip_prefix("fact-shardd: listening on tcp:") {
+                    break addr.trim().to_string();
+                }
+            }
+            _ => assert!(
+                Instant::now() < deadline,
+                "worker exited before announcing its TCP address"
+            ),
+        }
+    };
+    // keep draining the banner so the worker never blocks on a full pipe
+    std::thread::spawn(move || for _ in lines.flatten() {});
+    (child, addr)
+}
+
+fn wire_phase(per_epoch: u64) {
+    println!("## E19b: the same schedule over TCP via reshard control frames\n");
+    let dirs = Dirs::new("wire");
+    let (mut worker, addr) = spawn_tcp_worker(&dirs);
+    println!("worker listening on tcp:{addr}");
+
+    // front-end: one remote slot over TCP, same routing fabric as local
+    let client = DecisionService::start(
+        Arc::new(MeanScorer),
+        ServeConfig {
+            shards: 1,
+            n_features: N_FEATURES,
+            guards: None,
+            topology: Some(vec![ShardSlot::RemoteTcp(addr.clone())]),
+            default_timeout: Duration::from_secs(150),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start remote client");
+    // a second connection for control frames, so cutover acks don't queue
+    // behind held decision thunks
+    let control = RemoteShard::connect_endpoint(fact_net::Endpoint::Tcp(addr)).expect("control");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let driver = {
+        let stop = Arc::clone(&stop);
+        let served = Arc::clone(&served);
+        let client = client.clone();
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(119);
+            let mut key = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                key += 1;
+                client
+                    .decide(lending_request(&mut rng, key))
+                    .expect("no decision may be lost to a remote cutover");
+                served.fetch_add(1, Ordering::Relaxed);
+            }
+            key
+        })
+    };
+
+    let wait_for = |target: u64| {
+        while served.load(Ordering::Relaxed) < target {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    for (i, &to) in SCHEDULE.iter().enumerate() {
+        wait_for(per_epoch * (i as u64 + 1));
+        let ack = control
+            .control(&format!("reshard {to}"), Duration::from_secs(150))
+            .expect("reshard control frame");
+        let wire: fact_net::ControlAckWire = fact_net::decode(&ack.payload).expect("ack");
+        assert!(wire.ok, "remote reshard failed: {}", wire.info);
+        println!("cutover {i}: {}", wire.info);
+    }
+
+    wait_for(per_epoch * (SCHEDULE.len() as u64 + 1));
+    stop.store(true, Ordering::Relaxed);
+    let issued = driver
+        .join()
+        .expect("driver panicked — a decision was lost");
+    let served = served.load(Ordering::Relaxed);
+    assert_eq!(issued, served, "zero lost decisions across the wire");
+
+    // graceful worker shutdown → final sidecars + audit chain on disk
+    let ack = control
+        .control("shutdown", Duration::from_secs(30))
+        .expect("shutdown control");
+    let wire: fact_net::ControlAckWire = fact_net::decode(&ack.payload).expect("ack");
+    assert!(wire.ok, "{}", wire.info);
+    let status = worker.wait().expect("reap worker");
+    assert!(status.success(), "worker must exit 0 after a drain");
+
+    let final_sidecars = sidecar_decisions(&dirs.checkpoints, SCHEDULE[SCHEDULE.len() - 1]);
+    assert_eq!(
+        final_sidecars, served,
+        "worker sidecars must account for every decision served over TCP"
+    );
+    let (segments, entries) = verify_audit_chain(&dirs.audit);
+    let stats = client.remote_stats();
+    println!("\ndecisions issued = served     : {served}");
+    println!("final sidecar decision total  : {final_sidecars}");
+    println!("audit segments verified       : {segments} ({entries} entries, continuous)");
+    println!(
+        "client transport              : requests={} reconnects={} errors={} rtt_mean={:.1}us",
+        stats[0].requests, stats[0].reconnects, stats[0].errors, stats[0].rtt_mean_micros
+    );
+    client.shutdown();
+    println!("\nPASS: remote 4 -> 8 -> 3 over TCP with zero lost decisions and a continuous audit chain\n");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("# E19 — live resharding under sustained load\n");
+    if smoke {
+        local_phase(600);
+        println!("E19 smoke: OK");
+    } else {
+        local_phase(2_500);
+        wire_phase(1_500);
+    }
+}

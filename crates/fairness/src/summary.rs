@@ -177,6 +177,25 @@ impl WindowSummary {
         })
     }
 
+    /// Fold any number of summaries into one fleet window. Merge is
+    /// associative and commutative, so the iteration order cannot change
+    /// the result; `None` when the iterator is empty. This is the N→1 half
+    /// of a reshard (the 1→M half is [`split`](WindowSummary::split)), and
+    /// the resolutions must match just as for pairwise merge.
+    pub fn merge_all<'a, I>(summaries: I) -> Result<Option<WindowSummary>>
+    where
+        I: IntoIterator<Item = &'a WindowSummary>,
+    {
+        let mut folded: Option<WindowSummary> = None;
+        for s in summaries {
+            folded = Some(match folded {
+                Some(acc) => acc.merge(s)?,
+                None => s.clone(),
+            });
+        }
+        Ok(folded)
+    }
+
     /// Split into `n` summaries whose cell-wise sum reproduces `self`
     /// exactly: every cell divides as `c / n`, with the first `c % n`
     /// outputs taking one extra — deterministic, so a reshard is
@@ -296,6 +315,28 @@ mod tests {
         assert!(WindowSummary::new(10, 0).is_err());
         assert!(WindowSummary::new(0, 1).is_err());
         assert!(WindowSummary::new(4, 8).is_err());
+    }
+
+    #[test]
+    fn merge_all_folds_many_and_handles_empty() {
+        let parts: Vec<WindowSummary> = (0..4)
+            .map(|k| {
+                filled(
+                    &(0..10 + k)
+                        .map(|i| (i % 2 == 0, i % 3 == 0))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let folded = WindowSummary::merge_all(parts.iter()).unwrap().unwrap();
+        let mut pairwise = parts[0].clone();
+        for p in &parts[1..] {
+            pairwise = pairwise.merge(p).unwrap();
+        }
+        assert_eq!(folded, pairwise);
+        assert!(WindowSummary::merge_all(std::iter::empty())
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -1,28 +1,29 @@
 //! [`RemoteShard`]: the client side of a worker connection.
 //!
-//! One `RemoteShard` owns one Unix-socket connection to one `fact-shardd`
-//! worker. Sends happen on the caller's thread under a short lock; a
-//! dedicated reader thread matches response frames back to waiters through
-//! a correlation-id map, so many requests can be in flight at once and
-//! replies may arrive in any order.
+//! One `RemoteShard` owns one connection — Unix-domain or TCP, see
+//! [`Endpoint`] — to one `fact-shardd` worker. Sends happen on the
+//! caller's thread under a short lock; a dedicated reader thread matches
+//! response frames back to waiters through a correlation-id map, so many
+//! requests can be in flight at once and replies may arrive in any order.
 //!
 //! When the worker dies the reader thread fails every pending waiter with
 //! [`NetError::Disconnected`] and marks the connection dead; the *next*
 //! send transparently reconnects (and counts it), which is exactly the
 //! shape a kill-and-respawn experiment needs. The waiter map lives on the
 //! connection, not the client, so a late drain from a dying reader can
-//! never fail requests already riding the replacement connection.
+//! never fail requests already riding the replacement connection. Both
+//! behaviors are transport-independent (`PROTOCOL.md` §2).
 
 use std::collections::HashMap;
 use std::io::Write;
-use std::os::unix::net::UnixStream;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use crate::endpoint::{Endpoint, NetStream};
 use crate::frame::{encode_frame, read_frame, Frame, FrameKind};
 use crate::NetError;
 
@@ -114,14 +115,14 @@ impl PendingReply {
 }
 
 struct Conn {
-    stream: UnixStream,
+    stream: NetStream,
     alive: Arc<AtomicBool>,
     pending: PendingMap,
 }
 
 /// A connection to one remote worker process.
 pub struct RemoteShard {
-    path: PathBuf,
+    endpoint: Endpoint,
     conn: Mutex<Option<Conn>>,
     next_corr: AtomicU64,
     ever_connected: AtomicBool,
@@ -129,13 +130,21 @@ pub struct RemoteShard {
 }
 
 impl RemoteShard {
-    /// Connect to the worker listening at `path`. Fails fast if the worker
-    /// is not up yet; later disconnects are healed lazily by [`send`].
+    /// Connect to the worker listening on the Unix socket at `path`. Fails
+    /// fast if the worker is not up yet; later disconnects are healed
+    /// lazily by [`send`].
     ///
     /// [`send`]: RemoteShard::send
     pub fn connect(path: impl Into<PathBuf>) -> Result<RemoteShard, NetError> {
+        Self::connect_endpoint(Endpoint::Unix(path.into()))
+    }
+
+    /// Connect to the worker at `endpoint` — either transport family.
+    /// Failure, reconnect, and pipelining semantics are identical to
+    /// [`connect`](RemoteShard::connect).
+    pub fn connect_endpoint(endpoint: Endpoint) -> Result<RemoteShard, NetError> {
         let shard = RemoteShard {
-            path: path.into(),
+            endpoint,
             conn: Mutex::new(None),
             next_corr: AtomicU64::new(1),
             ever_connected: AtomicBool::new(false),
@@ -148,9 +157,9 @@ impl RemoteShard {
         Ok(shard)
     }
 
-    /// Socket path this shard dials.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// The endpoint this shard dials.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
     }
 
     fn ensure_connected(&self, guard: &mut Option<Conn>) -> Result<(), NetError> {
@@ -160,7 +169,7 @@ impl RemoteShard {
             }
             *guard = None; // its reader fails that connection's waiters
         }
-        let stream = UnixStream::connect(&self.path)?;
+        let stream = self.endpoint.dial()?;
         let alive = Arc::new(AtomicBool::new(true));
         let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
         let reader_stream = stream.try_clone()?;
@@ -250,13 +259,13 @@ impl RemoteShard {
 impl std::fmt::Debug for RemoteShard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RemoteShard")
-            .field("path", &self.path)
+            .field("endpoint", &self.endpoint)
             .field("stats", &self.stats())
             .finish()
     }
 }
 
-fn reader_loop(mut stream: UnixStream, pending: PendingMap, alive: Arc<AtomicBool>) {
+fn reader_loop(mut stream: NetStream, pending: PendingMap, alive: Arc<AtomicBool>) {
     // a clean close (Ok(None)) or a torn stream (Err) both end the loop:
     // either way this connection is done
     while let Ok(Some(frame)) = read_frame(&mut stream) {

@@ -1,0 +1,232 @@
+//! Transport abstraction: one frame protocol, two stream families.
+//!
+//! fact-net began as a Unix-domain-socket protocol; multi-host fleets need
+//! the same frames over TCP. An [`Endpoint`] names where a worker listens
+//! (`Unix(path)` or `Tcp(addr)`), [`NetStream`] is the connected stream
+//! either family produces, and [`NetListener`] is the accepting side. The
+//! frame codec, per-frame delivery deadlines, and reconnect semantics are
+//! byte-for-byte identical across both transports — the wire format is
+//! specified normatively in `PROTOCOL.md` at the repository root, and §2
+//! there pins exactly this "the transport is a byte pipe" contract.
+//!
+//! TCP streams set `TCP_NODELAY`: frames are small and latency-bound, and
+//! the client pipelines by correlation id rather than by coalescing writes.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a fact-net worker listens: a Unix-domain socket path (same-host
+/// fleets, the original transport) or a TCP `host:port` address
+/// (multi-host fleets). Both carry the identical frame protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A Unix-domain socket at this filesystem path.
+    Unix(PathBuf),
+    /// A TCP socket at this `host:port` address.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// A Unix-domain endpoint at `path`.
+    pub fn unix(path: impl Into<PathBuf>) -> Endpoint {
+        Endpoint::Unix(path.into())
+    }
+
+    /// A TCP endpoint at `addr` (`host:port`; port 0 asks [`bind`] for an
+    /// ephemeral port, resolvable afterwards via [`NetListener::endpoint`]).
+    ///
+    /// [`bind`]: Endpoint::bind
+    pub fn tcp(addr: impl Into<String>) -> Endpoint {
+        Endpoint::Tcp(addr.into())
+    }
+
+    /// Connect to this endpoint.
+    pub fn dial(&self) -> io::Result<NetStream> {
+        match self {
+            Endpoint::Unix(path) => Ok(NetStream::Unix(UnixStream::connect(path)?)),
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str())?;
+                let _ = stream.set_nodelay(true);
+                Ok(NetStream::Tcp(stream))
+            }
+        }
+    }
+
+    /// Bind this endpoint for listening. For `Unix`, a stale socket file is
+    /// removed first. For `Tcp`, port 0 binds an ephemeral port; the
+    /// listener's [`endpoint`](NetListener::endpoint) reports the resolved
+    /// address either way.
+    pub fn bind(&self) -> io::Result<NetListener> {
+        match self {
+            Endpoint::Unix(path) => {
+                match std::fs::remove_file(path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+                Ok(NetListener::Unix(UnixListener::bind(path)?, path.clone()))
+            }
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let resolved = listener.local_addr()?.to_string();
+                Ok(NetListener::Tcp(listener, resolved))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// A connected stream of either transport family. Implements [`Read`] and
+/// [`Write`] so the frame codec is transport-blind.
+#[derive(Debug)]
+pub enum NetStream {
+    /// A connected Unix-domain stream.
+    Unix(UnixStream),
+    /// A connected TCP stream.
+    Tcp(TcpStream),
+}
+
+impl NetStream {
+    /// Clone the underlying socket handle (both halves address the same
+    /// connection, as with [`UnixStream::try_clone`]).
+    pub fn try_clone(&self) -> io::Result<NetStream> {
+        match self {
+            NetStream::Unix(s) => Ok(NetStream::Unix(s.try_clone()?)),
+            NetStream::Tcp(s) => Ok(NetStream::Tcp(s.try_clone()?)),
+        }
+    }
+
+    /// Set the socket read timeout (used as the deadline-poll interval by
+    /// the server's reader loop).
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            NetStream::Unix(s) => s.set_read_timeout(dur),
+            NetStream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Shut down both halves of the connection.
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        match self {
+            NetStream::Unix(s) => s.shutdown(how),
+            NetStream::Tcp(s) => s.shutdown(how),
+        }
+    }
+}
+
+impl Read for NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Unix(s) => s.read(buf),
+            NetStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for NetStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Unix(s) => s.write(buf),
+            NetStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            NetStream::Unix(s) => s.flush(),
+            NetStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A listening socket of either transport family.
+pub enum NetListener {
+    /// A Unix-domain listener and the path it is bound to.
+    Unix(UnixListener, PathBuf),
+    /// A TCP listener and its resolved `host:port` address.
+    Tcp(TcpListener, String),
+}
+
+impl NetListener {
+    /// Block until the next connection arrives. TCP connections get
+    /// `TCP_NODELAY` set before they are handed out.
+    pub fn accept(&self) -> io::Result<NetStream> {
+        match self {
+            NetListener::Unix(l, _) => Ok(NetStream::Unix(l.accept()?.0)),
+            NetListener::Tcp(l, _) => {
+                let (stream, _) = l.accept()?;
+                let _ = stream.set_nodelay(true);
+                Ok(NetStream::Tcp(stream))
+            }
+        }
+    }
+
+    /// The endpoint this listener is bound to, with ephemeral TCP ports
+    /// resolved to their actual value.
+    pub fn endpoint(&self) -> Endpoint {
+        match self {
+            NetListener::Unix(_, path) => Endpoint::Unix(path.clone()),
+            NetListener::Tcp(_, addr) => Endpoint::Tcp(addr.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_tagged_and_unambiguous() {
+        assert_eq!(
+            Endpoint::unix("/tmp/w.sock").to_string(),
+            "unix:/tmp/w.sock"
+        );
+        assert_eq!(
+            Endpoint::tcp("127.0.0.1:9001").to_string(),
+            "tcp:127.0.0.1:9001"
+        );
+    }
+
+    #[test]
+    fn tcp_ephemeral_port_resolves_and_round_trips() {
+        let listener = Endpoint::tcp("127.0.0.1:0").bind().unwrap();
+        let resolved = listener.endpoint();
+        match &resolved {
+            Endpoint::Tcp(addr) => assert!(!addr.ends_with(":0"), "port not resolved: {addr}"),
+            other => panic!("expected tcp endpoint, got {other:?}"),
+        }
+        let accepted = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let mut buf = [0u8; 5];
+            conn.read_exact(&mut buf).unwrap();
+            buf
+        });
+        let mut client = resolved.dial().unwrap();
+        client.write_all(b"hello").unwrap();
+        assert_eq!(&accepted.join().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn unix_bind_replaces_stale_socket_file() {
+        let path = std::env::temp_dir().join(format!("fact-net-ep-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // a stale file from a dead process must not block a fresh bind
+        std::fs::write(&path, b"stale").unwrap();
+        let listener = Endpoint::unix(&path).bind().unwrap();
+        assert_eq!(listener.endpoint(), Endpoint::Unix(path.clone()));
+        drop(listener);
+        let _ = std::fs::remove_file(&path);
+    }
+}

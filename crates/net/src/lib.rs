@@ -2,8 +2,13 @@
 //!
 //! The decision service in `fact-serve` runs all shards as threads in one
 //! process. This crate is the wire layer that lets the same routing hash
-//! dispatch to shards hosted in *other* processes over Unix-domain sockets:
+//! dispatch to shards hosted in *other* processes — over Unix-domain
+//! sockets on one host, or TCP across a fleet:
 //!
+//! * [`endpoint`] — the transport abstraction: an [`Endpoint`] names where
+//!   a worker listens (`Unix(path)` or `Tcp(addr)`); both families carry
+//!   the identical frame protocol with identical deadline and reconnect
+//!   semantics.
 //! * [`frame`] — a length-prefixed binary frame codec (request / response /
 //!   checkpoint / control frames). Std-only, no async runtime: blocking
 //!   I/O with one reader and one writer thread per connection, mirroring
@@ -25,15 +30,29 @@
 //!
 //! The crate knows nothing about `fact-serve`'s `Decision` types: the
 //! payload structs are the protocol, and both ends convert at the edge.
+//!
+//! ## Wire-format specification
+//!
+//! The normative specification of the wire format — frame header layout,
+//! kind and correlation-id semantics, version negotiation, optional-field
+//! interop rules, deadline behavior, and the reshard control commands —
+//! lives in `PROTOCOL.md` at the repository root. Where this rustdoc and
+//! that document disagree, `PROTOCOL.md` wins; this crate is one
+//! implementation of it. Section references in this crate's docs
+//! (`PROTOCOL.md §2 — Transports`, `§3 — Frame header`, `§5 — Deadlines`,
+//! `§6 — Control commands`) name anchors in that document;
+//! `scripts/ci.sh` checks they resolve.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod endpoint;
 pub mod frame;
 pub mod payload;
 pub mod server;
 
 pub use client::{PendingReply, RemoteShard, RemoteStatsSnapshot};
+pub use endpoint::{Endpoint, NetListener, NetStream};
 pub use frame::{
     read_frame, read_frame_deadline, write_frame, DeadlineRead, Frame, FrameError, FrameKind,
     HEADER_LEN, MAX_PAYLOAD,

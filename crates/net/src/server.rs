@@ -13,9 +13,14 @@
 //! responses pipeline (many in flight) without interleaving partial frames,
 //! and per-connection reply order matches request order even though the
 //! correlation id would tolerate reordering.
+//!
+//! The server listens on either transport family — a Unix-domain socket or
+//! a TCP address — via [`Server::bind_endpoint`]; [`Server::bind`] keeps
+//! the original Unix-path signature. Framing, deadlines, and teardown are
+//! identical across both (see `PROTOCOL.md` §2).
 
 use std::io;
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::net::Shutdown;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -23,10 +28,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
+use crate::endpoint::{Endpoint, NetStream};
 use crate::frame::{read_frame_deadline, write_frame, DeadlineRead, Frame, FrameKind};
 
 /// Default per-frame delivery deadline: once a frame's first byte arrives,
-/// the rest must follow within this budget or the connection is torn down.
+/// the rest must follow within this budget or the connection is torn down
+/// (`PROTOCOL.md §5 — Deadlines`; idle connections are never torn down).
 pub const DEFAULT_FRAME_DEADLINE: Duration = Duration::from_secs(30);
 
 /// How often a blocked reader wakes to re-check its frame deadline.
@@ -44,19 +51,20 @@ pub trait ShardHandler: Send + Sync + 'static {
     fn submit(&self, kind: FrameKind, payload: Vec<u8>) -> Box<dyn FnOnce() -> Vec<u8> + Send>;
 }
 
-/// A listening fact-net endpoint on a Unix-domain socket.
+/// A listening fact-net endpoint (Unix-domain socket or TCP address).
 pub struct Server {
-    path: PathBuf,
+    endpoint: Endpoint,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<UnixStream>>>,
+    conns: Arc<Mutex<Vec<NetStream>>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
-    /// Bind `path` and start accepting connections, dispatching frames to
-    /// `handler`. A stale socket file at `path` is removed first. Peers get
-    /// [`DEFAULT_FRAME_DEADLINE`] to deliver each started frame.
+    /// Bind the Unix socket at `path` and start accepting connections,
+    /// dispatching frames to `handler`. A stale socket file at `path` is
+    /// removed first. Peers get [`DEFAULT_FRAME_DEADLINE`] to deliver each
+    /// started frame.
     pub fn bind(path: impl Into<PathBuf>, handler: Arc<dyn ShardHandler>) -> io::Result<Server> {
         Server::bind_with_deadline(path, handler, DEFAULT_FRAME_DEADLINE)
     }
@@ -74,15 +82,24 @@ impl Server {
         handler: Arc<dyn ShardHandler>,
         frame_deadline: Duration,
     ) -> io::Result<Server> {
-        let path = path.into();
-        match std::fs::remove_file(&path) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
-        }
-        let listener = UnixListener::bind(&path)?;
+        Server::bind_endpoint(Endpoint::Unix(path.into()), handler, frame_deadline)
+    }
+
+    /// Bind either transport family. `Endpoint::Tcp` with port 0 binds an
+    /// ephemeral port; [`endpoint`](Server::endpoint) reports the resolved
+    /// address. Deadline semantics match [`bind_with_deadline`] exactly —
+    /// the transport changes nothing about the protocol.
+    ///
+    /// [`bind_with_deadline`]: Server::bind_with_deadline
+    pub fn bind_endpoint(
+        endpoint: Endpoint,
+        handler: Arc<dyn ShardHandler>,
+        frame_deadline: Duration,
+    ) -> io::Result<Server> {
+        let listener = endpoint.bind()?;
+        let endpoint = listener.endpoint(); // ephemeral TCP ports resolved
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<UnixStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<Vec<NetStream>>> = Arc::new(Mutex::new(Vec::new()));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let accept_stop = Arc::clone(&stop);
@@ -90,30 +107,33 @@ impl Server {
         let accept_threads = Arc::clone(&conn_threads);
         let accept_thread = thread::Builder::new()
             .name("fact-net-accept".into())
-            .spawn(move || {
-                for incoming in listener.incoming() {
-                    if accept_stop.load(Ordering::Acquire) {
-                        break;
+            .spawn(move || loop {
+                let stream = match listener.accept() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        if accept_stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        continue;
                     }
-                    let stream = match incoming {
-                        Ok(s) => s,
-                        Err(_) => continue,
-                    };
-                    if let Ok(clone) = stream.try_clone() {
-                        accept_conns.lock().expect("conns lock").push(clone);
-                    }
-                    let handler = Arc::clone(&handler);
-                    if let Ok(h) = thread::Builder::new()
-                        .name("fact-net-conn".into())
-                        .spawn(move || serve_conn(stream, handler, frame_deadline))
-                    {
-                        accept_threads.lock().expect("threads lock").push(h);
-                    }
+                };
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if let Ok(clone) = stream.try_clone() {
+                    accept_conns.lock().expect("conns lock").push(clone);
+                }
+                let handler = Arc::clone(&handler);
+                if let Ok(h) = thread::Builder::new()
+                    .name("fact-net-conn".into())
+                    .spawn(move || serve_conn(stream, handler, frame_deadline))
+                {
+                    accept_threads.lock().expect("threads lock").push(h);
                 }
             })?;
 
         Ok(Server {
-            path,
+            endpoint,
             stop,
             accept_thread: Some(accept_thread),
             conns,
@@ -121,9 +141,18 @@ impl Server {
         })
     }
 
-    /// The socket path this server listens on.
+    /// The endpoint this server listens on (ephemeral TCP ports resolved).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The socket path this server listens on; panics for TCP servers
+    /// (kept for Unix-only callers — prefer [`endpoint`](Server::endpoint)).
     pub fn local_path(&self) -> &Path {
-        &self.path
+        match &self.endpoint {
+            Endpoint::Unix(path) => path,
+            Endpoint::Tcp(addr) => panic!("local_path() on a TCP server ({addr})"),
+        }
     }
 
     /// Stop accepting, sever live connections, and join all threads.
@@ -146,12 +175,12 @@ impl Server {
             return;
         }
         // wake the blocking accept with a throwaway connection
-        let _ = UnixStream::connect(&self.path);
+        let _ = self.endpoint.dial();
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
         for conn in self.conns.lock().expect("conns lock").drain(..) {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
+            let _ = conn.shutdown(Shutdown::Both);
         }
         let threads: Vec<_> = self
             .conn_threads
@@ -164,7 +193,9 @@ impl Server {
                 let _ = h.join();
             }
         } // else: handles drop here, detaching the threads
-        let _ = std::fs::remove_file(&self.path);
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
@@ -183,7 +214,7 @@ fn reply_kind(request: FrameKind) -> FrameKind {
     }
 }
 
-fn serve_conn(stream: UnixStream, handler: Arc<dyn ShardHandler>, frame_deadline: Duration) {
+fn serve_conn(stream: NetStream, handler: Arc<dyn ShardHandler>, frame_deadline: Duration) {
     type Job = (u64, FrameKind, Box<dyn FnOnce() -> Vec<u8> + Send>);
     let (job_tx, job_rx) = mpsc::channel::<Job>();
 
@@ -236,5 +267,5 @@ fn serve_conn(stream: UnixStream, handler: Arc<dyn ShardHandler>, frame_deadline
     // actively sever the socket: the server's shutdown bookkeeping holds a
     // clone of this stream, so without an explicit shutdown a cut-off peer
     // (e.g. a slow-loris dribbler) would never observe the disconnect
-    let _ = reader.shutdown(std::net::Shutdown::Both);
+    let _ = reader.shutdown(Shutdown::Both);
 }

@@ -1,24 +1,40 @@
-//! End-to-end exercises of the client/server pair over real Unix sockets:
+//! End-to-end exercises of the client/server pair over real sockets:
 //! pipelined round trips, mid-stream disconnects surfacing as typed errors
 //! (never a panic or a hang), reconnect-after-restart, and a peer that
 //! writes garbage.
+//!
+//! Every scenario runs twice — once over a Unix-domain socket and once
+//! over TCP loopback — through the same assertions: the transport is a
+//! byte pipe and must change nothing about the protocol (`PROTOCOL.md`
+//! §2 — Transports).
 
 use std::io::Write;
-use std::os::unix::net::UnixStream;
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use fact_net::{
-    decode, encode, FrameKind, NetError, RemoteShard, RequestWire, ResponseWire, Server,
-    ShardHandler,
+    decode, encode, Endpoint, FrameKind, NetError, RemoteShard, RequestWire, ResponseWire, Server,
+    ShardHandler, DEFAULT_FRAME_DEADLINE,
 };
 
 const WAIT: Duration = Duration::from_secs(5);
 
-fn sock_path(tag: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("fact-net-{tag}-{}.sock", std::process::id()))
+/// The two transport families every scenario must behave identically on.
+#[derive(Clone, Copy)]
+enum Transport {
+    Unix,
+    Tcp,
+}
+
+/// An unbound endpoint of the given family; TCP picks an ephemeral port.
+fn fresh_endpoint(transport: Transport, tag: &str) -> Endpoint {
+    match transport {
+        Transport::Unix => Endpoint::unix(
+            std::env::temp_dir().join(format!("fact-net-{tag}-{}.sock", std::process::id())),
+        ),
+        Transport::Tcp => Endpoint::tcp("127.0.0.1:0"),
+    }
 }
 
 /// Echoes requests back as decisions whose probability is the first
@@ -48,13 +64,20 @@ impl ShardHandler for EchoHandler {
     }
 }
 
-fn start_echo(tag: &str) -> (Server, PathBuf, Arc<EchoHandler>) {
-    let path = sock_path(tag);
+/// Bind an echo server on the given transport; returns the *resolved*
+/// endpoint (TCP's ephemeral port filled in).
+fn start_echo(transport: Transport, tag: &str) -> (Server, Endpoint, Arc<EchoHandler>) {
     let handler = Arc::new(EchoHandler {
         seen: AtomicU64::new(0),
     });
-    let server = Server::bind(&path, Arc::clone(&handler) as Arc<dyn ShardHandler>).unwrap();
-    (server, path, handler)
+    let server = Server::bind_endpoint(
+        fresh_endpoint(transport, tag),
+        Arc::clone(&handler) as Arc<dyn ShardHandler>,
+        DEFAULT_FRAME_DEADLINE,
+    )
+    .unwrap();
+    let endpoint = server.endpoint().clone();
+    (server, endpoint, handler)
 }
 
 fn request(route_key: u64, p: f64) -> Vec<u8> {
@@ -67,10 +90,9 @@ fn request(route_key: u64, p: f64) -> Vec<u8> {
     .unwrap()
 }
 
-#[test]
-fn pipelined_requests_all_answer_with_matching_ids() {
-    let (mut server, path, handler) = start_echo("pipeline");
-    let shard = RemoteShard::connect(&path).unwrap();
+fn pipelined_requests_all_answer(transport: Transport) {
+    let (mut server, endpoint, handler) = start_echo(transport, "pipeline");
+    let shard = RemoteShard::connect_endpoint(endpoint).unwrap();
 
     // fire 64 requests before waiting on any reply
     let pending: Vec<_> = (0..64u64)
@@ -100,9 +122,18 @@ fn pipelined_requests_all_answer_with_matching_ids() {
 }
 
 #[test]
-fn control_frames_ack_with_their_own_kind() {
-    let (mut server, path, _) = start_echo("control");
-    let shard = RemoteShard::connect(&path).unwrap();
+fn pipelined_requests_all_answer_with_matching_ids() {
+    pipelined_requests_all_answer(Transport::Unix);
+}
+
+#[test]
+fn pipelined_requests_all_answer_with_matching_ids_tcp() {
+    pipelined_requests_all_answer(Transport::Tcp);
+}
+
+fn control_frames_ack(transport: Transport) {
+    let (mut server, endpoint, _) = start_echo(transport, "control");
+    let shard = RemoteShard::connect_endpoint(endpoint).unwrap();
     let ack = shard.control("ping", WAIT).unwrap();
     assert_eq!(ack.kind, FrameKind::Control);
     let wire: fact_net::ControlWire = decode(&ack.payload).unwrap();
@@ -111,7 +142,16 @@ fn control_frames_ack_with_their_own_kind() {
 }
 
 #[test]
-fn server_death_fails_pending_replies_with_typed_error() {
+fn control_frames_ack_with_their_own_kind() {
+    control_frames_ack(Transport::Unix);
+}
+
+#[test]
+fn control_frames_ack_with_their_own_kind_tcp() {
+    control_frames_ack(Transport::Tcp);
+}
+
+fn server_death_fails_pending_replies(transport: Transport) {
     /// Never answers: thunks block until the connection is severed.
     struct StallHandler;
     impl ShardHandler for StallHandler {
@@ -123,9 +163,13 @@ fn server_death_fails_pending_replies_with_typed_error() {
         }
     }
 
-    let path = sock_path("death");
-    let mut server = Server::bind(&path, Arc::new(StallHandler)).unwrap();
-    let shard = RemoteShard::connect(&path).unwrap();
+    let mut server = Server::bind_endpoint(
+        fresh_endpoint(transport, "death"),
+        Arc::new(StallHandler),
+        DEFAULT_FRAME_DEADLINE,
+    )
+    .unwrap();
+    let shard = RemoteShard::connect_endpoint(server.endpoint().clone()).unwrap();
     let reply = shard.send(FrameKind::Request, request(1, 0.5)).unwrap();
 
     // sever (not shutdown): the writer thread is wedged in the 30 s thunk,
@@ -140,9 +184,18 @@ fn server_death_fails_pending_replies_with_typed_error() {
 }
 
 #[test]
-fn client_reconnects_after_server_restart() {
-    let (mut server, path, _) = start_echo("restart");
-    let shard = RemoteShard::connect(&path).unwrap();
+fn server_death_fails_pending_replies_with_typed_error() {
+    server_death_fails_pending_replies(Transport::Unix);
+}
+
+#[test]
+fn server_death_fails_pending_replies_with_typed_error_tcp() {
+    server_death_fails_pending_replies(Transport::Tcp);
+}
+
+fn client_reconnects_after_restart(transport: Transport) {
+    let (mut server, endpoint, _) = start_echo(transport, "restart");
+    let shard = RemoteShard::connect_endpoint(endpoint.clone()).unwrap();
     shard
         .send(FrameKind::Request, request(1, 0.25))
         .unwrap()
@@ -160,8 +213,17 @@ fn client_reconnects_after_server_restart() {
         "{err:?}"
     );
 
-    // ...and once a new worker binds the same path, sends heal transparently
-    let (mut server2, _, _) = start_echo("restart");
+    // ...and once a new worker binds the same endpoint, sends heal
+    // transparently (for TCP that means the same resolved host:port)
+    let handler = Arc::new(EchoHandler {
+        seen: AtomicU64::new(0),
+    });
+    let mut server2 = Server::bind_endpoint(
+        endpoint,
+        Arc::clone(&handler) as Arc<dyn ShardHandler>,
+        DEFAULT_FRAME_DEADLINE,
+    )
+    .unwrap();
     let mut healed = false;
     for _ in 0..50 {
         match shard.send(FrameKind::Request, request(3, 0.75)) {
@@ -180,21 +242,30 @@ fn client_reconnects_after_server_restart() {
 }
 
 #[test]
-fn garbage_peer_drops_connection_without_killing_server() {
-    let (mut server, path, handler) = start_echo("garbage");
+fn client_reconnects_after_server_restart() {
+    client_reconnects_after_restart(Transport::Unix);
+}
+
+#[test]
+fn client_reconnects_after_server_restart_tcp() {
+    client_reconnects_after_restart(Transport::Tcp);
+}
+
+fn garbage_peer_drops_connection(transport: Transport) {
+    let (mut server, endpoint, handler) = start_echo(transport, "garbage");
 
     // a raw peer writes a torn header then vanishes
-    let mut raw = UnixStream::connect(&path).unwrap();
+    let mut raw = endpoint.dial().unwrap();
     raw.write_all(b"FNE").unwrap();
     drop(raw);
 
     // another writes a bad magic
-    let mut raw = UnixStream::connect(&path).unwrap();
+    let mut raw = endpoint.dial().unwrap();
     raw.write_all(&[0u8; 32]).unwrap();
     drop(raw);
 
     // the server keeps serving well-formed clients
-    let shard = RemoteShard::connect(&path).unwrap();
+    let shard = RemoteShard::connect_endpoint(endpoint).unwrap();
     let frame = shard
         .send(FrameKind::Request, request(9, 0.125))
         .unwrap()
@@ -204,4 +275,14 @@ fn garbage_peer_drops_connection_without_killing_server() {
     assert!(resp.into_result().is_ok());
     assert_eq!(handler.seen.load(Ordering::Relaxed), 1); // garbage never reached the handler
     server.shutdown();
+}
+
+#[test]
+fn garbage_peer_drops_connection_without_killing_server() {
+    garbage_peer_drops_connection(Transport::Unix);
+}
+
+#[test]
+fn garbage_peer_drops_connection_without_killing_server_tcp() {
+    garbage_peer_drops_connection(Transport::Tcp);
 }

@@ -1,4 +1,4 @@
-//! Slow-loris / partial-write defense over real Unix sockets.
+//! Slow-loris / partial-write defense over real sockets.
 //!
 //! A peer that dribbles a frame header byte-at-a-time, or stalls after
 //! the header, must not wedge the server's reader thread: once the
@@ -11,17 +11,17 @@
 //! dribble-past-deadline → `Truncated`) live in `frame.rs` unit tests on
 //! a scripted reader; these tests pin the socket-level behavior with a
 //! short real deadline and generous upper bounds, asserting "tears down
-//! promptly" and "never hangs", not exact timings.
+//! promptly" and "never hangs", not exact timings. Every scenario runs
+//! over both the Unix-domain and TCP transports — the deadline is a
+//! protocol property, not a transport property (`PROTOCOL.md` §5).
 
 use std::io::{Read, Write};
-use std::os::unix::net::UnixStream;
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fact_net::frame::{encode_frame, read_frame, Frame, HEADER_LEN};
-use fact_net::{FrameKind, Server, ShardHandler};
+use fact_net::{Endpoint, FrameKind, NetStream, Server, ShardHandler};
 
 /// Deadline used by these tests: long enough that a healthy writer never
 /// trips it, short enough that the tests stay fast.
@@ -30,8 +30,19 @@ const DEADLINE: Duration = Duration::from_millis(300);
 /// (deadline + poll interval + scheduling slack).
 const CUTOFF: Duration = Duration::from_secs(5);
 
-fn sock_path(tag: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("fact-net-loris-{tag}-{}.sock", std::process::id()))
+#[derive(Clone, Copy)]
+enum Transport {
+    Unix,
+    Tcp,
+}
+
+fn fresh_endpoint(transport: Transport, tag: &str) -> Endpoint {
+    match transport {
+        Transport::Unix => Endpoint::unix(
+            std::env::temp_dir().join(format!("fact-net-loris-{tag}-{}.sock", std::process::id())),
+        ),
+        Transport::Tcp => Endpoint::tcp("127.0.0.1:0"),
+    }
 }
 
 /// Echoes every payload back unchanged; counts frames seen.
@@ -46,23 +57,23 @@ impl ShardHandler for Echo {
     }
 }
 
-fn start(tag: &str) -> (Server, PathBuf, Arc<Echo>) {
-    let path = sock_path(tag);
+fn start(transport: Transport, tag: &str) -> (Server, Endpoint, Arc<Echo>) {
     let handler = Arc::new(Echo {
         seen: AtomicU64::new(0),
     });
-    let server = Server::bind_with_deadline(
-        &path,
+    let server = Server::bind_endpoint(
+        fresh_endpoint(transport, tag),
         Arc::clone(&handler) as Arc<dyn ShardHandler>,
         DEADLINE,
     )
     .unwrap();
-    (server, path, handler)
+    let endpoint = server.endpoint().clone();
+    (server, endpoint, handler)
 }
 
 /// Block until the server closes `stream` (read returns EOF) or `CUTOFF`
 /// passes; returns how long it took.
-fn wait_for_disconnect(stream: &mut UnixStream) -> Duration {
+fn wait_for_disconnect(stream: &mut NetStream) -> Duration {
     stream
         .set_read_timeout(Some(Duration::from_millis(50)))
         .unwrap();
@@ -86,8 +97,8 @@ fn wait_for_disconnect(stream: &mut UnixStream) -> Duration {
 
 /// Round-trip one echo frame on a fresh connection to prove the server is
 /// still serving.
-fn assert_still_serving(path: &PathBuf) {
-    let mut healthy = UnixStream::connect(path).unwrap();
+fn assert_still_serving(endpoint: &Endpoint) {
+    let mut healthy = endpoint.dial().unwrap();
     healthy
         .set_read_timeout(Some(Duration::from_secs(5)))
         .unwrap();
@@ -98,12 +109,11 @@ fn assert_still_serving(path: &PathBuf) {
     assert_eq!(reply.payload, b"ping");
 }
 
-#[test]
-fn header_dribbler_is_cut_off_and_server_keeps_serving() {
-    let (mut server, path, handler) = start("dribble");
+fn header_dribbler_is_cut_off(transport: Transport) {
+    let (mut server, endpoint, handler) = start(transport, "dribble");
 
     // attacker: one header byte, then silence
-    let mut loris = UnixStream::connect(&path).unwrap();
+    let mut loris = endpoint.dial().unwrap();
     let frame = encode_frame(&Frame::new(FrameKind::Request, 1, b"x".to_vec())).unwrap();
     loris.write_all(&frame[..1]).unwrap();
     loris.flush().unwrap();
@@ -116,18 +126,27 @@ fn header_dribbler_is_cut_off_and_server_keeps_serving() {
         "a torn header must never reach the handler"
     );
 
-    assert_still_serving(&path);
+    assert_still_serving(&endpoint);
     server.shutdown();
 }
 
 #[test]
-fn mid_payload_staller_is_cut_off() {
-    let (mut server, path, handler) = start("stall");
+fn header_dribbler_is_cut_off_and_server_keeps_serving() {
+    header_dribbler_is_cut_off(Transport::Unix);
+}
+
+#[test]
+fn header_dribbler_is_cut_off_and_server_keeps_serving_tcp() {
+    header_dribbler_is_cut_off(Transport::Tcp);
+}
+
+fn mid_payload_staller_is_cut_off_on(transport: Transport) {
+    let (mut server, endpoint, handler) = start(transport, "stall");
 
     // attacker: a complete, valid header promising 64 payload bytes, then
     // only 8 of them
     let frame = encode_frame(&Frame::new(FrameKind::Request, 7, vec![0xab; 64])).unwrap();
-    let mut loris = UnixStream::connect(&path).unwrap();
+    let mut loris = endpoint.dial().unwrap();
     loris.write_all(&frame[..HEADER_LEN + 8]).unwrap();
     loris.flush().unwrap();
 
@@ -139,17 +158,26 @@ fn mid_payload_staller_is_cut_off() {
         "a torn payload must never reach the handler"
     );
 
-    assert_still_serving(&path);
+    assert_still_serving(&endpoint);
     server.shutdown();
 }
 
 #[test]
-fn idle_connection_is_not_torn_down() {
-    let (mut server, path, _handler) = start("idle");
+fn mid_payload_staller_is_cut_off() {
+    mid_payload_staller_is_cut_off_on(Transport::Unix);
+}
+
+#[test]
+fn mid_payload_staller_is_cut_off_tcp() {
+    mid_payload_staller_is_cut_off_on(Transport::Tcp);
+}
+
+fn idle_connection_is_not_torn_down_on(transport: Transport) {
+    let (mut server, endpoint, _handler) = start(transport, "idle");
 
     // a connection that sits quiet for several deadlines, with no frame in
     // progress, must stay usable
-    let mut conn = UnixStream::connect(&path).unwrap();
+    let mut conn = endpoint.dial().unwrap();
     conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
     std::thread::sleep(DEADLINE * 3);
 
@@ -164,12 +192,21 @@ fn idle_connection_is_not_torn_down() {
 }
 
 #[test]
-fn slow_but_live_writer_inside_deadline_is_served() {
-    let (mut server, path, _handler) = start("slow-ok");
+fn idle_connection_is_not_torn_down() {
+    idle_connection_is_not_torn_down_on(Transport::Unix);
+}
+
+#[test]
+fn idle_connection_is_not_torn_down_tcp() {
+    idle_connection_is_not_torn_down_on(Transport::Tcp);
+}
+
+fn slow_but_live_writer_is_served(transport: Transport) {
+    let (mut server, endpoint, _handler) = start(transport, "slow-ok");
 
     // a legitimately slow peer: the whole frame lands in small chunks but
     // comfortably inside the per-frame deadline
-    let mut conn = UnixStream::connect(&path).unwrap();
+    let mut conn = endpoint.dial().unwrap();
     conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
     let bytes = encode_frame(&Frame::new(FrameKind::Control, 3, b"chunks".to_vec())).unwrap();
     for chunk in bytes.chunks(5) {
@@ -183,4 +220,14 @@ fn slow_but_live_writer_inside_deadline_is_served() {
     assert_eq!(reply.corr_id, 3);
     assert_eq!(reply.payload, b"chunks");
     server.shutdown();
+}
+
+#[test]
+fn slow_but_live_writer_inside_deadline_is_served() {
+    slow_but_live_writer_is_served(Transport::Unix);
+}
+
+#[test]
+fn slow_but_live_writer_inside_deadline_is_served_tcp() {
+    slow_but_live_writer_is_served(Transport::Tcp);
 }

@@ -92,6 +92,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod guards;
 pub mod metrics;
+pub mod reshard;
 pub mod service;
 pub mod source;
 
@@ -109,6 +110,9 @@ pub use guards::{AlertKind, DegradePolicy, GuardConfig, ServiceAlert};
 pub use metrics::{
     AdmissionSnapshot, AdmissionStats, CacheSnapshot, CacheStats, LatencyHistogram,
     MetricsRegistry, MetricsSnapshot, ShardSnapshot, TenantSnapshot,
+};
+pub use reshard::{
+    transform_checkpoints, ReshardConfig, ReshardReport, ReshardableService, TransformReport,
 };
 pub use service::{
     Decision, DecisionHandle, DecisionRequest, DecisionService, NetShardHandler, RemoteShardReport,

@@ -31,7 +31,8 @@ use fact_core::runtime::Alert;
 use fact_ml::Classifier;
 use fact_net::{
     decode as net_decode, encode as net_encode, CheckpointAckWire, ControlAckWire, ControlWire,
-    DecisionWire, FrameKind, NetError, PendingReply, RemoteShard, RequestWire, ResponseWire,
+    DecisionWire, Endpoint, FrameKind, NetError, PendingReply, RemoteShard, RequestWire,
+    ResponseWire,
 };
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
@@ -75,6 +76,12 @@ pub enum ServeError {
     BadRequest(String),
     /// The service is shutting down (or already shut down).
     ShuttingDown,
+    /// A live reshard's cutover outlasted the bounded hold window: the
+    /// request was neither enqueued nor served. Retrying after backoff is
+    /// safe — requests that arrive during cutover are held and replayed
+    /// into the new topology, and only the tail past the hold window sees
+    /// this error (see [`crate::reshard`]).
+    Resharding,
     /// The model failed on this batch.
     Internal(String),
     /// A remote shard failed at the transport level (worker down, torn
@@ -91,6 +98,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Rejected { reason } => write!(f, "rejected: {reason}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Resharding => write!(f, "resharding cutover exceeded the hold window"),
             ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
             ServeError::Remote(msg) => write!(f, "remote shard error: {msg}"),
         }
@@ -108,6 +116,7 @@ impl ServeError {
             ServeError::Busy { .. } => Some("busy"),
             ServeError::Throttled { .. } => Some("throttled"),
             ServeError::Rejected { .. } => Some("rejected"),
+            ServeError::Resharding => Some("resharding"),
             _ => None,
         }
     }
@@ -171,6 +180,21 @@ pub enum ShardSlot {
     Local,
     /// A `fact-shardd` worker reached over the Unix socket at this path.
     Remote(PathBuf),
+    /// A `fact-shardd` worker reached over TCP at this `host:port`
+    /// address — same frame protocol, deadlines, and reconnect semantics
+    /// as [`Remote`](ShardSlot::Remote), for workers on other hosts.
+    RemoteTcp(String),
+}
+
+impl ShardSlot {
+    /// The fact-net endpoint a remote slot dials; `None` for local slots.
+    fn endpoint(&self) -> Option<Endpoint> {
+        match self {
+            ShardSlot::Local => None,
+            ShardSlot::Remote(path) => Some(Endpoint::Unix(path.clone())),
+            ShardSlot::RemoteTcp(addr) => Some(Endpoint::Tcp(addr.clone())),
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -263,6 +287,7 @@ fn decode_remote_decision(payload: &[u8], slot: usize) -> Result<Decision, Serve
                 tenant: tenant.unwrap_or(0),
             },
             Some("rejected") => ServeError::Rejected { reason: msg },
+            Some("resharding") => ServeError::Resharding,
             _ => ServeError::Remote(msg),
         },
         other => ServeError::Remote(other.to_string()),
@@ -676,15 +701,17 @@ impl DecisionService {
                 .topology
                 .as_ref()
                 .map_or(&ShardSlot::Local, |t| &t[shard]);
-            if let ShardSlot::Remote(path) = slot {
+            if let Some(endpoint) = slot.endpoint() {
                 // No local worker: a dummy sender keeps the vec aligned
                 // (its receiver drops here, so a stray send just reports
                 // ShuttingDown rather than wedging).
                 let (tx, _) = sync_channel::<Job>(1);
                 senders.push(tx);
-                remotes.push(Some(Arc::new(RemoteShard::connect(path).map_err(|e| {
-                    ServeError::Remote(format!("shard {shard} at {path:?}: {e}"))
-                })?)));
+                remotes.push(Some(Arc::new(
+                    RemoteShard::connect_endpoint(endpoint.clone()).map_err(|e| {
+                        ServeError::Remote(format!("shard {shard} at {endpoint}: {e}"))
+                    })?,
+                )));
                 continue;
             }
             remotes.push(None);
@@ -1265,20 +1292,71 @@ impl ShardWorker {
 /// checkpoint flush; `"shutdown"` sets the shutdown flag (when one was
 /// provided) and acks — actually stopping the service and exiting is the
 /// hosting process's job, *after* it sees the flag, so the ack still
-/// reaches the client.
+/// reaches the client; `"reshard <M>"` (reshardable hosts only, see
+/// [`NetShardHandler::reshardable`]) performs a live cutover to `M` shards
+/// on the connection's writer thread and acks with the conservation
+/// numbers (`PROTOCOL.md §6 — Control commands`).
 pub struct NetShardHandler {
-    service: DecisionService,
+    host: Host,
     /// Worker-side ceiling on how long a thunk waits for a decision.
     timeout: Duration,
     /// Set to true when a `"shutdown"` control command arrives.
     shutdown_requested: Arc<std::sync::atomic::AtomicBool>,
 }
 
+/// What the handler serves: a plain service, or one wrapped in the
+/// reshard gate so `"reshard <M>"` control commands work.
+enum Host {
+    Plain(DecisionService),
+    Reshardable(crate::reshard::ReshardableService),
+}
+
+impl Host {
+    fn submit(&self, request: DecisionRequest) -> Result<DecisionHandle, ServeError> {
+        match self {
+            Host::Plain(s) => s.submit(request),
+            Host::Reshardable(s) => s.submit(request),
+        }
+    }
+
+    fn request_checkpoint(&self) {
+        match self {
+            Host::Plain(s) => s.request_checkpoint(),
+            Host::Reshardable(s) => s.request_checkpoint(),
+        }
+    }
+
+    fn shards(&self) -> usize {
+        match self {
+            Host::Plain(s) => s.shards(),
+            Host::Reshardable(s) => s.shards(),
+        }
+    }
+
+    fn served(&self) -> u64 {
+        match self {
+            Host::Plain(s) => s.metrics().served(),
+            Host::Reshardable(s) => s.metrics().map_or(0, |m| m.served()),
+        }
+    }
+}
+
 impl NetShardHandler {
     /// Wrap `service` for serving over fact-net.
     pub fn new(service: DecisionService, timeout: Duration) -> Self {
         NetShardHandler {
-            service,
+            host: Host::Plain(service),
+            timeout,
+            shutdown_requested: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        }
+    }
+
+    /// Wrap a [`ReshardableService`](crate::reshard::ReshardableService):
+    /// identical to [`new`](NetShardHandler::new) except the
+    /// `"reshard <M>"` control command is live.
+    pub fn reshardable(service: crate::reshard::ReshardableService, timeout: Duration) -> Self {
+        NetShardHandler {
+            host: Host::Reshardable(service),
             timeout,
             shutdown_requested: Arc::new(std::sync::atomic::AtomicBool::new(false)),
         }
@@ -1304,7 +1382,7 @@ impl fact_net::ShardHandler for NetShardHandler {
                 let outcome = net_decode::<RequestWire>(&payload)
                     .map_err(|e| ServeError::Remote(e.to_string()))
                     .and_then(|req| {
-                        self.service.submit(DecisionRequest {
+                        self.host.submit(DecisionRequest {
                             features: req.features,
                             group_b: req.group_b,
                             route_key: req.route_key,
@@ -1338,10 +1416,10 @@ impl fact_net::ShardHandler for NetShardHandler {
                 })
             }
             FrameKind::Checkpoint => {
-                self.service.request_checkpoint();
+                self.host.request_checkpoint();
                 let ack = CheckpointAckWire {
-                    shards: self.service.shards(),
-                    decisions: self.service.metrics().served(),
+                    shards: self.host.shards(),
+                    decisions: self.host.served(),
                 };
                 Box::new(move || emit(&ack))
             }
@@ -1349,10 +1427,42 @@ impl fact_net::ShardHandler for NetShardHandler {
                 let command = net_decode::<ControlWire>(&payload)
                     .map(|c| c.command)
                     .unwrap_or_default();
+                // "reshard <M>" blocks for the whole cutover, so it runs in
+                // the thunk (writer thread): the reader thread stays free
+                // and the ack carries the cutover's conservation numbers.
+                if let Some(target) = command.strip_prefix("reshard ") {
+                    let target: Result<usize, _> = target.trim().parse();
+                    let reshardable = match &self.host {
+                        Host::Reshardable(s) => Some(s.clone()),
+                        Host::Plain(_) => None,
+                    };
+                    return Box::new(move || {
+                        let (ok, info) = match (reshardable, target) {
+                            (_, Err(_)) => (false, "reshard needs a shard count".to_string()),
+                            (None, _) => (false, "this worker is not reshardable".to_string()),
+                            (Some(s), Ok(m)) => match s.reshard(m) {
+                                Ok(r) => (
+                                    true,
+                                    format!(
+                                        "resharded {} -> {}: {} decisions drained, \
+                                         {} ledger entries redistributed, {} held submits replayed",
+                                        r.from,
+                                        r.to,
+                                        r.epoch.decisions_served,
+                                        r.ledger_entries,
+                                        r.held
+                                    ),
+                                ),
+                                Err(e) => (false, format!("reshard failed: {e}")),
+                            },
+                        };
+                        emit(&ControlAckWire { ok, info })
+                    });
+                }
                 let (ok, info) = match command.as_str() {
                     "ping" => (true, "pong".to_string()),
                     "checkpoint" => {
-                        self.service.request_checkpoint();
+                        self.host.request_checkpoint();
                         (true, "checkpoint requested".to_string())
                     }
                     "shutdown" => {

@@ -35,6 +35,14 @@
 #                             one completes >=95%, and a spawned
 #                             fact-shardd enforces quotas with typed
 #                             Throttled errors across the wire
+#  12. exp_e19 --smoke        live resharding: 4 -> 8 -> 3 cutovers under
+#                             concurrent load with zero lost decisions,
+#                             cell-exact fairness-window + ε-ledger
+#                             conservation across the transform, and a
+#                             continuous audit chain
+#  13. doc-link check         every PROTOCOL.md / OPERATIONS.md section
+#                             anchor referenced from the crate rustdoc
+#                             resolves to a real heading
 #
 # Everything runs --offline: the workspace vendors its dependencies and
 # must build with no network.
@@ -79,5 +87,27 @@ echo "==> exp_e18 --smoke (adaptive-admission overload + fairness gate)"
 # exp_e18's remote phase spawns fact-shardd like exp_e16's does; the
 # explicit worker build above covers it.
 cargo run --offline -q -p fact-bench --bin exp_e18 -- --smoke
+
+echo "==> exp_e19 --smoke (live-reshard conservation gate)"
+cargo run --offline -q -p fact-bench --bin exp_e19 -- --smoke
+
+echo "==> doc-link check (rustdoc -> PROTOCOL.md / OPERATIONS.md anchors)"
+# The crate rustdoc points readers at PROTOCOL.md sections by their
+# literal headings ("§N — Title"). If a heading is renamed, the pointer
+# rots silently — so: every "§N — ..." reference that appears in crate
+# sources must match a "## §N — ..." heading in PROTOCOL.md, and the two
+# operator documents must exist where README links them.
+for doc in PROTOCOL.md OPERATIONS.md; do
+    [ -f "$doc" ] || { echo "doc-link check: $doc is missing" >&2; exit 1; }
+done
+refs=$(grep -rhoE '§[0-9]+ — [A-Za-z][A-Za-z -]*' crates/*/src src/bin 2>/dev/null | sort -u)
+[ -n "$refs" ] || { echo "doc-link check: no §-references found in crate sources (expected some)" >&2; exit 1; }
+while IFS= read -r ref; do
+    grep -qF "## $ref" PROTOCOL.md || {
+        echo "doc-link check: rustdoc references \"$ref\" but PROTOCOL.md has no heading \"## $ref\"" >&2
+        exit 1
+    }
+done <<< "$refs"
+echo "    all $(echo "$refs" | wc -l) §-references resolve"
 
 echo "==> ci.sh: all green"

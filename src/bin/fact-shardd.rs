@@ -1,9 +1,11 @@
 //! `fact-shardd` — a FACT shard worker process.
 //!
-//! Hosts N guarded decision shards behind a Unix-domain socket speaking the
-//! fact-net frame protocol. A front-end `DecisionService` configured with
-//! `ShardSlot::Remote(socket)` routes decisions here exactly as it would to
-//! an in-process worker thread.
+//! Hosts N guarded decision shards behind a Unix-domain socket and/or a
+//! TCP listener speaking the fact-net frame protocol (the normative wire
+//! spec is `PROTOCOL.md` at the repository root; the operator runbook is
+//! `OPERATIONS.md`). A front-end `DecisionService` configured with
+//! `ShardSlot::Remote(socket)` or `ShardSlot::RemoteTcp(addr)` routes
+//! decisions here exactly as it would to an in-process worker thread.
 //!
 //! Guard state (fairness window, ε ledger, DP counters) is checkpointed to
 //! sidecar files in `--checkpoint-dir` every `--checkpoint-every` decisions
@@ -11,6 +13,13 @@
 //! sidecar if one exists, so a respawned worker *resumes* its monitors
 //! instead of silently resetting them — after a hard kill the loss is
 //! bounded by the checkpoint interval.
+//!
+//! The worker hosts its shards behind a live-reshard gate: a
+//! `Control {"command":"reshard <M>"}` frame drains the current topology,
+//! transforms the checkpoint sidecars from N to M shards (conserving the
+//! fairness windows and ε ledgers), and restarts with M shards — requests
+//! that arrive during the cutover are held up to `--reshard-hold-ms` and
+//! replayed, never silently dropped.
 //!
 //! Shutdown paths:
 //! - `Control {"command":"shutdown"}` frame: acked first, then the worker
@@ -25,17 +34,20 @@ use std::time::Duration;
 
 use fact_data::Matrix;
 use fact_ml::Classifier;
-use fact_net::{Server, ShardHandler};
+use fact_net::{Endpoint, Server, ShardHandler, DEFAULT_FRAME_DEADLINE};
 use fact_serve::{
-    AdmissionConfig, AuditSinkConfig, CheckpointConfig, DecisionService, DegradePolicy,
-    GuardConfig, NetShardHandler, ServeConfig,
+    AdmissionConfig, AuditSinkConfig, CheckpointConfig, DegradePolicy, GuardConfig,
+    NetShardHandler, ReshardConfig, ReshardableService, ServeConfig,
 };
 
 const USAGE: &str = "\
-usage: fact-shardd --socket PATH --checkpoint-dir DIR [options]
+usage: fact-shardd (--socket PATH | --tcp ADDR) --checkpoint-dir DIR [options]
 
 options:
-  --socket PATH            Unix socket to listen on (required)
+  --socket PATH            Unix socket to listen on
+  --tcp ADDR               TCP host:port to listen on (port 0 picks one;
+                           the resolved address is printed at startup);
+                           may be combined with --socket
   --checkpoint-dir DIR     guard-state sidecar directory (required)
   --shards N               worker shards to host            [default: 2]
   --n-features N           feature-vector length            [default: 8]
@@ -44,6 +56,8 @@ options:
   --fairness-window N      fairness monitor window          [default: 1000]
   --audit PATH             durable audit log (JSONL); off when absent
   --queue-cap N            per-shard queue bound            [default: 64]
+  --reshard-hold-ms MS     longest a request parks at the cutover gate
+                           during a live reshard            [default: 5000]
   --target-p99-us MICROS   enable adaptive admission control with this
                            latency target; off when absent
   --tenant-rate R          per-tenant admitted req/s quota  [default: 0 = off]
@@ -68,7 +82,8 @@ impl Classifier for MeanScorer {
 }
 
 struct Args {
-    socket: PathBuf,
+    socket: Option<PathBuf>,
+    tcp: Option<String>,
     checkpoint_dir: PathBuf,
     shards: usize,
     n_features: usize,
@@ -77,6 +92,7 @@ struct Args {
     fairness_window: usize,
     audit: Option<PathBuf>,
     queue_cap: usize,
+    reshard_hold_ms: u64,
     target_p99_us: Option<u64>,
     tenant_rate: f64,
     tenant_burst: f64,
@@ -84,6 +100,7 @@ struct Args {
 
 fn parse_args(argv: Vec<String>) -> Result<Args, String> {
     let mut socket = None;
+    let mut tcp = None;
     let mut checkpoint_dir = None;
     let mut shards = 2usize;
     let mut n_features = 8usize;
@@ -92,6 +109,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
     let mut fairness_window = 1_000usize;
     let mut audit = None;
     let mut queue_cap = 64usize;
+    let mut reshard_hold_ms = 5_000u64;
     let mut target_p99_us = None;
     let mut tenant_rate = 0.0f64;
     let mut tenant_burst = 256.0f64;
@@ -101,6 +119,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--tcp" => tcp = Some(value("--tcp")?),
             "--checkpoint-dir" => checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?)),
             "--shards" => shards = parse_num(&value("--shards")?, "--shards")?,
             "--n-features" => n_features = parse_num(&value("--n-features")?, "--n-features")?,
@@ -113,6 +132,9 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             }
             "--audit" => audit = Some(PathBuf::from(value("--audit")?)),
             "--queue-cap" => queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?,
+            "--reshard-hold-ms" => {
+                reshard_hold_ms = parse_num(&value("--reshard-hold-ms")?, "--reshard-hold-ms")?
+            }
             "--target-p99-us" => {
                 target_p99_us = Some(parse_num(&value("--target-p99-us")?, "--target-p99-us")?)
             }
@@ -123,8 +145,12 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
+    if socket.is_none() && tcp.is_none() {
+        return Err("at least one of --socket or --tcp is required".into());
+    }
     Ok(Args {
-        socket: socket.ok_or("--socket is required")?,
+        socket,
+        tcp,
         checkpoint_dir: checkpoint_dir.ok_or("--checkpoint-dir is required")?,
         shards,
         n_features,
@@ -133,6 +159,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         fairness_window,
         audit,
         queue_cap,
+        reshard_hold_ms,
         target_p99_us,
         tenant_rate,
         tenant_burst,
@@ -182,28 +209,55 @@ fn main() {
         ..ServeConfig::default()
     };
 
-    let service = match DecisionService::start(Arc::new(MeanScorer), cfg) {
+    let service = match ReshardableService::start(
+        Arc::new(MeanScorer),
+        cfg,
+        ReshardConfig {
+            hold_max: Duration::from_millis(args.reshard_hold_ms),
+        },
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("fact-shardd: failed to start shards: {e}");
             std::process::exit(1);
         }
     };
-    let handler = NetShardHandler::new(service.clone(), Duration::from_secs(10));
+    let handler = NetShardHandler::reshardable(service.clone(), Duration::from_secs(10));
     let shutdown = handler.shutdown_flag();
-    let mut server = match Server::bind(&args.socket, Arc::new(handler) as Arc<dyn ShardHandler>) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("fact-shardd: failed to bind {}: {e}", args.socket.display());
-            std::process::exit(1);
+    let handler: Arc<dyn ShardHandler> = Arc::new(handler);
+
+    // Both listeners (when both are requested) share the one handler, so a
+    // mixed Unix + TCP front-end fleet addresses the same shards.
+    let mut endpoints = Vec::new();
+    if let Some(path) = &args.socket {
+        endpoints.push(Endpoint::Unix(path.clone()));
+    }
+    if let Some(addr) = &args.tcp {
+        endpoints.push(Endpoint::Tcp(addr.clone()));
+    }
+    let mut servers = Vec::new();
+    for endpoint in endpoints {
+        match Server::bind_endpoint(
+            endpoint.clone(),
+            Arc::clone(&handler),
+            DEFAULT_FRAME_DEADLINE,
+        ) {
+            Ok(s) => {
+                println!("fact-shardd: listening on {}", s.endpoint());
+                servers.push(s);
+            }
+            Err(e) => {
+                eprintln!("fact-shardd: failed to bind {endpoint}: {e}");
+                std::process::exit(1);
+            }
         }
-    };
+    }
     println!(
-        "fact-shardd: {} shard(s) on {} (checkpoints: {} every {}; admission: {})",
+        "fact-shardd: {} shard(s) (checkpoints: {} every {}; reshard hold: {}ms; admission: {})",
         args.shards,
-        args.socket.display(),
         args.checkpoint_dir.display(),
         args.checkpoint_every,
+        args.reshard_hold_ms,
         match args.target_p99_us {
             Some(us) => format!("target_p99={us}us tenant_rate={}", args.tenant_rate),
             None => "off".into(),
@@ -216,10 +270,20 @@ fn main() {
     // the ack for the shutdown control rides the connection's writer
     // thread; give it a beat to flush before tearing the sockets down
     std::thread::sleep(Duration::from_millis(100));
-    server.shutdown();
-    let report = service.shutdown();
+    for mut server in servers {
+        server.shutdown();
+    }
+    let epochs = service.shutdown();
+    let served: u64 = epochs.iter().map(|e| e.decisions_served).sum();
+    let checkpoints: u64 = epochs.iter().map(|e| e.checkpoints_written).sum();
+    let throttled: u64 = epochs.iter().map(|e| e.throttled).sum();
+    let eps_spent = epochs.last().map_or(0.0, |e| e.epsilon_spent);
     println!(
-        "fact-shardd: drained; served={} checkpoints={} eps_spent={:.4} throttled={}",
-        report.decisions_served, report.checkpoints_written, report.epsilon_spent, report.throttled,
+        "fact-shardd: drained; epochs={} served={} checkpoints={} eps_spent={:.4} throttled={}",
+        epochs.len(),
+        served,
+        checkpoints,
+        eps_spent,
+        throttled,
     );
 }
