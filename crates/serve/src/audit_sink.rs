@@ -27,6 +27,15 @@
 //!   entry's own digest, every segment verifies **standalone** — no need
 //!   to replay history from genesis — and old segments can be archived or
 //!   verified lazily ([`verify_segment`], [`verify_all_segments`]).
+//! * **Sealed segments can be archived.** When
+//!   [`AuditSinkConfig::archive`] is set, a background
+//!   [`Archiver`] thread (never the writer hot
+//!   path) compresses sealed segments past a retention horizon into
+//!   verified `.facz` containers and deletes the originals — see
+//!   [`crate::archive`] for the crash-safe protocol. Recovery and
+//!   [`verify_all_segments`] read archived segments transparently via
+//!   [`read_segment_or_archive`], so history stays verifiable across the
+//!   live/archived boundary.
 //! * **A startup recovery pass** replays only the *newest* segment: its
 //!   handoff record says where the chain resumes, so recovery work is
 //!   O(segment), not O(history). A torn tail is truncated at the exact cut
@@ -56,6 +65,8 @@ use fact_transparency::audit::{
     SegmentError, SEGMENT_HANDOFF_ACTION,
 };
 
+use crate::archive::{decode_archive, ArchiveConfig, ArchiveSnapshot, ArchiveStats, Archiver};
+
 /// Where the audit log's bytes live: an ordered set of append-only
 /// segments plus a small sidecar slot for the persisted chain head.
 /// Implementations are moved into the writer thread, so they must be
@@ -82,6 +93,50 @@ pub trait AuditStorage: Send {
     fn read_head(&mut self) -> io::Result<Option<Vec<u8>>>;
     /// Durably replace the persisted chain head.
     fn write_head(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    // --- archive surface (defaulted: a storage without archive support
+    // --- lists no archives and refuses to write them) ---
+
+    /// Archived segment ids present, ascending.
+    fn list_archives(&mut self) -> io::Result<Vec<u64>> {
+        Ok(Vec::new())
+    }
+    /// Read one segment's archive container bytes
+    /// (see [`crate::archive::decode_archive`]).
+    fn read_archive(&mut self, segment: u64) -> io::Result<Vec<u8>> {
+        let _ = segment;
+        Err(io::Error::new(io::ErrorKind::NotFound, "no such archive"))
+    }
+    /// Durably replace one segment's archive container. Must be atomic
+    /// (write-temp + fsync + rename): a crash leaves the old container or
+    /// the new one, never a torn mix.
+    fn write_archive(&mut self, segment: u64, buf: &[u8]) -> io::Result<()> {
+        let _ = (segment, buf);
+        Err(io::Error::other("storage does not support archives"))
+    }
+    /// Durably remove a *sealed* segment's live file (the archiver's final
+    /// step). Implementations must refuse to remove the active segment.
+    fn remove_segment_file(&mut self, segment: u64) -> io::Result<()> {
+        let _ = segment;
+        Err(io::Error::other("storage does not support archives"))
+    }
+    /// Read the archive-manifest sidecar, if one exists.
+    fn read_manifest(&mut self) -> io::Result<Option<Vec<u8>>> {
+        Ok(None)
+    }
+    /// Durably replace the archive-manifest sidecar (atomic, like
+    /// [`write_archive`](AuditStorage::write_archive)).
+    fn write_manifest(&mut self, buf: &[u8]) -> io::Result<()> {
+        let _ = buf;
+        Err(io::Error::other("storage does not support archives"))
+    }
+    /// A second, independent handle onto the *same* bytes for the archiver
+    /// thread, so archiving never serializes against the writer's handle.
+    /// `None` (the default) means archiving is unsupported; configuring
+    /// [`AuditSinkConfig::archive`] over such a storage refuses at open.
+    fn archive_handle(&self) -> Option<Box<dyn AuditStorage>> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -89,13 +144,15 @@ pub trait AuditStorage: Send {
 // ---------------------------------------------------------------------------
 
 /// Real-file storage: segment 0 is the JSONL log at `path` itself, later
-/// segments sit next to it as `<path>.000001.jsonl`, …, and the chain
-/// head lives in a `<path>.head` sidecar replaced via
-/// write-temp-then-rename-then-directory-fsync.
+/// segments sit next to it as `<path>.000001.jsonl`, …, the chain head
+/// lives in a `<path>.head` sidecar, archives in `<segment path>.facz`,
+/// and the archive manifest in `<path>.archive` — sidecars are replaced
+/// via write-temp-then-rename-then-directory-fsync.
 #[derive(Debug)]
 pub struct FileStorage {
     base: PathBuf,
     head_path: PathBuf,
+    manifest_path: PathBuf,
     active: Option<(u64, std::fs::File)>,
 }
 
@@ -111,13 +168,19 @@ impl FileStorage {
         }
         let mut head_path = path.as_os_str().to_owned();
         head_path.push(".head");
+        let mut manifest_path = path.as_os_str().to_owned();
+        manifest_path.push(".archive");
         Ok(FileStorage {
             base: path.to_path_buf(),
             head_path: PathBuf::from(head_path),
+            manifest_path: PathBuf::from(manifest_path),
             active: None,
         })
     }
 
+    /// `{:06}` pads to *at least* six digits, so ids past 999999 simply
+    /// widen (`.1000000.jsonl`); listing parses digits numerically rather
+    /// than relying on the pad width.
     fn seg_path(&self, segment: u64) -> PathBuf {
         if segment == 0 {
             self.base.clone()
@@ -126,6 +189,70 @@ impl FileStorage {
             name.push(format!(".{segment:06}.jsonl"));
             PathBuf::from(name)
         }
+    }
+
+    fn archive_path(&self, segment: u64) -> PathBuf {
+        let mut name = self.seg_path(segment).into_os_string();
+        name.push(".facz");
+        PathBuf::from(name)
+    }
+
+    /// Atomically replace `path`: write `<path>.tmp`, fsync it, rename
+    /// over the target, fsync the directory.
+    fn write_atomic(&self, path: &Path, buf: &[u8]) -> io::Result<()> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(buf)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Without this directory fsync the rename itself is not durable: a
+        // power cut could revert the file to its previous content even
+        // though `rename` returned.
+        self.sync_dir()
+    }
+
+    /// Parse `name` as one of this log's files with the given extra
+    /// suffix: `<base><suffix>` is segment 0,
+    /// `<base>.<digits>.jsonl<suffix>` is that numeric segment (any digit
+    /// width — ids past the six-digit pad must still be accepted).
+    fn parse_segment_name(base_name: &str, name: &str, suffix: &str) -> Option<u64> {
+        let stem = name.strip_suffix(suffix)?;
+        if stem == base_name {
+            return Some(0);
+        }
+        let mid = stem
+            .strip_prefix(base_name)
+            .and_then(|r| r.strip_prefix('.'))
+            .and_then(|r| r.strip_suffix(".jsonl"))?;
+        if mid.is_empty() || !mid.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        mid.parse::<u64>().ok().filter(|&n| n > 0)
+    }
+
+    fn list_by_suffix(&mut self, suffix: &str) -> io::Result<Vec<u64>> {
+        let base_name = self
+            .base
+            .file_name()
+            .and_then(|n| n.to_str())
+            .map(str::to_owned)
+            .ok_or_else(|| io::Error::other("audit log path has no file name"))?;
+        let mut segs = Vec::new();
+        for entry in std::fs::read_dir(self.dir())? {
+            let Ok(name) = entry?.file_name().into_string() else {
+                continue;
+            };
+            if let Some(n) = Self::parse_segment_name(&base_name, &name, suffix) {
+                segs.push(n);
+            }
+        }
+        segs.sort_unstable();
+        segs.dedup();
+        Ok(segs)
     }
 
     fn dir(&self) -> PathBuf {
@@ -145,36 +272,7 @@ impl FileStorage {
 
 impl AuditStorage for FileStorage {
     fn list_segments(&mut self) -> io::Result<Vec<u64>> {
-        let base_name = self
-            .base
-            .file_name()
-            .and_then(|n| n.to_str())
-            .map(str::to_owned)
-            .ok_or_else(|| io::Error::other("audit log path has no file name"))?;
-        let mut segs = Vec::new();
-        for entry in std::fs::read_dir(self.dir())? {
-            let Ok(name) = entry?.file_name().into_string() else {
-                continue;
-            };
-            if name == base_name {
-                segs.push(0);
-            } else if let Some(mid) = name
-                .strip_prefix(&base_name)
-                .and_then(|r| r.strip_prefix('.'))
-                .and_then(|r| r.strip_suffix(".jsonl"))
-            {
-                if !mid.is_empty() && mid.bytes().all(|b| b.is_ascii_digit()) {
-                    if let Ok(n) = mid.parse::<u64>() {
-                        if n > 0 {
-                            segs.push(n);
-                        }
-                    }
-                }
-            }
-        }
-        segs.sort_unstable();
-        segs.dedup();
-        Ok(segs)
+        self.list_by_suffix("")
     }
 
     fn read_segment(&mut self, segment: u64) -> io::Result<Vec<u8>> {
@@ -230,19 +328,51 @@ impl AuditStorage for FileStorage {
     }
 
     fn write_head(&mut self, buf: &[u8]) -> io::Result<()> {
-        let mut tmp = self.head_path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(buf)?;
-            f.sync_data()?;
+        let head_path = self.head_path.clone();
+        self.write_atomic(&head_path, buf)
+    }
+
+    fn list_archives(&mut self) -> io::Result<Vec<u64>> {
+        self.list_by_suffix(".facz")
+    }
+
+    fn read_archive(&mut self, segment: u64) -> io::Result<Vec<u8>> {
+        std::fs::read(self.archive_path(segment))
+    }
+
+    fn write_archive(&mut self, segment: u64, buf: &[u8]) -> io::Result<()> {
+        let path = self.archive_path(segment);
+        self.write_atomic(&path, buf)
+    }
+
+    fn remove_segment_file(&mut self, segment: u64) -> io::Result<()> {
+        if let Some((active, _)) = &self.active {
+            if *active == segment {
+                return Err(io::Error::other("refusing to remove the active segment"));
+            }
         }
-        std::fs::rename(&tmp, &self.head_path)?;
-        // Without this directory fsync the rename itself is not durable: a
-        // power cut could revert the sidecar to its previous content even
-        // though `rename` returned.
+        std::fs::remove_file(self.seg_path(segment))?;
         self.sync_dir()
+    }
+
+    fn read_manifest(&mut self) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(&self.manifest_path) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn write_manifest(&mut self, buf: &[u8]) -> io::Result<()> {
+        let path = self.manifest_path.clone();
+        self.write_atomic(&path, buf)
+    }
+
+    fn archive_handle(&self) -> Option<Box<dyn AuditStorage>> {
+        // a fresh handle on the same paths: its own fds, no shared state
+        FileStorage::open(&self.base)
+            .ok()
+            .map(|s| Box::new(s) as Box<dyn AuditStorage>)
     }
 }
 
@@ -273,6 +403,18 @@ struct MemInner {
     /// Head-sidecar writes report success but do not persist — the
     /// un-fsynced-directory rename that a power cut reverts.
     revert_head_writes: bool,
+    /// Archive containers, keyed by segment id.
+    archives: BTreeMap<u64, Vec<u8>>,
+    /// The archive-manifest sidecar.
+    manifest: Option<Vec<u8>>,
+    /// Writing an archive for segment ids at or beyond this value kills
+    /// the storage with *nothing* persisted — a crash before the atomic
+    /// rename landed the container.
+    kill_on_archive_write: Option<u64>,
+    /// Removing the source file of segment ids at or beyond this value
+    /// kills the storage with the file *retained* — a crash after the
+    /// manifest committed but before the delete.
+    kill_on_source_delete: Option<u64>,
     dead: bool,
 }
 
@@ -342,6 +484,20 @@ impl MemStorage {
         self.lock().revert_head_writes = true;
     }
 
+    /// Kill the storage when an archive for segment `n` (or any later id)
+    /// is written: the container never lands — a crash *before* the
+    /// atomic tmp+fsync+rename completed, so the original must survive.
+    pub fn kill_on_archive_write(&self, n: u64) {
+        self.lock().kill_on_archive_write = Some(n);
+    }
+
+    /// Kill the storage when segment `n`'s (or any later id's) source
+    /// file is removed: the file is retained — a crash *after* the
+    /// manifest commit but before the delete, so both copies survive.
+    pub fn kill_on_source_delete(&self, n: u64) {
+        self.lock().kill_on_source_delete = Some(n);
+    }
+
     /// Clear all fault plans and revive a killed storage — the "restart".
     pub fn restart(&self) -> MemStorage {
         let mut g = self.lock();
@@ -350,6 +506,8 @@ impl MemStorage {
         g.kill_at_byte = None;
         g.kill_on_open_segment = None;
         g.revert_head_writes = false;
+        g.kill_on_archive_write = None;
+        g.kill_on_source_delete = None;
         g.dead = false;
         MemStorage {
             inner: Arc::clone(&self.inner),
@@ -385,6 +543,36 @@ impl MemStorage {
     /// Current persisted head bytes (inspection).
     pub fn head_bytes(&self) -> Option<Vec<u8>> {
         self.lock().head.clone()
+    }
+
+    /// Archived segment ids currently present (inspection).
+    pub fn archive_ids(&self) -> Vec<u64> {
+        self.lock().archives.keys().copied().collect()
+    }
+
+    /// One archive's container bytes, if it exists (inspection).
+    pub fn archive_bytes(&self, segment: u64) -> Option<Vec<u8>> {
+        self.lock().archives.get(&segment).cloned()
+    }
+
+    /// Delete an archive outright — the "operator removed an archive"
+    /// fault. Returns whether it existed.
+    pub fn remove_archive(&self, segment: u64) -> bool {
+        self.lock().archives.remove(&segment).is_some()
+    }
+
+    /// Overwrite an archive's bytes in place — the bit-rot fault the
+    /// archiver's read-back verification must catch. Returns whether the
+    /// archive existed.
+    pub fn corrupt_archive(&self, segment: u64, bytes: Vec<u8>) -> bool {
+        let mut g = self.lock();
+        match g.archives.get_mut(&segment) {
+            Some(slot) => {
+                *slot = bytes;
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -508,6 +696,89 @@ impl AuditStorage for MemStorage {
         g.head = Some(buf.to_vec());
         Ok(())
     }
+
+    fn list_archives(&mut self) -> io::Result<Vec<u64>> {
+        let g = self.lock();
+        if g.dead {
+            return Err(dead_err());
+        }
+        Ok(g.archives.keys().copied().collect())
+    }
+
+    fn read_archive(&mut self, segment: u64) -> io::Result<Vec<u8>> {
+        let g = self.lock();
+        if g.dead {
+            return Err(dead_err());
+        }
+        g.archives
+            .get(&segment)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such archive"))
+    }
+
+    fn write_archive(&mut self, segment: u64, buf: &[u8]) -> io::Result<()> {
+        let mut g = self.lock();
+        if g.dead {
+            return Err(dead_err());
+        }
+        if matches!(g.kill_on_archive_write, Some(n) if segment >= n) {
+            // the crash lands before the atomic rename: no container
+            // persists, and every later operation fails like dead fds
+            g.dead = true;
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "killed before archive rename",
+            ));
+        }
+        g.archives.insert(segment, buf.to_vec());
+        Ok(())
+    }
+
+    fn remove_segment_file(&mut self, segment: u64) -> io::Result<()> {
+        let mut g = self.lock();
+        if g.dead {
+            return Err(dead_err());
+        }
+        if matches!(g.kill_on_source_delete, Some(n) if segment >= n) {
+            // the crash lands after the manifest commit, before the
+            // delete: the original survives alongside its archive
+            g.dead = true;
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "killed before source delete",
+            ));
+        }
+        if g.active == Some(segment) {
+            return Err(io::Error::other("refusing to remove the active segment"));
+        }
+        match g.segments.remove(&segment) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such segment")),
+        }
+    }
+
+    fn read_manifest(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let g = self.lock();
+        if g.dead {
+            return Err(dead_err());
+        }
+        Ok(g.manifest.clone())
+    }
+
+    fn write_manifest(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut g = self.lock();
+        if g.dead {
+            return Err(dead_err());
+        }
+        g.manifest = Some(buf.to_vec());
+        Ok(())
+    }
+
+    fn archive_handle(&self) -> Option<Box<dyn AuditStorage>> {
+        // the same Arc: a kill knob kills both handles at once, exactly
+        // the way one dead process takes the writer and archiver together
+        Some(Box::new(self.clone()))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -605,9 +876,16 @@ pub struct AuditSinkConfig {
     /// it fills (audit events are evidence, not telemetry — they are never
     /// silently shed while the sink is healthy).
     pub queue_cap: usize,
-    /// Roll to a new segment once the active one exceeds this many bytes.
-    /// Checked per flush, so a segment can overshoot by at most one batch.
+    /// Roll to a new segment *before* appending a batch that would push
+    /// the active one past this many bytes. A segment exceeds the cap
+    /// only when one single batch is alone larger than it (the batch is
+    /// never split across segments).
     pub max_segment_bytes: u64,
+    /// Background archiving of sealed segments; `None` (the default)
+    /// disables it and segments accumulate until pruned out of band. See
+    /// [`crate::archive`] for the verify → compress → commit → delete
+    /// protocol and its crash-safety guarantees.
+    pub archive: Option<ArchiveConfig>,
 }
 
 impl Default for AuditSinkConfig {
@@ -618,6 +896,7 @@ impl Default for AuditSinkConfig {
             flush_interval: Duration::from_millis(5),
             queue_cap: 8_192,
             max_segment_bytes: 64 * 1024 * 1024,
+            archive: None,
         }
     }
 }
@@ -683,6 +962,9 @@ pub struct SinkReport {
     pub segments: u64,
     /// What recovery found at startup.
     pub recovery: RecoveryReport,
+    /// What the background archiver did this run (all-zero when archiving
+    /// is off).
+    pub archive: ArchiveSnapshot,
 }
 
 #[derive(Debug, Default)]
@@ -797,17 +1079,21 @@ fn count_newlines(bytes: &[u8]) -> u64 {
     bytes.iter().filter(|&&b| b == b'\n').count() as u64
 }
 
-/// Replay the **newest segment** in `storage`, verify it standalone from
-/// its own handoff record (or genesis), truncate whatever tail does not
-/// verify, and return the head appending should resume from.
+/// Replay the **newest live segment** in `storage`, verify it standalone
+/// from its own handoff record (or genesis), truncate whatever tail does
+/// not verify, and return the head appending should resume from.
 ///
-/// Older segments are not re-read — that is what makes restart cost
-/// O(segment) instead of O(history) — except when recovery must fall back
-/// one segment (the newest is empty or its opening handoff tore: the
-/// crash hit the roll itself), or when segments are missing in the middle
-/// and their neighbors are consulted to *quantify* the provable loss.
+/// Archived segments count as present: a segment the archiver compacted
+/// and deleted is *not* loss — its verified archive is read transparently
+/// wherever recovery would have read the live file. Older segments are
+/// not re-read — that is what makes restart cost O(segment) instead of
+/// O(history) — except when recovery must fall back one segment (the
+/// newest is empty or its opening handoff tore: the crash hit the roll
+/// itself), or when segments are missing in the middle and their
+/// neighbors are consulted to *quantify* the provable loss.
 pub fn recover(storage: &mut dyn AuditStorage) -> io::Result<RecoveryReport> {
-    let present = storage.list_segments()?;
+    let live = storage.list_segments()?;
+    let present = union_segments(storage)?;
     if present.is_empty() {
         storage.open_segment(0)?;
         return Ok(RecoveryReport {
@@ -827,27 +1113,60 @@ pub fn recover(storage: &mut dyn AuditStorage) -> io::Result<RecoveryReport> {
         });
     }
 
-    // Middle gaps: a leading gap is legitimate archival of old segments,
-    // but a hole between present segments is loss. It is *provable* loss:
-    // the segment after the gap opens with a handoff claiming the chain
-    // position at the end of the segment before it, and the last present
-    // segment before the gap replays to its own end — the difference is
-    // exactly the entries the hole swallowed.
+    // Middle gaps: a leading gap is legitimate archival+pruning of old
+    // segments, but a hole between present segments — no live file *and*
+    // no archive — is loss. It is *provable* loss: the segment after the
+    // gap opens with a handoff claiming the chain position at the end of
+    // the segment before it, and the last present segment before the gap
+    // replays to its own end — the difference is exactly the entries the
+    // hole swallowed.
     let mut missing_segments = 0u64;
     let mut missing_entries = 0u64;
     for w in present.windows(2) {
         let (a, b) = (w[0], w[1]);
         if b > a + 1 {
             missing_segments += b - a - 1;
-            let before = scan_segment(&storage.read_segment(a)?);
-            if let Some(claim) = first_handoff_claim(&storage.read_segment(b)?) {
+            let before = scan_segment(&read_segment_or_archive(storage, a)?);
+            if let Some(claim) = first_handoff_claim(&read_segment_or_archive(storage, b)?) {
                 missing_entries += claim.next_seq.saturating_sub(before.end.next_seq);
             }
         }
     }
 
+    // The head sidecar is written after the batch fsync, so it can only
+    // lag the log, never legitimately lead it — a lead is tail loss.
+    let persisted: Option<ChainHead> = storage
+        .read_head()?
+        .and_then(|b| String::from_utf8(b).ok())
+        .and_then(|s| serde_json::from_str(&s).ok());
+
+    let Some(&active) = live.last() else {
+        // Every segment is archived and its live file removed (the sink
+        // was compacted to nothing while closed). Resume the chain in a
+        // fresh segment past the newest archive, opened with a handoff —
+        // exactly as if the writer had just rolled.
+        let newest = *present.last().expect("non-empty");
+        let scan = scan_segment(&read_segment_or_archive(storage, newest)?);
+        storage.open_segment(newest + 1)?;
+        let tail_lost = persisted.map_or(0, |p| p.next_seq.saturating_sub(scan.end.next_seq));
+        return Ok(RecoveryReport {
+            recovered: scan.recovered,
+            cut_offset: 0,
+            truncated_bytes: 0,
+            cut_lines: 0,
+            cut_seq: scan.cut_seq,
+            lost: tail_lost + missing_entries,
+            resumed: scan.end,
+            segments: present.len() as u64 + 1,
+            active_segment: newest + 1,
+            replayed_segments: 1,
+            missing_segments,
+            missing_entries,
+            needs_handoff: true,
+        });
+    };
+
     let lowest = present[0];
-    let active = *present.last().expect("non-empty");
     let bytes = storage.read_segment(active)?;
     let scan = scan_segment(&bytes);
     let mut truncated_bytes = 0u64;
@@ -859,22 +1178,30 @@ pub fn recover(storage: &mut dyn AuditStorage) -> io::Result<RecoveryReport> {
     if scan.good_len == 0 && active > lowest {
         // The newest segment is empty or its opening handoff tore — the
         // crash hit the roll itself. Wipe it and fall back one present
-        // segment; the writer re-opens the wiped segment with a fresh
-        // handoff on its first flush.
+        // segment (live or archived); the writer re-opens the wiped
+        // segment with a fresh handoff on its first flush.
         truncated_bytes += bytes.len() as u64;
         cut_lines += count_newlines(&bytes);
         if !bytes.is_empty() {
             storage.truncate_segment(active, 0)?;
         }
-        let prev = present[present.len() - 2];
-        let pbytes = storage.read_segment(prev)?;
+        let at = present
+            .iter()
+            .position(|&p| p == active)
+            .expect("active is present");
+        let prev = present[at - 1];
+        let pbytes = read_segment_or_archive(storage, prev)?;
         let pscan = scan_segment(&pbytes);
         replayed_segments = 2;
         needs_handoff = true;
         if pscan.good_len < pbytes.len() {
             truncated_bytes += (pbytes.len() - pscan.good_len) as u64;
             cut_lines += count_newlines(&pbytes[pscan.good_len..]);
-            storage.truncate_segment(prev, pscan.good_len as u64)?;
+            // an archived predecessor is immutable (and was verified when
+            // archived); only a live file can carry — and shed — a tail
+            if live.binary_search(&prev).is_ok() {
+                storage.truncate_segment(prev, pscan.good_len as u64)?;
+            }
         }
         recovered = pscan.recovered;
         cut_offset = 0u64;
@@ -893,15 +1220,7 @@ pub fn recover(storage: &mut dyn AuditStorage) -> io::Result<RecoveryReport> {
     }
     storage.open_segment(active)?;
 
-    let persisted: Option<ChainHead> = storage
-        .read_head()?
-        .and_then(|b| String::from_utf8(b).ok())
-        .and_then(|s| serde_json::from_str(&s).ok());
-    // The head is written after the batch fsync, so it can only lag the
-    // log, never legitimately lead it — a lead is exactly the tail loss.
-    let tail_lost = persisted.map_or(0, |p: ChainHead| {
-        p.next_seq.saturating_sub(resumed.next_seq)
-    });
+    let tail_lost = persisted.map_or(0, |p| p.next_seq.saturating_sub(resumed.next_seq));
     Ok(RecoveryReport {
         recovered,
         cut_offset,
@@ -923,19 +1242,60 @@ pub fn recover(storage: &mut dyn AuditStorage) -> io::Result<RecoveryReport> {
 // lazy segment verification
 // ---------------------------------------------------------------------------
 
+/// Read one segment's JSONL content, falling back to its archive when the
+/// live file is gone: the container is decoded
+/// ([`crate::archive::decode_archive`] verifies magic, length, and
+/// SHA-256) and must hold the segment id asked for. This is what keeps
+/// history verifiable across the live/archived boundary — callers never
+/// care which side a segment is on.
+pub fn read_segment_or_archive(
+    storage: &mut dyn AuditStorage,
+    segment: u64,
+) -> io::Result<Vec<u8>> {
+    match storage.read_segment(segment) {
+        Ok(b) => Ok(b),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            let container = storage.read_archive(segment)?;
+            let (held, bytes) = decode_archive(&container)?;
+            if held != segment {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "archive container holds a different segment id",
+                ));
+            }
+            Ok(bytes)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// All segment ids with *any* surviving copy — live file, archive, or
+/// both — ascending.
+fn union_segments(storage: &mut dyn AuditStorage) -> io::Result<Vec<u64>> {
+    let mut ids = storage.list_segments()?;
+    ids.extend(storage.list_archives()?);
+    ids.sort_unstable();
+    ids.dedup();
+    Ok(ids)
+}
+
 /// Verify one segment **standalone** against the hash chain: parse its
-/// bytes and check it from its own handoff record (or genesis) via
+/// bytes (live or archived — see [`read_segment_or_archive`]) and check
+/// it from its own handoff record (or genesis) via
 /// [`verify_segment_entries`]. The outer `Result` is storage I/O; the
 /// inner one is the verification verdict.
 pub fn verify_segment(
     storage: &mut dyn AuditStorage,
     segment: u64,
 ) -> io::Result<Result<SegmentCheck, SegmentError>> {
-    let bytes = storage.read_segment(segment)?;
+    let bytes = read_segment_or_archive(storage, segment)?;
     Ok(check_segment_bytes(&bytes))
 }
 
-fn check_segment_bytes(bytes: &[u8]) -> Result<SegmentCheck, SegmentError> {
+/// Parse raw segment bytes and verify them standalone against the chain
+/// (the in-memory half of [`verify_segment`]; the archiver uses it to
+/// vet a segment before compacting it).
+pub(crate) fn check_segment_bytes(bytes: &[u8]) -> Result<SegmentCheck, SegmentError> {
     let mut entries = Vec::new();
     let mut pos = 0usize;
     let mut torn = false;
@@ -978,10 +1338,13 @@ pub struct SegmentAudit {
 }
 
 /// Verify **every** present segment standalone and check cross-segment
-/// continuity. This is the full-history audit the lazy design defers out
-/// of the restart path; run it offline or on demand.
+/// continuity. Archived segments participate exactly like live ones
+/// (decompressed on demand), so a store the archiver has partially
+/// compacted still audits end to end. This is the full-history audit the
+/// lazy design defers out of the restart path; run it offline or on
+/// demand.
 pub fn verify_all_segments(storage: &mut dyn AuditStorage) -> io::Result<SegmentAudit> {
-    let present = storage.list_segments()?;
+    let present = union_segments(storage)?;
     let mut segments = Vec::with_capacity(present.len());
     let mut continuous = true;
     let mut prev: Option<(u64, ChainHead)> = None;
@@ -1028,6 +1391,8 @@ pub struct AuditSink {
     writer: Option<JoinHandle<()>>,
     shared: Arc<SinkShared>,
     recovery: RecoveryReport,
+    archiver: Option<Archiver>,
+    archive_stats: Arc<ArchiveStats>,
 }
 
 impl AuditSink {
@@ -1049,6 +1414,14 @@ impl AuditSink {
             config.max_segment_bytes > 0,
             "max_segment_bytes must be positive"
         );
+        // take the archiver's independent handle *before* the writer owns
+        // the storage; refuse up front rather than silently not archiving
+        let archiver_storage = match &config.archive {
+            Some(_) => Some(storage.archive_handle().ok_or_else(|| {
+                io::Error::other("archive configured but storage offers no archive handle")
+            })?),
+            None => None,
+        };
         let recovery = recover(storage.as_mut())?;
         let shared = Arc::new(SinkShared::default());
         shared
@@ -1073,11 +1446,26 @@ impl AuditSink {
             .name("fact-audit-sink".into())
             .spawn(move || writer.run())
             .map_err(io::Error::other)?;
+        let archive_stats = Arc::new(ArchiveStats::default());
+        let archiver = match (&config.archive, archiver_storage) {
+            (Some(acfg), Some(handle)) => {
+                let watcher = Arc::clone(&shared);
+                Some(Archiver::spawn(
+                    acfg.clone(),
+                    handle,
+                    move || watcher.active_segment.load(Ordering::Relaxed),
+                    Arc::clone(&archive_stats),
+                )?)
+            }
+            _ => None,
+        };
         Ok(AuditSink {
             tx: Some(tx),
             writer: Some(writer),
             shared,
             recovery,
+            archiver,
+            archive_stats,
         })
     }
 
@@ -1109,13 +1497,24 @@ impl AuditSink {
         self.shared.active_segment.load(Ordering::Relaxed)
     }
 
+    /// The live archiver counters (all-zero, never advancing, when
+    /// archiving is off). The same `Arc` can be handed to a metrics
+    /// registry so operators watch archiving progress in-flight.
+    pub fn archive_stats(&self) -> Arc<ArchiveStats> {
+        Arc::clone(&self.archive_stats)
+    }
+
     /// Drop the sender, let the writer drain, stamp the stop marker, and
-    /// join. (Outstanding [`AuditSinkHandle`]s keep the writer alive until
-    /// they are dropped too.)
+    /// join; then stop the archiver (it runs one final pass first).
+    /// (Outstanding [`AuditSinkHandle`]s keep the writer alive until they
+    /// are dropped too.)
     pub fn finish(mut self) -> SinkReport {
         self.tx.take();
         if let Some(w) = self.writer.take() {
             let _ = w.join();
+        }
+        if let Some(a) = self.archiver.take() {
+            a.stop();
         }
         let rolls = self.shared.rolls.load(Ordering::Relaxed);
         SinkReport {
@@ -1125,6 +1524,7 @@ impl AuditSink {
             rolls,
             segments: self.recovery.segments + rolls,
             recovery: self.recovery.clone(),
+            archive: self.archive_stats.snapshot(),
         }
     }
 }
@@ -1134,6 +1534,9 @@ impl Drop for AuditSink {
         self.tx.take();
         if let Some(w) = self.writer.take() {
             let _ = w.join();
+        }
+        if let Some(a) = self.archiver.take() {
+            a.stop();
         }
     }
 }
@@ -1215,12 +1618,14 @@ impl Writer {
     }
 
     /// Turn the batch into chained JSONL lines, append them in ONE storage
-    /// call, fsync, then persist the advanced head. When the active
-    /// segment is over budget, roll to a fresh one first and open it with
-    /// a handoff record (so a flush never splits across segments and every
-    /// segment's first entry carries its resume point). A failure poisons
-    /// the sink: later events are counted dropped instead of risking a
-    /// forked chain on storage that already tore.
+    /// call, fsync, then persist the advanced head. When the batch would
+    /// push the active segment past its byte budget, roll to a fresh
+    /// segment *before* appending and open it with a handoff record (so a
+    /// flush never splits across segments, every segment's first entry
+    /// carries its resume point, and a segment exceeds the cap only when
+    /// a single batch is alone larger than it). A failure poisons the
+    /// sink: later events are counted dropped instead of risking a forked
+    /// chain on storage that already tore.
     fn flush(&mut self, batch: &mut Vec<AuditEvent>) {
         if batch.is_empty() {
             return;
@@ -1231,7 +1636,20 @@ impl Writer {
             batch.clear();
             return;
         }
-        if self.active_bytes > self.max_segment_bytes && !self.needs_handoff {
+        let events: Vec<(String, String, String)> =
+            batch.drain(..).map(AuditEvent::into_parts).collect();
+        let mut head = self.head;
+        let mut buf = build_lines(&mut head, self.needs_handoff, self.active_segment, &events);
+        let mut handoff_written = self.needs_handoff;
+        // Pre-append roll: this batch would overflow the segment, so it
+        // goes into a fresh one instead. A freshly opened segment
+        // (needs_handoff) or an empty one never rolls again — that is
+        // where an over-cap single batch is allowed to land, bounding the
+        // overshoot at exactly one batch.
+        if !self.needs_handoff
+            && self.active_bytes > 0
+            && self.active_bytes + buf.len() as u64 > self.max_segment_bytes
+        {
             match self.storage.open_segment(self.active_segment + 1) {
                 Ok(()) => {
                     self.active_segment += 1;
@@ -1241,6 +1659,11 @@ impl Writer {
                     self.shared
                         .active_segment
                         .store(self.active_segment, Ordering::Relaxed);
+                    // re-serialize: the new segment opens with a handoff
+                    // and every entry's digest chains past it
+                    head = self.head;
+                    buf = build_lines(&mut head, true, self.active_segment, &events);
+                    handoff_written = true;
                 }
                 Err(_) => {
                     // soft failure: keep appending to the oversized
@@ -1248,28 +1671,6 @@ impl Writer {
                     self.shared.io_errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
-        }
-        let mut head = self.head;
-        let mut buf = Vec::with_capacity(batch.len() * 128 + 192);
-        let mut handoff_written = false;
-        if self.needs_handoff {
-            let claim = head;
-            let entry = head.extend(
-                "fact-serve",
-                SEGMENT_HANDOFF_ACTION,
-                claim.handoff_details(self.active_segment),
-            );
-            let line = serde_json::to_string(&entry).expect("audit entry serializes");
-            buf.extend_from_slice(line.as_bytes());
-            buf.push(b'\n');
-            handoff_written = true;
-        }
-        for ev in batch.drain(..) {
-            let (actor, action, details) = ev.into_parts();
-            let entry = head.extend(actor, action, details);
-            let line = serde_json::to_string(&entry).expect("audit entry serializes");
-            buf.extend_from_slice(line.as_bytes());
-            buf.push(b'\n');
         }
         let written = self
             .storage
@@ -1297,6 +1698,35 @@ impl Writer {
             }
         }
     }
+}
+
+/// Serialize `events` as chained JSONL, optionally preceded by a handoff
+/// record for `segment`, advancing `head` past everything serialized.
+fn build_lines(
+    head: &mut ChainHead,
+    with_handoff: bool,
+    segment: u64,
+    events: &[(String, String, String)],
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(events.len() * 128 + 192);
+    if with_handoff {
+        let claim = *head;
+        let entry = head.extend(
+            "fact-serve",
+            SEGMENT_HANDOFF_ACTION,
+            claim.handoff_details(segment),
+        );
+        let line = serde_json::to_string(&entry).expect("audit entry serializes");
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+    }
+    for (actor, action, details) in events {
+        let entry = head.extend(actor.clone(), action.clone(), details.clone());
+        let line = serde_json::to_string(&entry).expect("audit entry serializes");
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+    }
+    buf
 }
 
 /// Parse a recovered JSONL log back into entries (verification helper for
@@ -1639,5 +2069,210 @@ mod tests {
         assert_eq!(sink2.recovery().lost, 0);
         sink2.finish();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_storage_lists_wide_segment_ids_numerically() {
+        let dir = std::env::temp_dir().join(format!(
+            "fact-audit-wide-id-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("audit.jsonl");
+        std::fs::write(&path, b"").unwrap();
+        // the zero-pad stops at six digits: the next id is seven wide, and
+        // sorts lexicographically *before* 999999 — the bug being pinned
+        std::fs::write(dir.join("audit.jsonl.999999.jsonl"), b"nine").unwrap();
+        std::fs::write(dir.join("audit.jsonl.1000000.jsonl"), b"wide").unwrap();
+        // neighbors that must not parse as segments
+        std::fs::write(dir.join("audit.jsonl.head"), b"").unwrap();
+        std::fs::write(dir.join("audit.jsonl.archive"), b"").unwrap();
+        std::fs::write(dir.join("audit.jsonl.12x.jsonl"), b"").unwrap();
+        std::fs::write(dir.join("audit.jsonl.999999.jsonl.facz"), b"").unwrap();
+        std::fs::write(dir.join("audit.jsonl.1000000.jsonl.facz"), b"").unwrap();
+
+        let mut fs = FileStorage::open(&path).unwrap();
+        assert_eq!(fs.list_segments().unwrap(), vec![0, 999_999, 1_000_000]);
+        assert_eq!(fs.list_archives().unwrap(), vec![999_999, 1_000_000]);
+        // wide ids resolve to their (naturally widened) paths on read
+        assert_eq!(fs.read_segment(999_999).unwrap(), b"nine");
+        assert_eq!(fs.read_segment(1_000_000).unwrap(), b"wide");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_batch_rolls_to_a_fresh_segment_before_appending() {
+        let storage = MemStorage::new();
+        let cap = 4096u64;
+        // a huge flush_interval means the only flushes are batch_max fills
+        // and lifecycle markers: sink_start lands alone in segment 0, then
+        // one 64-event batch (~9 KiB serialized, over the cap) arrives
+        let sink = AuditSink::open_with_storage(
+            &AuditSinkConfig {
+                batch_max: 64,
+                flush_interval: Duration::from_secs(3600),
+                max_segment_bytes: cap,
+                ..AuditSinkConfig::default()
+            },
+            Box::new(storage.clone()),
+        )
+        .unwrap();
+        let h = sink.handle();
+        for k in 0..64 {
+            h.record(flagged(0, k));
+        }
+        drop(h);
+        let report = sink.finish();
+        assert_eq!(report.audited, 66); // start + 64 + stop
+        assert_eq!(report.dropped, 0);
+
+        // the batch rolled *before* appending: segment 0 stays under the
+        // cap, and the whole batch landed together in segment 1 (the one
+        // place an over-cap batch may overshoot)
+        assert!(report.rolls >= 1, "{report:?}");
+        let seg0 = storage.segment_bytes(0).unwrap();
+        assert!(
+            seg0.len() as u64 <= cap,
+            "pre-append roll must keep sealed segments under the cap \
+             ({} > {cap})",
+            seg0.len()
+        );
+        let seg1 = storage.segment_bytes(1).unwrap();
+        assert!(seg1.len() as u64 > cap, "the big batch lands whole");
+        let seg1_entries = parse_log(&seg1);
+        assert_eq!(seg1_entries.len(), 65); // handoff + all 64 events
+        assert!(is_handoff(&seg1_entries[0]));
+
+        // the rotated set still stitches into one chain
+        let mut probe: Box<dyn AuditStorage> = Box::new(storage.clone());
+        let audit = verify_all_segments(probe.as_mut()).unwrap();
+        assert!(audit.continuous, "{audit:?}");
+        let entries = parse_log(&storage.log_bytes());
+        assert_eq!(verify_chain_from(ChainHead::genesis(), &entries), None);
+    }
+
+    #[test]
+    fn archived_segments_read_verify_and_recover_transparently() {
+        use crate::archive::{run_once, ArchiveConfig, ArchiveStats};
+
+        let storage = MemStorage::new();
+        let sink = open_mem_rotating(&storage, 2);
+        let h = sink.handle();
+        for k in 0..10 {
+            h.record(flagged(0, k));
+        }
+        drop(h);
+        sink.finish();
+        let live_before = storage.segment_ids();
+        let newest = *live_before.last().unwrap();
+        assert!(live_before.len() >= 3, "{live_before:?}");
+        let originals: Vec<(u64, Vec<u8>)> = live_before
+            .iter()
+            .map(|&id| (id, storage.segment_bytes(id).unwrap()))
+            .collect();
+
+        // compact every sealed segment, retaining none
+        let mut probe: Box<dyn AuditStorage> = Box::new(storage.clone());
+        let stats = ArchiveStats::default();
+        let cfg = ArchiveConfig {
+            retain_segments: 0,
+            ..ArchiveConfig::default()
+        };
+        let pass = run_once(probe.as_mut(), &cfg, newest, &stats).unwrap();
+        assert_eq!(pass.archived, live_before[..live_before.len() - 1]);
+        assert!(pass.skipped.is_empty(), "{pass:?}");
+        assert_eq!(storage.segment_ids(), vec![newest]);
+        assert_eq!(storage.archive_ids(), pass.archived);
+        assert!(
+            stats.snapshot().bytes_after < stats.snapshot().bytes_before,
+            "JSONL must compress"
+        );
+
+        // reads fall through to the archive, byte-identical
+        for (id, bytes) in &originals {
+            assert_eq!(
+                &read_segment_or_archive(probe.as_mut(), *id).unwrap(),
+                bytes
+            );
+        }
+        // verification spans the live/archived boundary
+        let audit = verify_all_segments(probe.as_mut()).unwrap();
+        assert!(audit.continuous, "{audit:?}");
+        assert_eq!(audit.segments.len(), live_before.len());
+
+        // a restart over the compacted store sees zero loss and resumes
+        let sink2 = open_mem_rotating(&storage, 2);
+        let rec = sink2.recovery().clone();
+        assert_eq!(rec.lost, 0, "{rec:?}");
+        assert_eq!(rec.missing_segments, 0);
+        assert_eq!(rec.active_segment, newest);
+        let h2 = sink2.handle();
+        for k in 10..13 {
+            h2.record(flagged(1, k));
+        }
+        drop(h2);
+        sink2.finish();
+        let mut probe2: Box<dyn AuditStorage> = Box::new(storage.clone());
+        let audit2 = verify_all_segments(probe2.as_mut()).unwrap();
+        assert!(audit2.continuous, "{audit2:?}");
+    }
+
+    #[test]
+    fn fully_archived_store_resumes_in_a_fresh_segment() {
+        use crate::archive::{encode_archive, run_once, ArchiveConfig, ArchiveStats};
+
+        let storage = MemStorage::new();
+        let sink = open_mem_rotating(&storage, 2);
+        let h = sink.handle();
+        for k in 0..6 {
+            h.record(flagged(0, k));
+        }
+        drop(h);
+        sink.finish();
+        let live = storage.segment_ids();
+        let newest = *live.last().unwrap();
+
+        let mut probe: Box<dyn AuditStorage> = Box::new(storage.clone());
+        let stats = ArchiveStats::default();
+        let cfg = ArchiveConfig {
+            retain_segments: 0,
+            ..ArchiveConfig::default()
+        };
+        run_once(probe.as_mut(), &cfg, newest, &stats).unwrap();
+        // the operator compacts the closed log's final segment by hand
+        let bytes = storage.segment_bytes(newest).unwrap();
+        probe
+            .as_mut()
+            .write_archive(newest, &encode_archive(newest, &bytes))
+            .unwrap();
+        assert!(storage.remove_segment(newest));
+        assert!(storage.segment_ids().is_empty());
+
+        // recovery resumes past the newest archive, opening with a handoff
+        let sink2 = open_mem_rotating(&storage, 2);
+        let rec = sink2.recovery().clone();
+        assert_eq!(rec.lost, 0, "{rec:?}");
+        assert_eq!(rec.active_segment, newest + 1);
+        assert!(rec.needs_handoff);
+        let h2 = sink2.handle();
+        h2.record(flagged(1, 99));
+        drop(h2);
+        sink2.finish();
+
+        let mut probe2: Box<dyn AuditStorage> = Box::new(storage.clone());
+        let audit = verify_all_segments(probe2.as_mut()).unwrap();
+        assert!(audit.continuous, "{audit:?}");
+        // the whole history — every archive plus the new live tail — is
+        // still one unbroken chain from genesis
+        let mut all = Vec::new();
+        for id in 0..=newest + 1 {
+            all.extend(read_segment_or_archive(probe2.as_mut(), id).unwrap());
+        }
+        let entries = parse_log(&all);
+        assert_eq!(verify_chain_from(ChainHead::genesis(), &entries), None);
     }
 }

@@ -87,6 +87,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod archive;
 pub mod audit_sink;
 pub mod cache;
 pub mod checkpoint;
@@ -97,9 +98,14 @@ pub mod service;
 pub mod source;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
+pub use archive::{
+    decode_archive, encode_archive, run_once as archive_run_once, ArchiveConfig, ArchiveManifest,
+    ArchivePassReport, ArchiveRecord, ArchiveSnapshot, ArchiveStats, Archiver,
+};
 pub use audit_sink::{
-    verify_all_segments, verify_segment, AuditEvent, AuditSink, AuditSinkConfig, AuditSinkHandle,
-    AuditStorage, FileStorage, MemStorage, RecoveryReport, SegmentAudit, SinkReport,
+    read_segment_or_archive, verify_all_segments, verify_segment, AuditEvent, AuditSink,
+    AuditSinkConfig, AuditSinkHandle, AuditStorage, FileStorage, MemStorage, RecoveryReport,
+    SegmentAudit, SinkReport,
 };
 pub use cache::{CacheConfig, CachedFeatureSource, Clock, ManualClock, SystemClock};
 pub use checkpoint::{

@@ -401,11 +401,23 @@ pub struct MetricsRegistry {
     /// Admission-control counters; all zeros unless `ServeConfig.admission`
     /// wired an [`AdmissionController`](crate::admission::AdmissionController) in.
     pub admission: Arc<AdmissionStats>,
+    /// Audit-archiver counters; all zeros unless the audit sink was
+    /// configured with [`AuditSinkConfig::archive`](crate::AuditSinkConfig::archive)
+    /// (the sink's own [`ArchiveStats`](crate::archive::ArchiveStats) is
+    /// shared in via [`with_archive_stats`](MetricsRegistry::with_archive_stats)).
+    pub archive: Arc<crate::archive::ArchiveStats>,
 }
 
 impl MetricsRegistry {
     /// A registry for `shards` worker shards.
     pub fn new(shards: usize) -> Self {
+        Self::with_archive_stats(shards, Arc::new(crate::archive::ArchiveStats::default()))
+    }
+
+    /// A registry for `shards` worker shards that reports `archive` — the
+    /// live counter block owned by an audit sink's background archiver —
+    /// alongside the serving counters.
+    pub fn with_archive_stats(shards: usize, archive: Arc<crate::archive::ArchiveStats>) -> Self {
         MetricsRegistry {
             shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
             latency: LatencyHistogram::new(),
@@ -413,6 +425,7 @@ impl MetricsRegistry {
             epsilon_micro: AtomicU64::new(0),
             cache: Arc::new(CacheStats::default()),
             admission: Arc::new(AdmissionStats::default()),
+            archive,
         }
     }
 
@@ -461,6 +474,7 @@ impl MetricsRegistry {
             epsilon_spent: self.epsilon_micro.load(Ordering::Relaxed) as f64 / 1e6,
             cache: self.cache.snapshot(),
             admission: self.admission.snapshot(),
+            archive: self.archive.snapshot(),
         }
     }
 }
@@ -524,6 +538,8 @@ pub struct MetricsSnapshot {
     pub cache: CacheSnapshot,
     /// Admission-control counters (all zero when admission is off).
     pub admission: AdmissionSnapshot,
+    /// Audit-archiver counters (all zero when archiving is off).
+    pub archive: crate::archive::ArchiveSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -601,6 +617,18 @@ impl MetricsSnapshot {
                 t.tenant, t.admitted, t.shed, t.throttled,
             ));
         }
+        let ar = &self.archive;
+        out.push_str(&format!(
+            "archive segments={} bytes_before={} bytes_after={} ratio={:.3} \
+             verify_failures={} deletes={} ticks={}\n",
+            ar.segments_archived,
+            ar.bytes_before,
+            ar.bytes_after,
+            ar.ratio(),
+            ar.verify_failures,
+            ar.deletes_completed,
+            ar.ticks,
+        ));
         out
     }
 }
@@ -654,8 +682,10 @@ mod tests {
         assert!(text.contains("total served=3"));
         assert!(text.contains("cache hits=0"));
         assert!(text.contains("admission cap=0"));
-        // header + 2 shards + totals + cache + admission (no tenants seen)
-        assert!(text.lines().count() == 6);
+        assert!(text.contains("archive segments=0"));
+        // header + 2 shards + totals + cache + admission + archive
+        // (no tenants seen)
+        assert!(text.lines().count() == 7);
     }
 
     #[test]

@@ -456,6 +456,9 @@ pub struct ServiceReport {
     /// Admission-control counters at shutdown (ticks, capacity moves,
     /// per-tenant outcomes); all zero when admission control is off.
     pub admission: AdmissionSnapshot,
+    /// Audit-archiver counters at shutdown (segments compacted, bytes
+    /// before/after, verify failures); all zero when archiving is off.
+    pub archive: crate::archive::ArchiveSnapshot,
     /// Guard checkpoints durably written across all local shards.
     pub checkpoints_written: u64,
     /// Per-shard breakdown (local shards only; remote workers keep their
@@ -501,6 +504,14 @@ impl ServiceReport {
             self.admission.grows,
             self.admission.throttled,
             self.admission.shed,
+        ));
+        out.push_str(&format!(
+            "archive segments={} bytes_before={} bytes_after={} ratio={:.3} verify_failures={}\n",
+            self.archive.segments_archived,
+            self.archive.bytes_before,
+            self.archive.bytes_after,
+            self.archive.ratio(),
+            self.archive.verify_failures,
         ));
         for t in &self.admission.tenants {
             out.push_str(&format!(
@@ -667,7 +678,16 @@ impl DecisionService {
         if let Some(adm) = &config.admission {
             adm.validate().map_err(ServeError::BadRequest)?;
         }
-        let metrics = Arc::new(MetricsRegistry::new(config.shards));
+        // The archiver's counters are shared with the registry so metrics
+        // snapshots see compaction progress while the service runs.
+        let archive_stats = sink
+            .as_ref()
+            .map(AuditSink::archive_stats)
+            .unwrap_or_default();
+        let metrics = Arc::new(MetricsRegistry::with_archive_stats(
+            config.shards,
+            archive_stats,
+        ));
         let admission: Option<Arc<AdmissionController>> = config.admission.as_ref().map(|adm| {
             Arc::new(AdmissionController::new(
                 adm.clone(),
@@ -1045,6 +1065,10 @@ impl DecisionService {
             audit_segments: sink_report.as_ref().map_or(0, |r| r.segments),
             cache: snap.cache.clone(),
             admission: snap.admission.clone(),
+            archive: sink_report
+                .as_ref()
+                .map(|r| r.archive.clone())
+                .unwrap_or_default(),
             checkpoints_written: shards.iter().map(|s| s.checkpoints).sum(),
             shards,
             remotes,

@@ -40,7 +40,14 @@
 #                             cell-exact fairness-window + ε-ledger
 #                             conservation across the transform, and a
 #                             continuous audit chain
-#  13. doc-link check         every PROTOCOL.md / OPERATIONS.md section
+#  13. exp_e20 --smoke        audit archiving: background compaction of a
+#                             10x-rotated log keeps the writer batch p99
+#                             within 5% of the archiver-off baseline,
+#                             every archive decodes byte-identically
+#                             (sha256-checked), and a SIGKILL mid-archive
+#                             recovers with zero provably-lost entries —
+#                             original xor verified archive, never neither
+#  14. doc-link check         every PROTOCOL.md / OPERATIONS.md section
 #                             anchor referenced from the crate rustdoc
 #                             resolves to a real heading
 #
@@ -90,6 +97,11 @@ cargo run --offline -q -p fact-bench --bin exp_e18 -- --smoke
 
 echo "==> exp_e19 --smoke (live-reshard conservation gate)"
 cargo run --offline -q -p fact-bench --bin exp_e19 -- --smoke
+
+echo "==> exp_e20 --smoke (audit-archiver hot-path + crash-safety gate)"
+# exp_e20's crash phase spawns fact-shardd like exp_e16's does; the
+# explicit worker build above covers it.
+cargo run --offline -q -p fact-bench --bin exp_e20 -- --smoke
 
 echo "==> doc-link check (rustdoc -> PROTOCOL.md / OPERATIONS.md anchors)"
 # The crate rustdoc points readers at PROTOCOL.md sections by their

@@ -36,7 +36,7 @@ use fact_data::Matrix;
 use fact_ml::Classifier;
 use fact_net::{Endpoint, Server, ShardHandler, DEFAULT_FRAME_DEADLINE};
 use fact_serve::{
-    AdmissionConfig, AuditSinkConfig, CheckpointConfig, DegradePolicy, GuardConfig,
+    AdmissionConfig, ArchiveConfig, AuditSinkConfig, CheckpointConfig, DegradePolicy, GuardConfig,
     NetShardHandler, ReshardConfig, ReshardableService, ServeConfig,
 };
 
@@ -55,6 +55,12 @@ options:
   --dp-interval N          decisions between DP releases    [default: 200]
   --fairness-window N      fairness monitor window          [default: 1000]
   --audit PATH             durable audit log (JSONL); off when absent
+  --audit-segment-bytes N  roll the audit log to a new segment past this
+                           size                             [default: 67108864]
+  --archive-retain N       background-archive sealed audit segments,
+                           keeping the newest N uncompressed; requires
+                           --audit; archiving off when absent
+  --archive-tick-ms MS     archiver scan interval           [default: 500]
   --queue-cap N            per-shard queue bound            [default: 64]
   --reshard-hold-ms MS     longest a request parks at the cutover gate
                            during a live reshard            [default: 5000]
@@ -91,6 +97,9 @@ struct Args {
     dp_interval: usize,
     fairness_window: usize,
     audit: Option<PathBuf>,
+    audit_segment_bytes: Option<u64>,
+    archive_retain: Option<u64>,
+    archive_tick_ms: u64,
     queue_cap: usize,
     reshard_hold_ms: u64,
     target_p99_us: Option<u64>,
@@ -108,6 +117,9 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
     let mut dp_interval = 200usize;
     let mut fairness_window = 1_000usize;
     let mut audit = None;
+    let mut audit_segment_bytes = None;
+    let mut archive_retain = None;
+    let mut archive_tick_ms = 500u64;
     let mut queue_cap = 64usize;
     let mut reshard_hold_ms = 5_000u64;
     let mut target_p99_us = None;
@@ -131,6 +143,18 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
                 fairness_window = parse_num(&value("--fairness-window")?, "--fairness-window")?
             }
             "--audit" => audit = Some(PathBuf::from(value("--audit")?)),
+            "--audit-segment-bytes" => {
+                audit_segment_bytes = Some(parse_num(
+                    &value("--audit-segment-bytes")?,
+                    "--audit-segment-bytes",
+                )?)
+            }
+            "--archive-retain" => {
+                archive_retain = Some(parse_num(&value("--archive-retain")?, "--archive-retain")?)
+            }
+            "--archive-tick-ms" => {
+                archive_tick_ms = parse_num(&value("--archive-tick-ms")?, "--archive-tick-ms")?
+            }
             "--queue-cap" => queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?,
             "--reshard-hold-ms" => {
                 reshard_hold_ms = parse_num(&value("--reshard-hold-ms")?, "--reshard-hold-ms")?
@@ -158,6 +182,9 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         dp_interval,
         fairness_window,
         audit,
+        audit_segment_bytes,
+        archive_retain,
+        archive_tick_ms,
         queue_cap,
         reshard_hold_ms,
         target_p99_us,
@@ -202,9 +229,20 @@ fn main() {
             args.checkpoint_dir.clone(),
             args.checkpoint_every,
         )),
-        audit: args.audit.clone().map(|path| AuditSinkConfig {
-            path,
-            ..AuditSinkConfig::default()
+        audit: args.audit.clone().map(|path| {
+            let defaults = AuditSinkConfig::default();
+            AuditSinkConfig {
+                path,
+                max_segment_bytes: args
+                    .audit_segment_bytes
+                    .unwrap_or(defaults.max_segment_bytes),
+                archive: args.archive_retain.map(|retain_segments| ArchiveConfig {
+                    retain_segments,
+                    tick: Duration::from_millis(args.archive_tick_ms),
+                    ..ArchiveConfig::default()
+                }),
+                ..defaults
+            }
         }),
         ..ServeConfig::default()
     };

@@ -18,8 +18,10 @@ use std::time::{Duration, Instant};
 
 use fact_serve::audit_sink::{parse_log, recover, AuditStorage};
 use fact_serve::{
-    AuditEvent, AuditSink, AuditSinkConfig, AuditSinkHandle, DecisionRequest, DecisionService,
-    DegradePolicy, GuardConfig, InlineFeatures, MemStorage, ServeConfig,
+    archive_run_once, encode_archive, read_segment_or_archive, verify_all_segments, ArchiveConfig,
+    ArchiveManifest, ArchiveStats, AuditEvent, AuditSink, AuditSinkConfig, AuditSinkHandle,
+    DecisionRequest, DecisionService, DegradePolicy, GuardConfig, InlineFeatures, MemStorage,
+    ServeConfig,
 };
 use fact_transparency::{verify_chain_from, AuditEntry, ChainHead};
 
@@ -566,4 +568,240 @@ fn audited_service_survives_a_storage_kill_and_restart_verifies() {
     // both runs' lifecycle markers are present in one verified chain
     let starts = entries.iter().filter(|e| e.action == "sink_start").count();
     assert_eq!(starts, 2, "one start marker per run");
+}
+
+// ---------------------------------------------------------------------------
+// archive fault matrix
+// ---------------------------------------------------------------------------
+//
+// A crash at every step of the archiver's verify → compress → write →
+// re-verify → commit → delete protocol must leave each segment as the
+// original xor a verified archive — never neither — and a restarted
+// archiver must converge without losing or double-counting an entry.
+// Faults come from MemStorage's kill knobs (`kill_on_archive_write` fires
+// before the atomic rename lands the container; `kill_on_source_delete`
+// fires after the manifest commit, with the source retained), which share
+// one Arc with the writer — one kill takes both down, like a dead process.
+
+fn retain_none() -> ArchiveConfig {
+    ArchiveConfig {
+        retain_segments: 0,
+        ..ArchiveConfig::default()
+    }
+}
+
+/// Every present segment (live or archived) decoded and concatenated must
+/// still be one unbroken chain from genesis with `total` entries.
+fn assert_whole_chain(storage: &MemStorage, total: usize) {
+    let mut probe: Box<dyn AuditStorage> = Box::new(storage.clone());
+    let audit = verify_all_segments(probe.as_mut()).unwrap();
+    assert!(audit.continuous, "{audit:?}");
+    let mut ids = storage.segment_ids();
+    ids.extend(storage.archive_ids());
+    ids.sort_unstable();
+    ids.dedup();
+    let mut all = Vec::new();
+    for id in ids {
+        all.extend(read_segment_or_archive(probe.as_mut(), id).unwrap());
+    }
+    let entries = parse_log(&all);
+    assert_eq!(verify_chain_from(ChainHead::genesis(), &entries), None);
+    assert_eq!(entries.len(), total, "no entry lost, none double-counted");
+}
+
+#[test]
+fn crash_before_archive_rename_leaves_the_original_intact() {
+    let storage = MemStorage::new();
+    build_segmented_log(&storage, 4);
+    let live = storage.segment_ids();
+    let newest = *live.last().unwrap();
+    let victim = live[1];
+    let original = storage.segment_bytes(victim).unwrap();
+    let total = parse_log(&storage.log_bytes()).len();
+
+    // the kill fires inside write_archive for `victim`: the container
+    // never lands (crash before the atomic rename), storage dies
+    storage.kill_on_archive_write(victim);
+    let stats = ArchiveStats::default();
+    let mut probe: Box<dyn AuditStorage> = Box::new(storage.clone());
+    archive_run_once(probe.as_mut(), &retain_none(), newest, &stats)
+        .expect_err("the kill must surface as an error");
+
+    // segments before the victim archived; the victim kept its original
+    // and has no archive — original xor archive, never neither
+    assert!(storage.segment_ids().contains(&victim));
+    assert!(!storage.archive_ids().contains(&victim));
+    assert_eq!(storage.segment_bytes(victim).unwrap(), original);
+
+    // restart: the next pass picks up exactly where the crash left off
+    let revived = storage.restart();
+    let mut probe2: Box<dyn AuditStorage> = Box::new(revived.clone());
+    let pass = archive_run_once(probe2.as_mut(), &retain_none(), newest, &stats).unwrap();
+    assert!(pass.archived.contains(&victim), "{pass:?}");
+    assert!(pass.skipped.is_empty(), "{pass:?}");
+    assert!(!storage.segment_ids().contains(&victim));
+    assert!(storage.archive_ids().contains(&victim));
+    assert_eq!(
+        read_segment_or_archive(probe2.as_mut(), victim).unwrap(),
+        original,
+        "the archive restores byte-identical content"
+    );
+    assert_whole_chain(&storage, total);
+}
+
+#[test]
+fn crash_before_source_delete_completes_without_double_counting() {
+    let storage = MemStorage::new();
+    build_segmented_log(&storage, 4);
+    let live = storage.segment_ids();
+    let newest = *live.last().unwrap();
+    let victim = live[1];
+    let original = storage.segment_bytes(victim).unwrap();
+    let total = parse_log(&storage.log_bytes()).len();
+
+    // the kill fires inside remove_segment_file for `victim`: the archive
+    // landed and the manifest committed, but the original survives
+    storage.kill_on_source_delete(victim);
+    let stats = ArchiveStats::default();
+    let mut probe: Box<dyn AuditStorage> = Box::new(storage.clone());
+    archive_run_once(probe.as_mut(), &retain_none(), newest, &stats)
+        .expect_err("the kill must surface as an error");
+
+    // both copies present, manifest committed — the delete is the only
+    // outstanding step
+    assert!(storage.segment_ids().contains(&victim));
+    assert!(storage.archive_ids().contains(&victim));
+    let revived = storage.restart();
+    let mut probe2: Box<dyn AuditStorage> = Box::new(revived.clone());
+    let manifest = ArchiveManifest::load(probe2.as_mut()).unwrap();
+    assert!(manifest.record(victim).is_some(), "commit point persisted");
+
+    // restart: the pass *completes* the interrupted archive (adopting the
+    // committed container) instead of re-archiving and re-counting it
+    let archived_before = stats.snapshot().segments_archived;
+    let pass = archive_run_once(probe2.as_mut(), &retain_none(), newest, &stats).unwrap();
+    assert!(pass.completed.contains(&victim), "{pass:?}");
+    assert!(!pass.archived.contains(&victim), "{pass:?}");
+    assert_eq!(
+        stats.snapshot().segments_archived,
+        archived_before + pass.archived.len() as u64,
+        "a completed handoff must not re-count the victim"
+    );
+    assert!(!storage.segment_ids().contains(&victim));
+    assert_eq!(
+        read_segment_or_archive(probe2.as_mut(), victim).unwrap(),
+        original
+    );
+    assert_whole_chain(&storage, total);
+}
+
+#[test]
+fn tampered_source_segment_is_never_compacted_away() {
+    let storage = MemStorage::new();
+    build_segmented_log(&storage, 4);
+    let live = storage.segment_ids();
+    let newest = *live.last().unwrap();
+    let victim = live[1];
+
+    // tear the victim mid-entry: it no longer verifies standalone, so the
+    // archiver must refuse to compact it and keep the evidence in place
+    let mut probe: Box<dyn AuditStorage> = Box::new(storage.clone());
+    probe.as_mut().truncate_segment(victim, 20).unwrap();
+
+    let stats = ArchiveStats::default();
+    let pass = archive_run_once(probe.as_mut(), &retain_none(), newest, &stats).unwrap();
+    assert!(pass.skipped.contains(&victim), "{pass:?}");
+    assert!(!pass.archived.contains(&victim), "{pass:?}");
+    assert!(stats.snapshot().verify_failures >= 1);
+    // the damaged original is still there for forensics; no archive
+    // claims to replace it
+    assert!(storage.segment_ids().contains(&victim));
+    assert!(!storage.archive_ids().contains(&victim));
+}
+
+#[test]
+fn archived_middle_is_gap_free_but_a_missing_middle_is_loss() {
+    // two identical stores; in one the middle segment is archived, in the
+    // other it is simply deleted — recovery must tell them apart
+    let archived = MemStorage::new();
+    let lost = MemStorage::new();
+    build_segmented_log(&archived, 4);
+    build_segmented_log(&lost, 4);
+    let ids = archived.segment_ids();
+    assert_eq!(ids, lost.segment_ids());
+    let middle = ids[ids.len() / 2];
+
+    let bytes = archived.segment_bytes(middle).unwrap();
+    let mut probe: Box<dyn AuditStorage> = Box::new(archived.clone());
+    probe
+        .as_mut()
+        .write_archive(middle, &encode_archive(middle, &bytes))
+        .unwrap();
+    assert!(archived.remove_segment(middle));
+    assert!(lost.remove_segment(middle));
+
+    // archived middle: continuous, and a restarted sink sees no loss
+    let audit = verify_all_segments(probe.as_mut()).unwrap();
+    assert!(audit.continuous, "{audit:?}");
+    let sink = open_rotating(&archived, 2);
+    let rec = sink.recovery().clone();
+    sink.finish();
+    assert_eq!(rec.lost, 0, "{rec:?}");
+    assert_eq!(rec.missing_segments, 0);
+
+    // deleted middle: the gap is provable loss
+    let mut probe_l: Box<dyn AuditStorage> = Box::new(lost.clone());
+    let audit_l = verify_all_segments(probe_l.as_mut()).unwrap();
+    assert!(!audit_l.continuous, "{audit_l:?}");
+    let sink_l = open_rotating(&lost, 2);
+    let rec_l = sink_l.recovery().clone();
+    sink_l.finish();
+    assert_eq!(rec_l.missing_segments, 1, "{rec_l:?}");
+    assert!(rec_l.lost > 0, "a swallowed segment is quantified loss");
+}
+
+#[test]
+fn background_archiver_compacts_a_live_sink_with_zero_loss() {
+    let storage = MemStorage::new();
+    let sink = AuditSink::open_with_storage(
+        &AuditSinkConfig {
+            archive: Some(ArchiveConfig {
+                retain_segments: 1,
+                tick: Duration::from_millis(5),
+                ..ArchiveConfig::default()
+            }),
+            ..rotating_config(2)
+        },
+        Box::new(storage.clone()),
+    )
+    .unwrap();
+    let h = sink.handle();
+    for k in 0..30 {
+        h.record(flagged(k));
+        if k.is_multiple_of(5) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    drop(h);
+    let report = sink.finish();
+    assert_eq!(report.dropped, 0);
+    // finish() runs one final pass, so everything sealed past the horizon
+    // is compacted even if the ticks never caught up under load
+    assert!(
+        report.archive.segments_archived >= 1,
+        "{:?}",
+        report.archive
+    );
+    assert!(report.archive.bytes_after < report.archive.bytes_before);
+    assert!(!storage.archive_ids().is_empty());
+
+    let total = report.audited + report.rolls;
+    assert_whole_chain(&storage, total as usize);
+
+    // a restart over the mixed live/archived store resumes with no loss
+    let sink2 = open_rotating(&storage, 2);
+    let rec = sink2.recovery().clone();
+    sink2.finish();
+    assert_eq!(rec.lost, 0, "{rec:?}");
+    assert_eq!(rec.missing_segments, 0);
 }

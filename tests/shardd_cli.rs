@@ -1,0 +1,74 @@
+//! `fact-shardd` CLI contract: malformed invocations must die loudly —
+//! usage banner on stderr, exit code 2 — before any socket is bound or
+//! sidecar touched. A daemon that half-starts on a typoed flag is how an
+//! operator ends up with an unarchived audit log and no error to show
+//! for it.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fact-shardd"))
+        .args(args)
+        .output()
+        .expect("spawn fact-shardd")
+}
+
+fn assert_usage_exit(out: &Output, needle: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "bad flags must exit 2, got {:?}\nstderr: {stderr}",
+        out.status
+    );
+    assert!(
+        stderr.contains("usage: fact-shardd"),
+        "stderr must carry the usage banner:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(needle),
+        "stderr must name the offending input {needle:?}:\n{stderr}"
+    );
+}
+
+#[test]
+fn malformed_numeric_flags_print_usage_and_exit_2() {
+    // every numeric flag rejects a non-number with the flag named
+    for flag in [
+        "--shards",
+        "--audit-segment-bytes",
+        "--archive-retain",
+        "--archive-tick-ms",
+        "--tenant-rate",
+    ] {
+        let out = run(&[
+            "--socket",
+            "/tmp/x.sock",
+            "--checkpoint-dir",
+            "/tmp",
+            flag,
+            "abc",
+        ]);
+        assert_usage_exit(&out, &format!("{flag}: not a number"));
+    }
+}
+
+#[test]
+fn unknown_flags_print_usage_and_exit_2() {
+    let out = run(&[
+        "--socket",
+        "/tmp/x.sock",
+        "--checkpoint-dir",
+        "/tmp",
+        "--bogus",
+    ]);
+    assert_usage_exit(&out, "unknown flag");
+}
+
+#[test]
+fn missing_required_args_print_usage_and_exit_2() {
+    // no listener at all
+    assert_usage_exit(&run(&["--checkpoint-dir", "/tmp"]), "--socket");
+    // no checkpoint dir
+    assert_usage_exit(&run(&["--socket", "/tmp/x.sock"]), "--checkpoint-dir");
+}
